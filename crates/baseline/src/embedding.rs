@@ -1,0 +1,76 @@
+//! Embeddings produced by the baseline matchers.
+//!
+//! The baselines do not share runtime types with `streamworks-core` (the core
+//! crate uses the baselines only as dev-dependencies for equivalence tests),
+//! so they report matches with this small standalone type. Embeddings can be
+//! reduced to a canonical signature — the sorted (query edge, data edge)
+//! assignment — which is what the equivalence tests compare.
+
+use streamworks_graph::{Duration, EdgeId, Timestamp, VertexId};
+use streamworks_query::{QueryEdgeId, QueryVertexId};
+
+/// A complete embedding of a query graph into the data graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Embedding {
+    /// Data vertex assigned to each query vertex, indexed by query vertex id.
+    pub vertices: Vec<VertexId>,
+    /// Data edge assigned to each query edge, indexed by query edge id.
+    pub edges: Vec<EdgeId>,
+    /// Earliest data-edge timestamp.
+    pub earliest: Timestamp,
+    /// Latest data-edge timestamp.
+    pub latest: Timestamp,
+}
+
+impl Embedding {
+    /// The time span of the embedding.
+    pub fn span(&self) -> Duration {
+        self.latest - self.earliest
+    }
+
+    /// True if the span is strictly within the window.
+    pub fn within_window(&self, window: Duration) -> bool {
+        self.span().as_micros() < window.as_micros()
+    }
+
+    /// Data vertex bound to a query vertex.
+    pub fn vertex(&self, qv: QueryVertexId) -> VertexId {
+        self.vertices[qv.0]
+    }
+
+    /// Data edge bound to a query edge.
+    pub fn edge(&self, qe: QueryEdgeId) -> EdgeId {
+        self.edges[qe.0]
+    }
+
+    /// Canonical signature: the (query edge → data edge) assignment, which
+    /// uniquely identifies an embedding of a fixed query.
+    pub fn signature(&self) -> Vec<(usize, u64)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(q, e)| (q, e.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_and_window() {
+        let e = Embedding {
+            vertices: vec![VertexId(1), VertexId(2)],
+            edges: vec![EdgeId(10)],
+            earliest: Timestamp::from_secs(100),
+            latest: Timestamp::from_secs(160),
+        };
+        assert_eq!(e.span(), Duration::from_secs(60));
+        assert!(e.within_window(Duration::from_secs(61)));
+        assert!(!e.within_window(Duration::from_secs(60)));
+        assert_eq!(e.vertex(QueryVertexId(1)), VertexId(2));
+        assert_eq!(e.edge(QueryEdgeId(0)), EdgeId(10));
+        assert_eq!(e.signature(), vec![(0, 10)]);
+    }
+}

@@ -1,0 +1,427 @@
+//! Static subgraph-isomorphism search over a graph snapshot.
+//!
+//! A VF2-flavoured backtracking matcher: query vertices are bound one edge at
+//! a time, candidate edges are filtered by edge type, endpoint types,
+//! attribute predicates and injectivity, and the time-window constraint prunes
+//! branches eagerly. This matcher is the building block of the
+//! *repeated-search* baseline (§2.2 discusses this strategy as the alternative
+//! to incremental matching) and the reference oracle for the equivalence tests
+//! of the incremental engine.
+
+use crate::embedding::Embedding;
+use streamworks_graph::{
+    Direction, Duration, Edge, EdgeId, GraphSnapshot, Timestamp, TypeId, VertexId,
+};
+use streamworks_query::{QueryEdgeId, QueryGraph, QueryVertexId};
+
+/// Resolved (graph-specific) constraints for one query, recomputed per search.
+struct ResolvedQuery<'q> {
+    query: &'q QueryGraph,
+    /// `Some(Err(()))` marks a type name unknown to the graph (matches nothing).
+    vtypes: Vec<Option<Result<TypeId, ()>>>,
+    etypes: Vec<Option<Result<TypeId, ()>>>,
+}
+
+impl<'q> ResolvedQuery<'q> {
+    fn new(query: &'q QueryGraph, snapshot: &GraphSnapshot<'_>) -> Self {
+        let vtypes = query
+            .vertices()
+            .map(|v| {
+                v.vtype
+                    .as_deref()
+                    .map(|n| snapshot.vertex_type_id(n).ok_or(()))
+            })
+            .collect();
+        let etypes = query
+            .edges()
+            .map(|e| {
+                e.etype
+                    .as_deref()
+                    .map(|n| snapshot.edge_type_id(n).ok_or(()))
+            })
+            .collect();
+        ResolvedQuery {
+            query,
+            vtypes,
+            etypes,
+        }
+    }
+
+    fn vertex_ok(&self, snapshot: &GraphSnapshot<'_>, qv: QueryVertexId, dv: VertexId) -> bool {
+        let Some(vertex) = snapshot.vertex(dv) else {
+            return false;
+        };
+        match self.vtypes[qv.0] {
+            None => {}
+            Some(Ok(t)) => {
+                if vertex.vtype != t {
+                    return false;
+                }
+            }
+            Some(Err(())) => return false,
+        }
+        self.query
+            .vertex(qv)
+            .predicates
+            .iter()
+            .all(|p| p.matches(&vertex.attrs))
+    }
+
+    fn edge_ok(&self, snapshot: &GraphSnapshot<'_>, qe: QueryEdgeId, edge: &Edge) -> bool {
+        match self.etypes[qe.0] {
+            None => {}
+            Some(Ok(t)) => {
+                if edge.etype != t {
+                    return false;
+                }
+            }
+            Some(Err(())) => return false,
+        }
+        let q = self.query.edge(qe);
+        if !q.predicates.iter().all(|p| p.matches(&edge.attrs)) {
+            return false;
+        }
+        self.vertex_ok(snapshot, q.src, edge.src) && self.vertex_ok(snapshot, q.dst, edge.dst)
+    }
+}
+
+/// Search state during backtracking.
+struct SearchState<'q, 'g, 's> {
+    resolved: &'s ResolvedQuery<'q>,
+    snapshot: &'s GraphSnapshot<'g>,
+    window: Duration,
+    vertex_binding: Vec<Option<VertexId>>,
+    edge_binding: Vec<Option<EdgeId>>,
+    earliest: Timestamp,
+    latest: Timestamp,
+    /// Query-edge matching order (most constrained first is not needed for
+    /// correctness; we use a connectivity-preserving order).
+    order: Vec<QueryEdgeId>,
+    results: Vec<Embedding>,
+    /// Soft cap on results to guard against pathological explosion in tests.
+    limit: usize,
+    /// Number of candidate edges examined (work counter for benchmarks).
+    candidates_examined: u64,
+}
+
+impl<'q, 'g, 's> SearchState<'q, 'g, 's> {
+    fn bind_vertex(&mut self, qv: QueryVertexId, dv: VertexId) -> Result<bool, ()> {
+        match self.vertex_binding[qv.0] {
+            Some(existing) => Ok(existing == dv),
+            None => {
+                if self.vertex_binding.iter().any(|b| *b == Some(dv)) {
+                    return Ok(false);
+                }
+                self.vertex_binding[qv.0] = Some(dv);
+                Err(()) // marker meaning "newly bound" (needs undo)
+            }
+        }
+    }
+
+    fn recurse(&mut self, depth: usize) {
+        if self.results.len() >= self.limit {
+            return;
+        }
+        if depth == self.order.len() {
+            self.results.push(Embedding {
+                vertices: self
+                    .vertex_binding
+                    .iter()
+                    .map(|b| b.unwrap_or(VertexId(u32::MAX)))
+                    .collect(),
+                edges: self
+                    .edge_binding
+                    .iter()
+                    .map(|b| b.expect("all query edges bound at full depth"))
+                    .collect(),
+                earliest: self.earliest,
+                latest: self.latest,
+            });
+            return;
+        }
+        let qe = self.order[depth];
+        let q = self.resolved.query.edge(qe);
+        let src_bound = self.vertex_binding[q.src.0];
+        let dst_bound = self.vertex_binding[q.dst.0];
+
+        // Collect candidate data edges for this query edge.
+        let candidates: Vec<Edge> = match (src_bound, dst_bound) {
+            (Some(src), _) => self
+                .incident_candidates(qe, q.src, src, Direction::Out)
+                .into_iter()
+                .collect(),
+            (None, Some(dst)) => self
+                .incident_candidates(qe, q.dst, dst, Direction::In)
+                .into_iter()
+                .collect(),
+            (None, None) => {
+                // Unanchored query edge (first edge, or disconnected query):
+                // scan all edges of the constrained type.
+                let iter: Vec<Edge> = match self.resolved.etypes[qe.0] {
+                    Some(Err(())) => Vec::new(),
+                    Some(Ok(t)) => self.snapshot.edges_with_type(t).cloned().collect(),
+                    None => self.snapshot.graph().edges().cloned().collect(),
+                };
+                iter
+            }
+        };
+
+        for edge in candidates {
+            self.candidates_examined += 1;
+            if !self.resolved.edge_ok(self.snapshot, qe, &edge) {
+                continue;
+            }
+            if self.edge_binding.iter().any(|b| *b == Some(edge.id)) {
+                continue;
+            }
+            // Window pruning.
+            let new_earliest = self.earliest.min(edge.timestamp);
+            let new_latest = self.latest.max(edge.timestamp);
+            if depth > 0 && (new_latest - new_earliest).as_micros() >= self.window.as_micros() {
+                continue;
+            }
+
+            // Bind endpoints, remembering whether each was newly bound.
+            let src_new = match self.bind_vertex(q.src, edge.src) {
+                Ok(true) => false,
+                Ok(false) => continue,
+                Err(()) => true,
+            };
+            let dst_new = match self.bind_vertex(q.dst, edge.dst) {
+                Ok(true) => false,
+                Ok(false) => {
+                    if src_new {
+                        self.vertex_binding[q.src.0] = None;
+                    }
+                    continue;
+                }
+                Err(()) => true,
+            };
+
+            let (old_earliest, old_latest) = (self.earliest, self.latest);
+            self.earliest = new_earliest;
+            self.latest = new_latest;
+            self.edge_binding[qe.0] = Some(edge.id);
+
+            self.recurse(depth + 1);
+
+            self.edge_binding[qe.0] = None;
+            self.earliest = old_earliest;
+            self.latest = old_latest;
+            if dst_new {
+                self.vertex_binding[q.dst.0] = None;
+            }
+            if src_new {
+                self.vertex_binding[q.src.0] = None;
+            }
+        }
+    }
+
+    fn incident_candidates(
+        &self,
+        qe: QueryEdgeId,
+        _qv: QueryVertexId,
+        dv: VertexId,
+        dir: Direction,
+    ) -> Vec<Edge> {
+        match self.resolved.etypes[qe.0] {
+            Some(Err(())) => Vec::new(),
+            Some(Ok(t)) => self
+                .snapshot
+                .neighbors(dv, dir, t)
+                .map(|(e, _)| e.clone())
+                .collect(),
+            None => self
+                .snapshot
+                .incident_edges_any_type(dv, dir)
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+/// Result of a static search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The embeddings found (up to the limit).
+    pub embeddings: Vec<Embedding>,
+    /// Candidate edges examined (a machine-independent work measure).
+    pub candidates_examined: u64,
+}
+
+/// Enumerates every embedding of `query` in the snapshot whose time span is
+/// strictly below the query's window. At most `limit` embeddings are returned.
+pub fn find_all_embeddings(
+    snapshot: &GraphSnapshot<'_>,
+    query: &QueryGraph,
+    limit: usize,
+) -> SearchOutcome {
+    let resolved = ResolvedQuery::new(query, snapshot);
+    // Matching order: start from edge 0 and repeatedly add an edge adjacent to
+    // the already-ordered set (falling back to any remaining edge for
+    // disconnected queries).
+    let mut order: Vec<QueryEdgeId> = Vec::with_capacity(query.edge_count());
+    let mut remaining: Vec<QueryEdgeId> = query.edge_ids().collect();
+    let mut placed: Vec<QueryVertexId> = Vec::new();
+    while !remaining.is_empty() {
+        let idx = remaining
+            .iter()
+            .position(|&e| {
+                order.is_empty()
+                    || query
+                        .edge(e)
+                        .endpoints()
+                        .iter()
+                        .any(|v| placed.contains(v))
+            })
+            .unwrap_or(0);
+        let e = remaining.remove(idx);
+        for v in query.edge(e).endpoints() {
+            if !placed.contains(&v) {
+                placed.push(v);
+            }
+        }
+        order.push(e);
+    }
+
+    let mut state = SearchState {
+        resolved: &resolved,
+        snapshot,
+        window: query.window(),
+        vertex_binding: vec![None; query.vertex_count()],
+        edge_binding: vec![None; query.edge_count()],
+        earliest: Timestamp(i64::MAX),
+        latest: Timestamp(i64::MIN),
+        order,
+        results: Vec::new(),
+        limit,
+        candidates_examined: 0,
+    };
+    // Fix up initial earliest/latest handling: the first bound edge sets them.
+    state.earliest = Timestamp(i64::MAX);
+    state.latest = Timestamp(i64::MIN);
+    state.recurse(0);
+    SearchOutcome {
+        embeddings: state.results,
+        candidates_examined: state.candidates_examined,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamworks_graph::{DynamicGraph, EdgeEvent};
+    use streamworks_query::QueryGraphBuilder;
+
+    fn ingest(g: &mut DynamicGraph, src: &str, st: &str, dst: &str, dt: &str, et: &str, t: i64) {
+        g.ingest(&EdgeEvent::new(src, st, dst, dt, et, Timestamp::from_secs(t)));
+    }
+
+    fn pair_query(window_secs: i64) -> QueryGraph {
+        QueryGraphBuilder::new("pair")
+            .window(Duration::from_secs(window_secs))
+            .vertex("a1", "Article")
+            .vertex("a2", "Article")
+            .vertex("k", "Keyword")
+            .edge("a1", "mentions", "k")
+            .edge("a2", "mentions", "k")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn finds_all_embeddings_of_a_shared_keyword() {
+        let mut g = DynamicGraph::unbounded();
+        ingest(&mut g, "a1", "Article", "k1", "Keyword", "mentions", 1);
+        ingest(&mut g, "a2", "Article", "k1", "Keyword", "mentions", 2);
+        ingest(&mut g, "a3", "Article", "k1", "Keyword", "mentions", 3);
+        let snap = GraphSnapshot::new(&g);
+        let out = find_all_embeddings(&snap, &pair_query(3600), 10_000);
+        // Ordered pairs of distinct articles: 3 * 2 = 6 embeddings.
+        assert_eq!(out.embeddings.len(), 6);
+        assert!(out.candidates_examined > 0);
+    }
+
+    #[test]
+    fn window_excludes_distant_pairs() {
+        let mut g = DynamicGraph::unbounded();
+        ingest(&mut g, "a1", "Article", "k1", "Keyword", "mentions", 0);
+        ingest(&mut g, "a2", "Article", "k1", "Keyword", "mentions", 1_000);
+        let snap = GraphSnapshot::new(&g);
+        let within = find_all_embeddings(&snap, &pair_query(2_000), 100);
+        let outside = find_all_embeddings(&snap, &pair_query(100), 100);
+        assert_eq!(within.embeddings.len(), 2);
+        assert!(outside.embeddings.is_empty());
+    }
+
+    #[test]
+    fn type_constraints_filter_candidates() {
+        let mut g = DynamicGraph::unbounded();
+        ingest(&mut g, "a1", "Article", "k1", "Keyword", "mentions", 1);
+        ingest(&mut g, "u1", "User", "k1", "Keyword", "mentions", 2);
+        let snap = GraphSnapshot::new(&g);
+        let q = QueryGraphBuilder::new("typed")
+            .window(Duration::from_secs(100))
+            .vertex("a", "Article")
+            .vertex("k", "Keyword")
+            .edge("a", "mentions", "k")
+            .build()
+            .unwrap();
+        let out = find_all_embeddings(&snap, &q, 100);
+        assert_eq!(out.embeddings.len(), 1);
+        assert_eq!(
+            g.vertex_key(out.embeddings[0].vertex(q.vertex_by_name("a").unwrap().id)),
+            Some("a1")
+        );
+    }
+
+    #[test]
+    fn triangle_query_on_directed_cycle() {
+        let mut g = DynamicGraph::unbounded();
+        ingest(&mut g, "x", "IP", "y", "IP", "flow", 1);
+        ingest(&mut g, "y", "IP", "z", "IP", "flow", 2);
+        ingest(&mut g, "z", "IP", "x", "IP", "flow", 3);
+        // A second, incomplete cycle.
+        ingest(&mut g, "p", "IP", "q", "IP", "flow", 4);
+        let snap = GraphSnapshot::new(&g);
+        let q = QueryGraphBuilder::new("tri")
+            .window(Duration::from_secs(100))
+            .vertex("a", "IP")
+            .vertex("b", "IP")
+            .vertex("c", "IP")
+            .edge("a", "flow", "b")
+            .edge("b", "flow", "c")
+            .edge("c", "flow", "a")
+            .build()
+            .unwrap();
+        let out = find_all_embeddings(&snap, &q, 100);
+        // The directed 3-cycle has 3 rotational embeddings.
+        assert_eq!(out.embeddings.len(), 3);
+    }
+
+    #[test]
+    fn limit_caps_result_count() {
+        let mut g = DynamicGraph::unbounded();
+        for i in 0..20 {
+            ingest(&mut g, &format!("a{i}"), "Article", "k", "Keyword", "mentions", i);
+        }
+        let snap = GraphSnapshot::new(&g);
+        let out = find_all_embeddings(&snap, &pair_query(3600), 7);
+        assert_eq!(out.embeddings.len(), 7);
+    }
+
+    #[test]
+    fn unknown_type_names_yield_no_matches() {
+        let mut g = DynamicGraph::unbounded();
+        ingest(&mut g, "a1", "Article", "k1", "Keyword", "mentions", 1);
+        let snap = GraphSnapshot::new(&g);
+        let q = QueryGraphBuilder::new("ghost")
+            .vertex("m", "Malware")
+            .vertex("h", "Host")
+            .edge("m", "infects", "h")
+            .build()
+            .unwrap();
+        let out = find_all_embeddings(&snap, &q, 100);
+        assert!(out.embeddings.is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! # streamworks-baseline
+//!
+//! Baseline subgraph matchers for the StreamWorks reproduction:
+//!
+//! * [`find_all_embeddings`] — a VF2-flavoured static subgraph-isomorphism
+//!   search over a [`streamworks_graph::GraphSnapshot`].
+//! * [`RepeatedSearchMatcher`] — the *repeated search* strategy discussed in
+//!   paper §2.2 (re-run the full search on every update).
+//! * [`NaiveEdgeExpansion`] — the "simplistic approach" of §3.1 (per-edge
+//!   anchored expansion over the whole query, no decomposition, no memoised
+//!   partial matches).
+//! * [`verify_assignment`] — an independent checker of windowed isomorphisms,
+//!   used by the cross-engine equivalence tests.
+//!
+//! These exist so that the evaluation (experiments E5/E10) can compare the
+//! incremental SJ-Tree engine against the alternatives the paper positions
+//! itself against, and so correctness of the incremental engine can be
+//! established by equivalence rather than by fiat.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod embedding;
+mod iso;
+mod naive;
+mod repeated;
+mod verify;
+
+pub use embedding::Embedding;
+pub use iso::{find_all_embeddings, SearchOutcome};
+pub use naive::NaiveEdgeExpansion;
+pub use repeated::RepeatedSearchMatcher;
+pub use verify::{verify_assignment, VerifyError};

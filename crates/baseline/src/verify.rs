@@ -1,0 +1,205 @@
+//! Independent verification of match assignments.
+//!
+//! Any engine (incremental or baseline) can have its output checked against
+//! the definition of a windowed subgraph isomorphism. The checker is written
+//! directly from the problem statement of paper §2.1 and deliberately shares
+//! no code with the matchers, so agreement between the two is meaningful.
+
+use streamworks_graph::DynamicGraph;
+use streamworks_graph::EdgeId;
+use streamworks_query::{QueryEdgeId, QueryGraph};
+
+/// Reasons a claimed match can fail verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The assignment does not cover every query edge exactly once.
+    WrongEdgeCount {
+        /// Edges covered by the assignment.
+        got: usize,
+        /// Edges in the query.
+        expected: usize,
+    },
+    /// A referenced data edge is not (or no longer) in the graph.
+    MissingDataEdge(EdgeId),
+    /// A data edge violates its query edge's type or predicate constraints.
+    ConstraintViolation(QueryEdgeId),
+    /// Two query vertices map to the same data vertex, or one query vertex
+    /// maps to two different data vertices.
+    NotInjective,
+    /// The same data edge realises two different query edges.
+    DataEdgeReused(EdgeId),
+    /// The match's time span is not strictly below the query window.
+    OutsideWindow,
+}
+
+/// Verifies that `assignment` — a (query edge → data edge) map covering every
+/// query edge — is a valid windowed isomorphism of `query` in `graph`.
+pub fn verify_assignment(
+    graph: &DynamicGraph,
+    query: &QueryGraph,
+    assignment: &[(QueryEdgeId, EdgeId)],
+) -> Result<(), VerifyError> {
+    if assignment.len() != query.edge_count() {
+        return Err(VerifyError::WrongEdgeCount {
+            got: assignment.len(),
+            expected: query.edge_count(),
+        });
+    }
+    let mut covered = vec![false; query.edge_count()];
+    let mut used_data_edges: Vec<EdgeId> = Vec::with_capacity(assignment.len());
+    let mut vertex_map: Vec<Option<streamworks_graph::VertexId>> =
+        vec![None; query.vertex_count()];
+    let mut earliest = i64::MAX;
+    let mut latest = i64::MIN;
+
+    for &(qe, de) in assignment {
+        if covered[qe.0] {
+            return Err(VerifyError::WrongEdgeCount {
+                got: assignment.len(),
+                expected: query.edge_count(),
+            });
+        }
+        covered[qe.0] = true;
+        let Some(edge) = graph.edge(de) else {
+            return Err(VerifyError::MissingDataEdge(de));
+        };
+        if used_data_edges.contains(&de) {
+            return Err(VerifyError::DataEdgeReused(de));
+        }
+        used_data_edges.push(de);
+
+        let q = query.edge(qe);
+        // Edge type.
+        if let Some(name) = q.etype.as_deref() {
+            if graph.edge_type_name(edge.etype) != Some(name) {
+                return Err(VerifyError::ConstraintViolation(qe));
+            }
+        }
+        // Edge predicates.
+        if !q.predicates.iter().all(|p| p.matches(&edge.attrs)) {
+            return Err(VerifyError::ConstraintViolation(qe));
+        }
+        // Endpoints: types, predicates and binding consistency.
+        for (qv, dv) in [(q.src, edge.src), (q.dst, edge.dst)] {
+            let Some(vertex) = graph.vertex(dv) else {
+                return Err(VerifyError::ConstraintViolation(qe));
+            };
+            let qvert = query.vertex(qv);
+            if let Some(name) = qvert.vtype.as_deref() {
+                if graph.vertex_type_name(vertex.vtype) != Some(name) {
+                    return Err(VerifyError::ConstraintViolation(qe));
+                }
+            }
+            if !qvert.predicates.iter().all(|p| p.matches(&vertex.attrs)) {
+                return Err(VerifyError::ConstraintViolation(qe));
+            }
+            match vertex_map[qv.0] {
+                Some(existing) if existing != dv => return Err(VerifyError::NotInjective),
+                _ => vertex_map[qv.0] = Some(dv),
+            }
+        }
+        earliest = earliest.min(edge.timestamp.as_micros());
+        latest = latest.max(edge.timestamp.as_micros());
+    }
+
+    // Injectivity across distinct query vertices.
+    let mut bound: Vec<_> = vertex_map.iter().flatten().collect();
+    bound.sort();
+    let before = bound.len();
+    bound.dedup();
+    if bound.len() != before {
+        return Err(VerifyError::NotInjective);
+    }
+
+    if latest - earliest >= query.window().as_micros() {
+        return Err(VerifyError::OutsideWindow);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamworks_graph::{Duration, EdgeEvent, Timestamp};
+    use streamworks_query::QueryGraphBuilder;
+
+    fn setup() -> (DynamicGraph, QueryGraph, Vec<(QueryEdgeId, EdgeId)>) {
+        let mut g = DynamicGraph::unbounded();
+        let e0 = g
+            .ingest(&EdgeEvent::new("a1", "Article", "k1", "Keyword", "mentions", Timestamp::from_secs(1)))
+            .edge;
+        let e1 = g
+            .ingest(&EdgeEvent::new("a2", "Article", "k1", "Keyword", "mentions", Timestamp::from_secs(2)))
+            .edge;
+        let q = QueryGraphBuilder::new("pair")
+            .window(Duration::from_hours(1))
+            .vertex("a1", "Article")
+            .vertex("a2", "Article")
+            .vertex("k", "Keyword")
+            .edge("a1", "mentions", "k")
+            .edge("a2", "mentions", "k")
+            .build()
+            .unwrap();
+        let assignment = vec![(QueryEdgeId(0), e0), (QueryEdgeId(1), e1)];
+        (g, q, assignment)
+    }
+
+    #[test]
+    fn valid_assignment_verifies() {
+        let (g, q, a) = setup();
+        assert_eq!(verify_assignment(&g, &q, &a), Ok(()));
+    }
+
+    #[test]
+    fn incomplete_assignment_fails() {
+        let (g, q, a) = setup();
+        assert!(matches!(
+            verify_assignment(&g, &q, &a[..1]),
+            Err(VerifyError::WrongEdgeCount { got: 1, expected: 2 })
+        ));
+    }
+
+    #[test]
+    fn reused_data_edge_fails() {
+        let (g, q, a) = setup();
+        let bad = vec![(QueryEdgeId(0), a[0].1), (QueryEdgeId(1), a[0].1)];
+        assert!(matches!(
+            verify_assignment(&g, &q, &bad),
+            Err(VerifyError::DataEdgeReused(_)) | Err(VerifyError::NotInjective)
+        ));
+    }
+
+    #[test]
+    fn missing_edge_fails() {
+        let (g, q, a) = setup();
+        let bad = vec![(QueryEdgeId(0), a[0].1), (QueryEdgeId(1), EdgeId(999))];
+        assert!(matches!(
+            verify_assignment(&g, &q, &bad),
+            Err(VerifyError::MissingDataEdge(_))
+        ));
+    }
+
+    #[test]
+    fn window_violation_fails() {
+        let (g, mut q, a) = setup();
+        q.set_window(Duration::from_secs(1));
+        assert_eq!(verify_assignment(&g, &q, &a), Err(VerifyError::OutsideWindow));
+    }
+
+    #[test]
+    fn constraint_violation_fails() {
+        let (mut g, q, _) = setup();
+        // A "located" edge cannot realise a "mentions" query edge.
+        let e0 = g
+            .ingest(&EdgeEvent::new("a1", "Article", "l1", "Location", "located", Timestamp::from_secs(3)))
+            .edge;
+        let e1 = g
+            .ingest(&EdgeEvent::new("a2", "Article", "k1", "Keyword", "mentions", Timestamp::from_secs(4)))
+            .edge;
+        let bad = vec![(QueryEdgeId(0), e0), (QueryEdgeId(1), e1)];
+        assert!(matches!(
+            verify_assignment(&g, &q, &bad),
+            Err(VerifyError::ConstraintViolation(_))
+        ));
+    }
+}

@@ -1,0 +1,50 @@
+//! Experiment E2: attack detection on the synthetic traffic stream (paper
+//! §5.1 / Fig. 3) — end-to-end cost of running the three cyber queries over
+//! background traffic with injected attacks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use streamworks_bench::{cyber_preset, PresetSize};
+use streamworks_core::{ContinuousQueryEngine, EngineConfig};
+use streamworks_graph::Duration;
+use streamworks_workloads::queries::{port_scan_query, smurf_ddos_query, worm_spread_query};
+use streamworks_workloads::CyberTrafficGenerator;
+
+fn bench_cyber_detection(c: &mut Criterion) {
+    let workload = CyberTrafficGenerator::new(cyber_preset(PresetSize::Small)).generate();
+
+    let mut group = c.benchmark_group("cyber_detection");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(workload.events.len() as u64));
+
+    for &queries in &[1usize, 3] {
+        group.bench_with_input(
+            BenchmarkId::new("registered_queries", queries),
+            &queries,
+            |b, &queries| {
+                b.iter(|| {
+                    let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
+                    engine
+                        .register_query(smurf_ddos_query(4, Duration::from_mins(5)))
+                        .unwrap();
+                    if queries >= 3 {
+                        engine
+                            .register_query(port_scan_query(6, Duration::from_mins(1)))
+                            .unwrap();
+                        engine
+                            .register_query(worm_spread_query(2, Duration::from_mins(10)))
+                            .unwrap();
+                    }
+                    let mut matches = 0u64;
+                    for ev in &workload.events {
+                        matches += engine.process(ev).len() as u64;
+                    }
+                    matches
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cyber_detection);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the dynamic graph substrate: ingest throughput with and
+//! without retention, neighbourhood iteration and snapshot candidate scans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use streamworks_bench::{cyber_preset, PresetSize};
+use streamworks_graph::{Direction, Duration, DynamicGraph, GraphConfig, GraphSnapshot};
+use streamworks_workloads::CyberTrafficGenerator;
+
+fn bench_ingest(c: &mut Criterion) {
+    let workload = CyberTrafficGenerator::new(cyber_preset(PresetSize::Small)).generate();
+    let mut group = c.benchmark_group("graph_ingest");
+    group.throughput(Throughput::Elements(workload.events.len() as u64));
+
+    group.bench_function("unbounded", |b| {
+        b.iter(|| {
+            let mut g = DynamicGraph::unbounded();
+            for ev in &workload.events {
+                g.ingest(ev);
+            }
+            g.live_edge_count()
+        })
+    });
+    group.bench_function("retention_60s", |b| {
+        b.iter(|| {
+            let mut g = DynamicGraph::new(GraphConfig::with_retention(Duration::from_secs(60)));
+            for ev in &workload.events {
+                g.ingest(ev);
+            }
+            g.live_edge_count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_neighborhood(c: &mut Criterion) {
+    let workload = CyberTrafficGenerator::new(cyber_preset(PresetSize::Small)).generate();
+    let mut g = DynamicGraph::unbounded();
+    for ev in &workload.events {
+        g.ingest(ev);
+    }
+    let flow = g.edge_type_id("flow").unwrap();
+    let hubs: Vec<_> = g
+        .vertices()
+        .filter(|v| v.degree() > 8)
+        .map(|v| v.id)
+        .take(64)
+        .collect();
+
+    let mut group = c.benchmark_group("graph_neighborhood");
+    group.bench_function("typed_out_neighbors", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for &v in &hubs {
+                count += g.neighbors(v, Direction::Out, flow).count();
+            }
+            count
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("snapshot_edges_with_type", "flow"),
+        &flow,
+        |b, &t| {
+            let snap = GraphSnapshot::new(&g);
+            b.iter(|| snap.edges_with_type(t).count())
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_neighborhood);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Experiment E5: incremental SJ-Tree matching vs. the repeated-search and
+//! naive edge-expansion baselines on the same stream and query.
+//!
+//! The paper's core claim is that maintaining partial matches in the SJ-Tree
+//! makes per-edge work far cheaper than re-searching. The expected shape is:
+//! incremental >> naive expansion >> repeated search in throughput, with the
+//! gap widening as the stream grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use streamworks_baseline::{NaiveEdgeExpansion, RepeatedSearchMatcher};
+use streamworks_core::{ContinuousQueryEngine, EngineConfig};
+use streamworks_graph::{Duration, DynamicGraph, EdgeEvent};
+use streamworks_workloads::queries::labelled_news_query;
+use streamworks_workloads::{NewsConfig, NewsStreamGenerator};
+
+fn news_events(articles: usize) -> Vec<EdgeEvent> {
+    NewsStreamGenerator::new(NewsConfig {
+        articles,
+        planted_events: vec![("politics".into(), 3)],
+        ..Default::default()
+    })
+    .generate()
+    .events
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let query = labelled_news_query("politics", Duration::from_mins(30));
+    let mut group = c.benchmark_group("incremental_vs_baseline");
+    group.sample_size(10);
+
+    for &articles in &[200usize, 600, 1_200] {
+        let events = news_events(articles);
+        group.throughput(Throughput::Elements(events.len() as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("incremental_sjtree", articles),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
+                    engine.register_query(query.clone()).unwrap();
+                    let mut matches = 0u64;
+                    for ev in events {
+                        matches += engine.process(ev).len() as u64;
+                    }
+                    matches
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("naive_expansion", articles),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let mut graph = DynamicGraph::unbounded();
+                    let mut matcher = NaiveEdgeExpansion::new(query.clone());
+                    let mut matches = 0u64;
+                    for ev in events {
+                        let r = graph.ingest(ev);
+                        let edge = graph.edge(r.edge).unwrap().clone();
+                        matches += matcher.process_edge(&graph, &edge).len() as u64;
+                    }
+                    matches
+                })
+            },
+        );
+
+        // Repeated search is orders of magnitude slower; only run it at the
+        // smallest size to keep the bench finite.
+        if articles <= 200 {
+            group.bench_with_input(
+                BenchmarkId::new("repeated_search", articles),
+                &events,
+                |b, events| {
+                    b.iter(|| {
+                        let mut graph = DynamicGraph::unbounded();
+                        let mut matcher = RepeatedSearchMatcher::new(query.clone());
+                        let mut matches = 0u64;
+                        for ev in events {
+                            graph.ingest(ev);
+                            matches += matcher.process_update(&graph).len() as u64;
+                        }
+                        matches
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matchers);
+criterion_main!(benches);

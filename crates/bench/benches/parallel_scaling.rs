@@ -1,0 +1,65 @@
+//! Experiment E11: multi-query scaling across worker threads.
+//!
+//! The paper's demo ran on a 48-core shared-memory node (§6.1). The
+//! reproduction's unit of parallelism is the registered query: the
+//! `ParallelRunner` shards queries across threads, each with its own graph and
+//! summaries. This bench measures how the wall-clock time of replaying the
+//! same cyber stream through 8 registered queries changes with 1, 2, 4 and 8
+//! workers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use streamworks_core::{EngineConfig, ParallelRunner};
+use streamworks_graph::Duration;
+use streamworks_workloads::queries::{port_scan_query, smurf_ddos_query, worm_spread_query};
+use streamworks_workloads::{AttackKind, CyberConfig, CyberTrafficGenerator};
+
+fn bench_parallel(c: &mut Criterion) {
+    let workload = CyberTrafficGenerator::new(CyberConfig {
+        hosts: 400,
+        background_edges: 15_000,
+        attacks: vec![
+            (AttackKind::SmurfDdos, 5),
+            (AttackKind::PortScan, 8),
+            (AttackKind::WormSpread, 4),
+        ],
+        ..Default::default()
+    })
+    .generate();
+
+    // Eight queries: the three Fig. 3 patterns at several parameterisations.
+    let window = Duration::from_mins(5);
+    let queries = vec![
+        smurf_ddos_query(3, window),
+        smurf_ddos_query(5, window),
+        port_scan_query(6, window),
+        port_scan_query(8, window),
+        worm_spread_query(2, window),
+        worm_spread_query(4, window),
+        smurf_ddos_query(4, window),
+        port_scan_query(10, window),
+    ];
+
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(workload.events.len() as u64));
+    for &workers in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let mut runner = ParallelRunner::new(EngineConfig::fast_ingest(), workers);
+                    for q in &queries {
+                        runner.register_query(q.clone());
+                    }
+                    let outcome = runner.run(&workload.events).unwrap();
+                    outcome.events.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Experiments E4/E7: the same query executed under different SJ-Tree plans
+//! (selectivity-ordered vs. frequency-blind vs. balanced), as in paper Fig. 7
+//! and the §4.1 design goal of pushing selective primitives to the bottom.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use streamworks_core::{ContinuousQueryEngine, EngineConfig};
+use streamworks_graph::Duration;
+use streamworks_query::{
+    BalancedPairs, CostBasedOrdered, DecompositionStrategy, LeftDeepEdgeChain, Planner,
+    SelectivityOrdered, TreeShapeKind, TriadWedges,
+};
+use streamworks_workloads::queries::news_triple_query;
+use streamworks_workloads::{NewsConfig, NewsStreamGenerator};
+
+fn bench_plans(c: &mut Criterion) {
+    let workload = NewsStreamGenerator::new(NewsConfig {
+        articles: 500,
+        planted_events: vec![("politics".into(), 3)],
+        ..Default::default()
+    })
+    .generate();
+    let query = news_triple_query(Duration::from_mins(10));
+
+    // Statistics learned from a warm-up pass drive the informed plan.
+    let mut warm = ContinuousQueryEngine::with_defaults();
+    for ev in &workload.events {
+        warm.process(ev);
+    }
+
+    let strategies: Vec<(&str, Box<dyn DecompositionStrategy>)> = vec![
+        ("selectivity_pairs", Box::new(SelectivityOrdered::default())),
+        (
+            "selectivity_single",
+            Box::new(SelectivityOrdered { max_primitive_size: 1 }),
+        ),
+        ("blind_edge_chain", Box::new(LeftDeepEdgeChain)),
+        ("balanced_pairs", Box::new(BalancedPairs)),
+        ("cost_based", Box::new(CostBasedOrdered::default())),
+        ("triad_wedges", Box::new(TriadWedges::default())),
+    ];
+
+    let mut group = c.benchmark_group("plan_comparison");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(workload.events.len() as u64));
+    for (name, strategy) in &strategies {
+        let plan = Planner::new()
+            .with_statistics(warm.summary(), warm.graph())
+            .tree_kind(TreeShapeKind::LeftDeep)
+            .plan_with(query.clone(), strategy.as_ref())
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("plan", name), &plan, |b, plan| {
+            b.iter(|| {
+                let mut engine = ContinuousQueryEngine::new(EngineConfig {
+                    max_matches_per_node: Some(1_000_000),
+                    ..Default::default()
+                });
+                let id = engine.register_plan(plan.clone());
+                for ev in &workload.events {
+                    engine.process(ev);
+                }
+                engine.metrics(id).unwrap().complete_matches
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plans);
+criterion_main!(benches);

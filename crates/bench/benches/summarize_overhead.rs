@@ -1,0 +1,72 @@
+//! Experiment E8: per-edge cost of streaming summarization (paper §4.3) —
+//! degree/type statistics only vs. full summaries including the typed-triad
+//! distribution, compared against ingesting with no summaries at all.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use streamworks_bench::{cyber_preset, PresetSize};
+use streamworks_graph::DynamicGraph;
+use streamworks_summarize::{GraphSummary, SummaryConfig, TriadConfig};
+use streamworks_workloads::CyberTrafficGenerator;
+
+fn bench_summaries(c: &mut Criterion) {
+    let workload = CyberTrafficGenerator::new(cyber_preset(PresetSize::Small)).generate();
+    let mut group = c.benchmark_group("summarize_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(workload.events.len() as u64));
+
+    group.bench_function("graph_only", |b| {
+        b.iter(|| {
+            let mut g = DynamicGraph::unbounded();
+            for ev in &workload.events {
+                g.ingest(ev);
+            }
+            g.live_edge_count()
+        })
+    });
+
+    group.bench_function("degree_and_types", |b| {
+        b.iter(|| {
+            let mut g = DynamicGraph::unbounded();
+            let mut s = GraphSummary::with_config(SummaryConfig::cheap());
+            for ev in &workload.events {
+                let r = g.ingest(ev);
+                let edge = g.edge(r.edge).unwrap().clone();
+                s.observe_insertion(&g, &edge);
+            }
+            s.edges_observed()
+        })
+    });
+
+    group.bench_function("full_with_triads", |b| {
+        b.iter(|| {
+            let mut g = DynamicGraph::unbounded();
+            let mut s = GraphSummary::with_config(SummaryConfig::full());
+            for ev in &workload.events {
+                let r = g.ingest(ev);
+                let edge = g.edge(r.edge).unwrap().clone();
+                s.observe_insertion(&g, &edge);
+            }
+            s.edges_observed()
+        })
+    });
+
+    group.bench_function("full_with_small_triad_cap", |b| {
+        b.iter(|| {
+            let mut g = DynamicGraph::unbounded();
+            let mut s = GraphSummary::with_config(SummaryConfig {
+                triads: TriadConfig { neighbor_cap: 8 },
+                track_triads: true,
+            });
+            for ev in &workload.events {
+                let r = g.ingest(ev);
+                let edge = g.edge(r.edge).unwrap().clone();
+                s.observe_insertion(&g, &edge);
+            }
+            s.edges_observed()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_summaries);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Experiment E6 (bench component): effect of the query window `tW` on
+//! end-to-end cost. Larger windows retain more edges and more partial matches,
+//! so per-edge cost and match counts grow with the window.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use streamworks_core::{ContinuousQueryEngine, EngineConfig};
+use streamworks_graph::Duration;
+use streamworks_workloads::queries::labelled_news_query;
+use streamworks_workloads::{NewsConfig, NewsStreamGenerator};
+
+fn bench_window_sweep(c: &mut Criterion) {
+    let workload = NewsStreamGenerator::new(NewsConfig {
+        articles: 1_500,
+        planted_events: vec![("politics".into(), 3)],
+        ..Default::default()
+    })
+    .generate();
+
+    let mut group = c.benchmark_group("window_expiry");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(workload.events.len() as u64));
+
+    for &window_mins in &[1i64, 10, 60, 360] {
+        let query = labelled_news_query("politics", Duration::from_mins(window_mins));
+        group.bench_with_input(
+            BenchmarkId::new("window_minutes", window_mins),
+            &query,
+            |b, query| {
+                b.iter(|| {
+                    let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
+                    engine.register_query(query.clone()).unwrap();
+                    let mut matches = 0u64;
+                    for ev in &workload.events {
+                        matches += engine.process(ev).len() as u64;
+                    }
+                    matches
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_window_sweep);
+criterion_main!(benches);

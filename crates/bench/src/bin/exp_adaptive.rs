@@ -1,0 +1,131 @@
+//! Experiment E14: adaptive re-planning under statistics drift (§4.3 future
+//! work). Runs the Fig. 2 news query registered with a frequency-blind plan,
+//! streams two phases of skewed traffic with an `AdaptiveReplanner` checking
+//! between them, and reports the per-phase matching effort under the initial
+//! plan, the adaptively chosen plan, and — for reference — an engine that was
+//! given the statistics-driven plan from the start.
+//!
+//! ```text
+//! cargo run --release -p streamworks-bench --bin exp_adaptive [-- small|medium|large]
+//! ```
+
+use streamworks_bench::{measure, PresetSize, Table};
+use streamworks_core::{
+    AdaptiveConfig, AdaptiveReplanner, ContinuousQueryEngine, EngineConfig, QueryId,
+};
+use streamworks_graph::{Duration, EdgeEvent};
+use streamworks_query::{CostBasedOrdered, LeftDeepEdgeChain, TreeShapeKind};
+use streamworks_workloads::queries::news_triple_query;
+use streamworks_workloads::{NewsConfig, NewsStreamGenerator};
+
+fn phase(seed: u64, articles: usize) -> Vec<EdgeEvent> {
+    NewsStreamGenerator::new(NewsConfig {
+        articles,
+        planted_events: vec![("politics".into(), 3)],
+        seed,
+        ..Default::default()
+    })
+    .generate()
+    .events
+}
+
+fn run_phase(
+    engine: &mut ContinuousQueryEngine,
+    id: QueryId,
+    events: &[EdgeEvent],
+    label: &str,
+    plan: &str,
+    table: &mut Table,
+) {
+    let inserted_before = engine.metrics(id).unwrap().partial_matches_inserted;
+    let joins_before = engine.metrics(id).unwrap().joins_attempted;
+    let run = measure(events.len(), || {
+        let mut matches = 0u64;
+        for ev in events {
+            matches += engine.process(ev).len() as u64;
+        }
+        matches
+    });
+    let m = engine.metrics(id).unwrap();
+    table.row(&[
+        label.to_string(),
+        plan.to_string(),
+        format!("{:.0}", run.throughput()),
+        run.matches.to_string(),
+        (m.partial_matches_inserted - inserted_before).to_string(),
+        (m.joins_attempted - joins_before).to_string(),
+    ]);
+}
+
+fn main() {
+    let size = PresetSize::parse(&std::env::args().nth(1).unwrap_or_else(|| "small".into()));
+    let articles = match size {
+        PresetSize::Small => 2_000,
+        PresetSize::Medium => 8_000,
+        PresetSize::Large => 20_000,
+    };
+    let phase1 = phase(11, articles);
+    let phase2 = phase(12, articles);
+    let query = news_triple_query(Duration::from_mins(30));
+    let config = EngineConfig {
+        max_matches_per_node: Some(1_000_000),
+        ..EngineConfig::default()
+    };
+
+    println!(
+        "# E14: adaptive re-planning (news triple query, 2 phases x {} articles)",
+        articles
+    );
+    let mut table = Table::new(&[
+        "engine",
+        "plan in effect",
+        "edges/s",
+        "matches",
+        "partial_inserted",
+        "joins",
+    ]);
+
+    // (a) Blind plan, never re-planned.
+    let mut blind = ContinuousQueryEngine::new(config);
+    let blind_id = blind
+        .register_query_with(query.clone(), &LeftDeepEdgeChain, TreeShapeKind::LeftDeep)
+        .unwrap();
+    run_phase(&mut blind, blind_id, &phase1, "static-blind", "blind-edge-chain", &mut table);
+    run_phase(&mut blind, blind_id, &phase2, "static-blind", "blind-edge-chain", &mut table);
+
+    // (b) Blind plan + adaptive replanner checked between the phases.
+    let mut adaptive = ContinuousQueryEngine::new(config);
+    let adaptive_id = adaptive
+        .register_query_with(query.clone(), &LeftDeepEdgeChain, TreeShapeKind::LeftDeep)
+        .unwrap();
+    let mut replanner = AdaptiveReplanner::new(AdaptiveConfig {
+        min_edges_between_replans: 1_000,
+        drift_threshold: 0.05,
+        min_improvement: 1.1,
+        ..AdaptiveConfig::default()
+    });
+    replanner.check(&mut adaptive);
+    run_phase(&mut adaptive, adaptive_id, &phase1, "adaptive", "blind-edge-chain", &mut table);
+    let decisions = replanner.check(&mut adaptive);
+    let plan_after = adaptive.plan(adaptive_id).unwrap().strategy.clone();
+    run_phase(&mut adaptive, adaptive_id, &phase2, "adaptive", &plan_after, &mut table);
+
+    // (c) Statistics-driven plan from the start (upper bound for phase 2).
+    let mut informed = ContinuousQueryEngine::new(config);
+    // Warm statistics so the informed plan actually has something to use.
+    for ev in &phase1 {
+        informed.process(ev);
+    }
+    let informed_id = informed
+        .register_query_with(query, &CostBasedOrdered::default(), TreeShapeKind::LeftDeep)
+        .unwrap();
+    run_phase(&mut informed, informed_id, &phase2, "informed-from-start", "cost-based", &mut table);
+
+    println!("{}", table.render());
+    for d in &decisions {
+        println!(
+            "replan decision: query={} drift={:.3} current_cost={:.1} candidate_cost={:.1} replanned={} ({})",
+            d.query.0, d.drift, d.current_cost, d.candidate_cost, d.replanned, d.reason
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Experiment E8: cost and accuracy of streaming summarization (paper §4.3).
+//!
+//! Reports (a) the per-edge overhead of maintaining degree/type statistics and
+//! the typed-triad distribution relative to bare graph ingest, and (b) the
+//! accuracy of the capped streaming triad estimate against an exact rebuild.
+//!
+//! ```text
+//! cargo run --release -p streamworks-bench --bin exp_summaries [-- small|medium|large]
+//! ```
+
+use streamworks_bench::{cyber_preset, measure, PresetSize, Table};
+use streamworks_graph::DynamicGraph;
+use streamworks_summarize::{GraphSummary, SummaryConfig, TriadConfig, TriadDistribution};
+use streamworks_workloads::CyberTrafficGenerator;
+
+fn main() {
+    let size = PresetSize::parse(&std::env::args().nth(1).unwrap_or_else(|| "small".into()));
+    let workload = CyberTrafficGenerator::new(cyber_preset(size)).generate();
+    println!(
+        "# E8: summarization overhead and accuracy ({} events)",
+        workload.events.len()
+    );
+
+    // ---- overhead ----
+    let mut table = Table::new(&["configuration", "edges/s", "us/edge", "relative_cost"]);
+    let mut baseline_rate = 0.0f64;
+    for (name, config) in [
+        ("graph-only", None),
+        ("degree+types", Some(SummaryConfig::cheap())),
+        ("full (triad cap 64)", Some(SummaryConfig::full())),
+        (
+            "full (triad cap 8)",
+            Some(SummaryConfig {
+                triads: TriadConfig { neighbor_cap: 8 },
+                track_triads: true,
+            }),
+        ),
+    ] {
+        let run = measure(workload.events.len(), || {
+            let mut g = DynamicGraph::unbounded();
+            let mut s = config.map(GraphSummary::with_config);
+            for ev in &workload.events {
+                let r = g.ingest(ev);
+                if let Some(s) = s.as_mut() {
+                    let edge = g.edge(r.edge).unwrap().clone();
+                    s.observe_insertion(&g, &edge);
+                }
+            }
+            g.live_edge_count() as u64
+        });
+        if name == "graph-only" {
+            baseline_rate = run.throughput();
+        }
+        table.row(&[
+            name.to_string(),
+            format!("{:.0}", run.throughput()),
+            format!("{:.2}", run.mean_latency_us()),
+            format!("{:.2}x", baseline_rate / run.throughput().max(1.0)),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // ---- triad accuracy ----
+    let mut g = DynamicGraph::unbounded();
+    let mut capped = TriadDistribution::with_config(TriadConfig { neighbor_cap: 16 });
+    let sample: Vec<_> = workload.events.iter().take(20_000).collect();
+    for ev in &sample {
+        let r = g.ingest(ev);
+        let edge = g.edge(r.edge).unwrap().clone();
+        capped.observe_edge(&g, &edge);
+    }
+    let exact = TriadDistribution::rebuild_exact(&g);
+    let mut acc = Table::new(&["metric", "exact", "streaming(cap=16)", "ratio"]);
+    acc.row(&[
+        "total wedges".into(),
+        format!("{:.0}", exact.total_wedges()),
+        format!("{:.0}", capped.total_wedges()),
+        format!("{:.2}", capped.total_wedges() / exact.total_wedges().max(1.0)),
+    ]);
+    // Top-5 wedge signatures by exact count: streaming estimate vs truth.
+    let mut top: Vec<_> = exact.wedges().collect();
+    top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (key, count) in top.into_iter().take(5) {
+        acc.row(&[
+            format!("{key:?}"),
+            format!("{count:.0}"),
+            format!("{:.0}", capped.wedge_count(key)),
+            format!("{:.2}", capped.wedge_count(key) / count.max(1.0)),
+        ]);
+    }
+    println!("{}", acc.render());
+}

@@ -1,0 +1,106 @@
+//! Experiment E5: throughput and per-edge latency of the incremental SJ-Tree
+//! engine vs. the naive-expansion and repeated-search baselines as the stream
+//! grows.
+//!
+//! ```text
+//! cargo run --release -p streamworks-bench --bin exp_throughput [-- small|medium|large]
+//! ```
+
+use streamworks_baseline::{NaiveEdgeExpansion, RepeatedSearchMatcher};
+use streamworks_bench::{measure, Table};
+use streamworks_core::{ContinuousQueryEngine, EngineConfig};
+use streamworks_graph::{Duration, DynamicGraph};
+use streamworks_workloads::queries::labelled_news_query;
+use streamworks_workloads::{NewsConfig, NewsStreamGenerator};
+
+fn main() {
+    let size = std::env::args().nth(1).unwrap_or_else(|| "small".into());
+    let article_counts: Vec<usize> = match size.as_str() {
+        "large" => vec![1_000, 5_000, 20_000, 50_000],
+        "medium" => vec![500, 2_000, 8_000, 20_000],
+        _ => vec![200, 800, 2_000, 5_000],
+    };
+    let query = labelled_news_query("politics", Duration::from_mins(30));
+
+    println!("# E5: incremental vs. baselines (news stream, labelled pair query)");
+    let mut table = Table::new(&[
+        "articles",
+        "edges",
+        "engine",
+        "edges/s",
+        "us/edge",
+        "matches",
+    ]);
+    for &articles in &article_counts {
+        let workload = NewsStreamGenerator::new(NewsConfig {
+            articles,
+            planted_events: vec![("politics".into(), 3)],
+            ..Default::default()
+        })
+        .generate();
+        let events = &workload.events;
+
+        // Incremental SJ-Tree engine.
+        let run = measure(events.len(), || {
+            let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
+            engine.register_query(query.clone()).unwrap();
+            let mut matches = 0u64;
+            for ev in events {
+                matches += engine.process(ev).len() as u64;
+            }
+            matches
+        });
+        table.row(&[
+            articles.to_string(),
+            events.len().to_string(),
+            "incremental-sjtree".into(),
+            format!("{:.0}", run.throughput()),
+            format!("{:.1}", run.mean_latency_us()),
+            run.matches.to_string(),
+        ]);
+
+        // Naive per-edge expansion.
+        let run = measure(events.len(), || {
+            let mut graph = DynamicGraph::unbounded();
+            let mut matcher = NaiveEdgeExpansion::new(query.clone());
+            let mut matches = 0u64;
+            for ev in events {
+                let r = graph.ingest(ev);
+                let edge = graph.edge(r.edge).unwrap().clone();
+                matches += matcher.process_edge(&graph, &edge).len() as u64;
+            }
+            matches
+        });
+        table.row(&[
+            articles.to_string(),
+            events.len().to_string(),
+            "naive-expansion".into(),
+            format!("{:.0}", run.throughput()),
+            format!("{:.1}", run.mean_latency_us()),
+            run.matches.to_string(),
+        ]);
+
+        // Repeated full search only at the smallest two sizes (quadratic+ cost).
+        if articles <= article_counts[1] {
+            let run = measure(events.len(), || {
+                let mut graph = DynamicGraph::unbounded();
+                let mut matcher = RepeatedSearchMatcher::new(query.clone());
+                let mut matches = 0u64;
+                for ev in events {
+                    graph.ingest(ev);
+                    matches += matcher.process_update(&graph).len() as u64;
+                }
+                matches
+            });
+            table.row(&[
+                articles.to_string(),
+                events.len().to_string(),
+                "repeated-search".into(),
+                format!("{:.0}", run.throughput()),
+                format!("{:.1}", run.mean_latency_us()),
+                run.matches.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}

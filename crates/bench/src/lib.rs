@@ -1,0 +1,18 @@
+//! # streamworks-bench
+//!
+//! Shared harness utilities for the StreamWorks evaluation: workload presets,
+//! timing helpers and plain-text table printing used by both the Criterion
+//! benches (`benches/`) and the experiment binaries (`src/bin/exp_*.rs`).
+//!
+//! Each experiment binary regenerates one row of the experiment index in
+//! `DESIGN.md` / `EXPERIMENTS.md` and prints a CSV-like table to stdout so the
+//! results can be diffed across runs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod harness;
+pub mod presets;
+
+pub use harness::{measure, MeasuredRun, Table};
+pub use presets::{cyber_preset, news_preset, random_preset, PresetSize};

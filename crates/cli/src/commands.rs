@@ -1,0 +1,479 @@
+//! The CLI subcommands.
+//!
+//! Every command is a plain function from parsed [`Options`] to the text it
+//! would print, so the behaviour is unit-testable without spawning processes;
+//! `main` only dispatches and prints.
+
+use std::fmt;
+use std::path::Path;
+
+use crate::options::{OptionError, Options};
+use streamworks_core::{ContinuousQueryEngine, EngineConfig, MatchEvent};
+use streamworks_query::{
+    estimate_shape_cost, BalancedPairs, CostBasedOrdered, DecompositionStrategy,
+    LeftDeepEdgeChain, Planner, QueryError, QueryGraph, SelectivityEstimator, SelectivityOrdered,
+    TreeShapeKind, TriadWedges,
+};
+use streamworks_report::{
+    query_graph_to_dot, sjtree_to_dot, summary_report, EventTable, EventTableSpec, Table,
+};
+use streamworks_workloads::{
+    read_trace_file, write_trace_file, CyberConfig, CyberTrafficGenerator, NewsConfig,
+    NewsStreamGenerator, RandomConfig, TraceError,
+};
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Unknown or missing subcommand.
+    Usage(String),
+    /// Option parsing / validation failed.
+    Options(OptionError),
+    /// A query file could not be parsed.
+    Query(QueryError),
+    /// A trace could not be read or written.
+    Trace(TraceError),
+    /// Filesystem access failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Options(e) => write!(f, "{e}"),
+            CliError::Query(e) => write!(f, "query error: {e}"),
+            CliError::Trace(e) => write!(f, "trace error: {e}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<OptionError> for CliError {
+    fn from(e: OptionError) -> Self {
+        CliError::Options(e)
+    }
+}
+impl From<QueryError> for CliError {
+    fn from(e: QueryError) -> Self {
+        CliError::Query(e)
+    }
+}
+impl From<TraceError> for CliError {
+    fn from(e: TraceError) -> Self {
+        CliError::Trace(e)
+    }
+}
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Usage text shown for `--help`, no arguments or unknown subcommands.
+pub fn usage() -> String {
+    "\
+streamworks-cli — continuous graph-pattern search over dynamic graphs
+
+USAGE:
+  streamworks-cli <command> [options]
+
+COMMANDS:
+  generate   --kind cyber|news|random --out <trace.jsonl> [--edges N] [--seed N]
+             Generate a synthetic edge trace (JSON lines).
+  plan       --query <q.swq> [--trace <trace.jsonl>] [--strategy <name>]
+             [--tree left-deep|balanced] [--dot-query <f>] [--dot-tree <f>]
+             Parse a DSL query, plan it (optionally against trace statistics)
+             and print the SJ-Tree plan with its cost estimate.
+  run        --query <q.swq> [--query <q2.swq> ...] --trace <trace.jsonl>
+             [--strategy <name>] [--limit N] [--csv <out.csv>] [--jsonl <out>]
+             Register the queries and replay the trace, printing the event
+             table and per-query metrics.
+  summarize  --trace <trace.jsonl> [--triads N]
+             Ingest the trace and print the graph statistics report.
+
+STRATEGIES: selectivity (default), cost, triads, blind, balanced-pairs
+"
+    .to_owned()
+}
+
+fn strategy_by_name(name: &str) -> Result<Box<dyn DecompositionStrategy>, CliError> {
+    match name {
+        "selectivity" | "selectivity-ordered" => Ok(Box::new(SelectivityOrdered::default())),
+        "cost" | "cost-based" => Ok(Box::new(CostBasedOrdered::default())),
+        "triads" | "triad-wedges" => Ok(Box::new(TriadWedges::default())),
+        "blind" | "edge-chain" | "left-deep-edge-chain" => Ok(Box::new(LeftDeepEdgeChain)),
+        "balanced-pairs" => Ok(Box::new(BalancedPairs)),
+        other => Err(CliError::Usage(format!(
+            "unknown strategy `{other}` (expected selectivity, cost, triads, blind or balanced-pairs)"
+        ))),
+    }
+}
+
+fn tree_kind_by_name(name: &str) -> Result<TreeShapeKind, CliError> {
+    match name {
+        "left-deep" | "leftdeep" => Ok(TreeShapeKind::LeftDeep),
+        "balanced" => Ok(TreeShapeKind::Balanced),
+        other => Err(CliError::Usage(format!(
+            "unknown tree shape `{other}` (expected left-deep or balanced)"
+        ))),
+    }
+}
+
+fn load_query(path: &str) -> Result<QueryGraph, CliError> {
+    let text = std::fs::read_to_string(Path::new(path))?;
+    Ok(streamworks_query::parse_query(&text)?)
+}
+
+/// Ingests a trace into a fresh engine (no queries registered) so its summary
+/// and type interner can back statistics-driven planning.
+fn engine_from_trace(path: &str) -> Result<ContinuousQueryEngine, CliError> {
+    let events = read_trace_file(path)?;
+    let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
+    for ev in &events {
+        engine.process(ev);
+    }
+    Ok(engine)
+}
+
+// ---------------------------------------------------------------------------
+// generate
+// ---------------------------------------------------------------------------
+
+/// `generate`: write a synthetic trace.
+pub fn cmd_generate(opts: &Options) -> Result<String, CliError> {
+    let kind = opts.value("kind").unwrap_or("cyber");
+    let out = opts.require("out")?;
+    let edges: usize = opts.parse_or("edges", 20_000)?;
+    let seed: u64 = opts.parse_or("seed", 7)?;
+    let events = match kind {
+        "cyber" => {
+            let config = CyberConfig {
+                hosts: (edges / 40).max(16),
+                background_edges: edges,
+                seed,
+                ..Default::default()
+            };
+            CyberTrafficGenerator::new(config).generate().events
+        }
+        "news" => {
+            let config = NewsConfig {
+                articles: (edges / 5).max(10),
+                seed,
+                ..Default::default()
+            };
+            NewsStreamGenerator::new(config).generate().events
+        }
+        "random" => streamworks_workloads::uniform_stream(&RandomConfig {
+            edges,
+            vertices: (edges / 10).max(10),
+            seed,
+            ..Default::default()
+        }),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown workload kind `{other}` (expected cyber, news or random)"
+            )))
+        }
+    };
+    let written = write_trace_file(out, events.iter())?;
+    Ok(format!("wrote {written} events ({kind}) to {out}\n"))
+}
+
+// ---------------------------------------------------------------------------
+// plan
+// ---------------------------------------------------------------------------
+
+/// `plan`: show the SJ-Tree plan and cost estimate for a DSL query.
+pub fn cmd_plan(opts: &Options) -> Result<String, CliError> {
+    let query = load_query(opts.require("query")?)?;
+    let strategy = strategy_by_name(opts.value("strategy").unwrap_or("selectivity"))?;
+    let tree_kind = tree_kind_by_name(opts.value("tree").unwrap_or("left-deep"))?;
+
+    let mut out = String::new();
+    let engine = match opts.value("trace") {
+        Some(path) => Some(engine_from_trace(path)?),
+        None => None,
+    };
+    let (plan, cost_text) = match &engine {
+        Some(engine) => {
+            let planner = Planner::new()
+                .with_statistics(engine.summary(), engine.graph())
+                .tree_kind(tree_kind);
+            let plan = planner.plan_with(query, strategy.as_ref())?;
+            let estimator = SelectivityEstimator::with_summary(engine.summary(), engine.graph());
+            let cost = estimate_shape_cost(&plan.query, &estimator, &plan.shape);
+            let rendered = cost.render(&plan.query);
+            (plan, rendered)
+        }
+        None => {
+            let planner = Planner::new().tree_kind(tree_kind);
+            let plan = planner.plan_with(query, strategy.as_ref())?;
+            let estimator = SelectivityEstimator::without_summary();
+            let cost = estimate_shape_cost(&plan.query, &estimator, &plan.shape);
+            let rendered = cost.render(&plan.query);
+            (plan, rendered)
+        }
+    };
+
+    out.push_str(&plan.explain());
+    out.push_str("\ncost estimate");
+    out.push_str(if engine.is_some() {
+        " (from trace statistics):\n"
+    } else {
+        " (structural fallback, no statistics):\n"
+    });
+    out.push_str(&cost_text);
+
+    if let Some(path) = opts.value("dot-query") {
+        std::fs::write(path, query_graph_to_dot(&plan.query))?;
+        out.push_str(&format!("wrote query DOT to {path}\n"));
+    }
+    if let Some(path) = opts.value("dot-tree") {
+        std::fs::write(path, sjtree_to_dot(&plan.query, &plan.shape))?;
+        out.push_str(&format!("wrote SJ-Tree DOT to {path}\n"));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// run
+// ---------------------------------------------------------------------------
+
+/// `run`: register queries and replay a trace through the engine.
+pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
+    let query_paths = opts.values("query");
+    if query_paths.is_empty() {
+        return Err(CliError::Options(OptionError::MissingFlag("query".into())));
+    }
+    let trace = opts.require("trace")?;
+    let strategy = strategy_by_name(opts.value("strategy").unwrap_or("selectivity"))?;
+    let tree_kind = tree_kind_by_name(opts.value("tree").unwrap_or("left-deep"))?;
+    let limit: usize = opts.parse_or("limit", 50)?;
+
+    let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
+    let mut spec = EventTableSpec::standard();
+    for path in query_paths {
+        let query = load_query(path)?;
+        let name = query.name().to_owned();
+        let id = engine.register_query_with(query, strategy.as_ref(), tree_kind)?;
+        spec = spec.label(id, name);
+    }
+
+    let events = read_trace_file(trace)?;
+    let mut matches: Vec<MatchEvent> = Vec::new();
+    for ev in &events {
+        matches.extend(engine.process(ev));
+    }
+
+    let table = EventTable::build(&spec, &matches);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "replayed {} events, {} matches across {} queries\n\n",
+        events.len(),
+        matches.len(),
+        engine.query_count()
+    ));
+    let shown = EventTable::build(&spec, &matches[..matches.len().min(limit)]);
+    out.push_str(&shown.render());
+    if matches.len() > limit {
+        out.push_str(&format!("... ({} more rows)\n", matches.len() - limit));
+    }
+
+    out.push_str("\nper-query metrics:\n");
+    let mut metrics_table = Table::new([
+        "query",
+        "edges",
+        "partial_inserted",
+        "partial_live",
+        "joins",
+        "complete",
+    ]);
+    for (id, m) in engine.all_metrics() {
+        let name = engine
+            .plan(id)
+            .map(|p| p.query.name().to_owned())
+            .unwrap_or_else(|| format!("q{}", id.0));
+        metrics_table.add_row([
+            name,
+            m.edges_processed.to_string(),
+            m.partial_matches_inserted.to_string(),
+            m.partial_matches_live.to_string(),
+            m.joins_attempted.to_string(),
+            m.complete_matches.to_string(),
+        ]);
+    }
+    out.push_str(&metrics_table.render());
+
+    if let Some(path) = opts.value("csv") {
+        std::fs::write(path, table.to_csv())?;
+        out.push_str(&format!("wrote event CSV to {path}\n"));
+    }
+    if let Some(path) = opts.value("jsonl") {
+        std::fs::write(path, table.to_json_lines())?;
+        out.push_str(&format!("wrote event JSON lines to {path}\n"));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// summarize
+// ---------------------------------------------------------------------------
+
+/// `summarize`: print the statistics report for a trace.
+pub fn cmd_summarize(opts: &Options) -> Result<String, CliError> {
+    let trace = opts.require("trace")?;
+    let triads: usize = opts.parse_or("triads", 10)?;
+    let engine = engine_from_trace(trace)?;
+    Ok(summary_report(engine.summary(), engine.graph(), triads))
+}
+
+// ---------------------------------------------------------------------------
+// dispatch
+// ---------------------------------------------------------------------------
+
+/// Dispatches a full argument vector (excluding the binary name).
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::Usage(usage()));
+    };
+    if command == "--help" || command == "help" || command == "-h" {
+        return Ok(usage());
+    }
+    let opts = Options::parse(&args[1..])?;
+    match command.as_str() {
+        "generate" => cmd_generate(&opts),
+        "plan" => cmd_plan(&opts),
+        "run" => cmd_run(&opts),
+        "summarize" => cmd_summarize(&opts),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n\n{}",
+            usage()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    /// A scratch directory unique to this test process.
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("streamworks-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn write_query(name: &str, text: &str) -> String {
+        let path = scratch(name);
+        std::fs::write(&path, text).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    const PAIR_QUERY: &str = "QUERY pair WINDOW 1h\n\
+         MATCH (a1:Article)-[:mentions]->(k:Keyword), (a2:Article)-[:mentions]->(k)\n";
+
+    #[test]
+    fn usage_lists_all_commands() {
+        let text = usage();
+        for cmd in ["generate", "plan", "run", "summarize"] {
+            assert!(text.contains(cmd));
+        }
+        assert_eq!(dispatch(&args(&["help"])).unwrap(), text);
+        assert!(dispatch(&[]).is_err());
+        assert!(dispatch(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn generate_then_summarize_round_trip() {
+        let trace = scratch("news.jsonl").to_string_lossy().into_owned();
+        let out = dispatch(&args(&[
+            "generate", "--kind", "news", "--out", &trace, "--edges", "2000",
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote"));
+        assert!(std::fs::metadata(&trace).unwrap().len() > 0);
+
+        let report = dispatch(&args(&["summarize", "--trace", &trace])).unwrap();
+        assert!(report.contains("type distribution"));
+        assert!(report.contains("Article"));
+    }
+
+    #[test]
+    fn plan_without_statistics_and_with_dot_export() {
+        let query = write_query("pair.swq", PAIR_QUERY);
+        let dot_tree = scratch("tree.dot").to_string_lossy().into_owned();
+        let out = dispatch(&args(&[
+            "plan", "--query", &query, "--strategy", "cost", "--dot-tree", &dot_tree,
+        ]))
+        .unwrap();
+        assert!(out.contains("plan for query `pair`"));
+        assert!(out.contains("cost-based"));
+        assert!(out.contains("structural fallback"));
+        let dot = std::fs::read_to_string(&dot_tree).unwrap();
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn run_detects_matches_and_writes_csv() {
+        // A tiny hand-written trace with two articles sharing a keyword.
+        let trace_path = scratch("tiny.jsonl");
+        let events = [
+            streamworks_graph::EdgeEvent::new(
+                "a1",
+                "Article",
+                "rust",
+                "Keyword",
+                "mentions",
+                streamworks_graph::Timestamp::from_secs(1),
+            ),
+            streamworks_graph::EdgeEvent::new(
+                "a2",
+                "Article",
+                "rust",
+                "Keyword",
+                "mentions",
+                streamworks_graph::Timestamp::from_secs(2),
+            ),
+        ];
+        streamworks_workloads::write_trace_file(&trace_path, events.iter()).unwrap();
+        let trace = trace_path.to_string_lossy().into_owned();
+        let query = write_query("pair2.swq", PAIR_QUERY);
+        let csv = scratch("events.csv").to_string_lossy().into_owned();
+
+        let out = dispatch(&args(&[
+            "run", "--query", &query, "--trace", &trace, "--csv", &csv, "--limit", "10",
+        ]))
+        .unwrap();
+        assert!(out.contains("2 matches"), "output: {out}");
+        assert!(out.contains("per-query metrics"));
+        assert!(out.contains("pair"));
+        let csv_text = std::fs::read_to_string(&csv).unwrap();
+        assert_eq!(csv_text.lines().count(), 3);
+    }
+
+    #[test]
+    fn invalid_inputs_surface_as_errors() {
+        assert!(dispatch(&args(&["plan"])).is_err());
+        assert!(dispatch(&args(&["run", "--trace", "missing.jsonl"])).is_err());
+        assert!(dispatch(&args(&["generate", "--kind", "nope", "--out", "x.jsonl"])).is_err());
+        let bad_query = write_query("bad.swq", "MATCH nonsense");
+        assert!(dispatch(&args(&["plan", "--query", &bad_query])).is_err());
+        let unknown_strategy = write_query("ok.swq", PAIR_QUERY);
+        assert!(dispatch(&args(&[
+            "plan",
+            "--query",
+            &unknown_strategy,
+            "--strategy",
+            "mystery"
+        ]))
+        .is_err());
+    }
+}

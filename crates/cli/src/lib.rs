@@ -1,0 +1,24 @@
+//! # streamworks-cli
+//!
+//! Command-line front end for the StreamWorks reproduction — the scripting
+//! analogue of the demo's query-composition and monitoring UI (§1.1, §6.2).
+//! The binary (`streamworks-cli`) supports four subcommands:
+//!
+//! * `generate` — synthesize a cyber / news / random edge trace as JSON lines;
+//! * `plan` — parse a DSL query, plan it (optionally against statistics
+//!   collected from a trace) and print/export the SJ-Tree plan;
+//! * `run` — register one or more DSL queries and replay a trace through the
+//!   continuous-query engine, printing the detected events and metrics;
+//! * `summarize` — print the degree / type / triad statistics of a trace.
+//!
+//! All command implementations live in this library crate and return their
+//! output as a `String`, so they are exercised directly by unit tests.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod commands;
+mod options;
+
+pub use commands::{cmd_generate, cmd_plan, cmd_run, cmd_summarize, dispatch, usage, CliError};
+pub use options::{OptionError, Options};

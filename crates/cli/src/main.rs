@@ -1,0 +1,24 @@
+//! `streamworks-cli` binary entry point: parse arguments, dispatch to the
+//! subcommand implementations in the library, print the result.
+
+use std::process::ExitCode;
+
+use streamworks_cli::{dispatch, CliError};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Bindings and partial matches.
+//!
+//! A [`PartialMatch`] is the runtime object tracked in the SJ-Tree's match
+//! collections (paper property 3): an injective assignment of *some* query
+//! vertices to data vertices together with the data edges realising the query
+//! edges covered so far, plus the earliest/latest timestamps needed to enforce
+//! the query window `τ(g) < tW`.
+
+use serde::{Deserialize, Serialize};
+use streamworks_graph::{Duration, EdgeId, Timestamp, VertexId};
+use streamworks_query::{QueryEdgeId, QueryVertexId};
+
+/// A partial assignment of query vertices to data vertices.
+///
+/// Stored as a dense vector indexed by query-vertex id (query graphs are
+/// small), which makes projection and merging cheap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Binding {
+    slots: Vec<Option<VertexId>>,
+}
+
+impl Binding {
+    /// An empty binding for a query with `vertex_count` vertices.
+    pub fn new(vertex_count: usize) -> Self {
+        Binding {
+            slots: vec![None; vertex_count],
+        }
+    }
+
+    /// The data vertex bound to `qv`, if any.
+    pub fn get(&self, qv: QueryVertexId) -> Option<VertexId> {
+        self.slots.get(qv.0).copied().flatten()
+    }
+
+    /// Binds `qv` to `dv`. Returns `false` (and leaves the binding unchanged)
+    /// if `qv` is already bound to a different vertex or if `dv` is already
+    /// the image of a different query vertex (injectivity).
+    pub fn bind(&mut self, qv: QueryVertexId, dv: VertexId) -> bool {
+        match self.slots[qv.0] {
+            Some(existing) => existing == dv,
+            None => {
+                if self.slots.iter().any(|s| *s == Some(dv)) {
+                    return false;
+                }
+                self.slots[qv.0] = dv.into();
+                true
+            }
+        }
+    }
+
+    /// Number of bound query vertices.
+    pub fn bound_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Iterates `(query vertex, data vertex)` pairs in query-vertex order.
+    pub fn iter(&self) -> impl Iterator<Item = (QueryVertexId, VertexId)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|v| (QueryVertexId(i), v)))
+    }
+
+    /// Projects the binding onto a list of query vertices. Returns `None` if
+    /// any of them is unbound.
+    pub fn project(&self, vertices: &[QueryVertexId]) -> Option<Vec<VertexId>> {
+        vertices.iter().map(|&v| self.get(v)).collect()
+    }
+
+    /// Merges `other` into a copy of `self`. Returns `None` on any conflict:
+    /// a query vertex bound to different data vertices, or two query vertices
+    /// bound to the same data vertex (injectivity across the merged binding).
+    pub fn merge(&self, other: &Binding) -> Option<Binding> {
+        debug_assert_eq!(self.slots.len(), other.slots.len());
+        let mut merged = self.clone();
+        for (i, slot) in other.slots.iter().enumerate() {
+            if let Some(dv) = slot {
+                match merged.slots[i] {
+                    Some(existing) if existing != *dv => return None,
+                    Some(_) => {}
+                    None => {
+                        if merged
+                            .slots
+                            .iter()
+                            .enumerate()
+                            .any(|(j, s)| j != i && *s == Some(*dv))
+                        {
+                            return None;
+                        }
+                        merged.slots[i] = Some(*dv);
+                    }
+                }
+            }
+        }
+        Some(merged)
+    }
+}
+
+/// A partial (or complete) match tracked at one SJ-Tree node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialMatch {
+    /// The vertex binding.
+    pub binding: Binding,
+    /// The data edge realising each covered query edge, sorted by query edge id.
+    pub edges: Vec<(QueryEdgeId, EdgeId)>,
+    /// Earliest data-edge timestamp in the match.
+    pub earliest: Timestamp,
+    /// Latest data-edge timestamp in the match.
+    pub latest: Timestamp,
+}
+
+impl PartialMatch {
+    /// Creates a match covering a single data edge.
+    pub fn seed(
+        vertex_count: usize,
+        qe: QueryEdgeId,
+        edge: EdgeId,
+        ts: Timestamp,
+    ) -> Self {
+        PartialMatch {
+            binding: Binding::new(vertex_count),
+            edges: vec![(qe, edge)],
+            earliest: ts,
+            latest: ts,
+        }
+    }
+
+    /// Number of query edges covered.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The time span `τ(g)` of the match.
+    pub fn span(&self) -> Duration {
+        self.latest - self.earliest
+    }
+
+    /// True if the span is strictly below the window (paper: `τ(g) < tW`).
+    pub fn within_window(&self, window: Duration) -> bool {
+        self.span().as_micros() < window.as_micros()
+    }
+
+    /// The data edge bound to a query edge, if covered.
+    pub fn data_edge(&self, qe: QueryEdgeId) -> Option<EdgeId> {
+        self.edges
+            .iter()
+            .find(|(q, _)| *q == qe)
+            .map(|(_, e)| *e)
+    }
+
+    /// True if `edge` is one of the data edges of this match.
+    pub fn uses_data_edge(&self, edge: EdgeId) -> bool {
+        self.edges.iter().any(|(_, e)| *e == edge)
+    }
+
+    /// Records that `qe` is realised by `edge` with timestamp `ts`, keeping the
+    /// edge list sorted. Returns `false` if `qe` is already covered or `edge`
+    /// is already used for another query edge.
+    pub fn add_edge(&mut self, qe: QueryEdgeId, edge: EdgeId, ts: Timestamp) -> bool {
+        if self.edges.iter().any(|(q, e)| *q == qe || *e == edge) {
+            return false;
+        }
+        let pos = self.edges.partition_point(|(q, _)| *q < qe);
+        self.edges.insert(pos, (qe, edge));
+        if ts < self.earliest {
+            self.earliest = ts;
+        }
+        if ts > self.latest {
+            self.latest = ts;
+        }
+        true
+    }
+
+    /// Attempts to merge two matches covering disjoint query-edge sets into one.
+    ///
+    /// Fails (returns `None`) if the bindings conflict, if the query-edge sets
+    /// overlap, or if the same data edge realises two different query edges.
+    pub fn merge(&self, other: &PartialMatch) -> Option<PartialMatch> {
+        let binding = self.binding.merge(&other.binding)?;
+        // Merge sorted edge lists, rejecting duplicates.
+        let mut edges = Vec::with_capacity(self.edges.len() + other.edges.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.edges.len() && j < other.edges.len() {
+            let (qa, ea) = self.edges[i];
+            let (qb, eb) = other.edges[j];
+            if qa == qb {
+                return None; // overlapping query edges
+            }
+            if qa < qb {
+                edges.push((qa, ea));
+                i += 1;
+            } else {
+                edges.push((qb, eb));
+                j += 1;
+            }
+        }
+        edges.extend_from_slice(&self.edges[i..]);
+        edges.extend_from_slice(&other.edges[j..]);
+        // A data edge may realise only one query edge.
+        let mut data_edges: Vec<EdgeId> = edges.iter().map(|(_, e)| *e).collect();
+        data_edges.sort_unstable();
+        if data_edges.windows(2).any(|w| w[0] == w[1]) {
+            return None;
+        }
+        Some(PartialMatch {
+            binding,
+            edges,
+            earliest: self.earliest.min(other.earliest),
+            latest: self.latest.max(other.latest),
+        })
+    }
+
+    /// A stable 64-bit signature of the (query edge → data edge) assignment,
+    /// used for deduplication checks in tests and reports.
+    pub fn signature(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = streamworks_graph::hash::FxHasher::default();
+        for (q, e) in &self.edges {
+            q.0.hash(&mut hasher);
+            e.0.hash(&mut hasher);
+        }
+        hasher.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn bind_enforces_consistency_and_injectivity() {
+        let mut b = Binding::new(3);
+        assert!(b.bind(QueryVertexId(0), v(10)));
+        // Re-binding the same pair is fine.
+        assert!(b.bind(QueryVertexId(0), v(10)));
+        // Conflicting rebind fails.
+        assert!(!b.bind(QueryVertexId(0), v(11)));
+        // Injectivity: another query vertex cannot map to v10.
+        assert!(!b.bind(QueryVertexId(1), v(10)));
+        assert!(b.bind(QueryVertexId(1), v(11)));
+        assert_eq!(b.bound_count(), 2);
+        assert_eq!(b.get(QueryVertexId(2)), None);
+    }
+
+    #[test]
+    fn projection_requires_all_vertices_bound() {
+        let mut b = Binding::new(3);
+        b.bind(QueryVertexId(0), v(5));
+        b.bind(QueryVertexId(2), v(7));
+        assert_eq!(
+            b.project(&[QueryVertexId(0), QueryVertexId(2)]),
+            Some(vec![v(5), v(7)])
+        );
+        assert_eq!(b.project(&[QueryVertexId(1)]), None);
+        assert_eq!(b.project(&[]), Some(vec![]));
+    }
+
+    #[test]
+    fn merge_bindings_detects_conflicts() {
+        let mut a = Binding::new(3);
+        a.bind(QueryVertexId(0), v(1));
+        a.bind(QueryVertexId(1), v(2));
+        let mut b = Binding::new(3);
+        b.bind(QueryVertexId(1), v(2));
+        b.bind(QueryVertexId(2), v(3));
+        let merged = a.merge(&b).unwrap();
+        assert_eq!(merged.bound_count(), 3);
+
+        // Conflict: same query vertex, different data vertices.
+        let mut c = Binding::new(3);
+        c.bind(QueryVertexId(0), v(9));
+        assert!(a.merge(&c).is_none());
+
+        // Injectivity violation: different query vertices, same data vertex.
+        let mut d = Binding::new(3);
+        d.bind(QueryVertexId(2), v(1));
+        assert!(a.merge(&d).is_none());
+    }
+
+    #[test]
+    fn partial_match_window_and_span() {
+        let mut m = PartialMatch::seed(3, QueryEdgeId(0), EdgeId(1), Timestamp::from_secs(100));
+        assert!(m.add_edge(QueryEdgeId(1), EdgeId(2), Timestamp::from_secs(130)));
+        assert_eq!(m.span(), Duration::from_secs(30));
+        assert!(m.within_window(Duration::from_secs(31)));
+        assert!(!m.within_window(Duration::from_secs(30)));
+        assert!(!m.within_window(Duration::from_secs(10)));
+    }
+
+    #[test]
+    fn add_edge_rejects_duplicates() {
+        let mut m = PartialMatch::seed(3, QueryEdgeId(0), EdgeId(1), Timestamp::from_secs(1));
+        assert!(!m.add_edge(QueryEdgeId(0), EdgeId(5), Timestamp::from_secs(2)));
+        assert!(!m.add_edge(QueryEdgeId(1), EdgeId(1), Timestamp::from_secs(2)));
+        assert!(m.add_edge(QueryEdgeId(1), EdgeId(2), Timestamp::from_secs(2)));
+        assert_eq!(m.edge_count(), 2);
+        assert_eq!(m.data_edge(QueryEdgeId(1)), Some(EdgeId(2)));
+        assert!(m.uses_data_edge(EdgeId(1)));
+        assert!(!m.uses_data_edge(EdgeId(9)));
+    }
+
+    #[test]
+    fn merge_matches_combines_edges_and_times() {
+        let mut a = PartialMatch::seed(4, QueryEdgeId(0), EdgeId(1), Timestamp::from_secs(10));
+        a.binding.bind(QueryVertexId(0), v(100));
+        a.binding.bind(QueryVertexId(1), v(101));
+        let mut b = PartialMatch::seed(4, QueryEdgeId(1), EdgeId(2), Timestamp::from_secs(20));
+        b.binding.bind(QueryVertexId(1), v(101));
+        b.binding.bind(QueryVertexId(2), v(102));
+        let m = a.merge(&b).unwrap();
+        assert_eq!(m.edge_count(), 2);
+        assert_eq!(m.earliest, Timestamp::from_secs(10));
+        assert_eq!(m.latest, Timestamp::from_secs(20));
+        assert_eq!(m.binding.bound_count(), 3);
+    }
+
+    #[test]
+    fn merge_matches_rejects_overlap_and_shared_data_edges() {
+        let a = PartialMatch::seed(4, QueryEdgeId(0), EdgeId(1), Timestamp::from_secs(10));
+        let b = PartialMatch::seed(4, QueryEdgeId(0), EdgeId(2), Timestamp::from_secs(20));
+        assert!(a.merge(&b).is_none(), "overlapping query edges");
+        let c = PartialMatch::seed(4, QueryEdgeId(1), EdgeId(1), Timestamp::from_secs(20));
+        assert!(a.merge(&c).is_none(), "same data edge for two query edges");
+    }
+
+    #[test]
+    fn signatures_distinguish_different_assignments() {
+        let a = PartialMatch::seed(2, QueryEdgeId(0), EdgeId(1), Timestamp::from_secs(1));
+        let b = PartialMatch::seed(2, QueryEdgeId(0), EdgeId(2), Timestamp::from_secs(1));
+        let a2 = PartialMatch::seed(2, QueryEdgeId(0), EdgeId(1), Timestamp::from_secs(9));
+        assert_ne!(a.signature(), b.signature());
+        assert_eq!(a.signature(), a2.signature());
+    }
+}

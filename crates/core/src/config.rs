@@ -1,0 +1,69 @@
+//! Engine configuration.
+
+use serde::{Deserialize, Serialize};
+use streamworks_graph::Duration;
+use streamworks_summarize::SummaryConfig;
+
+/// Configuration of a [`crate::ContinuousQueryEngine`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Retention horizon of the underlying graph. `None` lets the engine pick
+    /// the maximum window of the registered queries (extended automatically as
+    /// queries are registered), which is the smallest retention that preserves
+    /// correctness.
+    pub retention: Option<Duration>,
+    /// How many processed edges between partial-match pruning passes.
+    pub prune_every: u64,
+    /// Optional cap on live partial matches per SJ-Tree node per query.
+    pub max_matches_per_node: Option<usize>,
+    /// Whether to maintain the graph summary while streaming (needed for
+    /// statistics-driven planning of queries registered later; costs extra
+    /// per-edge work — see experiment E8).
+    pub maintain_summary: bool,
+    /// Summary configuration used when `maintain_summary` is set.
+    pub summary: SummaryConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            retention: None,
+            prune_every: 256,
+            max_matches_per_node: None,
+            maintain_summary: true,
+            summary: SummaryConfig::full(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration tuned for raw ingest speed: no summary maintenance and
+    /// a modest partial-match cap.
+    pub fn fast_ingest() -> Self {
+        EngineConfig {
+            maintain_summary: false,
+            max_matches_per_node: Some(100_000),
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_maintains_summary_and_prunes() {
+        let c = EngineConfig::default();
+        assert!(c.maintain_summary);
+        assert!(c.prune_every > 0);
+        assert!(c.retention.is_none());
+    }
+
+    #[test]
+    fn fast_ingest_disables_summary() {
+        let c = EngineConfig::fast_ingest();
+        assert!(!c.maintain_summary);
+        assert!(c.max_matches_per_node.is_some());
+    }
+}

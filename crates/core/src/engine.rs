@@ -1,0 +1,536 @@
+//! The continuous-query engine: the "StreamWorks" system object.
+//!
+//! [`ContinuousQueryEngine`] ties the substrates together the way Fig. 1 of
+//! the paper sketches: the dynamic graph store and its summaries are updated
+//! by every incoming edge event, registered queries are planned against the
+//! summaries, and each event is pushed through every query's incremental
+//! SJ-Tree matcher, emitting [`MatchEvent`]s for completed patterns.
+
+use crate::binding::PartialMatch;
+use crate::config::EngineConfig;
+use crate::event::{CollectingSink, EventSink, MatchEvent, QueryId};
+use crate::metrics::QueryMetrics;
+use crate::sj_matcher::SjTreeMatcher;
+use streamworks_graph::hash::FxHashMap;
+use streamworks_graph::{
+    Duration, DynamicGraph, EdgeEvent, EdgeId, GraphConfig, GraphStats, TypeId,
+};
+use streamworks_query::{
+    DecompositionStrategy, Planner, QueryError, QueryGraph, QueryPlan, SelectivityOrdered,
+    TreeShapeKind,
+};
+use streamworks_summarize::GraphSummary;
+
+/// Per-edge bookkeeping the engine needs after an edge has expired (the graph
+/// drops expired edge records, so their type information is cached here).
+#[derive(Debug, Clone, Copy)]
+struct EdgeTypeInfo {
+    etype: TypeId,
+    src_vtype: TypeId,
+    dst_vtype: TypeId,
+}
+
+/// The StreamWorks continuous-query engine.
+pub struct ContinuousQueryEngine {
+    config: EngineConfig,
+    graph: DynamicGraph,
+    summary: GraphSummary,
+    matchers: Vec<SjTreeMatcher>,
+    /// Type info of live edges, used to update the summary on expiry.
+    live_edge_types: FxHashMap<EdgeId, EdgeTypeInfo>,
+    edges_since_prune: u64,
+    events_emitted: u64,
+}
+
+impl ContinuousQueryEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        let graph = DynamicGraph::new(GraphConfig {
+            retention: config.retention,
+            ..Default::default()
+        });
+        ContinuousQueryEngine {
+            summary: GraphSummary::with_config(config.summary),
+            graph,
+            matchers: Vec::new(),
+            live_edge_types: FxHashMap::default(),
+            edges_since_prune: 0,
+            events_emitted: 0,
+            config,
+        }
+    }
+
+    /// Creates an engine with the default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(EngineConfig::default())
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Read access to the data graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// Read access to the maintained graph summary.
+    pub fn summary(&self) -> &GraphSummary {
+        &self.summary
+    }
+
+    /// Basic counters of the underlying graph.
+    pub fn graph_stats(&self) -> GraphStats {
+        self.graph.stats()
+    }
+
+    /// Total number of match events emitted so far.
+    pub fn events_emitted(&self) -> u64 {
+        self.events_emitted
+    }
+
+    /// Overrides the emitted-event counter (used by checkpoint restore so the
+    /// counter continues from its pre-restart value instead of double-counting
+    /// the suppressed replay).
+    pub(crate) fn set_events_emitted(&mut self, value: u64) {
+        self.events_emitted = value;
+    }
+
+    // ------------------------------------------------------------------
+    // Query registration
+    // ------------------------------------------------------------------
+
+    /// Registers a pre-built plan. Returns the query's id.
+    pub fn register_plan(&mut self, plan: QueryPlan) -> QueryId {
+        let id = QueryId(self.matchers.len());
+        self.extend_retention(plan.query.window());
+        let matcher =
+            SjTreeMatcher::new(plan, &self.graph).with_match_cap(self.config.max_matches_per_node);
+        self.matchers.push(matcher);
+        id
+    }
+
+    /// Plans a query with the default (selectivity-ordered) strategy using the
+    /// engine's current summaries, then registers it.
+    pub fn register_query(&mut self, query: QueryGraph) -> Result<QueryId, QueryError> {
+        self.register_query_with(query, &SelectivityOrdered::default(), TreeShapeKind::LeftDeep)
+    }
+
+    /// Plans a query with an explicit decomposition strategy and tree shape,
+    /// then registers it.
+    pub fn register_query_with(
+        &mut self,
+        query: QueryGraph,
+        strategy: &dyn DecompositionStrategy,
+        tree_kind: TreeShapeKind,
+    ) -> Result<QueryId, QueryError> {
+        let plan = Planner::new()
+            .with_statistics(&self.summary, &self.graph)
+            .tree_kind(tree_kind)
+            .plan_with(query, strategy)?;
+        Ok(self.register_plan(plan))
+    }
+
+    /// Parses a DSL query (see `streamworks_query::parse_query`) and registers it.
+    pub fn register_dsl(&mut self, text: &str) -> Result<QueryId, QueryError> {
+        let query = streamworks_query::parse_query(text)?;
+        self.register_query(query)
+    }
+
+    /// Re-plans an already-registered query using the engine's *current*
+    /// statistics and replaces its matcher.
+    ///
+    /// Paper §4.3 lists "continuously collecting the statistics information
+    /// from the data stream and updating the query decomposition" as future
+    /// work; this method implements the mechanism. Partial matches accumulated
+    /// under the old plan are discarded (they are keyed to the old SJ-Tree
+    /// shape), so matches whose first edges arrived before the re-plan and
+    /// whose last edges arrive after it may be missed — call it during quiet
+    /// periods or accept the gap, exactly as a production system would.
+    pub fn replan_query(
+        &mut self,
+        id: QueryId,
+        strategy: &dyn DecompositionStrategy,
+        tree_kind: TreeShapeKind,
+    ) -> Result<(), QueryError> {
+        let query = self
+            .matchers
+            .get(id.0)
+            .ok_or_else(|| QueryError::InvalidDecomposition(format!("unknown query id {id:?}")))?
+            .plan()
+            .query
+            .clone();
+        let plan = Planner::new()
+            .with_statistics(&self.summary, &self.graph)
+            .tree_kind(tree_kind)
+            .plan_with(query, strategy)?;
+        let matcher =
+            SjTreeMatcher::new(plan, &self.graph).with_match_cap(self.config.max_matches_per_node);
+        self.matchers[id.0] = matcher;
+        Ok(())
+    }
+
+    /// Number of registered queries.
+    pub fn query_count(&self) -> usize {
+        self.matchers.len()
+    }
+
+    /// The plan of a registered query.
+    pub fn plan(&self, id: QueryId) -> Option<&QueryPlan> {
+        self.matchers.get(id.0).map(|m| m.plan())
+    }
+
+    /// Metrics of a registered query.
+    pub fn metrics(&self, id: QueryId) -> Option<QueryMetrics> {
+        self.matchers.get(id.0).map(|m| m.metrics())
+    }
+
+    /// Metrics of every registered query, in registration order.
+    pub fn all_metrics(&self) -> Vec<(QueryId, QueryMetrics)> {
+        self.matchers
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (QueryId(i), m.metrics()))
+            .collect()
+    }
+
+    /// Direct access to a registered matcher (used by experiments that inspect
+    /// per-node match collections).
+    pub fn matcher(&self, id: QueryId) -> Option<&SjTreeMatcher> {
+        self.matchers.get(id.0)
+    }
+
+    fn extend_retention(&mut self, window: Duration) {
+        if self.config.retention.is_some() {
+            return; // explicit retention wins
+        }
+        let needed = Some(match self.graph.retention() {
+            Some(current) if current.as_micros() >= window.as_micros() => current,
+            _ => window,
+        });
+        self.graph.set_retention(needed);
+    }
+
+    // ------------------------------------------------------------------
+    // Stream processing
+    // ------------------------------------------------------------------
+
+    /// Processes one edge event, returning the complete matches it produced.
+    pub fn process(&mut self, event: &EdgeEvent) -> Vec<MatchEvent> {
+        let mut sink = CollectingSink::new();
+        self.process_with_sink(event, &mut sink);
+        sink.into_events()
+    }
+
+    /// Processes one edge event, delivering matches to `sink`.
+    /// Returns the number of matches emitted.
+    pub fn process_with_sink(&mut self, event: &EdgeEvent, sink: &mut dyn EventSink) -> usize {
+        // 1. Update the graph.
+        let result = self.graph.ingest(event);
+
+        // 2. Update the summary (vertices, new edge, expired edges).
+        let Some(edge) = self.graph.edge(result.edge).cloned() else {
+            // The event arrived so late that it is already outside the
+            // retention horizon: the graph expired it on ingest. It cannot
+            // participate in any within-window match (every edge it could
+            // combine with has expired too), so only account the expiries it
+            // caused and move on.
+            for expired in &result.expired {
+                if let Some(info) = self.live_edge_types.remove(expired) {
+                    if self.config.maintain_summary {
+                        self.summary
+                            .observe_expiry(info.src_vtype, info.etype, info.dst_vtype);
+                    }
+                }
+            }
+            return 0;
+        };
+        if self.config.maintain_summary {
+            if result.src_created {
+                if let Some(v) = self.graph.vertex(result.src) {
+                    self.summary.observe_vertex(v.vtype);
+                }
+            }
+            if result.dst_created {
+                if let Some(v) = self.graph.vertex(result.dst) {
+                    self.summary.observe_vertex(v.vtype);
+                }
+            }
+            self.summary.observe_insertion(&self.graph, &edge);
+        }
+        let src_vtype = self.graph.vertex(edge.src).map(|v| v.vtype).unwrap_or(TypeId(0));
+        let dst_vtype = self.graph.vertex(edge.dst).map(|v| v.vtype).unwrap_or(TypeId(0));
+        self.live_edge_types.insert(
+            edge.id,
+            EdgeTypeInfo {
+                etype: edge.etype,
+                src_vtype,
+                dst_vtype,
+            },
+        );
+        for expired in &result.expired {
+            if let Some(info) = self.live_edge_types.remove(expired) {
+                if self.config.maintain_summary {
+                    self.summary
+                        .observe_expiry(info.src_vtype, info.etype, info.dst_vtype);
+                }
+            }
+        }
+
+        // 3. Run every registered matcher.
+        let mut emitted = 0usize;
+        let mut complete: Vec<PartialMatch> = Vec::new();
+        for (idx, matcher) in self.matchers.iter_mut().enumerate() {
+            complete.clear();
+            matcher.process_edge(&self.graph, &edge, &mut complete);
+            for m in complete.drain(..) {
+                let event =
+                    MatchEvent::from_match(QueryId(idx), &matcher.plan().query, &self.graph, &m);
+                sink.on_match(event);
+                emitted += 1;
+            }
+        }
+        self.events_emitted += emitted as u64;
+
+        // 4. Periodic partial-match pruning.
+        self.edges_since_prune += 1;
+        if self.edges_since_prune >= self.config.prune_every {
+            self.prune_now();
+        }
+        emitted
+    }
+
+    /// Processes a batch of events, returning all matches in arrival order.
+    pub fn process_batch<'a>(
+        &mut self,
+        events: impl IntoIterator<Item = &'a EdgeEvent>,
+    ) -> Vec<MatchEvent> {
+        let mut sink = CollectingSink::new();
+        for ev in events {
+            self.process_with_sink(ev, &mut sink);
+        }
+        sink.into_events()
+    }
+
+    /// Prunes expired partial matches in every matcher immediately.
+    pub fn prune_now(&mut self) {
+        let now = self.graph.now();
+        for matcher in &mut self.matchers {
+            matcher.prune(now);
+        }
+        self.edges_since_prune = 0;
+        // Also drop type info of edges the graph no longer retains.
+        if self.live_edge_types.len() > 2 * self.graph.live_edge_count() + 1024 {
+            let graph = &self.graph;
+            self.live_edge_types.retain(|id, _| graph.is_live(*id));
+        }
+    }
+}
+
+impl std::fmt::Debug for ContinuousQueryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContinuousQueryEngine")
+            .field("queries", &self.matchers.len())
+            .field("graph", &self.graph.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamworks_graph::Timestamp;
+    use streamworks_query::QueryGraphBuilder;
+
+    fn ev(src: &str, st: &str, dst: &str, dt: &str, et: &str, t: i64) -> EdgeEvent {
+        EdgeEvent::new(src, st, dst, dt, et, Timestamp::from_secs(t))
+    }
+
+    fn common_keyword_query(window: Duration) -> QueryGraph {
+        QueryGraphBuilder::new("common_keyword")
+            .window(window)
+            .vertex("a1", "Article")
+            .vertex("a2", "Article")
+            .vertex("k", "Keyword")
+            .edge("a1", "mentions", "k")
+            .edge("a2", "mentions", "k")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn register_and_match_via_dsl() {
+        let mut engine = ContinuousQueryEngine::with_defaults();
+        let id = engine
+            .register_dsl(
+                "QUERY pair WINDOW 1h MATCH (a1:Article)-[:mentions]->(k:Keyword), (a2:Article)-[:mentions]->(k)",
+            )
+            .unwrap();
+        assert_eq!(engine.query_count(), 1);
+        let e1 = engine.process(&ev("a1", "Article", "k1", "Keyword", "mentions", 10));
+        assert!(e1.is_empty());
+        let e2 = engine.process(&ev("a2", "Article", "k1", "Keyword", "mentions", 20));
+        assert_eq!(e2.len(), 2);
+        assert_eq!(e2[0].query, id);
+        assert_eq!(engine.events_emitted(), 2);
+        assert_eq!(engine.metrics(id).unwrap().complete_matches, 2);
+    }
+
+    #[test]
+    fn window_is_enforced_end_to_end() {
+        let mut engine = ContinuousQueryEngine::with_defaults();
+        engine
+            .register_query(common_keyword_query(Duration::from_secs(30)))
+            .unwrap();
+        engine.process(&ev("a1", "Article", "k1", "Keyword", "mentions", 0));
+        let matches = engine.process(&ev("a2", "Article", "k1", "Keyword", "mentions", 100));
+        assert!(matches.is_empty());
+        // A third article arriving close to the second *does* match with it.
+        let matches = engine.process(&ev("a3", "Article", "k1", "Keyword", "mentions", 110));
+        assert_eq!(matches.len(), 2);
+    }
+
+    #[test]
+    fn retention_auto_extends_to_query_window() {
+        let mut engine = ContinuousQueryEngine::with_defaults();
+        assert_eq!(engine.graph().retention(), None);
+        engine
+            .register_query(common_keyword_query(Duration::from_secs(600)))
+            .unwrap();
+        assert_eq!(engine.graph().retention(), Some(Duration::from_secs(600)));
+        engine
+            .register_query(common_keyword_query(Duration::from_secs(60)))
+            .unwrap();
+        // Retention keeps covering the largest window.
+        assert_eq!(engine.graph().retention(), Some(Duration::from_secs(600)));
+    }
+
+    #[test]
+    fn multiple_queries_run_side_by_side() {
+        let mut engine = ContinuousQueryEngine::with_defaults();
+        let keyword_q = engine
+            .register_query(common_keyword_query(Duration::from_hours(1)))
+            .unwrap();
+        let location_q = engine
+            .register_dsl(
+                "QUERY colocated WINDOW 1h MATCH (a1:Article)-[:located]->(l:Location), (a2:Article)-[:located]->(l)",
+            )
+            .unwrap();
+        let events = [
+            ev("a1", "Article", "k1", "Keyword", "mentions", 1),
+            ev("a2", "Article", "k1", "Keyword", "mentions", 2),
+            ev("a1", "Article", "paris", "Location", "located", 3),
+            ev("a2", "Article", "paris", "Location", "located", 4),
+        ];
+        let all = engine.process_batch(events.iter());
+        let keyword_hits = all.iter().filter(|e| e.query == keyword_q).count();
+        let location_hits = all.iter().filter(|e| e.query == location_q).count();
+        assert_eq!(keyword_hits, 2);
+        assert_eq!(location_hits, 2);
+    }
+
+    #[test]
+    fn summary_tracks_live_edges_through_expiry() {
+        let mut engine = ContinuousQueryEngine::new(EngineConfig {
+            retention: Some(Duration::from_secs(10)),
+            ..Default::default()
+        });
+        engine
+            .register_query(common_keyword_query(Duration::from_secs(10)))
+            .unwrap();
+        engine.process(&ev("a1", "Article", "k1", "Keyword", "mentions", 0));
+        engine.process(&ev("a2", "Article", "k2", "Keyword", "mentions", 100));
+        // The first edge expired; the summary's live edge count reflects that.
+        let mentions = engine.graph().edge_type_id("mentions").unwrap();
+        assert_eq!(engine.summary().types().edge_count(mentions), 1);
+        assert_eq!(engine.graph().live_edge_count(), 1);
+    }
+
+    #[test]
+    fn prune_keeps_partial_match_population_bounded() {
+        let mut engine = ContinuousQueryEngine::new(EngineConfig {
+            prune_every: 16,
+            ..Default::default()
+        });
+        let id = engine
+            .register_query_with(
+                common_keyword_query(Duration::from_secs(5)),
+                &streamworks_query::SelectivityOrdered {
+                    max_primitive_size: 1,
+                },
+                TreeShapeKind::LeftDeep,
+            )
+            .unwrap();
+        // A long stream of articles each mentioning their own keyword: no
+        // matches, and partial matches should be pruned as time advances.
+        for i in 0..500 {
+            engine.process(&ev(
+                &format!("a{i}"),
+                "Article",
+                &format!("k{}", i % 7),
+                "Keyword",
+                "mentions",
+                i,
+            ));
+        }
+        let metrics = engine.metrics(id).unwrap();
+        assert!(metrics.partial_matches_expired > 0);
+        assert!(
+            metrics.partial_matches_live < 100,
+            "live partial matches should stay bounded, got {}",
+            metrics.partial_matches_live
+        );
+    }
+
+    #[test]
+    fn replan_uses_learned_statistics_and_keeps_matching() {
+        use streamworks_query::LeftDeepEdgeChain;
+        let mut engine = ContinuousQueryEngine::with_defaults();
+        // Registered before any data: the plan is frequency-blind.
+        let id = engine
+            .register_query_with(
+                common_keyword_query(Duration::from_hours(1)),
+                &LeftDeepEdgeChain,
+                TreeShapeKind::LeftDeep,
+            )
+            .unwrap();
+        assert_eq!(engine.plan(id).unwrap().strategy, "left-deep-edge-chain");
+
+        engine.process(&ev("a1", "Article", "k1", "Keyword", "mentions", 1));
+        engine.process(&ev("a2", "Article", "k2", "Keyword", "mentions", 2));
+
+        // Re-plan with statistics; the strategy name changes and matching
+        // continues to work for patterns completed entirely after the re-plan.
+        engine
+            .replan_query(id, &SelectivityOrdered::default(), TreeShapeKind::LeftDeep)
+            .unwrap();
+        assert_eq!(engine.plan(id).unwrap().strategy, "selectivity-ordered");
+        engine.process(&ev("a3", "Article", "k3", "Keyword", "mentions", 10));
+        let matches = engine.process(&ev("a4", "Article", "k3", "Keyword", "mentions", 11));
+        assert_eq!(matches.len(), 2);
+
+        // Unknown ids are rejected.
+        assert!(engine
+            .replan_query(QueryId(99), &SelectivityOrdered::default(), TreeShapeKind::LeftDeep)
+            .is_err());
+    }
+
+    #[test]
+    fn events_resolve_bindings_to_external_keys() {
+        let mut engine = ContinuousQueryEngine::with_defaults();
+        engine
+            .register_query(common_keyword_query(Duration::from_hours(1)))
+            .unwrap();
+        engine.process(&ev("a1", "Article", "k1", "Keyword", "mentions", 1));
+        let matches = engine.process(&ev("a2", "Article", "k1", "Keyword", "mentions", 2));
+        let keys: Vec<_> = matches[0]
+            .bindings
+            .iter()
+            .map(|b| b.key.as_str())
+            .collect();
+        assert!(keys.contains(&"a1"));
+        assert!(keys.contains(&"a2"));
+        assert!(keys.contains(&"k1"));
+    }
+}

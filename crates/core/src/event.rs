@@ -1,0 +1,244 @@
+//! Match events and event sinks.
+//!
+//! When the SJ-Tree matcher assembles a complete match inside the query
+//! window, the engine emits a [`MatchEvent`]. Sinks decouple the engine from
+//! what the application does with events (collect them, forward them over a
+//! channel to a UI thread, call back into user code) — the library analogue of
+//! the demo's map/table/graph views.
+
+use crate::binding::PartialMatch;
+use serde::{Deserialize, Serialize};
+use streamworks_graph::{Duration, DynamicGraph, EdgeId, Timestamp, VertexId};
+use streamworks_query::QueryGraph;
+
+/// Identifier assigned to a registered query by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct QueryId(pub usize);
+
+/// One binding of a query variable in a match event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundVertex {
+    /// The query variable name.
+    pub variable: String,
+    /// The data vertex bound to it.
+    pub vertex: VertexId,
+    /// The data vertex's external key (e.g. IP address, article URI).
+    pub key: String,
+}
+
+/// A complete match of a registered query, reported as it is discovered.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchEvent {
+    /// Which registered query matched.
+    pub query: QueryId,
+    /// The query's name.
+    pub query_name: String,
+    /// Stream time at which the match completed (timestamp of its latest edge).
+    pub at: Timestamp,
+    /// Span `τ(g)` of the match.
+    pub span: Duration,
+    /// Variable bindings, in query-vertex order.
+    pub bindings: Vec<BoundVertex>,
+    /// The data edges realising the query edges, in query-edge order.
+    pub edges: Vec<EdgeId>,
+}
+
+impl MatchEvent {
+    /// Builds an event from a root-level partial match.
+    pub fn from_match(
+        query_id: QueryId,
+        query: &QueryGraph,
+        graph: &DynamicGraph,
+        m: &PartialMatch,
+    ) -> Self {
+        let bindings = m
+            .binding
+            .iter()
+            .map(|(qv, dv)| BoundVertex {
+                variable: query.vertex(qv).name.clone(),
+                vertex: dv,
+                key: graph.vertex_key(dv).unwrap_or("<unknown>").to_owned(),
+            })
+            .collect();
+        MatchEvent {
+            query: query_id,
+            query_name: query.name().to_owned(),
+            at: m.latest,
+            span: m.span(),
+            bindings,
+            edges: m.edges.iter().map(|(_, e)| *e).collect(),
+        }
+    }
+
+    /// The data vertex bound to a query variable, if present.
+    pub fn binding(&self, variable: &str) -> Option<&BoundVertex> {
+        self.bindings.iter().find(|b| b.variable == variable)
+    }
+
+    /// Compact single-line rendering, e.g. for the tabular event views.
+    pub fn render(&self) -> String {
+        let vars: Vec<String> = self
+            .bindings
+            .iter()
+            .map(|b| format!("{}={}", b.variable, b.key))
+            .collect();
+        format!(
+            "[t={}s] {} span={}s {}",
+            self.at.as_micros() / 1_000_000,
+            self.query_name,
+            self.span.as_secs(),
+            vars.join(" ")
+        )
+    }
+}
+
+/// Where the engine delivers match events.
+pub trait EventSink {
+    /// Called once per complete match, in discovery order.
+    fn on_match(&mut self, event: MatchEvent);
+}
+
+/// A sink that stores every event in memory.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    events: Vec<MatchEvent>,
+}
+
+impl CollectingSink {
+    /// Creates an empty collecting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The events collected so far.
+    pub fn events(&self) -> &[MatchEvent] {
+        &self.events
+    }
+
+    /// Number of collected events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events were collected.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Consumes the sink, returning the events.
+    pub fn into_events(self) -> Vec<MatchEvent> {
+        self.events
+    }
+}
+
+impl EventSink for CollectingSink {
+    fn on_match(&mut self, event: MatchEvent) {
+        self.events.push(event);
+    }
+}
+
+/// A sink that invokes a closure for every event.
+pub struct CallbackSink<F: FnMut(MatchEvent)> {
+    callback: F,
+}
+
+impl<F: FnMut(MatchEvent)> CallbackSink<F> {
+    /// Wraps a closure as a sink.
+    pub fn new(callback: F) -> Self {
+        CallbackSink { callback }
+    }
+}
+
+impl<F: FnMut(MatchEvent)> EventSink for CallbackSink<F> {
+    fn on_match(&mut self, event: MatchEvent) {
+        (self.callback)(event);
+    }
+}
+
+/// A sink that forwards events over a crossbeam channel (e.g. to a UI or
+/// logging thread), dropping events if the receiver has disconnected.
+pub struct ChannelSink {
+    sender: crossbeam::channel::Sender<MatchEvent>,
+}
+
+impl ChannelSink {
+    /// Creates an unbounded channel sink, returning the sink and the receiver.
+    pub fn unbounded() -> (Self, crossbeam::channel::Receiver<MatchEvent>) {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        (ChannelSink { sender: tx }, rx)
+    }
+}
+
+impl EventSink for ChannelSink {
+    fn on_match(&mut self, event: MatchEvent) {
+        let _ = self.sender.send(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamworks_graph::EdgeEvent;
+    use streamworks_query::{QueryEdgeId, QueryGraphBuilder, QueryVertexId};
+
+    fn sample_event() -> (DynamicGraph, QueryGraph, PartialMatch) {
+        let mut g = DynamicGraph::unbounded();
+        let r = g.ingest(&EdgeEvent::new(
+            "a1", "Article", "k1", "Keyword", "mentions", Timestamp::from_secs(5),
+        ));
+        let q = QueryGraphBuilder::new("demo")
+            .vertex("a", "Article")
+            .vertex("k", "Keyword")
+            .edge("a", "mentions", "k")
+            .build()
+            .unwrap();
+        let mut m = PartialMatch::seed(2, QueryEdgeId(0), r.edge, Timestamp::from_secs(5));
+        m.binding.bind(QueryVertexId(0), r.src);
+        m.binding.bind(QueryVertexId(1), r.dst);
+        (g, q, m)
+    }
+
+    #[test]
+    fn events_resolve_variable_names_and_keys() {
+        let (g, q, m) = sample_event();
+        let ev = MatchEvent::from_match(QueryId(0), &q, &g, &m);
+        assert_eq!(ev.query_name, "demo");
+        assert_eq!(ev.binding("a").unwrap().key, "a1");
+        assert_eq!(ev.binding("k").unwrap().key, "k1");
+        assert!(ev.binding("ghost").is_none());
+        assert_eq!(ev.edges.len(), 1);
+        let line = ev.render();
+        assert!(line.contains("demo"));
+        assert!(line.contains("a=a1"));
+    }
+
+    #[test]
+    fn collecting_sink_accumulates() {
+        let (g, q, m) = sample_event();
+        let ev = MatchEvent::from_match(QueryId(0), &q, &g, &m);
+        let mut sink = CollectingSink::new();
+        assert!(sink.is_empty());
+        sink.on_match(ev.clone());
+        sink.on_match(ev);
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.into_events().len(), 2);
+    }
+
+    #[test]
+    fn callback_and_channel_sinks_deliver() {
+        let (g, q, m) = sample_event();
+        let ev = MatchEvent::from_match(QueryId(3), &q, &g, &m);
+        let mut count = 0usize;
+        {
+            let mut cb = CallbackSink::new(|_e| count += 1);
+            cb.on_match(ev.clone());
+            cb.on_match(ev.clone());
+        }
+        assert_eq!(count, 2);
+
+        let (mut chan, rx) = ChannelSink::unbounded();
+        chan.on_match(ev);
+        let received = rx.try_recv().unwrap();
+        assert_eq!(received.query, QueryId(3));
+    }
+}

@@ -1,0 +1,60 @@
+//! # streamworks-core
+//!
+//! The core of the StreamWorks reproduction: the incremental SJ-Tree subgraph
+//! matcher and the continuous-query engine built on top of it
+//! (Choudhury et al., *StreamWorks: A System for Dynamic Graph Search*,
+//! SIGMOD 2013, §3–§4).
+//!
+//! The engine consumes timestamped [`streamworks_graph::EdgeEvent`]s, keeps the
+//! dynamic graph and its statistics up to date, and runs every registered
+//! query's SJ-Tree matcher incrementally: local search at the leaves for each
+//! new edge, hash-join propagation toward the root, window-based expiry of
+//! partial matches, and [`MatchEvent`] emission for completed patterns.
+//!
+//! ```
+//! use streamworks_core::ContinuousQueryEngine;
+//! use streamworks_graph::{EdgeEvent, Timestamp};
+//!
+//! let mut engine = ContinuousQueryEngine::with_defaults();
+//! engine.register_dsl(
+//!     "QUERY pair WINDOW 1h \
+//!      MATCH (a1:Article)-[:mentions]->(k:Keyword), (a2:Article)-[:mentions]->(k)",
+//! ).unwrap();
+//!
+//! engine.process(&EdgeEvent::new("a1", "Article", "rust", "Keyword", "mentions",
+//!                                Timestamp::from_secs(10)));
+//! let matches = engine.process(&EdgeEvent::new("a2", "Article", "rust", "Keyword",
+//!                                              "mentions", Timestamp::from_secs(20)));
+//! assert_eq!(matches.len(), 2); // (a1, a2) and (a2, a1)
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod adaptive;
+mod binding;
+mod checkpoint;
+mod config;
+mod constraints;
+mod engine;
+mod event;
+mod local_search;
+mod match_store;
+mod metrics;
+mod parallel;
+mod sj_matcher;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveReplanner, ReplanDecision, ReplanStrategy};
+pub use binding::{Binding, PartialMatch};
+pub use checkpoint::EngineCheckpoint;
+pub use parallel::{ParallelRunOutcome, ParallelRunner};
+pub use config::EngineConfig;
+pub use constraints::CompiledConstraints;
+pub use engine::ContinuousQueryEngine;
+pub use event::{
+    BoundVertex, CallbackSink, ChannelSink, CollectingSink, EventSink, MatchEvent, QueryId,
+};
+pub use local_search::{find_primitive_matches, LocalSearchStats};
+pub use match_store::{JoinKey, MatchHandle, MatchStore};
+pub use metrics::QueryMetrics;
+pub use sj_matcher::SjTreeMatcher;

@@ -1,0 +1,358 @@
+//! Local search: matching SJ-Tree leaf primitives around a newly arrived edge.
+//!
+//! Paper §4.1–4.2: "for every incoming edge we perform a local search to
+//! detect a match with the smallest subgraphs associated with the leaves of
+//! the SJ-Tree", where a local search is "a subgraph search performed in the
+//! neighborhood of an edge in the data graph for a small query subgraph".
+//!
+//! The search anchors the new data edge on each query edge of the primitive it
+//! could realise, then extends the remaining primitive edges by backtracking
+//! over the (type-filtered) neighbourhood of already-bound vertices. Every
+//! produced [`PartialMatch`] contains the new edge, so each embedding is
+//! discovered exactly once — at the arrival of its last edge.
+
+use crate::binding::PartialMatch;
+use crate::constraints::CompiledConstraints;
+use streamworks_graph::{Duration, DynamicGraph, Edge};
+use streamworks_query::{QueryEdgeId, QueryGraph};
+
+/// Statistics from one local-search invocation (fed into the per-query metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocalSearchStats {
+    /// Candidate data edges examined while extending partial embeddings.
+    pub candidates_examined: u64,
+    /// Embeddings of the primitive that were produced.
+    pub matches_found: u64,
+}
+
+/// Finds every embedding of `primitive_edges` (a connected set of query edges)
+/// that uses `new_edge`, respecting the query window.
+///
+/// Results are appended to `out`.
+pub fn find_primitive_matches(
+    graph: &DynamicGraph,
+    query: &QueryGraph,
+    constraints: &CompiledConstraints,
+    primitive_edges: &[QueryEdgeId],
+    new_edge: &Edge,
+    window: Duration,
+    out: &mut Vec<PartialMatch>,
+) -> LocalSearchStats {
+    let mut stats = LocalSearchStats::default();
+    for &anchor in primitive_edges {
+        if !constraints.edge_matches(graph, query, anchor, new_edge) {
+            continue;
+        }
+        let q = query.edge(anchor);
+        let mut seed = PartialMatch::seed(
+            query.vertex_count(),
+            anchor,
+            new_edge.id,
+            new_edge.timestamp,
+        );
+        if !seed.binding.bind(q.src, new_edge.src) {
+            continue;
+        }
+        if !seed.binding.bind(q.dst, new_edge.dst) {
+            continue;
+        }
+        let remaining: Vec<QueryEdgeId> = primitive_edges
+            .iter()
+            .copied()
+            .filter(|&e| e != anchor)
+            .collect();
+        extend(
+            graph,
+            query,
+            constraints,
+            &remaining,
+            seed,
+            window,
+            out,
+            &mut stats,
+        );
+    }
+    stats
+}
+
+/// Recursive extension over the remaining query edges of the primitive.
+#[allow(clippy::too_many_arguments)]
+fn extend(
+    graph: &DynamicGraph,
+    query: &QueryGraph,
+    constraints: &CompiledConstraints,
+    remaining: &[QueryEdgeId],
+    current: PartialMatch,
+    window: Duration,
+    out: &mut Vec<PartialMatch>,
+    stats: &mut LocalSearchStats,
+) {
+    if remaining.is_empty() {
+        stats.matches_found += 1;
+        out.push(current);
+        return;
+    }
+    // Pick a remaining query edge with at least one bound endpoint (one exists
+    // whenever the primitive is connected). Prefer edges with both endpoints
+    // bound: they are pure existence checks and prune earliest.
+    let pick = remaining
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &qe)| {
+            let e = query.edge(qe);
+            let src_bound = current.binding.get(e.src).is_some() as u8;
+            let dst_bound = current.binding.get(e.dst).is_some() as u8;
+            src_bound + dst_bound
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let qe = remaining[pick];
+    let rest: Vec<QueryEdgeId> = remaining
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != pick)
+        .map(|(_, &e)| e)
+        .collect();
+
+    let q = query.edge(qe);
+    let src_bound = current.binding.get(q.src);
+    let dst_bound = current.binding.get(q.dst);
+
+    // Choose the anchor endpoint to expand from.
+    let (anchor_qv, anchor_dv) = match (src_bound, dst_bound) {
+        (Some(dv), _) => (q.src, dv),
+        (None, Some(dv)) => (q.dst, dv),
+        (None, None) => {
+            // Disconnected primitive (should not happen for validated plans):
+            // fall back to scanning all live edges of the constrained type.
+            for edge in graph.edges() {
+                stats.candidates_examined += 1;
+                try_candidate(
+                    graph, query, constraints, qe, edge, &current, &rest, window, out, stats,
+                );
+            }
+            return;
+        }
+    };
+
+    let Some(candidates) = constraints.candidate_edges(graph, query, qe, anchor_qv, anchor_dv)
+    else {
+        return; // query edge type unknown to the graph: no candidates
+    };
+    // `candidate_edges` borrows the graph; collect ids to keep the borrow short.
+    let candidates: Vec<&Edge> = candidates.collect();
+    for edge in candidates {
+        stats.candidates_examined += 1;
+        try_candidate(
+            graph, query, constraints, qe, edge, &current, &rest, window, out, stats,
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_candidate(
+    graph: &DynamicGraph,
+    query: &QueryGraph,
+    constraints: &CompiledConstraints,
+    qe: QueryEdgeId,
+    edge: &Edge,
+    current: &PartialMatch,
+    rest: &[QueryEdgeId],
+    window: Duration,
+    out: &mut Vec<PartialMatch>,
+    stats: &mut LocalSearchStats,
+) {
+    if current.uses_data_edge(edge.id) {
+        return;
+    }
+    if !constraints.edge_matches(graph, query, qe, edge) {
+        return;
+    }
+    let q = query.edge(qe);
+    let mut next = current.clone();
+    if !next.binding.bind(q.src, edge.src) || !next.binding.bind(q.dst, edge.dst) {
+        return;
+    }
+    if !next.add_edge(qe, edge.id, edge.timestamp) {
+        return;
+    }
+    if !next.within_window(window) {
+        return;
+    }
+    extend(graph, query, constraints, rest, next, window, out, stats);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamworks_graph::{EdgeEvent, Timestamp};
+    use streamworks_query::QueryGraphBuilder;
+
+    fn news_query() -> QueryGraph {
+        // (a:Article)-[:mentions]->(k:Keyword), (a)-[:located]->(l:Location)
+        QueryGraphBuilder::new("wedge")
+            .window(Duration::from_hours(1))
+            .vertex("a", "Article")
+            .vertex("k", "Keyword")
+            .vertex("l", "Location")
+            .edge("a", "mentions", "k")
+            .edge("a", "located", "l")
+            .build()
+            .unwrap()
+    }
+
+    fn ingest(g: &mut DynamicGraph, src: &str, st: &str, dst: &str, dt: &str, et: &str, t: i64) -> Edge {
+        let r = g.ingest(&EdgeEvent::new(src, st, dst, dt, et, Timestamp::from_secs(t)));
+        g.edge(r.edge).unwrap().clone()
+    }
+
+    #[test]
+    fn two_edge_primitive_matches_when_second_edge_arrives() {
+        let mut g = DynamicGraph::unbounded();
+        let q = news_query();
+        ingest(&mut g, "a1", "Article", "k1", "Keyword", "mentions", 10);
+        let located = ingest(&mut g, "a1", "Article", "l1", "Location", "located", 20);
+        let c = CompiledConstraints::compile(&q, &g);
+        let mut out = Vec::new();
+        let prim = [QueryEdgeId(0), QueryEdgeId(1)];
+        let stats = find_primitive_matches(&g, &q, &c, &prim, &located, q.window(), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(stats.matches_found, 1);
+        let m = &out[0];
+        assert_eq!(m.edge_count(), 2);
+        assert_eq!(
+            m.binding.get(q.vertex_by_name("a").unwrap().id),
+            g.vertex_by_key("a1")
+        );
+    }
+
+    #[test]
+    fn no_match_when_first_edge_missing() {
+        let mut g = DynamicGraph::unbounded();
+        let q = news_query();
+        let located = ingest(&mut g, "a1", "Article", "l1", "Location", "located", 20);
+        let c = CompiledConstraints::compile(&q, &g);
+        let mut out = Vec::new();
+        find_primitive_matches(
+            &g,
+            &q,
+            &c,
+            &[QueryEdgeId(0), QueryEdgeId(1)],
+            &located,
+            q.window(),
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn window_excludes_stale_combinations() {
+        let mut g = DynamicGraph::unbounded();
+        let mut q = news_query();
+        q.set_window(Duration::from_secs(5));
+        ingest(&mut g, "a1", "Article", "k1", "Keyword", "mentions", 10);
+        let located = ingest(&mut g, "a1", "Article", "l1", "Location", "located", 100);
+        let c = CompiledConstraints::compile(&q, &g);
+        let mut out = Vec::new();
+        find_primitive_matches(
+            &g,
+            &q,
+            &c,
+            &[QueryEdgeId(0), QueryEdgeId(1)],
+            &located,
+            q.window(),
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multiple_embeddings_from_one_edge() {
+        let mut g = DynamicGraph::unbounded();
+        let q = news_query();
+        // a1 mentions two keywords; the located edge completes a wedge with each.
+        ingest(&mut g, "a1", "Article", "k1", "Keyword", "mentions", 1);
+        ingest(&mut g, "a1", "Article", "k2", "Keyword", "mentions", 2);
+        let located = ingest(&mut g, "a1", "Article", "l1", "Location", "located", 3);
+        let c = CompiledConstraints::compile(&q, &g);
+        let mut out = Vec::new();
+        find_primitive_matches(
+            &g,
+            &q,
+            &c,
+            &[QueryEdgeId(0), QueryEdgeId(1)],
+            &located,
+            q.window(),
+            &mut out,
+        );
+        assert_eq!(out.len(), 2);
+        // The two embeddings bind k differently.
+        let k = q.vertex_by_name("k").unwrap().id;
+        let mut keywords: Vec<_> = out.iter().map(|m| m.binding.get(k).unwrap()).collect();
+        keywords.sort();
+        keywords.dedup();
+        assert_eq!(keywords.len(), 2);
+    }
+
+    #[test]
+    fn single_edge_primitive_is_a_type_check() {
+        let mut g = DynamicGraph::unbounded();
+        let q = news_query();
+        let mention = ingest(&mut g, "a1", "Article", "k1", "Keyword", "mentions", 1);
+        let c = CompiledConstraints::compile(&q, &g);
+        let mut out = Vec::new();
+        find_primitive_matches(&g, &q, &c, &[QueryEdgeId(0)], &mention, q.window(), &mut out);
+        assert_eq!(out.len(), 1);
+        // The located edge does not match the mentions primitive.
+        let located = ingest(&mut g, "a1", "Article", "l1", "Location", "located", 2);
+        out.clear();
+        find_primitive_matches(&g, &q, &c, &[QueryEdgeId(0)], &located, q.window(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn injectivity_prevents_vertex_reuse() {
+        // Query: two distinct IPs both flowing into a third.
+        let q = QueryGraphBuilder::new("fanin")
+            .window(Duration::from_hours(1))
+            .vertex("x", "IP")
+            .vertex("y", "IP")
+            .vertex("t", "IP")
+            .edge("x", "flow", "t")
+            .edge("y", "flow", "t")
+            .build()
+            .unwrap();
+        let mut g = DynamicGraph::unbounded();
+        // Only one source flows twice into the target: x and y would have to be
+        // the same data vertex, which injectivity forbids.
+        ingest(&mut g, "s", "IP", "t", "IP", "flow", 1);
+        let second = ingest(&mut g, "s", "IP", "t", "IP", "flow", 2);
+        let c = CompiledConstraints::compile(&q, &g);
+        let mut out = Vec::new();
+        find_primitive_matches(
+            &g,
+            &q,
+            &c,
+            &[QueryEdgeId(0), QueryEdgeId(1)],
+            &second,
+            q.window(),
+            &mut out,
+        );
+        assert!(out.is_empty());
+        // A genuinely different source produces a match.
+        let third = ingest(&mut g, "s2", "IP", "t", "IP", "flow", 3);
+        out.clear();
+        find_primitive_matches(
+            &g,
+            &q,
+            &c,
+            &[QueryEdgeId(0), QueryEdgeId(1)],
+            &third,
+            q.window(),
+            &mut out,
+        );
+        // 4 embeddings: the query is symmetric in (x, y), and s has two parallel
+        // flow edges into t, so s2 can play x or y combined with either s edge.
+        assert_eq!(out.len(), 4);
+    }
+}

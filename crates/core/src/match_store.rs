@@ -1,0 +1,244 @@
+//! Per-SJ-Tree-node partial-match collections.
+//!
+//! Each SJ-Tree node "maintains a set of matching subgraphs" (paper property
+//! 3). The store indexes partial matches by the projection of their binding
+//! onto the node's *join key* (the cut vertices of its parent) so that the
+//! upward join of §4.2 is a hash lookup instead of a scan, and it supports
+//! window-based expiry so stale partial matches do not accumulate (§2.1's
+//! `τ(g) < tW` applies to partial matches too — anything outside the window
+//! can never complete).
+
+use crate::binding::PartialMatch;
+use streamworks_graph::hash::FxHashMap;
+use streamworks_graph::{Timestamp, VertexId};
+use streamworks_query::QueryVertexId;
+
+/// Handle of a partial match within one [`MatchStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatchHandle(usize);
+
+/// The join-key projection of a binding: the data vertices bound to the cut
+/// vertices, in cut order.
+pub type JoinKey = Vec<VertexId>;
+
+/// Partial-match collection of one SJ-Tree node.
+#[derive(Debug, Default)]
+pub struct MatchStore {
+    /// The query vertices this store projects on (the parent's cut).
+    key_vertices: Vec<QueryVertexId>,
+    /// Slab of matches; `None` marks expired/removed entries.
+    slots: Vec<Option<PartialMatch>>,
+    /// Hash index from join key to the handles of matches with that key.
+    by_key: FxHashMap<JoinKey, Vec<MatchHandle>>,
+    /// Live matches ordered (approximately) by earliest timestamp for expiry.
+    /// Entries may be stale (already removed); they are skipped during expiry.
+    expiry_queue: std::collections::VecDeque<(Timestamp, MatchHandle)>,
+    live: usize,
+    inserted_total: u64,
+    expired_total: u64,
+}
+
+impl MatchStore {
+    /// Creates a store projecting on the given join-key vertices.
+    pub fn new(key_vertices: Vec<QueryVertexId>) -> Self {
+        MatchStore {
+            key_vertices,
+            ..Default::default()
+        }
+    }
+
+    /// The join-key vertices this store projects on.
+    pub fn key_vertices(&self) -> &[QueryVertexId] {
+        &self.key_vertices
+    }
+
+    /// Number of live partial matches.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live matches are stored.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total matches ever inserted.
+    pub fn inserted_total(&self) -> u64 {
+        self.inserted_total
+    }
+
+    /// Total matches expired.
+    pub fn expired_total(&self) -> u64 {
+        self.expired_total
+    }
+
+    fn key_of(&self, m: &PartialMatch) -> Option<JoinKey> {
+        m.binding.project(&self.key_vertices)
+    }
+
+    /// Inserts a partial match, returning its handle. The caller must ensure
+    /// the match binds every join-key vertex (true for matches that cover the
+    /// node's full subgraph).
+    pub fn insert(&mut self, m: PartialMatch) -> MatchHandle {
+        let key = self.key_of(&m).unwrap_or_default();
+        let earliest = m.earliest;
+        let handle = MatchHandle(self.slots.len());
+        self.slots.push(Some(m));
+        self.by_key.entry(key).or_default().push(handle);
+        self.expiry_queue.push_back((earliest, handle));
+        self.live += 1;
+        self.inserted_total += 1;
+        handle
+    }
+
+    /// Fetches a live match by handle.
+    pub fn get(&self, handle: MatchHandle) -> Option<&PartialMatch> {
+        self.slots.get(handle.0).and_then(|s| s.as_ref())
+    }
+
+    /// Iterates the live matches whose join-key projection equals `key`.
+    pub fn candidates<'a>(&'a self, key: &JoinKey) -> impl Iterator<Item = &'a PartialMatch> + 'a {
+        self.by_key
+            .get(key)
+            .into_iter()
+            .flatten()
+            .filter_map(move |h| self.slots[h.0].as_ref())
+    }
+
+    /// Computes the join key this store would use for `m` (projection onto the
+    /// store's key vertices). `None` if the match does not bind them all.
+    pub fn join_key_for(&self, m: &PartialMatch) -> Option<JoinKey> {
+        self.key_of(m)
+    }
+
+    /// Iterates all live matches.
+    pub fn iter(&self) -> impl Iterator<Item = &PartialMatch> {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// Removes every live match whose *earliest* edge is older than `cutoff`
+    /// (such matches can never satisfy `τ(g) < tW` once stream time has passed
+    /// `cutoff + tW`). Returns the number removed.
+    pub fn expire_older_than(&mut self, cutoff: Timestamp) -> usize {
+        let mut removed = 0;
+        while let Some(&(earliest, handle)) = self.expiry_queue.front() {
+            if earliest >= cutoff {
+                break;
+            }
+            self.expiry_queue.pop_front();
+            if let Some(slot) = self.slots.get_mut(handle.0) {
+                if let Some(m) = slot.take() {
+                    // Also unlink from the key index.
+                    if let Some(key) = m.binding.project(&self.key_vertices) {
+                        if let Some(handles) = self.by_key.get_mut(&key) {
+                            handles.retain(|h| *h != handle);
+                            if handles.is_empty() {
+                                self.by_key.remove(&key);
+                            }
+                        }
+                    }
+                    self.live -= 1;
+                    removed += 1;
+                }
+            }
+        }
+        self.expired_total += removed as u64;
+        removed
+    }
+
+    /// Drops every stored match (used when a matcher is reset).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.by_key.clear();
+        self.expiry_queue.clear();
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamworks_graph::EdgeId;
+    use streamworks_query::QueryEdgeId;
+
+    fn m(qv_bindings: &[(usize, u32)], edge: u64, ts: i64) -> PartialMatch {
+        let mut pm = PartialMatch::seed(
+            4,
+            QueryEdgeId(edge as usize % 4),
+            EdgeId(edge),
+            Timestamp::from_secs(ts),
+        );
+        for &(qv, dv) in qv_bindings {
+            assert!(pm.binding.bind(QueryVertexId(qv), VertexId(dv)));
+        }
+        pm
+    }
+
+    #[test]
+    fn insert_and_lookup_by_join_key() {
+        let mut store = MatchStore::new(vec![QueryVertexId(0)]);
+        store.insert(m(&[(0, 10), (1, 20)], 1, 100));
+        store.insert(m(&[(0, 10), (1, 21)], 2, 101));
+        store.insert(m(&[(0, 99), (1, 22)], 3, 102));
+        assert_eq!(store.len(), 3);
+        let hits: Vec<_> = store.candidates(&vec![VertexId(10)]).collect();
+        assert_eq!(hits.len(), 2);
+        let misses: Vec<_> = store.candidates(&vec![VertexId(1)]).collect();
+        assert!(misses.is_empty());
+    }
+
+    #[test]
+    fn composite_join_keys_project_in_order() {
+        let mut store = MatchStore::new(vec![QueryVertexId(1), QueryVertexId(0)]);
+        store.insert(m(&[(0, 10), (1, 20)], 1, 100));
+        let key = store
+            .join_key_for(&m(&[(0, 10), (1, 20)], 9, 100))
+            .unwrap();
+        assert_eq!(key, vec![VertexId(20), VertexId(10)]);
+        assert_eq!(store.candidates(&key).count(), 1);
+    }
+
+    #[test]
+    fn expiry_removes_old_matches_and_updates_index() {
+        let mut store = MatchStore::new(vec![QueryVertexId(0)]);
+        store.insert(m(&[(0, 10)], 1, 100));
+        store.insert(m(&[(0, 10)], 2, 200));
+        store.insert(m(&[(0, 10)], 3, 300));
+        let removed = store.expire_older_than(Timestamp::from_secs(250));
+        assert_eq!(removed, 2);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.expired_total(), 2);
+        assert_eq!(store.candidates(&vec![VertexId(10)]).count(), 1);
+        // Expiring again with an older cutoff removes nothing.
+        assert_eq!(store.expire_older_than(Timestamp::from_secs(100)), 0);
+    }
+
+    #[test]
+    fn get_and_iter_skip_expired_entries() {
+        let mut store = MatchStore::new(vec![QueryVertexId(0)]);
+        let h1 = store.insert(m(&[(0, 10)], 1, 100));
+        store.insert(m(&[(0, 11)], 2, 500));
+        store.expire_older_than(Timestamp::from_secs(200));
+        assert!(store.get(h1).is_none());
+        assert_eq!(store.iter().count(), 1);
+        assert_eq!(store.inserted_total(), 2);
+    }
+
+    #[test]
+    fn empty_key_store_groups_everything_together() {
+        // The root has no parent cut: all matches share the empty key.
+        let mut store = MatchStore::new(vec![]);
+        store.insert(m(&[(0, 1)], 1, 10));
+        store.insert(m(&[(0, 2)], 2, 20));
+        assert_eq!(store.candidates(&vec![]).count(), 2);
+    }
+
+    #[test]
+    fn clear_empties_the_store() {
+        let mut store = MatchStore::new(vec![QueryVertexId(0)]);
+        store.insert(m(&[(0, 1)], 1, 10));
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.candidates(&vec![VertexId(1)]).count(), 0);
+    }
+}

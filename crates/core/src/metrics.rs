@@ -1,0 +1,112 @@
+//! Per-query runtime counters.
+//!
+//! The metrics mirror the quantities the paper's evaluation narrative cares
+//! about: how many partial matches a plan materialises (the cost the
+//! selectivity-driven decomposition is designed to minimise, §4.1), how many
+//! join attempts succeed, and how many complete matches are emitted.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for one registered query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryMetrics {
+    /// Data edges offered to the matcher.
+    pub edges_processed: u64,
+    /// Candidate data edges examined during local search.
+    pub local_search_candidates: u64,
+    /// Embeddings of leaf primitives produced by local search.
+    pub primitive_matches: u64,
+    /// Partial matches inserted across all SJ-Tree nodes (including leaves).
+    pub partial_matches_inserted: u64,
+    /// Partial matches currently stored (updated on insert/expiry).
+    pub partial_matches_live: u64,
+    /// Partial matches removed by window expiry.
+    pub partial_matches_expired: u64,
+    /// Join attempts between sibling match collections.
+    pub joins_attempted: u64,
+    /// Join attempts that produced a larger partial match.
+    pub joins_succeeded: u64,
+    /// Complete matches emitted (root-level combinations within the window).
+    pub complete_matches: u64,
+    /// Partial matches dropped because a per-node cap was reached.
+    pub matches_dropped_by_cap: u64,
+}
+
+impl QueryMetrics {
+    /// Join success ratio (1.0 when no joins were attempted).
+    pub fn join_success_rate(&self) -> f64 {
+        if self.joins_attempted == 0 {
+            1.0
+        } else {
+            self.joins_succeeded as f64 / self.joins_attempted as f64
+        }
+    }
+
+    /// Complete matches per processed edge.
+    pub fn matches_per_edge(&self) -> f64 {
+        if self.edges_processed == 0 {
+            0.0
+        } else {
+            self.complete_matches as f64 / self.edges_processed as f64
+        }
+    }
+
+    /// Adds another metrics snapshot into this one (used to aggregate across
+    /// queries or runs).
+    pub fn absorb(&mut self, other: &QueryMetrics) {
+        self.edges_processed += other.edges_processed;
+        self.local_search_candidates += other.local_search_candidates;
+        self.primitive_matches += other.primitive_matches;
+        self.partial_matches_inserted += other.partial_matches_inserted;
+        self.partial_matches_live += other.partial_matches_live;
+        self.partial_matches_expired += other.partial_matches_expired;
+        self.joins_attempted += other.joins_attempted;
+        self.joins_succeeded += other.joins_succeeded;
+        self.complete_matches += other.complete_matches;
+        self.matches_dropped_by_cap += other.matches_dropped_by_cap;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let m = QueryMetrics::default();
+        assert_eq!(m.join_success_rate(), 1.0);
+        assert_eq!(m.matches_per_edge(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let m = QueryMetrics {
+            edges_processed: 100,
+            joins_attempted: 10,
+            joins_succeeded: 4,
+            complete_matches: 2,
+            ..Default::default()
+        };
+        assert!((m.join_success_rate() - 0.4).abs() < 1e-12);
+        assert!((m.matches_per_edge() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_sums_counters() {
+        let mut a = QueryMetrics {
+            edges_processed: 1,
+            complete_matches: 2,
+            ..Default::default()
+        };
+        let b = QueryMetrics {
+            edges_processed: 3,
+            complete_matches: 4,
+            partial_matches_expired: 7,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.edges_processed, 4);
+        assert_eq!(a.complete_matches, 6);
+        assert_eq!(a.partial_matches_expired, 7);
+    }
+}

@@ -1,0 +1,234 @@
+//! Multi-query parallel execution.
+//!
+//! The paper's demo runs on a 48-core shared-memory node (§6.1). The natural
+//! unit of parallelism in StreamWorks is the *registered query*: matchers for
+//! different queries never share mutable state, so a registry of queries can
+//! be sharded across worker threads, each worker maintaining its own graph and
+//! summaries and processing the full edge stream for its shard. This module
+//! provides that batch-oriented runner on top of crossbeam's scoped threads.
+//!
+//! Sharding by query replicates the graph per worker (memory trades for
+//! scalability); it preserves exact semantics because each query's results
+//! depend only on the stream, not on other queries.
+
+use crate::config::EngineConfig;
+use crate::engine::ContinuousQueryEngine;
+use crate::event::{MatchEvent, QueryId};
+use crate::metrics::QueryMetrics;
+use streamworks_graph::EdgeEvent;
+use streamworks_query::{QueryError, QueryGraph};
+
+/// Outcome of a parallel run.
+#[derive(Debug)]
+pub struct ParallelRunOutcome {
+    /// All match events, ordered by (stream time, query name).
+    pub events: Vec<MatchEvent>,
+    /// Per-query metrics, keyed by query name, in registration order.
+    pub metrics: Vec<(String, QueryMetrics)>,
+    /// Number of edge events each worker processed (equal for all workers).
+    pub edges_processed: usize,
+    /// Number of worker threads used.
+    pub workers: usize,
+}
+
+/// Shards registered queries across worker threads and replays a stream
+/// through every shard in parallel.
+#[derive(Debug, Clone)]
+pub struct ParallelRunner {
+    config: EngineConfig,
+    workers: usize,
+    queries: Vec<QueryGraph>,
+}
+
+impl ParallelRunner {
+    /// Creates a runner with `workers` threads (clamped to at least 1).
+    pub fn new(config: EngineConfig, workers: usize) -> Self {
+        ParallelRunner {
+            config,
+            workers: workers.max(1),
+            queries: Vec::new(),
+        }
+    }
+
+    /// Registers a query; it will be planned by its worker at run time using
+    /// that worker's (initially empty) statistics.
+    pub fn register_query(&mut self, query: QueryGraph) -> &mut Self {
+        self.queries.push(query);
+        self
+    }
+
+    /// Number of registered queries.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Number of worker threads that will be used for the current registry.
+    pub fn effective_workers(&self) -> usize {
+        self.workers.min(self.queries.len()).max(1)
+    }
+
+    /// Replays `events` through every registered query, sharded across the
+    /// worker threads, and merges the results.
+    pub fn run(&self, events: &[EdgeEvent]) -> Result<ParallelRunOutcome, QueryError> {
+        if self.queries.is_empty() {
+            return Ok(ParallelRunOutcome {
+                events: Vec::new(),
+                metrics: Vec::new(),
+                edges_processed: events.len(),
+                workers: 0,
+            });
+        }
+        let workers = self.effective_workers();
+        // Round-robin sharding keeps shards balanced in query count.
+        let mut shards: Vec<Vec<QueryGraph>> = vec![Vec::new(); workers];
+        for (i, q) in self.queries.iter().enumerate() {
+            shards[i % workers].push(q.clone());
+        }
+
+        let config = self.config;
+        let results: Vec<Result<(Vec<MatchEvent>, Vec<(String, QueryMetrics)>), QueryError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|shard| {
+                        scope.spawn(move || -> Result<_, QueryError> {
+                            let mut engine = ContinuousQueryEngine::new(config);
+                            let mut names = Vec::new();
+                            for q in shard {
+                                names.push(q.name().to_owned());
+                                engine.register_query(q.clone())?;
+                            }
+                            let mut matches = Vec::new();
+                            for ev in events {
+                                matches.extend(engine.process(ev));
+                            }
+                            let metrics = names
+                                .iter()
+                                .enumerate()
+                                .map(|(i, name)| {
+                                    (name.clone(), engine.metrics(QueryId(i)).unwrap_or_default())
+                                })
+                                .collect();
+                            Ok((matches, metrics))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread panicked"))
+                    .collect()
+            });
+
+        let mut all_events = Vec::new();
+        let mut all_metrics = Vec::new();
+        for r in results {
+            let (events, metrics) = r?;
+            all_events.extend(events);
+            all_metrics.extend(metrics);
+        }
+        all_events.sort_by(|a, b| a.at.cmp(&b.at).then(a.query_name.cmp(&b.query_name)));
+        // Report metrics in the original registration order.
+        all_metrics.sort_by_key(|(name, _)| {
+            self.queries
+                .iter()
+                .position(|q| q.name() == name)
+                .unwrap_or(usize::MAX)
+        });
+        Ok(ParallelRunOutcome {
+            events: all_events,
+            metrics: all_metrics,
+            edges_processed: events.len(),
+            workers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamworks_graph::{Duration, Timestamp};
+    use streamworks_query::QueryGraphBuilder;
+
+    fn pair_query(name: &str, etype: &str) -> QueryGraph {
+        QueryGraphBuilder::new(name)
+            .window(Duration::from_hours(1))
+            .vertex("a1", "Article")
+            .vertex("a2", "Article")
+            .vertex("k", "Keyword")
+            .edge("a1", etype, "k")
+            .edge("a2", etype, "k")
+            .build()
+            .unwrap()
+    }
+
+    fn stream() -> Vec<EdgeEvent> {
+        let mut events = Vec::new();
+        for i in 0..30i64 {
+            events.push(EdgeEvent::new(
+                format!("a{}", i % 6),
+                "Article",
+                format!("k{}", i % 3),
+                "Keyword",
+                if i % 2 == 0 { "mentions" } else { "cites" },
+                Timestamp::from_secs(i * 5),
+            ));
+        }
+        events
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_run() {
+        let queries = vec![pair_query("mentions_pair", "mentions"), pair_query("cites_pair", "cites")];
+        let events = stream();
+
+        // Sequential reference.
+        let mut sequential = ContinuousQueryEngine::with_defaults();
+        for q in &queries {
+            sequential.register_query(q.clone()).unwrap();
+        }
+        let mut seq_events = Vec::new();
+        for ev in &events {
+            seq_events.extend(sequential.process(ev));
+        }
+
+        // Parallel runs with 1, 2 and 4 workers all agree with it.
+        for workers in [1usize, 2, 4] {
+            let mut runner = ParallelRunner::new(EngineConfig::default(), workers);
+            for q in &queries {
+                runner.register_query(q.clone());
+            }
+            let outcome = runner.run(&events).unwrap();
+            assert_eq!(outcome.events.len(), seq_events.len(), "workers={workers}");
+            assert_eq!(outcome.edges_processed, events.len());
+            assert_eq!(outcome.metrics.len(), 2);
+            let total: u64 = outcome.metrics.iter().map(|(_, m)| m.complete_matches).sum();
+            assert_eq!(total as usize, seq_events.len());
+        }
+    }
+
+    #[test]
+    fn empty_registry_is_a_noop() {
+        let runner = ParallelRunner::new(EngineConfig::default(), 4);
+        let outcome = runner.run(&stream()).unwrap();
+        assert!(outcome.events.is_empty());
+        assert_eq!(outcome.workers, 0);
+    }
+
+    #[test]
+    fn effective_workers_is_bounded_by_query_count() {
+        let mut runner = ParallelRunner::new(EngineConfig::default(), 8);
+        runner.register_query(pair_query("only", "mentions"));
+        assert_eq!(runner.effective_workers(), 1);
+        assert_eq!(runner.query_count(), 1);
+    }
+
+    #[test]
+    fn metrics_follow_registration_order() {
+        let mut runner = ParallelRunner::new(EngineConfig::default(), 2);
+        runner.register_query(pair_query("zz_last_name", "mentions"));
+        runner.register_query(pair_query("aa_first_name", "cites"));
+        let outcome = runner.run(&stream()).unwrap();
+        assert_eq!(outcome.metrics[0].0, "zz_last_name");
+        assert_eq!(outcome.metrics[1].0, "aa_first_name");
+    }
+}

@@ -1,0 +1,356 @@
+//! The incremental SJ-Tree matcher (paper §4.2).
+//!
+//! One [`SjTreeMatcher`] is instantiated per registered query. It owns a
+//! [`MatchStore`] per SJ-Tree node and implements the paper's two-step
+//! algorithm for every incoming edge:
+//!
+//! 1. **Local search** — match the edge against the search primitives at the
+//!    leaves; each embedding found is inserted into the leaf's match
+//!    collection.
+//! 2. **Join propagation** — whenever a match is inserted at a node, probe the
+//!    sibling node's collection using the parent's cut-subgraph as the join
+//!    key; every successful combination is inserted at the parent, repeating
+//!    until no larger match can be produced. A combination at the root that
+//!    satisfies `τ(g) < tW` is a complete match.
+
+use crate::binding::PartialMatch;
+use crate::constraints::CompiledConstraints;
+use crate::local_search::find_primitive_matches;
+use crate::match_store::MatchStore;
+use crate::metrics::QueryMetrics;
+use streamworks_graph::{Duration, DynamicGraph, Edge, Timestamp};
+use streamworks_query::{QueryPlan, SjNodeId};
+
+/// Incremental matcher for one query plan.
+#[derive(Debug)]
+pub struct SjTreeMatcher {
+    plan: QueryPlan,
+    constraints: CompiledConstraints,
+    /// Match collection per SJ-Tree node, indexed by `SjNodeId`.
+    stores: Vec<MatchStore>,
+    metrics: QueryMetrics,
+    /// Optional cap on live matches per node (guards against partial-match
+    /// explosion under hostile plans; `None` = unbounded).
+    max_matches_per_node: Option<usize>,
+}
+
+impl SjTreeMatcher {
+    /// Creates a matcher for `plan`, compiled against `graph`.
+    pub fn new(plan: QueryPlan, graph: &DynamicGraph) -> Self {
+        let constraints = CompiledConstraints::compile(&plan.query, graph);
+        let stores = plan
+            .shape
+            .nodes()
+            .map(|n| MatchStore::new(plan.shape.join_key(n.id).to_vec()))
+            .collect();
+        SjTreeMatcher {
+            constraints,
+            stores,
+            metrics: QueryMetrics::default(),
+            max_matches_per_node: None,
+            plan,
+        }
+    }
+
+    /// Sets a cap on live partial matches per SJ-Tree node.
+    pub fn with_match_cap(mut self, cap: Option<usize>) -> Self {
+        self.max_matches_per_node = cap;
+        self
+    }
+
+    /// The plan this matcher executes.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// The query window `tW`.
+    pub fn window(&self) -> Duration {
+        self.plan.query.window()
+    }
+
+    /// Current metrics snapshot.
+    pub fn metrics(&self) -> QueryMetrics {
+        let mut m = self.metrics;
+        m.partial_matches_live = self.stores.iter().map(|s| s.len() as u64).sum();
+        m
+    }
+
+    /// Live partial matches stored at a specific SJ-Tree node.
+    pub fn node_match_count(&self, node: SjNodeId) -> usize {
+        self.stores[node.0].len()
+    }
+
+    /// The fraction of the query's edges covered by the largest partial match
+    /// currently stored anywhere in the tree (the "% matched" figure of the
+    /// paper's Fig. 7 progression view).
+    pub fn best_partial_fraction(&self) -> f64 {
+        let total = self.plan.query.edge_count() as f64;
+        let mut best = 0usize;
+        for store in &self.stores {
+            for m in store.iter() {
+                best = best.max(m.edge_count());
+            }
+        }
+        if self.metrics.complete_matches > 0 {
+            return 1.0;
+        }
+        best as f64 / total
+    }
+
+    /// Processes one newly inserted data edge. Complete matches are appended
+    /// to `out`.
+    pub fn process_edge(
+        &mut self,
+        graph: &DynamicGraph,
+        edge: &Edge,
+        out: &mut Vec<PartialMatch>,
+    ) {
+        self.metrics.edges_processed += 1;
+        self.constraints.refresh(&self.plan.query, graph);
+        let window = self.window();
+
+        let leaves: Vec<SjNodeId> = self.plan.shape.leaves().to_vec();
+        let mut found = Vec::new();
+        for leaf in leaves {
+            found.clear();
+            let prim_edges = self.plan.shape.node(leaf).edges.clone();
+            let stats = find_primitive_matches(
+                graph,
+                &self.plan.query,
+                &self.constraints,
+                &prim_edges,
+                edge,
+                window,
+                &mut found,
+            );
+            self.metrics.local_search_candidates += stats.candidates_examined;
+            self.metrics.primitive_matches += stats.matches_found;
+            for m in found.drain(..) {
+                self.insert_and_join(leaf, m, out);
+            }
+        }
+    }
+
+    /// Inserts a match at a node and propagates joins towards the root.
+    fn insert_and_join(
+        &mut self,
+        node: SjNodeId,
+        m: PartialMatch,
+        out: &mut Vec<PartialMatch>,
+    ) {
+        let window = self.window();
+        let root = self.plan.shape.root();
+        let mut stack: Vec<(SjNodeId, PartialMatch)> = vec![(node, m)];
+        while let Some((node, m)) = stack.pop() {
+            if node == root {
+                // Root-level combination: a complete match.
+                self.metrics.complete_matches += 1;
+                out.push(m);
+                continue;
+            }
+            // Respect the per-node cap.
+            if let Some(cap) = self.max_matches_per_node {
+                if self.stores[node.0].len() >= cap {
+                    self.metrics.matches_dropped_by_cap += 1;
+                    continue;
+                }
+            }
+            // Store the match so later sibling insertions can find it.
+            let key = self.stores[node.0]
+                .join_key_for(&m)
+                .unwrap_or_default();
+            self.stores[node.0].insert(m.clone());
+            self.metrics.partial_matches_inserted += 1;
+
+            // Probe the sibling's collection on the shared cut vertices.
+            let Some(sibling) = self.plan.shape.sibling(node) else {
+                continue;
+            };
+            let parent = self
+                .plan
+                .shape
+                .node(node)
+                .parent
+                .expect("non-root node has a parent");
+            let mut merged_results = Vec::new();
+            {
+                let sibling_store = &self.stores[sibling.0];
+                for candidate in sibling_store.candidates(&key) {
+                    self.metrics.joins_attempted += 1;
+                    if let Some(merged) = m.merge(candidate) {
+                        if merged.within_window(window) {
+                            merged_results.push(merged);
+                        }
+                    }
+                }
+            }
+            self.metrics.joins_succeeded += merged_results.len() as u64;
+            for merged in merged_results {
+                stack.push((parent, merged));
+            }
+        }
+    }
+
+    /// Removes every partial match whose earliest edge is older than
+    /// `now - tW`: such matches can never be completed within the window.
+    pub fn prune(&mut self, now: Timestamp) {
+        let cutoff = now.minus(self.window());
+        let mut removed = 0usize;
+        for store in &mut self.stores {
+            removed += store.expire_older_than(cutoff);
+        }
+        self.metrics.partial_matches_expired += removed as u64;
+    }
+
+    /// Drops all stored partial matches and resets metrics (used between
+    /// experiment repetitions).
+    pub fn reset(&mut self) {
+        for store in &mut self.stores {
+            store.clear();
+        }
+        self.metrics = QueryMetrics::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamworks_graph::{EdgeEvent, Timestamp};
+    use streamworks_query::{Planner, QueryGraphBuilder};
+
+    fn wedge_query(window_secs: i64) -> QueryPlan {
+        let q = QueryGraphBuilder::new("wedge")
+            .window(Duration::from_secs(window_secs))
+            .vertex("a1", "Article")
+            .vertex("a2", "Article")
+            .vertex("k", "Keyword")
+            .edge("a1", "mentions", "k")
+            .edge("a2", "mentions", "k")
+            .build()
+            .unwrap();
+        // Single-edge primitives so the tree has two leaves and genuinely
+        // stores partial matches (a 2-edge primitive would collapse this query
+        // into one leaf that emits complete matches directly).
+        Planner::new()
+            .plan_with(
+                q,
+                &streamworks_query::SelectivityOrdered {
+                    max_primitive_size: 1,
+                },
+            )
+            .unwrap()
+    }
+
+    fn feed(g: &mut DynamicGraph, m: &mut SjTreeMatcher, src: &str, dst: &str, et: &str, t: i64) -> Vec<PartialMatch> {
+        let (st, dt) = if et == "mentions" {
+            ("Article", "Keyword")
+        } else {
+            ("Article", "Location")
+        };
+        let r = g.ingest(&EdgeEvent::new(src, st, dst, dt, et, Timestamp::from_secs(t)));
+        let edge = g.edge(r.edge).unwrap().clone();
+        let mut out = Vec::new();
+        m.process_edge(g, &edge, &mut out);
+        out
+    }
+
+    #[test]
+    fn complete_match_emitted_when_pattern_completes() {
+        let mut g = DynamicGraph::unbounded();
+        let mut matcher = SjTreeMatcher::new(wedge_query(3600), &g);
+        assert!(feed(&mut g, &mut matcher, "a1", "k1", "mentions", 10).is_empty());
+        let matches = feed(&mut g, &mut matcher, "a2", "k1", "mentions", 20);
+        // Two articles sharing keyword k1: one embedding per (a1,a2) assignment.
+        assert_eq!(matches.len(), 2);
+        let metrics = matcher.metrics();
+        assert_eq!(metrics.complete_matches, 2);
+        assert!(metrics.edges_processed >= 2);
+        assert!(matcher.best_partial_fraction() >= 1.0);
+    }
+
+    #[test]
+    fn matches_outside_window_are_not_reported() {
+        let mut g = DynamicGraph::unbounded();
+        let mut matcher = SjTreeMatcher::new(wedge_query(30), &g);
+        feed(&mut g, &mut matcher, "a1", "k1", "mentions", 10);
+        // 100 - 10 = 90s span > 30s window.
+        let matches = feed(&mut g, &mut matcher, "a2", "k1", "mentions", 100);
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn prune_discards_unjoinable_partial_matches() {
+        let mut g = DynamicGraph::unbounded();
+        let mut matcher = SjTreeMatcher::new(wedge_query(30), &g);
+        for i in 0..50 {
+            feed(&mut g, &mut matcher, &format!("a{i}"), "k1", "mentions", i);
+        }
+        let before = matcher.metrics().partial_matches_live;
+        assert!(before > 0);
+        matcher.prune(Timestamp::from_secs(1_000));
+        let after = matcher.metrics();
+        assert_eq!(after.partial_matches_live, 0);
+        assert_eq!(after.partial_matches_expired, before);
+    }
+
+    #[test]
+    fn match_cap_limits_partial_match_growth() {
+        let mut g = DynamicGraph::unbounded();
+        let mut matcher = SjTreeMatcher::new(wedge_query(3600), &g).with_match_cap(Some(5));
+        for i in 0..20 {
+            feed(&mut g, &mut matcher, &format!("a{i}"), "k1", "mentions", i);
+        }
+        let m = matcher.metrics();
+        assert!(m.matches_dropped_by_cap > 0);
+        assert!(m.partial_matches_live <= 10); // 5 per node, 2 nodes with stores in use
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut g = DynamicGraph::unbounded();
+        let mut matcher = SjTreeMatcher::new(wedge_query(3600), &g);
+        feed(&mut g, &mut matcher, "a1", "k1", "mentions", 1);
+        feed(&mut g, &mut matcher, "a2", "k1", "mentions", 2);
+        assert!(matcher.metrics().complete_matches > 0);
+        matcher.reset();
+        assert_eq!(matcher.metrics().complete_matches, 0);
+        assert_eq!(matcher.metrics().partial_matches_live, 0);
+    }
+
+    #[test]
+    fn three_leaf_plan_joins_across_levels() {
+        // Fig. 2-style query: three articles sharing a keyword and a location.
+        let q = QueryGraphBuilder::new("news_triple")
+            .window(Duration::from_hours(6))
+            .vertex("a1", "Article")
+            .vertex("a2", "Article")
+            .vertex("a3", "Article")
+            .vertex("k", "Keyword")
+            .vertex("l", "Location")
+            .edge("a1", "mentions", "k")
+            .edge("a2", "mentions", "k")
+            .edge("a3", "mentions", "k")
+            .edge("a1", "located", "l")
+            .edge("a2", "located", "l")
+            .edge("a3", "located", "l")
+            .build()
+            .unwrap();
+        let plan = Planner::new().plan(q).unwrap();
+        let mut g = DynamicGraph::unbounded();
+        let mut matcher = SjTreeMatcher::new(plan, &g);
+        let mut complete = 0usize;
+        let mut t = 0;
+        for a in ["x", "y", "z"] {
+            complete += feed(&mut g, &mut matcher, a, "k1", "mentions", t).len();
+            t += 1;
+            complete += feed(&mut g, &mut matcher, a, "paris", "located", t).len();
+            t += 1;
+        }
+        // Three articles, each with the keyword and the location: 3! = 6
+        // assignments of (a1, a2, a3) to (x, y, z).
+        assert_eq!(complete, 6);
+        assert_eq!(matcher.metrics().complete_matches, 6);
+        // Partial fraction reaches 1.0 once complete matches exist.
+        assert_eq!(matcher.best_partial_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Per-vertex adjacency lists grouped by direction and edge type.
+//!
+//! The matcher's *local search* (paper §4.1) repeatedly asks for "edges of
+//! type `t` incident to vertex `v` in direction `d`". Grouping adjacency by
+//! `(direction, edge type)` makes that query a single map lookup plus a dense
+//! scan, instead of a filter over all incident edges.
+//!
+//! Expired edges are removed lazily: [`crate::DynamicGraph`] drops them from
+//! its edge table immediately, and adjacency vectors are compacted once their
+//! dead fraction crosses a threshold. Iteration always checks liveness against
+//! the edge table, so stale entries are never observable from the public API.
+
+use crate::hash::FxHashMap;
+use crate::ids::{EdgeId, Timestamp, TypeId, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Direction of traversal relative to a vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Edges whose source is the vertex.
+    Out,
+    /// Edges whose destination is the vertex.
+    In,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Out => Direction::In,
+            Direction::In => Direction::Out,
+        }
+    }
+}
+
+/// One adjacency entry: an incident edge and the neighbouring endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdjEntry {
+    /// The incident edge.
+    pub edge: EdgeId,
+    /// The endpoint on the far side of the edge.
+    pub neighbor: VertexId,
+    /// Timestamp of the edge (duplicated here to avoid an edge-table lookup
+    /// during time-window filtering).
+    pub timestamp: Timestamp,
+}
+
+/// Adjacency of a single vertex.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AdjacencyList {
+    out: FxHashMap<TypeId, Vec<AdjEntry>>,
+    inc: FxHashMap<TypeId, Vec<AdjEntry>>,
+    /// Number of entries (across both directions) that refer to expired edges
+    /// and have not been compacted away yet.
+    dead: usize,
+}
+
+impl AdjacencyList {
+    /// Creates an empty adjacency list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn side(&self, dir: Direction) -> &FxHashMap<TypeId, Vec<AdjEntry>> {
+        match dir {
+            Direction::Out => &self.out,
+            Direction::In => &self.inc,
+        }
+    }
+
+    fn side_mut(&mut self, dir: Direction) -> &mut FxHashMap<TypeId, Vec<AdjEntry>> {
+        match dir {
+            Direction::Out => &mut self.out,
+            Direction::In => &mut self.inc,
+        }
+    }
+
+    /// Appends an entry for a newly inserted edge.
+    pub fn push(&mut self, dir: Direction, etype: TypeId, entry: AdjEntry) {
+        self.side_mut(dir).entry(etype).or_default().push(entry);
+    }
+
+    /// Records that one referenced edge has expired (used to decide when to compact).
+    pub fn note_dead(&mut self) {
+        self.dead += 1;
+    }
+
+    /// Iterates raw entries for a direction and edge type. Entries may be stale;
+    /// the caller must check liveness against the edge table.
+    pub fn entries(&self, dir: Direction, etype: TypeId) -> &[AdjEntry] {
+        self.side(dir)
+            .get(&etype)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Iterates raw entries for a direction across all edge types.
+    pub fn entries_all_types(
+        &self,
+        dir: Direction,
+    ) -> impl Iterator<Item = (TypeId, &AdjEntry)> {
+        self.side(dir)
+            .iter()
+            .flat_map(|(t, v)| v.iter().map(move |e| (*t, e)))
+    }
+
+    /// Total number of stored entries (including stale ones).
+    pub fn raw_len(&self) -> usize {
+        self.out.values().map(Vec::len).sum::<usize>()
+            + self.inc.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Number of entries known to be stale.
+    pub fn dead_len(&self) -> usize {
+        self.dead
+    }
+
+    /// True if compaction is worthwhile (more than half of the entries are stale
+    /// and there are enough of them to matter).
+    pub fn should_compact(&self) -> bool {
+        self.dead >= 32 && self.dead * 2 >= self.raw_len()
+    }
+
+    /// Removes every entry for which `is_live` returns `false`.
+    pub fn compact(&mut self, mut is_live: impl FnMut(EdgeId) -> bool) {
+        for map in [&mut self.out, &mut self.inc] {
+            map.retain(|_, v| {
+                v.retain(|e| is_live(e.edge));
+                !v.is_empty()
+            });
+        }
+        self.dead = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(e: u64, n: u32) -> AdjEntry {
+        AdjEntry {
+            edge: EdgeId(e),
+            neighbor: VertexId(n),
+            timestamp: Timestamp::from_secs(e as i64),
+        }
+    }
+
+    #[test]
+    fn push_and_lookup_by_type_and_direction() {
+        let mut adj = AdjacencyList::new();
+        adj.push(Direction::Out, TypeId(0), entry(1, 10));
+        adj.push(Direction::Out, TypeId(1), entry(2, 11));
+        adj.push(Direction::In, TypeId(0), entry(3, 12));
+
+        assert_eq!(adj.entries(Direction::Out, TypeId(0)).len(), 1);
+        assert_eq!(adj.entries(Direction::Out, TypeId(1)).len(), 1);
+        assert_eq!(adj.entries(Direction::In, TypeId(0)).len(), 1);
+        assert_eq!(adj.entries(Direction::In, TypeId(1)).len(), 0);
+        assert_eq!(adj.raw_len(), 3);
+    }
+
+    #[test]
+    fn entries_all_types_covers_every_type() {
+        let mut adj = AdjacencyList::new();
+        adj.push(Direction::Out, TypeId(0), entry(1, 10));
+        adj.push(Direction::Out, TypeId(1), entry(2, 11));
+        let mut seen: Vec<u64> = adj
+            .entries_all_types(Direction::Out)
+            .map(|(_, e)| e.edge.0)
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn compact_removes_dead_entries() {
+        let mut adj = AdjacencyList::new();
+        for i in 0..100 {
+            adj.push(Direction::Out, TypeId(0), entry(i, i as u32));
+        }
+        for _ in 0..60 {
+            adj.note_dead();
+        }
+        assert!(adj.should_compact());
+        // Edges with id < 60 are "expired".
+        adj.compact(|e| e.0 >= 60);
+        assert_eq!(adj.raw_len(), 40);
+        assert_eq!(adj.dead_len(), 0);
+        assert!(!adj.should_compact());
+    }
+
+    #[test]
+    fn small_lists_do_not_trigger_compaction() {
+        let mut adj = AdjacencyList::new();
+        adj.push(Direction::Out, TypeId(0), entry(0, 0));
+        adj.note_dead();
+        assert!(!adj.should_compact());
+    }
+
+    #[test]
+    fn direction_reverse() {
+        assert_eq!(Direction::Out.reverse(), Direction::In);
+        assert_eq!(Direction::In.reverse(), Direction::Out);
+    }
+}

@@ -1,0 +1,256 @@
+//! Attribute values attached to vertices and edges.
+//!
+//! Multi-relational graphs in the paper's target domains carry small property
+//! maps: an `Article` vertex has a publication date and a section, a network
+//! `flow` edge has a byte count and a destination port. Attributes are the
+//! values that query predicates (see `streamworks-query`) evaluate against.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// UTF-8 string value.
+    Str(String),
+    /// Signed integer value.
+    Int(i64),
+    /// Floating-point value.
+    Float(f64),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// Returns the string contents if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer contents if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float contents if this is a `Float` (or an `Int`, widened).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            AttrValue::Float(f) => Some(*f),
+            AttrValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean contents if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            AttrValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A total order across values of the *same* variant; values of different
+    /// variants are ordered by variant tag. Used by range predicates.
+    pub fn compare(&self, other: &AttrValue) -> Ordering {
+        use AttrValue::*;
+        match (self, other) {
+            (Str(a), Str(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            _ => self.tag().cmp(&other.tag()),
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            AttrValue::Str(_) => 0,
+            AttrValue::Int(_) => 1,
+            AttrValue::Float(_) => 2,
+            AttrValue::Bool(_) => 3,
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Str(s) => write!(f, "{s}"),
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Float(x) => write!(f, "{x}"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Str(s)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(i: i64) -> Self {
+        AttrValue::Int(i)
+    }
+}
+
+impl From<i32> for AttrValue {
+    fn from(i: i32) -> Self {
+        AttrValue::Int(i as i64)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(f: f64) -> Self {
+        AttrValue::Float(f)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(b: bool) -> Self {
+        AttrValue::Bool(b)
+    }
+}
+
+/// A small ordered attribute map.
+///
+/// Most vertices and edges carry zero to a handful of attributes, so a sorted
+/// `Vec` of pairs beats a hash map in both memory and lookup time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Attrs {
+    entries: Vec<(String, AttrValue)>,
+}
+
+impl Attrs {
+    /// Creates an empty attribute map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an attribute map from an iterator of `(key, value)` pairs.
+    /// Later duplicates overwrite earlier ones.
+    pub fn from_pairs<I, K, V>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<AttrValue>,
+    {
+        let mut attrs = Attrs::new();
+        for (k, v) in pairs {
+            attrs.set(k.into(), v.into());
+        }
+        attrs
+    }
+
+    /// Sets `key` to `value`, replacing any previous value.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<AttrValue>) {
+        let key = key.into();
+        let value = value.into();
+        match self.entries.binary_search_by(|(k, _)| k.as_str().cmp(&key)) {
+            Ok(i) => self.entries[i].1 = value,
+            Err(i) => self.entries.insert(i, (key, value)),
+        }
+    }
+
+    /// Returns the value stored under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&AttrValue> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if there are no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &AttrValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut a = Attrs::new();
+        a.set("port", 443i64);
+        a.set("proto", "tcp");
+        a.set("secure", true);
+        assert_eq!(a.get("port").unwrap().as_int(), Some(443));
+        assert_eq!(a.get("proto").unwrap().as_str(), Some("tcp"));
+        assert_eq!(a.get("secure").unwrap().as_bool(), Some(true));
+        assert_eq!(a.get("missing"), None);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn set_overwrites_existing_key() {
+        let mut a = Attrs::new();
+        a.set("x", 1i64);
+        a.set("x", 2i64);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get("x").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn from_pairs_builds_sorted_map() {
+        let a = Attrs::from_pairs([("b", 2i64), ("a", 1i64), ("c", 3i64)]);
+        let keys: Vec<_> = a.iter().map(|(k, _)| k.to_owned()).collect();
+        assert_eq!(keys, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn compare_orders_numbers_across_variants() {
+        assert_eq!(
+            AttrValue::Int(2).compare(&AttrValue::Float(2.5)),
+            Ordering::Less
+        );
+        assert_eq!(
+            AttrValue::Float(3.0).compare(&AttrValue::Int(3)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            AttrValue::Str("b".into()).compare(&AttrValue::Str("a".into())),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn as_float_widens_int() {
+        assert_eq!(AttrValue::Int(5).as_float(), Some(5.0));
+        assert_eq!(AttrValue::Bool(true).as_float(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AttrValue::from("x").to_string(), "x");
+        assert_eq!(AttrValue::from(3i64).to_string(), "3");
+        assert_eq!(AttrValue::from(true).to_string(), "true");
+    }
+}

@@ -1,0 +1,142 @@
+//! Edge records and the external edge-event type fed into the graph.
+
+use crate::attr::Attrs;
+use crate::ids::{EdgeId, Timestamp, TypeId, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// An edge stored inside a [`crate::DynamicGraph`].
+///
+/// Edges are directed (`src -> dst`), typed, timestamped and may carry
+/// attributes. A dynamic multi-relational graph is a multigraph: several
+/// edges with the same endpoints and type but different timestamps may
+/// coexist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Stable edge identifier (also the arrival sequence number).
+    pub id: EdgeId,
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Interned edge (relation) type.
+    pub etype: TypeId,
+    /// Stream timestamp of the edge.
+    pub timestamp: Timestamp,
+    /// Optional attributes.
+    pub attrs: Attrs,
+}
+
+impl Edge {
+    /// Returns the endpoint opposite to `v`, or `None` if `v` is not an endpoint.
+    pub fn other_endpoint(&self, v: VertexId) -> Option<VertexId> {
+        if v == self.src {
+            Some(self.dst)
+        } else if v == self.dst {
+            Some(self.src)
+        } else {
+            None
+        }
+    }
+
+    /// True if `v` is one of the endpoints.
+    pub fn touches(&self, v: VertexId) -> bool {
+        self.src == v || self.dst == v
+    }
+
+    /// True if the edge is a self-loop.
+    pub fn is_loop(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+/// An edge event as produced by a workload generator or trace reader, *before*
+/// it is resolved against the graph's interner.
+///
+/// Vertex endpoints are identified by external string keys and typed by
+/// string labels; [`crate::DynamicGraph::ingest`] resolves them to dense ids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeEvent {
+    /// External key of the source vertex (e.g. an IP address or article URI).
+    pub src_key: String,
+    /// Vertex type label of the source vertex.
+    pub src_type: String,
+    /// External key of the destination vertex.
+    pub dst_key: String,
+    /// Vertex type label of the destination vertex.
+    pub dst_type: String,
+    /// Edge (relation) type label.
+    pub edge_type: String,
+    /// Stream timestamp.
+    pub timestamp: Timestamp,
+    /// Edge attributes.
+    pub attrs: Attrs,
+}
+
+impl EdgeEvent {
+    /// Convenience constructor without attributes.
+    pub fn new(
+        src_key: impl Into<String>,
+        src_type: impl Into<String>,
+        dst_key: impl Into<String>,
+        dst_type: impl Into<String>,
+        edge_type: impl Into<String>,
+        timestamp: Timestamp,
+    ) -> Self {
+        EdgeEvent {
+            src_key: src_key.into(),
+            src_type: src_type.into(),
+            dst_key: dst_key.into(),
+            dst_type: dst_type.into(),
+            edge_type: edge_type.into(),
+            timestamp,
+            attrs: Attrs::new(),
+        }
+    }
+
+    /// Adds an attribute, builder-style.
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<crate::AttrValue>) -> Self {
+        self.attrs.set(key, value);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(src: u32, dst: u32) -> Edge {
+        Edge {
+            id: EdgeId(0),
+            src: VertexId(src),
+            dst: VertexId(dst),
+            etype: TypeId(0),
+            timestamp: Timestamp::from_secs(1),
+            attrs: Attrs::new(),
+        }
+    }
+
+    #[test]
+    fn other_endpoint_resolves_both_directions() {
+        let e = edge(1, 2);
+        assert_eq!(e.other_endpoint(VertexId(1)), Some(VertexId(2)));
+        assert_eq!(e.other_endpoint(VertexId(2)), Some(VertexId(1)));
+        assert_eq!(e.other_endpoint(VertexId(3)), None);
+    }
+
+    #[test]
+    fn touches_and_loops() {
+        let e = edge(1, 2);
+        assert!(e.touches(VertexId(1)));
+        assert!(!e.touches(VertexId(5)));
+        assert!(!e.is_loop());
+        assert!(edge(4, 4).is_loop());
+    }
+
+    #[test]
+    fn edge_event_builder_sets_attrs() {
+        let ev = EdgeEvent::new("10.0.0.1", "IP", "10.0.0.2", "IP", "flow", Timestamp::from_secs(5))
+            .with_attr("port", 80i64);
+        assert_eq!(ev.attrs.get("port").unwrap().as_int(), Some(80));
+        assert_eq!(ev.edge_type, "flow");
+    }
+}

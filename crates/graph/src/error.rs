@@ -1,0 +1,42 @@
+//! Error types for the graph substrate.
+
+use crate::ids::{EdgeId, TypeId, VertexId};
+use std::fmt;
+
+/// Errors returned by [`crate::DynamicGraph`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex id did not refer to any vertex in the graph.
+    UnknownVertex(VertexId),
+    /// An edge id did not refer to a live edge.
+    UnknownEdge(EdgeId),
+    /// A type id was not produced by this graph's interner.
+    UnknownType(TypeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownVertex(v) => write!(f, "unknown vertex {v}"),
+            GraphError::UnknownEdge(e) => write!(f, "unknown or expired edge {e}"),
+            GraphError::UnknownType(t) => write!(f, "unknown type {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_format_human_readably() {
+        assert_eq!(
+            GraphError::UnknownVertex(VertexId(3)).to_string(),
+            "unknown vertex v3"
+        );
+        assert!(GraphError::UnknownEdge(EdgeId(1)).to_string().contains("e1"));
+        assert!(GraphError::UnknownType(TypeId(2)).to_string().contains("t2"));
+    }
+}

@@ -1,0 +1,675 @@
+//! The dynamic multi-relational property graph.
+//!
+//! [`DynamicGraph`] is the data-graph substrate of StreamWorks (paper §2.1):
+//! a directed, typed, timestamped multigraph that is updated one edge event at
+//! a time and optionally forgets edges that have fallen out of a retention
+//! window. It is intentionally a *store*, not a matcher: the incremental
+//! algorithm lives in `streamworks-core` and queries this structure through
+//! the neighbourhood accessors defined here.
+
+use crate::adjacency::{AdjEntry, AdjacencyList, Direction};
+use crate::attr::Attrs;
+use crate::edge::{Edge, EdgeEvent};
+use crate::error::GraphError;
+use crate::hash::FxHashMap;
+use crate::ids::{Duration, EdgeId, Timestamp, TypeId, VertexId};
+use crate::interner::Interner;
+use crate::stats::GraphStats;
+use crate::vertex::Vertex;
+use crate::window::SlidingWindow;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`DynamicGraph`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphConfig {
+    /// How long edges are retained after their timestamp. `None` keeps all edges.
+    ///
+    /// For correctness of a continuous query with window `tW` the retention
+    /// must be at least `tW`; the engine in `streamworks-core` enforces that.
+    pub retention: Option<Duration>,
+    /// Initial capacity hint for the vertex table.
+    pub expected_vertices: usize,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        GraphConfig {
+            retention: None,
+            expected_vertices: 1024,
+        }
+    }
+}
+
+impl GraphConfig {
+    /// Config with a retention horizon.
+    pub fn with_retention(retention: Duration) -> Self {
+        GraphConfig {
+            retention: Some(retention),
+            ..Default::default()
+        }
+    }
+}
+
+/// Outcome of ingesting one edge event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestResult {
+    /// Id assigned to the new edge.
+    pub edge: EdgeId,
+    /// Resolved source vertex.
+    pub src: VertexId,
+    /// Resolved destination vertex.
+    pub dst: VertexId,
+    /// True if the source vertex was created by this ingest.
+    pub src_created: bool,
+    /// True if the destination vertex was created by this ingest.
+    pub dst_created: bool,
+    /// Edges that expired out of the retention window as a consequence of the
+    /// stream time advancing to this event's timestamp.
+    pub expired: Vec<EdgeId>,
+}
+
+/// A directed, typed, timestamped multigraph with sliding-window retention.
+#[derive(Debug, Clone)]
+pub struct DynamicGraph {
+    config: GraphConfig,
+    key_interner: Interner,
+    vtype_interner: Interner,
+    etype_interner: Interner,
+    vertices: Vec<Vertex>,
+    vertex_by_key: FxHashMap<u32, VertexId>,
+    edges: FxHashMap<EdgeId, Edge>,
+    adjacency: Vec<AdjacencyList>,
+    window: SlidingWindow,
+    next_edge_id: u64,
+    /// Live edge count per edge type.
+    edge_type_counts: Vec<u64>,
+    /// Vertex count per vertex type (vertices are never removed).
+    vertex_type_counts: Vec<u64>,
+    /// Cumulative number of ingested edges (including expired ones).
+    ingested_edges: u64,
+}
+
+impl DynamicGraph {
+    /// Creates an empty graph with the given configuration.
+    pub fn new(config: GraphConfig) -> Self {
+        let window = SlidingWindow::new(config.retention);
+        DynamicGraph {
+            key_interner: Interner::with_capacity(config.expected_vertices),
+            vtype_interner: Interner::new(),
+            etype_interner: Interner::new(),
+            vertices: Vec::with_capacity(config.expected_vertices),
+            vertex_by_key: FxHashMap::default(),
+            edges: FxHashMap::default(),
+            adjacency: Vec::with_capacity(config.expected_vertices),
+            window,
+            next_edge_id: 0,
+            edge_type_counts: Vec::new(),
+            vertex_type_counts: Vec::new(),
+            ingested_edges: 0,
+            config,
+        }
+    }
+
+    /// Creates an empty graph with default configuration (no retention).
+    pub fn unbounded() -> Self {
+        Self::new(GraphConfig::default())
+    }
+
+    /// The graph's configuration.
+    pub fn config(&self) -> &GraphConfig {
+        &self.config
+    }
+
+    // ------------------------------------------------------------------
+    // Type and key interning
+    // ------------------------------------------------------------------
+
+    /// Interns (or looks up) a vertex type label.
+    pub fn intern_vertex_type(&mut self, name: &str) -> TypeId {
+        let id = TypeId(self.vtype_interner.intern(name));
+        if id.index() >= self.vertex_type_counts.len() {
+            self.vertex_type_counts.resize(id.index() + 1, 0);
+        }
+        id
+    }
+
+    /// Interns (or looks up) an edge type label.
+    pub fn intern_edge_type(&mut self, name: &str) -> TypeId {
+        let id = TypeId(self.etype_interner.intern(name));
+        if id.index() >= self.edge_type_counts.len() {
+            self.edge_type_counts.resize(id.index() + 1, 0);
+        }
+        id
+    }
+
+    /// Looks up a vertex type label without interning it.
+    pub fn vertex_type_id(&self, name: &str) -> Option<TypeId> {
+        self.vtype_interner.lookup(name).map(TypeId)
+    }
+
+    /// Looks up an edge type label without interning it.
+    pub fn edge_type_id(&self, name: &str) -> Option<TypeId> {
+        self.etype_interner.lookup(name).map(TypeId)
+    }
+
+    /// Resolves a vertex type id back to its label.
+    pub fn vertex_type_name(&self, id: TypeId) -> Option<&str> {
+        self.vtype_interner.resolve(id.0)
+    }
+
+    /// Resolves an edge type id back to its label.
+    pub fn edge_type_name(&self, id: TypeId) -> Option<&str> {
+        self.etype_interner.resolve(id.0)
+    }
+
+    /// Number of distinct vertex types observed.
+    pub fn vertex_type_count(&self) -> usize {
+        self.vtype_interner.len()
+    }
+
+    /// Number of distinct edge types observed.
+    pub fn edge_type_count(&self) -> usize {
+        self.etype_interner.len()
+    }
+
+    /// Resolves the external key of a vertex.
+    pub fn vertex_key(&self, v: VertexId) -> Option<&str> {
+        self.vertices
+            .get(v.index())
+            .and_then(|vx| self.key_interner.resolve(vx.key_sym))
+    }
+
+    /// Looks up a vertex by its external key.
+    pub fn vertex_by_key(&self, key: &str) -> Option<VertexId> {
+        let sym = self.key_interner.lookup(key)?;
+        self.vertex_by_key.get(&sym).copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation
+    // ------------------------------------------------------------------
+
+    /// Ensures a vertex with the given external key and type exists, returning
+    /// its id and whether it was created.
+    ///
+    /// If the vertex already exists its type is *not* changed (the first
+    /// observation wins), matching the append-only semantics of a stream.
+    pub fn ensure_vertex(&mut self, key: &str, vtype_name: &str) -> (VertexId, bool) {
+        let vtype = self.intern_vertex_type(vtype_name);
+        self.ensure_vertex_typed(key, vtype)
+    }
+
+    /// Like [`Self::ensure_vertex`] but with a pre-interned type id.
+    pub fn ensure_vertex_typed(&mut self, key: &str, vtype: TypeId) -> (VertexId, bool) {
+        let sym = self.key_interner.intern(key);
+        if let Some(&v) = self.vertex_by_key.get(&sym) {
+            return (v, false);
+        }
+        let id = VertexId(self.vertices.len() as u32);
+        self.vertices.push(Vertex {
+            id,
+            key_sym: sym,
+            vtype,
+            attrs: Attrs::new(),
+            out_degree: 0,
+            in_degree: 0,
+        });
+        self.adjacency.push(AdjacencyList::new());
+        self.vertex_by_key.insert(sym, id);
+        if vtype.index() >= self.vertex_type_counts.len() {
+            self.vertex_type_counts.resize(vtype.index() + 1, 0);
+        }
+        self.vertex_type_counts[vtype.index()] += 1;
+        (id, true)
+    }
+
+    /// Sets an attribute on an existing vertex.
+    pub fn set_vertex_attr(
+        &mut self,
+        v: VertexId,
+        key: impl Into<String>,
+        value: impl Into<crate::AttrValue>,
+    ) -> Result<(), GraphError> {
+        let vx = self
+            .vertices
+            .get_mut(v.index())
+            .ok_or(GraphError::UnknownVertex(v))?;
+        vx.attrs.set(key, value);
+        Ok(())
+    }
+
+    /// Ingests a single edge event: resolves or creates both endpoint
+    /// vertices, inserts the edge, advances stream time and expires edges that
+    /// fall out of the retention window.
+    pub fn ingest(&mut self, event: &EdgeEvent) -> IngestResult {
+        let (src, src_created) = self.ensure_vertex(&event.src_key, &event.src_type);
+        let (dst, dst_created) = self.ensure_vertex(&event.dst_key, &event.dst_type);
+        let etype = self.intern_edge_type(&event.edge_type);
+        let (edge, expired) =
+            self.add_edge_internal(src, dst, etype, event.timestamp, event.attrs.clone());
+        IngestResult {
+            edge,
+            src,
+            dst,
+            src_created,
+            dst_created,
+            expired,
+        }
+    }
+
+    /// Inserts an edge between two existing vertices with a pre-interned type.
+    /// Returns the new edge id and any edges expired by the time advance.
+    pub fn add_edge(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        etype: TypeId,
+        timestamp: Timestamp,
+        attrs: Attrs,
+    ) -> Result<(EdgeId, Vec<EdgeId>), GraphError> {
+        if src.index() >= self.vertices.len() {
+            return Err(GraphError::UnknownVertex(src));
+        }
+        if dst.index() >= self.vertices.len() {
+            return Err(GraphError::UnknownVertex(dst));
+        }
+        if etype.index() >= self.edge_type_counts.len() {
+            return Err(GraphError::UnknownType(etype));
+        }
+        Ok(self.add_edge_internal(src, dst, etype, timestamp, attrs))
+    }
+
+    fn add_edge_internal(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        etype: TypeId,
+        timestamp: Timestamp,
+        attrs: Attrs,
+    ) -> (EdgeId, Vec<EdgeId>) {
+        let id = EdgeId(self.next_edge_id);
+        self.next_edge_id += 1;
+        self.ingested_edges += 1;
+
+        let edge = Edge {
+            id,
+            src,
+            dst,
+            etype,
+            timestamp,
+            attrs,
+        };
+        self.edges.insert(id, edge);
+        self.edge_type_counts[etype.index()] += 1;
+
+        self.adjacency[src.index()].push(
+            Direction::Out,
+            etype,
+            AdjEntry {
+                edge: id,
+                neighbor: dst,
+                timestamp,
+            },
+        );
+        self.adjacency[dst.index()].push(
+            Direction::In,
+            etype,
+            AdjEntry {
+                edge: id,
+                neighbor: src,
+                timestamp,
+            },
+        );
+        self.vertices[src.index()].out_degree += 1;
+        self.vertices[dst.index()].in_degree += 1;
+
+        let expired = self.window.insert(id, timestamp);
+        for &e in &expired {
+            self.remove_edge_internal(e);
+        }
+        (id, expired)
+    }
+
+    /// Advances stream time without inserting an edge, expiring old edges.
+    pub fn advance_time(&mut self, ts: Timestamp) -> Vec<EdgeId> {
+        let expired = self.window.advance(ts);
+        for &e in &expired {
+            self.remove_edge_internal(e);
+        }
+        expired
+    }
+
+    fn remove_edge_internal(&mut self, id: EdgeId) {
+        let Some(edge) = self.edges.remove(&id) else {
+            return;
+        };
+        self.edge_type_counts[edge.etype.index()] =
+            self.edge_type_counts[edge.etype.index()].saturating_sub(1);
+        let src = &mut self.vertices[edge.src.index()];
+        src.out_degree = src.out_degree.saturating_sub(1);
+        let dst = &mut self.vertices[edge.dst.index()];
+        dst.in_degree = dst.in_degree.saturating_sub(1);
+
+        for v in [edge.src, edge.dst] {
+            let adj = &mut self.adjacency[v.index()];
+            adj.note_dead();
+            if adj.should_compact() {
+                let edges = &self.edges;
+                adj.compact(|e| edges.contains_key(&e));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup and iteration
+    // ------------------------------------------------------------------
+
+    /// Returns the vertex record for `v`.
+    pub fn vertex(&self, v: VertexId) -> Option<&Vertex> {
+        self.vertices.get(v.index())
+    }
+
+    /// Returns the live edge record for `e` (expired edges return `None`).
+    pub fn edge(&self, e: EdgeId) -> Option<&Edge> {
+        self.edges.get(&e)
+    }
+
+    /// True if the edge is still live (not expired).
+    pub fn is_live(&self, e: EdgeId) -> bool {
+        self.edges.contains_key(&e)
+    }
+
+    /// Number of vertices ever created.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of live edges.
+    pub fn live_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total number of edges ingested, including expired ones.
+    pub fn ingested_edge_count(&self) -> u64 {
+        self.ingested_edges
+    }
+
+    /// Largest observed stream timestamp.
+    pub fn now(&self) -> Timestamp {
+        self.window.now()
+    }
+
+    /// The retention window, if configured.
+    pub fn retention(&self) -> Option<Duration> {
+        self.config.retention
+    }
+
+    /// Replaces the retention window. Widening it keeps more future edges;
+    /// narrowing it takes effect as stream time advances. Used by the
+    /// continuous-query engine to ensure retention covers the largest
+    /// registered query window.
+    pub fn set_retention(&mut self, retention: Option<Duration>) {
+        self.config.retention = retention;
+        self.window.set_retention(retention);
+    }
+
+    /// Live out-degree + in-degree of a vertex.
+    pub fn degree(&self, v: VertexId) -> u32 {
+        self.vertices.get(v.index()).map(|x| x.degree()).unwrap_or(0)
+    }
+
+    /// Number of live vertices of a given type (vertices never expire, so this
+    /// counts every vertex ever observed with the type).
+    pub fn vertices_of_type(&self, t: TypeId) -> u64 {
+        self.vertex_type_counts.get(t.index()).copied().unwrap_or(0)
+    }
+
+    /// Number of live edges of a given type.
+    pub fn edges_of_type(&self, t: TypeId) -> u64 {
+        self.edge_type_counts.get(t.index()).copied().unwrap_or(0)
+    }
+
+    /// Iterates all vertex records.
+    pub fn vertices(&self) -> impl Iterator<Item = &Vertex> {
+        self.vertices.iter()
+    }
+
+    /// Iterates all live edges in unspecified order.
+    pub fn edges(&self) -> impl Iterator<Item = &Edge> {
+        self.edges.values()
+    }
+
+    /// Iterates the live edges incident to `v` in direction `dir` with edge
+    /// type `etype`.
+    pub fn incident_edges(
+        &self,
+        v: VertexId,
+        dir: Direction,
+        etype: TypeId,
+    ) -> impl Iterator<Item = &Edge> + '_ {
+        let entries = self
+            .adjacency
+            .get(v.index())
+            .map(|a| a.entries(dir, etype))
+            .unwrap_or(&[]);
+        entries.iter().filter_map(move |e| self.edges.get(&e.edge))
+    }
+
+    /// Iterates the live edges incident to `v` in direction `dir`, across all
+    /// edge types.
+    pub fn incident_edges_any_type(
+        &self,
+        v: VertexId,
+        dir: Direction,
+    ) -> impl Iterator<Item = &Edge> + '_ {
+        self.adjacency
+            .get(v.index())
+            .into_iter()
+            .flat_map(move |a| a.entries_all_types(dir))
+            .filter_map(move |(_, e)| self.edges.get(&e.edge))
+    }
+
+    /// Iterates `(edge, neighbor)` pairs for the live neighbourhood of `v` in
+    /// direction `dir` restricted to edge type `etype`.
+    pub fn neighbors(
+        &self,
+        v: VertexId,
+        dir: Direction,
+        etype: TypeId,
+    ) -> impl Iterator<Item = (&Edge, VertexId)> + '_ {
+        self.incident_edges(v, dir, etype).map(move |e| {
+            let n = match dir {
+                Direction::Out => e.dst,
+                Direction::In => e.src,
+            };
+            (e, n)
+        })
+    }
+
+    /// Count of live incident edges of a given type and direction (degree by type).
+    pub fn degree_by_type(&self, v: VertexId, dir: Direction, etype: TypeId) -> usize {
+        self.incident_edges(v, dir, etype).count()
+    }
+
+    /// Point-in-time statistics snapshot.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats {
+            vertices: self.vertex_count() as u64,
+            live_edges: self.live_edge_count() as u64,
+            ingested_edges: self.ingested_edges,
+            expired_edges: self.window.expired_total(),
+            vertex_types: self.vertex_type_count() as u64,
+            edge_types: self.edge_type_count() as u64,
+            now: self.now(),
+        }
+    }
+}
+
+impl Default for DynamicGraph {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(src: &str, dst: &str, et: &str, t: i64) -> EdgeEvent {
+        EdgeEvent::new(src, "IP", dst, "IP", et, Timestamp::from_secs(t))
+    }
+
+    #[test]
+    fn ingest_creates_vertices_once() {
+        let mut g = DynamicGraph::unbounded();
+        let r1 = g.ingest(&event("a", "b", "flow", 1));
+        assert!(r1.src_created && r1.dst_created);
+        let r2 = g.ingest(&event("a", "c", "flow", 2));
+        assert!(!r2.src_created && r2.dst_created);
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.live_edge_count(), 2);
+        assert_eq!(g.vertex_by_key("a"), Some(r1.src));
+    }
+
+    #[test]
+    fn neighbors_filtered_by_type_and_direction() {
+        let mut g = DynamicGraph::unbounded();
+        g.ingest(&event("a", "b", "flow", 1));
+        g.ingest(&event("a", "c", "login", 2));
+        g.ingest(&event("d", "a", "flow", 3));
+        let a = g.vertex_by_key("a").unwrap();
+        let flow = g.edge_type_id("flow").unwrap();
+        let login = g.edge_type_id("login").unwrap();
+
+        let out_flow: Vec<_> = g.neighbors(a, Direction::Out, flow).collect();
+        assert_eq!(out_flow.len(), 1);
+        assert_eq!(g.vertex_key(out_flow[0].1), Some("b"));
+
+        let out_login: Vec<_> = g.neighbors(a, Direction::Out, login).collect();
+        assert_eq!(out_login.len(), 1);
+
+        let in_flow: Vec<_> = g.neighbors(a, Direction::In, flow).collect();
+        assert_eq!(in_flow.len(), 1);
+        assert_eq!(g.vertex_key(in_flow[0].1), Some("d"));
+    }
+
+    #[test]
+    fn retention_expires_edges_and_updates_degrees() {
+        let mut g = DynamicGraph::new(GraphConfig::with_retention(Duration::from_secs(10)));
+        g.ingest(&event("a", "b", "flow", 0));
+        g.ingest(&event("a", "c", "flow", 5));
+        let a = g.vertex_by_key("a").unwrap();
+        assert_eq!(g.degree(a), 2);
+
+        let r = g.ingest(&event("a", "d", "flow", 20));
+        assert_eq!(r.expired.len(), 2);
+        assert_eq!(g.live_edge_count(), 1);
+        assert_eq!(g.degree(a), 1);
+        let flow = g.edge_type_id("flow").unwrap();
+        assert_eq!(g.edges_of_type(flow), 1);
+
+        // Expired edges are no longer visible through adjacency.
+        let out: Vec<_> = g.neighbors(a, Direction::Out, flow).collect();
+        assert_eq!(out.len(), 1);
+        assert_eq!(g.vertex_key(out[0].1), Some("d"));
+    }
+
+    #[test]
+    fn advance_time_expires_without_insert() {
+        let mut g = DynamicGraph::new(GraphConfig::with_retention(Duration::from_secs(1)));
+        g.ingest(&event("a", "b", "flow", 0));
+        let expired = g.advance_time(Timestamp::from_secs(100));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(g.live_edge_count(), 0);
+        assert_eq!(g.stats().expired_edges, 1);
+    }
+
+    #[test]
+    fn multigraph_allows_parallel_edges() {
+        let mut g = DynamicGraph::unbounded();
+        g.ingest(&event("a", "b", "flow", 1));
+        g.ingest(&event("a", "b", "flow", 2));
+        g.ingest(&event("a", "b", "flow", 3));
+        assert_eq!(g.live_edge_count(), 3);
+        let a = g.vertex_by_key("a").unwrap();
+        let flow = g.edge_type_id("flow").unwrap();
+        assert_eq!(g.degree_by_type(a, Direction::Out, flow), 3);
+    }
+
+    #[test]
+    fn add_edge_rejects_unknown_vertices_and_types() {
+        let mut g = DynamicGraph::unbounded();
+        let (a, _) = g.ensure_vertex("a", "IP");
+        let flow = g.intern_edge_type("flow");
+        let err = g
+            .add_edge(a, VertexId(99), flow, Timestamp::from_secs(1), Attrs::new())
+            .unwrap_err();
+        assert!(matches!(err, GraphError::UnknownVertex(_)));
+        let err = g
+            .add_edge(a, a, TypeId(42), Timestamp::from_secs(1), Attrs::new())
+            .unwrap_err();
+        assert!(matches!(err, GraphError::UnknownType(_)));
+    }
+
+    #[test]
+    fn vertex_attrs_can_be_set_and_read() {
+        let mut g = DynamicGraph::unbounded();
+        let (a, _) = g.ensure_vertex("article-1", "Article");
+        g.set_vertex_attr(a, "section", "politics").unwrap();
+        assert_eq!(
+            g.vertex(a).unwrap().attrs.get("section").unwrap().as_str(),
+            Some("politics")
+        );
+        assert!(g
+            .set_vertex_attr(VertexId(9), "x", 1i64)
+            .is_err());
+    }
+
+    #[test]
+    fn type_counts_track_live_population() {
+        let mut g = DynamicGraph::unbounded();
+        g.ingest(&EdgeEvent::new(
+            "art1",
+            "Article",
+            "kw1",
+            "Keyword",
+            "mentions",
+            Timestamp::from_secs(1),
+        ));
+        g.ingest(&EdgeEvent::new(
+            "art2",
+            "Article",
+            "kw1",
+            "Keyword",
+            "mentions",
+            Timestamp::from_secs(2),
+        ));
+        let article = g.vertex_type_id("Article").unwrap();
+        let keyword = g.vertex_type_id("Keyword").unwrap();
+        let mentions = g.edge_type_id("mentions").unwrap();
+        assert_eq!(g.vertices_of_type(article), 2);
+        assert_eq!(g.vertices_of_type(keyword), 1);
+        assert_eq!(g.edges_of_type(mentions), 2);
+        assert_eq!(g.vertex_type_name(article), Some("Article"));
+        assert_eq!(g.edge_type_name(mentions), Some("mentions"));
+    }
+
+    #[test]
+    fn heavy_expiry_compacts_adjacency_without_losing_live_edges() {
+        let mut g = DynamicGraph::new(GraphConfig::with_retention(Duration::from_secs(10)));
+        // A hub vertex receives many edges over a long stream; old ones must
+        // disappear from its neighbourhood while recent ones stay visible.
+        for i in 0..1000i64 {
+            g.ingest(&event("hub", &format!("peer{i}"), "flow", i));
+        }
+        let hub = g.vertex_by_key("hub").unwrap();
+        let flow = g.edge_type_id("flow").unwrap();
+        let visible: Vec<_> = g.neighbors(hub, Direction::Out, flow).collect();
+        // Retention of 10s at t=999 keeps edges with t in [989, 999] => 11 edges.
+        assert_eq!(visible.len(), 11);
+        assert!(visible
+            .iter()
+            .all(|(e, _)| e.timestamp >= Timestamp::from_secs(989)));
+        assert_eq!(g.live_edge_count(), 11);
+    }
+}

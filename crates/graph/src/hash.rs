@@ -1,0 +1,134 @@
+//! A small, fast, non-cryptographic hasher for internal hash maps.
+//!
+//! The matching hot path hashes small integer keys (vertex ids, type ids,
+//! join-key tuples) millions of times per second. The default SipHash used by
+//! `std::collections::HashMap` is noticeably slower for these keys, so we ship
+//! a tiny FxHash-style multiply-xor hasher (the same construction used by the
+//! Rust compiler) and type aliases for maps and sets using it. HashDoS
+//! resistance is irrelevant here: all keys are internally generated.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash-style hasher: multiply by a large odd constant and rotate-xor.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_input_same_hash() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(42);
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn different_inputs_usually_differ() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        // A perfect hash would give 10_000 distinct values; require no
+        // catastrophic collapse.
+        assert!(seen.len() > 9_990);
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world, this is a test");
+        let mut b = FxHasher::default();
+        b.write(b"hello world, this is a test");
+        assert_eq!(a.finish(), b.finish());
+
+        let mut c = FxHasher::default();
+        c.write(b"hello world, this is a tesT");
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn fx_map_behaves_like_a_map() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+    }
+}

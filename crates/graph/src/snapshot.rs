@@ -1,0 +1,140 @@
+//! A read-only snapshot view over a [`crate::DynamicGraph`].
+//!
+//! The baseline matchers in `streamworks-baseline` operate on a static graph
+//! (the paper's "repeated search" alternative re-runs a full search over the
+//! current graph state on every update). `GraphSnapshot` gives them a narrow,
+//! read-only API over the live graph at a point in time, plus candidate-set
+//! helpers (all vertices of a type, all edges of a type) that a static matcher
+//! typically starts from.
+
+use crate::adjacency::Direction;
+use crate::edge::Edge;
+use crate::graph::DynamicGraph;
+use crate::ids::{EdgeId, TypeId, VertexId};
+use crate::vertex::Vertex;
+
+/// A borrowed, read-only view of a [`DynamicGraph`].
+#[derive(Clone, Copy)]
+pub struct GraphSnapshot<'g> {
+    graph: &'g DynamicGraph,
+}
+
+impl<'g> GraphSnapshot<'g> {
+    /// Wraps a graph in a snapshot view.
+    pub fn new(graph: &'g DynamicGraph) -> Self {
+        GraphSnapshot { graph }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g DynamicGraph {
+        self.graph
+    }
+
+    /// Vertex lookup.
+    pub fn vertex(&self, v: VertexId) -> Option<&'g Vertex> {
+        self.graph.vertex(v)
+    }
+
+    /// Live edge lookup.
+    pub fn edge(&self, e: EdgeId) -> Option<&'g Edge> {
+        self.graph.edge(e)
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.graph.vertex_count()
+    }
+
+    /// Number of live edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.live_edge_count()
+    }
+
+    /// All vertices of the given type.
+    pub fn vertices_with_type(&self, vtype: TypeId) -> impl Iterator<Item = &'g Vertex> + 'g {
+        self.graph.vertices().filter(move |v| v.vtype == vtype)
+    }
+
+    /// All live edges of the given type.
+    pub fn edges_with_type(&self, etype: TypeId) -> impl Iterator<Item = &'g Edge> + 'g {
+        self.graph.edges().filter(move |e| e.etype == etype)
+    }
+
+    /// Live neighbourhood of `v` (direction + edge type filtered).
+    pub fn neighbors(
+        &self,
+        v: VertexId,
+        dir: Direction,
+        etype: TypeId,
+    ) -> impl Iterator<Item = (&'g Edge, VertexId)> + 'g {
+        self.graph.neighbors(v, dir, etype)
+    }
+
+    /// Live incident edges of `v` in a direction, any type.
+    pub fn incident_edges_any_type(
+        &self,
+        v: VertexId,
+        dir: Direction,
+    ) -> impl Iterator<Item = &'g Edge> + 'g {
+        self.graph.incident_edges_any_type(v, dir)
+    }
+
+    /// Live degree of `v`.
+    pub fn degree(&self, v: VertexId) -> u32 {
+        self.graph.degree(v)
+    }
+
+    /// Resolves a vertex type label.
+    pub fn vertex_type_id(&self, name: &str) -> Option<TypeId> {
+        self.graph.vertex_type_id(name)
+    }
+
+    /// Resolves an edge type label.
+    pub fn edge_type_id(&self, name: &str) -> Option<TypeId> {
+        self.graph.edge_type_id(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::EdgeEvent;
+    use crate::ids::Timestamp;
+
+    fn sample_graph() -> DynamicGraph {
+        let mut g = DynamicGraph::unbounded();
+        g.ingest(&EdgeEvent::new(
+            "a1", "Article", "k1", "Keyword", "mentions", Timestamp::from_secs(1),
+        ));
+        g.ingest(&EdgeEvent::new(
+            "a1", "Article", "loc1", "Location", "located", Timestamp::from_secs(2),
+        ));
+        g.ingest(&EdgeEvent::new(
+            "a2", "Article", "k1", "Keyword", "mentions", Timestamp::from_secs(3),
+        ));
+        g
+    }
+
+    #[test]
+    fn candidate_sets_by_type() {
+        let g = sample_graph();
+        let s = GraphSnapshot::new(&g);
+        let article = s.vertex_type_id("Article").unwrap();
+        let mentions = s.edge_type_id("mentions").unwrap();
+        assert_eq!(s.vertices_with_type(article).count(), 2);
+        assert_eq!(s.edges_with_type(mentions).count(), 2);
+        assert_eq!(s.vertex_count(), 4);
+        assert_eq!(s.edge_count(), 3);
+    }
+
+    #[test]
+    fn snapshot_neighbourhood_matches_graph() {
+        let g = sample_graph();
+        let s = GraphSnapshot::new(&g);
+        let k1 = g.vertex_by_key("k1").unwrap();
+        let mentions = s.edge_type_id("mentions").unwrap();
+        let incoming: Vec<_> = s.neighbors(k1, Direction::In, mentions).collect();
+        assert_eq!(incoming.len(), 2);
+        assert_eq!(s.degree(k1), 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! Vertex records.
+
+use crate::attr::Attrs;
+use crate::ids::{TypeId, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// A vertex stored inside a [`crate::DynamicGraph`].
+///
+/// Vertices are created implicitly the first time an edge event references
+/// their external key. A vertex keeps its interned key symbol, its type, its
+/// attribute map and running degree counters (maintained by the graph as
+/// edges are inserted and expired).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vertex {
+    /// Stable vertex identifier.
+    pub id: VertexId,
+    /// Symbol of the external key in the graph's key interner.
+    pub key_sym: u32,
+    /// Interned vertex type.
+    pub vtype: TypeId,
+    /// Optional attributes.
+    pub attrs: Attrs,
+    /// Number of live (non-expired) outgoing edges.
+    pub out_degree: u32,
+    /// Number of live (non-expired) incoming edges.
+    pub in_degree: u32,
+}
+
+impl Vertex {
+    /// Total live degree (in + out).
+    pub fn degree(&self) -> u32 {
+        self.in_degree + self.out_degree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_sums_both_directions() {
+        let v = Vertex {
+            id: VertexId(0),
+            key_sym: 0,
+            vtype: TypeId(0),
+            attrs: Attrs::new(),
+            out_degree: 3,
+            in_degree: 4,
+        };
+        assert_eq!(v.degree(), 7);
+    }
+}

@@ -1,0 +1,184 @@
+//! Sliding time-window retention for the dynamic graph.
+//!
+//! The paper's query semantics only ever need edges that can still participate
+//! in a match whose time span is below the query window `tW`. The graph is
+//! therefore configured with a *retention horizon*: once stream time advances
+//! past `timestamp + retention`, an edge is expired and removed from the live
+//! graph (and, transitively, from all partial matches that reference it).
+
+use crate::ids::{Duration, EdgeId, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Tracks live edges in timestamp order and expires those that fall out of the
+/// retention horizon.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlidingWindow {
+    retention: Option<Duration>,
+    /// Live edges ordered by timestamp (ties broken by insertion order).
+    queue: VecDeque<(Timestamp, EdgeId)>,
+    /// High-water mark of observed stream time.
+    now: Timestamp,
+    expired_total: u64,
+}
+
+/// Result of advancing the window: the edges that just expired.
+pub type Expired = Vec<EdgeId>;
+
+impl SlidingWindow {
+    /// Creates a window with the given retention. `None` retains edges forever.
+    pub fn new(retention: Option<Duration>) -> Self {
+        SlidingWindow {
+            retention,
+            queue: VecDeque::new(),
+            now: Timestamp(i64::MIN),
+            expired_total: 0,
+        }
+    }
+
+    /// The configured retention horizon.
+    pub fn retention(&self) -> Option<Duration> {
+        self.retention
+    }
+
+    /// Replaces the retention horizon. Edges already expired are not revived;
+    /// shrinking the horizon only takes effect at the next insert/advance.
+    pub fn set_retention(&mut self, retention: Option<Duration>) {
+        self.retention = retention;
+    }
+
+    /// The largest timestamp observed so far.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Number of live (retained) edges.
+    pub fn live_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total number of edges expired over the window's lifetime.
+    pub fn expired_total(&self) -> u64 {
+        self.expired_total
+    }
+
+    /// Registers a new edge and advances stream time to `ts` if it is newer.
+    /// Returns the edges that expire as a consequence.
+    ///
+    /// Out-of-order timestamps are tolerated: the edge is inserted at its
+    /// sorted position from the back (streams are nearly ordered, so this is
+    /// O(1) amortised), and stream time never moves backwards.
+    pub fn insert(&mut self, edge: EdgeId, ts: Timestamp) -> Expired {
+        // Insert keeping the queue sorted by timestamp.
+        if self.queue.back().map(|(t, _)| *t <= ts).unwrap_or(true) {
+            self.queue.push_back((ts, edge));
+        } else {
+            let pos = self.queue.partition_point(|(t, _)| *t <= ts);
+            self.queue.insert(pos, (ts, edge));
+        }
+        if ts > self.now {
+            self.now = ts;
+        }
+        self.expire_up_to_now()
+    }
+
+    /// Advances stream time to `ts` (if newer) without inserting an edge and
+    /// returns the edges that expire.
+    pub fn advance(&mut self, ts: Timestamp) -> Expired {
+        if ts > self.now {
+            self.now = ts;
+        }
+        self.expire_up_to_now()
+    }
+
+    /// The timestamp below which edges are expired, if a retention is set.
+    pub fn horizon(&self) -> Option<Timestamp> {
+        self.retention.map(|r| self.now.minus(r))
+    }
+
+    fn expire_up_to_now(&mut self) -> Expired {
+        let Some(retention) = self.retention else {
+            return Vec::new();
+        };
+        let cutoff = self.now.minus(retention);
+        let mut expired = Vec::new();
+        while let Some(&(ts, edge)) = self.queue.front() {
+            if ts < cutoff {
+                expired.push(edge);
+                self.queue.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.expired_total += expired.len() as u64;
+        expired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_retention_never_expires() {
+        let mut w = SlidingWindow::new(None);
+        for i in 0..1000 {
+            let expired = w.insert(EdgeId(i), Timestamp::from_secs(i as i64));
+            assert!(expired.is_empty());
+        }
+        assert_eq!(w.live_len(), 1000);
+        assert_eq!(w.expired_total(), 0);
+    }
+
+    #[test]
+    fn edges_expire_once_out_of_horizon() {
+        let mut w = SlidingWindow::new(Some(Duration::from_secs(10)));
+        assert!(w.insert(EdgeId(0), Timestamp::from_secs(0)).is_empty());
+        assert!(w.insert(EdgeId(1), Timestamp::from_secs(5)).is_empty());
+        // t=11: cutoff is 1, so edge at t=0 expires.
+        let expired = w.insert(EdgeId(2), Timestamp::from_secs(11));
+        assert_eq!(expired, vec![EdgeId(0)]);
+        assert_eq!(w.live_len(), 2);
+        assert_eq!(w.expired_total(), 1);
+    }
+
+    #[test]
+    fn advance_without_insert_expires() {
+        let mut w = SlidingWindow::new(Some(Duration::from_secs(2)));
+        w.insert(EdgeId(0), Timestamp::from_secs(0));
+        w.insert(EdgeId(1), Timestamp::from_secs(1));
+        let expired = w.advance(Timestamp::from_secs(100));
+        assert_eq!(expired.len(), 2);
+        assert_eq!(w.live_len(), 0);
+    }
+
+    #[test]
+    fn out_of_order_inserts_keep_queue_sorted() {
+        let mut w = SlidingWindow::new(Some(Duration::from_secs(10)));
+        w.insert(EdgeId(0), Timestamp::from_secs(10));
+        // Late edge with an older timestamp.
+        w.insert(EdgeId(1), Timestamp::from_secs(4));
+        w.insert(EdgeId(2), Timestamp::from_secs(7));
+        // Advance far enough that everything below t=15 expires, in timestamp order.
+        let expired = w.advance(Timestamp::from_secs(25));
+        assert_eq!(expired, vec![EdgeId(1), EdgeId(2), EdgeId(0)]);
+    }
+
+    #[test]
+    fn stream_time_never_regresses() {
+        let mut w = SlidingWindow::new(Some(Duration::from_secs(10)));
+        w.insert(EdgeId(0), Timestamp::from_secs(50));
+        w.insert(EdgeId(1), Timestamp::from_secs(30));
+        assert_eq!(w.now(), Timestamp::from_secs(50));
+    }
+
+    #[test]
+    fn horizon_reflects_retention() {
+        let mut w = SlidingWindow::new(Some(Duration::from_secs(10)));
+        assert!(w.horizon().is_some());
+        w.insert(EdgeId(0), Timestamp::from_secs(100));
+        assert_eq!(w.horizon(), Some(Timestamp::from_secs(90)));
+        let unbounded = SlidingWindow::new(None);
+        assert_eq!(unbounded.horizon(), None);
+    }
+}

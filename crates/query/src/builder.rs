@@ -1,0 +1,231 @@
+//! Fluent builder for [`QueryGraph`]s.
+//!
+//! The builder mirrors how the paper's visual query composer (Fig. 4) lets a
+//! user draw a pattern: declare typed vertices, connect them with typed edges,
+//! optionally attach predicates, and set the time window.
+
+use crate::error::QueryError;
+use crate::predicate::Predicate;
+use crate::query_graph::QueryGraph;
+use streamworks_graph::Duration;
+
+/// Builder for [`QueryGraph`].
+#[derive(Debug, Clone)]
+pub struct QueryGraphBuilder {
+    name: String,
+    window: Duration,
+    // Stored operations are applied eagerly onto the graph; errors are kept
+    // until `build` so the fluent chain does not need `?` on every call.
+    graph: QueryGraph,
+    error: Option<QueryError>,
+}
+
+impl QueryGraphBuilder {
+    /// Starts a new query with the given name and a default 1-hour window.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        QueryGraphBuilder {
+            graph: QueryGraph::new(name.clone(), Duration::from_hours(1)),
+            name,
+            window: Duration::from_hours(1),
+            error: None,
+        }
+    }
+
+    /// Sets the query window `tW`.
+    pub fn window(mut self, window: Duration) -> Self {
+        self.window = window;
+        self.graph.set_window(window);
+        self
+    }
+
+    /// Declares (or re-uses) a typed vertex variable.
+    pub fn vertex(mut self, name: &str, vtype: &str) -> Self {
+        if self.error.is_none() {
+            if let Err(e) = self
+                .graph
+                .add_vertex(name, Some(vtype.to_owned()), Vec::new())
+            {
+                self.error = Some(e);
+            }
+        }
+        self
+    }
+
+    /// Declares (or re-uses) an untyped vertex variable.
+    pub fn any_vertex(mut self, name: &str) -> Self {
+        if self.error.is_none() {
+            if let Err(e) = self.graph.add_vertex(name, None, Vec::new()) {
+                self.error = Some(e);
+            }
+        }
+        self
+    }
+
+    /// Attaches a predicate to an already-declared vertex.
+    pub fn vertex_predicate(mut self, name: &str, predicate: Predicate) -> Self {
+        if self.error.is_none() {
+            match self.graph.vertex_by_name(name).map(|v| v.id) {
+                Some(id) => {
+                    // add_vertex with the same name appends predicates.
+                    let _ = id;
+                    if let Err(e) = self.graph.add_vertex(name, None, vec![predicate]) {
+                        self.error = Some(e);
+                    }
+                }
+                None => self.error = Some(QueryError::UnknownVertex(name.to_owned())),
+            }
+        }
+        self
+    }
+
+    /// Adds a typed edge between two declared vertices. Undeclared endpoint
+    /// names become untyped vertices.
+    pub fn edge(self, src: &str, etype: &str, dst: &str) -> Self {
+        self.edge_with(src, etype, dst, Vec::new())
+    }
+
+    /// Adds a typed edge carrying predicates.
+    pub fn edge_with(
+        mut self,
+        src: &str,
+        etype: &str,
+        dst: &str,
+        predicates: Vec<Predicate>,
+    ) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        let src_id = match self.graph.add_vertex(src, None, Vec::new()) {
+            Ok(id) => id,
+            Err(e) => {
+                self.error = Some(e);
+                return self;
+            }
+        };
+        let dst_id = match self.graph.add_vertex(dst, None, Vec::new()) {
+            Ok(id) => id,
+            Err(e) => {
+                self.error = Some(e);
+                return self;
+            }
+        };
+        self.graph
+            .add_edge(src_id, dst_id, Some(etype.to_owned()), predicates);
+        self
+    }
+
+    /// Adds an edge that matches any relation type.
+    pub fn any_edge(mut self, src: &str, dst: &str) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        let src_id = self.graph.add_vertex(src, None, Vec::new());
+        let dst_id = self.graph.add_vertex(dst, None, Vec::new());
+        match (src_id, dst_id) {
+            (Ok(s), Ok(d)) => {
+                self.graph.add_edge(s, d, None, Vec::new());
+            }
+            (Err(e), _) | (_, Err(e)) => self.error = Some(e),
+        }
+        self
+    }
+
+    /// Finalizes the query, validating it.
+    pub fn build(self) -> Result<QueryGraph, QueryError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.graph.validate()?;
+        Ok(self.graph)
+    }
+
+    /// The query name this builder was created with.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_the_fig2_news_query() {
+        // "three articles or posts with a common keyword and location" (Fig. 2)
+        let q = QueryGraphBuilder::new("news_triple")
+            .window(Duration::from_hours(6))
+            .vertex("a1", "Article")
+            .vertex("a2", "Article")
+            .vertex("a3", "Article")
+            .vertex("k", "Keyword")
+            .vertex("l", "Location")
+            .edge("a1", "mentions", "k")
+            .edge("a2", "mentions", "k")
+            .edge("a3", "mentions", "k")
+            .edge("a1", "located", "l")
+            .edge("a2", "located", "l")
+            .edge("a3", "located", "l")
+            .build()
+            .unwrap();
+        assert_eq!(q.vertex_count(), 5);
+        assert_eq!(q.edge_count(), 6);
+        assert_eq!(q.window(), Duration::from_hours(6));
+        assert!(q.is_connected());
+        assert_eq!(q.vertex_by_name("a1").unwrap().vtype.as_deref(), Some("Article"));
+    }
+
+    #[test]
+    fn edge_creates_untyped_endpoints() {
+        let q = QueryGraphBuilder::new("q")
+            .edge("x", "flow", "y")
+            .build()
+            .unwrap();
+        assert_eq!(q.vertex_count(), 2);
+        assert!(q.vertex_by_name("x").unwrap().vtype.is_none());
+    }
+
+    #[test]
+    fn vertex_predicate_on_unknown_vertex_errors() {
+        let err = QueryGraphBuilder::new("q")
+            .vertex_predicate("ghost", Predicate::eq("label", "politics"))
+            .edge("a", "b", "c")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, QueryError::UnknownVertex(_)));
+    }
+
+    #[test]
+    fn predicates_accumulate_on_vertices() {
+        let q = QueryGraphBuilder::new("q")
+            .vertex("k", "Keyword")
+            .edge("a", "mentions", "k")
+            .vertex_predicate("k", Predicate::eq("label", "politics"))
+            .build()
+            .unwrap();
+        assert_eq!(q.vertex_by_name("k").unwrap().predicates.len(), 1);
+    }
+
+    #[test]
+    fn empty_query_fails_to_build() {
+        let err = QueryGraphBuilder::new("q").vertex("a", "A").build().unwrap_err();
+        assert!(matches!(err, QueryError::EmptyQuery));
+    }
+
+    #[test]
+    fn conflicting_types_surface_at_build() {
+        let err = QueryGraphBuilder::new("q")
+            .vertex("a", "Article")
+            .vertex("a", "Keyword")
+            .edge("a", "mentions", "k")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, QueryError::DuplicateVertex(_)));
+    }
+
+    #[test]
+    fn any_edge_matches_any_type() {
+        let q = QueryGraphBuilder::new("q").any_edge("a", "b").build().unwrap();
+        assert!(q.edge(crate::query_graph::QueryEdgeId(0)).etype.is_none());
+    }
+}

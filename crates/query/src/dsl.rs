@@ -1,0 +1,510 @@
+//! A small text DSL for registering queries.
+//!
+//! The paper's demo targets analysts who compose queries visually (Fig. 4);
+//! for a library the equivalent affordance is a compact textual pattern
+//! syntax. The grammar is a deliberately small Cypher-like subset:
+//!
+//! ```text
+//! QUERY news_politics WINDOW 6h
+//! MATCH (a1:Article)-[:mentions]->(k:Keyword),
+//!       (a2:Article)-[:mentions]->(k),
+//!       (a1)-[:located]->(l:Location),
+//!       (a2)-[:located]->(l)
+//! WHERE k.label = "politics"
+//! ```
+//!
+//! * `QUERY <name>` — query name; optional `WINDOW <n>(ms|s|m|h)` sets `tW`.
+//! * `MATCH` — comma-separated path patterns. A pattern element is
+//!   `(var[:Type])-[:etype]->(var[:Type])` or the mirrored `<-[:etype]-`
+//!   form; `[:etype]` may be `[]` to match any relation. Chains like
+//!   `(a)-[:x]->(b)-[:y]->(c)` are allowed.
+//! * `WHERE` — optional conjunction of `var.attr <op> literal` predicates
+//!   with `op` in `=, !=, <, <=, >, >=` and literals being double-quoted
+//!   strings, integers, floats or `true`/`false`.
+
+use crate::error::QueryError;
+use crate::predicate::{CompareOp, Predicate};
+use crate::query_graph::QueryGraph;
+use streamworks_graph::{AttrValue, Duration};
+
+/// Parses a query written in the StreamWorks DSL.
+pub fn parse_query(text: &str) -> Result<QueryGraph, QueryError> {
+    Parser::new(text).parse()
+}
+
+/// Pretty-prints a query graph back into DSL-ish text (for plan explain output).
+pub fn format_query(query: &QueryGraph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "QUERY {} WINDOW {}s\nMATCH ",
+        query.name(),
+        query.window().as_secs()
+    ));
+    let lines: Vec<String> = query
+        .edge_ids()
+        .map(|e| query.describe_edge(e))
+        .collect();
+    out.push_str(&lines.join(",\n      "));
+    let fmt_literal = |value: &AttrValue| match value {
+        AttrValue::Str(s) => format!("\"{s}\""),
+        other => other.to_string(),
+    };
+    let mut preds = Vec::new();
+    for v in query.vertices() {
+        for p in &v.predicates {
+            if let Predicate::Compare { key, op, value } = p {
+                preds.push(format!(
+                    "{}.{} {} {}",
+                    v.name,
+                    key,
+                    op.symbol(),
+                    fmt_literal(value)
+                ));
+            }
+        }
+    }
+    if !preds.is_empty() {
+        out.push_str("\nWHERE ");
+        out.push_str(&preds.join(" AND "));
+    }
+    out
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            text,
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.rest().chars().next() {
+            if c == '\n' {
+                self.line += 1;
+                self.pos += 1;
+            } else if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else if c == '#' {
+                // Comment to end of line.
+                while let Some(c) = self.rest().chars().next() {
+                    self.pos += c.len_utf8();
+                    if c == '\n' {
+                        self.line += 1;
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = self.rest();
+        if rest.len() >= kw.len() && rest[..kw.len()].eq_ignore_ascii_case(kw) {
+            // Keyword must not be a prefix of a longer identifier.
+            let after = rest[kw.len()..].chars().next();
+            if after.map(|c| !c.is_alphanumeric() && c != '_').unwrap_or(true) {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_char(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_char(&mut self, c: char) -> Result<(), QueryError> {
+        if self.eat_char(c) {
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected `{c}`, found `{}`",
+                self.rest().chars().next().map(String::from).unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    fn parse_identifier(&mut self) -> Result<String, QueryError> {
+        self.skip_ws();
+        let start = self.pos;
+        for c in self.rest().chars() {
+            if c.is_alphanumeric() || c == '_' {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            Err(self.error("expected identifier"))
+        } else {
+            Ok(self.text[start..self.pos].to_owned())
+        }
+    }
+
+    fn parse_duration(&mut self) -> Result<Duration, QueryError> {
+        self.skip_ws();
+        let start = self.pos;
+        for c in self.rest().chars() {
+            if c.is_ascii_digit() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected duration value"));
+        }
+        let value: i64 = self.text[start..self.pos]
+            .parse()
+            .map_err(|_| self.error("invalid duration number"))?;
+        // Unit suffix.
+        let unit_start = self.pos;
+        for c in self.rest().chars() {
+            if c.is_ascii_alphabetic() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let unit = &self.text[unit_start..self.pos];
+        match unit {
+            "ms" => Ok(Duration::from_millis(value)),
+            "s" | "" => Ok(Duration::from_secs(value)),
+            "m" | "min" => Ok(Duration::from_mins(value)),
+            "h" => Ok(Duration::from_hours(value)),
+            other => Err(self.error(format!("unknown duration unit `{other}`"))),
+        }
+    }
+
+    /// Parses `(name[:Type])`, returning `(name, Option<Type>)`.
+    fn parse_node(&mut self) -> Result<(String, Option<String>), QueryError> {
+        self.expect_char('(')?;
+        let name = self.parse_identifier()?;
+        let vtype = if self.eat_char(':') {
+            Some(self.parse_identifier()?)
+        } else {
+            None
+        };
+        self.expect_char(')')?;
+        Ok((name, vtype))
+    }
+
+    /// Parses `-[:etype]->` or `<-[:etype]-`, returning `(etype, forward)`.
+    fn parse_relation(&mut self) -> Result<(Option<String>, bool), QueryError> {
+        self.skip_ws();
+        let backward = self.eat_char('<');
+        self.expect_char('-')?;
+        self.expect_char('[')?;
+        // Accept `[:etype]`, `[etype]`, `[*]` and `[]`.
+        let _ = self.eat_char(':');
+        self.skip_ws();
+        let etype = if self.rest().starts_with(']') {
+            None
+        } else if self.eat_char('*') {
+            None
+        } else {
+            Some(self.parse_identifier()?)
+        };
+        self.expect_char(']')?;
+        self.expect_char('-')?;
+        let forward = if backward {
+            false
+        } else {
+            self.expect_char('>')?;
+            true
+        };
+        Ok((etype, forward))
+    }
+
+    fn parse_literal(&mut self) -> Result<AttrValue, QueryError> {
+        self.skip_ws();
+        let rest = self.rest();
+        if rest.starts_with('"') {
+            let inner_start = self.pos + 1;
+            let mut end = None;
+            for (i, c) in rest.char_indices().skip(1) {
+                if c == '"' {
+                    end = Some(self.pos + i);
+                    break;
+                }
+            }
+            let end = end.ok_or_else(|| self.error("unterminated string literal"))?;
+            let s = self.text[inner_start..end].to_owned();
+            self.pos = end + 1;
+            return Ok(AttrValue::Str(s));
+        }
+        if self.eat_keyword("true") {
+            return Ok(AttrValue::Bool(true));
+        }
+        if self.eat_keyword("false") {
+            return Ok(AttrValue::Bool(false));
+        }
+        // Number.
+        let start = self.pos;
+        let mut saw_dot = false;
+        for c in self.rest().chars() {
+            if c.is_ascii_digit() || c == '-' && self.pos == start {
+                self.pos += 1;
+            } else if c == '.' && !saw_dot {
+                saw_dot = true;
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected literal"));
+        }
+        let raw = &self.text[start..self.pos];
+        if saw_dot {
+            raw.parse::<f64>()
+                .map(AttrValue::Float)
+                .map_err(|_| self.error("invalid float literal"))
+        } else {
+            raw.parse::<i64>()
+                .map(AttrValue::Int)
+                .map_err(|_| self.error("invalid integer literal"))
+        }
+    }
+
+    fn parse_compare_op(&mut self) -> Result<CompareOp, QueryError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let (op, len) = if rest.starts_with("!=") {
+            (CompareOp::Ne, 2)
+        } else if rest.starts_with("<=") {
+            (CompareOp::Le, 2)
+        } else if rest.starts_with(">=") {
+            (CompareOp::Ge, 2)
+        } else if rest.starts_with('=') {
+            (CompareOp::Eq, 1)
+        } else if rest.starts_with('<') {
+            (CompareOp::Lt, 1)
+        } else if rest.starts_with('>') {
+            (CompareOp::Gt, 1)
+        } else {
+            return Err(self.error("expected comparison operator"));
+        };
+        self.pos += len;
+        Ok(op)
+    }
+
+    fn parse(mut self) -> Result<QueryGraph, QueryError> {
+        if !self.eat_keyword("QUERY") {
+            return Err(self.error("query must start with `QUERY <name>`"));
+        }
+        let name = self.parse_identifier()?;
+        let window = if self.eat_keyword("WINDOW") {
+            self.parse_duration()?
+        } else {
+            Duration::from_hours(1)
+        };
+        let mut query = QueryGraph::new(name, window);
+
+        if !self.eat_keyword("MATCH") {
+            return Err(self.error("expected `MATCH`"));
+        }
+        loop {
+            // One path: node (relation node)+
+            let (mut prev_name, mut prev_type) = self.parse_node()?;
+            loop {
+                let (etype, forward) = self.parse_relation()?;
+                let (next_name, next_type) = self.parse_node()?;
+                let src_v = query
+                    .add_vertex(prev_name.clone(), prev_type.clone(), vec![])
+                    .map_err(|e| self.error(e.to_string()))?;
+                let dst_v = query
+                    .add_vertex(next_name.clone(), next_type.clone(), vec![])
+                    .map_err(|e| self.error(e.to_string()))?;
+                if forward {
+                    query.add_edge(src_v, dst_v, etype, vec![]);
+                } else {
+                    query.add_edge(dst_v, src_v, etype, vec![]);
+                }
+                prev_name = next_name;
+                prev_type = next_type;
+                // Peek: another relation continues the chain.
+                self.skip_ws();
+                let rest = self.rest();
+                if !(rest.starts_with('-') || rest.starts_with('<')) {
+                    break;
+                }
+            }
+            if !self.eat_char(',') {
+                break;
+            }
+        }
+
+        if self.eat_keyword("WHERE") {
+            loop {
+                let var = self.parse_identifier()?;
+                self.expect_char('.')?;
+                let attr = self.parse_identifier()?;
+                let op = self.parse_compare_op()?;
+                let value = self.parse_literal()?;
+                let predicate = Predicate::Compare {
+                    key: attr,
+                    op,
+                    value,
+                };
+                if query.vertex_by_name(&var).is_none() {
+                    return Err(self.error(format!("WHERE references unknown variable `{var}`")));
+                }
+                query
+                    .add_vertex(var, None, vec![predicate])
+                    .map_err(|e| self.error(e.to_string()))?;
+                if !self.eat_keyword("AND") {
+                    break;
+                }
+            }
+        }
+
+        self.skip_ws();
+        if !self.rest().is_empty() {
+            return Err(self.error(format!(
+                "unexpected trailing input: `{}`",
+                self.rest().chars().take(20).collect::<String>()
+            )));
+        }
+        query.validate()?;
+        Ok(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_graph::QueryEdgeId;
+
+    #[test]
+    fn parses_the_news_query() {
+        let q = parse_query(
+            r#"
+            QUERY news_politics WINDOW 6h
+            MATCH (a1:Article)-[:mentions]->(k:Keyword),
+                  (a2:Article)-[:mentions]->(k),
+                  (a1)-[:located]->(l:Location),
+                  (a2)-[:located]->(l)
+            WHERE k.label = "politics"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(q.name(), "news_politics");
+        assert_eq!(q.window(), Duration::from_hours(6));
+        assert_eq!(q.vertex_count(), 4);
+        assert_eq!(q.edge_count(), 4);
+        let k = q.vertex_by_name("k").unwrap();
+        assert_eq!(k.predicates.len(), 1);
+        assert_eq!(k.vtype.as_deref(), Some("Keyword"));
+    }
+
+    #[test]
+    fn parses_chained_paths_and_reverse_edges() {
+        let q = parse_query(
+            "QUERY chain WINDOW 30s MATCH (a:IP)-[:flow]->(b:IP)-[:flow]->(c:IP), (a)<-[:flow]-(c)",
+        )
+        .unwrap();
+        assert_eq!(q.edge_count(), 3);
+        // The reverse edge is stored as c -> a.
+        let e = q.edge(QueryEdgeId(2));
+        assert_eq!(q.vertex(e.src).name, "c");
+        assert_eq!(q.vertex(e.dst).name, "a");
+    }
+
+    #[test]
+    fn parses_untyped_relations_and_defaults_window() {
+        let q = parse_query("QUERY any MATCH (a)-[]->(b)").unwrap();
+        assert_eq!(q.window(), Duration::from_hours(1));
+        assert!(q.edge(QueryEdgeId(0)).etype.is_none());
+    }
+
+    #[test]
+    fn parses_numeric_and_boolean_predicates() {
+        let q = parse_query(
+            r#"QUERY p MATCH (a:IP)-[:flow]->(b:IP)
+               WHERE a.port >= 1024 AND b.internal = true AND a.score < 0.5"#,
+        )
+        .unwrap();
+        assert_eq!(q.vertex_by_name("a").unwrap().predicates.len(), 2);
+        assert_eq!(q.vertex_by_name("b").unwrap().predicates.len(), 1);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let err = parse_query("QUERY x\nMATCH (a:IP)-[:flow]->\n(").unwrap_err();
+        match err {
+            QueryError::Parse { line, .. } => assert!(line >= 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_where_on_unknown_variable() {
+        let err = parse_query(
+            r#"QUERY x MATCH (a)-[:t]->(b) WHERE ghost.k = "v""#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_missing_match() {
+        assert!(parse_query("QUERY x MATCH (a)-[:t]->(b) EXTRA").is_err());
+        assert!(parse_query("MATCH (a)-[:t]->(b)").is_err());
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let q = parse_query(
+            "# header comment\nQUERY c # trailing\nMATCH (a)-[:t]->(b) # done\n",
+        )
+        .unwrap();
+        assert_eq!(q.name(), "c");
+    }
+
+    #[test]
+    fn format_round_trips_through_parse() {
+        let q = parse_query(
+            r#"QUERY roundtrip WINDOW 300s
+               MATCH (a1:Article)-[:mentions]->(k:Keyword), (a2:Article)-[:mentions]->(k)
+               WHERE k.label = "sports""#,
+        )
+        .unwrap();
+        let text = format_query(&q);
+        let q2 = parse_query(&text).unwrap();
+        assert_eq!(q2.name(), "roundtrip");
+        assert_eq!(q2.edge_count(), q.edge_count());
+        assert_eq!(q2.vertex_count(), q.vertex_count());
+        assert_eq!(q2.window(), q.window());
+        assert_eq!(q2.vertex_by_name("k").unwrap().predicates.len(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for query construction and planning.
+
+use std::fmt;
+
+/// Errors raised while building, parsing or planning a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A vertex variable name was used twice with conflicting definitions.
+    DuplicateVertex(String),
+    /// An edge referenced a vertex variable that was never declared.
+    UnknownVertex(String),
+    /// The query has no edges.
+    EmptyQuery,
+    /// The query graph is not connected and the chosen strategy requires it.
+    Disconnected,
+    /// A decomposition produced an invalid cover of the query edges.
+    InvalidDecomposition(String),
+    /// The DSL text could not be parsed.
+    Parse {
+        /// 1-based line of the error.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::DuplicateVertex(name) => {
+                write!(f, "vertex variable `{name}` declared twice with different types")
+            }
+            QueryError::UnknownVertex(name) => {
+                write!(f, "edge references undeclared vertex variable `{name}`")
+            }
+            QueryError::EmptyQuery => write!(f, "query graph has no edges"),
+            QueryError::Disconnected => write!(f, "query graph is not connected"),
+            QueryError::InvalidDecomposition(msg) => {
+                write!(f, "invalid query decomposition: {msg}")
+            }
+            QueryError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_cleanly() {
+        assert!(QueryError::EmptyQuery.to_string().contains("no edges"));
+        assert!(QueryError::UnknownVertex("x".into()).to_string().contains("`x`"));
+        let p = QueryError::Parse {
+            line: 3,
+            message: "unexpected token".into(),
+        };
+        assert!(p.to_string().contains("line 3"));
+    }
+}

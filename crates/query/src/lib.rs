@@ -1,0 +1,50 @@
+//! # streamworks-query
+//!
+//! Query model and planner for the StreamWorks reproduction: pattern graphs,
+//! a small text DSL, selectivity estimation over `streamworks-summarize`
+//! statistics, pluggable query-decomposition strategies, and the Subgraph
+//! Join Tree (SJ-Tree) shape of paper §3.2/§4.1.
+//!
+//! ```
+//! use streamworks_query::{parse_query, Planner};
+//!
+//! let query = parse_query(r#"
+//!     QUERY common_keyword WINDOW 1h
+//!     MATCH (a1:Article)-[:mentions]->(k:Keyword),
+//!           (a2:Article)-[:mentions]->(k)
+//! "#).unwrap();
+//! let plan = Planner::new().plan(query).unwrap();
+//! println!("{}", plan.explain());
+//! assert_eq!(plan.shape.leaves().len(), 1); // both edges fit one 2-edge primitive
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod builder;
+mod cost;
+mod decompose;
+mod dsl;
+mod error;
+mod plan;
+mod predicate;
+mod query_graph;
+mod selectivity;
+mod sjtree;
+
+pub use builder::QueryGraphBuilder;
+pub use cost::{
+    estimate_shape_cost, left_deep_order_cost, CostBasedOrdered, NodeCostEstimate,
+    ShapeCostEstimate, TriadWedges,
+};
+pub use decompose::{
+    validate_decomposition, BalancedPairs, DecompositionStrategy, LeftDeepEdgeChain,
+    ManualDecomposition, Primitive, SelectivityOrdered,
+};
+pub use dsl::{format_query, parse_query};
+pub use error::QueryError;
+pub use plan::{Planner, QueryPlan, TreeShapeKind};
+pub use predicate::{CompareOp, Predicate};
+pub use query_graph::{QueryEdge, QueryEdgeId, QueryGraph, QueryVertex, QueryVertexId};
+pub use selectivity::{NullResolver, SelectivityEstimator, TypeResolver};
+pub use sjtree::{SjNode, SjNodeId, SjTreeShape};

@@ -1,0 +1,229 @@
+//! Attribute predicates attached to query vertices and edges.
+//!
+//! Predicates restrict which data vertices/edges may bind to a query element
+//! beyond the type constraint — e.g. the labelled news queries of paper Fig. 5
+//! pin the keyword vertex to a specific label ("politics", "accident", ...).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use streamworks_graph::{AttrValue, Attrs};
+
+/// Comparison operator of a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompareOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CompareOp {
+    fn eval(self, ord: Ordering, equal: bool) -> bool {
+        match self {
+            CompareOp::Eq => equal,
+            CompareOp::Ne => !equal,
+            CompareOp::Lt => ord == Ordering::Less,
+            CompareOp::Le => ord != Ordering::Greater,
+            CompareOp::Gt => ord == Ordering::Greater,
+            CompareOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// The textual operator as written in the DSL.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "!=",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        }
+    }
+}
+
+/// A predicate over the attribute map of one query element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// `attrs[key] <op> value`. Missing attributes fail the predicate.
+    Compare {
+        /// Attribute key.
+        key: String,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Literal to compare against.
+        value: AttrValue,
+    },
+    /// `attrs[key]` is a string starting with `prefix`.
+    HasPrefix {
+        /// Attribute key.
+        key: String,
+        /// Required prefix.
+        prefix: String,
+    },
+    /// `attrs[key]` is one of the listed values.
+    InSet {
+        /// Attribute key.
+        key: String,
+        /// Allowed values.
+        values: Vec<AttrValue>,
+    },
+    /// The attribute key merely has to exist.
+    Exists {
+        /// Attribute key.
+        key: String,
+    },
+}
+
+impl Predicate {
+    /// Convenience constructor for an equality predicate.
+    pub fn eq(key: impl Into<String>, value: impl Into<AttrValue>) -> Self {
+        Predicate::Compare {
+            key: key.into(),
+            op: CompareOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// Convenience constructor for a comparison predicate.
+    pub fn cmp(key: impl Into<String>, op: CompareOp, value: impl Into<AttrValue>) -> Self {
+        Predicate::Compare {
+            key: key.into(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Evaluates the predicate against an attribute map.
+    pub fn matches(&self, attrs: &Attrs) -> bool {
+        match self {
+            Predicate::Compare { key, op, value } => match attrs.get(key) {
+                Some(actual) => {
+                    let ord = actual.compare(value);
+                    let equal = actual == value
+                        || matches!(
+                            (actual, value),
+                            (AttrValue::Int(_), AttrValue::Float(_))
+                                | (AttrValue::Float(_), AttrValue::Int(_))
+                        ) && ord == Ordering::Equal;
+                    op.eval(ord, equal)
+                }
+                None => false,
+            },
+            Predicate::HasPrefix { key, prefix } => attrs
+                .get(key)
+                .and_then(|v| v.as_str())
+                .map(|s| s.starts_with(prefix))
+                .unwrap_or(false),
+            Predicate::InSet { key, values } => attrs
+                .get(key)
+                .map(|v| values.iter().any(|allowed| allowed == v))
+                .unwrap_or(false),
+            Predicate::Exists { key } => attrs.get(key).is_some(),
+        }
+    }
+
+    /// Rough selectivity weight used by the planner: predicates make an
+    /// element rarer, so each predicate multiplies the cardinality estimate by
+    /// this factor.
+    pub fn selectivity_factor(&self) -> f64 {
+        match self {
+            Predicate::Compare { op: CompareOp::Eq, .. } => 0.1,
+            Predicate::Compare { op: CompareOp::Ne, .. } => 0.9,
+            Predicate::Compare { .. } => 0.4,
+            Predicate::HasPrefix { .. } => 0.2,
+            Predicate::InSet { values, .. } => (0.1 * values.len() as f64).min(0.9),
+            Predicate::Exists { .. } => 0.8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs() -> Attrs {
+        Attrs::from_pairs([
+            ("label", AttrValue::from("politics")),
+            ("port", AttrValue::from(443i64)),
+            ("score", AttrValue::from(0.7)),
+        ])
+    }
+
+    #[test]
+    fn equality_and_inequality() {
+        let a = attrs();
+        assert!(Predicate::eq("label", "politics").matches(&a));
+        assert!(!Predicate::eq("label", "sports").matches(&a));
+        assert!(Predicate::cmp("label", CompareOp::Ne, "sports").matches(&a));
+        assert!(!Predicate::eq("missing", "x").matches(&a));
+    }
+
+    #[test]
+    fn numeric_ranges() {
+        let a = attrs();
+        assert!(Predicate::cmp("port", CompareOp::Ge, 100i64).matches(&a));
+        assert!(Predicate::cmp("port", CompareOp::Lt, 1000i64).matches(&a));
+        assert!(!Predicate::cmp("port", CompareOp::Gt, 443i64).matches(&a));
+        assert!(Predicate::cmp("port", CompareOp::Le, 443i64).matches(&a));
+        // Int attribute compared against a float literal.
+        assert!(Predicate::cmp("port", CompareOp::Lt, 443.5).matches(&a));
+    }
+
+    #[test]
+    fn prefix_set_and_exists() {
+        let a = attrs();
+        assert!(Predicate::HasPrefix {
+            key: "label".into(),
+            prefix: "pol".into()
+        }
+        .matches(&a));
+        assert!(!Predicate::HasPrefix {
+            key: "port".into(),
+            prefix: "4".into()
+        }
+        .matches(&a));
+        assert!(Predicate::InSet {
+            key: "label".into(),
+            values: vec!["sports".into(), "politics".into()]
+        }
+        .matches(&a));
+        assert!(Predicate::Exists { key: "score".into() }.matches(&a));
+        assert!(!Predicate::Exists { key: "nope".into() }.matches(&a));
+    }
+
+    #[test]
+    fn selectivity_factors_are_probabilities() {
+        let preds = [
+            Predicate::eq("a", 1i64),
+            Predicate::cmp("a", CompareOp::Gt, 1i64),
+            Predicate::HasPrefix {
+                key: "a".into(),
+                prefix: "x".into(),
+            },
+            Predicate::InSet {
+                key: "a".into(),
+                values: vec![1i64.into()],
+            },
+            Predicate::Exists { key: "a".into() },
+        ];
+        for p in preds {
+            let f = p.selectivity_factor();
+            assert!(f > 0.0 && f <= 1.0, "{p:?} -> {f}");
+        }
+    }
+
+    #[test]
+    fn op_symbols_round_trip() {
+        assert_eq!(CompareOp::Eq.symbol(), "=");
+        assert_eq!(CompareOp::Ge.symbol(), ">=");
+    }
+}

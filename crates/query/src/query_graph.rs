@@ -1,0 +1,366 @@
+//! The query (pattern) graph.
+//!
+//! A [`QueryGraph`] is the pattern `Gq` of paper §2.1: a small directed,
+//! typed multigraph whose vertices are *variables* (optionally constrained by
+//! a vertex type and attribute predicates) and whose edges are relationship
+//! constraints. The continuous-query semantics add a time window `tW`: a
+//! match is only reported while the span of its data-edge timestamps is below
+//! the window.
+
+use crate::error::QueryError;
+use crate::predicate::Predicate;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, VecDeque};
+use streamworks_graph::Duration;
+
+/// Index of a vertex within a [`QueryGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct QueryVertexId(pub usize);
+
+/// Index of an edge within a [`QueryGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct QueryEdgeId(pub usize);
+
+/// A query vertex (pattern variable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryVertex {
+    /// Dense id.
+    pub id: QueryVertexId,
+    /// Variable name, unique within the query (e.g. `"a1"`).
+    pub name: String,
+    /// Required vertex type label; `None` matches any type.
+    pub vtype: Option<String>,
+    /// Attribute predicates a data vertex must satisfy to bind here.
+    pub predicates: Vec<Predicate>,
+}
+
+/// A query edge (relationship constraint).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryEdge {
+    /// Dense id.
+    pub id: QueryEdgeId,
+    /// Source query vertex.
+    pub src: QueryVertexId,
+    /// Destination query vertex.
+    pub dst: QueryVertexId,
+    /// Required edge type label; `None` matches any type.
+    pub etype: Option<String>,
+    /// Attribute predicates a data edge must satisfy to bind here.
+    pub predicates: Vec<Predicate>,
+}
+
+impl QueryEdge {
+    /// Both endpoints of the edge.
+    pub fn endpoints(&self) -> [QueryVertexId; 2] {
+        [self.src, self.dst]
+    }
+
+    /// The endpoint opposite to `v`, if `v` is an endpoint.
+    pub fn other_endpoint(&self, v: QueryVertexId) -> Option<QueryVertexId> {
+        if v == self.src {
+            Some(self.dst)
+        } else if v == self.dst {
+            Some(self.src)
+        } else {
+            None
+        }
+    }
+
+    /// True if the two edges share at least one endpoint.
+    pub fn is_adjacent_to(&self, other: &QueryEdge) -> bool {
+        self.endpoints()
+            .iter()
+            .any(|v| other.endpoints().contains(v))
+    }
+}
+
+/// A directed, typed pattern graph with an associated time window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryGraph {
+    name: String,
+    window: Duration,
+    vertices: Vec<QueryVertex>,
+    edges: Vec<QueryEdge>,
+}
+
+impl QueryGraph {
+    /// Creates an empty query graph with a name and time window `tW`.
+    pub fn new(name: impl Into<String>, window: Duration) -> Self {
+        QueryGraph {
+            name: name.into(),
+            window,
+            vertices: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// The query's name (used in match events and reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The query's time window `tW`.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Overrides the window (used by experiment sweeps).
+    pub fn set_window(&mut self, window: Duration) {
+        self.window = window;
+    }
+
+    /// Adds a vertex; returns an error if a vertex with the same name but a
+    /// different type already exists, otherwise returns the existing or new id.
+    pub fn add_vertex(
+        &mut self,
+        name: impl Into<String>,
+        vtype: Option<String>,
+        predicates: Vec<Predicate>,
+    ) -> Result<QueryVertexId, QueryError> {
+        let name = name.into();
+        if let Some(existing) = self.vertices.iter_mut().find(|v| v.name == name) {
+            match (&existing.vtype, &vtype) {
+                (Some(a), Some(b)) if a != b => {
+                    return Err(QueryError::DuplicateVertex(name));
+                }
+                (None, Some(b)) => existing.vtype = Some(b.clone()),
+                _ => {}
+            }
+            existing.predicates.extend(predicates);
+            return Ok(existing.id);
+        }
+        let id = QueryVertexId(self.vertices.len());
+        self.vertices.push(QueryVertex {
+            id,
+            name,
+            vtype,
+            predicates,
+        });
+        Ok(id)
+    }
+
+    /// Adds an edge between two existing vertices.
+    pub fn add_edge(
+        &mut self,
+        src: QueryVertexId,
+        dst: QueryVertexId,
+        etype: Option<String>,
+        predicates: Vec<Predicate>,
+    ) -> QueryEdgeId {
+        let id = QueryEdgeId(self.edges.len());
+        self.edges.push(QueryEdge {
+            id,
+            src,
+            dst,
+            etype,
+            predicates,
+        });
+        id
+    }
+
+    /// Vertex lookup by id.
+    pub fn vertex(&self, id: QueryVertexId) -> &QueryVertex {
+        &self.vertices[id.0]
+    }
+
+    /// Edge lookup by id.
+    pub fn edge(&self, id: QueryEdgeId) -> &QueryEdge {
+        &self.edges[id.0]
+    }
+
+    /// Vertex lookup by variable name.
+    pub fn vertex_by_name(&self, name: &str) -> Option<&QueryVertex> {
+        self.vertices.iter().find(|v| v.name == name)
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterates vertices in id order.
+    pub fn vertices(&self) -> impl Iterator<Item = &QueryVertex> {
+        self.vertices.iter()
+    }
+
+    /// Iterates edges in id order.
+    pub fn edges(&self) -> impl Iterator<Item = &QueryEdge> {
+        self.edges.iter()
+    }
+
+    /// All edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = QueryEdgeId> + '_ {
+        (0..self.edges.len()).map(QueryEdgeId)
+    }
+
+    /// Edges incident to a query vertex.
+    pub fn incident_edges(&self, v: QueryVertexId) -> impl Iterator<Item = &QueryEdge> {
+        self.edges.iter().filter(move |e| e.src == v || e.dst == v)
+    }
+
+    /// The set of vertices touched by a set of edges, in sorted order.
+    pub fn vertices_of_edges(&self, edges: &[QueryEdgeId]) -> Vec<QueryVertexId> {
+        let mut set = BTreeSet::new();
+        for &e in edges {
+            let edge = self.edge(e);
+            set.insert(edge.src);
+            set.insert(edge.dst);
+        }
+        set.into_iter().collect()
+    }
+
+    /// True if the subgraph induced by `edges` is connected (and non-empty).
+    pub fn edges_connected(&self, edges: &[QueryEdgeId]) -> bool {
+        if edges.is_empty() {
+            return false;
+        }
+        let edge_set: BTreeSet<_> = edges.iter().copied().collect();
+        let mut visited_edges = BTreeSet::new();
+        let mut visited_vertices = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(edges[0]);
+        visited_edges.insert(edges[0]);
+        while let Some(eid) = queue.pop_front() {
+            let e = self.edge(eid);
+            for v in e.endpoints() {
+                if visited_vertices.insert(v) {
+                    for adj in self.incident_edges(v) {
+                        if edge_set.contains(&adj.id) && visited_edges.insert(adj.id) {
+                            queue.push_back(adj.id);
+                        }
+                    }
+                }
+            }
+        }
+        visited_edges.len() == edge_set.len()
+    }
+
+    /// True if the whole query graph is connected.
+    pub fn is_connected(&self) -> bool {
+        let all: Vec<_> = self.edge_ids().collect();
+        if all.is_empty() {
+            return self.vertices.len() <= 1;
+        }
+        // Also require that no vertex is isolated.
+        self.edges_connected(&all)
+            && self
+                .vertices
+                .iter()
+                .all(|v| self.incident_edges(v.id).next().is_some())
+    }
+
+    /// Basic sanity check used before planning.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        if self.edges.is_empty() {
+            return Err(QueryError::EmptyQuery);
+        }
+        Ok(())
+    }
+
+    /// Human-readable single-line description of an edge, e.g.
+    /// `(a1:Article)-[mentions]->(k:Keyword)`.
+    pub fn describe_edge(&self, id: QueryEdgeId) -> String {
+        let e = self.edge(id);
+        let src = self.vertex(e.src);
+        let dst = self.vertex(e.dst);
+        let fmt_v = |v: &QueryVertex| match &v.vtype {
+            Some(t) => format!("({}:{})", v.name, t),
+            None => format!("({})", v.name),
+        };
+        let et = e.etype.clone().unwrap_or_else(|| "*".to_owned());
+        format!("{}-[{}]->{}", fmt_v(src), et, fmt_v(dst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> QueryGraph {
+        let mut q = QueryGraph::new("tri", Duration::from_secs(60));
+        let a = q.add_vertex("a", Some("IP".into()), vec![]).unwrap();
+        let b = q.add_vertex("b", Some("IP".into()), vec![]).unwrap();
+        let c = q.add_vertex("c", Some("IP".into()), vec![]).unwrap();
+        q.add_edge(a, b, Some("flow".into()), vec![]);
+        q.add_edge(b, c, Some("flow".into()), vec![]);
+        q.add_edge(c, a, Some("flow".into()), vec![]);
+        q
+    }
+
+    #[test]
+    fn vertices_dedupe_by_name() {
+        let mut q = QueryGraph::new("q", Duration::from_secs(1));
+        let a1 = q.add_vertex("a", Some("Article".into()), vec![]).unwrap();
+        let a2 = q.add_vertex("a", None, vec![]).unwrap();
+        assert_eq!(a1, a2);
+        assert_eq!(q.vertex_count(), 1);
+        // Conflicting types error out.
+        let err = q.add_vertex("a", Some("Keyword".into()), vec![]).unwrap_err();
+        assert!(matches!(err, QueryError::DuplicateVertex(_)));
+    }
+
+    #[test]
+    fn later_type_refines_untyped_vertex() {
+        let mut q = QueryGraph::new("q", Duration::from_secs(1));
+        q.add_vertex("a", None, vec![]).unwrap();
+        q.add_vertex("a", Some("Article".into()), vec![]).unwrap();
+        assert_eq!(
+            q.vertex_by_name("a").unwrap().vtype.as_deref(),
+            Some("Article")
+        );
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let q = triangle();
+        assert!(q.is_connected());
+        assert!(q.edges_connected(&[QueryEdgeId(0), QueryEdgeId(1)]));
+        assert!(!q.edges_connected(&[]));
+
+        let mut disc = QueryGraph::new("disc", Duration::from_secs(1));
+        let a = disc.add_vertex("a", None, vec![]).unwrap();
+        let b = disc.add_vertex("b", None, vec![]).unwrap();
+        let c = disc.add_vertex("c", None, vec![]).unwrap();
+        let d = disc.add_vertex("d", None, vec![]).unwrap();
+        disc.add_edge(a, b, None, vec![]);
+        disc.add_edge(c, d, None, vec![]);
+        assert!(!disc.is_connected());
+        assert!(!disc.edges_connected(&[QueryEdgeId(0), QueryEdgeId(1)]));
+    }
+
+    #[test]
+    fn vertices_of_edges_sorted_unique() {
+        let q = triangle();
+        let vs = q.vertices_of_edges(&[QueryEdgeId(0), QueryEdgeId(1)]);
+        assert_eq!(vs, vec![QueryVertexId(0), QueryVertexId(1), QueryVertexId(2)]);
+    }
+
+    #[test]
+    fn validate_rejects_empty_query() {
+        let q = QueryGraph::new("empty", Duration::from_secs(1));
+        assert!(matches!(q.validate(), Err(QueryError::EmptyQuery)));
+        assert!(triangle().validate().is_ok());
+    }
+
+    #[test]
+    fn describe_edge_formats() {
+        let q = triangle();
+        assert_eq!(q.describe_edge(QueryEdgeId(0)), "(a:IP)-[flow]->(b:IP)");
+    }
+
+    #[test]
+    fn incident_edges_and_adjacency() {
+        let q = triangle();
+        assert_eq!(q.incident_edges(QueryVertexId(0)).count(), 2);
+        let e0 = q.edge(QueryEdgeId(0));
+        let e1 = q.edge(QueryEdgeId(1));
+        assert!(e0.is_adjacent_to(e1));
+        assert_eq!(e0.other_endpoint(QueryVertexId(0)), Some(QueryVertexId(1)));
+        assert_eq!(e0.other_endpoint(QueryVertexId(2)), None);
+    }
+}

@@ -1,0 +1,247 @@
+//! Graphviz DOT export — the reproduction's stand-in for the demo's
+//! Gephi-based visualisation (§6.2): query graphs, SJ-Tree decompositions and
+//! data-graph neighbourhoods with matched edges highlighted can all be dumped
+//! as DOT text and rendered with any Graphviz tool.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use streamworks_core::MatchEvent;
+use streamworks_graph::{Direction, DynamicGraph, EdgeId};
+use streamworks_query::{QueryGraph, SjTreeShape};
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a query graph as a directed DOT graph: one node per pattern
+/// variable (labelled `name:Type`), one edge per relationship constraint.
+pub fn query_graph_to_dot(query: &QueryGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(query.name()));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=ellipse, fontsize=11];");
+    for v in query.vertices() {
+        let label = match &v.vtype {
+            Some(t) => format!("{}:{}", v.name, t),
+            None => v.name.clone(),
+        };
+        let _ = writeln!(out, "  q{} [label=\"{}\"];", v.id.0, escape(&label));
+    }
+    for e in query.edges() {
+        let label = e.etype.clone().unwrap_or_else(|| "*".to_owned());
+        let pred_marker = if e.predicates.is_empty() { "" } else { " *" };
+        let _ = writeln!(
+            out,
+            "  q{} -> q{} [label=\"{}{}\"];",
+            e.src.0,
+            e.dst.0,
+            escape(&label),
+            pred_marker
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an SJ-Tree shape as DOT: leaves and join nodes become boxes
+/// labelled with the query edges they cover and the cut vertices they join on,
+/// with tree edges pointing from children to parents (the direction partial
+/// matches flow).
+pub fn sjtree_to_dot(query: &QueryGraph, shape: &SjTreeShape) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"sjtree_{}\" {{", escape(query.name()));
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+    for node in shape.nodes() {
+        let edges: Vec<String> = node
+            .edges
+            .iter()
+            .map(|&e| query.describe_edge(e))
+            .collect();
+        let cut: Vec<&str> = node
+            .cut_vertices
+            .iter()
+            .map(|&v| query.vertex(v).name.as_str())
+            .collect();
+        let kind = if node.is_leaf() { "leaf" } else { "join" };
+        let mut label = format!("{} n{}\\n{}", kind, node.id.0, edges.join("\\n"));
+        if !cut.is_empty() {
+            label.push_str(&format!("\\ncut: ({})", cut.join(", ")));
+        }
+        let style = if node.id == shape.root() {
+            ", style=bold"
+        } else if node.is_leaf() {
+            ", style=rounded"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\"{}];",
+            node.id.0,
+            escape(&label).replace("\\\\n", "\\n"),
+            style
+        );
+    }
+    for node in shape.nodes() {
+        if let Some((l, r)) = node.children {
+            let _ = writeln!(out, "  n{} -> n{};", l.0, node.id.0);
+            let _ = writeln!(out, "  n{} -> n{};", r.0, node.id.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the data-graph neighbourhood of a match: every vertex bound by the
+/// match plus (optionally) the other live neighbours of those vertices, with
+/// the matched edges drawn bold/red — the "encode the partial and complete
+/// matches" rendering the demo produced with Gephi.
+pub fn match_to_dot(graph: &DynamicGraph, event: &MatchEvent, include_neighbours: bool) -> String {
+    let matched_edges: BTreeSet<EdgeId> = event.edges.iter().copied().collect();
+    let mut vertices: BTreeSet<_> = event.bindings.iter().map(|b| b.vertex).collect();
+    let mut edges: BTreeSet<EdgeId> = matched_edges.clone();
+
+    if include_neighbours {
+        for b in &event.bindings {
+            for dir in [Direction::Out, Direction::In] {
+                for edge in graph.incident_edges_any_type(b.vertex, dir) {
+                    vertices.insert(edge.src);
+                    vertices.insert(edge.dst);
+                    edges.insert(edge.id);
+                }
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"match_{}\" {{", escape(&event.query_name));
+    let _ = writeln!(out, "  node [shape=ellipse, fontsize=10];");
+    for &v in &vertices {
+        let key = graph.vertex_key(v).unwrap_or("<expired>");
+        let vtype = graph
+            .vertex(v)
+            .and_then(|vv| graph.vertex_type_name(vv.vtype))
+            .unwrap_or("?");
+        let bound = event.bindings.iter().find(|b| b.vertex == v);
+        let label = match bound {
+            Some(b) => format!("{}\\n{} ({})", b.variable, key, vtype),
+            None => format!("{key} ({vtype})"),
+        };
+        let style = if bound.is_some() {
+            ", style=filled, fillcolor=lightblue"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  v{} [label=\"{}\"{}];", v.0, escape(&label).replace("\\\\n", "\\n"), style);
+    }
+    for &e in &edges {
+        let Some(edge) = graph.edge(e) else { continue };
+        if !vertices.contains(&edge.src) || !vertices.contains(&edge.dst) {
+            continue;
+        }
+        let etype = graph.edge_type_name(edge.etype).unwrap_or("?");
+        let attrs = if matched_edges.contains(&e) {
+            format!("label=\"{}\", color=red, penwidth=2.0", escape(etype))
+        } else {
+            format!("label=\"{}\", color=gray", escape(etype))
+        };
+        let _ = writeln!(out, "  v{} -> v{} [{}];", edge.src.0, edge.dst.0, attrs);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamworks_core::ContinuousQueryEngine;
+    use streamworks_graph::{EdgeEvent, Timestamp};
+    use streamworks_query::{Planner, QueryGraphBuilder};
+
+    fn wedge_query() -> QueryGraph {
+        QueryGraphBuilder::new("wedge")
+            .vertex("a", "Article")
+            .vertex("k", "Keyword")
+            .vertex("l", "Location")
+            .edge("a", "mentions", "k")
+            .edge("a", "located", "l")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn query_dot_lists_variables_and_edge_types() {
+        let dot = query_graph_to_dot(&wedge_query());
+        assert!(dot.starts_with("digraph \"wedge\""));
+        assert!(dot.contains("a:Article"));
+        assert!(dot.contains("label=\"mentions\""));
+        assert!(dot.contains("q0 -> q1") || dot.contains("q0 -> q2"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn sjtree_dot_marks_leaves_joins_and_cuts() {
+        let q = QueryGraphBuilder::new("pair")
+            .vertex("a1", "Article")
+            .vertex("a2", "Article")
+            .vertex("k", "Keyword")
+            .vertex("l", "Location")
+            .edge("a1", "mentions", "k")
+            .edge("a2", "mentions", "k")
+            .edge("a1", "located", "l")
+            .edge("a2", "located", "l")
+            .build()
+            .unwrap();
+        let plan = Planner::new().plan(q.clone()).unwrap();
+        let dot = sjtree_to_dot(&q, &plan.shape);
+        assert!(dot.contains("leaf n"));
+        assert!(dot.contains("join n"));
+        assert!(dot.contains("cut:"));
+        // Child-to-parent arrows exist.
+        assert!(dot.lines().any(|l| l.trim().starts_with('n') && l.contains("->")));
+    }
+
+    #[test]
+    fn match_dot_highlights_matched_edges_and_bound_vertices() {
+        let mut engine = ContinuousQueryEngine::with_defaults();
+        engine
+            .register_dsl(
+                "QUERY pair WINDOW 1h \
+                 MATCH (a1:Article)-[:mentions]->(k:Keyword), (a2:Article)-[:mentions]->(k)",
+            )
+            .unwrap();
+        engine.process(&EdgeEvent::new(
+            "a1", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(1),
+        ));
+        // An unrelated edge that should only appear as a grey neighbour.
+        engine.process(&EdgeEvent::new(
+            "a1", "Article", "paris", "Location", "located", Timestamp::from_secs(2),
+        ));
+        let matches = engine.process(&EdgeEvent::new(
+            "a2", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(3),
+        ));
+        let event = &matches[0];
+
+        let bare = match_to_dot(engine.graph(), event, false);
+        assert!(bare.contains("color=red"));
+        assert!(bare.contains("fillcolor=lightblue"));
+        assert!(!bare.contains("paris"), "without neighbours only bound vertices appear");
+
+        let with_neighbours = match_to_dot(engine.graph(), event, true);
+        assert!(with_neighbours.contains("paris"));
+        assert!(with_neighbours.contains("color=gray"));
+    }
+
+    #[test]
+    fn dot_output_escapes_quotes() {
+        let q = QueryGraphBuilder::new("weird\"name")
+            .vertex("a", "T")
+            .vertex("b", "T")
+            .edge("a", "rel", "b")
+            .build()
+            .unwrap();
+        let dot = query_graph_to_dot(&q);
+        assert!(dot.contains("weird\\\"name"));
+    }
+}

@@ -1,0 +1,54 @@
+//! # streamworks-report
+//!
+//! Reporting and export for the StreamWorks reproduction — the textual /
+//! machine-readable analogue of the demo paper's UI (§6.2):
+//!
+//! * [`EventTable`] / [`EventTableSpec`] — tabular event views over
+//!   [`streamworks_core::MatchEvent`]s (Fig. 6's table view), with CSV and
+//!   JSON-lines export.
+//! * [`GeoView`] — events grouped by a location-valued binding (Fig. 5's map
+//!   view, as a ranked frequency table).
+//! * [`SubnetGrid`] — activity per subnet per time bucket (Fig. 6's grid of
+//!   subnetworks lighting up as a Smurf DDoS cascades).
+//! * [`ProgressionReport`] — per-plan match-progression timelines (Fig. 7).
+//! * [`query_graph_to_dot`] / [`sjtree_to_dot`] / [`match_to_dot`] — Graphviz
+//!   DOT export of query graphs, SJ-Tree decompositions and matched
+//!   neighbourhoods (the Gephi-based rendering of §6.2).
+//! * [`summary_report`] and friends — the "relevant statistics" panel of §1.1
+//!   (degree / type / triad distributions) as text tables.
+//!
+//! ```
+//! use streamworks_core::ContinuousQueryEngine;
+//! use streamworks_graph::{EdgeEvent, Timestamp};
+//! use streamworks_report::{EventTable, EventTableSpec};
+//!
+//! let mut engine = ContinuousQueryEngine::with_defaults();
+//! engine.register_dsl(
+//!     "QUERY pair WINDOW 1h \
+//!      MATCH (a1:Article)-[:mentions]->(k:Keyword), (a2:Article)-[:mentions]->(k)",
+//! ).unwrap();
+//! engine.process(&EdgeEvent::new("a1", "Article", "rust", "Keyword", "mentions",
+//!                                Timestamp::from_secs(10)));
+//! let matches = engine.process(&EdgeEvent::new("a2", "Article", "rust", "Keyword",
+//!                                              "mentions", Timestamp::from_secs(20)));
+//! let table = EventTable::build(&EventTableSpec::standard(), &matches);
+//! assert_eq!(table.len(), 2);
+//! println!("{}", table.render());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod dot;
+mod events;
+mod geo;
+mod progression;
+mod stats;
+mod table;
+
+pub use dot::{match_to_dot, query_graph_to_dot, sjtree_to_dot};
+pub use events::{events_per_label, EventColumn, EventTable, EventTableSpec};
+pub use geo::{subnet_of, GeoView, SubnetGrid};
+pub use progression::{ProgressionReport, ProgressionSample, ProgressionSeries};
+pub use stats::{degree_report, summary_report, triad_report, type_distribution_table};
+pub use table::Table;

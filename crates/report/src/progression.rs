@@ -1,0 +1,272 @@
+//! Match-progression timelines — the Fig. 7 analogue: how far each query plan
+//! has progressed toward a complete match as the stream advances, and how many
+//! partial matches it is holding to get there.
+//!
+//! The tracker is deliberately decoupled from the engine: callers sample
+//! whatever matcher they are driving (typically
+//! `SjTreeMatcher::best_partial_fraction()` and
+//! `QueryMetrics::partial_matches_live`) and record the samples here; the
+//! tracker takes care of aligning several plans on a common timeline and
+//! rendering them side by side.
+
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+use streamworks_graph::Timestamp;
+
+/// One observation of one plan's progress.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgressionSample {
+    /// Stream time of the observation.
+    pub at: Timestamp,
+    /// Fraction of the query's edges matched by the *most advanced* partial
+    /// match (0.0–1.0); 1.0 means a complete match exists.
+    pub matched_fraction: f64,
+    /// Live partial matches stored across the plan's SJ-Tree nodes.
+    pub live_partial_matches: u64,
+    /// Complete matches emitted so far.
+    pub complete_matches: u64,
+}
+
+/// Progress samples of one named plan.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProgressionSeries {
+    /// The plan's display name (e.g. the decomposition strategy).
+    pub plan: String,
+    /// Samples in recording order (callers record in non-decreasing time).
+    pub samples: Vec<ProgressionSample>,
+}
+
+impl ProgressionSeries {
+    /// Creates an empty series for a plan.
+    pub fn new(plan: impl Into<String>) -> Self {
+        ProgressionSeries {
+            plan: plan.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(
+        &mut self,
+        at: Timestamp,
+        matched_fraction: f64,
+        live_partial_matches: u64,
+        complete_matches: u64,
+    ) {
+        self.samples.push(ProgressionSample {
+            at,
+            matched_fraction: matched_fraction.clamp(0.0, 1.0),
+            live_partial_matches,
+            complete_matches,
+        });
+    }
+
+    /// The last sample, if any.
+    pub fn latest(&self) -> Option<&ProgressionSample> {
+        self.samples.last()
+    }
+
+    /// Stream time at which the plan first reached a complete match (fraction
+    /// 1.0 or a positive complete-match count), if it ever did.
+    pub fn time_to_first_match(&self) -> Option<Timestamp> {
+        self.samples
+            .iter()
+            .find(|s| s.matched_fraction >= 1.0 || s.complete_matches > 0)
+            .map(|s| s.at)
+    }
+
+    /// Peak number of live partial matches observed.
+    pub fn peak_partial_matches(&self) -> u64 {
+        self.samples
+            .iter()
+            .map(|s| s.live_partial_matches)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A set of plans tracked over the same stream (Fig. 7 shows three SJ-Tree
+/// structures for the same Smurf DDoS query).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProgressionReport {
+    series: Vec<ProgressionSeries>,
+}
+
+impl ProgressionReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a series (consumes it).
+    pub fn add_series(&mut self, series: ProgressionSeries) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// The tracked series.
+    pub fn series(&self) -> &[ProgressionSeries] {
+        &self.series
+    }
+
+    /// Renders each plan's progress as a fixed-width timeline of digits
+    /// (0–9 ≙ 0–90 % matched, `#` ≙ complete), resampling every series onto
+    /// `width` equally spaced points of the union time range.
+    pub fn render_timeline(&self, width: usize) -> String {
+        let width = width.max(2);
+        let (min_t, max_t) = match self.time_range() {
+            Some(r) => r,
+            None => return "(no samples)\n".to_owned(),
+        };
+        let span = (max_t.0 - min_t.0).max(1);
+        let name_width = self
+            .series
+            .iter()
+            .map(|s| s.plan.chars().count())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "progress timeline over stream time {}s..{}s ({} columns)\n",
+            min_t.0 / 1_000_000,
+            max_t.0 / 1_000_000,
+            width
+        ));
+        for series in &self.series {
+            let mut line = String::with_capacity(width);
+            for col in 0..width {
+                let t = min_t.0 + span * col as i64 / (width as i64 - 1);
+                let fraction = series
+                    .samples
+                    .iter()
+                    .take_while(|s| s.at.0 <= t)
+                    .map(|s| s.matched_fraction)
+                    .fold(0.0f64, f64::max);
+                let complete = series
+                    .samples
+                    .iter()
+                    .take_while(|s| s.at.0 <= t)
+                    .any(|s| s.complete_matches > 0);
+                line.push(if complete || fraction >= 1.0 {
+                    '#'
+                } else {
+                    char::from_digit((fraction * 10.0).floor().min(9.0) as u32, 10).unwrap_or('0')
+                });
+            }
+            out.push_str(&format!("{:<name_width$} |{}|\n", series.plan, line));
+        }
+        out
+    }
+
+    /// Summary table: one row per plan with time-to-first-match, peak live
+    /// partial matches and final complete-match count.
+    pub fn summary_table(&self) -> Table {
+        let mut table = Table::new([
+            "plan",
+            "first_match_at(s)",
+            "peak_partial_matches",
+            "complete_matches",
+        ]);
+        for s in &self.series {
+            table.add_row([
+                s.plan.clone(),
+                s.time_to_first_match()
+                    .map(|t| (t.0 / 1_000_000).to_string())
+                    .unwrap_or_else(|| "-".to_owned()),
+                s.peak_partial_matches().to_string(),
+                s.latest()
+                    .map(|x| x.complete_matches.to_string())
+                    .unwrap_or_else(|| "0".to_owned()),
+            ]);
+        }
+        table
+    }
+
+    fn time_range(&self) -> Option<(Timestamp, Timestamp)> {
+        let mut min_t: Option<i64> = None;
+        let mut max_t: Option<i64> = None;
+        for s in &self.series {
+            for sample in &s.samples {
+                min_t = Some(min_t.map_or(sample.at.0, |m: i64| m.min(sample.at.0)));
+                max_t = Some(max_t.map_or(sample.at.0, |m: i64| m.max(sample.at.0)));
+            }
+        }
+        Some((Timestamp(min_t?), Timestamp(max_t?)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(secs: i64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    fn series(plan: &str, points: &[(i64, f64, u64, u64)]) -> ProgressionSeries {
+        let mut s = ProgressionSeries::new(plan);
+        for &(t, f, live, complete) in points {
+            s.record(ts(t), f, live, complete);
+        }
+        s
+    }
+
+    #[test]
+    fn series_track_first_match_and_peak() {
+        let s = series(
+            "selective",
+            &[(0, 0.0, 0, 0), (10, 0.5, 3, 0), (20, 1.0, 5, 1), (30, 1.0, 2, 2)],
+        );
+        assert_eq!(s.time_to_first_match(), Some(ts(20)));
+        assert_eq!(s.peak_partial_matches(), 5);
+        assert_eq!(s.latest().unwrap().complete_matches, 2);
+    }
+
+    #[test]
+    fn fractions_are_clamped() {
+        let s = series("x", &[(0, -0.4, 0, 0), (5, 7.0, 0, 0)]);
+        assert_eq!(s.samples[0].matched_fraction, 0.0);
+        assert_eq!(s.samples[1].matched_fraction, 1.0);
+    }
+
+    #[test]
+    fn timeline_renders_one_row_per_plan() {
+        let mut report = ProgressionReport::new();
+        report.add_series(series(
+            "selective",
+            &[(0, 0.2, 1, 0), (50, 0.5, 2, 0), (100, 1.0, 2, 1)],
+        ));
+        report.add_series(series(
+            "blind",
+            &[(0, 0.2, 10, 0), (50, 0.4, 40, 0), (100, 0.6, 80, 0)],
+        ));
+        let text = report.render_timeline(20);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("selective"));
+        assert!(lines[1].ends_with('|'));
+        assert!(lines[1].contains('#'), "complete match must render as #: {}", lines[1]);
+        assert!(!lines[2].contains('#'), "blind plan never completes: {}", lines[2]);
+    }
+
+    #[test]
+    fn summary_table_lists_every_plan() {
+        let mut report = ProgressionReport::new();
+        report.add_series(series("a", &[(0, 0.1, 2, 0), (10, 1.0, 4, 1)]));
+        report.add_series(series("b", &[(0, 0.1, 7, 0)]));
+        let table = report.summary_table();
+        assert_eq!(table.len(), 2);
+        let text = table.render();
+        assert!(text.contains("first_match_at"));
+        assert!(text.lines().any(|l| l.starts_with('a') && l.contains("10")));
+        assert!(text.lines().any(|l| l.starts_with('b') && l.contains('-')));
+    }
+
+    #[test]
+    fn empty_report_renders_placeholder() {
+        let report = ProgressionReport::new();
+        assert_eq!(report.render_timeline(10), "(no samples)\n");
+        assert!(report.summary_table().is_empty());
+    }
+}

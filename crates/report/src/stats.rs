@@ -1,0 +1,214 @@
+//! Textual rendering of the streaming graph statistics (paper §4.3) — the
+//! "relevant statistics" panel the demo UI promises in §1.1, as tables.
+
+use crate::table::Table;
+use streamworks_graph::{Direction, DynamicGraph};
+use streamworks_summarize::GraphSummary;
+
+/// Renders the vertex- and edge-type distributions as a table, resolving
+/// interned type ids back to names through the data graph.
+pub fn type_distribution_table(summary: &GraphSummary, graph: &DynamicGraph) -> Table {
+    let mut table = Table::new(["kind", "type", "count", "share"]);
+    let types = summary.types();
+    let total_vertices = types.total_vertices().max(1) as f64;
+    let total_edges = types.total_edges().max(1) as f64;
+    for id in 0..graph.vertex_type_count() as u32 {
+        let t = streamworks_graph::TypeId(id);
+        let Some(name) = graph.vertex_type_name(t) else { continue };
+        let count = types.vertex_count(t);
+        if count == 0 {
+            continue;
+        }
+        table.add_row([
+            "vertex".to_owned(),
+            name.to_owned(),
+            count.to_string(),
+            format!("{:.1}%", 100.0 * count as f64 / total_vertices),
+        ]);
+    }
+    for id in 0..graph.edge_type_count() as u32 {
+        let t = streamworks_graph::TypeId(id);
+        let Some(name) = graph.edge_type_name(t) else { continue };
+        let count = types.edge_count(t);
+        if count == 0 {
+            continue;
+        }
+        table.add_row([
+            "edge".to_owned(),
+            name.to_owned(),
+            count.to_string(),
+            format!("{:.1}%", 100.0 * count as f64 / total_edges),
+        ]);
+    }
+    table
+}
+
+/// Renders the degree distribution: overall quantiles plus the average typed
+/// fan-out of the most common (vertex type, direction, edge type) triples.
+pub fn degree_report(summary: &GraphSummary, graph: &DynamicGraph) -> String {
+    let mut out = String::new();
+    let hist = summary.degrees().histogram();
+    out.push_str(&format!(
+        "degree distribution: n={} mean={:.2} p50={} p90={} p99={} max={}\n",
+        hist.count(),
+        hist.mean(),
+        hist.quantile(0.5).unwrap_or(0),
+        hist.quantile(0.9).unwrap_or(0),
+        hist.quantile(0.99).unwrap_or(0),
+        hist.max().unwrap_or(0),
+    ));
+    let mut table = Table::new(["vertex type", "direction", "edge type", "avg fan-out"]);
+    for vt in 0..graph.vertex_type_count() as u32 {
+        let vtype = streamworks_graph::TypeId(vt);
+        let Some(vname) = graph.vertex_type_name(vtype) else { continue };
+        for et in 0..graph.edge_type_count() as u32 {
+            let etype = streamworks_graph::TypeId(et);
+            let Some(ename) = graph.edge_type_name(etype) else { continue };
+            for dir in [Direction::Out, Direction::In] {
+                let fanout = summary.estimated_fanout(vtype, dir, etype);
+                if fanout > 0.0 {
+                    table.add_row([
+                        vname.to_owned(),
+                        format!("{dir:?}"),
+                        ename.to_owned(),
+                        format!("{fanout:.2}"),
+                    ]);
+                }
+            }
+        }
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Renders the top-`limit` multi-relational triads (typed wedges) by
+/// estimated frequency.
+pub fn triad_report(summary: &GraphSummary, graph: &DynamicGraph, limit: usize) -> Table {
+    let mut wedges: Vec<(String, f64)> = summary
+        .triads()
+        .wedges()
+        .map(|(key, count)| {
+            let name = |t: streamworks_graph::TypeId, vertex: bool| -> String {
+                if vertex {
+                    graph.vertex_type_name(t).unwrap_or("?").to_owned()
+                } else {
+                    graph.edge_type_name(t).unwrap_or("?").to_owned()
+                }
+            };
+            let describe_leg = |leg: (streamworks_graph::TypeId, streamworks_summarize::Orientation)| {
+                format!("{:?}:{}", leg.1, name(leg.0, false))
+            };
+            (
+                format!(
+                    "center {} [{} | {}]",
+                    name(key.center_vtype, true),
+                    describe_leg(key.leg_a),
+                    describe_leg(key.leg_b)
+                ),
+                count,
+            )
+        })
+        .collect();
+    wedges.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut table = Table::new(["triad", "estimated count"]);
+    for (name, count) in wedges.into_iter().take(limit) {
+        table.add_row([name, format!("{count:.1}")]);
+    }
+    table
+}
+
+/// One-call summary report combining graph counters, type distribution,
+/// degree statistics and top triads.
+pub fn summary_report(summary: &GraphSummary, graph: &DynamicGraph, triad_limit: usize) -> String {
+    let stats = graph.stats();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "graph: {} vertices, {} live edges, {} ingested, {} expired\n\n",
+        stats.vertices, stats.live_edges, stats.ingested_edges, stats.expired_edges
+    ));
+    out.push_str("== type distribution ==\n");
+    out.push_str(&type_distribution_table(summary, graph).render());
+    out.push_str("\n== degrees ==\n");
+    out.push_str(&degree_report(summary, graph));
+    out.push_str("\n== top multi-relational triads ==\n");
+    out.push_str(&triad_report(summary, graph, triad_limit).render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamworks_core::{ContinuousQueryEngine, EngineConfig};
+    use streamworks_graph::{EdgeEvent, Timestamp};
+
+    fn populated_engine() -> ContinuousQueryEngine {
+        let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
+        let mut t = 0;
+        for a in 0..10 {
+            for k in 0..3 {
+                engine.process(&EdgeEvent::new(
+                    format!("a{a}"),
+                    "Article",
+                    format!("k{k}"),
+                    "Keyword",
+                    "mentions",
+                    Timestamp::from_secs(t),
+                ));
+                t += 1;
+            }
+            engine.process(&EdgeEvent::new(
+                format!("a{a}"),
+                "Article",
+                "paris",
+                "Location",
+                "located",
+                Timestamp::from_secs(t),
+            ));
+            t += 1;
+        }
+        engine
+    }
+
+    #[test]
+    fn type_distribution_lists_observed_types_with_shares() {
+        let engine = populated_engine();
+        let table = type_distribution_table(engine.summary(), engine.graph());
+        let text = table.render();
+        assert!(text.contains("Article"));
+        assert!(text.contains("mentions"));
+        assert!(text.contains('%'));
+        // 30 mention edges vs. 10 located edges.
+        let mentions_row = text.lines().find(|l| l.contains("mentions")).unwrap();
+        assert!(mentions_row.contains("30"));
+    }
+
+    #[test]
+    fn degree_report_includes_quantiles_and_fanout() {
+        let engine = populated_engine();
+        let text = degree_report(engine.summary(), engine.graph());
+        assert!(text.contains("degree distribution"));
+        assert!(text.contains("p99"));
+        assert!(text.contains("Article"));
+        assert!(text.contains("Out"));
+    }
+
+    #[test]
+    fn triad_report_ranks_wedges() {
+        let engine = populated_engine();
+        let table = triad_report(engine.summary(), engine.graph(), 5);
+        assert!(table.len() <= 5);
+        assert!(!table.is_empty(), "the article-centred wedge must be present");
+        let text = table.render();
+        assert!(text.contains("center"));
+    }
+
+    #[test]
+    fn summary_report_combines_all_sections() {
+        let engine = populated_engine();
+        let text = summary_report(engine.summary(), engine.graph(), 3);
+        assert!(text.contains("== type distribution =="));
+        assert!(text.contains("== degrees =="));
+        assert!(text.contains("== top multi-relational triads =="));
+        assert!(text.contains("vertices"));
+    }
+}

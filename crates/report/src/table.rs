@@ -1,0 +1,158 @@
+//! A small text-table builder shared by every report view.
+//!
+//! The demo UI of the paper (§6.2, Fig. 6) presents query results as tables;
+//! this module is the reproduction's terminal-friendly equivalent and is also
+//! used by the experiment binaries to print their result rows.
+
+use std::fmt::Write as _;
+
+/// A rectangular text table with a header row.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows are truncated to the header width.
+    pub fn add_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) -> &mut Self {
+        let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the table with aligned columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Renders the table as RFC-4180-ish CSV (cells containing commas, quotes
+    /// or newlines are quoted, quotes are doubled).
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        let mut out = String::new();
+        let mut write_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| cell(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        write_row(&self.headers);
+        for row in &self.rows {
+            write_row(row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["name", "count"]);
+        t.add_row(["smurf_ddos", "3"]);
+        t.add_row(["scan", "12"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // The `count` column starts at the same offset in every row.
+        let col = lines[0].find("count").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "3");
+        assert_eq!(&lines[3][col..col + 2], "12");
+    }
+
+    #[test]
+    fn pads_and_truncates_rows_to_header_width() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.add_row(["1"]);
+        t.add_row(["1", "2", "3", "4"]);
+        assert_eq!(t.rows()[0], vec!["1", "", ""]);
+        assert_eq!(t.rows()[1], vec!["1", "2", "3"]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_quotes_special_characters() {
+        let mut t = Table::new(["k", "v"]);
+        t.add_row(["plain", "with,comma"]);
+        t.add_row(["quote\"inside", "line\nbreak"]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("k,v\n"));
+        assert!(csv.contains("\"with,comma\""));
+        assert!(csv.contains("\"quote\"\"inside\""));
+        assert!(csv.contains("\"line\nbreak\""));
+    }
+
+    #[test]
+    fn empty_table_still_renders_header() {
+        let t = Table::new(["only", "header"]);
+        assert!(t.is_empty());
+        let text = t.render();
+        assert!(text.contains("only"));
+        assert_eq!(text.lines().count(), 2);
+        assert_eq!(t.to_csv(), "only,header\n");
+    }
+}

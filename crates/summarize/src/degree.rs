@@ -1,0 +1,197 @@
+//! Streaming degree distribution (overall and per vertex type).
+//!
+//! This is the first summary kind of paper §4.3. The planner uses the average
+//! out-/in-degree restricted to an edge type to estimate the fan-out of a
+//! local search step, and the histograms give the skew ("is this graph
+//! hub-dominated?") reported by the experiment binaries.
+
+use crate::histogram::LogHistogram;
+use serde::{Deserialize, Serialize};
+use streamworks_graph::hash::FxHashMap;
+use streamworks_graph::{Direction, TypeId};
+
+/// Key for per-(vertex type, direction, edge type) degree accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+struct FanKey {
+    vtype: TypeId,
+    dir_out: bool,
+    etype: TypeId,
+}
+
+/// Streaming degree statistics.
+///
+/// `observe_edge` is called once per inserted edge with the endpoint vertex
+/// types; `retract_edge` reverses it on expiry. The structure tracks, for each
+/// `(vertex type, direction, edge type)` combination, the total number of edge
+/// endpoints seen, which together with the vertex-type population gives the
+/// average typed degree.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DegreeDistribution {
+    /// Total live edge-endpoint count per (vtype, direction, etype).
+    fan_counts: FxHashMap<FanKey, u64>,
+    /// Histogram of *observed* vertex degrees, refreshed via `record_degree_sample`.
+    degree_hist: LogHistogram,
+    /// Per vertex type histogram of observed degrees.
+    per_type_hist: FxHashMap<TypeId, LogHistogram>,
+    /// Live edges observed (each contributes two endpoints).
+    live_edges: u64,
+}
+
+impl DegreeDistribution {
+    /// Creates an empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the insertion of an edge with the given endpoint vertex types.
+    pub fn observe_edge(&mut self, src_vtype: TypeId, etype: TypeId, dst_vtype: TypeId) {
+        *self
+            .fan_counts
+            .entry(FanKey {
+                vtype: src_vtype,
+                dir_out: true,
+                etype,
+            })
+            .or_insert(0) += 1;
+        *self
+            .fan_counts
+            .entry(FanKey {
+                vtype: dst_vtype,
+                dir_out: false,
+                etype,
+            })
+            .or_insert(0) += 1;
+        self.live_edges += 1;
+    }
+
+    /// Records the expiry of an edge (reverses [`Self::observe_edge`]).
+    pub fn retract_edge(&mut self, src_vtype: TypeId, etype: TypeId, dst_vtype: TypeId) {
+        for (vtype, dir_out) in [(src_vtype, true), (dst_vtype, false)] {
+            if let Some(c) = self.fan_counts.get_mut(&FanKey {
+                vtype,
+                dir_out,
+                etype,
+            }) {
+                *c = c.saturating_sub(1);
+            }
+        }
+        self.live_edges = self.live_edges.saturating_sub(1);
+    }
+
+    /// Records one vertex's current degree into the degree histograms.
+    /// Typically sampled periodically or during a snapshot rebuild.
+    pub fn record_degree_sample(&mut self, vtype: TypeId, degree: u64) {
+        self.degree_hist.record(degree);
+        self.per_type_hist.entry(vtype).or_default().record(degree);
+    }
+
+    /// Number of live edge endpoints of the given kind.
+    pub fn typed_endpoint_count(&self, vtype: TypeId, dir: Direction, etype: TypeId) -> u64 {
+        self.fan_counts
+            .get(&FanKey {
+                vtype,
+                dir_out: matches!(dir, Direction::Out),
+                etype,
+            })
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Average number of `etype` edges in direction `dir` per vertex of type
+    /// `vtype`, given the population of that vertex type.
+    ///
+    /// Returns a small default (1.0) when the population is unknown, so that
+    /// planners fall back to neutral estimates rather than dividing by zero.
+    pub fn avg_typed_degree(
+        &self,
+        vtype: TypeId,
+        dir: Direction,
+        etype: TypeId,
+        vertex_population: u64,
+    ) -> f64 {
+        if vertex_population == 0 {
+            return 1.0;
+        }
+        self.typed_endpoint_count(vtype, dir, etype) as f64 / vertex_population as f64
+    }
+
+    /// Overall degree histogram (from degree samples).
+    pub fn histogram(&self) -> &LogHistogram {
+        &self.degree_hist
+    }
+
+    /// Degree histogram of a particular vertex type, if sampled.
+    pub fn histogram_for_type(&self, vtype: TypeId) -> Option<&LogHistogram> {
+        self.per_type_hist.get(&vtype)
+    }
+
+    /// Number of live edges accounted for.
+    pub fn live_edges(&self) -> u64 {
+        self.live_edges
+    }
+
+    /// Clears the degree-sample histograms (used before a fresh sampling pass).
+    pub fn reset_samples(&mut self) {
+        self.degree_hist = LogHistogram::new();
+        self.per_type_hist.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IP: TypeId = TypeId(0);
+    const USER: TypeId = TypeId(1);
+    const FLOW: TypeId = TypeId(0);
+    const LOGIN: TypeId = TypeId(1);
+
+    #[test]
+    fn observe_tracks_per_direction_counts() {
+        let mut d = DegreeDistribution::new();
+        d.observe_edge(IP, FLOW, IP);
+        d.observe_edge(IP, FLOW, IP);
+        d.observe_edge(USER, LOGIN, IP);
+
+        assert_eq!(d.typed_endpoint_count(IP, Direction::Out, FLOW), 2);
+        assert_eq!(d.typed_endpoint_count(IP, Direction::In, FLOW), 2);
+        assert_eq!(d.typed_endpoint_count(USER, Direction::Out, LOGIN), 1);
+        assert_eq!(d.typed_endpoint_count(IP, Direction::In, LOGIN), 1);
+        assert_eq!(d.typed_endpoint_count(USER, Direction::In, LOGIN), 0);
+        assert_eq!(d.live_edges(), 3);
+    }
+
+    #[test]
+    fn retract_reverses_observe() {
+        let mut d = DegreeDistribution::new();
+        d.observe_edge(IP, FLOW, IP);
+        d.retract_edge(IP, FLOW, IP);
+        assert_eq!(d.typed_endpoint_count(IP, Direction::Out, FLOW), 0);
+        assert_eq!(d.live_edges(), 0);
+    }
+
+    #[test]
+    fn avg_typed_degree_divides_by_population() {
+        let mut d = DegreeDistribution::new();
+        for _ in 0..10 {
+            d.observe_edge(IP, FLOW, IP);
+        }
+        assert!((d.avg_typed_degree(IP, Direction::Out, FLOW, 5) - 2.0).abs() < 1e-12);
+        // Unknown population falls back to a neutral 1.0.
+        assert_eq!(d.avg_typed_degree(IP, Direction::Out, FLOW, 0), 1.0);
+    }
+
+    #[test]
+    fn degree_samples_populate_histograms() {
+        let mut d = DegreeDistribution::new();
+        d.record_degree_sample(IP, 4);
+        d.record_degree_sample(IP, 100);
+        d.record_degree_sample(USER, 1);
+        assert_eq!(d.histogram().count(), 3);
+        assert_eq!(d.histogram_for_type(IP).unwrap().count(), 2);
+        assert_eq!(d.histogram_for_type(USER).unwrap().count(), 1);
+        assert!(d.histogram_for_type(TypeId(9)).is_none());
+        d.reset_samples();
+        assert_eq!(d.histogram().count(), 0);
+    }
+}

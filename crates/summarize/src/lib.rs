@@ -1,0 +1,39 @@
+//! # streamworks-summarize
+//!
+//! Streaming graph summarization for the StreamWorks reproduction
+//! (paper §4.3): degree distribution, vertex/edge type distribution and the
+//! multi-relational triad (typed wedge) distribution.
+//!
+//! The summaries are consumed by the query planner in `streamworks-query` to
+//! estimate the selectivity of candidate search primitives, fulfilling the
+//! paper's goal of "push\[ing\] the most selective subgraph at the lowest
+//! level in the subgraph join-tree" (§4.1).
+//!
+//! ```
+//! use streamworks_graph::{DynamicGraph, EdgeEvent, Timestamp};
+//! use streamworks_summarize::{GraphSummary, SummaryConfig};
+//!
+//! let mut graph = DynamicGraph::unbounded();
+//! let mut summary = GraphSummary::with_config(SummaryConfig::full());
+//! let ev = EdgeEvent::new("a1", "Article", "k1", "Keyword", "mentions",
+//!                         Timestamp::from_secs(1));
+//! let r = graph.ingest(&ev);
+//! let edge = graph.edge(r.edge).unwrap().clone();
+//! summary.observe_insertion(&graph, &edge);
+//! assert_eq!(summary.edges_observed(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod degree;
+mod histogram;
+mod summary;
+mod triads;
+mod type_dist;
+
+pub use degree::DegreeDistribution;
+pub use histogram::LogHistogram;
+pub use summary::{GraphSummary, SummaryConfig};
+pub use triads::{Orientation, TriadConfig, TriadDistribution, WedgeKey};
+pub use type_dist::{EdgeTripleKey, TypeDistribution};

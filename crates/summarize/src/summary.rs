@@ -1,0 +1,356 @@
+//! The composite, continuously maintained graph summary.
+//!
+//! [`GraphSummary`] bundles the three statistics of paper §4.3 — degree
+//! distribution, vertex/edge type distribution, and multi-relational triad
+//! distribution — behind one streaming update API and the selectivity
+//! accessors the query planner (in `streamworks-query`) consumes.
+//!
+//! The summary is deliberately decoupled from the graph: callers decide when
+//! to feed it (`observe_insertion` after each ingest, `observe_expiry` for
+//! each expired edge) or when to rebuild it wholesale from a snapshot
+//! (`rebuild_from`). The continuous-query engine in `streamworks-core` wires
+//! this up automatically.
+
+use crate::degree::DegreeDistribution;
+use crate::triads::{TriadConfig, TriadDistribution, WedgeKey};
+use crate::type_dist::TypeDistribution;
+use serde::{Deserialize, Serialize};
+use streamworks_graph::{Direction, DynamicGraph, Edge, TypeId};
+
+/// Configuration of the summarizer.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct SummaryConfig {
+    /// Triad counter configuration.
+    pub triads: TriadConfig,
+    /// If true, typed-wedge statistics are maintained on every insertion.
+    /// Disabling them removes the dominant summarization cost (see experiment
+    /// E8) at the price of coarser two-edge selectivity estimates.
+    pub track_triads: bool,
+}
+
+impl SummaryConfig {
+    /// Configuration with triad tracking enabled (the paper's full summary).
+    pub fn full() -> Self {
+        SummaryConfig {
+            triads: TriadConfig::default(),
+            track_triads: true,
+        }
+    }
+
+    /// Configuration with only degree and type statistics.
+    pub fn cheap() -> Self {
+        SummaryConfig {
+            triads: TriadConfig::default(),
+            track_triads: false,
+        }
+    }
+}
+
+/// Continuously maintained statistics about a [`DynamicGraph`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphSummary {
+    config: SummaryConfig,
+    degrees: DegreeDistribution,
+    types: TypeDistribution,
+    triads: TriadDistribution,
+    edges_observed: u64,
+}
+
+impl GraphSummary {
+    /// Creates an empty summary with the full configuration.
+    pub fn new() -> Self {
+        Self::with_config(SummaryConfig::full())
+    }
+
+    /// Creates an empty summary with an explicit configuration.
+    pub fn with_config(config: SummaryConfig) -> Self {
+        GraphSummary {
+            config,
+            degrees: DegreeDistribution::new(),
+            types: TypeDistribution::new(),
+            triads: TriadDistribution::with_config(config.triads),
+            edges_observed: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> SummaryConfig {
+        self.config
+    }
+
+    /// Observes a newly created vertex.
+    pub fn observe_vertex(&mut self, vtype: TypeId) {
+        self.types.observe_vertex(vtype);
+    }
+
+    /// Observes a newly inserted edge. Must be called after the edge is in `graph`.
+    pub fn observe_insertion(&mut self, graph: &DynamicGraph, edge: &Edge) {
+        let src_vtype = graph.vertex(edge.src).map(|v| v.vtype).unwrap_or(TypeId(0));
+        let dst_vtype = graph.vertex(edge.dst).map(|v| v.vtype).unwrap_or(TypeId(0));
+        self.types.observe_edge(src_vtype, edge.etype, dst_vtype);
+        self.degrees.observe_edge(src_vtype, edge.etype, dst_vtype);
+        if self.config.track_triads {
+            self.triads.observe_edge(graph, edge);
+        }
+        self.edges_observed += 1;
+    }
+
+    /// Observes the expiry of an edge. `src_vtype`/`dst_vtype` are passed
+    /// explicitly because the edge may already have been removed from the graph.
+    pub fn observe_expiry(&mut self, src_vtype: TypeId, etype: TypeId, dst_vtype: TypeId) {
+        self.types.retract_edge(src_vtype, etype, dst_vtype);
+        self.degrees.retract_edge(src_vtype, etype, dst_vtype);
+        // Triad counts are not decremented: they are planning statistics and a
+        // slight overestimate of historical frequency is acceptable (§4.3 notes
+        // continuous re-summarization is future work).
+    }
+
+    /// Rebuilds every statistic from the current live state of `graph`.
+    pub fn rebuild_from(graph: &DynamicGraph, config: SummaryConfig) -> Self {
+        let mut summary = GraphSummary::with_config(config);
+        for v in graph.vertices() {
+            summary.types.observe_vertex(v.vtype);
+            summary
+                .degrees
+                .record_degree_sample(v.vtype, v.degree() as u64);
+        }
+        for e in graph.edges() {
+            let src_vtype = graph.vertex(e.src).map(|v| v.vtype).unwrap_or(TypeId(0));
+            let dst_vtype = graph.vertex(e.dst).map(|v| v.vtype).unwrap_or(TypeId(0));
+            summary.types.observe_edge(src_vtype, e.etype, dst_vtype);
+            summary.degrees.observe_edge(src_vtype, e.etype, dst_vtype);
+        }
+        if config.track_triads {
+            summary.triads = TriadDistribution::rebuild_exact(graph);
+        }
+        summary.edges_observed = graph.live_edge_count() as u64;
+        summary
+    }
+
+    /// Refreshes the degree-sample histograms from the graph's current degrees.
+    pub fn resample_degrees(&mut self, graph: &DynamicGraph) {
+        self.degrees.reset_samples();
+        for v in graph.vertices() {
+            self.degrees
+                .record_degree_sample(v.vtype, v.degree() as u64);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors used by the planner
+    // ------------------------------------------------------------------
+
+    /// Degree statistics.
+    pub fn degrees(&self) -> &DegreeDistribution {
+        &self.degrees
+    }
+
+    /// Type statistics.
+    pub fn types(&self) -> &TypeDistribution {
+        &self.types
+    }
+
+    /// Triad statistics.
+    pub fn triads(&self) -> &TriadDistribution {
+        &self.triads
+    }
+
+    /// Number of edges fed through `observe_insertion`.
+    pub fn edges_observed(&self) -> u64 {
+        self.edges_observed
+    }
+
+    /// Estimated number of data edges matching a typed query edge
+    /// `(src_vtype)-[etype]->(dst_vtype)`.
+    ///
+    /// Falls back to the plain edge-type count when the triple has never been
+    /// seen (e.g. before any data arrives), and to 1.0 when nothing at all is
+    /// known, so the planner always has a usable, non-zero estimate.
+    pub fn estimated_edge_matches(
+        &self,
+        src_vtype: Option<TypeId>,
+        etype: TypeId,
+        dst_vtype: Option<TypeId>,
+    ) -> f64 {
+        match (src_vtype, dst_vtype) {
+            (Some(s), Some(d)) => {
+                let c = self.types.triple_count(s, etype, d);
+                if c > 0 {
+                    c as f64
+                } else if self.types.edge_count(etype) > 0 {
+                    // Unseen triple of a seen edge type: rare but possible.
+                    0.5
+                } else {
+                    1.0
+                }
+            }
+            _ => {
+                let c = self.types.edge_count(etype);
+                if c > 0 {
+                    c as f64
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Estimated average fan-out of expanding from a vertex of type `vtype`
+    /// along `etype` in direction `dir`.
+    pub fn estimated_fanout(&self, vtype: TypeId, dir: Direction, etype: TypeId) -> f64 {
+        let population = self.types.vertex_count(vtype);
+        self.degrees
+            .avg_typed_degree(vtype, dir, etype, population)
+            .max(0.01)
+    }
+
+    /// Estimated number of wedges (two-edge paths) matching a signature.
+    pub fn estimated_wedges(&self, key: &WedgeKey) -> f64 {
+        if self.config.track_triads && self.triads.total_wedges() > 0.0 {
+            self.triads.wedge_count(key).max(0.1)
+        } else {
+            // Without triad statistics fall back to an independence assumption:
+            // the caller combines edge estimates instead.
+            -1.0
+        }
+    }
+}
+
+impl Default for GraphSummary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamworks_graph::{EdgeEvent, Timestamp};
+
+    /// Feeds events into both the graph and the summary the way the engine does.
+    fn build(events: &[(&str, &str, &str, &str, &str, i64)]) -> (DynamicGraph, GraphSummary) {
+        let mut g = DynamicGraph::unbounded();
+        let mut s = GraphSummary::new();
+        for (src, st, dst, dt, et, t) in events {
+            let ev = EdgeEvent::new(*src, *st, *dst, *dt, *et, Timestamp::from_secs(*t));
+            let r = g.ingest(&ev);
+            if r.src_created {
+                s.observe_vertex(g.vertex(r.src).unwrap().vtype);
+            }
+            if r.dst_created {
+                s.observe_vertex(g.vertex(r.dst).unwrap().vtype);
+            }
+            let e = g.edge(r.edge).unwrap().clone();
+            s.observe_insertion(&g, &e);
+        }
+        (g, s)
+    }
+
+    #[test]
+    fn streaming_summary_matches_rebuild() {
+        let (g, s) = build(&[
+            ("a1", "Article", "k1", "Keyword", "mentions", 1),
+            ("a2", "Article", "k1", "Keyword", "mentions", 2),
+            ("a1", "Article", "l1", "Location", "located", 3),
+        ]);
+        let rebuilt = GraphSummary::rebuild_from(&g, SummaryConfig::full());
+        let article = g.vertex_type_id("Article").unwrap();
+        let keyword = g.vertex_type_id("Keyword").unwrap();
+        let mentions = g.edge_type_id("mentions").unwrap();
+        assert_eq!(
+            s.types().vertex_count(article),
+            rebuilt.types().vertex_count(article)
+        );
+        assert_eq!(
+            s.types().triple_count(article, mentions, keyword),
+            rebuilt.types().triple_count(article, mentions, keyword)
+        );
+        assert_eq!(s.edges_observed(), 3);
+    }
+
+    #[test]
+    fn estimated_edge_matches_uses_triples() {
+        let (g, s) = build(&[
+            ("a1", "Article", "k1", "Keyword", "mentions", 1),
+            ("a2", "Article", "k1", "Keyword", "mentions", 2),
+            ("a1", "Article", "l1", "Location", "located", 3),
+        ]);
+        let article = g.vertex_type_id("Article").unwrap();
+        let keyword = g.vertex_type_id("Keyword").unwrap();
+        let location = g.vertex_type_id("Location").unwrap();
+        let mentions = g.edge_type_id("mentions").unwrap();
+        let located = g.edge_type_id("located").unwrap();
+        assert_eq!(
+            s.estimated_edge_matches(Some(article), mentions, Some(keyword)),
+            2.0
+        );
+        assert_eq!(
+            s.estimated_edge_matches(Some(article), located, Some(location)),
+            1.0
+        );
+        // Unseen triple of a seen type gets a small non-zero estimate.
+        assert_eq!(
+            s.estimated_edge_matches(Some(keyword), mentions, Some(article)),
+            0.5
+        );
+        // Untyped endpoints fall back to the edge-type count.
+        assert_eq!(s.estimated_edge_matches(None, mentions, None), 2.0);
+    }
+
+    #[test]
+    fn estimated_fanout_reflects_average_degree() {
+        let (g, s) = build(&[
+            ("a1", "Article", "k1", "Keyword", "mentions", 1),
+            ("a1", "Article", "k2", "Keyword", "mentions", 2),
+            ("a2", "Article", "k1", "Keyword", "mentions", 3),
+        ]);
+        let article = g.vertex_type_id("Article").unwrap();
+        let mentions = g.edge_type_id("mentions").unwrap();
+        // 3 mention-edges leaving 2 articles -> 1.5 average out fan-out.
+        let f = s.estimated_fanout(article, Direction::Out, mentions);
+        assert!((f - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expiry_observation_decrements_type_counts() {
+        let (g, mut s) = build(&[
+            ("a1", "Article", "k1", "Keyword", "mentions", 1),
+            ("a2", "Article", "k1", "Keyword", "mentions", 2),
+        ]);
+        let article = g.vertex_type_id("Article").unwrap();
+        let keyword = g.vertex_type_id("Keyword").unwrap();
+        let mentions = g.edge_type_id("mentions").unwrap();
+        s.observe_expiry(article, mentions, keyword);
+        assert_eq!(s.types().edge_count(mentions), 1);
+        assert_eq!(s.types().triple_count(article, mentions, keyword), 1);
+    }
+
+    #[test]
+    fn cheap_config_skips_triads() {
+        let mut g = DynamicGraph::unbounded();
+        let mut s = GraphSummary::with_config(SummaryConfig::cheap());
+        let ev = EdgeEvent::new("a", "A", "b", "B", "t", Timestamp::from_secs(1));
+        let r = g.ingest(&ev);
+        let e = g.edge(r.edge).unwrap().clone();
+        s.observe_insertion(&g, &e);
+        assert_eq!(s.triads().total_wedges(), 0.0);
+        let key = WedgeKey::new(
+            TypeId(0),
+            (TypeId(0), crate::triads::Orientation::Outgoing),
+            (TypeId(0), crate::triads::Orientation::Outgoing),
+        );
+        assert_eq!(s.estimated_wedges(&key), -1.0);
+    }
+
+    #[test]
+    fn resample_degrees_reflects_current_graph() {
+        let (g, mut s) = build(&[
+            ("a1", "Article", "k1", "Keyword", "mentions", 1),
+            ("a2", "Article", "k1", "Keyword", "mentions", 2),
+        ]);
+        s.resample_degrees(&g);
+        // k1 has degree 2, articles degree 1 each -> histogram has 3 samples.
+        assert_eq!(s.degrees().histogram().count(), 3);
+        assert_eq!(s.degrees().histogram().max(), Some(2));
+    }
+}

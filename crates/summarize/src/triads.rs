@@ -1,0 +1,331 @@
+//! Multi-relational triad (two-edge path) distribution.
+//!
+//! The third summary of paper §4.3 is "the frequency distribution of
+//! multi-relational triad structures". We count *typed wedges*: ordered pairs
+//! of edges sharing a centre vertex, keyed by the centre's vertex type, the
+//! two edge types and their orientations relative to the centre. A two-edge
+//! query primitive (the most common SJ-Tree leaf) corresponds to exactly one
+//! wedge signature, so this distribution directly estimates leaf selectivity.
+//!
+//! Exact streaming maintenance of wedge counts costs `O(degree)` per edge; to
+//! keep per-edge cost bounded on hub vertices we scan at most
+//! [`TriadConfig::neighbor_cap`] incident edges and scale the increment by the
+//! fraction scanned (uniform-sampling estimator).
+
+use serde::{Deserialize, Serialize};
+use streamworks_graph::hash::FxHashMap;
+use streamworks_graph::{Direction, DynamicGraph, Edge, TypeId};
+
+/// Orientation of an edge relative to the wedge's centre vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Orientation {
+    /// Edge points away from the centre (centre is the source).
+    Outgoing,
+    /// Edge points into the centre (centre is the destination).
+    Incoming,
+}
+
+/// A typed wedge signature: centre vertex type plus the two incident edge
+/// legs, stored in canonical (sorted) order so that the signature does not
+/// depend on arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WedgeKey {
+    /// Vertex type of the centre.
+    pub center_vtype: TypeId,
+    /// First leg (canonically the smaller of the two).
+    pub leg_a: (TypeId, Orientation),
+    /// Second leg.
+    pub leg_b: (TypeId, Orientation),
+}
+
+impl WedgeKey {
+    /// Builds a canonical wedge key from two legs in either order.
+    pub fn new(
+        center_vtype: TypeId,
+        leg1: (TypeId, Orientation),
+        leg2: (TypeId, Orientation),
+    ) -> Self {
+        let (leg_a, leg_b) = if leg1 <= leg2 { (leg1, leg2) } else { (leg2, leg1) };
+        WedgeKey {
+            center_vtype,
+            leg_a,
+            leg_b,
+        }
+    }
+}
+
+/// Configuration of the triad counter.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TriadConfig {
+    /// Maximum incident edges scanned per endpoint per update; beyond this the
+    /// counter switches to a scaled sample.
+    pub neighbor_cap: usize,
+}
+
+impl Default for TriadConfig {
+    fn default() -> Self {
+        TriadConfig { neighbor_cap: 64 }
+    }
+}
+
+/// Approximate streaming distribution of typed wedges.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TriadDistribution {
+    config: TriadConfig,
+    counts: FxHashMap<WedgeKey, f64>,
+    total: f64,
+    updates: u64,
+}
+
+impl TriadDistribution {
+    /// Creates a counter with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(TriadConfig::default())
+    }
+
+    /// Creates a counter with an explicit configuration.
+    pub fn with_config(config: TriadConfig) -> Self {
+        TriadDistribution {
+            config,
+            counts: FxHashMap::default(),
+            total: 0.0,
+            updates: 0,
+        }
+    }
+
+    /// Observes a newly inserted edge: every wedge the new edge forms with an
+    /// existing incident edge at either endpoint is counted (possibly scaled,
+    /// see module docs).
+    ///
+    /// Must be called *after* the edge has been inserted into `graph`.
+    pub fn observe_edge(&mut self, graph: &DynamicGraph, edge: &Edge) {
+        self.updates += 1;
+        // Wedges centred at the source: new edge is Outgoing there.
+        self.count_wedges_at(graph, edge, edge.src, Orientation::Outgoing);
+        // Wedges centred at the destination: new edge is Incoming there.
+        self.count_wedges_at(graph, edge, edge.dst, Orientation::Incoming);
+    }
+
+    fn count_wedges_at(
+        &mut self,
+        graph: &DynamicGraph,
+        new_edge: &Edge,
+        center: streamworks_graph::VertexId,
+        new_orientation: Orientation,
+    ) {
+        let Some(center_v) = graph.vertex(center) else {
+            return;
+        };
+        let center_vtype = center_v.vtype;
+        let degree = graph.degree(center) as usize;
+        // Scale factor if we only look at a sample of the neighbourhood.
+        let cap = self.config.neighbor_cap;
+        let scale = if degree > cap {
+            degree as f64 / cap as f64
+        } else {
+            1.0
+        };
+        let mut scanned = 0usize;
+        // Scan both directions; stop once the cap is hit.
+        'outer: for dir in [Direction::Out, Direction::In] {
+            for other in graph.incident_edges_any_type(center, dir) {
+                if other.id == new_edge.id {
+                    continue;
+                }
+                let other_orientation = match dir {
+                    Direction::Out => Orientation::Outgoing,
+                    Direction::In => Orientation::Incoming,
+                };
+                let key = WedgeKey::new(
+                    center_vtype,
+                    (new_edge.etype, new_orientation),
+                    (other.etype, other_orientation),
+                );
+                *self.counts.entry(key).or_insert(0.0) += scale;
+                self.total += scale;
+                scanned += 1;
+                if scanned >= cap {
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    /// Estimated count of wedges matching a signature.
+    pub fn wedge_count(&self, key: &WedgeKey) -> f64 {
+        self.counts.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Estimated total number of wedges observed.
+    pub fn total_wedges(&self) -> f64 {
+        self.total
+    }
+
+    /// Relative frequency of a wedge signature (1.0 when no wedges observed,
+    /// i.e. "no information").
+    pub fn wedge_frequency(&self, key: &WedgeKey) -> f64 {
+        if self.total <= 0.0 {
+            1.0
+        } else {
+            self.wedge_count(key) / self.total
+        }
+    }
+
+    /// Number of edge observations processed.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Iterates non-zero wedge signatures with their estimated counts.
+    pub fn wedges(&self) -> impl Iterator<Item = (&WedgeKey, f64)> {
+        self.counts.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Exactly recomputes the distribution from the live edges of `graph`
+    /// (O(sum of squared degrees); used by tests and periodic re-calibration).
+    pub fn rebuild_exact(graph: &DynamicGraph) -> Self {
+        let mut dist = TriadDistribution::with_config(TriadConfig {
+            neighbor_cap: usize::MAX,
+        });
+        for v in graph.vertices() {
+            // Collect incident live edges with orientations.
+            let mut legs: Vec<(TypeId, Orientation, u64)> = Vec::new();
+            for e in graph.incident_edges_any_type(v.id, Direction::Out) {
+                legs.push((e.etype, Orientation::Outgoing, e.id.0));
+            }
+            for e in graph.incident_edges_any_type(v.id, Direction::In) {
+                legs.push((e.etype, Orientation::Incoming, e.id.0));
+            }
+            for i in 0..legs.len() {
+                for j in (i + 1)..legs.len() {
+                    // A pair of distinct incident edges forms one wedge.
+                    if legs[i].2 == legs[j].2 {
+                        continue;
+                    }
+                    let key = WedgeKey::new(
+                        v.vtype,
+                        (legs[i].0, legs[i].1),
+                        (legs[j].0, legs[j].1),
+                    );
+                    *dist.counts.entry(key).or_insert(0.0) += 1.0;
+                    dist.total += 1.0;
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamworks_graph::{EdgeEvent, Timestamp};
+
+    fn ingest(g: &mut DynamicGraph, src: &str, st: &str, dst: &str, dt: &str, et: &str, t: i64) {
+        let ev = EdgeEvent::new(src, st, dst, dt, et, Timestamp::from_secs(t));
+        let r = g.ingest(&ev);
+        // Mirror what GraphSummary does: observe after insertion.
+        let edge = g.edge(r.edge).unwrap().clone();
+        // Tests call observe explicitly where needed.
+        let _ = edge;
+    }
+
+    #[test]
+    fn wedge_key_is_canonical() {
+        let a = WedgeKey::new(
+            TypeId(0),
+            (TypeId(1), Orientation::Outgoing),
+            (TypeId(2), Orientation::Incoming),
+        );
+        let b = WedgeKey::new(
+            TypeId(0),
+            (TypeId(2), Orientation::Incoming),
+            (TypeId(1), Orientation::Outgoing),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streaming_counts_match_exact_on_small_graph() {
+        let mut g = DynamicGraph::unbounded();
+        let mut dist = TriadDistribution::new();
+        let events = [
+            ("a1", "Article", "k1", "Keyword", "mentions", 1),
+            ("a2", "Article", "k1", "Keyword", "mentions", 2),
+            ("a1", "Article", "l1", "Location", "located", 3),
+            ("a2", "Article", "l1", "Location", "located", 4),
+        ];
+        for (s, st, d, dt, et, t) in events {
+            let ev = EdgeEvent::new(s, st, d, dt, et, Timestamp::from_secs(t));
+            let r = g.ingest(&ev);
+            let edge = g.edge(r.edge).unwrap().clone();
+            dist.observe_edge(&g, &edge);
+        }
+        let exact = TriadDistribution::rebuild_exact(&g);
+        assert_eq!(dist.total_wedges(), exact.total_wedges());
+        for (key, count) in exact.wedges() {
+            assert!(
+                (dist.wedge_count(key) - count).abs() < 1e-9,
+                "mismatch for {key:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_rebuild_counts_wedges() {
+        let mut g = DynamicGraph::unbounded();
+        // Star: k1 is mentioned by 3 articles -> C(3,2) = 3 wedges at k1.
+        ingest(&mut g, "a1", "Article", "k1", "Keyword", "mentions", 1);
+        ingest(&mut g, "a2", "Article", "k1", "Keyword", "mentions", 2);
+        ingest(&mut g, "a3", "Article", "k1", "Keyword", "mentions", 3);
+        let exact = TriadDistribution::rebuild_exact(&g);
+        assert_eq!(exact.total_wedges(), 3.0);
+        let key = WedgeKey::new(
+            g.vertex_type_id("Keyword").unwrap(),
+            (g.edge_type_id("mentions").unwrap(), Orientation::Incoming),
+            (g.edge_type_id("mentions").unwrap(), Orientation::Incoming),
+        );
+        assert_eq!(exact.wedge_count(&key), 3.0);
+        assert!((exact.wedge_frequency(&key) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capped_counting_scales_estimates() {
+        let mut g = DynamicGraph::unbounded();
+        let mut dist = TriadDistribution::with_config(TriadConfig { neighbor_cap: 8 });
+        // Hub with 100 incoming mention edges.
+        for i in 0..100 {
+            let ev = EdgeEvent::new(
+                format!("a{i}"),
+                "Article",
+                "k1",
+                "Keyword",
+                "mentions",
+                Timestamp::from_secs(i as i64),
+            );
+            let r = g.ingest(&ev);
+            let edge = g.edge(r.edge).unwrap().clone();
+            dist.observe_edge(&g, &edge);
+        }
+        let exact = TriadDistribution::rebuild_exact(&g);
+        // Exact count is C(100,2) = 4950. The sampled estimate should be within
+        // a factor of ~2 of the truth (it's a deterministic prefix sample of a
+        // symmetric star, so in practice it is much closer).
+        let key_count = dist.total_wedges();
+        assert!(key_count > exact.total_wedges() * 0.4);
+        assert!(key_count < exact.total_wedges() * 2.5);
+        assert_eq!(dist.updates(), 100);
+    }
+
+    #[test]
+    fn empty_distribution_has_neutral_frequency() {
+        let dist = TriadDistribution::new();
+        let key = WedgeKey::new(
+            TypeId(0),
+            (TypeId(0), Orientation::Outgoing),
+            (TypeId(0), Orientation::Outgoing),
+        );
+        assert_eq!(dist.wedge_frequency(&key), 1.0);
+        assert_eq!(dist.total_wedges(), 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # streamworks-workloads
+//!
+//! Synthetic workload and trace generators for the StreamWorks reproduction.
+//! The paper demonstrates on CAIDA internet traces and New York Times linked
+//! data (paper §5–§6); neither is redistributable, so this crate provides
+//! generators that preserve the structural properties the matcher exercises
+//! (type schema, hub skew, burstiness, injected target patterns with ground
+//! truth) — see DESIGN.md for the substitution rationale.
+//!
+//! * [`CyberTrafficGenerator`] — flow-level network traffic with injected
+//!   Smurf DDoS / worm / port-scan motifs.
+//! * [`NewsStreamGenerator`] — article/keyword/location/person streams with
+//!   planted co-occurrence bursts.
+//! * [`uniform_stream`] / [`preferential_attachment_stream`] /
+//!   [`plant_pattern`] — random graph streams for micro-benchmarks.
+//! * [`queries`] — the canonical query graphs of paper Figs. 2 and 3.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cyber;
+pub mod news;
+pub mod queries;
+pub mod random;
+pub mod schema;
+pub mod trace;
+
+pub use cyber::{AttackKind, CyberConfig, CyberTrafficGenerator, CyberWorkload, InjectedAttack};
+pub use news::{NewsConfig, NewsStreamGenerator, NewsWorkload, PlantedEvent};
+pub use random::{plant_pattern, preferential_attachment_stream, uniform_stream, RandomConfig};
+pub use trace::{
+    read_trace, read_trace_file, write_trace, write_trace_file, TraceError, TraceRecord,
+    TraceReplay,
+};

@@ -1,0 +1,304 @@
+//! Synthetic news / social-media stream (the New York Times data substitute).
+//!
+//! Paper §5.2 and Figs. 2/5/6 run labelled queries ("politics", "accident",
+//! ...) over a multi-relational news graph built from New York Times linked
+//! data. That dataset requires an API licence, so this module generates a
+//! synthetic stream with the same schema (articles mentioning keywords,
+//! located at places, about people and organisations), Zipfian keyword and
+//! location popularity, and *planted co-occurrence events*: bursts of several
+//! articles sharing the same labelled keyword and location inside a short
+//! window, which is exactly what the Fig. 2 query family detects.
+
+use crate::schema::news as types;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Zipf};
+use serde::{Deserialize, Serialize};
+use streamworks_graph::{Duration, EdgeEvent, Timestamp};
+
+/// Ground truth of one planted co-occurrence event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlantedEvent {
+    /// The keyword label shared by the burst (e.g. "politics").
+    pub keyword: String,
+    /// The location shared by the burst.
+    pub location: String,
+    /// Articles participating in the burst.
+    pub articles: Vec<String>,
+    /// Stream time of the first article of the burst.
+    pub start: Timestamp,
+    /// Stream time of the last article of the burst.
+    pub end: Timestamp,
+}
+
+/// Configuration of the news stream generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NewsConfig {
+    /// Number of background articles.
+    pub articles: usize,
+    /// Distinct keywords (popularity is Zipf-distributed).
+    pub keywords: usize,
+    /// Distinct locations.
+    pub locations: usize,
+    /// Distinct people.
+    pub people: usize,
+    /// Distinct organisations.
+    pub organizations: usize,
+    /// Keywords mentioned per article (upper bound; at least 1).
+    pub max_keywords_per_article: usize,
+    /// Mean stream-time gap between consecutive articles.
+    pub article_interval: Duration,
+    /// Planted co-occurrence bursts: (event label, number of articles).
+    pub planted_events: Vec<(String, usize)>,
+    /// Zipf exponent for keyword/location popularity.
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NewsConfig {
+    fn default() -> Self {
+        NewsConfig {
+            articles: 2_000,
+            keywords: 300,
+            locations: 80,
+            people: 200,
+            organizations: 60,
+            max_keywords_per_article: 4,
+            article_interval: Duration::from_secs(20),
+            planted_events: vec![
+                ("politics".to_owned(), 3),
+                ("accident".to_owned(), 3),
+                ("earthquake".to_owned(), 4),
+            ],
+            skew: 1.05,
+            seed: 7,
+        }
+    }
+}
+
+/// The generated news workload.
+#[derive(Debug, Clone)]
+pub struct NewsWorkload {
+    /// All events in timestamp order.
+    pub events: Vec<EdgeEvent>,
+    /// Planted co-occurrence bursts.
+    pub planted: Vec<PlantedEvent>,
+}
+
+/// Synthetic news stream generator.
+#[derive(Debug, Clone)]
+pub struct NewsStreamGenerator {
+    config: NewsConfig,
+}
+
+impl NewsStreamGenerator {
+    /// Creates a generator from a configuration.
+    pub fn new(config: NewsConfig) -> Self {
+        NewsStreamGenerator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NewsConfig {
+        &self.config
+    }
+
+    /// Generates the full workload in timestamp order.
+    pub fn generate(&self) -> NewsWorkload {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let keyword_dist = Zipf::new(cfg.keywords as u64, cfg.skew).expect("zipf");
+        let location_dist = Zipf::new(cfg.locations as u64, cfg.skew).expect("zipf");
+        let mut events = Vec::new();
+
+        let interval = cfg.article_interval.as_micros().max(1);
+        let mut now = 0i64;
+        for a in 0..cfg.articles {
+            now += rng.gen_range(1..=2 * interval);
+            let article = format!("article-{a}");
+            let mut t = now;
+            // Keywords.
+            let n_kw = rng.gen_range(1..=cfg.max_keywords_per_article.max(1));
+            for _ in 0..n_kw {
+                let kw = format!("keyword-{}", keyword_dist.sample(&mut rng) as usize - 1);
+                t += 1;
+                events.push(
+                    EdgeEvent::new(
+                        article.clone(),
+                        types::ARTICLE,
+                        kw,
+                        types::KEYWORD,
+                        types::MENTIONS,
+                        Timestamp::from_micros(t),
+                    )
+                    .with_attr("weight", rng.gen_range(1..10) as i64),
+                );
+            }
+            // Location.
+            let loc = format!("location-{}", location_dist.sample(&mut rng) as usize - 1);
+            t += 1;
+            events.push(EdgeEvent::new(
+                article.clone(),
+                types::ARTICLE,
+                loc,
+                types::LOCATION,
+                types::LOCATED,
+                Timestamp::from_micros(t),
+            ));
+            // Person / organisation with some probability.
+            if rng.gen_bool(0.4) {
+                let person = format!("person-{}", rng.gen_range(0..cfg.people.max(1)));
+                t += 1;
+                events.push(EdgeEvent::new(
+                    article.clone(),
+                    types::ARTICLE,
+                    person.clone(),
+                    types::PERSON,
+                    types::ABOUT_PERSON,
+                    Timestamp::from_micros(t),
+                ));
+                if rng.gen_bool(0.3) {
+                    let org = format!("org-{}", rng.gen_range(0..cfg.organizations.max(1)));
+                    t += 1;
+                    events.push(EdgeEvent::new(
+                        person,
+                        types::PERSON,
+                        org,
+                        types::ORGANIZATION,
+                        types::AFFILIATED,
+                        Timestamp::from_micros(t),
+                    ));
+                }
+            }
+            if rng.gen_bool(0.25) {
+                let org = format!("org-{}", rng.gen_range(0..cfg.organizations.max(1)));
+                t += 1;
+                events.push(EdgeEvent::new(
+                    article.clone(),
+                    types::ARTICLE,
+                    org,
+                    types::ORGANIZATION,
+                    types::ABOUT_ORG,
+                    Timestamp::from_micros(t),
+                ));
+            }
+        }
+        let background_end = now;
+
+        // Planted co-occurrence bursts.
+        let mut planted = Vec::new();
+        let n_events = cfg.planted_events.len().max(1) as i64;
+        for (i, (label, article_count)) in cfg.planted_events.iter().enumerate() {
+            let start = background_end * (i as i64 + 1) / (n_events + 1);
+            let location = format!("location-{}", rng.gen_range(0..cfg.locations.max(1)));
+            let keyword = format!("topic-{label}");
+            let mut articles = Vec::new();
+            let mut t = start;
+            for a in 0..*article_count {
+                let article = format!("burst-{label}-{a}");
+                t += 60 * 1_000_000; // one article per minute within the burst
+                events.push(
+                    EdgeEvent::new(
+                        article.clone(),
+                        types::ARTICLE,
+                        keyword.clone(),
+                        types::KEYWORD,
+                        types::MENTIONS,
+                        Timestamp::from_micros(t),
+                    )
+                    .with_attr("label", label.as_str()),
+                );
+                t += 1_000_000;
+                events.push(EdgeEvent::new(
+                    article.clone(),
+                    types::ARTICLE,
+                    location.clone(),
+                    types::LOCATION,
+                    types::LOCATED,
+                    Timestamp::from_micros(t),
+                ));
+                articles.push(article);
+            }
+            planted.push(PlantedEvent {
+                keyword,
+                location,
+                articles,
+                start: Timestamp::from_micros(start + 60 * 1_000_000),
+                end: Timestamp::from_micros(t),
+            });
+        }
+
+        events.sort_by_key(|e| e.timestamp);
+        NewsWorkload { events, planted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_ordered_multi_relational_stream() {
+        let w = NewsStreamGenerator::new(NewsConfig {
+            articles: 300,
+            ..Default::default()
+        })
+        .generate();
+        assert!(w.events.windows(2).all(|p| p[0].timestamp <= p[1].timestamp));
+        for et in [types::MENTIONS, types::LOCATED, types::ABOUT_PERSON] {
+            assert!(w.events.iter().any(|e| e.edge_type == et), "missing {et}");
+        }
+    }
+
+    #[test]
+    fn planted_bursts_share_keyword_and_location() {
+        let w = NewsStreamGenerator::new(NewsConfig {
+            articles: 100,
+            planted_events: vec![("politics".into(), 3)],
+            ..Default::default()
+        })
+        .generate();
+        assert_eq!(w.planted.len(), 1);
+        let burst = &w.planted[0];
+        assert_eq!(burst.articles.len(), 3);
+        // Every burst article has a mention of the burst keyword and a located
+        // edge to the burst location.
+        for article in &burst.articles {
+            assert!(w.events.iter().any(|e| e.src_key == *article
+                && e.edge_type == types::MENTIONS
+                && e.dst_key == burst.keyword));
+            assert!(w.events.iter().any(|e| e.src_key == *article
+                && e.edge_type == types::LOCATED
+                && e.dst_key == burst.location));
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let cfg = NewsConfig {
+            articles: 100,
+            ..Default::default()
+        };
+        let a = NewsStreamGenerator::new(cfg.clone()).generate();
+        let b = NewsStreamGenerator::new(cfg).generate();
+        assert_eq!(a.events.len(), b.events.len());
+        assert_eq!(a.events[42], b.events[42]);
+    }
+
+    #[test]
+    fn keyword_popularity_is_skewed() {
+        let w = NewsStreamGenerator::new(NewsConfig {
+            articles: 2_000,
+            planted_events: vec![],
+            ..Default::default()
+        })
+        .generate();
+        let mut counts = std::collections::HashMap::new();
+        for e in w.events.iter().filter(|e| e.edge_type == types::MENTIONS) {
+            *counts.entry(e.dst_key.clone()).or_insert(0usize) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        let mean = counts.values().sum::<usize>() as f64 / counts.len() as f64;
+        assert!(max as f64 > 3.0 * mean);
+    }
+}

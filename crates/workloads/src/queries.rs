@@ -1,0 +1,215 @@
+//! Canonical query graphs from the paper's figures and target applications.
+//!
+//! * [`news_triple_query`] — the Fig. 2 query: three articles sharing a
+//!   keyword and a location.
+//! * [`labelled_news_query`] — the Fig. 5 family: two co-located articles on a
+//!   specific topic label ("politics", "accident", ...).
+//! * [`smurf_ddos_query`], [`port_scan_query`], [`worm_spread_query`] — the
+//!   Fig. 3 cyber-attack patterns, parameterised by fan-out.
+//! * [`path_query`], [`star_query`] — synthetic shapes for the query-size
+//!   scaling experiment (E10).
+
+use crate::schema::{cyber, news};
+use streamworks_graph::Duration;
+use streamworks_query::{Predicate, QueryGraph, QueryGraphBuilder};
+
+/// Fig. 2: three articles (posts) sharing a common keyword and location.
+pub fn news_triple_query(window: Duration) -> QueryGraph {
+    QueryGraphBuilder::new("news_triple")
+        .window(window)
+        .vertex("a1", news::ARTICLE)
+        .vertex("a2", news::ARTICLE)
+        .vertex("a3", news::ARTICLE)
+        .vertex("k", news::KEYWORD)
+        .vertex("l", news::LOCATION)
+        .edge("a1", news::MENTIONS, "k")
+        .edge("a2", news::MENTIONS, "k")
+        .edge("a3", news::MENTIONS, "k")
+        .edge("a1", news::LOCATED, "l")
+        .edge("a2", news::LOCATED, "l")
+        .edge("a3", news::LOCATED, "l")
+        .build()
+        .expect("static query is valid")
+}
+
+/// Fig. 5 family: two articles sharing a location and a keyword carrying a
+/// specific event label (the generator attaches the label as a `label`
+/// attribute on the mention edge of planted bursts).
+pub fn labelled_news_query(label: &str, window: Duration) -> QueryGraph {
+    QueryGraphBuilder::new(format!("news_{label}"))
+        .window(window)
+        .vertex("a1", news::ARTICLE)
+        .vertex("a2", news::ARTICLE)
+        .vertex("k", news::KEYWORD)
+        .vertex("l", news::LOCATION)
+        .edge_with(
+            "a1",
+            news::MENTIONS,
+            "k",
+            vec![Predicate::eq("label", label)],
+        )
+        .edge_with(
+            "a2",
+            news::MENTIONS,
+            "k",
+            vec![Predicate::eq("label", label)],
+        )
+        .edge("a1", news::LOCATED, "l")
+        .edge("a2", news::LOCATED, "l")
+        .build()
+        .expect("static query is valid")
+}
+
+/// Fig. 3 / Fig. 7: Smurf DDoS — an attacker triggers `amplifiers` reflector
+/// hosts, each of which sends an ICMP reply to the same victim.
+pub fn smurf_ddos_query(amplifiers: usize, window: Duration) -> QueryGraph {
+    let mut b = QueryGraphBuilder::new("smurf_ddos")
+        .window(window)
+        .vertex("attacker", cyber::IP)
+        .vertex("victim", cyber::IP);
+    for i in 0..amplifiers.max(1) {
+        let amp = format!("amp{i}");
+        b = b
+            .vertex(&amp, cyber::IP)
+            .edge("attacker", cyber::ICMP_REQUEST, &amp)
+            .edge(&amp, cyber::ICMP_REPLY, "victim");
+    }
+    b.build().expect("static query is valid")
+}
+
+/// Fig. 3: port scan — one source probing `targets` distinct hosts with SYNs
+/// inside the window.
+pub fn port_scan_query(targets: usize, window: Duration) -> QueryGraph {
+    let mut b = QueryGraphBuilder::new("port_scan")
+        .window(window)
+        .vertex("scanner", cyber::IP);
+    for i in 0..targets.max(1) {
+        let t = format!("t{i}");
+        b = b.vertex(&t, cyber::IP).edge("scanner", cyber::SYN, &t);
+    }
+    b.build().expect("static query is valid")
+}
+
+/// Fig. 3: worm spread — patient zero exploits a host which exploits another
+/// (`depth` levels of propagation, each with a single branch).
+pub fn worm_spread_query(depth: usize, window: Duration) -> QueryGraph {
+    let mut b = QueryGraphBuilder::new("worm_spread")
+        .window(window)
+        .vertex("h0", cyber::IP);
+    for i in 0..depth.max(1) {
+        let prev = format!("h{i}");
+        let next = format!("h{}", i + 1);
+        b = b
+            .vertex(&next, cyber::IP)
+            .edge(&prev, cyber::EXPLOIT, &next);
+    }
+    b.build().expect("static query is valid")
+}
+
+/// A directed path of `edges` edges over the random-stream schema
+/// (`Node` vertices, `rel_a` edges) — used by the query-size scaling sweep.
+pub fn path_query(edges: usize, window: Duration) -> QueryGraph {
+    let mut b = QueryGraphBuilder::new(format!("path_{edges}")).window(window);
+    for i in 0..edges.max(1) {
+        let src = format!("v{i}");
+        let dst = format!("v{}", i + 1);
+        b = b
+            .vertex(&src, "Node")
+            .vertex(&dst, "Node")
+            .edge(&src, "rel_a", &dst);
+    }
+    b.build().expect("static query is valid")
+}
+
+/// A directed path of `edges` edges whose edge types cycle through `types`,
+/// over the random-stream schema. Alternating relation types keep each leaf
+/// primitive selective on multi-relational streams, matching the paper's
+/// setting; with a single type this degenerates to [`path_query`].
+pub fn typed_path_query(edges: usize, types: &[&str], window: Duration) -> QueryGraph {
+    assert!(!types.is_empty(), "typed_path_query requires at least one edge type");
+    let mut b = QueryGraphBuilder::new(format!("typed_path_{edges}")).window(window);
+    for i in 0..edges.max(1) {
+        let src = format!("v{i}");
+        let dst = format!("v{}", i + 1);
+        b = b
+            .vertex(&src, "Node")
+            .vertex(&dst, "Node")
+            .edge(&src, types[i % types.len()], &dst);
+    }
+    b.build().expect("static query is valid")
+}
+
+/// A star with `leaves` out-edges from a single centre, over the random-stream
+/// schema.
+pub fn star_query(leaves: usize, window: Duration) -> QueryGraph {
+    let mut b = QueryGraphBuilder::new(format!("star_{leaves}"))
+        .window(window)
+        .vertex("center", "Node");
+    for i in 0..leaves.max(1) {
+        let leaf = format!("leaf{i}");
+        b = b.vertex(&leaf, "Node").edge("center", "rel_a", &leaf);
+    }
+    b.build().expect("static query is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_query_shape() {
+        let q = news_triple_query(Duration::from_hours(6));
+        assert_eq!(q.vertex_count(), 5);
+        assert_eq!(q.edge_count(), 6);
+        assert!(q.is_connected());
+    }
+
+    #[test]
+    fn labelled_query_carries_predicates() {
+        let q = labelled_news_query("politics", Duration::from_hours(1));
+        assert_eq!(q.name(), "news_politics");
+        let with_pred = q
+            .edges()
+            .filter(|e| !e.predicates.is_empty())
+            .count();
+        assert_eq!(with_pred, 2);
+    }
+
+    #[test]
+    fn cyber_queries_scale_with_parameters() {
+        let smurf = smurf_ddos_query(3, Duration::from_mins(5));
+        assert_eq!(smurf.edge_count(), 6);
+        assert_eq!(smurf.vertex_count(), 5);
+        let scan = port_scan_query(8, Duration::from_mins(1));
+        assert_eq!(scan.edge_count(), 8);
+        let worm = worm_spread_query(2, Duration::from_mins(10));
+        assert_eq!(worm.edge_count(), 2);
+        for q in [&smurf, &scan, &worm] {
+            assert!(q.is_connected());
+        }
+    }
+
+    #[test]
+    fn synthetic_shapes_scale() {
+        for n in 1..8 {
+            assert_eq!(path_query(n, Duration::from_secs(60)).edge_count(), n);
+            assert_eq!(star_query(n, Duration::from_secs(60)).edge_count(), n);
+        }
+    }
+
+    #[test]
+    fn typed_path_alternates_edge_types() {
+        let q = typed_path_query(4, &["rel_a", "rel_b"], Duration::from_secs(60));
+        assert_eq!(q.edge_count(), 4);
+        assert!(q.is_connected());
+        let types: Vec<_> = q.edges().filter_map(|e| e.etype.clone()).collect();
+        assert!(types.contains(&"rel_a".to_owned()));
+        assert!(types.contains(&"rel_b".to_owned()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one edge type")]
+    fn typed_path_rejects_empty_types() {
+        typed_path_query(3, &[], Duration::from_secs(1));
+    }
+}

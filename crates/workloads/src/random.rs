@@ -1,0 +1,221 @@
+//! Random typed edge streams and planted-pattern insertion.
+//!
+//! Used by the micro-benchmarks and property tests: Erdős–Rényi-style uniform
+//! streams, preferential-attachment (hub-forming) streams, and a helper that
+//! plants copies of an arbitrary query pattern into a stream so experiments
+//! can scale query size while controlling the number of true matches
+//! (experiment E10).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use streamworks_graph::{Duration, EdgeEvent, Timestamp};
+use streamworks_query::QueryGraph;
+
+/// Configuration of the random stream generators.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomConfig {
+    /// Number of vertices to draw endpoints from.
+    pub vertices: usize,
+    /// Number of edges to generate.
+    pub edges: usize,
+    /// Vertex type labels to cycle through.
+    pub vertex_types: Vec<String>,
+    /// Edge type labels to sample uniformly.
+    pub edge_types: Vec<String>,
+    /// Mean stream-time gap between edges.
+    pub edge_interval: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            vertices: 1_000,
+            edges: 10_000,
+            vertex_types: vec!["Node".to_owned()],
+            edge_types: vec!["rel_a".to_owned(), "rel_b".to_owned(), "rel_c".to_owned()],
+            edge_interval: Duration::from_millis(5),
+            seed: 13,
+        }
+    }
+}
+
+impl RandomConfig {
+    fn vertex_key(&self, idx: usize) -> String {
+        format!("n{idx}")
+    }
+
+    fn vertex_type(&self, idx: usize) -> &str {
+        &self.vertex_types[idx % self.vertex_types.len()]
+    }
+}
+
+/// Uniform (Erdős–Rényi-style) random edge stream.
+pub fn uniform_stream(config: &RandomConfig) -> Vec<EdgeEvent> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut events = Vec::with_capacity(config.edges);
+    let interval = config.edge_interval.as_micros().max(1);
+    let mut now = 0i64;
+    for _ in 0..config.edges {
+        now += rng.gen_range(1..=2 * interval);
+        let src = rng.gen_range(0..config.vertices);
+        let mut dst = rng.gen_range(0..config.vertices);
+        if dst == src {
+            dst = (dst + 1) % config.vertices;
+        }
+        let etype = &config.edge_types[rng.gen_range(0..config.edge_types.len())];
+        events.push(EdgeEvent::new(
+            config.vertex_key(src),
+            config.vertex_type(src),
+            config.vertex_key(dst),
+            config.vertex_type(dst),
+            etype,
+            Timestamp::from_micros(now),
+        ));
+    }
+    events
+}
+
+/// Preferential-attachment stream: destination vertices are drawn with
+/// probability proportional to their current in-degree (plus one), producing
+/// the hub-dominated structure typical of real networks.
+pub fn preferential_attachment_stream(config: &RandomConfig) -> Vec<EdgeEvent> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut events = Vec::with_capacity(config.edges);
+    // `targets` holds one entry per (in-)edge endpoint plus one per vertex, so
+    // sampling uniformly from it is proportional to in-degree + 1.
+    let mut targets: Vec<usize> = (0..config.vertices).collect();
+    let interval = config.edge_interval.as_micros().max(1);
+    let mut now = 0i64;
+    for _ in 0..config.edges {
+        now += rng.gen_range(1..=2 * interval);
+        let src = rng.gen_range(0..config.vertices);
+        let mut dst = targets[rng.gen_range(0..targets.len())];
+        if dst == src {
+            dst = (dst + 1) % config.vertices;
+        }
+        targets.push(dst);
+        let etype = &config.edge_types[rng.gen_range(0..config.edge_types.len())];
+        events.push(EdgeEvent::new(
+            config.vertex_key(src),
+            config.vertex_type(src),
+            config.vertex_key(dst),
+            config.vertex_type(dst),
+            etype,
+            Timestamp::from_micros(now),
+        ));
+    }
+    events
+}
+
+/// Plants `copies` instances of `query` into the stream as concrete edge
+/// events. Each copy uses fresh vertex keys (`planted-<copy>-<var>`) so the
+/// number of *additional* matches is exactly the number of automorphism-
+/// distinct embeddings per copy. Planted edges are spaced `gap` apart and the
+/// copies are spread uniformly over the stream's time range; the combined
+/// stream is returned sorted by timestamp.
+pub fn plant_pattern(
+    mut stream: Vec<EdgeEvent>,
+    query: &QueryGraph,
+    copies: usize,
+    gap: Duration,
+) -> Vec<EdgeEvent> {
+    let end = stream.last().map(|e| e.timestamp.as_micros()).unwrap_or(0);
+    for copy in 0..copies {
+        let start = if copies == 0 {
+            0
+        } else {
+            end * (copy as i64 + 1) / (copies as i64 + 1)
+        };
+        let mut t = start;
+        for qe in query.edge_ids() {
+            let e = query.edge(qe);
+            let src = query.vertex(e.src);
+            let dst = query.vertex(e.dst);
+            t += gap.as_micros().max(1);
+            stream.push(EdgeEvent::new(
+                format!("planted-{copy}-{}", src.name),
+                src.vtype.clone().unwrap_or_else(|| "Node".to_owned()),
+                format!("planted-{copy}-{}", dst.name),
+                dst.vtype.clone().unwrap_or_else(|| "Node".to_owned()),
+                e.etype.clone().unwrap_or_else(|| "rel_a".to_owned()),
+                Timestamp::from_micros(t),
+            ));
+        }
+    }
+    stream.sort_by_key(|e| e.timestamp);
+    stream
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamworks_query::QueryGraphBuilder;
+
+    #[test]
+    fn uniform_stream_has_requested_size_and_no_self_loops() {
+        let cfg = RandomConfig {
+            edges: 2_000,
+            ..Default::default()
+        };
+        let s = uniform_stream(&cfg);
+        assert_eq!(s.len(), 2_000);
+        assert!(s.iter().all(|e| e.src_key != e.dst_key));
+        assert!(s.windows(2).all(|p| p[0].timestamp <= p[1].timestamp));
+    }
+
+    #[test]
+    fn preferential_attachment_is_more_skewed_than_uniform() {
+        let cfg = RandomConfig {
+            vertices: 300,
+            edges: 6_000,
+            ..Default::default()
+        };
+        let count_max = |events: &[EdgeEvent]| {
+            let mut counts = std::collections::HashMap::new();
+            for e in events {
+                *counts.entry(e.dst_key.clone()).or_insert(0usize) += 1;
+            }
+            *counts.values().max().unwrap()
+        };
+        let uniform_max = count_max(&uniform_stream(&cfg));
+        let pa_max = count_max(&preferential_attachment_stream(&cfg));
+        assert!(pa_max > uniform_max, "pa={pa_max} uniform={uniform_max}");
+    }
+
+    #[test]
+    fn planted_patterns_appear_in_stream() {
+        let q = QueryGraphBuilder::new("path3")
+            .vertex("a", "Node")
+            .vertex("b", "Node")
+            .vertex("c", "Node")
+            .edge("a", "rel_a", "b")
+            .edge("b", "rel_a", "c")
+            .build()
+            .unwrap();
+        let base = uniform_stream(&RandomConfig {
+            edges: 500,
+            ..Default::default()
+        });
+        let planted = plant_pattern(base, &q, 3, Duration::from_millis(1));
+        assert_eq!(planted.len(), 500 + 3 * 2);
+        // Each copy's edges exist with the planted keys.
+        for copy in 0..3 {
+            assert!(planted.iter().any(|e| e.src_key == format!("planted-{copy}-a")
+                && e.dst_key == format!("planted-{copy}-b")));
+        }
+        assert!(planted.windows(2).all(|p| p[0].timestamp <= p[1].timestamp));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = RandomConfig::default();
+        assert_eq!(uniform_stream(&cfg)[7], uniform_stream(&cfg)[7]);
+        assert_eq!(
+            preferential_attachment_stream(&cfg)[7],
+            preferential_attachment_stream(&cfg)[7]
+        );
+    }
+}

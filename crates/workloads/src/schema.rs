@@ -1,0 +1,73 @@
+//! Shared vertex/edge type vocabularies for the two target domains of paper §5.
+
+/// Cyber-security domain (paper §5.1): "physical machines, IP addresses,
+/// users, and software services as entities" with communication/login edges.
+pub mod cyber {
+    /// IP address / host vertex type.
+    pub const IP: &str = "IP";
+    /// User account vertex type.
+    pub const USER: &str = "User";
+    /// Software service vertex type.
+    pub const SERVICE: &str = "Service";
+
+    /// Generic network flow edge.
+    pub const FLOW: &str = "flow";
+    /// DNS lookup edge.
+    pub const DNS: &str = "dns";
+    /// TCP SYN probe edge (used by the port-scan pattern).
+    pub const SYN: &str = "syn";
+    /// ICMP echo request (Smurf DDoS trigger, spoofed source).
+    pub const ICMP_REQUEST: &str = "icmp_request";
+    /// ICMP echo reply (Smurf DDoS amplification towards the victim).
+    pub const ICMP_REPLY: &str = "icmp_reply";
+    /// Remote exploit / infection edge (worm spread).
+    pub const EXPLOIT: &str = "exploit";
+    /// Interactive login edge (User -> IP).
+    pub const LOGIN: &str = "login";
+}
+
+/// News / social-media domain (paper §5.2): "articles, events, people,
+/// location, organizations and keywords ... as vertices".
+pub mod news {
+    /// Article / post vertex type.
+    pub const ARTICLE: &str = "Article";
+    /// Keyword / topic vertex type.
+    pub const KEYWORD: &str = "Keyword";
+    /// Location vertex type.
+    pub const LOCATION: &str = "Location";
+    /// Person vertex type.
+    pub const PERSON: &str = "Person";
+    /// Organization vertex type.
+    pub const ORGANIZATION: &str = "Organization";
+
+    /// Article -> Keyword edge.
+    pub const MENTIONS: &str = "mentions";
+    /// Article -> Location edge.
+    pub const LOCATED: &str = "located";
+    /// Article -> Person edge.
+    pub const ABOUT_PERSON: &str = "about_person";
+    /// Article -> Organization edge.
+    pub const ABOUT_ORG: &str = "about_org";
+    /// Person -> Organization affiliation edge.
+    pub const AFFILIATED: &str = "affiliated";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn vocabularies_are_distinct() {
+        let cyber = [
+            super::cyber::FLOW,
+            super::cyber::DNS,
+            super::cyber::SYN,
+            super::cyber::ICMP_REQUEST,
+            super::cyber::ICMP_REPLY,
+            super::cyber::EXPLOIT,
+            super::cyber::LOGIN,
+        ];
+        let mut unique = cyber.to_vec();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), cyber.len());
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: register a continuous graph query and feed it a stream.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The example registers the simplest interesting query — two articles that
+//! mention the same keyword within one hour — and pushes a handful of edge
+//! events through the engine, printing every match as it is discovered.
+
+use streamworks::{ContinuousQueryEngine, EdgeEvent, Timestamp};
+
+fn main() {
+    // 1. Create the engine. The default configuration maintains graph
+    //    statistics (used for query planning) and prunes stale partial
+    //    matches automatically.
+    let mut engine = ContinuousQueryEngine::with_defaults();
+
+    // 2. Register a continuous query using the text DSL. Queries can also be
+    //    built programmatically with `QueryGraphBuilder`.
+    let query_id = engine
+        .register_dsl(
+            r#"
+            QUERY common_keyword WINDOW 1h
+            MATCH (a1:Article)-[:mentions]->(k:Keyword),
+                  (a2:Article)-[:mentions]->(k)
+            "#,
+        )
+        .expect("query parses and plans");
+    println!("registered query:\n{}\n", engine.plan(query_id).unwrap().explain());
+
+    // 3. Feed a stream of timestamped edge events. Each call returns the
+    //    complete matches that the event produced.
+    let stream = [
+        EdgeEvent::new("article-1", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(0)),
+        EdgeEvent::new("article-1", "Article", "berlin", "Location", "located", Timestamp::from_secs(30)),
+        EdgeEvent::new("article-2", "Article", "go", "Keyword", "mentions", Timestamp::from_secs(60)),
+        EdgeEvent::new("article-3", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(90)),
+        EdgeEvent::new("article-4", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(120)),
+    ];
+
+    let mut total = 0;
+    for event in &stream {
+        let matches = engine.process(event);
+        for m in &matches {
+            println!("match: {}", m.render());
+        }
+        total += matches.len();
+    }
+
+    // 4. Inspect engine metrics.
+    let metrics = engine.metrics(query_id).unwrap();
+    println!("\n{total} matches emitted");
+    println!(
+        "edges processed: {}, partial matches live: {}, joins attempted: {}",
+        metrics.edges_processed, metrics.partial_matches_live, metrics.joins_attempted
+    );
+    println!("graph: {:?}", engine.graph_stats());
+}

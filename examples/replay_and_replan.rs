@@ -1,0 +1,99 @@
+//! Trace replay, adaptive re-planning and multi-core execution.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example replay_and_replan
+//! ```
+//!
+//! This example exercises three capabilities that round out the system beyond
+//! the paper's demo script:
+//!
+//! 1. **Trace persistence** — a generated workload is written to a JSON-lines
+//!    trace file and replayed from disk (the reproduction's stand-in for
+//!    replaying captured CAIDA traffic).
+//! 2. **Adaptive re-planning** — a query registered *before* any data arrives
+//!    is planned blindly; after the stream has been summarized the engine
+//!    re-plans it with the learned statistics (paper §4.3 lists this as future
+//!    work) and the two plans are compared.
+//! 3. **Parallel multi-query execution** — the same trace is replayed through
+//!    a sharded, multi-threaded runner, and the aggregate match counts are
+//!    checked against the sequential engine.
+
+use streamworks::engine::ParallelRunner;
+use streamworks::query::{LeftDeepEdgeChain, SelectivityOrdered, TreeShapeKind};
+use streamworks::workloads::queries::{news_triple_query, labelled_news_query};
+use streamworks::workloads::{read_trace_file, write_trace_file, NewsConfig, NewsStreamGenerator};
+use streamworks::{ContinuousQueryEngine, Duration, EngineConfig};
+
+fn main() {
+    // ---- 1. generate a workload and persist it as a trace -----------------
+    let workload = NewsStreamGenerator::new(NewsConfig {
+        articles: 1_500,
+        planted_events: vec![("politics".into(), 3), ("earthquake".into(), 4)],
+        ..Default::default()
+    })
+    .generate();
+    let trace_path = std::env::temp_dir().join("streamworks-news-trace.jsonl");
+    let written = write_trace_file(&trace_path, &workload.events).expect("write trace");
+    println!("wrote {written} events to {}", trace_path.display());
+
+    let replayed = read_trace_file(&trace_path).expect("read trace");
+    assert_eq!(replayed.len(), workload.events.len());
+    println!("replayed {} events from disk\n", replayed.len());
+
+    // ---- 2. blind registration, then statistics-driven re-planning --------
+    let mut engine = ContinuousQueryEngine::with_defaults();
+    let triple = engine
+        .register_query_with(
+            news_triple_query(Duration::from_mins(10)),
+            &LeftDeepEdgeChain,
+            TreeShapeKind::LeftDeep,
+        )
+        .unwrap();
+    println!("--- plan before any data (frequency-blind) ---");
+    println!("{}", engine.plan(triple).unwrap().explain());
+
+    // Stream the first half to build summaries (and find early matches).
+    let half = replayed.len() / 2;
+    let mut matches = 0usize;
+    for ev in &replayed[..half] {
+        matches += engine.process(ev).len();
+    }
+    println!("first half: {matches} matches, summaries over {} edges", half);
+
+    // Re-plan with the learned statistics: located edges are rarer than
+    // mention edges, so they move to the bottom of the SJ-Tree.
+    engine
+        .replan_query(triple, &SelectivityOrdered::default(), TreeShapeKind::LeftDeep)
+        .unwrap();
+    println!("\n--- plan after re-planning with learned statistics ---");
+    println!("{}", engine.plan(triple).unwrap().explain());
+
+    for ev in &replayed[half..] {
+        matches += engine.process(ev).len();
+    }
+    let metrics = engine.metrics(triple).unwrap();
+    println!(
+        "total matches {matches}, partial matches inserted {}, joins attempted {}\n",
+        metrics.partial_matches_inserted, metrics.joins_attempted
+    );
+
+    // ---- 3. parallel multi-query execution over the same trace ------------
+    let mut runner = ParallelRunner::new(EngineConfig::default(), 4);
+    for label in ["politics", "earthquake", "accident"] {
+        runner.register_query(labelled_news_query(label, Duration::from_mins(30)));
+    }
+    let outcome = runner.run(&replayed).expect("parallel run");
+    println!(
+        "parallel run: {} workers, {} queries, {} events, {} matches",
+        outcome.workers,
+        runner.query_count(),
+        outcome.edges_processed,
+        outcome.events.len()
+    );
+    for (name, m) in &outcome.metrics {
+        println!("  {name:<20} {:>6} complete matches", m.complete_matches);
+    }
+
+    std::fs::remove_file(&trace_path).ok();
+}

@@ -1,0 +1,90 @@
+//! # StreamWorks
+//!
+//! A from-scratch Rust reproduction of **StreamWorks: A System for Dynamic
+//! Graph Search** (Choudhury, Holder, Chin, Ray, Beus, Feo — SIGMOD 2013):
+//! continuous subgraph-pattern queries over dynamic, multi-relational,
+//! timestamped graphs, answered incrementally with the Subgraph Join Tree
+//! (SJ-Tree) decomposition algorithm.
+//!
+//! This facade crate re-exports the public API of the workspace crates:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`graph`] | `streamworks-graph` | dynamic multi-relational graph store |
+//! | [`summarize`] | `streamworks-summarize` | streaming degree/type/triad statistics |
+//! | [`query`] | `streamworks-query` | query graphs, DSL, planner, SJ-Tree shape |
+//! | [`engine`] | `streamworks-core` | incremental matcher + continuous query engine |
+//! | [`baseline`] | `streamworks-baseline` | repeated-search and naive baselines |
+//! | [`workloads`] | `streamworks-workloads` | synthetic cyber / news / random streams |
+//! | [`report`] | `streamworks-report` | event tables, map/grid views, DOT export, statistics reports |
+//!
+//! The most common entry points are re-exported at the top level.
+//!
+//! ```
+//! use streamworks::{ContinuousQueryEngine, EdgeEvent, Timestamp};
+//!
+//! let mut engine = ContinuousQueryEngine::with_defaults();
+//! engine.register_dsl(
+//!     "QUERY pair WINDOW 1h \
+//!      MATCH (a1:Article)-[:mentions]->(k:Keyword), (a2:Article)-[:mentions]->(k)",
+//! ).unwrap();
+//! engine.process(&EdgeEvent::new("a1", "Article", "rust", "Keyword", "mentions",
+//!                                Timestamp::from_secs(10)));
+//! let matches = engine.process(&EdgeEvent::new("a2", "Article", "rust", "Keyword",
+//!                                              "mentions", Timestamp::from_secs(20)));
+//! assert_eq!(matches.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Dynamic multi-relational graph substrate (`streamworks-graph`).
+pub mod graph {
+    pub use streamworks_graph::*;
+}
+
+/// Streaming graph summarization (`streamworks-summarize`).
+pub mod summarize {
+    pub use streamworks_summarize::*;
+}
+
+/// Query model, DSL, selectivity estimation and SJ-Tree planning
+/// (`streamworks-query`).
+pub mod query {
+    pub use streamworks_query::*;
+}
+
+/// Incremental SJ-Tree matcher and continuous-query engine (`streamworks-core`).
+pub mod engine {
+    pub use streamworks_core::*;
+}
+
+/// Baseline matchers and independent match verification (`streamworks-baseline`).
+pub mod baseline {
+    pub use streamworks_baseline::*;
+}
+
+/// Synthetic workload generators and canonical paper queries
+/// (`streamworks-workloads`).
+pub mod workloads {
+    pub use streamworks_workloads::*;
+}
+
+/// Reporting and export: event tables, map/grid views, match-progression
+/// timelines and Graphviz DOT export (`streamworks-report`).
+pub mod report {
+    pub use streamworks_report::*;
+}
+
+pub use streamworks_core::{
+    AdaptiveConfig, AdaptiveReplanner, ContinuousQueryEngine, EngineConfig, EventSink, MatchEvent,
+    ParallelRunner, QueryId, QueryMetrics,
+};
+pub use streamworks_graph::{
+    AttrValue, Attrs, Direction, Duration, DynamicGraph, EdgeEvent, EdgeId, Timestamp, VertexId,
+};
+pub use streamworks_query::{
+    parse_query, Planner, Predicate, QueryGraph, QueryGraphBuilder, QueryPlan, SelectivityOrdered,
+    TreeShapeKind,
+};
+pub use streamworks_summarize::{GraphSummary, SummaryConfig};

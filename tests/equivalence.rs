@@ -1,0 +1,328 @@
+//! Equivalence of the incremental SJ-Tree engine with the baseline matchers.
+//!
+//! The strongest correctness evidence for the incremental algorithm is that,
+//! on arbitrary streams and queries, it reports exactly the same set of
+//! windowed embeddings as an exhaustive repeated search (and as the naive
+//! per-edge expansion), each exactly once, and that every reported match
+//! passes independent verification. These tests exercise that equivalence on
+//! hand-built streams and on randomized streams via proptest.
+
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+use streamworks::baseline::{verify_assignment, NaiveEdgeExpansion, RepeatedSearchMatcher};
+use streamworks::query::{QueryEdgeId, QueryGraph, SelectivityOrdered};
+use streamworks::{
+    ContinuousQueryEngine, Duration, DynamicGraph, EdgeEvent, EngineConfig, QueryGraphBuilder,
+    Timestamp, TreeShapeKind,
+};
+
+/// Canonical form of a match: the sorted (query edge, data edge id) pairs.
+type Signature = Vec<(usize, u64)>;
+
+/// Runs the incremental engine over a stream and returns every reported match
+/// as a signature, plus the count of reports (to detect duplicates).
+fn run_incremental(
+    query: &QueryGraph,
+    events: &[EdgeEvent],
+    primitive_size: usize,
+) -> (BTreeSet<Signature>, usize) {
+    let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
+    let id = engine
+        .register_query_with(
+            query.clone(),
+            &SelectivityOrdered {
+                max_primitive_size: primitive_size,
+            },
+            TreeShapeKind::LeftDeep,
+        )
+        .unwrap();
+    let mut signatures = BTreeSet::new();
+    let mut reports = 0usize;
+    for ev in events {
+        for m in engine.process(ev) {
+            assert_eq!(m.query, id);
+            let sig: Signature = m.edges.iter().enumerate().map(|(q, e)| (q, e.0)).collect();
+            signatures.insert(sig);
+            reports += 1;
+        }
+    }
+    (signatures, reports)
+}
+
+/// Runs the repeated-search baseline over the same stream.
+fn run_repeated(query: &QueryGraph, events: &[EdgeEvent]) -> BTreeSet<Signature> {
+    let mut graph = DynamicGraph::unbounded();
+    let mut matcher = RepeatedSearchMatcher::new(query.clone());
+    let mut signatures = BTreeSet::new();
+    for ev in events {
+        graph.ingest(ev);
+        for emb in matcher.process_update(&graph) {
+            signatures.insert(emb.signature());
+        }
+    }
+    signatures
+}
+
+/// Runs the naive edge-expansion baseline over the same stream.
+fn run_naive(query: &QueryGraph, events: &[EdgeEvent]) -> (BTreeSet<Signature>, usize) {
+    let mut graph = DynamicGraph::unbounded();
+    let mut matcher = NaiveEdgeExpansion::new(query.clone());
+    let mut signatures = BTreeSet::new();
+    let mut reports = 0usize;
+    for ev in events {
+        let r = graph.ingest(ev);
+        let edge = graph.edge(r.edge).unwrap().clone();
+        for emb in matcher.process_edge(&graph, &edge) {
+            signatures.insert(emb.signature());
+            reports += 1;
+        }
+    }
+    (signatures, reports)
+}
+
+/// Checks all three matchers agree and that incremental matches verify.
+fn assert_equivalent(query: &QueryGraph, events: &[EdgeEvent]) {
+    let (inc1, reports1) = run_incremental(query, events, 1);
+    let (inc2, _) = run_incremental(query, events, 2);
+    let repeated = run_repeated(query, events);
+    let (naive, naive_reports) = run_naive(query, events);
+
+    assert_eq!(inc1, repeated, "incremental(size=1) vs repeated search");
+    assert_eq!(inc2, repeated, "incremental(size=2) vs repeated search");
+    assert_eq!(naive, repeated, "naive expansion vs repeated search");
+    // No duplicate reports from the incremental engine or the naive baseline.
+    assert_eq!(reports1, inc1.len(), "incremental reported duplicates");
+    assert_eq!(naive_reports, naive.len(), "naive reported duplicates");
+
+    // Every incremental match verifies independently.
+    let mut reference = DynamicGraph::unbounded();
+    for ev in events {
+        reference.ingest(ev);
+    }
+    for sig in &inc1 {
+        let assignment: Vec<(QueryEdgeId, streamworks::EdgeId)> = sig
+            .iter()
+            .map(|&(q, e)| (QueryEdgeId(q), streamworks::EdgeId(e)))
+            .collect();
+        verify_assignment(&reference, query, &assignment)
+            .unwrap_or_else(|err| panic!("verification failed: {err:?} for {sig:?}"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hand-built scenarios
+// ---------------------------------------------------------------------------
+
+fn pair_query(window_secs: i64) -> QueryGraph {
+    QueryGraphBuilder::new("pair")
+        .window(Duration::from_secs(window_secs))
+        .vertex("a1", "A")
+        .vertex("a2", "A")
+        .vertex("k", "K")
+        .edge("a1", "rel", "k")
+        .edge("a2", "rel", "k")
+        .build()
+        .unwrap()
+}
+
+fn triangle_query(window_secs: i64) -> QueryGraph {
+    QueryGraphBuilder::new("triangle")
+        .window(Duration::from_secs(window_secs))
+        .vertex("a", "A")
+        .vertex("b", "A")
+        .vertex("c", "A")
+        .edge("a", "rel", "b")
+        .edge("b", "rel", "c")
+        .edge("c", "rel", "a")
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn equivalence_on_shared_keyword_stream() {
+    let events: Vec<EdgeEvent> = (0..20)
+        .map(|i| {
+            EdgeEvent::new(
+                format!("a{}", i % 6),
+                "A",
+                format!("k{}", i % 3),
+                "K",
+                "rel",
+                Timestamp::from_secs(i * 7),
+            )
+        })
+        .collect();
+    assert_equivalent(&pair_query(50), &events);
+    assert_equivalent(&pair_query(10_000), &events);
+}
+
+#[test]
+fn equivalence_on_triangles_with_parallel_edges() {
+    let mut events = Vec::new();
+    let hosts = ["x", "y", "z", "w"];
+    for i in 0..30i64 {
+        let src = hosts[(i % 4) as usize];
+        let dst = hosts[((i + 1) % 4) as usize];
+        events.push(EdgeEvent::new(src, "A", dst, "A", "rel", Timestamp::from_secs(i * 3)));
+        // Parallel edge with a different timestamp now and then.
+        if i % 5 == 0 {
+            events.push(EdgeEvent::new(src, "A", dst, "A", "rel", Timestamp::from_secs(i * 3 + 1)));
+        }
+    }
+    // Close a few triangles explicitly.
+    events.push(EdgeEvent::new("x", "A", "z", "A", "rel", Timestamp::from_secs(100)));
+    events.push(EdgeEvent::new("z", "A", "y", "A", "rel", Timestamp::from_secs(101)));
+    events.push(EdgeEvent::new("y", "A", "x", "A", "rel", Timestamp::from_secs(102)));
+    assert_equivalent(&triangle_query(40), &events);
+}
+
+#[test]
+fn equivalence_with_mixed_types_and_predicates() {
+    let query = QueryGraphBuilder::new("labelled")
+        .window(Duration::from_secs(100))
+        .vertex("a1", "A")
+        .vertex("a2", "A")
+        .vertex("k", "K")
+        .edge_with(
+            "a1",
+            "rel",
+            "k",
+            vec![streamworks::Predicate::eq("label", "hot")],
+        )
+        .edge("a2", "rel", "k")
+        .build()
+        .unwrap();
+    let mut events = Vec::new();
+    for i in 0..25i64 {
+        let mut ev = EdgeEvent::new(
+            format!("a{}", i % 5),
+            "A",
+            format!("k{}", i % 2),
+            "K",
+            "rel",
+            Timestamp::from_secs(i * 4),
+        );
+        if i % 3 == 0 {
+            ev = ev.with_attr("label", "hot");
+        }
+        events.push(ev);
+        // Noise of a different type.
+        events.push(EdgeEvent::new(
+            format!("a{}", i % 5),
+            "A",
+            format!("l{}", i % 4),
+            "L",
+            "other",
+            Timestamp::from_secs(i * 4 + 1),
+        ));
+    }
+    assert_equivalent(&query, &events);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized equivalence (proptest)
+// ---------------------------------------------------------------------------
+
+/// A compact random stream description: (src, dst, type index, time gap).
+fn stream_strategy(max_len: usize) -> impl Strategy<Value = Vec<(u8, u8, u8, i64)>> {
+    prop::collection::vec((0u8..8, 0u8..8, 0u8..2, 1i64..30), 5..max_len)
+}
+
+fn to_events(raw: &[(u8, u8, u8, i64)]) -> Vec<EdgeEvent> {
+    let mut t = 0i64;
+    raw.iter()
+        .filter(|(s, d, _, _)| s != d)
+        .map(|&(s, d, ty, gap)| {
+            t += gap;
+            EdgeEvent::new(
+                format!("v{s}"),
+                "A",
+                format!("v{d}"),
+                "A",
+                if ty == 0 { "rel" } else { "other" },
+                Timestamp::from_secs(t),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_streams_pair_query(raw in stream_strategy(40), window in 20i64..200) {
+        let events = to_events(&raw);
+        prop_assume!(!events.is_empty());
+        assert_equivalent(&pair_query(window), &events);
+    }
+
+    #[test]
+    fn random_streams_triangle_query(raw in stream_strategy(30), window in 20i64..200) {
+        let events = to_events(&raw);
+        prop_assume!(!events.is_empty());
+        assert_equivalent(&triangle_query(window), &events);
+    }
+
+    #[test]
+    fn random_streams_path_query(raw in stream_strategy(35), window in 20i64..200) {
+        let query = QueryGraphBuilder::new("path3")
+            .window(Duration::from_secs(window))
+            .vertex("a", "A")
+            .vertex("b", "A")
+            .vertex("c", "A")
+            .vertex("d", "A")
+            .edge("a", "rel", "b")
+            .edge("b", "rel", "c")
+            .edge("c", "other", "d")
+            .build()
+            .unwrap();
+        let events = to_events(&raw);
+        prop_assume!(!events.is_empty());
+        assert_equivalent(&query, &events);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Window semantics
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_reported_match_is_within_its_window() {
+    // Build a stream whose matches straddle the window boundary, then check
+    // the span of every reported match against an independent recomputation
+    // from the raw events.
+    let window = Duration::from_secs(50);
+    let query = pair_query(50);
+    let events: Vec<EdgeEvent> = (0..40)
+        .map(|i| {
+            EdgeEvent::new(
+                format!("a{i}"),
+                "A",
+                format!("k{}", i % 2),
+                "K",
+                "rel",
+                Timestamp::from_secs(i * 13),
+            )
+        })
+        .collect();
+
+    let mut engine = ContinuousQueryEngine::with_defaults();
+    engine.register_query(query).unwrap();
+    let mut timestamps: HashMap<u64, i64> = HashMap::new();
+    let mut count = 0;
+    for ev in &events {
+        // Track edge-id -> timestamp as the graph assigns ids in arrival order.
+        timestamps.insert(timestamps.len() as u64, ev.timestamp.as_micros());
+        for m in engine.process(ev) {
+            let times: Vec<i64> = m.edges.iter().map(|e| timestamps[&e.0]).collect();
+            let span = times.iter().max().unwrap() - times.iter().min().unwrap();
+            assert!(span < window.as_micros(), "span {span} exceeds window");
+            assert_eq!(m.span.as_micros(), span);
+            count += 1;
+        }
+    }
+    assert!(count > 0, "the scenario should produce at least one match");
+}

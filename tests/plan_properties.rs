@@ -1,0 +1,127 @@
+//! Property-based tests of the planner: for arbitrary connected query graphs,
+//! every decomposition strategy must produce a valid edge partition and every
+//! constructed SJ-Tree must satisfy the structural properties of paper §3.2.
+
+use proptest::prelude::*;
+use streamworks::query::{
+    validate_decomposition, BalancedPairs, DecompositionStrategy, LeftDeepEdgeChain, Planner,
+    SelectivityOrdered, SjTreeShape, TreeShapeKind,
+};
+use streamworks::{Duration, QueryGraph, QueryGraphBuilder};
+
+/// Builds a random connected query graph from a compact description.
+///
+/// `extra_edges[i] = (a, b, t)` adds an edge between vertices `a % n` and
+/// `b % n` of type `t`; a spanning path over the first `n` vertices guarantees
+/// connectivity.
+fn build_query(n_vertices: usize, extra_edges: &[(u8, u8, u8)], window: i64) -> QueryGraph {
+    let types = ["Host", "User", "Service"];
+    let etypes = ["flow", "login", "uses"];
+    let mut b = QueryGraphBuilder::new("random").window(Duration::from_secs(window));
+    for i in 0..n_vertices {
+        b = b.vertex(&format!("v{i}"), types[i % types.len()]);
+    }
+    // Spanning path keeps the query connected.
+    for i in 1..n_vertices {
+        b = b.edge(&format!("v{}", i - 1), etypes[i % etypes.len()], &format!("v{i}"));
+    }
+    for &(a, eb, t) in extra_edges {
+        let src = format!("v{}", a as usize % n_vertices);
+        let dst = format!("v{}", eb as usize % n_vertices);
+        if src == dst {
+            continue;
+        }
+        b = b.edge(&src, etypes[t as usize % etypes.len()], &dst);
+    }
+    b.build().expect("constructed query is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn strategies_produce_valid_partitions_and_trees(
+        n_vertices in 2usize..8,
+        extra in prop::collection::vec((0u8..8, 0u8..8, 0u8..3), 0..6),
+        window in 10i64..10_000,
+    ) {
+        let query = build_query(n_vertices, &extra, window);
+        let strategies: Vec<Box<dyn DecompositionStrategy>> = vec![
+            Box::new(SelectivityOrdered { max_primitive_size: 1 }),
+            Box::new(SelectivityOrdered { max_primitive_size: 2 }),
+            Box::new(SelectivityOrdered { max_primitive_size: 3 }),
+            Box::new(LeftDeepEdgeChain),
+            Box::new(BalancedPairs),
+        ];
+        for strategy in strategies {
+            let est = streamworks::query::SelectivityEstimator::without_summary();
+            let primitives = strategy.decompose(&query, &est).unwrap();
+            validate_decomposition(&query, &primitives).unwrap();
+
+            // Both tree shapes satisfy the paper's structural properties.
+            for shape in [
+                SjTreeShape::left_deep(&query, &primitives).unwrap(),
+                SjTreeShape::balanced(&query, &primitives).unwrap(),
+            ] {
+                shape.validate(&query).unwrap();
+                // The root covers every query edge (property 1).
+                prop_assert_eq!(shape.node(shape.root()).edges.len(), query.edge_count());
+                // Leaves are exactly the primitives, in order.
+                prop_assert_eq!(shape.leaves().len(), primitives.len());
+                for (leaf, prim) in shape.leaves().iter().zip(&primitives) {
+                    prop_assert_eq!(&shape.node(*leaf).edges, &prim.edges);
+                }
+                // Sibling/join-key consistency: siblings share the same join key,
+                // and the key is a subset of both siblings' vertex sets.
+                for node in shape.nodes() {
+                    if let Some(sib) = shape.sibling(node.id) {
+                        prop_assert_eq!(shape.join_key(node.id), shape.join_key(sib));
+                        for v in shape.join_key(node.id) {
+                            prop_assert!(node.vertices.contains(v));
+                            prop_assert!(shape.node(sib).vertices.contains(v));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planner_end_to_end_on_random_queries(
+        n_vertices in 2usize..7,
+        extra in prop::collection::vec((0u8..8, 0u8..8, 0u8..3), 0..5),
+    ) {
+        let query = build_query(n_vertices, &extra, 300);
+        for kind in [TreeShapeKind::LeftDeep, TreeShapeKind::Balanced] {
+            let plan = Planner::new().tree_kind(kind).plan(query.clone()).unwrap();
+            plan.shape.validate(&plan.query).unwrap();
+            prop_assert_eq!(plan.edge_estimates.len(), query.edge_count());
+            prop_assert!(plan.shape.height() <= query.edge_count() + 1);
+            // Explain output mentions every query variable.
+            let explain = plan.explain();
+            for v in query.vertices() {
+                prop_assert!(explain.contains(&v.name));
+            }
+        }
+    }
+}
+
+#[test]
+fn dsl_round_trip_preserves_plannability() {
+    // Parse → format → parse → plan should work for a representative query.
+    let text = r#"
+        QUERY roundtrip WINDOW 10m
+        MATCH (a:Host)-[:flow]->(b:Host)-[:flow]->(c:Host),
+              (u:User)-[:login]->(a)
+        WHERE u.privileged = true
+    "#;
+    let q1 = streamworks::parse_query(text).unwrap();
+    let q2 = streamworks::parse_query(&streamworks::query::format_query(&q1)).unwrap();
+    assert_eq!(q1.edge_count(), q2.edge_count());
+    assert_eq!(q1.vertex_count(), q2.vertex_count());
+    let plan = Planner::new().plan(q2).unwrap();
+    plan.shape.validate(&plan.query).unwrap();
+}

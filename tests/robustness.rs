@@ -1,0 +1,434 @@
+//! Failure injection and robustness: the engine must stay correct (or fail
+//! loudly) on the inputs a production stream actually delivers — out-of-order
+//! timestamps, duplicate and self-loop edges, types never seen at planning
+//! time, zero-width windows — and the operational features added on top of the
+//! paper (checkpoint/restore, adaptive re-planning, cost-based plans) must not
+//! change the set of matches reported.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use streamworks::baseline::RepeatedSearchMatcher;
+use streamworks::engine::EngineCheckpoint;
+use streamworks::query::{CostBasedOrdered, LeftDeepEdgeChain, QueryGraph, TriadWedges};
+use streamworks::{
+    AdaptiveConfig, AdaptiveReplanner, ContinuousQueryEngine, Duration, DynamicGraph, EdgeEvent,
+    EngineConfig, QueryGraphBuilder, Timestamp, TreeShapeKind,
+};
+
+type Signature = Vec<(usize, u64)>;
+
+fn ev(src: &str, st: &str, dst: &str, dt: &str, et: &str, t: i64) -> EdgeEvent {
+    EdgeEvent::new(src, st, dst, dt, et, Timestamp::from_secs(t))
+}
+
+fn pair_query(window_secs: i64) -> QueryGraph {
+    QueryGraphBuilder::new("pair")
+        .window(Duration::from_secs(window_secs))
+        .vertex("a1", "A")
+        .vertex("a2", "A")
+        .vertex("k", "K")
+        .edge("a1", "rel", "k")
+        .edge("a2", "rel", "k")
+        .build()
+        .unwrap()
+}
+
+fn wedge_query(window_secs: i64) -> QueryGraph {
+    QueryGraphBuilder::new("wedge")
+        .window(Duration::from_secs(window_secs))
+        .vertex("a", "A")
+        .vertex("k", "K")
+        .vertex("l", "L")
+        .edge("a", "rel", "k")
+        .edge("a", "loc", "l")
+        .build()
+        .unwrap()
+}
+
+fn signatures(engine: &mut ContinuousQueryEngine, events: &[EdgeEvent]) -> BTreeSet<Signature> {
+    let mut out = BTreeSet::new();
+    for e in events {
+        for m in engine.process(e) {
+            out.insert(m.edges.iter().enumerate().map(|(q, id)| (q, id.0)).collect());
+        }
+    }
+    out
+}
+
+/// A match signature that is stable across an engine restart: the variable →
+/// external-key bindings plus the completion time and span. (Raw [`EdgeId`]s
+/// are arrival sequence numbers and therefore differ between a restored graph
+/// and the original one.)
+type KeySignature = (Vec<(String, String)>, i64, i64);
+
+fn key_signatures(
+    engine: &mut ContinuousQueryEngine,
+    events: &[EdgeEvent],
+) -> BTreeSet<KeySignature> {
+    let mut out = BTreeSet::new();
+    for e in events {
+        for m in engine.process(e) {
+            let mut bindings: Vec<(String, String)> = m
+                .bindings
+                .iter()
+                .map(|b| (b.variable.clone(), b.key.clone()))
+                .collect();
+            bindings.sort();
+            out.insert((bindings, m.at.as_micros(), m.span.as_micros()));
+        }
+    }
+    out
+}
+
+fn repeated_signatures(query: &QueryGraph, events: &[EdgeEvent]) -> BTreeSet<Signature> {
+    let mut graph = DynamicGraph::unbounded();
+    let mut matcher = RepeatedSearchMatcher::new(query.clone());
+    let mut out = BTreeSet::new();
+    for e in events {
+        graph.ingest(e);
+        for emb in matcher.process_update(&graph) {
+            out.insert(emb.signature());
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Malformed / adversarial inputs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn self_loops_do_not_produce_non_injective_matches() {
+    let mut engine = ContinuousQueryEngine::with_defaults();
+    engine.register_query(pair_query(1_000)).unwrap();
+    // A self-loop on the keyword vertex and an article that mentions itself.
+    engine.process(&ev("k1", "K", "k1", "K", "rel", 1));
+    engine.process(&ev("a1", "A", "a1", "A", "rel", 2));
+    // One legitimate mention; still no complete pair (a1 = a2 is forbidden).
+    let matches = engine.process(&ev("a1", "A", "k1", "K", "rel", 3));
+    assert!(matches.is_empty());
+    // A second, distinct article completes the pattern exactly once per
+    // automorphism.
+    let matches = engine.process(&ev("a2", "A", "k1", "K", "rel", 4));
+    assert_eq!(matches.len(), 2);
+}
+
+#[test]
+fn duplicate_edge_events_agree_with_repeated_search() {
+    let query = pair_query(500);
+    let events = vec![
+        ev("a1", "A", "k1", "K", "rel", 1),
+        ev("a1", "A", "k1", "K", "rel", 1), // exact duplicate
+        ev("a2", "A", "k1", "K", "rel", 2),
+        ev("a2", "A", "k1", "K", "rel", 3), // same endpoints, later timestamp
+    ];
+    let mut engine = ContinuousQueryEngine::with_defaults();
+    engine.register_query(query.clone()).unwrap();
+    let incremental = signatures(&mut engine, &events);
+    let repeated = repeated_signatures(&query, &events);
+    assert_eq!(incremental, repeated);
+    assert!(!incremental.is_empty());
+}
+
+#[test]
+fn out_of_order_timestamps_do_not_panic_and_respect_the_window() {
+    let mut engine = ContinuousQueryEngine::with_defaults();
+    engine.register_query(pair_query(30)).unwrap();
+    // The second mention arrives with an *older* timestamp, still inside the
+    // window relative to the first edge.
+    engine.process(&ev("a1", "A", "k1", "K", "rel", 100));
+    let in_window = engine.process(&ev("a2", "A", "k1", "K", "rel", 80));
+    assert_eq!(in_window.len(), 2, "late-but-in-window edge must still match");
+
+    // A mention that is far in the past relative to the window must not match.
+    let stale = engine.process(&ev("a3", "A", "k1", "K", "rel", 10));
+    assert!(
+        stale.iter().all(|m| m.span.as_secs() < 30),
+        "any reported match must still satisfy τ(g) < tW"
+    );
+}
+
+#[test]
+fn clock_jumps_forward_expire_state_without_panicking() {
+    use streamworks::SelectivityOrdered;
+    let mut engine = ContinuousQueryEngine::new(EngineConfig {
+        prune_every: 4,
+        ..EngineConfig::default()
+    });
+    // Single-edge primitives so per-edge partial matches are actually stored.
+    let id = engine
+        .register_query_with(
+            pair_query(60),
+            &SelectivityOrdered { max_primitive_size: 1 },
+            TreeShapeKind::LeftDeep,
+        )
+        .unwrap();
+    engine.process(&ev("a1", "A", "k1", "K", "rel", 0));
+    // Jump three hours ahead: the old partial match must be expired.
+    engine.process(&ev("a2", "A", "k2", "K", "rel", 10_800));
+    engine.prune_now();
+    let metrics = engine.metrics(id).unwrap();
+    assert!(metrics.partial_matches_expired > 0);
+    // Matching continues normally at the new time frontier.
+    let matches = engine.process(&ev("a3", "A", "k2", "K", "rel", 10_805));
+    assert_eq!(matches.len(), 2);
+}
+
+#[test]
+fn zero_width_window_reports_nothing() {
+    let mut engine = ContinuousQueryEngine::with_defaults();
+    engine.register_query(pair_query(0)).unwrap();
+    engine.process(&ev("a1", "A", "k1", "K", "rel", 5));
+    let matches = engine.process(&ev("a2", "A", "k1", "K", "rel", 5));
+    assert!(
+        matches.is_empty(),
+        "τ(g) < 0s can never hold, even for simultaneous edges"
+    );
+}
+
+#[test]
+fn types_unseen_at_registration_time_still_match_later() {
+    // Register before *any* data: the type interner knows nothing about the
+    // query's labels yet, so constraints must re-resolve lazily.
+    let mut engine = ContinuousQueryEngine::with_defaults();
+    engine.register_query(wedge_query(600)).unwrap();
+    // Unrelated traffic with completely different types arrives first.
+    for i in 0..50 {
+        engine.process(&ev(
+            &format!("h{i}"),
+            "Host",
+            &format!("h{}", i + 1),
+            "Host",
+            "flow",
+            i,
+        ));
+    }
+    engine.process(&ev("a1", "A", "k1", "K", "rel", 100));
+    let matches = engine.process(&ev("a1", "A", "l1", "L", "loc", 101));
+    assert_eq!(matches.len(), 1);
+}
+
+#[test]
+fn unrelated_edge_types_never_reach_the_matcher_as_matches() {
+    let mut engine = ContinuousQueryEngine::with_defaults();
+    let id = engine.register_query(pair_query(1_000)).unwrap();
+    for i in 0..200 {
+        let out = engine.process(&ev(
+            &format!("x{}", i % 17),
+            "A",
+            &format!("y{}", i % 13),
+            "K",
+            "other_rel",
+            i,
+        ));
+        assert!(out.is_empty());
+    }
+    assert_eq!(engine.metrics(id).unwrap().complete_matches, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Operational features preserve match semantics
+// ---------------------------------------------------------------------------
+
+#[test]
+fn checkpoint_restore_preserves_future_matches_on_a_cyber_stream() {
+    use streamworks::workloads::queries::smurf_ddos_query;
+    use streamworks::workloads::{AttackKind, CyberConfig, CyberTrafficGenerator};
+
+    let workload = CyberTrafficGenerator::new(CyberConfig {
+        hosts: 200,
+        background_edges: 4_000,
+        attacks: vec![(AttackKind::SmurfDdos, 4)],
+        ..Default::default()
+    })
+    .generate();
+    let query = smurf_ddos_query(4, Duration::from_mins(5));
+
+    // Reference: process the whole stream without interruption.
+    let mut reference = ContinuousQueryEngine::with_defaults();
+    reference.register_query(query.clone()).unwrap();
+    let half = workload.events.len() / 2;
+    let first_half_ref = key_signatures(&mut reference, &workload.events[..half]);
+    let second_half_ref = key_signatures(&mut reference, &workload.events[half..]);
+
+    // Checkpointed run: restart the engine in the middle of the stream.
+    let mut engine = ContinuousQueryEngine::with_defaults();
+    engine.register_query(query).unwrap();
+    let first_half = key_signatures(&mut engine, &workload.events[..half]);
+    let checkpoint = EngineCheckpoint::capture(&engine);
+    let json = checkpoint.to_json().unwrap();
+    let mut restored = EngineCheckpoint::from_json(&json).unwrap().restore();
+    let second_half = key_signatures(&mut restored, &workload.events[half..]);
+
+    assert_eq!(first_half, first_half_ref);
+    assert_eq!(
+        second_half, second_half_ref,
+        "matches completing after the restart must be identical to an uninterrupted run"
+    );
+}
+
+#[test]
+fn statistics_driven_strategies_agree_with_the_blind_plan() {
+    use streamworks::workloads::{NewsConfig, NewsStreamGenerator};
+    let workload = NewsStreamGenerator::new(NewsConfig {
+        articles: 400,
+        planted_events: vec![("politics".into(), 3)],
+        ..Default::default()
+    })
+    .generate();
+    let query = streamworks::workloads::queries::labelled_news_query(
+        "politics",
+        Duration::from_mins(30),
+    );
+
+    let mut results = Vec::new();
+    let strategies: Vec<(&str, Box<dyn streamworks::query::DecompositionStrategy>)> = vec![
+        ("blind", Box::new(LeftDeepEdgeChain)),
+        ("cost", Box::new(CostBasedOrdered::default())),
+        ("triads", Box::new(TriadWedges::default())),
+    ];
+    for (name, strategy) in &strategies {
+        let mut engine = ContinuousQueryEngine::with_defaults();
+        engine
+            .register_query_with(query.clone(), strategy.as_ref(), TreeShapeKind::LeftDeep)
+            .unwrap();
+        let sigs = signatures(&mut engine, &workload.events);
+        results.push((name, sigs));
+    }
+    let reference = results[0].1.clone();
+    assert!(!reference.is_empty(), "planted bursts must be detected");
+    for (name, sigs) in &results[1..] {
+        assert_eq!(sigs, &reference, "strategy {name} changed the result set");
+    }
+}
+
+#[test]
+fn adaptive_replanning_keeps_finding_matches_after_the_switch() {
+    let mut engine = ContinuousQueryEngine::with_defaults();
+    let id = engine
+        .register_query_with(wedge_query(3_600), &LeftDeepEdgeChain, TreeShapeKind::LeftDeep)
+        .unwrap();
+    let mut replanner = AdaptiveReplanner::new(AdaptiveConfig {
+        min_edges_between_replans: 200,
+        drift_threshold: 0.05,
+        min_improvement: 1.0,
+        ..AdaptiveConfig::default()
+    });
+    replanner.check(&mut engine);
+
+    // Skewed warm-up traffic that motivates a re-plan.
+    let mut t = 0;
+    for i in 0..600 {
+        engine.process(&ev(
+            &format!("a{}", i % 40),
+            "A",
+            &format!("k{}", i % 12),
+            "K",
+            "rel",
+            t,
+        ));
+        t += 1;
+    }
+    let decisions = replanner.check(&mut engine);
+    assert!(decisions.iter().any(|d| d.replanned), "re-plan expected on drifted statistics");
+
+    // Patterns completed entirely after the re-plan are still found.
+    let before = engine.metrics(id).unwrap().complete_matches;
+    engine.process(&ev("fresh", "A", "k-new", "K", "rel", t + 10));
+    let matches = engine.process(&ev("fresh", "A", "l-new", "L", "loc", t + 11));
+    assert_eq!(matches.len(), 1);
+    assert_eq!(engine.metrics(id).unwrap().complete_matches, before + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests
+// ---------------------------------------------------------------------------
+
+fn to_events(raw: &[(u8, u8, i64)]) -> Vec<EdgeEvent> {
+    raw.iter()
+        .map(|&(a, k, t)| {
+            ev(
+                &format!("a{}", a % 6),
+                "A",
+                &format!("k{}", k % 4),
+                "K",
+                "rel",
+                t.rem_euclid(300),
+            )
+        })
+        .collect()
+}
+
+/// Like [`to_events`] but delivered in timestamp order (the setting in which
+/// incremental matching is equivalent to unbounded repeated search).
+fn to_sorted_events(raw: &[(u8, u8, i64)]) -> Vec<EdgeEvent> {
+    let mut events = to_events(raw);
+    events.sort_by_key(|e| e.timestamp);
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Restarting from a checkpoint at *any* split point never changes the
+    /// matches reported for the rest of the stream.
+    #[test]
+    fn checkpoint_restore_is_transparent(
+        raw in proptest::collection::vec((0u8..8, 0u8..5, 0i64..300), 1..40),
+        split in 0usize..40,
+        window in 20i64..200,
+    ) {
+        let events = to_events(&raw);
+        let split = split.min(events.len());
+        let query = pair_query(window);
+
+        let mut reference = ContinuousQueryEngine::with_defaults();
+        reference.register_query(query.clone()).unwrap();
+        let _ = key_signatures(&mut reference, &events[..split]);
+        let tail_ref = key_signatures(&mut reference, &events[split..]);
+
+        let mut engine = ContinuousQueryEngine::with_defaults();
+        engine.register_query(query).unwrap();
+        let _ = key_signatures(&mut engine, &events[..split]);
+        let mut restored = engine.checkpoint().restore();
+        let tail = key_signatures(&mut restored, &events[split..]);
+
+        prop_assert_eq!(tail, tail_ref);
+    }
+
+    /// The cost-based strategy reports exactly the same windowed matches as
+    /// the repeated-search baseline on arbitrary streams.
+    #[test]
+    fn cost_based_plans_match_repeated_search(
+        raw in proptest::collection::vec((0u8..8, 0u8..5, 0i64..300), 1..35),
+        window in 20i64..200,
+    ) {
+        let events = to_sorted_events(&raw);
+        let query = pair_query(window);
+        let mut engine = ContinuousQueryEngine::with_defaults();
+        engine
+            .register_query_with(query.clone(), &CostBasedOrdered::default(), TreeShapeKind::LeftDeep)
+            .unwrap();
+        let incremental = signatures(&mut engine, &events);
+        let repeated = repeated_signatures(&query, &events);
+        prop_assert_eq!(incremental, repeated);
+    }
+
+    /// Out-of-order delivery (shuffled timestamps assigned to arrival order)
+    /// never panics and never reports a match wider than the window.
+    #[test]
+    fn shuffled_streams_respect_window_semantics(
+        raw in proptest::collection::vec((0u8..8, 0u8..5, 0i64..300), 1..40),
+        window in 5i64..100,
+    ) {
+        let events = to_events(&raw);
+        let query = pair_query(window);
+        let mut engine = ContinuousQueryEngine::with_defaults();
+        engine.register_query(query).unwrap();
+        for e in &events {
+            for m in engine.process(e) {
+                prop_assert!(m.span < Duration::from_secs(window));
+            }
+        }
+    }
+}
