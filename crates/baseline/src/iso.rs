@@ -53,12 +53,8 @@ impl<'q> ResolvedQuery<'q> {
         };
         match self.vtypes[qv.0] {
             None => {}
-            Some(Ok(t)) => {
-                if vertex.vtype != t {
-                    return false;
-                }
-            }
-            Some(Err(())) => return false,
+            Some(Ok(t)) if vertex.vtype == t => {}
+            Some(_) => return false,
         }
         self.query
             .vertex(qv)
@@ -70,12 +66,8 @@ impl<'q> ResolvedQuery<'q> {
     fn edge_ok(&self, snapshot: &GraphSnapshot<'_>, qe: QueryEdgeId, edge: &Edge) -> bool {
         match self.etypes[qe.0] {
             None => {}
-            Some(Ok(t)) => {
-                if edge.etype != t {
-                    return false;
-                }
-            }
-            Some(Err(())) => return false,
+            Some(Ok(t)) if edge.etype == t => {}
+            Some(_) => return false,
         }
         let q = self.query.edge(qe);
         if !q.predicates.iter().all(|p| p.matches(&edge.attrs)) {
@@ -109,7 +101,7 @@ impl<'q, 'g, 's> SearchState<'q, 'g, 's> {
         match self.vertex_binding[qv.0] {
             Some(existing) => Ok(existing == dv),
             None => {
-                if self.vertex_binding.iter().any(|b| *b == Some(dv)) {
+                if self.vertex_binding.contains(&Some(dv)) {
                     return Ok(false);
                 }
                 self.vertex_binding[qv.0] = Some(dv);
@@ -171,7 +163,7 @@ impl<'q, 'g, 's> SearchState<'q, 'g, 's> {
             if !self.resolved.edge_ok(self.snapshot, qe, &edge) {
                 continue;
             }
-            if self.edge_binding.iter().any(|b| *b == Some(edge.id)) {
+            if self.edge_binding.contains(&Some(edge.id)) {
                 continue;
             }
             // Window pruning.
@@ -267,12 +259,7 @@ pub fn find_all_embeddings(
         let idx = remaining
             .iter()
             .position(|&e| {
-                order.is_empty()
-                    || query
-                        .edge(e)
-                        .endpoints()
-                        .iter()
-                        .any(|v| placed.contains(v))
+                order.is_empty() || query.edge(e).endpoints().iter().any(|v| placed.contains(v))
             })
             .unwrap_or(0);
         let e = remaining.remove(idx);
@@ -314,7 +301,14 @@ mod tests {
     use streamworks_query::QueryGraphBuilder;
 
     fn ingest(g: &mut DynamicGraph, src: &str, st: &str, dst: &str, dt: &str, et: &str, t: i64) {
-        g.ingest(&EdgeEvent::new(src, st, dst, dt, et, Timestamp::from_secs(t)));
+        g.ingest(&EdgeEvent::new(
+            src,
+            st,
+            dst,
+            dt,
+            et,
+            Timestamp::from_secs(t),
+        ));
     }
 
     fn pair_query(window_secs: i64) -> QueryGraph {
@@ -403,7 +397,15 @@ mod tests {
     fn limit_caps_result_count() {
         let mut g = DynamicGraph::unbounded();
         for i in 0..20 {
-            ingest(&mut g, &format!("a{i}"), "Article", "k", "Keyword", "mentions", i);
+            ingest(
+                &mut g,
+                &format!("a{i}"),
+                "Article",
+                "k",
+                "Keyword",
+                "mentions",
+                i,
+            );
         }
         let snap = GraphSnapshot::new(&g);
         let out = find_all_embeddings(&snap, &pair_query(3600), 7);

@@ -16,9 +16,7 @@
 //! memoised in its match collections.
 
 use crate::embedding::Embedding;
-use streamworks_graph::{
-    Direction, Duration, DynamicGraph, Edge, EdgeId, Timestamp, VertexId,
-};
+use streamworks_graph::{Direction, Duration, DynamicGraph, Edge, EdgeId, Timestamp, VertexId};
 use streamworks_query::{QueryEdgeId, QueryGraph, QueryVertexId};
 
 /// Continuous matcher that redoes a full anchored search for every new edge.
@@ -57,8 +55,7 @@ impl NaiveEdgeExpansion {
             // Bind the anchor edge's endpoints, respecting injectivity: two
             // distinct query vertices may not share a data vertex, and a query
             // self-loop requires a data self-loop.
-            let mut vertex_binding: Vec<Option<VertexId>> =
-                vec![None; self.query.vertex_count()];
+            let mut vertex_binding: Vec<Option<VertexId>> = vec![None; self.query.vertex_count()];
             if q.src == q.dst {
                 if new_edge.src != new_edge.dst {
                     continue;
@@ -73,10 +70,7 @@ impl NaiveEdgeExpansion {
             }
             let mut edge_binding = vec![None; self.query.edge_count()];
             edge_binding[anchor.0] = Some(new_edge.id);
-            let remaining: Vec<QueryEdgeId> = query
-                .edge_ids()
-                .filter(|&e| e != anchor)
-                .collect();
+            let remaining: Vec<QueryEdgeId> = query.edge_ids().filter(|&e| e != anchor).collect();
             extend(
                 query,
                 graph,
@@ -131,11 +125,7 @@ fn extend(
         })
         .unwrap_or(0);
     let qe = remaining[pick];
-    let rest: Vec<QueryEdgeId> = remaining
-        .iter()
-        .copied()
-        .filter(|&e| e != qe)
-        .collect();
+    let rest: Vec<QueryEdgeId> = remaining.iter().copied().filter(|&e| e != qe).collect();
     let q = query.edge(qe);
 
     let candidates: Vec<Edge> = match (vertex_binding[q.src.0], vertex_binding[q.dst.0]) {
@@ -148,9 +138,9 @@ fn extend(
         if !edge_matches(query, graph, qe, &edge) {
             continue;
         }
-            if edge_binding.iter().any(|b| *b == Some(edge.id)) {
-                continue;
-            }
+        if edge_binding.contains(&Some(edge.id)) {
+            continue;
+        }
         let new_earliest = earliest.min(edge.timestamp);
         let new_latest = latest.max(edge.timestamp);
         if (new_latest - new_earliest).as_micros() >= window.as_micros() {
@@ -168,7 +158,7 @@ fn extend(
                     }
                 }
                 None => {
-                    if vertex_binding.iter().any(|b| *b == Some(dv)) {
+                    if vertex_binding.contains(&Some(dv)) {
                         ok = false;
                         break;
                     }
@@ -261,8 +251,21 @@ mod tests {
             .unwrap()
     }
 
-    fn feed(g: &mut DynamicGraph, m: &mut NaiveEdgeExpansion, src: &str, dst: &str, t: i64) -> Vec<Embedding> {
-        let r = g.ingest(&EdgeEvent::new(src, "Article", dst, "Keyword", "mentions", Timestamp::from_secs(t)));
+    fn feed(
+        g: &mut DynamicGraph,
+        m: &mut NaiveEdgeExpansion,
+        src: &str,
+        dst: &str,
+        t: i64,
+    ) -> Vec<Embedding> {
+        let r = g.ingest(&EdgeEvent::new(
+            src,
+            "Article",
+            dst,
+            "Keyword",
+            "mentions",
+            Timestamp::from_secs(t),
+        ));
         let edge = g.edge(r.edge).unwrap().clone();
         m.process_edge(g, &edge)
     }
@@ -302,11 +305,19 @@ mod tests {
             .unwrap();
         let mut g = DynamicGraph::unbounded();
         let mut m = NaiveEdgeExpansion::new(q);
-        let feed_ip = |g: &mut DynamicGraph, m: &mut NaiveEdgeExpansion, s: &str, d: &str, t: i64| {
-            let r = g.ingest(&EdgeEvent::new(s, "IP", d, "IP", "flow", Timestamp::from_secs(t)));
-            let e = g.edge(r.edge).unwrap().clone();
-            m.process_edge(g, &e).len()
-        };
+        let feed_ip =
+            |g: &mut DynamicGraph, m: &mut NaiveEdgeExpansion, s: &str, d: &str, t: i64| {
+                let r = g.ingest(&EdgeEvent::new(
+                    s,
+                    "IP",
+                    d,
+                    "IP",
+                    "flow",
+                    Timestamp::from_secs(t),
+                ));
+                let e = g.edge(r.edge).unwrap().clone();
+                m.process_edge(g, &e).len()
+            };
         assert_eq!(feed_ip(&mut g, &mut m, "x", "y", 1), 0);
         assert_eq!(feed_ip(&mut g, &mut m, "y", "z", 2), 0);
         // The closing edge completes the cycle; 3 rotations are all found at

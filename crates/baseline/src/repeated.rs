@@ -77,9 +77,9 @@ impl RepeatedSearchMatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use streamworks_graph::Duration;
     use streamworks_graph::{EdgeEvent, Timestamp};
     use streamworks_query::QueryGraphBuilder;
-    use streamworks_graph::Duration;
 
     fn pair_query() -> QueryGraph {
         QueryGraphBuilder::new("pair")
@@ -97,14 +97,17 @@ mod tests {
     fn reports_each_embedding_exactly_once() {
         let mut g = DynamicGraph::unbounded();
         let mut m = RepeatedSearchMatcher::new(pair_query());
-        let events = [
-            ("a1", 1i64),
-            ("a2", 2),
-            ("a3", 3),
-        ];
+        let events = [("a1", 1i64), ("a2", 2), ("a3", 3)];
         let mut total = 0;
         for (a, t) in events {
-            g.ingest(&EdgeEvent::new(a, "Article", "k1", "Keyword", "mentions", Timestamp::from_secs(t)));
+            g.ingest(&EdgeEvent::new(
+                a,
+                "Article",
+                "k1",
+                "Keyword",
+                "mentions",
+                Timestamp::from_secs(t),
+            ));
             total += m.process_update(&g).len();
         }
         // 3 articles sharing a keyword: 6 ordered pairs in total.
@@ -120,9 +123,23 @@ mod tests {
     fn incremental_deltas_match_arrival_order() {
         let mut g = DynamicGraph::unbounded();
         let mut m = RepeatedSearchMatcher::new(pair_query());
-        g.ingest(&EdgeEvent::new("a1", "Article", "k1", "Keyword", "mentions", Timestamp::from_secs(1)));
+        g.ingest(&EdgeEvent::new(
+            "a1",
+            "Article",
+            "k1",
+            "Keyword",
+            "mentions",
+            Timestamp::from_secs(1),
+        ));
         assert!(m.process_update(&g).is_empty());
-        g.ingest(&EdgeEvent::new("a2", "Article", "k1", "Keyword", "mentions", Timestamp::from_secs(2)));
+        g.ingest(&EdgeEvent::new(
+            "a2",
+            "Article",
+            "k1",
+            "Keyword",
+            "mentions",
+            Timestamp::from_secs(2),
+        ));
         assert_eq!(m.process_update(&g).len(), 2);
     }
 }

@@ -47,8 +47,7 @@ pub fn verify_assignment(
     }
     let mut covered = vec![false; query.edge_count()];
     let mut used_data_edges: Vec<EdgeId> = Vec::with_capacity(assignment.len());
-    let mut vertex_map: Vec<Option<streamworks_graph::VertexId>> =
-        vec![None; query.vertex_count()];
+    let mut vertex_map: Vec<Option<streamworks_graph::VertexId>> = vec![None; query.vertex_count()];
     let mut earliest = i64::MAX;
     let mut latest = i64::MIN;
 
@@ -126,10 +125,24 @@ mod tests {
     fn setup() -> (DynamicGraph, QueryGraph, Vec<(QueryEdgeId, EdgeId)>) {
         let mut g = DynamicGraph::unbounded();
         let e0 = g
-            .ingest(&EdgeEvent::new("a1", "Article", "k1", "Keyword", "mentions", Timestamp::from_secs(1)))
+            .ingest(&EdgeEvent::new(
+                "a1",
+                "Article",
+                "k1",
+                "Keyword",
+                "mentions",
+                Timestamp::from_secs(1),
+            ))
             .edge;
         let e1 = g
-            .ingest(&EdgeEvent::new("a2", "Article", "k1", "Keyword", "mentions", Timestamp::from_secs(2)))
+            .ingest(&EdgeEvent::new(
+                "a2",
+                "Article",
+                "k1",
+                "Keyword",
+                "mentions",
+                Timestamp::from_secs(2),
+            ))
             .edge;
         let q = QueryGraphBuilder::new("pair")
             .window(Duration::from_hours(1))
@@ -155,7 +168,10 @@ mod tests {
         let (g, q, a) = setup();
         assert!(matches!(
             verify_assignment(&g, &q, &a[..1]),
-            Err(VerifyError::WrongEdgeCount { got: 1, expected: 2 })
+            Err(VerifyError::WrongEdgeCount {
+                got: 1,
+                expected: 2
+            })
         ));
     }
 
@@ -183,7 +199,10 @@ mod tests {
     fn window_violation_fails() {
         let (g, mut q, a) = setup();
         q.set_window(Duration::from_secs(1));
-        assert_eq!(verify_assignment(&g, &q, &a), Err(VerifyError::OutsideWindow));
+        assert_eq!(
+            verify_assignment(&g, &q, &a),
+            Err(VerifyError::OutsideWindow)
+        );
     }
 
     #[test]
@@ -191,10 +210,24 @@ mod tests {
         let (mut g, q, _) = setup();
         // A "located" edge cannot realise a "mentions" query edge.
         let e0 = g
-            .ingest(&EdgeEvent::new("a1", "Article", "l1", "Location", "located", Timestamp::from_secs(3)))
+            .ingest(&EdgeEvent::new(
+                "a1",
+                "Article",
+                "l1",
+                "Location",
+                "located",
+                Timestamp::from_secs(3),
+            ))
             .edge;
         let e1 = g
-            .ingest(&EdgeEvent::new("a2", "Article", "k1", "Keyword", "mentions", Timestamp::from_secs(4)))
+            .ingest(&EdgeEvent::new(
+                "a2",
+                "Article",
+                "k1",
+                "Keyword",
+                "mentions",
+                Timestamp::from_secs(4),
+            ))
             .edge;
         let bad = vec![(QueryEdgeId(0), e0), (QueryEdgeId(1), e1)];
         assert!(matches!(

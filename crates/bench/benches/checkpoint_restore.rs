@@ -38,7 +38,9 @@ fn bench_checkpoint(c: &mut Criterion) {
     let mut group = c.benchmark_group("checkpoint_restore");
     group.sample_size(10);
     group.throughput(Throughput::Elements(live_edges.max(1)));
-    group.bench_function("capture", |b| b.iter(|| engine.checkpoint().live_edges.len()));
+    group.bench_function("capture", |b| {
+        b.iter(|| engine.checkpoint().live_edges.len())
+    });
     group.bench_function("serialize_json", |b| {
         b.iter(|| checkpoint.to_json().unwrap().len())
     });

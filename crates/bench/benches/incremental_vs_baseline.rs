@@ -49,6 +49,18 @@ fn bench_matchers(c: &mut Criterion) {
         );
 
         group.bench_with_input(
+            BenchmarkId::new("incremental_sjtree_batch", articles),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
+                    engine.register_query(query.clone()).unwrap();
+                    engine.process_batch(events.iter()).len() as u64
+                })
+            },
+        );
+
+        group.bench_with_input(
             BenchmarkId::new("naive_expansion", articles),
             &events,
             |b, events| {

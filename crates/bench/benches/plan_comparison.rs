@@ -31,7 +31,9 @@ fn bench_plans(c: &mut Criterion) {
         ("selectivity_pairs", Box::new(SelectivityOrdered::default())),
         (
             "selectivity_single",
-            Box::new(SelectivityOrdered { max_primitive_size: 1 }),
+            Box::new(SelectivityOrdered {
+                max_primitive_size: 1,
+            }),
         ),
         ("blind_edge_chain", Box::new(LeftDeepEdgeChain)),
         ("balanced_pairs", Box::new(BalancedPairs)),

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use streamworks_bench::{cyber_preset, PresetSize};
 use streamworks_graph::DynamicGraph;
-use streamworks_summarize::{GraphSummary, SummaryConfig, TriadConfig};
+use streamworks_summarize::{GraphSummary, SummaryConfig};
 use streamworks_workloads::CyberTrafficGenerator;
 
 fn bench_summaries(c: &mut Criterion) {
@@ -50,21 +50,6 @@ fn bench_summaries(c: &mut Criterion) {
         })
     });
 
-    group.bench_function("full_with_small_triad_cap", |b| {
-        b.iter(|| {
-            let mut g = DynamicGraph::unbounded();
-            let mut s = GraphSummary::with_config(SummaryConfig {
-                triads: TriadConfig { neighbor_cap: 8 },
-                track_triads: true,
-            });
-            for ev in &workload.events {
-                let r = g.ingest(ev);
-                let edge = g.edge(r.edge).unwrap().clone();
-                s.observe_insertion(&g, &edge);
-            }
-            s.edges_observed()
-        })
-    });
     group.finish();
 }
 

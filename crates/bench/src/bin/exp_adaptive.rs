@@ -90,8 +90,22 @@ fn main() {
     let blind_id = blind
         .register_query_with(query.clone(), &LeftDeepEdgeChain, TreeShapeKind::LeftDeep)
         .unwrap();
-    run_phase(&mut blind, blind_id, &phase1, "static-blind", "blind-edge-chain", &mut table);
-    run_phase(&mut blind, blind_id, &phase2, "static-blind", "blind-edge-chain", &mut table);
+    run_phase(
+        &mut blind,
+        blind_id,
+        &phase1,
+        "static-blind",
+        "blind-edge-chain",
+        &mut table,
+    );
+    run_phase(
+        &mut blind,
+        blind_id,
+        &phase2,
+        "static-blind",
+        "blind-edge-chain",
+        &mut table,
+    );
 
     // (b) Blind plan + adaptive replanner checked between the phases.
     let mut adaptive = ContinuousQueryEngine::new(config);
@@ -105,10 +119,24 @@ fn main() {
         ..AdaptiveConfig::default()
     });
     replanner.check(&mut adaptive);
-    run_phase(&mut adaptive, adaptive_id, &phase1, "adaptive", "blind-edge-chain", &mut table);
+    run_phase(
+        &mut adaptive,
+        adaptive_id,
+        &phase1,
+        "adaptive",
+        "blind-edge-chain",
+        &mut table,
+    );
     let decisions = replanner.check(&mut adaptive);
     let plan_after = adaptive.plan(adaptive_id).unwrap().strategy.clone();
-    run_phase(&mut adaptive, adaptive_id, &phase2, "adaptive", &plan_after, &mut table);
+    run_phase(
+        &mut adaptive,
+        adaptive_id,
+        &phase2,
+        "adaptive",
+        &plan_after,
+        &mut table,
+    );
 
     // (c) Statistics-driven plan from the start (upper bound for phase 2).
     let mut informed = ContinuousQueryEngine::new(config);
@@ -119,7 +147,14 @@ fn main() {
     let informed_id = informed
         .register_query_with(query, &CostBasedOrdered::default(), TreeShapeKind::LeftDeep)
         .unwrap();
-    run_phase(&mut informed, informed_id, &phase2, "informed-from-start", "cost-based", &mut table);
+    run_phase(
+        &mut informed,
+        informed_id,
+        &phase2,
+        "informed-from-start",
+        "cost-based",
+        &mut table,
+    );
 
     println!("{}", table.render());
     for d in &decisions {

@@ -20,20 +20,10 @@ fn main() {
         workload.events.len()
     );
 
-    let mut table = Table::new(&[
-        "queries",
-        "summaries",
-        "edges/s",
-        "records/hour",
-        "matches",
-    ]);
-    for &(queries, maintain_summary) in &[
-        (0usize, false),
-        (0, true),
-        (1, true),
-        (4, true),
-        (16, true),
-    ] {
+    let mut table = Table::new(&["queries", "summaries", "edges/s", "records/hour", "matches"]);
+    for &(queries, maintain_summary) in
+        &[(0usize, false), (0, true), (1, true), (4, true), (16, true)]
+    {
         let mut engine = ContinuousQueryEngine::new(EngineConfig {
             maintain_summary,
             ..Default::default()

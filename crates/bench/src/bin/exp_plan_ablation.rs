@@ -11,9 +11,8 @@ use streamworks_bench::{cyber_preset, measure, PresetSize, Table};
 use streamworks_core::{ContinuousQueryEngine, EngineConfig};
 use streamworks_graph::{Duration, EdgeEvent};
 use streamworks_query::{
-    estimate_shape_cost, BalancedPairs, CostBasedOrdered, DecompositionStrategy,
-    LeftDeepEdgeChain, Planner, QueryGraph, SelectivityEstimator, SelectivityOrdered,
-    TreeShapeKind, TriadWedges,
+    estimate_shape_cost, BalancedPairs, CostBasedOrdered, DecompositionStrategy, LeftDeepEdgeChain,
+    Planner, QueryGraph, SelectivityEstimator, SelectivityOrdered, TreeShapeKind, TriadWedges,
 };
 use streamworks_workloads::queries::{news_triple_query, smurf_ddos_query};
 use streamworks_workloads::{CyberTrafficGenerator, NewsConfig, NewsStreamGenerator};
@@ -28,7 +27,9 @@ fn ablate(name: &str, query: QueryGraph, events: &[EdgeEvent], table: &mut Table
         ("selectivity-pairs", Box::new(SelectivityOrdered::default())),
         (
             "selectivity-single",
-            Box::new(SelectivityOrdered { max_primitive_size: 1 }),
+            Box::new(SelectivityOrdered {
+                max_primitive_size: 1,
+            }),
         ),
         ("blind-edge-chain", Box::new(LeftDeepEdgeChain)),
         ("balanced-pairs", Box::new(BalancedPairs)),

@@ -24,12 +24,7 @@ fn main() {
 
     println!("# E5: incremental vs. baselines (news stream, labelled pair query)");
     let mut table = Table::new(&[
-        "articles",
-        "edges",
-        "engine",
-        "edges/s",
-        "us/edge",
-        "matches",
+        "articles", "edges", "engine", "edges/s", "us/edge", "matches",
     ]);
     for &articles in &article_counts {
         let workload = NewsStreamGenerator::new(NewsConfig {
@@ -40,7 +35,7 @@ fn main() {
         .generate();
         let events = &workload.events;
 
-        // Incremental SJ-Tree engine.
+        // Incremental SJ-Tree engine, one event at a time.
         let run = measure(events.len(), || {
             let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
             engine.register_query(query.clone()).unwrap();
@@ -54,6 +49,21 @@ fn main() {
             articles.to_string(),
             events.len().to_string(),
             "incremental-sjtree".into(),
+            format!("{:.0}", run.throughput()),
+            format!("{:.1}", run.mean_latency_us()),
+            run.matches.to_string(),
+        ]);
+
+        // Incremental SJ-Tree engine, batched ingest.
+        let run = measure(events.len(), || {
+            let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
+            engine.register_query(query.clone()).unwrap();
+            engine.process_batch(events.iter()).len() as u64
+        });
+        table.row(&[
+            articles.to_string(),
+            events.len().to_string(),
+            "incremental-batch".into(),
             format!("{:.0}", run.throughput()),
             format!("{:.1}", run.mean_latency_us()),
             run.matches.to_string(),

@@ -73,8 +73,10 @@ mod tests {
 
     #[test]
     fn sizes_scale_monotonically() {
-        assert!(cyber_preset(PresetSize::Large).background_edges
-            > cyber_preset(PresetSize::Small).background_edges);
+        assert!(
+            cyber_preset(PresetSize::Large).background_edges
+                > cyber_preset(PresetSize::Small).background_edges
+        );
         assert!(news_preset(PresetSize::Medium).articles > news_preset(PresetSize::Small).articles);
         assert!(random_preset(PresetSize::Large).edges > random_preset(PresetSize::Medium).edges);
     }

@@ -10,9 +10,9 @@ use std::path::Path;
 use crate::options::{OptionError, Options};
 use streamworks_core::{ContinuousQueryEngine, EngineConfig, MatchEvent};
 use streamworks_query::{
-    estimate_shape_cost, BalancedPairs, CostBasedOrdered, DecompositionStrategy,
-    LeftDeepEdgeChain, Planner, QueryError, QueryGraph, SelectivityEstimator, SelectivityOrdered,
-    TreeShapeKind, TriadWedges,
+    estimate_shape_cost, BalancedPairs, CostBasedOrdered, DecompositionStrategy, LeftDeepEdgeChain,
+    Planner, QueryError, QueryGraph, SelectivityEstimator, SelectivityOrdered, TreeShapeKind,
+    TriadWedges,
 };
 use streamworks_report::{
     query_graph_to_dot, sjtree_to_dot, summary_report, EventTable, EventTableSpec, Table,
@@ -411,7 +411,13 @@ mod tests {
         let query = write_query("pair.swq", PAIR_QUERY);
         let dot_tree = scratch("tree.dot").to_string_lossy().into_owned();
         let out = dispatch(&args(&[
-            "plan", "--query", &query, "--strategy", "cost", "--dot-tree", &dot_tree,
+            "plan",
+            "--query",
+            &query,
+            "--strategy",
+            "cost",
+            "--dot-tree",
+            &dot_tree,
         ]))
         .unwrap();
         assert!(out.contains("plan for query `pair`"));

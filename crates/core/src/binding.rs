@@ -5,52 +5,118 @@
 //! vertices to data vertices together with the data edges realising the query
 //! edges covered so far, plus the earliest/latest timestamps needed to enforce
 //! the query window `τ(g) < tW`.
+//!
+//! Both structures are tuned for the matcher hot path, which clones a partial
+//! match per candidate extension and per successful join:
+//!
+//! * [`Binding`] keeps its slots in a [`SmallVec`] (inline up to 8 query
+//!   vertices — larger queries spill transparently), a `mask` bitset of bound
+//!   query vertices, and a `bloom` filter over bound *data* vertex ids. The
+//!   bloom makes the injectivity check in [`Binding::bind`] /
+//!   [`Binding::merge`] O(1) in the common no-collision case instead of an
+//!   O(k) scan per bind (O(k²) per merge).
+//! * [`PartialMatch::edges`] stores its `(query edge, data edge)` pairs inline
+//!   (up to 6), so cloning a match during local search allocates nothing for
+//!   typical query sizes.
 
 use serde::{Deserialize, Serialize};
+use smallvec::SmallVec;
 use streamworks_graph::{Duration, EdgeId, Timestamp, VertexId};
 use streamworks_query::{QueryEdgeId, QueryVertexId};
 
+/// Inline capacity of a binding: queries with at most this many vertices
+/// never heap-allocate their slot table.
+pub const INLINE_VERTICES: usize = 8;
+
+/// Inline capacity of a partial match's edge list.
+pub const INLINE_EDGES: usize = 6;
+
+#[inline]
+fn bloom_bit(dv: VertexId) -> u64 {
+    1u64 << (dv.0 & 63)
+}
+
+/// Slot sentinel for "unbound" (vertex ids are dense from zero, so
+/// `u32::MAX` can never name a real vertex). Packing slots as bare `u32`s
+/// halves the binding's size versus `Option<VertexId>`, and the binding is
+/// the most-copied structure on the hot path.
+const UNBOUND: u32 = u32::MAX;
+
 /// A partial assignment of query vertices to data vertices.
 ///
-/// Stored as a dense vector indexed by query-vertex id (query graphs are
-/// small), which makes projection and merging cheap.
+/// Stored as a dense slot table indexed by query-vertex id (query graphs are
+/// small), which makes projection and merging cheap. `mask` mirrors which
+/// slots are bound (bit `i` ⇔ slot `i`, for the first 64 vertices); `bloom`
+/// over-approximates the set of bound data vertices for fast injectivity
+/// rejection.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Binding {
-    slots: Vec<Option<VertexId>>,
+    slots: SmallVec<u32, INLINE_VERTICES>,
+    mask: u64,
+    bloom: u64,
 }
 
 impl Binding {
     /// An empty binding for a query with `vertex_count` vertices.
     pub fn new(vertex_count: usize) -> Self {
+        let mut slots = SmallVec::new();
+        for _ in 0..vertex_count {
+            slots.push(UNBOUND);
+        }
         Binding {
-            slots: vec![None; vertex_count],
+            slots,
+            mask: 0,
+            bloom: 0,
         }
     }
 
     /// The data vertex bound to `qv`, if any.
+    #[inline]
     pub fn get(&self, qv: QueryVertexId) -> Option<VertexId> {
-        self.slots.get(qv.0).copied().flatten()
+        match self.slots.as_slice().get(qv.0) {
+            Some(&raw) if raw != UNBOUND => Some(VertexId(raw)),
+            _ => None,
+        }
+    }
+
+    /// True if `dv` is the image of some bound query vertex.
+    #[inline]
+    fn maps_to(&self, dv: VertexId) -> bool {
+        if self.bloom & bloom_bit(dv) == 0 {
+            return false; // definite miss: dv never bound
+        }
+        self.slots.iter().any(|s| *s == dv.0)
     }
 
     /// Binds `qv` to `dv`. Returns `false` (and leaves the binding unchanged)
     /// if `qv` is already bound to a different vertex or if `dv` is already
     /// the image of a different query vertex (injectivity).
+    #[inline]
     pub fn bind(&mut self, qv: QueryVertexId, dv: VertexId) -> bool {
-        match self.slots[qv.0] {
-            Some(existing) => existing == dv,
-            None => {
-                if self.slots.iter().any(|s| *s == Some(dv)) {
-                    return false;
-                }
-                self.slots[qv.0] = dv.into();
-                true
-            }
+        debug_assert_ne!(dv.0, UNBOUND, "vertex id reserved as the unbound sentinel");
+        let existing = self.slots[qv.0];
+        if existing != UNBOUND {
+            return existing == dv.0;
         }
+        if self.maps_to(dv) {
+            return false;
+        }
+        self.slots[qv.0] = dv.0;
+        if qv.0 < 64 {
+            self.mask |= 1 << qv.0;
+        }
+        self.bloom |= bloom_bit(dv);
+        true
     }
 
     /// Number of bound query vertices.
+    #[inline]
     pub fn bound_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        if self.slots.len() <= 64 {
+            self.mask.count_ones() as usize
+        } else {
+            self.slots.iter().filter(|s| **s != UNBOUND).count()
+        }
     }
 
     /// Iterates `(query vertex, data vertex)` pairs in query-vertex order.
@@ -58,7 +124,8 @@ impl Binding {
         self.slots
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.map(|v| (QueryVertexId(i), v)))
+            .filter(|(_, &s)| s != UNBOUND)
+            .map(|(i, &s)| (QueryVertexId(i), VertexId(s)))
     }
 
     /// Projects the binding onto a list of query vertices. Returns `None` if
@@ -67,32 +134,68 @@ impl Binding {
         vertices.iter().map(|&v| self.get(v)).collect()
     }
 
+    /// Projects the binding onto `vertices`, appending to `out` (which is
+    /// *not* cleared). Returns `false` — leaving `out` partially filled — if
+    /// any vertex is unbound. The allocation-free twin of [`Self::project`].
+    #[inline]
+    pub fn project_into<const N: usize>(
+        &self,
+        vertices: &[QueryVertexId],
+        out: &mut SmallVec<VertexId, N>,
+    ) -> bool {
+        for &v in vertices {
+            match self.get(v) {
+                Some(dv) => out.push(dv),
+                None => return false,
+            }
+        }
+        true
+    }
+
     /// Merges `other` into a copy of `self`. Returns `None` on any conflict:
     /// a query vertex bound to different data vertices, or two query vertices
     /// bound to the same data vertex (injectivity across the merged binding).
     pub fn merge(&self, other: &Binding) -> Option<Binding> {
         debug_assert_eq!(self.slots.len(), other.slots.len());
         let mut merged = self.clone();
-        for (i, slot) in other.slots.iter().enumerate() {
-            if let Some(dv) = slot {
-                match merged.slots[i] {
-                    Some(existing) if existing != *dv => return None,
-                    Some(_) => {}
-                    None => {
-                        if merged
-                            .slots
-                            .iter()
-                            .enumerate()
-                            .any(|(j, s)| j != i && *s == Some(*dv))
-                        {
-                            return None;
-                        }
-                        merged.slots[i] = Some(*dv);
-                    }
+        if other.slots.len() <= 64 {
+            // Walk only the bound slots of `other` via its mask.
+            let mut remaining = other.mask;
+            while remaining != 0 {
+                let i = remaining.trailing_zeros() as usize;
+                remaining &= remaining - 1;
+                let dv = other.slots[i];
+                debug_assert_ne!(dv, UNBOUND, "mask bit set for bound slot");
+                if !merged.merge_slot(i, VertexId(dv)) {
+                    return None;
+                }
+            }
+        } else {
+            for (i, &slot) in other.slots.iter().enumerate() {
+                if slot != UNBOUND && !merged.merge_slot(i, VertexId(slot)) {
+                    return None;
                 }
             }
         }
         Some(merged)
+    }
+
+    /// Binds slot `i` to `dv` during a merge; `false` on conflict.
+    #[inline]
+    fn merge_slot(&mut self, i: usize, dv: VertexId) -> bool {
+        let existing = self.slots[i];
+        if existing != UNBOUND {
+            return existing == dv.0;
+        }
+        if self.maps_to(dv) {
+            return false; // injectivity: dv already used elsewhere
+        }
+        self.slots[i] = dv.0;
+        if i < 64 {
+            self.mask |= 1 << i;
+        }
+        self.bloom |= bloom_bit(dv);
+        true
     }
 }
 
@@ -102,7 +205,7 @@ pub struct PartialMatch {
     /// The vertex binding.
     pub binding: Binding,
     /// The data edge realising each covered query edge, sorted by query edge id.
-    pub edges: Vec<(QueryEdgeId, EdgeId)>,
+    pub edges: SmallVec<(QueryEdgeId, EdgeId), INLINE_EDGES>,
     /// Earliest data-edge timestamp in the match.
     pub earliest: Timestamp,
     /// Latest data-edge timestamp in the match.
@@ -111,44 +214,42 @@ pub struct PartialMatch {
 
 impl PartialMatch {
     /// Creates a match covering a single data edge.
-    pub fn seed(
-        vertex_count: usize,
-        qe: QueryEdgeId,
-        edge: EdgeId,
-        ts: Timestamp,
-    ) -> Self {
+    pub fn seed(vertex_count: usize, qe: QueryEdgeId, edge: EdgeId, ts: Timestamp) -> Self {
+        let mut edges = SmallVec::new();
+        edges.push((qe, edge));
         PartialMatch {
             binding: Binding::new(vertex_count),
-            edges: vec![(qe, edge)],
+            edges,
             earliest: ts,
             latest: ts,
         }
     }
 
     /// Number of query edges covered.
+    #[inline]
     pub fn edge_count(&self) -> usize {
         self.edges.len()
     }
 
     /// The time span `τ(g)` of the match.
+    #[inline]
     pub fn span(&self) -> Duration {
         self.latest - self.earliest
     }
 
     /// True if the span is strictly below the window (paper: `τ(g) < tW`).
+    #[inline]
     pub fn within_window(&self, window: Duration) -> bool {
         self.span().as_micros() < window.as_micros()
     }
 
     /// The data edge bound to a query edge, if covered.
     pub fn data_edge(&self, qe: QueryEdgeId) -> Option<EdgeId> {
-        self.edges
-            .iter()
-            .find(|(q, _)| *q == qe)
-            .map(|(_, e)| *e)
+        self.edges.iter().find(|(q, _)| *q == qe).map(|(_, e)| *e)
     }
 
     /// True if `edge` is one of the data edges of this match.
+    #[inline]
     pub fn uses_data_edge(&self, edge: EdgeId) -> bool {
         self.edges.iter().any(|(_, e)| *e == edge)
     }
@@ -160,7 +261,7 @@ impl PartialMatch {
         if self.edges.iter().any(|(q, e)| *q == qe || *e == edge) {
             return false;
         }
-        let pos = self.edges.partition_point(|(q, _)| *q < qe);
+        let pos = self.edges.as_slice().partition_point(|(q, _)| *q < qe);
         self.edges.insert(pos, (qe, edge));
         if ts < self.earliest {
             self.earliest = ts;
@@ -178,11 +279,12 @@ impl PartialMatch {
     pub fn merge(&self, other: &PartialMatch) -> Option<PartialMatch> {
         let binding = self.binding.merge(&other.binding)?;
         // Merge sorted edge lists, rejecting duplicates.
-        let mut edges = Vec::with_capacity(self.edges.len() + other.edges.len());
+        let mut edges: SmallVec<(QueryEdgeId, EdgeId), INLINE_EDGES> = SmallVec::new();
+        let (a, b) = (self.edges.as_slice(), other.edges.as_slice());
         let (mut i, mut j) = (0, 0);
-        while i < self.edges.len() && j < other.edges.len() {
-            let (qa, ea) = self.edges[i];
-            let (qb, eb) = other.edges[j];
+        while i < a.len() && j < b.len() {
+            let (qa, ea) = a[i];
+            let (qb, eb) = b[j];
             if qa == qb {
                 return None; // overlapping query edges
             }
@@ -194,13 +296,17 @@ impl PartialMatch {
                 j += 1;
             }
         }
-        edges.extend_from_slice(&self.edges[i..]);
-        edges.extend_from_slice(&other.edges[j..]);
-        // A data edge may realise only one query edge.
-        let mut data_edges: Vec<EdgeId> = edges.iter().map(|(_, e)| *e).collect();
-        data_edges.sort_unstable();
-        if data_edges.windows(2).any(|w| w[0] == w[1]) {
-            return None;
+        edges.extend_from_slice(&a[i..]);
+        edges.extend_from_slice(&b[j..]);
+        // A data edge may realise only one query edge. The list is short
+        // (bounded by the query size), so a pairwise scan beats sorting a
+        // scratch vector.
+        for (i, (_, e1)) in edges.iter().enumerate() {
+            for (_, e2) in &edges[i + 1..] {
+                if e1 == e2 {
+                    return None;
+                }
+            }
         }
         Some(PartialMatch {
             binding,
@@ -247,6 +353,21 @@ mod tests {
     }
 
     #[test]
+    fn bind_rejects_bloom_collisions_correctly() {
+        // v(1) and v(65) share a bloom bit (65 & 63 == 1): the filter must
+        // fall back to the exact scan and still allow the non-conflicting bind.
+        let mut b = Binding::new(3);
+        assert!(b.bind(QueryVertexId(0), v(1)));
+        assert!(
+            b.bind(QueryVertexId(1), v(65)),
+            "bloom collision is not a conflict"
+        );
+        // A genuine duplicate is still rejected.
+        assert!(!b.bind(QueryVertexId(2), v(1)));
+        assert!(!b.bind(QueryVertexId(2), v(65)));
+    }
+
+    #[test]
     fn projection_requires_all_vertices_bound() {
         let mut b = Binding::new(3);
         b.bind(QueryVertexId(0), v(5));
@@ -257,6 +378,19 @@ mod tests {
         );
         assert_eq!(b.project(&[QueryVertexId(1)]), None);
         assert_eq!(b.project(&[]), Some(vec![]));
+    }
+
+    #[test]
+    fn project_into_fills_without_allocating() {
+        let mut b = Binding::new(3);
+        b.bind(QueryVertexId(0), v(5));
+        b.bind(QueryVertexId(2), v(7));
+        let mut key: SmallVec<VertexId, 4> = SmallVec::new();
+        assert!(b.project_into(&[QueryVertexId(2), QueryVertexId(0)], &mut key));
+        assert!(key.is_inline());
+        assert_eq!(key.as_slice(), &[v(7), v(5)]);
+        key.clear();
+        assert!(!b.project_into(&[QueryVertexId(1)], &mut key));
     }
 
     #[test]
@@ -279,6 +413,36 @@ mod tests {
         let mut d = Binding::new(3);
         d.bind(QueryVertexId(2), v(1));
         assert!(a.merge(&d).is_none());
+    }
+
+    #[test]
+    fn merge_handles_bloom_aliased_vertices() {
+        // v(2) and v(66) alias in the bloom but are distinct vertices; the
+        // merge must accept them and still reject a true duplicate.
+        let mut a = Binding::new(3);
+        a.bind(QueryVertexId(0), v(2));
+        let mut b = Binding::new(3);
+        b.bind(QueryVertexId(1), v(66));
+        let merged = a.merge(&b).unwrap();
+        assert_eq!(merged.bound_count(), 2);
+
+        let mut c = Binding::new(3);
+        c.bind(QueryVertexId(2), v(2));
+        assert!(a.merge(&c).is_none());
+    }
+
+    #[test]
+    fn merge_walks_masks_beyond_inline_capacity() {
+        // Exercise the spilled-slot path (> INLINE_VERTICES vertices).
+        let n = INLINE_VERTICES + 4;
+        let mut a = Binding::new(n);
+        a.bind(QueryVertexId(0), v(100));
+        let mut b = Binding::new(n);
+        b.bind(QueryVertexId(n - 1), v(200));
+        let merged = a.merge(&b).unwrap();
+        assert_eq!(merged.get(QueryVertexId(0)), Some(v(100)));
+        assert_eq!(merged.get(QueryVertexId(n - 1)), Some(v(200)));
+        assert_eq!(merged.bound_count(), 2);
     }
 
     #[test]
@@ -334,5 +498,28 @@ mod tests {
         let a2 = PartialMatch::seed(2, QueryEdgeId(0), EdgeId(1), Timestamp::from_secs(9));
         assert_ne!(a.signature(), b.signature());
         assert_eq!(a.signature(), a2.signature());
+    }
+
+    #[test]
+    fn hot_path_structures_stay_inline_for_small_queries() {
+        // The zero-allocation guarantee of the hot path: bindings and edge
+        // lists of paper-sized queries never touch the heap.
+        let mut m = PartialMatch::seed(
+            INLINE_VERTICES,
+            QueryEdgeId(0),
+            EdgeId(1),
+            Timestamp::from_secs(1),
+        );
+        for i in 0..INLINE_VERTICES {
+            m.binding.bind(QueryVertexId(i), v(1000 + i as u32));
+        }
+        for q in 1..INLINE_EDGES {
+            assert!(m.add_edge(
+                QueryEdgeId(q),
+                EdgeId(1 + q as u64),
+                Timestamp::from_secs(1)
+            ));
+        }
+        assert!(m.edges.is_inline());
     }
 }

@@ -56,8 +56,12 @@ impl EngineCheckpoint {
         let mut live_edges: Vec<EdgeEvent> = graph
             .edges()
             .map(|edge| {
-                let src = graph.vertex(edge.src).expect("live edge has live endpoints");
-                let dst = graph.vertex(edge.dst).expect("live edge has live endpoints");
+                let src = graph
+                    .vertex(edge.src)
+                    .expect("live edge has live endpoints");
+                let dst = graph
+                    .vertex(edge.dst)
+                    .expect("live edge has live endpoints");
                 EdgeEvent {
                     src_key: graph.vertex_key(edge.src).unwrap_or_default().to_owned(),
                     src_type: graph
@@ -156,7 +160,9 @@ mod tests {
     #[test]
     fn restore_preserves_queries_window_state_and_future_matches() {
         let mut engine = ContinuousQueryEngine::with_defaults();
-        engine.register_query(pair_query(Duration::from_secs(100))).unwrap();
+        engine
+            .register_query(pair_query(Duration::from_secs(100)))
+            .unwrap();
         // One article already mentioned the keyword before the checkpoint.
         assert!(engine.process(&ev("a1", "rust", "mentions", 10)).is_empty());
 
@@ -179,7 +185,9 @@ mod tests {
     #[test]
     fn restore_does_not_re_emit_completed_matches() {
         let mut engine = ContinuousQueryEngine::with_defaults();
-        engine.register_query(pair_query(Duration::from_secs(100))).unwrap();
+        engine
+            .register_query(pair_query(Duration::from_secs(100)))
+            .unwrap();
         engine.process(&ev("a1", "rust", "mentions", 1));
         let matched = engine.process(&ev("a2", "rust", "mentions", 2));
         assert_eq!(matched.len(), 2);
@@ -195,7 +203,9 @@ mod tests {
     #[test]
     fn expired_edges_are_not_checkpointed() {
         let mut engine = ContinuousQueryEngine::with_defaults();
-        engine.register_query(pair_query(Duration::from_secs(30))).unwrap();
+        engine
+            .register_query(pair_query(Duration::from_secs(30)))
+            .unwrap();
         engine.process(&ev("a1", "rust", "mentions", 0));
         engine.process(&ev("a2", "go", "mentions", 1_000));
         let checkpoint = engine.checkpoint();
@@ -207,7 +217,9 @@ mod tests {
     #[test]
     fn json_round_trip_preserves_everything() {
         let mut engine = ContinuousQueryEngine::with_defaults();
-        engine.register_query(pair_query(Duration::from_secs(60))).unwrap();
+        engine
+            .register_query(pair_query(Duration::from_secs(60)))
+            .unwrap();
         engine.process(&ev("a1", "rust", "mentions", 5));
         let checkpoint = engine.checkpoint();
         let json = checkpoint.to_json().unwrap();
@@ -224,13 +236,18 @@ mod tests {
     #[test]
     fn checkpoint_preserves_edge_attributes() {
         let mut engine = ContinuousQueryEngine::with_defaults();
-        engine.register_query(pair_query(Duration::from_secs(3600))).unwrap();
+        engine
+            .register_query(pair_query(Duration::from_secs(3600)))
+            .unwrap();
         let event = ev("a1", "rust", "mentions", 1).with_attr("label", "politics");
         engine.process(&event);
 
         let checkpoint = engine.checkpoint();
         assert_eq!(
-            checkpoint.live_edges[0].attrs.get("label").and_then(|v| v.as_str()),
+            checkpoint.live_edges[0]
+                .attrs
+                .get("label")
+                .and_then(|v| v.as_str()),
             Some("politics")
         );
         let restored = checkpoint.restore();

@@ -6,7 +6,7 @@
 //! the stream later) the engine resolves every query-side name to the graph's
 //! id space. All hot-path checks then compare integers.
 
-use streamworks_graph::{Direction, DynamicGraph, Edge, TypeId, VertexId};
+use streamworks_graph::{DynamicGraph, Edge, TypeId, VertexId};
 use streamworks_query::{QueryEdgeId, QueryGraph, QueryVertexId};
 
 /// Resolution state of one type-name constraint.
@@ -77,6 +77,7 @@ impl CompiledConstraints {
     /// The resolved edge-type constraint for a query edge: `Ok(Some(t))` for a
     /// concrete type, `Ok(None)` for "any", `Err(())` for a type the graph has
     /// never seen (nothing can match).
+    #[allow(clippy::result_unit_err)] // Err(()) is a deliberate "nothing matches" marker
     pub fn edge_type_filter(&self, qe: QueryEdgeId) -> Result<Option<TypeId>, ()> {
         match self.etypes[qe.0] {
             Resolved::Any => Ok(None),
@@ -138,31 +139,6 @@ impl CompiledConstraints {
         self.vertex_matches(graph, query, q.src, edge.src)
             && self.vertex_matches(graph, query, q.dst, edge.dst)
     }
-
-    /// Iterates the candidate data edges for query edge `qe` around a bound
-    /// data vertex `dv` standing for query vertex `qv` (one endpoint of `qe`).
-    ///
-    /// Returns `None` when the query edge's type is unknown to the graph.
-    pub fn candidate_edges<'g>(
-        &self,
-        graph: &'g DynamicGraph,
-        query: &QueryGraph,
-        qe: QueryEdgeId,
-        qv: QueryVertexId,
-        dv: VertexId,
-    ) -> Option<Box<dyn Iterator<Item = &'g Edge> + 'g>> {
-        let q = query.edge(qe);
-        let dir = if q.src == qv {
-            Direction::Out
-        } else {
-            Direction::In
-        };
-        match self.edge_type_filter(qe) {
-            Err(()) => None,
-            Ok(Some(t)) => Some(Box::new(graph.incident_edges(dv, dir, t))),
-            Ok(None) => Some(Box::new(graph.incident_edges_any_type(dv, dir))),
-        }
-    }
 }
 
 #[cfg(test)]
@@ -174,13 +150,25 @@ mod tests {
     fn graph() -> DynamicGraph {
         let mut g = DynamicGraph::unbounded();
         g.ingest(
-            &EdgeEvent::new("a1", "Article", "k1", "Keyword", "mentions", Timestamp::from_secs(1))
-                .with_attr("weight", 3i64),
+            &EdgeEvent::new(
+                "a1",
+                "Article",
+                "k1",
+                "Keyword",
+                "mentions",
+                Timestamp::from_secs(1),
+            )
+            .with_attr("weight", 3i64),
         );
         let k1 = g.vertex_by_key("k1").unwrap();
         g.set_vertex_attr(k1, "label", "politics").unwrap();
         g.ingest(&EdgeEvent::new(
-            "a1", "Article", "l1", "Location", "located", Timestamp::from_secs(2),
+            "a1",
+            "Article",
+            "l1",
+            "Location",
+            "located",
+            Timestamp::from_secs(2),
         ));
         g
     }
@@ -200,8 +188,14 @@ mod tests {
         let g = graph();
         let q = query();
         let c = CompiledConstraints::compile(&q, &g);
-        let mention_edge = g.edges().find(|e| g.edge_type_name(e.etype) == Some("mentions")).unwrap();
-        let located_edge = g.edges().find(|e| g.edge_type_name(e.etype) == Some("located")).unwrap();
+        let mention_edge = g
+            .edges()
+            .find(|e| g.edge_type_name(e.etype) == Some("mentions"))
+            .unwrap();
+        let located_edge = g
+            .edges()
+            .find(|e| g.edge_type_name(e.etype) == Some("located"))
+            .unwrap();
         assert!(c.edge_matches(&g, &q, streamworks_query::QueryEdgeId(0), mention_edge));
         assert!(!c.edge_matches(&g, &q, streamworks_query::QueryEdgeId(0), located_edge));
     }
@@ -212,7 +206,12 @@ mod tests {
         let q = query();
         // Add a second mention whose keyword lacks the politics label.
         g.ingest(&EdgeEvent::new(
-            "a2", "Article", "k2", "Keyword", "mentions", Timestamp::from_secs(3),
+            "a2",
+            "Article",
+            "k2",
+            "Keyword",
+            "mentions",
+            Timestamp::from_secs(3),
         ));
         let c = CompiledConstraints::compile(&q, &g);
         let bad_edge = g
@@ -225,38 +224,27 @@ mod tests {
     #[test]
     fn unknown_types_match_nothing_until_refresh() {
         let mut g = DynamicGraph::unbounded();
-        g.ingest(&EdgeEvent::new("x", "Host", "y", "Host", "flow", Timestamp::from_secs(1)));
+        g.ingest(&EdgeEvent::new(
+            "x",
+            "Host",
+            "y",
+            "Host",
+            "flow",
+            Timestamp::from_secs(1),
+        ));
         let q = query(); // references Article/Keyword/mentions, unseen so far
         let mut c = CompiledConstraints::compile(&q, &g);
         assert_eq!(c.edge_type_filter(QueryEdgeId(0)), Err(()));
         // Once the graph sees the types, refresh resolves them.
         g.ingest(&EdgeEvent::new(
-            "a1", "Article", "k1", "Keyword", "mentions", Timestamp::from_secs(2),
+            "a1",
+            "Article",
+            "k1",
+            "Keyword",
+            "mentions",
+            Timestamp::from_secs(2),
         ));
         c.refresh(&q, &g);
         assert!(matches!(c.edge_type_filter(QueryEdgeId(0)), Ok(Some(_))));
-    }
-
-    #[test]
-    fn candidate_edges_follow_direction_and_type() {
-        let g = graph();
-        let q = query();
-        let c = CompiledConstraints::compile(&q, &g);
-        let a1 = g.vertex_by_key("a1").unwrap();
-        let k1 = g.vertex_by_key("k1").unwrap();
-        let qv_a = q.vertex_by_name("a").unwrap().id;
-        let qv_k = q.vertex_by_name("k").unwrap().id;
-        // From the article side, follow mentions outwards.
-        let from_a: Vec<_> = c
-            .candidate_edges(&g, &q, QueryEdgeId(0), qv_a, a1)
-            .unwrap()
-            .collect();
-        assert_eq!(from_a.len(), 1);
-        // From the keyword side, follow mentions inwards.
-        let from_k: Vec<_> = c
-            .candidate_edges(&g, &q, QueryEdgeId(0), qv_k, k1)
-            .unwrap()
-            .collect();
-        assert_eq!(from_k.len(), 1);
     }
 }

@@ -11,7 +11,6 @@ use crate::config::EngineConfig;
 use crate::event::{CollectingSink, EventSink, MatchEvent, QueryId};
 use crate::metrics::QueryMetrics;
 use crate::sj_matcher::SjTreeMatcher;
-use streamworks_graph::hash::FxHashMap;
 use streamworks_graph::{
     Duration, DynamicGraph, EdgeEvent, EdgeId, GraphConfig, GraphStats, TypeId,
 };
@@ -30,6 +29,78 @@ struct EdgeTypeInfo {
     dst_vtype: TypeId,
 }
 
+/// Id-indexed storage for [`EdgeTypeInfo`], mirroring the graph's dense edge
+/// slab: edge ids are sequential and expire nearly in order, so a deque with
+/// a base offset replaces a hash map on the per-edge path. Stragglers that
+/// would pin the band (timestamp-skewed producers) spill to a small overflow
+/// map so memory stays proportional to the live edge count.
+#[derive(Debug, Default)]
+struct EdgeTypeSlab {
+    base: u64,
+    slots: std::collections::VecDeque<Option<EdgeTypeInfo>>,
+    overflow: streamworks_graph::hash::FxHashMap<EdgeId, EdgeTypeInfo>,
+    live: usize,
+}
+
+impl EdgeTypeSlab {
+    fn insert(&mut self, id: EdgeId, info: EdgeTypeInfo) {
+        if self.slots.is_empty() && self.overflow.is_empty() {
+            self.base = id.0;
+        }
+        let Some(idx) = id.0.checked_sub(self.base) else {
+            return; // before the live band: an edge that expired on ingest
+        };
+        let idx = idx as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        if self.slots[idx].replace(info).is_none() {
+            self.live += 1;
+        }
+        if self.slots.len() > 4 * self.live + 1024 {
+            self.evict_stragglers();
+        }
+    }
+
+    fn remove(&mut self, id: EdgeId) -> Option<EdgeTypeInfo> {
+        let Some(idx) = id.0.checked_sub(self.base) else {
+            let removed = self.overflow.remove(&id);
+            if removed.is_some() {
+                self.live -= 1;
+            }
+            return removed;
+        };
+        let info = self.slots.get_mut(idx as usize)?.take();
+        if info.is_some() {
+            self.live -= 1;
+            while matches!(self.slots.front(), Some(None)) {
+                self.slots.pop_front();
+                self.base += 1;
+            }
+        }
+        info
+    }
+
+    /// Spills live entries pinning the front of an oversized band into the
+    /// overflow map (see `EdgeSlab::evict_stragglers` in `streamworks-graph`).
+    fn evict_stragglers(&mut self) {
+        while self.slots.len() > 4 * self.live + 1024 {
+            match self.slots.pop_front() {
+                Some(Some(info)) => {
+                    self.overflow.insert(EdgeId(self.base), info);
+                    self.base += 1;
+                }
+                Some(None) => self.base += 1,
+                None => break,
+            }
+            while matches!(self.slots.front(), Some(None)) {
+                self.slots.pop_front();
+                self.base += 1;
+            }
+        }
+    }
+}
+
 /// The StreamWorks continuous-query engine.
 pub struct ContinuousQueryEngine {
     config: EngineConfig,
@@ -37,9 +108,11 @@ pub struct ContinuousQueryEngine {
     summary: GraphSummary,
     matchers: Vec<SjTreeMatcher>,
     /// Type info of live edges, used to update the summary on expiry.
-    live_edge_types: FxHashMap<EdgeId, EdgeTypeInfo>,
+    live_edge_types: EdgeTypeSlab,
     edges_since_prune: u64,
     events_emitted: u64,
+    /// Reusable buffer for complete matches produced per event.
+    match_scratch: Vec<PartialMatch>,
 }
 
 impl ContinuousQueryEngine {
@@ -53,9 +126,10 @@ impl ContinuousQueryEngine {
             summary: GraphSummary::with_config(config.summary),
             graph,
             matchers: Vec::new(),
-            live_edge_types: FxHashMap::default(),
+            live_edge_types: EdgeTypeSlab::default(),
             edges_since_prune: 0,
             events_emitted: 0,
+            match_scratch: Vec::new(),
             config,
         }
     }
@@ -114,7 +188,11 @@ impl ContinuousQueryEngine {
     /// Plans a query with the default (selectivity-ordered) strategy using the
     /// engine's current summaries, then registers it.
     pub fn register_query(&mut self, query: QueryGraph) -> Result<QueryId, QueryError> {
-        self.register_query_with(query, &SelectivityOrdered::default(), TreeShapeKind::LeftDeep)
+        self.register_query_with(
+            query,
+            &SelectivityOrdered::default(),
+            TreeShapeKind::LeftDeep,
+        )
     }
 
     /// Plans a query with an explicit decomposition strategy and tree shape,
@@ -226,18 +304,24 @@ impl ContinuousQueryEngine {
     /// Processes one edge event, delivering matches to `sink`.
     /// Returns the number of matches emitted.
     pub fn process_with_sink(&mut self, event: &EdgeEvent, sink: &mut dyn EventSink) -> usize {
+        self.process_event_inner(event, sink)
+    }
+
+    fn process_event_inner(&mut self, event: &EdgeEvent, sink: &mut dyn EventSink) -> usize {
         // 1. Update the graph.
         let result = self.graph.ingest(event);
 
-        // 2. Update the summary (vertices, new edge, expired edges).
-        let Some(edge) = self.graph.edge(result.edge).cloned() else {
+        // 2. Update the summary (vertices, new edge, expired edges). The edge
+        // is borrowed from the graph for the whole step — matchers, summary
+        // and sinks all take the graph immutably, so no clone is needed.
+        let Some(edge) = self.graph.edge(result.edge) else {
             // The event arrived so late that it is already outside the
             // retention horizon: the graph expired it on ingest. It cannot
             // participate in any within-window match (every edge it could
             // combine with has expired too), so only account the expiries it
             // caused and move on.
             for expired in &result.expired {
-                if let Some(info) = self.live_edge_types.remove(expired) {
+                if let Some(info) = self.live_edge_types.remove(*expired) {
                     if self.config.maintain_summary {
                         self.summary
                             .observe_expiry(info.src_vtype, info.etype, info.dst_vtype);
@@ -257,10 +341,18 @@ impl ContinuousQueryEngine {
                     self.summary.observe_vertex(v.vtype);
                 }
             }
-            self.summary.observe_insertion(&self.graph, &edge);
+            self.summary.observe_insertion(&self.graph, edge);
         }
-        let src_vtype = self.graph.vertex(edge.src).map(|v| v.vtype).unwrap_or(TypeId(0));
-        let dst_vtype = self.graph.vertex(edge.dst).map(|v| v.vtype).unwrap_or(TypeId(0));
+        let src_vtype = self
+            .graph
+            .vertex(edge.src)
+            .map(|v| v.vtype)
+            .unwrap_or(TypeId(0));
+        let dst_vtype = self
+            .graph
+            .vertex(edge.dst)
+            .map(|v| v.vtype)
+            .unwrap_or(TypeId(0));
         self.live_edge_types.insert(
             edge.id,
             EdgeTypeInfo {
@@ -270,7 +362,7 @@ impl ContinuousQueryEngine {
             },
         );
         for expired in &result.expired {
-            if let Some(info) = self.live_edge_types.remove(expired) {
+            if let Some(info) = self.live_edge_types.remove(*expired) {
                 if self.config.maintain_summary {
                     self.summary
                         .observe_expiry(info.src_vtype, info.etype, info.dst_vtype);
@@ -280,10 +372,10 @@ impl ContinuousQueryEngine {
 
         // 3. Run every registered matcher.
         let mut emitted = 0usize;
-        let mut complete: Vec<PartialMatch> = Vec::new();
+        let mut complete = std::mem::take(&mut self.match_scratch);
         for (idx, matcher) in self.matchers.iter_mut().enumerate() {
             complete.clear();
-            matcher.process_edge(&self.graph, &edge, &mut complete);
+            matcher.process_edge(&self.graph, edge, &mut complete);
             for m in complete.drain(..) {
                 let event =
                     MatchEvent::from_match(QueryId(idx), &matcher.plan().query, &self.graph, &m);
@@ -291,9 +383,14 @@ impl ContinuousQueryEngine {
                 emitted += 1;
             }
         }
+        self.match_scratch = complete;
         self.events_emitted += emitted as u64;
 
-        // 4. Periodic partial-match pruning.
+        // 4. Periodic partial-match pruning. The cadence is preserved even
+        // inside batches: deferring pruning to the batch boundary measurably
+        // *hurts* (unpruned partial matches bloat the sibling collections
+        // every join probes), so batching only amortises the trailing
+        // partial interval, never a full `prune_every` window.
         self.edges_since_prune += 1;
         if self.edges_since_prune >= self.config.prune_every {
             self.prune_now();
@@ -302,15 +399,38 @@ impl ContinuousQueryEngine {
     }
 
     /// Processes a batch of events, returning all matches in arrival order.
+    ///
+    /// Reports exactly the same matches as calling [`Self::process`] per
+    /// event. The batch path amortises the per-event overheads the streaming
+    /// path cannot avoid — one sink and one scratch set are reused across the
+    /// whole batch instead of materialising a `Vec<MatchEvent>` per event —
+    /// and finishes with a single partial-match prune covering the trailing
+    /// sub-interval of the prune cadence.
     pub fn process_batch<'a>(
         &mut self,
         events: impl IntoIterator<Item = &'a EdgeEvent>,
     ) -> Vec<MatchEvent> {
         let mut sink = CollectingSink::new();
-        for ev in events {
-            self.process_with_sink(ev, &mut sink);
-        }
+        self.process_batch_with_sink(events, &mut sink);
         sink.into_events()
+    }
+
+    /// Batch twin of [`Self::process_with_sink`]; returns matches emitted.
+    pub fn process_batch_with_sink<'a>(
+        &mut self,
+        events: impl IntoIterator<Item = &'a EdgeEvent>,
+        sink: &mut dyn EventSink,
+    ) -> usize {
+        let mut emitted = 0usize;
+        for ev in events {
+            emitted += self.process_event_inner(ev, sink);
+        }
+        // Cover the trailing partial prune interval so a sequence of batches
+        // never carries more than `prune_every` edges of stale partials.
+        if self.edges_since_prune > 0 {
+            self.prune_now();
+        }
+        emitted
     }
 
     /// Prunes expired partial matches in every matcher immediately.
@@ -320,11 +440,6 @@ impl ContinuousQueryEngine {
             matcher.prune(now);
         }
         self.edges_since_prune = 0;
-        // Also drop type info of edges the graph no longer retains.
-        if self.live_edge_types.len() > 2 * self.graph.live_edge_count() + 1024 {
-            let graph = &self.graph;
-            self.live_edge_types.retain(|id, _| graph.is_live(*id));
-        }
     }
 }
 
@@ -512,7 +627,11 @@ mod tests {
 
         // Unknown ids are rejected.
         assert!(engine
-            .replan_query(QueryId(99), &SelectivityOrdered::default(), TreeShapeKind::LeftDeep)
+            .replan_query(
+                QueryId(99),
+                &SelectivityOrdered::default(),
+                TreeShapeKind::LeftDeep
+            )
             .is_err());
     }
 
@@ -524,11 +643,7 @@ mod tests {
             .unwrap();
         engine.process(&ev("a1", "Article", "k1", "Keyword", "mentions", 1));
         let matches = engine.process(&ev("a2", "Article", "k1", "Keyword", "mentions", 2));
-        let keys: Vec<_> = matches[0]
-            .bindings
-            .iter()
-            .map(|b| b.key.as_str())
-            .collect();
+        let keys: Vec<_> = matches[0].bindings.iter().map(|b| b.key.as_str()).collect();
         assert!(keys.contains(&"a1"));
         assert!(keys.contains(&"a2"));
         assert!(keys.contains(&"k1"));

@@ -184,7 +184,12 @@ mod tests {
     fn sample_event() -> (DynamicGraph, QueryGraph, PartialMatch) {
         let mut g = DynamicGraph::unbounded();
         let r = g.ingest(&EdgeEvent::new(
-            "a1", "Article", "k1", "Keyword", "mentions", Timestamp::from_secs(5),
+            "a1",
+            "Article",
+            "k1",
+            "Keyword",
+            "mentions",
+            Timestamp::from_secs(5),
         ));
         let q = QueryGraphBuilder::new("demo")
             .vertex("a", "Article")

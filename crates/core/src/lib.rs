@@ -47,7 +47,6 @@ mod sj_matcher;
 pub use adaptive::{AdaptiveConfig, AdaptiveReplanner, ReplanDecision, ReplanStrategy};
 pub use binding::{Binding, PartialMatch};
 pub use checkpoint::EngineCheckpoint;
-pub use parallel::{ParallelRunOutcome, ParallelRunner};
 pub use config::EngineConfig;
 pub use constraints::CompiledConstraints;
 pub use engine::ContinuousQueryEngine;
@@ -57,4 +56,5 @@ pub use event::{
 pub use local_search::{find_primitive_matches, LocalSearchStats};
 pub use match_store::{JoinKey, MatchHandle, MatchStore};
 pub use metrics::QueryMetrics;
+pub use parallel::{ParallelRunOutcome, ParallelRunner};
 pub use sj_matcher::SjTreeMatcher;

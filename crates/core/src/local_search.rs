@@ -13,8 +13,13 @@
 
 use crate::binding::PartialMatch;
 use crate::constraints::CompiledConstraints;
-use streamworks_graph::{Duration, DynamicGraph, Edge};
+use smallvec::SmallVec;
+use streamworks_graph::{Direction, Duration, DynamicGraph, Edge};
 use streamworks_query::{QueryEdgeId, QueryGraph};
+
+/// Inline capacity of the remaining-edge worklists: primitives are small
+/// (1–3 edges typically), so the backtracking search allocates nothing.
+type EdgeList = SmallVec<QueryEdgeId, 8>;
 
 /// Statistics from one local-search invocation (fed into the per-query metrics).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,39 +45,67 @@ pub fn find_primitive_matches(
 ) -> LocalSearchStats {
     let mut stats = LocalSearchStats::default();
     for &anchor in primitive_edges {
-        if !constraints.edge_matches(graph, query, anchor, new_edge) {
-            continue;
-        }
-        let q = query.edge(anchor);
-        let mut seed = PartialMatch::seed(
-            query.vertex_count(),
-            anchor,
-            new_edge.id,
-            new_edge.timestamp,
-        );
-        if !seed.binding.bind(q.src, new_edge.src) {
-            continue;
-        }
-        if !seed.binding.bind(q.dst, new_edge.dst) {
-            continue;
-        }
-        let remaining: Vec<QueryEdgeId> = primitive_edges
-            .iter()
-            .copied()
-            .filter(|&e| e != anchor)
-            .collect();
-        extend(
+        find_primitive_matches_anchored(
             graph,
             query,
             constraints,
-            &remaining,
-            seed,
+            primitive_edges,
+            anchor,
+            new_edge,
             window,
             out,
             &mut stats,
         );
     }
     stats
+}
+
+/// Finds the embeddings of `primitive_edges` in which `new_edge` realises the
+/// specific query edge `anchor`. Used by the matcher's per-type anchor index,
+/// which has already narrowed the anchors compatible with `new_edge`'s type.
+#[allow(clippy::too_many_arguments)]
+pub fn find_primitive_matches_anchored(
+    graph: &DynamicGraph,
+    query: &QueryGraph,
+    constraints: &CompiledConstraints,
+    primitive_edges: &[QueryEdgeId],
+    anchor: QueryEdgeId,
+    new_edge: &Edge,
+    window: Duration,
+    out: &mut Vec<PartialMatch>,
+    stats: &mut LocalSearchStats,
+) {
+    if !constraints.edge_matches(graph, query, anchor, new_edge) {
+        return;
+    }
+    let q = query.edge(anchor);
+    let mut seed = PartialMatch::seed(
+        query.vertex_count(),
+        anchor,
+        new_edge.id,
+        new_edge.timestamp,
+    );
+    if !seed.binding.bind(q.src, new_edge.src) {
+        return;
+    }
+    if !seed.binding.bind(q.dst, new_edge.dst) {
+        return;
+    }
+    let remaining: EdgeList = primitive_edges
+        .iter()
+        .copied()
+        .filter(|&e| e != anchor)
+        .collect();
+    extend(
+        graph,
+        query,
+        constraints,
+        &remaining,
+        seed,
+        window,
+        out,
+        stats,
+    );
 }
 
 /// Recursive extension over the remaining query edges of the primitive.
@@ -107,12 +140,12 @@ fn extend(
         .map(|(i, _)| i)
         .unwrap_or(0);
     let qe = remaining[pick];
-    let rest: Vec<QueryEdgeId> = remaining
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| *i != pick)
-        .map(|(_, &e)| e)
-        .collect();
+    let mut rest: EdgeList = SmallVec::new();
+    for (i, &e) in remaining.iter().enumerate() {
+        if i != pick {
+            rest.push(e);
+        }
+    }
 
     let q = query.edge(qe);
     let src_bound = current.binding.get(q.src);
@@ -124,37 +157,98 @@ fn extend(
         (None, Some(dv)) => (q.dst, dv),
         (None, None) => {
             // Disconnected primitive (should not happen for validated plans):
-            // fall back to scanning all live edges of the constrained type.
+            // fall back to scanning all live edges with the full checks.
             for edge in graph.edges() {
                 stats.candidates_examined += 1;
-                try_candidate(
-                    graph, query, constraints, qe, edge, &current, &rest, window, out, stats,
-                );
+                if !constraints.edge_matches(graph, query, qe, edge) {
+                    continue;
+                }
+                if current.uses_data_edge(edge.id) {
+                    continue;
+                }
+                let q = query.edge(qe);
+                let mut next = current.clone();
+                if !next.binding.bind(q.src, edge.src) || !next.binding.bind(q.dst, edge.dst) {
+                    continue;
+                }
+                if !next.add_edge(qe, edge.id, edge.timestamp) {
+                    continue;
+                }
+                if !next.within_window(window) {
+                    continue;
+                }
+                extend(graph, query, constraints, &rest, next, window, out, stats);
             }
             return;
         }
     };
 
-    let Some(candidates) = constraints.candidate_edges(graph, query, qe, anchor_qv, anchor_dv)
-    else {
-        return; // query edge type unknown to the graph: no candidates
+    // Walk the type-filtered neighbourhood of the anchor directly (no boxed
+    // iterator, no collected scratch vector). The typed iterator already
+    // guarantees the edge type, and the anchor endpoint was validated when it
+    // was bound, so each candidate only needs its *far* endpoint checked.
+    let anchor_is_src = q.src == anchor_qv;
+    let dir = if anchor_is_src {
+        Direction::Out
+    } else {
+        Direction::In
     };
-    // `candidate_edges` borrows the graph; collect ids to keep the borrow short.
-    let candidates: Vec<&Edge> = candidates.collect();
-    for edge in candidates {
-        stats.candidates_examined += 1;
-        try_candidate(
-            graph, query, constraints, qe, edge, &current, &rest, window, out, stats,
-        );
+    match constraints.edge_type_filter(qe) {
+        Err(()) => {} // query edge type unknown to the graph: no candidates
+        Ok(Some(t)) => {
+            for edge in graph.incident_edges(anchor_dv, dir, t) {
+                stats.candidates_examined += 1;
+                try_extension(
+                    graph,
+                    query,
+                    constraints,
+                    qe,
+                    anchor_is_src,
+                    edge,
+                    &current,
+                    &rest,
+                    window,
+                    out,
+                    stats,
+                );
+            }
+        }
+        Ok(None) => {
+            for edge in graph.incident_edges_any_type(anchor_dv, dir) {
+                stats.candidates_examined += 1;
+                try_extension(
+                    graph,
+                    query,
+                    constraints,
+                    qe,
+                    anchor_is_src,
+                    edge,
+                    &current,
+                    &rest,
+                    window,
+                    out,
+                    stats,
+                );
+            }
+        }
     }
 }
 
+/// Attempts to extend `current` with a neighbourhood candidate for `qe`.
+///
+/// Precondition (guaranteed by `extend`): the candidate's edge type satisfies
+/// `qe`'s type constraint and its anchor-side endpoint is already bound and
+/// validated, so only edge predicates and the far endpoint are (re)checked —
+/// and the far endpoint only when it is newly bound (an already-bound far
+/// vertex was validated when it was first bound, and `bind` rejects
+/// mismatches).
 #[allow(clippy::too_many_arguments)]
-fn try_candidate(
+fn try_extension(
     graph: &DynamicGraph,
     query: &QueryGraph,
     constraints: &CompiledConstraints,
     qe: QueryEdgeId,
+    anchor_is_src: bool,
     edge: &Edge,
     current: &PartialMatch,
     rest: &[QueryEdgeId],
@@ -165,10 +259,20 @@ fn try_candidate(
     if current.uses_data_edge(edge.id) {
         return;
     }
-    if !constraints.edge_matches(graph, query, qe, edge) {
+    let q = query.edge(qe);
+    if !q.predicates.iter().all(|p| p.matches(&edge.attrs)) {
         return;
     }
-    let q = query.edge(qe);
+    let (far_qv, far_dv) = if anchor_is_src {
+        (q.dst, edge.dst)
+    } else {
+        (q.src, edge.src)
+    };
+    if current.binding.get(far_qv).is_none()
+        && !constraints.vertex_matches(graph, query, far_qv, far_dv)
+    {
+        return;
+    }
     let mut next = current.clone();
     if !next.binding.bind(q.src, edge.src) || !next.binding.bind(q.dst, edge.dst) {
         return;
@@ -201,8 +305,23 @@ mod tests {
             .unwrap()
     }
 
-    fn ingest(g: &mut DynamicGraph, src: &str, st: &str, dst: &str, dt: &str, et: &str, t: i64) -> Edge {
-        let r = g.ingest(&EdgeEvent::new(src, st, dst, dt, et, Timestamp::from_secs(t)));
+    fn ingest(
+        g: &mut DynamicGraph,
+        src: &str,
+        st: &str,
+        dst: &str,
+        dt: &str,
+        et: &str,
+        t: i64,
+    ) -> Edge {
+        let r = g.ingest(&EdgeEvent::new(
+            src,
+            st,
+            dst,
+            dt,
+            et,
+            Timestamp::from_secs(t),
+        ));
         g.edge(r.edge).unwrap().clone()
     }
 
@@ -301,12 +420,28 @@ mod tests {
         let mention = ingest(&mut g, "a1", "Article", "k1", "Keyword", "mentions", 1);
         let c = CompiledConstraints::compile(&q, &g);
         let mut out = Vec::new();
-        find_primitive_matches(&g, &q, &c, &[QueryEdgeId(0)], &mention, q.window(), &mut out);
+        find_primitive_matches(
+            &g,
+            &q,
+            &c,
+            &[QueryEdgeId(0)],
+            &mention,
+            q.window(),
+            &mut out,
+        );
         assert_eq!(out.len(), 1);
         // The located edge does not match the mentions primitive.
         let located = ingest(&mut g, "a1", "Article", "l1", "Location", "located", 2);
         out.clear();
-        find_primitive_matches(&g, &q, &c, &[QueryEdgeId(0)], &located, q.window(), &mut out);
+        find_primitive_matches(
+            &g,
+            &q,
+            &c,
+            &[QueryEdgeId(0)],
+            &located,
+            q.window(),
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 

@@ -7,35 +7,94 @@
 //! window-based expiry so stale partial matches do not accumulate (§2.1's
 //! `τ(g) < tW` applies to partial matches too — anything outside the window
 //! can never complete).
+//!
+//! Hot-path representation:
+//!
+//! * [`JoinKey`] is an inline small-vector (cuts of real queries are 1–2
+//!   vertices; up to 4 stay allocation-free), and [`MatchStore::candidates`]
+//!   accepts a **borrowed** `&[VertexId]`, so probing a sibling's collection
+//!   never materialises an owned key.
+//! * Slots are recycled through a free list (long streams no longer grow the
+//!   slab unboundedly) with generation-tagged [`MatchHandle`]s so a handle to
+//!   an expired match can never observe its slot's next tenant.
+//! * Each occupied slot remembers its position inside its key bucket, making
+//!   the unlink on expiry a swap-remove instead of an O(bucket) scan.
+//! * The store maintains a running maximum of covered query edges per live
+//!   match, so "best partial match" queries are O(1) reads instead of full
+//!   scans.
+//! * Join indexing is **lazy**: a freshly inserted match is queued in an
+//!   unindexed backlog and only added to the key index when the sibling node
+//!   next probes this store. Under asymmetric leaf selectivities — the regime
+//!   the selectivity-ordered decomposition deliberately creates — the
+//!   non-selective side accumulates thousands of partial matches that expire
+//!   without ever being probed; those now skip the hash index entirely, both
+//!   on insert and on expiry.
 
 use crate::binding::PartialMatch;
+use smallvec::SmallVec;
 use streamworks_graph::hash::FxHashMap;
 use streamworks_graph::{Timestamp, VertexId};
 use streamworks_query::QueryVertexId;
 
 /// Handle of a partial match within one [`MatchStore`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct MatchHandle(usize);
+///
+/// Handles are generation-tagged: once the match expires, the handle goes
+/// permanently stale even if its slot is recycled for a new match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MatchHandle {
+    index: u32,
+    generation: u32,
+}
+
+/// One key's handles. Most join keys index one or two matches at a time, so
+/// buckets stay inline and inserting under a fresh key allocates nothing.
+type Bucket = SmallVec<MatchHandle, 3>;
 
 /// The join-key projection of a binding: the data vertices bound to the cut
-/// vertices, in cut order.
-pub type JoinKey = Vec<VertexId>;
+/// vertices, in cut order. Inline up to 4 cut vertices — covering every plan
+/// the decomposition strategies produce — so key construction is
+/// allocation-free.
+pub type JoinKey = SmallVec<VertexId, 4>;
+
+/// One slab slot: the match plus its location in the key index.
+#[derive(Debug)]
+struct Slot {
+    m: Option<PartialMatch>,
+    /// Incremented every time the slot's occupant is removed.
+    generation: u32,
+    /// Position of this slot's handle within its `by_key` bucket
+    /// (meaningful only when `indexed`).
+    bucket_pos: u32,
+    /// True once the occupant has been added to the key index.
+    indexed: bool,
+}
 
 /// Partial-match collection of one SJ-Tree node.
 #[derive(Debug, Default)]
 pub struct MatchStore {
     /// The query vertices this store projects on (the parent's cut).
     key_vertices: Vec<QueryVertexId>,
-    /// Slab of matches; `None` marks expired/removed entries.
-    slots: Vec<Option<PartialMatch>>,
+    /// Slab of matches; expired slots are recycled via `free`.
+    slots: Vec<Slot>,
+    /// Indices of vacant slots, reused before the slab grows.
+    free: Vec<u32>,
     /// Hash index from join key to the handles of matches with that key.
-    by_key: FxHashMap<JoinKey, Vec<MatchHandle>>,
+    /// Populated lazily: see `unindexed`.
+    by_key: FxHashMap<JoinKey, Bucket>,
+    /// Handles inserted since the last probe, not yet in `by_key`. Entries
+    /// may be stale (expired before ever being probed); staleness is detected
+    /// by the generation tag when the backlog is drained.
+    unindexed: Vec<MatchHandle>,
     /// Live matches ordered (approximately) by earliest timestamp for expiry.
     /// Entries may be stale (already removed); they are skipped during expiry.
     expiry_queue: std::collections::VecDeque<(Timestamp, MatchHandle)>,
     live: usize,
     inserted_total: u64,
     expired_total: u64,
+    /// Running maximum of `edge_count()` over live matches. Maintained
+    /// incrementally on insert; recomputed after an expiry round only if a
+    /// maximal match was removed.
+    max_edges: usize,
 }
 
 impl MatchStore {
@@ -72,48 +131,161 @@ impl MatchStore {
         self.expired_total
     }
 
-    fn key_of(&self, m: &PartialMatch) -> Option<JoinKey> {
-        m.binding.project(&self.key_vertices)
+    /// Number of slab slots (live + vacant); exposed for capacity tests.
+    pub fn slot_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Largest number of query edges covered by any live match (0 if empty).
+    pub fn best_edge_count(&self) -> usize {
+        self.max_edges
+    }
+
+    /// Computes the join key this store uses for `m` (projection onto the
+    /// store's key vertices). `None` if the match does not bind them all.
+    pub fn join_key_for(&self, m: &PartialMatch) -> Option<JoinKey> {
+        let mut key = JoinKey::new();
+        if m.binding.project_into(&self.key_vertices, &mut key) {
+            Some(key)
+        } else {
+            None
+        }
     }
 
     /// Inserts a partial match, returning its handle. The caller must ensure
     /// the match binds every join-key vertex (true for matches that cover the
     /// node's full subgraph).
+    ///
+    /// The match is *not* hashed into the key index yet — it joins the index
+    /// the next time the sibling probes (see the module docs on lazy
+    /// indexing), so inserting performs no hash-map operation at all.
     pub fn insert(&mut self, m: PartialMatch) -> MatchHandle {
-        let key = self.key_of(&m).unwrap_or_default();
         let earliest = m.earliest;
-        let handle = MatchHandle(self.slots.len());
-        self.slots.push(Some(m));
-        self.by_key.entry(key).or_default().push(handle);
+        let edge_count = m.edge_count();
+
+        // Claim a slot: recycle a vacant one before growing the slab.
+        let index = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                let i = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    m: None,
+                    generation: 0,
+                    bucket_pos: 0,
+                    indexed: false,
+                });
+                i
+            }
+        };
+        let handle = MatchHandle {
+            index,
+            generation: self.slots[index as usize].generation,
+        };
+        let slot = &mut self.slots[index as usize];
+        slot.m = Some(m);
+        slot.indexed = false;
+
+        self.unindexed.push(handle);
         self.expiry_queue.push_back((earliest, handle));
         self.live += 1;
         self.inserted_total += 1;
+        self.max_edges = self.max_edges.max(edge_count);
         handle
+    }
+
+    /// Drains the unindexed backlog into the key index (called on probe).
+    fn flush_index(&mut self) {
+        while let Some(handle) = self.unindexed.pop() {
+            let slot = &self.slots[handle.index as usize];
+            if slot.generation != handle.generation || slot.m.is_none() {
+                continue; // expired before ever being probed
+            }
+            let key = self
+                .join_key_for(slot.m.as_ref().expect("checked live"))
+                .expect("stored match binds its join key");
+            let bucket = self.by_key.entry(key).or_default();
+            let pos = bucket.len() as u32;
+            bucket.push(handle);
+            let slot = &mut self.slots[handle.index as usize];
+            slot.bucket_pos = pos;
+            slot.indexed = true;
+        }
     }
 
     /// Fetches a live match by handle.
     pub fn get(&self, handle: MatchHandle) -> Option<&PartialMatch> {
-        self.slots.get(handle.0).and_then(|s| s.as_ref())
+        let slot = self.slots.get(handle.index as usize)?;
+        if slot.generation != handle.generation {
+            return None;
+        }
+        slot.m.as_ref()
     }
 
     /// Iterates the live matches whose join-key projection equals `key`.
-    pub fn candidates<'a>(&'a self, key: &JoinKey) -> impl Iterator<Item = &'a PartialMatch> + 'a {
+    ///
+    /// The key is a borrowed slice: probing allocates nothing. Takes `&mut`
+    /// because a probe first drains the unindexed backlog into the key index.
+    #[inline]
+    pub fn candidates<'a>(
+        &'a mut self,
+        key: &[VertexId],
+    ) -> impl Iterator<Item = &'a PartialMatch> + 'a {
+        if !self.unindexed.is_empty() {
+            self.flush_index();
+        }
+        let slots = &self.slots;
         self.by_key
             .get(key)
             .into_iter()
             .flatten()
-            .filter_map(move |h| self.slots[h.0].as_ref())
-    }
-
-    /// Computes the join key this store would use for `m` (projection onto the
-    /// store's key vertices). `None` if the match does not bind them all.
-    pub fn join_key_for(&self, m: &PartialMatch) -> Option<JoinKey> {
-        self.key_of(m)
+            .filter_map(move |h| slots[h.index as usize].m.as_ref())
     }
 
     /// Iterates all live matches.
     pub fn iter(&self) -> impl Iterator<Item = &PartialMatch> {
-        self.slots.iter().filter_map(|s| s.as_ref())
+        self.slots.iter().filter_map(|s| s.m.as_ref())
+    }
+
+    /// Removes the occupant of `handle`'s slot. A match that was never
+    /// probed (still unindexed) pays no hash work at all; an indexed match is
+    /// unlinked from its key bucket in O(1) via the stored bucket position.
+    fn remove_at(&mut self, handle: MatchHandle) -> Option<PartialMatch> {
+        let slot = self.slots.get_mut(handle.index as usize)?;
+        if slot.generation != handle.generation {
+            return None;
+        }
+        let m = slot.m.take()?;
+        slot.generation = slot.generation.wrapping_add(1);
+        let bucket_pos = slot.bucket_pos as usize;
+        let indexed = slot.indexed;
+
+        if indexed {
+            // Unlink from the key bucket by swap-remove, repairing the moved
+            // entry's recorded position.
+            let key = self
+                .join_key_for(&m)
+                .expect("stored match binds its join key");
+            let bucket = self
+                .by_key
+                .get_mut(key.as_slice())
+                .expect("stored match is indexed");
+            debug_assert_eq!(bucket[bucket_pos], handle);
+            let last = bucket.len() - 1;
+            bucket.as_mut_slice().swap(bucket_pos, last);
+            bucket.truncate(last);
+            if let Some(&moved) = bucket.get(bucket_pos) {
+                self.slots[moved.index as usize].bucket_pos = bucket_pos as u32;
+            }
+            if bucket.is_empty() {
+                self.by_key.remove(key.as_slice());
+            }
+        }
+        // Unindexed matches leave a stale backlog entry behind; it is skipped
+        // (generation mismatch) when the backlog is drained or compacted.
+
+        self.free.push(handle.index);
+        self.live -= 1;
+        Some(m)
     }
 
     /// Removes every live match whose *earliest* edge is older than `cutoff`
@@ -121,37 +293,42 @@ impl MatchStore {
     /// `cutoff + tW`). Returns the number removed.
     pub fn expire_older_than(&mut self, cutoff: Timestamp) -> usize {
         let mut removed = 0;
+        let mut max_removed = false;
         while let Some(&(earliest, handle)) = self.expiry_queue.front() {
             if earliest >= cutoff {
                 break;
             }
             self.expiry_queue.pop_front();
-            if let Some(slot) = self.slots.get_mut(handle.0) {
-                if let Some(m) = slot.take() {
-                    // Also unlink from the key index.
-                    if let Some(key) = m.binding.project(&self.key_vertices) {
-                        if let Some(handles) = self.by_key.get_mut(&key) {
-                            handles.retain(|h| *h != handle);
-                            if handles.is_empty() {
-                                self.by_key.remove(&key);
-                            }
-                        }
-                    }
-                    self.live -= 1;
-                    removed += 1;
-                }
+            if let Some(m) = self.remove_at(handle) {
+                max_removed |= m.edge_count() == self.max_edges;
+                removed += 1;
             }
         }
         self.expired_total += removed as u64;
+        // Restore the running max only when a maximal match died.
+        if max_removed {
+            self.max_edges = self.iter().map(PartialMatch::edge_count).max().unwrap_or(0);
+        }
+        // Keep the never-probed backlog proportional to the live population.
+        if self.unindexed.len() > 2 * self.live + 64 {
+            let slots = &self.slots;
+            self.unindexed.retain(|h| {
+                let slot = &slots[h.index as usize];
+                slot.generation == h.generation && slot.m.is_some()
+            });
+        }
         removed
     }
 
     /// Drops every stored match (used when a matcher is reset).
     pub fn clear(&mut self) {
         self.slots.clear();
+        self.free.clear();
         self.by_key.clear();
+        self.unindexed.clear();
         self.expiry_queue.clear();
         self.live = 0;
+        self.max_edges = 0;
     }
 }
 
@@ -181,9 +358,9 @@ mod tests {
         store.insert(m(&[(0, 10), (1, 21)], 2, 101));
         store.insert(m(&[(0, 99), (1, 22)], 3, 102));
         assert_eq!(store.len(), 3);
-        let hits: Vec<_> = store.candidates(&vec![VertexId(10)]).collect();
+        let hits: Vec<_> = store.candidates(&[VertexId(10)]).collect();
         assert_eq!(hits.len(), 2);
-        let misses: Vec<_> = store.candidates(&vec![VertexId(1)]).collect();
+        let misses: Vec<_> = store.candidates(&[VertexId(1)]).collect();
         assert!(misses.is_empty());
     }
 
@@ -191,10 +368,8 @@ mod tests {
     fn composite_join_keys_project_in_order() {
         let mut store = MatchStore::new(vec![QueryVertexId(1), QueryVertexId(0)]);
         store.insert(m(&[(0, 10), (1, 20)], 1, 100));
-        let key = store
-            .join_key_for(&m(&[(0, 10), (1, 20)], 9, 100))
-            .unwrap();
-        assert_eq!(key, vec![VertexId(20), VertexId(10)]);
+        let key = store.join_key_for(&m(&[(0, 10), (1, 20)], 9, 100)).unwrap();
+        assert_eq!(key.as_slice(), &[VertexId(20), VertexId(10)]);
         assert_eq!(store.candidates(&key).count(), 1);
     }
 
@@ -208,7 +383,7 @@ mod tests {
         assert_eq!(removed, 2);
         assert_eq!(store.len(), 1);
         assert_eq!(store.expired_total(), 2);
-        assert_eq!(store.candidates(&vec![VertexId(10)]).count(), 1);
+        assert_eq!(store.candidates(&[VertexId(10)]).count(), 1);
         // Expiring again with an older cutoff removes nothing.
         assert_eq!(store.expire_older_than(Timestamp::from_secs(100)), 0);
     }
@@ -225,12 +400,83 @@ mod tests {
     }
 
     #[test]
+    fn slots_are_recycled_and_stale_handles_stay_dead() {
+        let mut store = MatchStore::new(vec![QueryVertexId(0)]);
+        let h1 = store.insert(m(&[(0, 10)], 1, 100));
+        store.expire_older_than(Timestamp::from_secs(200));
+        assert!(store.get(h1).is_none());
+
+        // The next insert reuses the vacated slot...
+        let h2 = store.insert(m(&[(0, 11)], 2, 300));
+        assert_eq!(
+            store.slot_capacity(),
+            1,
+            "slot must be recycled, not appended"
+        );
+        // ...but the stale handle still observes nothing.
+        assert!(store.get(h1).is_none());
+        assert!(store.get(h2).is_some());
+    }
+
+    #[test]
+    fn long_stream_keeps_slab_bounded() {
+        let mut store = MatchStore::new(vec![QueryVertexId(0)]);
+        for i in 0..10_000i64 {
+            store.insert(m(&[(0, (i % 7) as u32)], i as u64, i));
+            // Expire everything older than 50s behind the newest insert.
+            store.expire_older_than(Timestamp::from_secs(i - 50));
+        }
+        assert!(store.len() <= 52);
+        assert!(
+            store.slot_capacity() <= 128,
+            "slab grew to {} slots for ~51 live matches",
+            store.slot_capacity()
+        );
+    }
+
+    #[test]
+    fn swap_remove_unlink_keeps_buckets_consistent() {
+        // Several matches under the same key; expire a prefix and verify the
+        // survivors are all still reachable through the bucket.
+        let mut store = MatchStore::new(vec![QueryVertexId(0)]);
+        for i in 0..10 {
+            store.insert(m(&[(0, 42)], i, 100 + i as i64));
+        }
+        store.expire_older_than(Timestamp::from_secs(105));
+        let survivors: Vec<u64> = store
+            .candidates(&[VertexId(42)])
+            .map(|pm| pm.edges[0].1 .0)
+            .collect();
+        assert_eq!(survivors.len(), 5);
+        for id in 5..10u64 {
+            assert!(survivors.contains(&id), "edge {id} lost from bucket");
+        }
+    }
+
+    #[test]
+    fn best_edge_count_tracks_running_max() {
+        let mut store = MatchStore::new(vec![QueryVertexId(0)]);
+        assert_eq!(store.best_edge_count(), 0);
+        store.insert(m(&[(0, 1)], 1, 10));
+        assert_eq!(store.best_edge_count(), 1);
+        let mut big = m(&[(0, 2)], 2, 20);
+        assert!(big.add_edge(QueryEdgeId(3), EdgeId(30), Timestamp::from_secs(21)));
+        store.insert(big);
+        assert_eq!(store.best_edge_count(), 2);
+        // Expiring the maximal match recomputes the max from survivors.
+        store.expire_older_than(Timestamp::from_secs(15));
+        assert_eq!(store.best_edge_count(), 2);
+        store.expire_older_than(Timestamp::from_secs(100));
+        assert_eq!(store.best_edge_count(), 0);
+    }
+
+    #[test]
     fn empty_key_store_groups_everything_together() {
         // The root has no parent cut: all matches share the empty key.
         let mut store = MatchStore::new(vec![]);
         store.insert(m(&[(0, 1)], 1, 10));
         store.insert(m(&[(0, 2)], 2, 20));
-        assert_eq!(store.candidates(&vec![]).count(), 2);
+        assert_eq!(store.candidates(&[]).count(), 2);
     }
 
     #[test]
@@ -239,6 +485,6 @@ mod tests {
         store.insert(m(&[(0, 1)], 1, 10));
         store.clear();
         assert!(store.is_empty());
-        assert_eq!(store.candidates(&vec![VertexId(1)]).count(), 0);
+        assert_eq!(store.candidates(&[VertexId(1)]).count(), 0);
     }
 }

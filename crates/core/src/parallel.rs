@@ -16,6 +16,7 @@ use crate::engine::ContinuousQueryEngine;
 use crate::event::{MatchEvent, QueryId};
 use crate::metrics::QueryMetrics;
 use streamworks_graph::EdgeEvent;
+use streamworks_query::QueryError as ShardError;
 use streamworks_query::{QueryError, QueryGraph};
 
 /// Outcome of a parallel run.
@@ -86,38 +87,38 @@ impl ParallelRunner {
         }
 
         let config = self.config;
-        let results: Vec<Result<(Vec<MatchEvent>, Vec<(String, QueryMetrics)>), QueryError>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .iter()
-                    .map(|shard| {
-                        scope.spawn(move || -> Result<_, QueryError> {
-                            let mut engine = ContinuousQueryEngine::new(config);
-                            let mut names = Vec::new();
-                            for q in shard {
-                                names.push(q.name().to_owned());
-                                engine.register_query(q.clone())?;
-                            }
-                            let mut matches = Vec::new();
-                            for ev in events {
-                                matches.extend(engine.process(ev));
-                            }
-                            let metrics = names
-                                .iter()
-                                .enumerate()
-                                .map(|(i, name)| {
-                                    (name.clone(), engine.metrics(QueryId(i)).unwrap_or_default())
-                                })
-                                .collect();
-                            Ok((matches, metrics))
-                        })
+        type ShardResult = Result<(Vec<MatchEvent>, Vec<(String, QueryMetrics)>), ShardError>;
+        let results: Vec<ShardResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|shard| {
+                    scope.spawn(move || -> Result<_, QueryError> {
+                        let mut engine = ContinuousQueryEngine::new(config);
+                        let mut names = Vec::new();
+                        for q in shard {
+                            names.push(q.name().to_owned());
+                            engine.register_query(q.clone())?;
+                        }
+                        let mut matches = Vec::new();
+                        for ev in events {
+                            matches.extend(engine.process(ev));
+                        }
+                        let metrics = names
+                            .iter()
+                            .enumerate()
+                            .map(|(i, name)| {
+                                (name.clone(), engine.metrics(QueryId(i)).unwrap_or_default())
+                            })
+                            .collect();
+                        Ok((matches, metrics))
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker thread panicked"))
-                    .collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
 
         let mut all_events = Vec::new();
         let mut all_metrics = Vec::new();
@@ -178,7 +179,10 @@ mod tests {
 
     #[test]
     fn parallel_run_matches_sequential_run() {
-        let queries = vec![pair_query("mentions_pair", "mentions"), pair_query("cites_pair", "cites")];
+        let queries = vec![
+            pair_query("mentions_pair", "mentions"),
+            pair_query("cites_pair", "cites"),
+        ];
         let events = stream();
 
         // Sequential reference.
@@ -201,7 +205,11 @@ mod tests {
             assert_eq!(outcome.events.len(), seq_events.len(), "workers={workers}");
             assert_eq!(outcome.edges_processed, events.len());
             assert_eq!(outcome.metrics.len(), 2);
-            let total: u64 = outcome.metrics.iter().map(|(_, m)| m.complete_matches).sum();
+            let total: u64 = outcome
+                .metrics
+                .iter()
+                .map(|(_, m)| m.complete_matches)
+                .sum();
             assert_eq!(total as usize, seq_events.len());
         }
     }

@@ -15,11 +15,12 @@
 
 use crate::binding::PartialMatch;
 use crate::constraints::CompiledConstraints;
-use crate::local_search::find_primitive_matches;
+use crate::local_search::{find_primitive_matches_anchored, LocalSearchStats};
 use crate::match_store::MatchStore;
 use crate::metrics::QueryMetrics;
-use streamworks_graph::{Duration, DynamicGraph, Edge, Timestamp};
-use streamworks_query::{QueryPlan, SjNodeId};
+use streamworks_graph::hash::FxHashMap;
+use streamworks_graph::{Duration, DynamicGraph, Edge, Timestamp, TypeId};
+use streamworks_query::{QueryEdgeId, QueryPlan, SjNodeId};
 
 /// Incremental matcher for one query plan.
 #[derive(Debug)]
@@ -32,6 +33,22 @@ pub struct SjTreeMatcher {
     /// Optional cap on live matches per node (guards against partial-match
     /// explosion under hostile plans; `None` = unbounded).
     max_matches_per_node: Option<usize>,
+    /// Graph schema version the compiled constraints were resolved against;
+    /// refresh only runs when the graph learns a new type.
+    seen_schema: u64,
+    /// For each resolved data edge type, the `(leaf, anchor query edge)`
+    /// pairs a new edge of that type could realise. An incoming edge whose
+    /// type matches no query edge costs one hash probe instead of a walk
+    /// over every leaf primitive.
+    anchors_by_type: FxHashMap<TypeId, Vec<(SjNodeId, QueryEdgeId)>>,
+    /// Anchors whose query edge has no type constraint (probed for every edge).
+    anchors_any_type: Vec<(SjNodeId, QueryEdgeId)>,
+    /// Scratch buffers reused across edges so the per-event path performs no
+    /// transient allocations once warm.
+    anchor_scratch: Vec<(SjNodeId, QueryEdgeId)>,
+    found: Vec<PartialMatch>,
+    stack: Vec<(SjNodeId, PartialMatch)>,
+    merged: Vec<PartialMatch>,
 }
 
 impl SjTreeMatcher {
@@ -43,12 +60,38 @@ impl SjTreeMatcher {
             .nodes()
             .map(|n| MatchStore::new(plan.shape.join_key(n.id).to_vec()))
             .collect();
-        SjTreeMatcher {
+        let mut matcher = SjTreeMatcher {
             constraints,
             stores,
             metrics: QueryMetrics::default(),
             max_matches_per_node: None,
+            seen_schema: graph.schema_version(),
+            anchors_by_type: FxHashMap::default(),
+            anchors_any_type: Vec::new(),
+            anchor_scratch: Vec::new(),
+            found: Vec::new(),
+            stack: Vec::new(),
+            merged: Vec::new(),
             plan,
+        };
+        matcher.rebuild_anchor_index();
+        matcher
+    }
+
+    /// Rebuilds the per-type anchor dispatch table from the currently
+    /// resolved constraints. Called at construction and whenever the graph's
+    /// type schema grows.
+    fn rebuild_anchor_index(&mut self) {
+        self.anchors_by_type.clear();
+        self.anchors_any_type.clear();
+        for &leaf in self.plan.shape.leaves() {
+            for &qe in self.plan.shape.primitive_edges(leaf) {
+                match self.constraints.edge_type_filter(qe) {
+                    Err(()) => {} // type unseen by the graph: nothing matches yet
+                    Ok(Some(t)) => self.anchors_by_type.entry(t).or_default().push((leaf, qe)),
+                    Ok(None) => self.anchors_any_type.push((leaf, qe)),
+                }
+            }
         }
     }
 
@@ -83,64 +126,83 @@ impl SjTreeMatcher {
     /// The fraction of the query's edges covered by the largest partial match
     /// currently stored anywhere in the tree (the "% matched" figure of the
     /// paper's Fig. 7 progression view).
+    ///
+    /// O(#nodes): each store maintains a running maximum edge count.
     pub fn best_partial_fraction(&self) -> f64 {
-        let total = self.plan.query.edge_count() as f64;
-        let mut best = 0usize;
-        for store in &self.stores {
-            for m in store.iter() {
-                best = best.max(m.edge_count());
-            }
-        }
         if self.metrics.complete_matches > 0 {
             return 1.0;
         }
+        let total = self.plan.query.edge_count() as f64;
+        let best = self
+            .stores
+            .iter()
+            .map(MatchStore::best_edge_count)
+            .max()
+            .unwrap_or(0);
         best as f64 / total
     }
 
     /// Processes one newly inserted data edge. Complete matches are appended
     /// to `out`.
-    pub fn process_edge(
-        &mut self,
-        graph: &DynamicGraph,
-        edge: &Edge,
-        out: &mut Vec<PartialMatch>,
-    ) {
+    pub fn process_edge(&mut self, graph: &DynamicGraph, edge: &Edge, out: &mut Vec<PartialMatch>) {
         self.metrics.edges_processed += 1;
-        self.constraints.refresh(&self.plan.query, graph);
+        // Type constraints only change when the graph interns a new type
+        // name; gate the refresh on the schema version so the steady-state
+        // path is a single integer compare.
+        let schema = graph.schema_version();
+        if self.seen_schema != schema {
+            self.constraints.refresh(&self.plan.query, graph);
+            self.rebuild_anchor_index();
+            self.seen_schema = schema;
+        }
         let window = self.window();
 
-        let leaves: Vec<SjNodeId> = self.plan.shape.leaves().to_vec();
-        let mut found = Vec::new();
-        for leaf in leaves {
+        // Dispatch through the per-type anchor index: only the (leaf, anchor)
+        // pairs whose query-edge type can accept this data edge are searched.
+        let mut anchors = std::mem::take(&mut self.anchor_scratch);
+        anchors.clear();
+        if let Some(typed) = self.anchors_by_type.get(&edge.etype) {
+            anchors.extend_from_slice(typed);
+        }
+        anchors.extend_from_slice(&self.anchors_any_type);
+
+        let mut found = std::mem::take(&mut self.found);
+        let mut stats = LocalSearchStats::default();
+        for &(leaf, anchor) in &anchors {
             found.clear();
-            let prim_edges = self.plan.shape.node(leaf).edges.clone();
-            let stats = find_primitive_matches(
+            find_primitive_matches_anchored(
                 graph,
                 &self.plan.query,
                 &self.constraints,
-                &prim_edges,
+                self.plan.shape.primitive_edges(leaf),
+                anchor,
                 edge,
                 window,
                 &mut found,
+                &mut stats,
             );
-            self.metrics.local_search_candidates += stats.candidates_examined;
-            self.metrics.primitive_matches += stats.matches_found;
             for m in found.drain(..) {
                 self.insert_and_join(leaf, m, out);
             }
         }
+        self.metrics.local_search_candidates += stats.candidates_examined;
+        self.metrics.primitive_matches += stats.matches_found;
+        self.found = found;
+        self.anchor_scratch = anchors;
     }
 
     /// Inserts a match at a node and propagates joins towards the root.
-    fn insert_and_join(
-        &mut self,
-        node: SjNodeId,
-        m: PartialMatch,
-        out: &mut Vec<PartialMatch>,
-    ) {
+    ///
+    /// For each match the join key is projected once, the sibling collection
+    /// is probed *before* the match is stored (a match at one node never
+    /// joins with matches at the same node, so the order is equivalent), and
+    /// the match is then moved — not cloned — into its store.
+    fn insert_and_join(&mut self, node: SjNodeId, m: PartialMatch, out: &mut Vec<PartialMatch>) {
         let window = self.window();
         let root = self.plan.shape.root();
-        let mut stack: Vec<(SjNodeId, PartialMatch)> = vec![(node, m)];
+        let mut stack = std::mem::take(&mut self.stack);
+        let mut merged_results = std::mem::take(&mut self.merged);
+        stack.push((node, m));
         while let Some((node, m)) = stack.pop() {
             if node == root {
                 // Root-level combination: a complete match.
@@ -155,27 +217,21 @@ impl SjTreeMatcher {
                     continue;
                 }
             }
-            // Store the match so later sibling insertions can find it.
-            let key = self.stores[node.0]
-                .join_key_for(&m)
-                .unwrap_or_default();
-            self.stores[node.0].insert(m.clone());
-            self.metrics.partial_matches_inserted += 1;
-
-            // Probe the sibling's collection on the shared cut vertices.
-            let Some(sibling) = self.plan.shape.sibling(node) else {
+            let Some(key) = self.stores[node.0].join_key_for(&m) else {
+                debug_assert!(false, "a node-complete match binds its join key");
                 continue;
             };
-            let parent = self
-                .plan
-                .shape
-                .node(node)
-                .parent
-                .expect("non-root node has a parent");
-            let mut merged_results = Vec::new();
-            {
-                let sibling_store = &self.stores[sibling.0];
-                for candidate in sibling_store.candidates(&key) {
+
+            // Probe the sibling's collection on the shared cut vertices.
+            if let Some(sibling) = self.plan.shape.sibling(node) {
+                let parent = self
+                    .plan
+                    .shape
+                    .node(node)
+                    .parent
+                    .expect("non-root node has a parent");
+                merged_results.clear();
+                for candidate in self.stores[sibling.0].candidates(&key) {
                     self.metrics.joins_attempted += 1;
                     if let Some(merged) = m.merge(candidate) {
                         if merged.within_window(window) {
@@ -183,12 +239,19 @@ impl SjTreeMatcher {
                         }
                     }
                 }
+                self.metrics.joins_succeeded += merged_results.len() as u64;
+                for merged in merged_results.drain(..) {
+                    stack.push((parent, merged));
+                }
             }
-            self.metrics.joins_succeeded += merged_results.len() as u64;
-            for merged in merged_results {
-                stack.push((parent, merged));
-            }
+
+            // Store the match (moved, not cloned) so later sibling
+            // insertions can find it.
+            self.stores[node.0].insert(m);
+            self.metrics.partial_matches_inserted += 1;
         }
+        self.stack = stack;
+        self.merged = merged_results;
     }
 
     /// Removes every partial match whose earliest edge is older than
@@ -241,13 +304,27 @@ mod tests {
             .unwrap()
     }
 
-    fn feed(g: &mut DynamicGraph, m: &mut SjTreeMatcher, src: &str, dst: &str, et: &str, t: i64) -> Vec<PartialMatch> {
+    fn feed(
+        g: &mut DynamicGraph,
+        m: &mut SjTreeMatcher,
+        src: &str,
+        dst: &str,
+        et: &str,
+        t: i64,
+    ) -> Vec<PartialMatch> {
         let (st, dt) = if et == "mentions" {
             ("Article", "Keyword")
         } else {
             ("Article", "Location")
         };
-        let r = g.ingest(&EdgeEvent::new(src, st, dst, dt, et, Timestamp::from_secs(t)));
+        let r = g.ingest(&EdgeEvent::new(
+            src,
+            st,
+            dst,
+            dt,
+            et,
+            Timestamp::from_secs(t),
+        ));
         let edge = g.edge(r.edge).unwrap().clone();
         let mut out = Vec::new();
         m.process_edge(g, &edge, &mut out);

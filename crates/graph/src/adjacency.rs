@@ -3,14 +3,17 @@
 //! The matcher's *local search* (paper §4.1) repeatedly asks for "edges of
 //! type `t` incident to vertex `v` in direction `d`". Grouping adjacency by
 //! `(direction, edge type)` makes that query a single map lookup plus a dense
-//! scan, instead of a filter over all incident edges.
+//! scan, instead of a filter over all incident edges. Each `(direction, type)`
+//! bucket additionally maintains a **live-edge counter**, so typed degree
+//! queries — and the summarizer's wedge accounting, which only needs
+//! *how many* live neighbours of each type exist, not which — are O(1) reads
+//! with no neighbourhood scan.
 //!
 //! Expired edges are removed lazily: [`crate::DynamicGraph`] drops them from
 //! its edge table immediately, and adjacency vectors are compacted once their
 //! dead fraction crosses a threshold. Iteration always checks liveness against
 //! the edge table, so stale entries are never observable from the public API.
 
-use crate::hash::FxHashMap;
 use crate::ids::{EdgeId, Timestamp, TypeId, VertexId};
 use serde::{Deserialize, Serialize};
 
@@ -45,11 +48,26 @@ pub struct AdjEntry {
     pub timestamp: Timestamp,
 }
 
+/// Entries of one `(direction, edge type)` group plus its live-edge count.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct AdjBucket {
+    /// Incident edges in arrival order; may contain expired (stale) entries
+    /// until the next compaction.
+    entries: Vec<AdjEntry>,
+    /// Number of `entries` that refer to live edges.
+    live: u32,
+}
+
 /// Adjacency of a single vertex.
+///
+/// Buckets are held in a small vector rather than a hash map: a vertex
+/// typically touches one to three edge types, and at that size a linear scan
+/// over inline `(type, bucket)` pairs is both faster and cache-friendlier
+/// than hashing.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct AdjacencyList {
-    out: FxHashMap<TypeId, Vec<AdjEntry>>,
-    inc: FxHashMap<TypeId, Vec<AdjEntry>>,
+    out: Vec<(TypeId, AdjBucket)>,
+    inc: Vec<(TypeId, AdjBucket)>,
     /// Number of entries (across both directions) that refer to expired edges
     /// and have not been compacted away yet.
     dead: usize,
@@ -61,53 +79,89 @@ impl AdjacencyList {
         Self::default()
     }
 
-    fn side(&self, dir: Direction) -> &FxHashMap<TypeId, Vec<AdjEntry>> {
+    fn side(&self, dir: Direction) -> &[(TypeId, AdjBucket)] {
         match dir {
             Direction::Out => &self.out,
             Direction::In => &self.inc,
         }
     }
 
-    fn side_mut(&mut self, dir: Direction) -> &mut FxHashMap<TypeId, Vec<AdjEntry>> {
+    fn side_mut(&mut self, dir: Direction) -> &mut Vec<(TypeId, AdjBucket)> {
         match dir {
             Direction::Out => &mut self.out,
             Direction::In => &mut self.inc,
         }
     }
 
-    /// Appends an entry for a newly inserted edge.
-    pub fn push(&mut self, dir: Direction, etype: TypeId, entry: AdjEntry) {
-        self.side_mut(dir).entry(etype).or_default().push(entry);
+    fn bucket(&self, dir: Direction, etype: TypeId) -> Option<&AdjBucket> {
+        self.side(dir)
+            .iter()
+            .find(|(t, _)| *t == etype)
+            .map(|(_, b)| b)
     }
 
-    /// Records that one referenced edge has expired (used to decide when to compact).
-    pub fn note_dead(&mut self) {
+    /// Appends an entry for a newly inserted edge.
+    pub fn push(&mut self, dir: Direction, etype: TypeId, entry: AdjEntry) {
+        let side = self.side_mut(dir);
+        let bucket = match side.iter_mut().position(|(t, _)| *t == etype) {
+            Some(i) => &mut side[i].1,
+            None => {
+                side.push((etype, AdjBucket::default()));
+                &mut side.last_mut().expect("just pushed").1
+            }
+        };
+        bucket.entries.push(entry);
+        bucket.live += 1;
+    }
+
+    /// Records that one referenced edge of the given group has expired
+    /// (keeps the live counters exact and feeds the compaction heuristic).
+    pub fn note_dead(&mut self, dir: Direction, etype: TypeId) {
         self.dead += 1;
+        if let Some((_, bucket)) = self.side_mut(dir).iter_mut().find(|(t, _)| *t == etype) {
+            debug_assert!(bucket.live > 0, "live counter underflow");
+            bucket.live = bucket.live.saturating_sub(1);
+        }
     }
 
     /// Iterates raw entries for a direction and edge type. Entries may be stale;
     /// the caller must check liveness against the edge table.
+    #[inline]
     pub fn entries(&self, dir: Direction, etype: TypeId) -> &[AdjEntry] {
-        self.side(dir)
-            .get(&etype)
-            .map(|v| v.as_slice())
+        self.bucket(dir, etype)
+            .map(|b| b.entries.as_slice())
             .unwrap_or(&[])
     }
 
     /// Iterates raw entries for a direction across all edge types.
-    pub fn entries_all_types(
-        &self,
-        dir: Direction,
-    ) -> impl Iterator<Item = (TypeId, &AdjEntry)> {
+    pub fn entries_all_types(&self, dir: Direction) -> impl Iterator<Item = (TypeId, &AdjEntry)> {
         self.side(dir)
             .iter()
-            .flat_map(|(t, v)| v.iter().map(move |e| (*t, e)))
+            .flat_map(|(t, b)| b.entries.iter().map(move |e| (*t, e)))
+    }
+
+    /// Number of live incident edges of one `(direction, type)` group — O(1)
+    /// in the neighbourhood size (a scan over the few types present).
+    #[inline]
+    pub fn live_count(&self, dir: Direction, etype: TypeId) -> usize {
+        self.bucket(dir, etype)
+            .map(|b| b.live as usize)
+            .unwrap_or(0)
+    }
+
+    /// Iterates `(edge type, live count)` for a direction, skipping groups
+    /// with no live edges — O(#types), no neighbourhood scan.
+    pub fn live_counts(&self, dir: Direction) -> impl Iterator<Item = (TypeId, usize)> + '_ {
+        self.side(dir)
+            .iter()
+            .filter(|(_, b)| b.live > 0)
+            .map(|(t, b)| (*t, b.live as usize))
     }
 
     /// Total number of stored entries (including stale ones).
     pub fn raw_len(&self) -> usize {
-        self.out.values().map(Vec::len).sum::<usize>()
-            + self.inc.values().map(Vec::len).sum::<usize>()
+        self.out.iter().map(|(_, b)| b.entries.len()).sum::<usize>()
+            + self.inc.iter().map(|(_, b)| b.entries.len()).sum::<usize>()
     }
 
     /// Number of entries known to be stale.
@@ -123,10 +177,11 @@ impl AdjacencyList {
 
     /// Removes every entry for which `is_live` returns `false`.
     pub fn compact(&mut self, mut is_live: impl FnMut(EdgeId) -> bool) {
-        for map in [&mut self.out, &mut self.inc] {
-            map.retain(|_, v| {
-                v.retain(|e| is_live(e.edge));
-                !v.is_empty()
+        for side in [&mut self.out, &mut self.inc] {
+            side.retain_mut(|(_, b)| {
+                b.entries.retain(|e| is_live(e.edge));
+                b.live = b.entries.len() as u32;
+                !b.entries.is_empty()
             });
         }
         self.dead = 0;
@@ -173,19 +228,38 @@ mod tests {
     }
 
     #[test]
+    fn live_counts_track_pushes_and_deaths() {
+        let mut adj = AdjacencyList::new();
+        adj.push(Direction::Out, TypeId(0), entry(1, 10));
+        adj.push(Direction::Out, TypeId(0), entry(2, 11));
+        adj.push(Direction::Out, TypeId(1), entry(3, 12));
+        assert_eq!(adj.live_count(Direction::Out, TypeId(0)), 2);
+        assert_eq!(adj.live_count(Direction::Out, TypeId(1)), 1);
+        assert_eq!(adj.live_count(Direction::In, TypeId(0)), 0);
+
+        adj.note_dead(Direction::Out, TypeId(0));
+        assert_eq!(adj.live_count(Direction::Out, TypeId(0)), 1);
+        let mut counts: Vec<_> = adj.live_counts(Direction::Out).collect();
+        counts.sort();
+        assert_eq!(counts, vec![(TypeId(0), 1), (TypeId(1), 1)]);
+        assert_eq!(adj.dead_len(), 1);
+    }
+
+    #[test]
     fn compact_removes_dead_entries() {
         let mut adj = AdjacencyList::new();
         for i in 0..100 {
             adj.push(Direction::Out, TypeId(0), entry(i, i as u32));
         }
         for _ in 0..60 {
-            adj.note_dead();
+            adj.note_dead(Direction::Out, TypeId(0));
         }
         assert!(adj.should_compact());
         // Edges with id < 60 are "expired".
         adj.compact(|e| e.0 >= 60);
         assert_eq!(adj.raw_len(), 40);
         assert_eq!(adj.dead_len(), 0);
+        assert_eq!(adj.live_count(Direction::Out, TypeId(0)), 40);
         assert!(!adj.should_compact());
     }
 
@@ -193,7 +267,7 @@ mod tests {
     fn small_lists_do_not_trigger_compaction() {
         let mut adj = AdjacencyList::new();
         adj.push(Direction::Out, TypeId(0), entry(0, 0));
-        adj.note_dead();
+        adj.note_dead(Direction::Out, TypeId(0));
         assert!(!adj.should_compact());
     }
 

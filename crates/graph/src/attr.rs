@@ -131,10 +131,15 @@ impl From<bool> for AttrValue {
 /// A small ordered attribute map.
 ///
 /// Most vertices and edges carry zero to a handful of attributes, so a sorted
-/// `Vec` of pairs beats a hash map in both memory and lookup time.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// `Vec` of pairs beats a hash map in both memory and lookup time. The vector
+/// is behind an `Option<Arc>`: an empty map stores nothing at all, and
+/// cloning — which the ingest path does once per attributed edge event —
+/// is a reference-count bump instead of a deep copy of keys and values.
+/// Mutation uses copy-on-write (`Arc::make_mut`), so the sharing is
+/// invisible to the API.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Attrs {
-    entries: Vec<(String, AttrValue)>,
+    entries: Option<std::sync::Arc<Vec<(String, AttrValue)>>>,
 }
 
 impl Attrs {
@@ -158,37 +163,76 @@ impl Attrs {
         attrs
     }
 
+    fn slice(&self) -> &[(String, AttrValue)] {
+        self.entries.as_deref().map(Vec::as_slice).unwrap_or(&[])
+    }
+
     /// Sets `key` to `value`, replacing any previous value.
     pub fn set(&mut self, key: impl Into<String>, value: impl Into<AttrValue>) {
         let key = key.into();
         let value = value.into();
-        match self.entries.binary_search_by(|(k, _)| k.as_str().cmp(&key)) {
-            Ok(i) => self.entries[i].1 = value,
-            Err(i) => self.entries.insert(i, (key, value)),
+        let entries = std::sync::Arc::make_mut(self.entries.get_or_insert_with(Default::default));
+        match entries.binary_search_by(|(k, _)| k.as_str().cmp(&key)) {
+            Ok(i) => entries[i].1 = value,
+            Err(i) => entries.insert(i, (key, value)),
         }
     }
 
     /// Returns the value stored under `key`, if any.
     pub fn get(&self, key: &str) -> Option<&AttrValue> {
-        self.entries
+        let entries = self.slice();
+        entries
             .binary_search_by(|(k, _)| k.as_str().cmp(key))
             .ok()
-            .map(|i| &self.entries[i].1)
+            .map(|i| &entries[i].1)
     }
 
     /// Number of attributes.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.slice().len()
     }
 
     /// True if there are no attributes.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.slice().is_empty()
     }
 
     /// Iterates over `(key, value)` pairs in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &AttrValue)> {
-        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+        self.slice().iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+// Serialised as a plain pair list; the Arc is an implementation detail.
+impl Serialize for Attrs {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Array(
+            self.slice()
+                .iter()
+                .map(|(k, v)| serde::Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for Attrs {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| serde::Error::custom("expected array for Attrs"))?;
+        let mut attrs = Attrs::new();
+        for entry in arr {
+            let pair = entry
+                .as_array()
+                .ok_or_else(|| serde::Error::custom("expected [key, value] pair"))?;
+            if pair.len() != 2 {
+                return Err(serde::Error::custom("expected [key, value] pair"));
+            }
+            let key = String::from_value(&pair[0])?;
+            let value = AttrValue::from_value(&pair[1])?;
+            attrs.set(key, value);
+        }
+        Ok(attrs)
     }
 }
 

@@ -134,8 +134,15 @@ mod tests {
 
     #[test]
     fn edge_event_builder_sets_attrs() {
-        let ev = EdgeEvent::new("10.0.0.1", "IP", "10.0.0.2", "IP", "flow", Timestamp::from_secs(5))
-            .with_attr("port", 80i64);
+        let ev = EdgeEvent::new(
+            "10.0.0.1",
+            "IP",
+            "10.0.0.2",
+            "IP",
+            "flow",
+            Timestamp::from_secs(5),
+        )
+        .with_attr("port", 80i64);
         assert_eq!(ev.attrs.get("port").unwrap().as_int(), Some(80));
         assert_eq!(ev.edge_type, "flow");
     }

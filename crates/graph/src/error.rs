@@ -36,7 +36,11 @@ mod tests {
             GraphError::UnknownVertex(VertexId(3)).to_string(),
             "unknown vertex v3"
         );
-        assert!(GraphError::UnknownEdge(EdgeId(1)).to_string().contains("e1"));
-        assert!(GraphError::UnknownType(TypeId(2)).to_string().contains("t2"));
+        assert!(GraphError::UnknownEdge(EdgeId(1))
+            .to_string()
+            .contains("e1"));
+        assert!(GraphError::UnknownType(TypeId(2))
+            .to_string()
+            .contains("t2"));
     }
 }

@@ -11,7 +11,6 @@ use crate::adjacency::{AdjEntry, AdjacencyList, Direction};
 use crate::attr::Attrs;
 use crate::edge::{Edge, EdgeEvent};
 use crate::error::GraphError;
-use crate::hash::FxHashMap;
 use crate::ids::{Duration, EdgeId, Timestamp, TypeId, VertexId};
 use crate::interner::Interner;
 use crate::stats::GraphStats;
@@ -68,6 +67,111 @@ pub struct IngestResult {
     pub expired: Vec<EdgeId>,
 }
 
+/// Dense, id-indexed storage for live edges.
+///
+/// Edge ids are allocated sequentially and expire in (approximately)
+/// timestamp order, so the live edges always occupy a narrow id band. Storing
+/// them in a deque indexed by `id - base` makes the per-edge lookup on the
+/// matcher hot path a bounds check plus an index — no hashing — and ingest a
+/// plain `push_back`. Expired slots become `None` holes; the dead prefix is
+/// trimmed as soon as it clears.
+///
+/// A straggler — an edge that stays live long after its id-neighbours expired
+/// (e.g. a producer with a skewed future clock advances stream time so far
+/// that everything after it expires on arrival) — would pin `base` and let
+/// the deque grow with the stream. When the deque exceeds a multiple of the
+/// live count, stragglers at the front are migrated into a small `overflow`
+/// hash map so the dense band stays proportional to the live population.
+#[derive(Debug, Clone, Default)]
+struct EdgeSlab {
+    /// Edge id of `slots[0]`.
+    base: u64,
+    slots: std::collections::VecDeque<Option<Edge>>,
+    /// Long-lived stragglers evicted from the front of the dense band.
+    /// Empty in the common in-order-expiry case.
+    overflow: crate::hash::FxHashMap<EdgeId, Edge>,
+    live: usize,
+}
+
+impl EdgeSlab {
+    /// Appends an edge; its id must be the next sequential id.
+    #[inline]
+    fn push(&mut self, edge: Edge) {
+        debug_assert_eq!(edge.id.0, self.base + self.slots.len() as u64);
+        self.slots.push_back(Some(edge));
+        self.live += 1;
+        if self.slots.len() > 4 * self.live + 1024 {
+            self.evict_stragglers();
+        }
+    }
+
+    #[inline]
+    fn get(&self, id: EdgeId) -> Option<&Edge> {
+        match id.0.checked_sub(self.base) {
+            Some(idx) => self.slots.get(idx as usize)?.as_ref(),
+            // Below the dense band: either long expired or a straggler.
+            None => self.overflow.get(&id),
+        }
+    }
+
+    #[inline]
+    fn contains(&self, id: EdgeId) -> bool {
+        self.get(id).is_some()
+    }
+
+    fn remove(&mut self, id: EdgeId) -> Option<Edge> {
+        let Some(idx) = id.0.checked_sub(self.base) else {
+            let removed = self.overflow.remove(&id);
+            if removed.is_some() {
+                self.live -= 1;
+            }
+            return removed;
+        };
+        let removed = self.slots.get_mut(idx as usize)?.take();
+        if removed.is_some() {
+            self.live -= 1;
+            self.trim_front();
+        }
+        removed
+    }
+
+    /// Reclaims the dead prefix (expiry tracks timestamp order, which tracks
+    /// id order for in-order streams, so this stays tight).
+    fn trim_front(&mut self) {
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Moves live edges pinning the front of an oversized dense band into the
+    /// overflow map until the band is proportional to the live count again.
+    fn evict_stragglers(&mut self) {
+        while self.slots.len() > 4 * self.live + 1024 {
+            match self.slots.pop_front() {
+                Some(Some(edge)) => {
+                    self.base += 1;
+                    self.overflow.insert(edge.id, edge);
+                }
+                Some(None) => self.base += 1,
+                None => break,
+            }
+            self.trim_front();
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &Edge> {
+        self.overflow
+            .values()
+            .chain(self.slots.iter().filter_map(|s| s.as_ref()))
+    }
+}
+
 /// A directed, typed, timestamped multigraph with sliding-window retention.
 #[derive(Debug, Clone)]
 pub struct DynamicGraph {
@@ -76,8 +180,10 @@ pub struct DynamicGraph {
     vtype_interner: Interner,
     etype_interner: Interner,
     vertices: Vec<Vertex>,
-    vertex_by_key: FxHashMap<u32, VertexId>,
-    edges: FxHashMap<EdgeId, Edge>,
+    /// Vertex id per interned key symbol (symbols are dense, so a vector
+    /// replaces a second hash probe on ingest). `u32::MAX` = no vertex.
+    vertex_by_key: Vec<VertexId>,
+    edges: EdgeSlab,
     adjacency: Vec<AdjacencyList>,
     window: SlidingWindow,
     next_edge_id: u64,
@@ -98,8 +204,8 @@ impl DynamicGraph {
             vtype_interner: Interner::new(),
             etype_interner: Interner::new(),
             vertices: Vec::with_capacity(config.expected_vertices),
-            vertex_by_key: FxHashMap::default(),
-            edges: FxHashMap::default(),
+            vertex_by_key: Vec::with_capacity(config.expected_vertices),
+            edges: EdgeSlab::default(),
             adjacency: Vec::with_capacity(config.expected_vertices),
             window,
             next_edge_id: 0,
@@ -182,7 +288,10 @@ impl DynamicGraph {
     /// Looks up a vertex by its external key.
     pub fn vertex_by_key(&self, key: &str) -> Option<VertexId> {
         let sym = self.key_interner.lookup(key)?;
-        self.vertex_by_key.get(&sym).copied()
+        match self.vertex_by_key.get(sym as usize) {
+            Some(&v) if v.0 != u32::MAX => Some(v),
+            _ => None,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -202,8 +311,10 @@ impl DynamicGraph {
     /// Like [`Self::ensure_vertex`] but with a pre-interned type id.
     pub fn ensure_vertex_typed(&mut self, key: &str, vtype: TypeId) -> (VertexId, bool) {
         let sym = self.key_interner.intern(key);
-        if let Some(&v) = self.vertex_by_key.get(&sym) {
-            return (v, false);
+        if let Some(&v) = self.vertex_by_key.get(sym as usize) {
+            if v.0 != u32::MAX {
+                return (v, false);
+            }
         }
         let id = VertexId(self.vertices.len() as u32);
         self.vertices.push(Vertex {
@@ -215,7 +326,11 @@ impl DynamicGraph {
             in_degree: 0,
         });
         self.adjacency.push(AdjacencyList::new());
-        self.vertex_by_key.insert(sym, id);
+        if sym as usize >= self.vertex_by_key.len() {
+            self.vertex_by_key
+                .resize(sym as usize + 1, VertexId(u32::MAX));
+        }
+        self.vertex_by_key[sym as usize] = id;
         if vtype.index() >= self.vertex_type_counts.len() {
             self.vertex_type_counts.resize(vtype.index() + 1, 0);
         }
@@ -299,7 +414,7 @@ impl DynamicGraph {
             timestamp,
             attrs,
         };
-        self.edges.insert(id, edge);
+        self.edges.push(edge);
         self.edge_type_counts[etype.index()] += 1;
 
         self.adjacency[src.index()].push(
@@ -340,7 +455,7 @@ impl DynamicGraph {
     }
 
     fn remove_edge_internal(&mut self, id: EdgeId) {
-        let Some(edge) = self.edges.remove(&id) else {
+        let Some(edge) = self.edges.remove(id) else {
             return;
         };
         self.edge_type_counts[edge.etype.index()] =
@@ -350,12 +465,12 @@ impl DynamicGraph {
         let dst = &mut self.vertices[edge.dst.index()];
         dst.in_degree = dst.in_degree.saturating_sub(1);
 
-        for v in [edge.src, edge.dst] {
+        for (v, dir) in [(edge.src, Direction::Out), (edge.dst, Direction::In)] {
             let adj = &mut self.adjacency[v.index()];
-            adj.note_dead();
+            adj.note_dead(dir, edge.etype);
             if adj.should_compact() {
                 let edges = &self.edges;
-                adj.compact(|e| edges.contains_key(&e));
+                adj.compact(|e| edges.contains(e));
             }
         }
     }
@@ -370,13 +485,15 @@ impl DynamicGraph {
     }
 
     /// Returns the live edge record for `e` (expired edges return `None`).
+    #[inline]
     pub fn edge(&self, e: EdgeId) -> Option<&Edge> {
-        self.edges.get(&e)
+        self.edges.get(e)
     }
 
     /// True if the edge is still live (not expired).
+    #[inline]
     pub fn is_live(&self, e: EdgeId) -> bool {
-        self.edges.contains_key(&e)
+        self.edges.contains(e)
     }
 
     /// Number of vertices ever created.
@@ -415,7 +532,10 @@ impl DynamicGraph {
 
     /// Live out-degree + in-degree of a vertex.
     pub fn degree(&self, v: VertexId) -> u32 {
-        self.vertices.get(v.index()).map(|x| x.degree()).unwrap_or(0)
+        self.vertices
+            .get(v.index())
+            .map(|x| x.degree())
+            .unwrap_or(0)
     }
 
     /// Number of live vertices of a given type (vertices never expire, so this
@@ -434,13 +554,14 @@ impl DynamicGraph {
         self.vertices.iter()
     }
 
-    /// Iterates all live edges in unspecified order.
+    /// Iterates all live edges in id (arrival) order.
     pub fn edges(&self) -> impl Iterator<Item = &Edge> {
-        self.edges.values()
+        self.edges.iter()
     }
 
     /// Iterates the live edges incident to `v` in direction `dir` with edge
     /// type `etype`.
+    #[inline]
     pub fn incident_edges(
         &self,
         v: VertexId,
@@ -452,7 +573,7 @@ impl DynamicGraph {
             .get(v.index())
             .map(|a| a.entries(dir, etype))
             .unwrap_or(&[]);
-        entries.iter().filter_map(move |e| self.edges.get(&e.edge))
+        entries.iter().filter_map(move |e| self.edges.get(e.edge))
     }
 
     /// Iterates the live edges incident to `v` in direction `dir`, across all
@@ -466,7 +587,16 @@ impl DynamicGraph {
             .get(v.index())
             .into_iter()
             .flat_map(move |a| a.entries_all_types(dir))
-            .filter_map(move |(_, e)| self.edges.get(&e.edge))
+            .filter_map(move |(_, e)| self.edges.get(e.edge))
+    }
+
+    /// A monotonically growing version of the graph's type schema (vertex and
+    /// edge type interners). Matchers cache compiled type constraints and only
+    /// re-resolve when this changes, keeping the per-edge hot path free of
+    /// interner probing.
+    #[inline]
+    pub fn schema_version(&self) -> u64 {
+        ((self.vtype_interner.len() as u64) << 32) | self.etype_interner.len() as u64
     }
 
     /// Iterates `(edge, neighbor)` pairs for the live neighbourhood of `v` in
@@ -486,9 +616,27 @@ impl DynamicGraph {
         })
     }
 
-    /// Count of live incident edges of a given type and direction (degree by type).
+    /// Count of live incident edges of a given type and direction (degree by
+    /// type) — an O(1) counter read, no neighbourhood scan.
+    #[inline]
     pub fn degree_by_type(&self, v: VertexId, dir: Direction, etype: TypeId) -> usize {
-        self.incident_edges(v, dir, etype).count()
+        self.adjacency
+            .get(v.index())
+            .map(|a| a.live_count(dir, etype))
+            .unwrap_or(0)
+    }
+
+    /// Iterates `(edge type, live incident-edge count)` for a vertex and
+    /// direction. O(#types present), independent of degree.
+    pub fn live_type_counts(
+        &self,
+        v: VertexId,
+        dir: Direction,
+    ) -> impl Iterator<Item = (TypeId, usize)> + '_ {
+        self.adjacency
+            .get(v.index())
+            .into_iter()
+            .flat_map(move |a| a.live_counts(dir))
     }
 
     /// Point-in-time statistics snapshot.
@@ -620,9 +768,7 @@ mod tests {
             g.vertex(a).unwrap().attrs.get("section").unwrap().as_str(),
             Some("politics")
         );
-        assert!(g
-            .set_vertex_attr(VertexId(9), "x", 1i64)
-            .is_err());
+        assert!(g.set_vertex_attr(VertexId(9), "x", 1i64).is_err());
     }
 
     #[test]
@@ -652,6 +798,32 @@ mod tests {
         assert_eq!(g.edges_of_type(mentions), 2);
         assert_eq!(g.vertex_type_name(article), Some("Article"));
         assert_eq!(g.edge_type_name(mentions), Some("mentions"));
+    }
+
+    #[test]
+    fn straggler_edge_does_not_pin_slab_memory() {
+        // A producer with a skewed clock delivers one edge far in the future;
+        // stream time jumps forward and every subsequent normally-stamped
+        // edge expires on arrival. The straggler must not pin the dense edge
+        // band: memory stays proportional to the live count.
+        let mut g = DynamicGraph::new(GraphConfig::with_retention(Duration::from_secs(60)));
+        g.ingest(&event("skewed", "victim", "flow", 1_000_000));
+        for i in 0..20_000i64 {
+            g.ingest(&event("a", "b", "flow", i));
+        }
+        assert_eq!(g.live_edge_count(), 1, "only the future edge is live");
+        assert!(
+            g.edges.slots.len() <= 4 * g.edges.live + 1024 + 1,
+            "dense band grew to {} slots for {} live edges",
+            g.edges.slots.len(),
+            g.edges.live
+        );
+        // The straggler is still fully addressable after spilling to overflow.
+        let skewed = g.vertex_by_key("skewed").unwrap();
+        let flow = g.edge_type_id("flow").unwrap();
+        let visible: Vec<_> = g.neighbors(skewed, Direction::Out, flow).collect();
+        assert_eq!(visible.len(), 1);
+        assert_eq!(g.edges().count(), 1);
     }
 
     #[test]

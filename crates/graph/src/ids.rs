@@ -12,7 +12,7 @@ use std::fmt;
 ///
 /// Vertex ids are allocated densely starting from zero in insertion order and
 /// are never reused, even if all edges incident to a vertex expire.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub struct VertexId(pub u32);
 
 /// Identifier of an edge in a [`crate::DynamicGraph`].
@@ -20,7 +20,7 @@ pub struct VertexId(pub u32);
 /// Edge ids are allocated densely in arrival order. Because the data graph is
 /// a stream, the edge id also acts as an arrival sequence number: `e1.0 < e2.0`
 /// implies edge `e1` arrived no later than `e2`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub struct EdgeId(pub u64);
 
 /// Identifier of an interned vertex- or edge-type label.
@@ -35,15 +35,11 @@ pub struct TypeId(pub u32);
 /// The paper defines the time interval `τ(g)` of a subgraph `g` as the span
 /// between its earliest and latest edge timestamp; windows (`tW`) and spans
 /// are represented as [`Duration`] values in the same unit.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub struct Timestamp(pub i64);
 
 /// A length of stream time in integer microseconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub struct Duration(pub i64);
 
 impl VertexId {

@@ -104,13 +104,28 @@ mod tests {
     fn sample_graph() -> DynamicGraph {
         let mut g = DynamicGraph::unbounded();
         g.ingest(&EdgeEvent::new(
-            "a1", "Article", "k1", "Keyword", "mentions", Timestamp::from_secs(1),
+            "a1",
+            "Article",
+            "k1",
+            "Keyword",
+            "mentions",
+            Timestamp::from_secs(1),
         ));
         g.ingest(&EdgeEvent::new(
-            "a1", "Article", "loc1", "Location", "located", Timestamp::from_secs(2),
+            "a1",
+            "Article",
+            "loc1",
+            "Location",
+            "located",
+            Timestamp::from_secs(2),
         ));
         g.ingest(&EdgeEvent::new(
-            "a2", "Article", "k1", "Keyword", "mentions", Timestamp::from_secs(3),
+            "a2",
+            "Article",
+            "k1",
+            "Keyword",
+            "mentions",
+            Timestamp::from_secs(3),
         ));
         g
     }

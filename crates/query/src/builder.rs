@@ -172,7 +172,10 @@ mod tests {
         assert_eq!(q.edge_count(), 6);
         assert_eq!(q.window(), Duration::from_hours(6));
         assert!(q.is_connected());
-        assert_eq!(q.vertex_by_name("a1").unwrap().vtype.as_deref(), Some("Article"));
+        assert_eq!(
+            q.vertex_by_name("a1").unwrap().vtype.as_deref(),
+            Some("Article")
+        );
     }
 
     #[test]
@@ -208,7 +211,10 @@ mod tests {
 
     #[test]
     fn empty_query_fails_to_build() {
-        let err = QueryGraphBuilder::new("q").vertex("a", "A").build().unwrap_err();
+        let err = QueryGraphBuilder::new("q")
+            .vertex("a", "A")
+            .build()
+            .unwrap_err();
         assert!(matches!(err, QueryError::EmptyQuery));
     }
 
@@ -225,7 +231,10 @@ mod tests {
 
     #[test]
     fn any_edge_matches_any_type() {
-        let q = QueryGraphBuilder::new("q").any_edge("a", "b").build().unwrap();
+        let q = QueryGraphBuilder::new("q")
+            .any_edge("a", "b")
+            .build()
+            .unwrap();
         assert!(q.edge(crate::query_graph::QueryEdgeId(0)).etype.is_none());
     }
 }

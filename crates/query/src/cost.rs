@@ -415,8 +415,7 @@ impl DecompositionStrategy for TriadWedges {
                 primitives.push(Primitive::new(vec![e]));
             }
         }
-        let ordered =
-            order_primitives_by_cost(query, estimator, primitives, self.exhaustive_limit);
+        let ordered = order_primitives_by_cost(query, estimator, primitives, self.exhaustive_limit);
         validate_decomposition(query, &ordered)?;
         Ok(ordered)
     }
@@ -512,13 +511,13 @@ mod tests {
         let mut g = DynamicGraph::unbounded();
         let mut s = GraphSummary::with_config(SummaryConfig::full());
         let push = |g: &mut DynamicGraph,
-                        s: &mut GraphSummary,
-                        src: &str,
-                        st: &str,
-                        dst: &str,
-                        dt: &str,
-                        et: &str,
-                        t: i64| {
+                    s: &mut GraphSummary,
+                    src: &str,
+                    st: &str,
+                    dst: &str,
+                    dt: &str,
+                    et: &str,
+                    t: i64| {
             let ev = EdgeEvent::new(src, st, dst, dt, et, Timestamp::from_secs(t));
             let r = g.ingest(&ev);
             if r.src_created {

@@ -40,10 +40,7 @@ pub fn format_query(query: &QueryGraph) -> String {
         query.name(),
         query.window().as_secs()
     ));
-    let lines: Vec<String> = query
-        .edge_ids()
-        .map(|e| query.describe_edge(e))
-        .collect();
+    let lines: Vec<String> = query.edge_ids().map(|e| query.describe_edge(e)).collect();
     out.push_str(&lines.join(",\n      "));
     let fmt_literal = |value: &AttrValue| match value {
         AttrValue::Str(s) => format!("\"{s}\""),
@@ -124,7 +121,10 @@ impl<'a> Parser<'a> {
         if rest.len() >= kw.len() && rest[..kw.len()].eq_ignore_ascii_case(kw) {
             // Keyword must not be a prefix of a longer identifier.
             let after = rest[kw.len()..].chars().next();
-            if after.map(|c| !c.is_alphanumeric() && c != '_').unwrap_or(true) {
+            if after
+                .map(|c| !c.is_alphanumeric() && c != '_')
+                .unwrap_or(true)
+            {
                 self.pos += kw.len();
                 return true;
             }
@@ -148,7 +148,11 @@ impl<'a> Parser<'a> {
         } else {
             Err(self.error(format!(
                 "expected `{c}`, found `{}`",
-                self.rest().chars().next().map(String::from).unwrap_or_else(|| "end of input".into())
+                self.rest()
+                    .chars()
+                    .next()
+                    .map(String::from)
+                    .unwrap_or_else(|| "end of input".into())
             )))
         }
     }
@@ -227,9 +231,7 @@ impl<'a> Parser<'a> {
         // Accept `[:etype]`, `[etype]`, `[*]` and `[]`.
         let _ = self.eat_char(':');
         self.skip_ws();
-        let etype = if self.rest().starts_with(']') {
-            None
-        } else if self.eat_char('*') {
+        let etype = if self.rest().starts_with(']') || self.eat_char('*') {
             None
         } else {
             Some(self.parse_identifier()?)
@@ -469,10 +471,7 @@ mod tests {
 
     #[test]
     fn rejects_where_on_unknown_variable() {
-        let err = parse_query(
-            r#"QUERY x MATCH (a)-[:t]->(b) WHERE ghost.k = "v""#,
-        )
-        .unwrap_err();
+        let err = parse_query(r#"QUERY x MATCH (a)-[:t]->(b) WHERE ghost.k = "v""#).unwrap_err();
         assert!(err.to_string().contains("ghost"));
     }
 
@@ -484,10 +483,8 @@ mod tests {
 
     #[test]
     fn comments_are_ignored() {
-        let q = parse_query(
-            "# header comment\nQUERY c # trailing\nMATCH (a)-[:t]->(b) # done\n",
-        )
-        .unwrap();
+        let q = parse_query("# header comment\nQUERY c # trailing\nMATCH (a)-[:t]->(b) # done\n")
+            .unwrap();
         assert_eq!(q.name(), "c");
     }
 

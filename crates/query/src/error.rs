@@ -28,7 +28,10 @@ impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::DuplicateVertex(name) => {
-                write!(f, "vertex variable `{name}` declared twice with different types")
+                write!(
+                    f,
+                    "vertex variable `{name}` declared twice with different types"
+                )
             }
             QueryError::UnknownVertex(name) => {
                 write!(f, "edge references undeclared vertex variable `{name}`")
@@ -54,7 +57,9 @@ mod tests {
     #[test]
     fn errors_display_cleanly() {
         assert!(QueryError::EmptyQuery.to_string().contains("no edges"));
-        assert!(QueryError::UnknownVertex("x".into()).to_string().contains("`x`"));
+        assert!(QueryError::UnknownVertex("x".into())
+            .to_string()
+            .contains("`x`"));
         let p = QueryError::Parse {
             line: 3,
             message: "unexpected token".into(),

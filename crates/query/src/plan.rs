@@ -153,7 +153,7 @@ mod tests {
     use super::*;
     use crate::builder::QueryGraphBuilder;
     use crate::decompose::LeftDeepEdgeChain;
-    use streamworks_graph::{DynamicGraph, Duration, EdgeEvent, Timestamp};
+    use streamworks_graph::{Duration, DynamicGraph, EdgeEvent, Timestamp};
     use streamworks_summarize::SummaryConfig;
 
     fn cyber_query() -> QueryGraph {
@@ -186,7 +186,12 @@ mod tests {
         let mut g = DynamicGraph::unbounded();
         let mut s = streamworks_summarize::GraphSummary::with_config(SummaryConfig::full());
         let mut t = 0;
-        let push = |g: &mut DynamicGraph, s: &mut streamworks_summarize::GraphSummary, src: String, et: &str, dst: String, t: i64| {
+        let push = |g: &mut DynamicGraph,
+                    s: &mut streamworks_summarize::GraphSummary,
+                    src: String,
+                    et: &str,
+                    dst: String,
+                    t: i64| {
             let ev = EdgeEvent::new(src, "IP", dst, "IP", et, Timestamp::from_secs(t));
             let r = g.ingest(&ev);
             if r.src_created {
@@ -199,17 +204,36 @@ mod tests {
             s.observe_insertion(g, &e);
         };
         for i in 0..200 {
-            push(&mut g, &mut s, format!("h{}", i % 20), "flow", format!("h{}", (i + 1) % 20), t);
+            push(
+                &mut g,
+                &mut s,
+                format!("h{}", i % 20),
+                "flow",
+                format!("h{}", (i + 1) % 20),
+                t,
+            );
             t += 1;
         }
         for i in 0..3 {
-            push(&mut g, &mut s, format!("h{i}"), "dns", format!("h{}", i + 1), t);
+            push(
+                &mut g,
+                &mut s,
+                format!("h{i}"),
+                "dns",
+                format!("h{}", i + 1),
+                t,
+            );
             t += 1;
         }
 
         let plan = Planner::new()
             .with_statistics(&s, &g)
-            .plan_with(cyber_query(), &SelectivityOrdered { max_primitive_size: 1 })
+            .plan_with(
+                cyber_query(),
+                &SelectivityOrdered {
+                    max_primitive_size: 1,
+                },
+            )
             .unwrap();
         // The first (most selective) primitive must be the dns edge (edge id 2).
         assert_eq!(plan.primitives[0].edges, vec![QueryEdgeId(2)]);

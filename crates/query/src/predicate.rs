@@ -136,8 +136,12 @@ impl Predicate {
     /// this factor.
     pub fn selectivity_factor(&self) -> f64 {
         match self {
-            Predicate::Compare { op: CompareOp::Eq, .. } => 0.1,
-            Predicate::Compare { op: CompareOp::Ne, .. } => 0.9,
+            Predicate::Compare {
+                op: CompareOp::Eq, ..
+            } => 0.1,
+            Predicate::Compare {
+                op: CompareOp::Ne, ..
+            } => 0.9,
             Predicate::Compare { .. } => 0.4,
             Predicate::HasPrefix { .. } => 0.2,
             Predicate::InSet { values, .. } => (0.1 * values.len() as f64).min(0.9),
@@ -196,7 +200,10 @@ mod tests {
             values: vec!["sports".into(), "politics".into()]
         }
         .matches(&a));
-        assert!(Predicate::Exists { key: "score".into() }.matches(&a));
+        assert!(Predicate::Exists {
+            key: "score".into()
+        }
+        .matches(&a));
         assert!(!Predicate::Exists { key: "nope".into() }.matches(&a));
     }
 

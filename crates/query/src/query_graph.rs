@@ -14,11 +14,15 @@ use std::collections::{BTreeSet, VecDeque};
 use streamworks_graph::Duration;
 
 /// Index of a vertex within a [`QueryGraph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct QueryVertexId(pub usize);
 
 /// Index of an edge within a [`QueryGraph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct QueryEdgeId(pub usize);
 
 /// A query vertex (pattern variable).
@@ -300,7 +304,9 @@ mod tests {
         assert_eq!(a1, a2);
         assert_eq!(q.vertex_count(), 1);
         // Conflicting types error out.
-        let err = q.add_vertex("a", Some("Keyword".into()), vec![]).unwrap_err();
+        let err = q
+            .add_vertex("a", Some("Keyword".into()), vec![])
+            .unwrap_err();
         assert!(matches!(err, QueryError::DuplicateVertex(_)));
     }
 
@@ -337,7 +343,10 @@ mod tests {
     fn vertices_of_edges_sorted_unique() {
         let q = triangle();
         let vs = q.vertices_of_edges(&[QueryEdgeId(0), QueryEdgeId(1)]);
-        assert_eq!(vs, vec![QueryVertexId(0), QueryVertexId(1), QueryVertexId(2)]);
+        assert_eq!(
+            vs,
+            vec![QueryVertexId(0), QueryVertexId(1), QueryVertexId(2)]
+        );
     }
 
     #[test]

@@ -193,8 +193,8 @@ impl<'a> SelectivityEstimator<'a> {
                 let key = WedgeKey::new(center_t, leg_a, leg_b);
                 let wedges = summary.estimated_wedges(&key);
                 if wedges >= 0.0 {
-                    let factor = Self::predicate_factor(query, a)
-                        * Self::predicate_factor(query, b);
+                    let factor =
+                        Self::predicate_factor(query, a) * Self::predicate_factor(query, b);
                     return (wedges * factor).max(0.01);
                 }
             }
@@ -251,7 +251,11 @@ impl<'a> SelectivityEstimator<'a> {
     /// Estimated number of data vertices that can bind a query vertex: the
     /// live count of its vertex type (or the total vertex population when the
     /// variable is untyped), scaled by its attribute-predicate selectivity.
-    pub fn vertex_domain(&self, query: &QueryGraph, vertex: crate::query_graph::QueryVertexId) -> f64 {
+    pub fn vertex_domain(
+        &self,
+        query: &QueryGraph,
+        vertex: crate::query_graph::QueryVertexId,
+    ) -> f64 {
         let qv = query.vertex(vertex);
         let mut factor = 1.0;
         for p in &qv.predicates {
@@ -328,13 +332,7 @@ impl<'a> SelectivityEstimator<'a> {
             let next_pos = remaining
                 .iter()
                 .enumerate()
-                .filter(|(_, &e)| {
-                    query
-                        .edge(e)
-                        .endpoints()
-                        .iter()
-                        .any(|v| bound.contains(v))
-                })
+                .filter(|(_, &e)| query.edge(e).endpoints().iter().any(|v| bound.contains(v)))
                 .min_by(|(_, &a), (_, &b)| {
                     self.edge_cardinality(query, a)
                         .partial_cmp(&self.edge_cardinality(query, b))
@@ -352,8 +350,7 @@ impl<'a> SelectivityEstimator<'a> {
                 // Closure edge: probability that a specific (u, w) pair is
                 // connected by an edge of this kind.
                 (true, true) => {
-                    let pairs =
-                        self.vertex_domain(query, u) * self.vertex_domain(query, w);
+                    let pairs = self.vertex_domain(query, u) * self.vertex_domain(query, w);
                     (ecard / pairs.max(1.0)).min(1.0)
                 }
                 // Expansion across one bound endpoint: average fan-out.
@@ -382,7 +379,14 @@ mod tests {
     fn news_graph() -> (DynamicGraph, GraphSummary) {
         let mut g = DynamicGraph::unbounded();
         let mut s = GraphSummary::with_config(SummaryConfig::full());
-        let push = |g: &mut DynamicGraph, s: &mut GraphSummary, src: &str, st: &str, dst: &str, dt: &str, et: &str, t: i64| {
+        let push = |g: &mut DynamicGraph,
+                    s: &mut GraphSummary,
+                    src: &str,
+                    st: &str,
+                    dst: &str,
+                    dt: &str,
+                    et: &str,
+                    t: i64| {
             let ev = EdgeEvent::new(src, st, dst, dt, et, Timestamp::from_secs(t));
             let r = g.ingest(&ev);
             if r.src_created {
@@ -397,12 +401,30 @@ mod tests {
         let mut t = 0;
         for a in 0..20 {
             for k in 0..5 {
-                push(&mut g, &mut s, &format!("a{a}"), "Article", &format!("k{k}"), "Keyword", "mentions", t);
+                push(
+                    &mut g,
+                    &mut s,
+                    &format!("a{a}"),
+                    "Article",
+                    &format!("k{k}"),
+                    "Keyword",
+                    "mentions",
+                    t,
+                );
                 t += 1;
             }
         }
         for a in 0..4 {
-            push(&mut g, &mut s, &format!("a{a}"), "Article", "paris", "Location", "located", t);
+            push(
+                &mut g,
+                &mut s,
+                &format!("a{a}"),
+                "Article",
+                "paris",
+                "Location",
+                "located",
+                t,
+            );
             t += 1;
         }
         (g, s)
@@ -522,7 +544,10 @@ mod tests {
         let articles = est.vertex_domain(&q, article);
         let locations = est.vertex_domain(&q, location);
         // 20 articles vs. a single location in the synthetic data graph.
-        assert!(articles > locations, "articles={articles} locations={locations}");
+        assert!(
+            articles > locations,
+            "articles={articles} locations={locations}"
+        );
         assert!(locations >= 1.0);
     }
 

@@ -200,6 +200,15 @@ impl SjTreeShape {
         &self.leaves
     }
 
+    /// The query edges of a node's search primitive, as a borrowed slice.
+    ///
+    /// Matchers iterate this per incoming data edge; exposing the slice keeps
+    /// the hot path free of per-event clones of the primitive's edge list.
+    #[inline]
+    pub fn primitive_edges(&self, id: SjNodeId) -> &[QueryEdgeId] {
+        &self.node(id).edges
+    }
+
     /// The sibling of a node (the other child of its parent), if any.
     pub fn sibling(&self, id: SjNodeId) -> Option<SjNodeId> {
         let parent = self.node(id).parent?;
@@ -298,14 +307,16 @@ impl SjTreeShape {
     /// edges it covers and its cut vertices (used by `plan explain` output and
     /// the query_plans example reproducing Fig. 2).
     pub fn render(&self, query: &QueryGraph) -> String {
-        fn rec(shape: &SjTreeShape, query: &QueryGraph, id: SjNodeId, depth: usize, out: &mut String) {
+        fn rec(
+            shape: &SjTreeShape,
+            query: &QueryGraph,
+            id: SjNodeId,
+            depth: usize,
+            out: &mut String,
+        ) {
             let node = shape.node(id);
             let indent = "  ".repeat(depth);
-            let edges: Vec<String> = node
-                .edges
-                .iter()
-                .map(|&e| query.describe_edge(e))
-                .collect();
+            let edges: Vec<String> = node.edges.iter().map(|&e| query.describe_edge(e)).collect();
             let cut: Vec<&str> = node
                 .cut_vertices
                 .iter()

@@ -53,11 +53,7 @@ pub fn sjtree_to_dot(query: &QueryGraph, shape: &SjTreeShape) -> String {
     let _ = writeln!(out, "digraph \"sjtree_{}\" {{", escape(query.name()));
     let _ = writeln!(out, "  node [shape=box, fontsize=10];");
     for node in shape.nodes() {
-        let edges: Vec<String> = node
-            .edges
-            .iter()
-            .map(|&e| query.describe_edge(e))
-            .collect();
+        let edges: Vec<String> = node.edges.iter().map(|&e| query.describe_edge(e)).collect();
         let cut: Vec<&str> = node
             .cut_vertices
             .iter()
@@ -133,7 +129,13 @@ pub fn match_to_dot(graph: &DynamicGraph, event: &MatchEvent, include_neighbours
         } else {
             ""
         };
-        let _ = writeln!(out, "  v{} [label=\"{}\"{}];", v.0, escape(&label).replace("\\\\n", "\\n"), style);
+        let _ = writeln!(
+            out,
+            "  v{} [label=\"{}\"{}];",
+            v.0,
+            escape(&label).replace("\\\\n", "\\n"),
+            style
+        );
     }
     for &e in &edges {
         let Some(edge) = graph.edge(e) else { continue };
@@ -199,7 +201,9 @@ mod tests {
         assert!(dot.contains("join n"));
         assert!(dot.contains("cut:"));
         // Child-to-parent arrows exist.
-        assert!(dot.lines().any(|l| l.trim().starts_with('n') && l.contains("->")));
+        assert!(dot
+            .lines()
+            .any(|l| l.trim().starts_with('n') && l.contains("->")));
     }
 
     #[test]
@@ -212,21 +216,39 @@ mod tests {
             )
             .unwrap();
         engine.process(&EdgeEvent::new(
-            "a1", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(1),
+            "a1",
+            "Article",
+            "rust",
+            "Keyword",
+            "mentions",
+            Timestamp::from_secs(1),
         ));
         // An unrelated edge that should only appear as a grey neighbour.
         engine.process(&EdgeEvent::new(
-            "a1", "Article", "paris", "Location", "located", Timestamp::from_secs(2),
+            "a1",
+            "Article",
+            "paris",
+            "Location",
+            "located",
+            Timestamp::from_secs(2),
         ));
         let matches = engine.process(&EdgeEvent::new(
-            "a2", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(3),
+            "a2",
+            "Article",
+            "rust",
+            "Keyword",
+            "mentions",
+            Timestamp::from_secs(3),
         ));
         let event = &matches[0];
 
         let bare = match_to_dot(engine.graph(), event, false);
         assert!(bare.contains("color=red"));
         assert!(bare.contains("fillcolor=lightblue"));
-        assert!(!bare.contains("paris"), "without neighbours only bound vertices appear");
+        assert!(
+            !bare.contains("paris"),
+            "without neighbours only bound vertices appear"
+        );
 
         let with_neighbours = match_to_dot(engine.graph(), event, true);
         assert!(with_neighbours.contains("paris"));

@@ -3,8 +3,8 @@
 
 use crate::table::Table;
 use serde::{Deserialize, Serialize};
-use streamworks_core::{MatchEvent, QueryId};
 use std::collections::BTreeMap;
+use streamworks_core::{MatchEvent, QueryId};
 
 /// One column of an event table.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

@@ -3,8 +3,8 @@
 //! DDoS attack cascading across subnetworks).
 
 use crate::table::Table;
-use streamworks_core::MatchEvent;
 use std::collections::BTreeMap;
+use streamworks_core::MatchEvent;
 
 // ---------------------------------------------------------------------------
 // Fig. 5 analogue: events bucketed by a location-valued binding
@@ -62,7 +62,10 @@ impl GeoView {
 
     /// Events observed at one location.
     pub fn events_at(&self, location: &str) -> &[MatchEvent] {
-        self.counts.get(location).map(|v| v.as_slice()).unwrap_or(&[])
+        self.counts
+            .get(location)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Renders a ranked table with a proportional bar per location.
@@ -138,10 +141,7 @@ impl SubnetGrid {
 
     /// Total hits recorded in one subnet.
     pub fn hits_in(&self, subnet: &str) -> usize {
-        self.hits
-            .get(subnet)
-            .map(|m| m.values().sum())
-            .unwrap_or(0)
+        self.hits.get(subnet).map(|m| m.values().sum()).unwrap_or(0)
     }
 
     /// Renders the grid: one row per subnet, one column per time bucket.

@@ -216,7 +216,12 @@ mod tests {
     fn series_track_first_match_and_peak() {
         let s = series(
             "selective",
-            &[(0, 0.0, 0, 0), (10, 0.5, 3, 0), (20, 1.0, 5, 1), (30, 1.0, 2, 2)],
+            &[
+                (0, 0.0, 0, 0),
+                (10, 0.5, 3, 0),
+                (20, 1.0, 5, 1),
+                (30, 1.0, 2, 2),
+            ],
         );
         assert_eq!(s.time_to_first_match(), Some(ts(20)));
         assert_eq!(s.peak_partial_matches(), 5);
@@ -246,8 +251,16 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[1].starts_with("selective"));
         assert!(lines[1].ends_with('|'));
-        assert!(lines[1].contains('#'), "complete match must render as #: {}", lines[1]);
-        assert!(!lines[2].contains('#'), "blind plan never completes: {}", lines[2]);
+        assert!(
+            lines[1].contains('#'),
+            "complete match must render as #: {}",
+            lines[1]
+        );
+        assert!(
+            !lines[2].contains('#'),
+            "blind plan never completes: {}",
+            lines[2]
+        );
     }
 
     #[test]

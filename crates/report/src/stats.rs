@@ -14,7 +14,9 @@ pub fn type_distribution_table(summary: &GraphSummary, graph: &DynamicGraph) -> 
     let total_edges = types.total_edges().max(1) as f64;
     for id in 0..graph.vertex_type_count() as u32 {
         let t = streamworks_graph::TypeId(id);
-        let Some(name) = graph.vertex_type_name(t) else { continue };
+        let Some(name) = graph.vertex_type_name(t) else {
+            continue;
+        };
         let count = types.vertex_count(t);
         if count == 0 {
             continue;
@@ -28,7 +30,9 @@ pub fn type_distribution_table(summary: &GraphSummary, graph: &DynamicGraph) -> 
     }
     for id in 0..graph.edge_type_count() as u32 {
         let t = streamworks_graph::TypeId(id);
-        let Some(name) = graph.edge_type_name(t) else { continue };
+        let Some(name) = graph.edge_type_name(t) else {
+            continue;
+        };
         let count = types.edge_count(t);
         if count == 0 {
             continue;
@@ -60,10 +64,14 @@ pub fn degree_report(summary: &GraphSummary, graph: &DynamicGraph) -> String {
     let mut table = Table::new(["vertex type", "direction", "edge type", "avg fan-out"]);
     for vt in 0..graph.vertex_type_count() as u32 {
         let vtype = streamworks_graph::TypeId(vt);
-        let Some(vname) = graph.vertex_type_name(vtype) else { continue };
+        let Some(vname) = graph.vertex_type_name(vtype) else {
+            continue;
+        };
         for et in 0..graph.edge_type_count() as u32 {
             let etype = streamworks_graph::TypeId(et);
-            let Some(ename) = graph.edge_type_name(etype) else { continue };
+            let Some(ename) = graph.edge_type_name(etype) else {
+                continue;
+            };
             for dir in [Direction::Out, Direction::In] {
                 let fanout = summary.estimated_fanout(vtype, dir, etype);
                 if fanout > 0.0 {
@@ -95,9 +103,10 @@ pub fn triad_report(summary: &GraphSummary, graph: &DynamicGraph, limit: usize) 
                     graph.edge_type_name(t).unwrap_or("?").to_owned()
                 }
             };
-            let describe_leg = |leg: (streamworks_graph::TypeId, streamworks_summarize::Orientation)| {
-                format!("{:?}:{}", leg.1, name(leg.0, false))
-            };
+            let describe_leg = |leg: (
+                streamworks_graph::TypeId,
+                streamworks_summarize::Orientation,
+            )| { format!("{:?}:{}", leg.1, name(leg.0, false)) };
             (
                 format!(
                     "center {} [{} | {}]",
@@ -197,7 +206,10 @@ mod tests {
         let engine = populated_engine();
         let table = triad_report(engine.summary(), engine.graph(), 5);
         assert!(table.len() <= 5);
-        assert!(!table.is_empty(), "the article-centred wedge must be present");
+        assert!(
+            !table.is_empty(),
+            "the article-centred wedge must be present"
+        );
         let text = table.render();
         assert!(text.contains("center"));
     }

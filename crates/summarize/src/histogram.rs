@@ -92,7 +92,11 @@ impl LogHistogram {
             seen += c;
             if seen >= target {
                 // Upper bound of bucket i is 2^(i+1) - 1, clamped to observed max.
-                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
                 return Some(upper.min(self.max));
             }
         }
@@ -106,7 +110,11 @@ impl LogHistogram {
                 None
             } else {
                 let lower = if i == 0 { 0 } else { 1u64 << i };
-                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
                 Some((lower, upper, c))
             }
         })

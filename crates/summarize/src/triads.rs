@@ -7,10 +7,13 @@
 //! query primitive (the most common SJ-Tree leaf) corresponds to exactly one
 //! wedge signature, so this distribution directly estimates leaf selectivity.
 //!
-//! Exact streaming maintenance of wedge counts costs `O(degree)` per edge; to
-//! keep per-edge cost bounded on hub vertices we scan at most
-//! [`TriadConfig::neighbor_cap`] incident edges and scale the increment by the
-//! fraction scanned (uniform-sampling estimator).
+//! The wedge signature of a neighbour depends only on its *type group*, never
+//! on the neighbour's identity, so the streaming update reads the graph's
+//! per-`(direction, type)` live-edge counters instead of scanning the
+//! neighbourhood: one counter increment per distinct incident type group —
+//! `O(#types)` per edge, exact, independent of degree. (Earlier revisions
+//! sampled a capped number of neighbours and scaled; counter-based
+//! maintenance made the sampling machinery unnecessary.)
 
 use serde::{Deserialize, Serialize};
 use streamworks_graph::hash::FxHashMap;
@@ -45,7 +48,11 @@ impl WedgeKey {
         leg1: (TypeId, Orientation),
         leg2: (TypeId, Orientation),
     ) -> Self {
-        let (leg_a, leg_b) = if leg1 <= leg2 { (leg1, leg2) } else { (leg2, leg1) };
+        let (leg_a, leg_b) = if leg1 <= leg2 {
+            (leg1, leg2)
+        } else {
+            (leg2, leg1)
+        };
         WedgeKey {
             center_vtype,
             leg_a,
@@ -55,18 +62,12 @@ impl WedgeKey {
 }
 
 /// Configuration of the triad counter.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
-pub struct TriadConfig {
-    /// Maximum incident edges scanned per endpoint per update; beyond this the
-    /// counter switches to a scaled sample.
-    pub neighbor_cap: usize,
-}
-
-impl Default for TriadConfig {
-    fn default() -> Self {
-        TriadConfig { neighbor_cap: 64 }
-    }
-}
+///
+/// Currently empty: streaming maintenance is exact and O(#types) per edge,
+/// so the former neighbourhood-sampling cap is gone. Kept as a struct so
+/// future options (e.g. per-type filters) remain a non-breaking change.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct TriadConfig {}
 
 /// Approximate streaming distribution of typed wedges.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -117,36 +118,29 @@ impl TriadDistribution {
             return;
         };
         let center_vtype = center_v.vtype;
-        let degree = graph.degree(center) as usize;
-        // Scale factor if we only look at a sample of the neighbourhood.
-        let cap = self.config.neighbor_cap;
-        let scale = if degree > cap {
-            degree as f64 / cap as f64
-        } else {
-            1.0
-        };
-        let mut scanned = 0usize;
-        // Scan both directions; stop once the cap is hit.
-        'outer: for dir in [Direction::Out, Direction::In] {
-            for other in graph.incident_edges_any_type(center, dir) {
-                if other.id == new_edge.id {
+        let new_leg = (new_edge.etype, new_orientation);
+        // One update per distinct (type, orientation) group of live incident
+        // edges — the wedge key never depends on the specific neighbour.
+        for (dir, orientation) in [
+            (Direction::Out, Orientation::Outgoing),
+            (Direction::In, Orientation::Incoming),
+        ] {
+            for (etype, count) in graph.live_type_counts(center, dir) {
+                let mut count = count;
+                // The just-inserted edge sits in its own group at this centre;
+                // it does not form a wedge with itself.
+                if etype == new_edge.etype
+                    && ((orientation == Orientation::Outgoing && center == new_edge.src)
+                        || (orientation == Orientation::Incoming && center == new_edge.dst))
+                {
+                    count -= 1;
+                }
+                if count == 0 {
                     continue;
                 }
-                let other_orientation = match dir {
-                    Direction::Out => Orientation::Outgoing,
-                    Direction::In => Orientation::Incoming,
-                };
-                let key = WedgeKey::new(
-                    center_vtype,
-                    (new_edge.etype, new_orientation),
-                    (other.etype, other_orientation),
-                );
-                *self.counts.entry(key).or_insert(0.0) += scale;
-                self.total += scale;
-                scanned += 1;
-                if scanned >= cap {
-                    break 'outer;
-                }
+                let key = WedgeKey::new(center_vtype, new_leg, (etype, orientation));
+                *self.counts.entry(key).or_insert(0.0) += count as f64;
+                self.total += count as f64;
             }
         }
     }
@@ -184,9 +178,7 @@ impl TriadDistribution {
     /// Exactly recomputes the distribution from the live edges of `graph`
     /// (O(sum of squared degrees); used by tests and periodic re-calibration).
     pub fn rebuild_exact(graph: &DynamicGraph) -> Self {
-        let mut dist = TriadDistribution::with_config(TriadConfig {
-            neighbor_cap: usize::MAX,
-        });
+        let mut dist = TriadDistribution::new();
         for v in graph.vertices() {
             // Collect incident live edges with orientations.
             let mut legs: Vec<(TypeId, Orientation, u64)> = Vec::new();
@@ -202,11 +194,8 @@ impl TriadDistribution {
                     if legs[i].2 == legs[j].2 {
                         continue;
                     }
-                    let key = WedgeKey::new(
-                        v.vtype,
-                        (legs[i].0, legs[i].1),
-                        (legs[j].0, legs[j].1),
-                    );
+                    let key =
+                        WedgeKey::new(v.vtype, (legs[i].0, legs[i].1), (legs[j].0, legs[j].1));
                     *dist.counts.entry(key).or_insert(0.0) += 1.0;
                     dist.total += 1.0;
                 }
@@ -290,10 +279,11 @@ mod tests {
     }
 
     #[test]
-    fn capped_counting_scales_estimates() {
+    fn streaming_counts_are_exact_on_hubs() {
         let mut g = DynamicGraph::unbounded();
-        let mut dist = TriadDistribution::with_config(TriadConfig { neighbor_cap: 8 });
-        // Hub with 100 incoming mention edges.
+        let mut dist = TriadDistribution::new();
+        // Hub with 100 incoming mention edges: O(degree²) wedges, counted in
+        // O(#types) per insertion via the adjacency live counters.
         for i in 0..100 {
             let ev = EdgeEvent::new(
                 format!("a{i}"),
@@ -308,12 +298,9 @@ mod tests {
             dist.observe_edge(&g, &edge);
         }
         let exact = TriadDistribution::rebuild_exact(&g);
-        // Exact count is C(100,2) = 4950. The sampled estimate should be within
-        // a factor of ~2 of the truth (it's a deterministic prefix sample of a
-        // symmetric star, so in practice it is much closer).
-        let key_count = dist.total_wedges();
-        assert!(key_count > exact.total_wedges() * 0.4);
-        assert!(key_count < exact.total_wedges() * 2.5);
+        // Exact count is C(100,2) = 4950; streaming must agree exactly.
+        assert_eq!(exact.total_wedges(), 4950.0);
+        assert_eq!(dist.total_wedges(), exact.total_wedges());
         assert_eq!(dist.updates(), 100);
     }
 

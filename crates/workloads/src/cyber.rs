@@ -111,7 +111,12 @@ impl CyberTrafficGenerator {
     }
 
     fn host_name(idx: usize) -> String {
-        format!("10.{}.{}.{}", (idx >> 16) & 0xff, (idx >> 8) & 0xff, idx & 0xff)
+        format!(
+            "10.{}.{}.{}",
+            (idx >> 16) & 0xff,
+            (idx >> 8) & 0xff,
+            idx & 0xff
+        )
     }
 
     /// Generates the full workload (background + injected attacks), with all
@@ -336,7 +341,10 @@ mod tests {
             ..Default::default()
         })
         .generate();
-        assert!(w.events.windows(2).all(|p| p[0].timestamp <= p[1].timestamp));
+        assert!(w
+            .events
+            .windows(2)
+            .all(|p| p[0].timestamp <= p[1].timestamp));
         assert!(w.events.iter().any(|e| e.edge_type == types::FLOW));
         assert!(w.events.iter().any(|e| e.edge_type == types::DNS));
         assert!(w.events.iter().any(|e| e.edge_type == types::ICMP_REPLY));

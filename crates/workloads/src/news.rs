@@ -244,7 +244,10 @@ mod tests {
             ..Default::default()
         })
         .generate();
-        assert!(w.events.windows(2).all(|p| p[0].timestamp <= p[1].timestamp));
+        assert!(w
+            .events
+            .windows(2)
+            .all(|p| p[0].timestamp <= p[1].timestamp));
         for et in [types::MENTIONS, types::LOCATED, types::ABOUT_PERSON] {
             assert!(w.events.iter().any(|e| e.edge_type == et), "missing {et}");
         }

@@ -126,7 +126,10 @@ pub fn path_query(edges: usize, window: Duration) -> QueryGraph {
 /// primitive selective on multi-relational streams, matching the paper's
 /// setting; with a single type this degenerates to [`path_query`].
 pub fn typed_path_query(edges: usize, types: &[&str], window: Duration) -> QueryGraph {
-    assert!(!types.is_empty(), "typed_path_query requires at least one edge type");
+    assert!(
+        !types.is_empty(),
+        "typed_path_query requires at least one edge type"
+    );
     let mut b = QueryGraphBuilder::new(format!("typed_path_{edges}")).window(window);
     for i in 0..edges.max(1) {
         let src = format!("v{i}");
@@ -168,10 +171,7 @@ mod tests {
     fn labelled_query_carries_predicates() {
         let q = labelled_news_query("politics", Duration::from_hours(1));
         assert_eq!(q.name(), "news_politics");
-        let with_pred = q
-            .edges()
-            .filter(|e| !e.predicates.is_empty())
-            .count();
+        let with_pred = q.edges().filter(|e| !e.predicates.is_empty()).count();
         assert_eq!(with_pred, 2);
     }
 

@@ -203,8 +203,10 @@ mod tests {
         assert_eq!(planted.len(), 500 + 3 * 2);
         // Each copy's edges exist with the planted keys.
         for copy in 0..3 {
-            assert!(planted.iter().any(|e| e.src_key == format!("planted-{copy}-a")
-                && e.dst_key == format!("planted-{copy}-b")));
+            assert!(planted
+                .iter()
+                .any(|e| e.src_key == format!("planted-{copy}-a")
+                    && e.dst_key == format!("planted-{copy}-b")));
         }
         assert!(planted.windows(2).all(|p| p[0].timestamp <= p[1].timestamp));
     }

@@ -138,11 +138,10 @@ pub fn read_trace<R: io::Read>(reader: R) -> Result<Vec<EdgeEvent>, TraceError> 
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let record: TraceRecord =
-            serde_json::from_str(trimmed).map_err(|e| TraceError::Parse {
-                line: i + 1,
-                message: e.to_string(),
-            })?;
+        let record: TraceRecord = serde_json::from_str(trimmed).map_err(|e| TraceError::Parse {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
         events.push(record.into());
     }
     Ok(events)

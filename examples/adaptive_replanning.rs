@@ -28,7 +28,14 @@ fn main() {
         .register_query_with(query, &LeftDeepEdgeChain, TreeShapeKind::LeftDeep)
         .expect("query plans");
     println!("initial plan ({}):", engine.plan(id).unwrap().strategy);
-    println!("{}", engine.plan(id).unwrap().shape.render(&engine.plan(id).unwrap().query));
+    println!(
+        "{}",
+        engine
+            .plan(id)
+            .unwrap()
+            .shape
+            .render(&engine.plan(id).unwrap().query)
+    );
 
     let mut replanner = AdaptiveReplanner::new(AdaptiveConfig {
         min_edges_between_replans: 2_000,
@@ -68,8 +75,18 @@ fn main() {
             d.drift, d.current_cost, d.candidate_cost, d.replanned, d.reason
         );
     }
-    println!("\nplan after check ({}):", engine.plan(id).unwrap().strategy);
-    println!("{}", engine.plan(id).unwrap().shape.render(&engine.plan(id).unwrap().query));
+    println!(
+        "\nplan after check ({}):",
+        engine.plan(id).unwrap().strategy
+    );
+    println!(
+        "{}",
+        engine
+            .plan(id)
+            .unwrap()
+            .shape
+            .render(&engine.plan(id).unwrap().query)
+    );
 
     // Phase 2: more traffic with the same skew, now under the new plan.
     let phase2 = NewsStreamGenerator::new(NewsConfig {

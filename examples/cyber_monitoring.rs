@@ -52,7 +52,10 @@ fn main() {
         .register_query(queries::worm_spread_query(2, Duration::from_mins(10)))
         .unwrap();
 
-    println!("streaming {} events through 3 registered queries...", workload.events.len());
+    println!(
+        "streaming {} events through 3 registered queries...",
+        workload.events.len()
+    );
     let start = Instant::now();
     let mut events = Vec::new();
     for ev in &workload.events {
@@ -69,9 +72,9 @@ fn main() {
             AttackKind::PortScan => scan,
             AttackKind::WormSpread => worm,
         };
-        let detected = events.iter().any(|e| {
-            e.query == qid && e.bindings.iter().any(|b| b.key == attack.attacker)
-        });
+        let detected = events
+            .iter()
+            .any(|e| e.query == qid && e.bindings.iter().any(|b| b.key == attack.attacker));
         println!(
             "{:?} by {} at t={}s: {}",
             attack.kind,
@@ -90,11 +93,18 @@ fn main() {
         elapsed * 1e6 / workload.events.len() as f64
     );
     println!("total match events: {}", events.len());
-    for (qid, name) in [(smurf, "smurf_ddos"), (scan, "port_scan"), (worm, "worm_spread")] {
+    for (qid, name) in [
+        (smurf, "smurf_ddos"),
+        (scan, "port_scan"),
+        (worm, "worm_spread"),
+    ] {
         let m = engine.metrics(qid).unwrap();
         println!(
             "{name:>12}: {} complete, {} partial live, {} partial expired, {} joins",
-            m.complete_matches, m.partial_matches_live, m.partial_matches_expired, m.joins_attempted
+            m.complete_matches,
+            m.partial_matches_live,
+            m.partial_matches_expired,
+            m.joins_attempted
         );
     }
 }

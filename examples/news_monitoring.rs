@@ -53,7 +53,10 @@ fn main() {
 
     // Tabular event view (Fig. 6 analogue): one row per detected event.
     println!("\n=== detected events ===");
-    println!("{:<12} {:>10} {:<22} {:<28} articles", "label", "time(s)", "location", "keyword");
+    println!(
+        "{:<12} {:>10} {:<22} {:<28} articles",
+        "label", "time(s)", "location", "keyword"
+    );
     for e in &events {
         let label = query_ids
             .iter()
@@ -83,8 +86,12 @@ fn main() {
     let mut detected_bursts = 0;
     for planted in &workload.planted {
         let hit = events.iter().any(|e| {
-            e.binding("k").map(|b| b.key == planted.keyword).unwrap_or(false)
-                && e.binding("l").map(|b| b.key == planted.location).unwrap_or(false)
+            e.binding("k")
+                .map(|b| b.key == planted.keyword)
+                .unwrap_or(false)
+                && e.binding("l")
+                    .map(|b| b.key == planted.location)
+                    .unwrap_or(false)
         });
         if hit {
             detected_bursts += 1;

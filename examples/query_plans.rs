@@ -68,7 +68,9 @@ fn show_progression() {
         ),
         (
             "single-edge-chain",
-            planner.plan_with(query.clone(), &LeftDeepEdgeChain).unwrap(),
+            planner
+                .plan_with(query.clone(), &LeftDeepEdgeChain)
+                .unwrap(),
         ),
         (
             "balanced-pairs",
@@ -100,7 +102,7 @@ fn show_progression() {
             engine.process(ev);
         }
         processed = i + 1;
-        if processed % step == 0 || processed == workload.events.len() {
+        if processed.is_multiple_of(step) || processed == workload.events.len() {
             let fractions: Vec<String> = engines
                 .iter()
                 .map(|(_, engine, id)| {

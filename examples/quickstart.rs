@@ -28,16 +28,54 @@ fn main() {
             "#,
         )
         .expect("query parses and plans");
-    println!("registered query:\n{}\n", engine.plan(query_id).unwrap().explain());
+    println!(
+        "registered query:\n{}\n",
+        engine.plan(query_id).unwrap().explain()
+    );
 
     // 3. Feed a stream of timestamped edge events. Each call returns the
     //    complete matches that the event produced.
     let stream = [
-        EdgeEvent::new("article-1", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(0)),
-        EdgeEvent::new("article-1", "Article", "berlin", "Location", "located", Timestamp::from_secs(30)),
-        EdgeEvent::new("article-2", "Article", "go", "Keyword", "mentions", Timestamp::from_secs(60)),
-        EdgeEvent::new("article-3", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(90)),
-        EdgeEvent::new("article-4", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(120)),
+        EdgeEvent::new(
+            "article-1",
+            "Article",
+            "rust",
+            "Keyword",
+            "mentions",
+            Timestamp::from_secs(0),
+        ),
+        EdgeEvent::new(
+            "article-1",
+            "Article",
+            "berlin",
+            "Location",
+            "located",
+            Timestamp::from_secs(30),
+        ),
+        EdgeEvent::new(
+            "article-2",
+            "Article",
+            "go",
+            "Keyword",
+            "mentions",
+            Timestamp::from_secs(60),
+        ),
+        EdgeEvent::new(
+            "article-3",
+            "Article",
+            "rust",
+            "Keyword",
+            "mentions",
+            Timestamp::from_secs(90),
+        ),
+        EdgeEvent::new(
+            "article-4",
+            "Article",
+            "rust",
+            "Keyword",
+            "mentions",
+            Timestamp::from_secs(120),
+        ),
     ];
 
     let mut total = 0;

@@ -21,7 +21,7 @@
 
 use streamworks::engine::ParallelRunner;
 use streamworks::query::{LeftDeepEdgeChain, SelectivityOrdered, TreeShapeKind};
-use streamworks::workloads::queries::{news_triple_query, labelled_news_query};
+use streamworks::workloads::queries::{labelled_news_query, news_triple_query};
 use streamworks::workloads::{read_trace_file, write_trace_file, NewsConfig, NewsStreamGenerator};
 use streamworks::{ContinuousQueryEngine, Duration, EngineConfig};
 
@@ -59,12 +59,19 @@ fn main() {
     for ev in &replayed[..half] {
         matches += engine.process(ev).len();
     }
-    println!("first half: {matches} matches, summaries over {} edges", half);
+    println!(
+        "first half: {matches} matches, summaries over {} edges",
+        half
+    );
 
     // Re-plan with the learned statistics: located edges are rarer than
     // mention edges, so they move to the bottom of the SJ-Tree.
     engine
-        .replan_query(triple, &SelectivityOrdered::default(), TreeShapeKind::LeftDeep)
+        .replan_query(
+            triple,
+            &SelectivityOrdered::default(),
+            TreeShapeKind::LeftDeep,
+        )
         .unwrap();
     println!("\n--- plan after re-planning with learned statistics ---");
     println!("{}", engine.plan(triple).unwrap().explain());

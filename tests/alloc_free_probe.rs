@@ -1,0 +1,119 @@
+//! Verifies the zero-allocation guarantee of the matcher hot path: once a
+//! store's lazy index is flushed, join-key probes (`MatchStore::candidates`)
+//! and binding merges (`Binding::merge`) perform no heap allocation for
+//! paper-sized queries. Uses a counting global allocator, so this test lives
+//! in its own integration-test binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+use streamworks::engine::{MatchStore, PartialMatch};
+use streamworks::query::{QueryEdgeId, QueryVertexId};
+use streamworks::{EdgeId, Timestamp, VertexId};
+
+fn pair_match(a: u32, b: u32, edge: u64, ts: i64) -> PartialMatch {
+    let mut m = PartialMatch::seed(
+        4,
+        QueryEdgeId(edge as usize % 4),
+        EdgeId(edge),
+        Timestamp::from_secs(ts),
+    );
+    assert!(m.binding.bind(QueryVertexId(0), VertexId(a)));
+    assert!(m.binding.bind(QueryVertexId(1), VertexId(b)));
+    m
+}
+
+#[test]
+fn probe_path_is_allocation_free() {
+    let mut store = MatchStore::new(vec![QueryVertexId(0), QueryVertexId(1)]);
+    for i in 0..256u32 {
+        store.insert(pair_match(i % 16, 100 + i % 8, i as u64, i as i64));
+    }
+    // First probe flushes the lazy index (this may allocate buckets).
+    assert!(store.candidates(&[VertexId(3), VertexId(103)]).count() > 0);
+
+    // Steady state: key projection + probe + candidate iteration must not
+    // touch the allocator.
+    let before = allocations();
+    let mut hits = 0usize;
+    for i in 0..16u32 {
+        hits += store
+            .candidates(&[VertexId(i), VertexId(100 + (i % 8))])
+            .count();
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "MatchStore::candidates allocated on the probe path"
+    );
+    assert!(hits > 0, "the probes must actually find candidates");
+}
+
+#[test]
+fn binding_merge_is_allocation_free_for_inline_queries() {
+    let left = pair_match(1, 101, 0, 10);
+    let mut right = PartialMatch::seed(4, QueryEdgeId(1), EdgeId(9), Timestamp::from_secs(11));
+    assert!(right.binding.bind(QueryVertexId(1), VertexId(101)));
+    assert!(right.binding.bind(QueryVertexId(2), VertexId(202)));
+
+    // Warm up (lazily initialised runtime bits must not pollute the count).
+    assert!(left.binding.merge(&right.binding).is_some());
+
+    let before = allocations();
+    for _ in 0..1_000 {
+        let merged = left
+            .binding
+            .merge(&right.binding)
+            .expect("compatible bindings");
+        assert_eq!(merged.bound_count(), 3);
+        let full = left.merge(&right).expect("compatible matches");
+        assert_eq!(full.edge_count(), 2);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "Binding/PartialMatch merge allocated for an inline-sized query"
+    );
+}
+
+#[test]
+fn partial_match_clone_is_allocation_free_for_inline_queries() {
+    let m = pair_match(1, 101, 0, 10);
+    let before = allocations();
+    for _ in 0..1_000 {
+        let c = m.clone();
+        assert_eq!(c.edge_count(), 1);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "PartialMatch::clone allocated for an inline-sized query"
+    );
+}

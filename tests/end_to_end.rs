@@ -49,7 +49,11 @@ fn cyber_attacks_are_detected_with_ground_truth_recall() {
         let detected = events
             .iter()
             .any(|e| e.query == qid && e.bindings.iter().any(|b| b.key == attack.attacker));
-        assert!(detected, "attack {:?} by {} not detected", attack.kind, attack.attacker);
+        assert!(
+            detected,
+            "attack {:?} by {} not detected",
+            attack.kind, attack.attacker
+        );
     }
 }
 
@@ -82,8 +86,12 @@ fn news_bursts_are_detected_and_matches_verify() {
     // Every planted burst is found by its labelled query.
     for planted in &workload.planted {
         let hit = all_events.iter().any(|e| {
-            e.binding("k").map(|b| b.key == planted.keyword).unwrap_or(false)
-                && e.binding("l").map(|b| b.key == planted.location).unwrap_or(false)
+            e.binding("k")
+                .map(|b| b.key == planted.keyword)
+                .unwrap_or(false)
+                && e.binding("l")
+                    .map(|b| b.key == planted.location)
+                    .unwrap_or(false)
         });
         assert!(hit, "planted burst {} not detected", planted.keyword);
     }
@@ -131,7 +139,12 @@ fn selectivity_plan_stores_fewer_partial_matches_than_blind_plan() {
     // we emulate that by planning against the warm engine's summary.
     let informed_plan = streamworks::Planner::new()
         .with_statistics(warm.summary(), warm.graph())
-        .plan_with(query.clone(), &SelectivityOrdered { max_primitive_size: 1 })
+        .plan_with(
+            query.clone(),
+            &SelectivityOrdered {
+                max_primitive_size: 1,
+            },
+        )
         .unwrap();
     let blind_plan = streamworks::Planner::new()
         .plan_with(query.clone(), &streamworks::query::LeftDeepEdgeChain)
@@ -171,9 +184,24 @@ fn multiple_strategies_and_tree_kinds_agree_on_results() {
 
     let mut counts = Vec::new();
     for (strategy, kind) in [
-        (SelectivityOrdered { max_primitive_size: 2 }, TreeShapeKind::LeftDeep),
-        (SelectivityOrdered { max_primitive_size: 1 }, TreeShapeKind::LeftDeep),
-        (SelectivityOrdered { max_primitive_size: 1 }, TreeShapeKind::Balanced),
+        (
+            SelectivityOrdered {
+                max_primitive_size: 2,
+            },
+            TreeShapeKind::LeftDeep,
+        ),
+        (
+            SelectivityOrdered {
+                max_primitive_size: 1,
+            },
+            TreeShapeKind::LeftDeep,
+        ),
+        (
+            SelectivityOrdered {
+                max_primitive_size: 1,
+            },
+            TreeShapeKind::Balanced,
+        ),
     ] {
         let mut engine = ContinuousQueryEngine::with_defaults();
         let id = engine
@@ -182,7 +210,10 @@ fn multiple_strategies_and_tree_kinds_agree_on_results() {
         let events = engine.process_batch(workload.events.iter());
         counts.push((events.len(), engine.metrics(id).unwrap().complete_matches));
     }
-    assert!(counts.windows(2).all(|w| w[0] == w[1]), "counts differ: {counts:?}");
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "counts differ: {counts:?}"
+    );
     assert!(counts[0].0 > 0, "expected at least one match");
 }
 
@@ -203,11 +234,19 @@ fn engine_sustains_multi_query_load_with_bounded_state() {
         ..Default::default()
     });
     let ids = vec![
-        engine.register_query(smurf_ddos_query(4, Duration::from_mins(2))).unwrap(),
-        engine.register_query(port_scan_query(4, Duration::from_secs(30))).unwrap(),
-        engine.register_query(worm_spread_query(2, Duration::from_mins(2))).unwrap(),
         engine
-            .register_dsl("QUERY dns_pair WINDOW 60s MATCH (a:IP)-[:dns]->(x:IP), (b:IP)-[:dns]->(x)")
+            .register_query(smurf_ddos_query(4, Duration::from_mins(2)))
+            .unwrap(),
+        engine
+            .register_query(port_scan_query(4, Duration::from_secs(30)))
+            .unwrap(),
+        engine
+            .register_query(worm_spread_query(2, Duration::from_mins(2)))
+            .unwrap(),
+        engine
+            .register_dsl(
+                "QUERY dns_pair WINDOW 60s MATCH (a:IP)-[:dns]->(x:IP), (b:IP)-[:dns]->(x)",
+            )
             .unwrap(),
     ];
     for ev in &workload.events {

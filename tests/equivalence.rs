@@ -7,7 +7,8 @@
 //! passes independent verification. These tests exercise that equivalence on
 //! hand-built streams and on randomized streams via proptest.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::{BTreeSet, HashMap};
 use streamworks::baseline::{verify_assignment, NaiveEdgeExpansion, RepeatedSearchMatcher};
 use streamworks::query::{QueryEdgeId, QueryGraph, SelectivityOrdered};
@@ -163,16 +164,51 @@ fn equivalence_on_triangles_with_parallel_edges() {
     for i in 0..30i64 {
         let src = hosts[(i % 4) as usize];
         let dst = hosts[((i + 1) % 4) as usize];
-        events.push(EdgeEvent::new(src, "A", dst, "A", "rel", Timestamp::from_secs(i * 3)));
+        events.push(EdgeEvent::new(
+            src,
+            "A",
+            dst,
+            "A",
+            "rel",
+            Timestamp::from_secs(i * 3),
+        ));
         // Parallel edge with a different timestamp now and then.
         if i % 5 == 0 {
-            events.push(EdgeEvent::new(src, "A", dst, "A", "rel", Timestamp::from_secs(i * 3 + 1)));
+            events.push(EdgeEvent::new(
+                src,
+                "A",
+                dst,
+                "A",
+                "rel",
+                Timestamp::from_secs(i * 3 + 1),
+            ));
         }
     }
     // Close a few triangles explicitly.
-    events.push(EdgeEvent::new("x", "A", "z", "A", "rel", Timestamp::from_secs(100)));
-    events.push(EdgeEvent::new("z", "A", "y", "A", "rel", Timestamp::from_secs(101)));
-    events.push(EdgeEvent::new("y", "A", "x", "A", "rel", Timestamp::from_secs(102)));
+    events.push(EdgeEvent::new(
+        "x",
+        "A",
+        "z",
+        "A",
+        "rel",
+        Timestamp::from_secs(100),
+    ));
+    events.push(EdgeEvent::new(
+        "z",
+        "A",
+        "y",
+        "A",
+        "rel",
+        Timestamp::from_secs(101),
+    ));
+    events.push(EdgeEvent::new(
+        "y",
+        "A",
+        "x",
+        "A",
+        "rel",
+        Timestamp::from_secs(102),
+    ));
     assert_equivalent(&triangle_query(40), &events);
 }
 
@@ -220,54 +256,60 @@ fn equivalence_with_mixed_types_and_predicates() {
 }
 
 // ---------------------------------------------------------------------------
-// Randomized equivalence (proptest)
+// Randomized equivalence (seeded property-style cases)
 // ---------------------------------------------------------------------------
 
-/// A compact random stream description: (src, dst, type index, time gap).
-fn stream_strategy(max_len: usize) -> impl Strategy<Value = Vec<(u8, u8, u8, i64)>> {
-    prop::collection::vec((0u8..8, 0u8..8, 0u8..2, 1i64..30), 5..max_len)
-}
-
-fn to_events(raw: &[(u8, u8, u8, i64)]) -> Vec<EdgeEvent> {
+/// Generates a random edge stream over a small vertex pool: the regime where
+/// collisions (shared endpoints, parallel edges, mixed types) are dense enough
+/// to exercise every join path.
+fn random_stream(rng: &mut StdRng, max_len: usize) -> Vec<EdgeEvent> {
+    let len = rng.gen_range(5..max_len);
     let mut t = 0i64;
-    raw.iter()
-        .filter(|(s, d, _, _)| s != d)
-        .map(|&(s, d, ty, gap)| {
-            t += gap;
-            EdgeEvent::new(
-                format!("v{s}"),
-                "A",
-                format!("v{d}"),
-                "A",
-                if ty == 0 { "rel" } else { "other" },
-                Timestamp::from_secs(t),
-            )
-        })
-        .collect()
+    let mut events = Vec::with_capacity(len);
+    while events.len() < len {
+        let s = rng.gen_range(0..8u32);
+        let d = rng.gen_range(0..8u32);
+        if s == d {
+            continue;
+        }
+        t += rng.gen_range(1..30i64);
+        events.push(EdgeEvent::new(
+            format!("v{s}"),
+            "A",
+            format!("v{d}"),
+            "A",
+            if rng.gen_bool(0.5) { "rel" } else { "other" },
+            Timestamp::from_secs(t),
+        ));
+    }
+    events
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn random_streams_pair_query(raw in stream_strategy(40), window in 20i64..200) {
-        let events = to_events(&raw);
-        prop_assume!(!events.is_empty());
+#[test]
+fn random_streams_pair_query() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for _ in 0..24 {
+        let events = random_stream(&mut rng, 40);
+        let window = rng.gen_range(20i64..200);
         assert_equivalent(&pair_query(window), &events);
     }
+}
 
-    #[test]
-    fn random_streams_triangle_query(raw in stream_strategy(30), window in 20i64..200) {
-        let events = to_events(&raw);
-        prop_assume!(!events.is_empty());
+#[test]
+fn random_streams_triangle_query() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for _ in 0..24 {
+        let events = random_stream(&mut rng, 30);
+        let window = rng.gen_range(20i64..200);
         assert_equivalent(&triangle_query(window), &events);
     }
+}
 
-    #[test]
-    fn random_streams_path_query(raw in stream_strategy(35), window in 20i64..200) {
+#[test]
+fn random_streams_path_query() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..24 {
+        let window = rng.gen_range(20i64..200);
         let query = QueryGraphBuilder::new("path3")
             .window(Duration::from_secs(window))
             .vertex("a", "A")
@@ -279,9 +321,108 @@ proptest! {
             .edge("c", "other", "d")
             .build()
             .unwrap();
-        let events = to_events(&raw);
-        prop_assume!(!events.is_empty());
+        let events = random_stream(&mut rng, 35);
         assert_equivalent(&query, &events);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Realistic workload equivalence (cyber / news generators)
+// ---------------------------------------------------------------------------
+
+/// The optimized matcher must emit exactly the repeated-search baseline's
+/// complete-match sets (order-insensitive) on random cyber traffic.
+#[test]
+fn equivalence_on_random_cyber_workload() {
+    use streamworks::workloads::cyber::{CyberConfig, CyberTrafficGenerator};
+    use streamworks::workloads::queries::{port_scan_query, worm_spread_query};
+    use streamworks::workloads::AttackKind;
+
+    for seed in [7u64, 19, 101] {
+        let workload = CyberTrafficGenerator::new(CyberConfig {
+            hosts: 40,
+            background_edges: 250,
+            attacks: vec![(AttackKind::PortScan, 3), (AttackKind::WormSpread, 3)],
+            seed,
+            ..Default::default()
+        })
+        .generate();
+        assert_equivalent(
+            &port_scan_query(3, Duration::from_mins(5)),
+            &workload.events,
+        );
+        assert_equivalent(
+            &worm_spread_query(2, Duration::from_mins(5)),
+            &workload.events,
+        );
+    }
+}
+
+/// Same equivalence on random news streams with planted co-occurrences.
+#[test]
+fn equivalence_on_random_news_workload() {
+    use streamworks::workloads::queries::labelled_news_query;
+    use streamworks::workloads::{NewsConfig, NewsStreamGenerator};
+
+    for seed in [3u64, 23] {
+        let workload = NewsStreamGenerator::new(NewsConfig {
+            articles: 60,
+            keywords: 12,
+            locations: 4,
+            planted_events: vec![("politics".into(), 3)],
+            seed,
+            ..Default::default()
+        })
+        .generate();
+        assert_equivalent(
+            &labelled_news_query("politics", Duration::from_mins(30)),
+            &workload.events,
+        );
+    }
+}
+
+/// Batched ingest must report exactly the same matches as per-event ingest,
+/// across arbitrary batch boundaries.
+#[test]
+fn batch_ingest_equals_streaming_ingest() {
+    use streamworks::workloads::queries::labelled_news_query;
+    use streamworks::workloads::{NewsConfig, NewsStreamGenerator};
+
+    let events = NewsStreamGenerator::new(NewsConfig {
+        articles: 120,
+        keywords: 10,
+        locations: 4,
+        planted_events: vec![("politics".into(), 4)],
+        ..Default::default()
+    })
+    .generate()
+    .events;
+    let query = labelled_news_query("politics", Duration::from_mins(30));
+
+    let per_event: Vec<_> = {
+        let mut engine = ContinuousQueryEngine::with_defaults();
+        engine.register_query(query.clone()).unwrap();
+        events.iter().flat_map(|ev| engine.process(ev)).collect()
+    };
+
+    for chunk_size in [1usize, 7, 64, usize::MAX] {
+        let mut engine = ContinuousQueryEngine::with_defaults();
+        engine.register_query(query.clone()).unwrap();
+        let mut batched = Vec::new();
+        for chunk in events.chunks(chunk_size.min(events.len())) {
+            batched.extend(engine.process_batch(chunk.iter()));
+        }
+        assert_eq!(batched.len(), per_event.len(), "chunk={chunk_size}");
+        let sig = |m: &streamworks::MatchEvent| {
+            let mut e: Vec<u64> = m.edges.iter().map(|e| e.0).collect();
+            e.sort_unstable();
+            e
+        };
+        let mut a: Vec<_> = batched.iter().map(sig).collect();
+        let mut b: Vec<_> = per_event.iter().map(sig).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "chunk={chunk_size}");
     }
 }
 

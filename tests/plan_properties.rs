@@ -2,7 +2,8 @@
 //! every decomposition strategy must produce a valid edge partition and every
 //! constructed SJ-Tree must satisfy the structural properties of paper §3.2.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use streamworks::query::{
     validate_decomposition, BalancedPairs, DecompositionStrategy, LeftDeepEdgeChain, Planner,
     SelectivityOrdered, SjTreeShape, TreeShapeKind,
@@ -23,7 +24,11 @@ fn build_query(n_vertices: usize, extra_edges: &[(u8, u8, u8)], window: i64) -> 
     }
     // Spanning path keeps the query connected.
     for i in 1..n_vertices {
-        b = b.edge(&format!("v{}", i - 1), etypes[i % etypes.len()], &format!("v{i}"));
+        b = b.edge(
+            &format!("v{}", i - 1),
+            etypes[i % etypes.len()],
+            &format!("v{i}"),
+        );
     }
     for &(a, eb, t) in extra_edges {
         let src = format!("v{}", a as usize % n_vertices);
@@ -36,23 +41,38 @@ fn build_query(n_vertices: usize, extra_edges: &[(u8, u8, u8)], window: i64) -> 
     b.build().expect("constructed query is valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 64,
-        .. ProptestConfig::default()
-    })]
+/// Draws a random `(a, b, t)` extra-edge list for [`build_query`].
+fn random_extra(rng: &mut StdRng, max_len: usize) -> Vec<(u8, u8, u8)> {
+    let len = rng.gen_range(0..max_len);
+    (0..len)
+        .map(|_| {
+            (
+                rng.gen_range(0..8u8),
+                rng.gen_range(0..8u8),
+                rng.gen_range(0..3u8),
+            )
+        })
+        .collect()
+}
 
-    #[test]
-    fn strategies_produce_valid_partitions_and_trees(
-        n_vertices in 2usize..8,
-        extra in prop::collection::vec((0u8..8, 0u8..8, 0u8..3), 0..6),
-        window in 10i64..10_000,
-    ) {
+#[test]
+fn strategies_produce_valid_partitions_and_trees() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for _ in 0..64 {
+        let n_vertices = rng.gen_range(2usize..8);
+        let extra = random_extra(&mut rng, 6);
+        let window = rng.gen_range(10i64..10_000);
         let query = build_query(n_vertices, &extra, window);
         let strategies: Vec<Box<dyn DecompositionStrategy>> = vec![
-            Box::new(SelectivityOrdered { max_primitive_size: 1 }),
-            Box::new(SelectivityOrdered { max_primitive_size: 2 }),
-            Box::new(SelectivityOrdered { max_primitive_size: 3 }),
+            Box::new(SelectivityOrdered {
+                max_primitive_size: 1,
+            }),
+            Box::new(SelectivityOrdered {
+                max_primitive_size: 2,
+            }),
+            Box::new(SelectivityOrdered {
+                max_primitive_size: 3,
+            }),
             Box::new(LeftDeepEdgeChain),
             Box::new(BalancedPairs),
         ];
@@ -68,42 +88,44 @@ proptest! {
             ] {
                 shape.validate(&query).unwrap();
                 // The root covers every query edge (property 1).
-                prop_assert_eq!(shape.node(shape.root()).edges.len(), query.edge_count());
+                assert_eq!(shape.node(shape.root()).edges.len(), query.edge_count());
                 // Leaves are exactly the primitives, in order.
-                prop_assert_eq!(shape.leaves().len(), primitives.len());
+                assert_eq!(shape.leaves().len(), primitives.len());
                 for (leaf, prim) in shape.leaves().iter().zip(&primitives) {
-                    prop_assert_eq!(&shape.node(*leaf).edges, &prim.edges);
+                    assert_eq!(&shape.node(*leaf).edges, &prim.edges);
                 }
                 // Sibling/join-key consistency: siblings share the same join key,
                 // and the key is a subset of both siblings' vertex sets.
                 for node in shape.nodes() {
                     if let Some(sib) = shape.sibling(node.id) {
-                        prop_assert_eq!(shape.join_key(node.id), shape.join_key(sib));
+                        assert_eq!(shape.join_key(node.id), shape.join_key(sib));
                         for v in shape.join_key(node.id) {
-                            prop_assert!(node.vertices.contains(v));
-                            prop_assert!(shape.node(sib).vertices.contains(v));
+                            assert!(node.vertices.contains(v));
+                            assert!(shape.node(sib).vertices.contains(v));
                         }
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn planner_end_to_end_on_random_queries(
-        n_vertices in 2usize..7,
-        extra in prop::collection::vec((0u8..8, 0u8..8, 0u8..3), 0..5),
-    ) {
+#[test]
+fn planner_end_to_end_on_random_queries() {
+    let mut rng = StdRng::seed_from_u64(0xFACADE);
+    for _ in 0..64 {
+        let n_vertices = rng.gen_range(2usize..7);
+        let extra = random_extra(&mut rng, 5);
         let query = build_query(n_vertices, &extra, 300);
         for kind in [TreeShapeKind::LeftDeep, TreeShapeKind::Balanced] {
             let plan = Planner::new().tree_kind(kind).plan(query.clone()).unwrap();
             plan.shape.validate(&plan.query).unwrap();
-            prop_assert_eq!(plan.edge_estimates.len(), query.edge_count());
-            prop_assert!(plan.shape.height() <= query.edge_count() + 1);
+            assert_eq!(plan.edge_estimates.len(), query.edge_count());
+            assert!(plan.shape.height() <= query.edge_count() + 1);
             // Explain output mentions every query variable.
             let explain = plan.explain();
             for v in query.vertices() {
-                prop_assert!(explain.contains(&v.name));
+                assert!(explain.contains(&v.name));
             }
         }
     }

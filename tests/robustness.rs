@@ -5,7 +5,8 @@
 //! paper (checkpoint/restore, adaptive re-planning, cost-based plans) must not
 //! change the set of matches reported.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 use streamworks::baseline::RepeatedSearchMatcher;
 use streamworks::engine::EngineCheckpoint;
@@ -49,7 +50,13 @@ fn signatures(engine: &mut ContinuousQueryEngine, events: &[EdgeEvent]) -> BTree
     let mut out = BTreeSet::new();
     for e in events {
         for m in engine.process(e) {
-            out.insert(m.edges.iter().enumerate().map(|(q, id)| (q, id.0)).collect());
+            out.insert(
+                m.edges
+                    .iter()
+                    .enumerate()
+                    .map(|(q, id)| (q, id.0))
+                    .collect(),
+            );
         }
     }
     out
@@ -138,7 +145,11 @@ fn out_of_order_timestamps_do_not_panic_and_respect_the_window() {
     // window relative to the first edge.
     engine.process(&ev("a1", "A", "k1", "K", "rel", 100));
     let in_window = engine.process(&ev("a2", "A", "k1", "K", "rel", 80));
-    assert_eq!(in_window.len(), 2, "late-but-in-window edge must still match");
+    assert_eq!(
+        in_window.len(),
+        2,
+        "late-but-in-window edge must still match"
+    );
 
     // A mention that is far in the past relative to the window must not match.
     let stale = engine.process(&ev("a3", "A", "k1", "K", "rel", 10));
@@ -159,7 +170,9 @@ fn clock_jumps_forward_expire_state_without_panicking() {
     let id = engine
         .register_query_with(
             pair_query(60),
-            &SelectivityOrdered { max_primitive_size: 1 },
+            &SelectivityOrdered {
+                max_primitive_size: 1,
+            },
             TreeShapeKind::LeftDeep,
         )
         .unwrap();
@@ -276,10 +289,8 @@ fn statistics_driven_strategies_agree_with_the_blind_plan() {
         ..Default::default()
     })
     .generate();
-    let query = streamworks::workloads::queries::labelled_news_query(
-        "politics",
-        Duration::from_mins(30),
-    );
+    let query =
+        streamworks::workloads::queries::labelled_news_query("politics", Duration::from_mins(30));
 
     let mut results = Vec::new();
     let strategies: Vec<(&str, Box<dyn streamworks::query::DecompositionStrategy>)> = vec![
@@ -306,7 +317,11 @@ fn statistics_driven_strategies_agree_with_the_blind_plan() {
 fn adaptive_replanning_keeps_finding_matches_after_the_switch() {
     let mut engine = ContinuousQueryEngine::with_defaults();
     let id = engine
-        .register_query_with(wedge_query(3_600), &LeftDeepEdgeChain, TreeShapeKind::LeftDeep)
+        .register_query_with(
+            wedge_query(3_600),
+            &LeftDeepEdgeChain,
+            TreeShapeKind::LeftDeep,
+        )
         .unwrap();
     let mut replanner = AdaptiveReplanner::new(AdaptiveConfig {
         min_edges_between_replans: 200,
@@ -330,7 +345,10 @@ fn adaptive_replanning_keeps_finding_matches_after_the_switch() {
         t += 1;
     }
     let decisions = replanner.check(&mut engine);
-    assert!(decisions.iter().any(|d| d.replanned), "re-plan expected on drifted statistics");
+    assert!(
+        decisions.iter().any(|d| d.replanned),
+        "re-plan expected on drifted statistics"
+    );
 
     // Patterns completed entirely after the re-plan are still found.
     let before = engine.metrics(id).unwrap().complete_matches;
@@ -367,19 +385,29 @@ fn to_sorted_events(raw: &[(u8, u8, i64)]) -> Vec<EdgeEvent> {
     events
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Draws a raw `(src, keyword, timestamp)` stream description.
+fn random_raw(rng: &mut StdRng, max_len: usize) -> Vec<(u8, u8, i64)> {
+    let len = rng.gen_range(1..max_len);
+    (0..len)
+        .map(|_| {
+            (
+                rng.gen_range(0..8u8),
+                rng.gen_range(0..5u8),
+                rng.gen_range(0i64..300),
+            )
+        })
+        .collect()
+}
 
-    /// Restarting from a checkpoint at *any* split point never changes the
-    /// matches reported for the rest of the stream.
-    #[test]
-    fn checkpoint_restore_is_transparent(
-        raw in proptest::collection::vec((0u8..8, 0u8..5, 0i64..300), 1..40),
-        split in 0usize..40,
-        window in 20i64..200,
-    ) {
-        let events = to_events(&raw);
-        let split = split.min(events.len());
+/// Restarting from a checkpoint at *any* split point never changes the
+/// matches reported for the rest of the stream.
+#[test]
+fn checkpoint_restore_is_transparent() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    for _ in 0..48 {
+        let events = to_events(&random_raw(&mut rng, 40));
+        let split = rng.gen_range(0usize..40).min(events.len());
+        let window = rng.gen_range(20i64..200);
         let query = pair_query(window);
 
         let mut reference = ContinuousQueryEngine::with_defaults();
@@ -393,41 +421,47 @@ proptest! {
         let mut restored = engine.checkpoint().restore();
         let tail = key_signatures(&mut restored, &events[split..]);
 
-        prop_assert_eq!(tail, tail_ref);
+        assert_eq!(tail, tail_ref);
     }
+}
 
-    /// The cost-based strategy reports exactly the same windowed matches as
-    /// the repeated-search baseline on arbitrary streams.
-    #[test]
-    fn cost_based_plans_match_repeated_search(
-        raw in proptest::collection::vec((0u8..8, 0u8..5, 0i64..300), 1..35),
-        window in 20i64..200,
-    ) {
-        let events = to_sorted_events(&raw);
+/// The cost-based strategy reports exactly the same windowed matches as
+/// the repeated-search baseline on arbitrary streams.
+#[test]
+fn cost_based_plans_match_repeated_search() {
+    let mut rng = StdRng::seed_from_u64(0xDECAF);
+    for _ in 0..48 {
+        let events = to_sorted_events(&random_raw(&mut rng, 35));
+        let window = rng.gen_range(20i64..200);
         let query = pair_query(window);
         let mut engine = ContinuousQueryEngine::with_defaults();
         engine
-            .register_query_with(query.clone(), &CostBasedOrdered::default(), TreeShapeKind::LeftDeep)
+            .register_query_with(
+                query.clone(),
+                &CostBasedOrdered::default(),
+                TreeShapeKind::LeftDeep,
+            )
             .unwrap();
         let incremental = signatures(&mut engine, &events);
         let repeated = repeated_signatures(&query, &events);
-        prop_assert_eq!(incremental, repeated);
+        assert_eq!(incremental, repeated);
     }
+}
 
-    /// Out-of-order delivery (shuffled timestamps assigned to arrival order)
-    /// never panics and never reports a match wider than the window.
-    #[test]
-    fn shuffled_streams_respect_window_semantics(
-        raw in proptest::collection::vec((0u8..8, 0u8..5, 0i64..300), 1..40),
-        window in 5i64..100,
-    ) {
-        let events = to_events(&raw);
+/// Out-of-order delivery (shuffled timestamps assigned to arrival order)
+/// never panics and never reports a match wider than the window.
+#[test]
+fn shuffled_streams_respect_window_semantics() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    for _ in 0..48 {
+        let events = to_events(&random_raw(&mut rng, 40));
+        let window = rng.gen_range(5i64..100);
         let query = pair_query(window);
         let mut engine = ContinuousQueryEngine::with_defaults();
         engine.register_query(query).unwrap();
         for e in &events {
             for m in engine.process(e) {
-                prop_assert!(m.span < Duration::from_secs(window));
+                assert!(m.span < Duration::from_secs(window));
             }
         }
     }

@@ -46,9 +46,10 @@ fn summary_ranks_rare_news_edges_below_frequent_ones() {
         .plan_with(query.clone(), &SelectivityOrdered::default())
         .unwrap();
     let first_leaf = &plan.primitives[0];
-    let has_located = first_leaf.edges.iter().any(|&e| {
-        query.edge(e).etype.as_deref() == Some("located")
-    });
+    let has_located = first_leaf
+        .edges
+        .iter()
+        .any(|&e| query.edge(e).etype.as_deref() == Some("located"));
     assert!(
         has_located,
         "first primitive {:?} should contain a located edge",
@@ -75,11 +76,7 @@ fn cyber_summary_reflects_live_window_population() {
         engine.process(ev);
     }
     let flow = engine.graph().edge_type_id("flow").unwrap();
-    let live_flow_edges = engine
-        .graph()
-        .edges()
-        .filter(|e| e.etype == flow)
-        .count() as u64;
+    let live_flow_edges = engine.graph().edges().filter(|e| e.etype == flow).count() as u64;
     // The summary's live count tracks the graph's live count exactly (both are
     // updated on ingest and on expiry).
     assert_eq!(engine.summary().types().edge_count(flow), live_flow_edges);

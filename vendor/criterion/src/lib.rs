@@ -1,0 +1,310 @@
+//! Offline-vendored, minimal `criterion`-compatible benchmarking facade.
+//!
+//! Implements the subset of the criterion API the bench suite uses
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `criterion_group!` / `criterion_main!`) with a simple but
+//! honest measurement loop: warm up for a fixed fraction of the measurement
+//! time, then time batches of iterations and report the median ns/iter plus
+//! derived throughput. `--test` (as passed by `cargo bench -- --test`) runs
+//! every benchmark body once without timing, for CI smoke runs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-implementation of `std::hint::black_box` passthrough used by benches.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    mode: &'a Mode,
+    /// Measured median nanoseconds per iteration (filled by `iter`).
+    result_ns: f64,
+}
+
+enum Mode {
+    /// Run the body once, untimed (`--test`).
+    Smoke,
+    /// Time for roughly this long.
+    Measure { measurement_time: Duration },
+}
+
+impl<'a> Bencher<'a> {
+    /// Times `routine`, storing the median ns/iter.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+                self.result_ns = 0.0;
+            }
+            Mode::Measure { measurement_time } => {
+                // Warmup: run until ~20% of the measurement budget is spent,
+                // estimating the per-iteration cost as we go.
+                let warmup_budget = measurement_time.mul_f64(0.2).max(Duration::from_millis(50));
+                let warm_start = Instant::now();
+                let mut iters_done = 0u64;
+                while warm_start.elapsed() < warmup_budget {
+                    black_box(routine());
+                    iters_done += 1;
+                }
+                let per_iter = warm_start.elapsed().as_secs_f64() / iters_done as f64;
+
+                // Measurement: split the remaining budget into up to 11 samples
+                // of equal iteration count, then take the median.
+                let budget = measurement_time.mul_f64(0.8);
+                let total_iters = (budget.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64;
+                let samples = 11u64;
+                let iters_per_sample = (total_iters / samples).max(1);
+                let mut times: Vec<f64> = Vec::with_capacity(samples as usize);
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        black_box(routine());
+                    }
+                    times.push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+                }
+                times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                self.result_ns = times[times.len() / 2] * 1e9;
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the throughput annotation used to derive rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; this facade sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_name = format!("{}/{}", self.name, id.into_name());
+        let mode = if self.criterion.smoke {
+            Mode::Smoke
+        } else {
+            Mode::Measure {
+                measurement_time: self.measurement_time,
+            }
+        };
+        let mut bencher = Bencher {
+            mode: &mode,
+            result_ns: f64::NAN,
+        };
+        f(&mut bencher);
+        self.criterion
+            .report(&full_name, bencher.result_ns, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (prints nothing extra; provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    smoke: bool,
+    default_measurement_time: Duration,
+    results: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            smoke: false,
+            default_measurement_time: Duration::from_secs(2),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`--test` → smoke mode,
+    /// `--quick` / env `CRITERION_QUICK=1` → short measurement budget).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.smoke = true,
+                "--quick" => c.default_measurement_time = Duration::from_millis(400),
+                _ => {} // benchmark-name filters and cargo flags: ignored
+            }
+        }
+        if std::env::var_os("CRITERION_QUICK").is_some() {
+            c.default_measurement_time = Duration::from_millis(400);
+        }
+        c
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measurement_time = self.default_measurement_time;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            measurement_time,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mode = if self.smoke {
+            Mode::Smoke
+        } else {
+            Mode::Measure {
+                measurement_time: self.default_measurement_time,
+            }
+        };
+        let mut bencher = Bencher {
+            mode: &mode,
+            result_ns: f64::NAN,
+        };
+        f(&mut bencher);
+        self.report(name, bencher.result_ns, None);
+        self
+    }
+
+    fn report(&mut self, name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+        let line = if self.smoke {
+            format!("{name:<60} ok (smoke)")
+        } else {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    let per_sec = n as f64 / (ns_per_iter / 1e9);
+                    format!("  {:>12.0} elem/s", per_sec)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    let per_sec = n as f64 / (ns_per_iter / 1e9);
+                    format!("  {:>12.0} B/s", per_sec)
+                }
+                None => String::new(),
+            };
+            format!("{name:<60} {:>14.0} ns/iter{rate}", ns_per_iter)
+        };
+        println!("{line}");
+        self.results.push(line);
+    }
+
+    /// Prints a closing summary line.
+    pub fn final_summary(&self) {
+        println!("\n{} benchmark(s) completed", self.results.len());
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}

@@ -1,0 +1,98 @@
+//! Offline-vendored, minimal `crossbeam` facade: just the unbounded channel
+//! surface the engine's `ChannelSink` uses, backed by `std::sync::mpsc`.
+
+/// Multi-producer channels.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    /// Receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    /// Error returned when the receiving half has disconnected.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders have disconnected.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing only if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Iterates messages until all senders disconnect.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+
+        /// Drains currently queued messages without blocking.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.try_iter()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_and_receive() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn send_fails_after_receiver_drops() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+    }
+}

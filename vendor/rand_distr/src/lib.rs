@@ -1,0 +1,89 @@
+//! Offline-vendored, minimal `rand_distr` facade: the Zipf distribution the
+//! workload generators use for hub-skewed host/keyword popularity.
+
+use rand::{Rng, RngCore};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Zipf distribution over `{1, ..., n}` with exponent `s`: rank `k` has
+/// probability proportional to `k^-s`. Sampled by binary search over a
+/// precomputed cumulative table (`O(n)` memory, `O(log n)` per draw), which is
+/// exact and fast for the workload-sized `n` used here.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `{1, ..., n}` with exponent `s >= 0`.
+    pub fn new(n: u64, s: f64) -> Result<Zipf, Error> {
+        if n == 0 {
+            return Err(Error("Zipf requires n >= 1"));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(Error("Zipf requires a finite exponent >= 0"));
+        }
+        let mut cumulative = Vec::with_capacity(n as usize);
+        let mut total = 0.0f64;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cumulative.push(total);
+        }
+        Ok(Zipf { cumulative })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty table");
+        let u: f64 = rng.gen::<f64>() * total;
+        // First rank whose cumulative weight exceeds u.
+        let idx = self.cumulative.partition_point(|&c| c <= u);
+        (idx.min(self.cumulative.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_samples_stay_in_range_and_skew_low() {
+        let zipf = Zipf::new(100, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut first_rank = 0usize;
+        for _ in 0..10_000 {
+            let v = zipf.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&v));
+            if v == 1.0 {
+                first_rank += 1;
+            }
+        }
+        // Rank 1 carries ~1/H(100) ≈ 19% of the mass at s=1.
+        assert!(first_rank > 1_000, "rank-1 draws: {first_rank}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,475 @@
+//! Derive macros for the vendored minimal `serde` facade.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! non-generic structs and enums by hand-parsing the item's token stream (no
+//! `syn`/`quote` available offline) and emitting impls of the facade's
+//! value-tree traits. Supported shapes: unit / tuple / named-field structs,
+//! and enums with unit, tuple and named-field variants (externally tagged,
+//! matching serde's default). The `#[serde(default)]` field attribute is
+//! honoured on deserialisation; other `#[serde(...)]` options are accepted and
+//! ignored (this facade always serialises every field).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the facade's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the facade's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Skips attributes (`# [ ... ]`), returning whether any skipped `#[serde(...)]`
+/// attribute mentions the `default` option.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut has_default = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(id)) = inner.first() {
+                        if id.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                for t in args.stream() {
+                                    if let TokenTree::Ident(opt) = t {
+                                        if opt.to_string() == "default" {
+                                            has_default = true;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    (i, has_default)
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Counts top-level comma-separated items in a token list, tracking
+/// angle-bracket depth so commas inside generic arguments don't split.
+fn count_top_level_fields(tokens: &[TokenTree]) -> usize {
+    let mut count = 0;
+    let mut depth = 0i32;
+    let mut saw_tokens = false;
+    let mut prev_dash = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                match c {
+                    '<' => depth += 1,
+                    '>' if !prev_dash => depth -= 1,
+                    ',' if depth == 0 => {
+                        count += 1;
+                        saw_tokens = false;
+                        prev_dash = false;
+                        continue;
+                    }
+                    _ => {}
+                }
+                prev_dash = c == '-';
+                saw_tokens = true;
+            }
+            _ => {
+                prev_dash = false;
+                saw_tokens = true;
+            }
+        }
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+/// Parses the contents of a `{ ... }` field list into named fields.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, default) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, ni);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("unexpected token in field list: {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: consume until a top-level comma.
+        let mut depth = 0i32;
+        let mut prev_dash = false;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                let c = p.as_char();
+                match c {
+                    '<' => depth += 1,
+                    '>' if !prev_dash => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                prev_dash = c == '-';
+            } else {
+                prev_dash = false;
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        let (ni, _) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, ni);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    break;
+                }
+                i += 1; // e.g. `unsafe` or other modifiers (not expected)
+            }
+            other => panic!("expected `struct` or `enum`, found {other:?}"),
+        }
+    }
+    let is_enum = matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "enum");
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde facade derives do not support generic types (on `{name}`)");
+        }
+    }
+    if is_enum {
+        let group = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+            other => panic!("expected enum body, found {other:?}"),
+        };
+        let body: Vec<TokenTree> = group.stream().into_iter().collect();
+        let mut variants = Vec::new();
+        let mut j = 0;
+        while j < body.len() {
+            let (nj, _) = skip_attrs(&body, j);
+            j = nj;
+            let vname = match body.get(j) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                None => break,
+                other => panic!("unexpected token in enum body: {other:?}"),
+            };
+            j += 1;
+            let shape = match body.get(j) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    j += 1;
+                    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Shape::Tuple(count_top_level_fields(&toks))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    j += 1;
+                    Shape::Named(parse_named_fields(g))
+                }
+                _ => Shape::Unit,
+            };
+            // Skip to the comma separating variants.
+            while j < body.len() {
+                if let TokenTree::Punct(p) = &body[j] {
+                    if p.as_char() == ',' {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            variants.push(Variant { name: vname, shape });
+        }
+        Item::Enum { name, variants }
+    } else {
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Tuple(count_top_level_fields(&toks))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("expected struct body, found {other:?}"),
+        };
+        Item::Struct { name, shape }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::value::Value::Null".to_string(),
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => named_fields_to_value(fields, "self.", "&"),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::value::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::value::Value::Object(vec![(::std::string::String::from(\"{vn}\"), {inner})]),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = named_fields_to_value(fields, "", "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::value::Value::Object(vec![(::std::string::String::from(\"{vn}\"), {inner})]),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Renders `Value::Object(vec![("field", to_value(<prefix>field)), ...])`.
+fn named_fields_to_value(fields: &[Field], prefix: &str, amp: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({amp}{prefix}{0}))",
+                f.name
+            )
+        })
+        .collect();
+    format!("::serde::value::Value::Object(vec![{}])", items.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                        .collect();
+                    format!(
+                        "let __arr = __v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                         if __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple length for {name}\")); }}\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    format!(
+                        "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {} }})",
+                        named_fields_from_value(fields)
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Shape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let __arr = __inner.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for variant {vn}\"))?;\n\
+                                 if __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for variant {vn}\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n\
+                             }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let __obj = __inner.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for variant {vn}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                             }},\n",
+                            named_fields_from_value(fields)
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                             match __s {{ {unit_arms} _ => return ::std::result::Result::Err(::serde::Error::custom(\"unknown variant of {name}\")) }}\n\
+                         }}\n\
+                         let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                         if __obj.len() != 1 {{ return ::std::result::Result::Err(::serde::Error::custom(\"expected single-key object for {name}\")); }}\n\
+                         let (__tag, __inner) = &__obj[0];\n\
+                         match __tag.as_str() {{ {tagged_arms} _ => ::std::result::Result::Err(::serde::Error::custom(\"unknown variant of {name}\")) }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Renders the field initialisers of a struct literal pulled from `__obj`.
+fn named_fields_from_value(fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let n = &f.name;
+            if f.default {
+                format!(
+                    "{n}: match ::serde::value::get_field(__obj, \"{n}\") {{\n\
+                         ::std::option::Option::Some(__fv) => ::serde::Deserialize::from_value(__fv)?,\n\
+                         ::std::option::Option::None => ::std::default::Default::default(),\n\
+                     }}"
+                )
+            } else {
+                format!(
+                    "{n}: match ::serde::value::get_field(__obj, \"{n}\") {{\n\
+                         ::std::option::Option::Some(__fv) => ::serde::Deserialize::from_value(__fv)?,\n\
+                         ::std::option::Option::None => return ::std::result::Result::Err(::serde::Error::custom(\"missing field {n}\")),\n\
+                     }}"
+                )
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}

@@ -1,0 +1,293 @@
+//! Offline-vendored small-vector: up to `N` elements stored inline (no heap
+//! allocation), spilling to a `Vec` only beyond that.
+//!
+//! Unlike upstream `smallvec` this variant is implemented entirely in safe
+//! code by requiring `T: Copy + Default` — which every element type on the
+//! matcher hot path (vertex ids, `(query edge, data edge)` pairs) satisfies.
+//! The API is the subset StreamWorks uses: push/insert/clear/truncate, slice
+//! deref, `FromIterator`/`Extend`, and `Borrow<[T]>` so hash-map probes can be
+//! keyed by a borrowed slice without materialising a key.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+
+/// A vector storing up to `N` elements inline.
+#[derive(Clone)]
+pub struct SmallVec<T: Copy + Default, const N: usize> {
+    len: usize,
+    inline: [T; N],
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
+    /// Creates an empty vector (no heap allocation).
+    #[inline]
+    pub fn new() -> Self {
+        SmallVec {
+            len: 0,
+            inline: [T::default(); N],
+            spill: Vec::new(),
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True if the elements currently live in the inline buffer.
+    #[inline]
+    pub fn is_inline(&self) -> bool {
+        self.len <= N
+    }
+
+    /// The elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        if self.len <= N {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// The elements as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.len <= N {
+            &mut self.inline[..self.len]
+        } else {
+            &mut self.spill
+        }
+    }
+
+    /// Appends an element.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        if self.len < N {
+            self.inline[self.len] = value;
+        } else {
+            if self.len == N {
+                self.spill.reserve(N + 1);
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Inserts an element at `index`, shifting later elements right.
+    pub fn insert(&mut self, index: usize, value: T) {
+        assert!(index <= self.len, "insert index out of bounds");
+        self.push(value); // make room (value placement fixed below)
+        let slice = self.as_mut_slice();
+        slice[index..].rotate_right(1);
+    }
+
+    /// Removes all elements, keeping the inline buffer and spill capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// Shortens to `len` elements (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len {
+            if self.len > N {
+                self.spill.truncate(len);
+                if len <= N {
+                    // Migrate back inline so `is_inline` reflects reality.
+                    self.inline[..len].copy_from_slice(&self.spill[..len]);
+                    self.spill.clear();
+                }
+            }
+            self.len = len;
+        }
+    }
+
+    /// Appends every element of `other`.
+    pub fn extend_from_slice(&mut self, other: &[T]) {
+        for &v in other {
+            self.push(v);
+        }
+    }
+
+    /// Iterates the elements.
+    #[inline]
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for SmallVec<T, N> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> DerefMut for SmallVec<T, N> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Borrow<[T]> for SmallVec<T, N> {
+    #[inline]
+    fn borrow(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+// Hash must agree with `<[T]>::hash` for `Borrow<[T]>`-keyed map probes.
+impl<T: Copy + Default + Hash, const N: usize> Hash for SmallVec<T, N> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = SmallVec::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Extend<T> for SmallVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<&[T]> for SmallVec<T, N> {
+    fn from(slice: &[T]) -> Self {
+        let mut v = SmallVec::new();
+        v.extend_from_slice(slice);
+        v
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<T: Copy + Default + serde::Serialize, const N: usize> serde::Serialize for SmallVec<T, N> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Array(self.iter().map(serde::Serialize::to_value).collect())
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<T: Copy + Default + serde::Deserialize, const N: usize> serde::Deserialize for SmallVec<T, N> {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        v.as_array()
+            .ok_or_else(|| serde::Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    #[test]
+    fn push_stays_inline_then_spills() {
+        let mut v: SmallVec<u32, 4> = SmallVec::new();
+        for i in 0..4 {
+            v.push(i);
+            assert!(v.is_inline());
+        }
+        v.push(4);
+        assert!(!v.is_inline());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn insert_shifts_elements() {
+        let mut v: SmallVec<u32, 4> = SmallVec::new();
+        v.push(1);
+        v.push(3);
+        v.insert(1, 2);
+        assert_eq!(v.as_slice(), &[1, 2, 3]);
+        v.insert(0, 0);
+        v.insert(4, 9);
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 9]);
+        // Insert while spilled.
+        v.insert(4, 4);
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4, 9]);
+    }
+
+    #[test]
+    fn truncate_migrates_back_inline() {
+        let mut v: SmallVec<u32, 2> = (0..5).collect();
+        assert!(!v.is_inline());
+        v.truncate(2);
+        assert!(v.is_inline());
+        assert_eq!(v.as_slice(), &[0, 1]);
+    }
+
+    #[test]
+    fn hash_matches_slice_hash() {
+        fn h<T: Hash + ?Sized>(t: &T) -> u64 {
+            let mut s = DefaultHasher::new();
+            t.hash(&mut s);
+            s.finish()
+        }
+        let v: SmallVec<u32, 4> = [1u32, 2, 3].as_slice().into();
+        assert_eq!(h(&v), h(&[1u32, 2, 3][..]));
+    }
+
+    #[test]
+    fn clear_and_reuse() {
+        let mut v: SmallVec<u32, 2> = (0..5).collect();
+        v.clear();
+        assert!(v.is_empty() && v.is_inline());
+        v.push(7);
+        assert_eq!(v.as_slice(), &[7]);
+    }
+}
