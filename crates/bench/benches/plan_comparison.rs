@@ -22,9 +22,9 @@ fn bench_plans(c: &mut Criterion) {
     let query = news_triple_query(Duration::from_mins(10));
 
     // Statistics learned from a warm-up pass drive the informed plan.
-    let mut warm = ContinuousQueryEngine::with_defaults();
+    let mut warm = ContinuousQueryEngine::builder().build().unwrap();
     for ev in &workload.events {
-        warm.process(ev);
+        warm.ingest(ev);
     }
 
     let strategies: Vec<(&str, Box<dyn DecompositionStrategy>)> = vec![
@@ -58,7 +58,7 @@ fn bench_plans(c: &mut Criterion) {
                 });
                 let id = engine.register_plan(plan.clone());
                 for ev in &workload.events {
-                    engine.process(ev);
+                    engine.ingest(ev);
                 }
                 engine.metrics(id).unwrap().complete_matches
             })

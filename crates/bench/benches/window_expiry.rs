@@ -31,7 +31,7 @@ fn bench_window_sweep(c: &mut Criterion) {
                     engine.register_query(query.clone()).unwrap();
                     let mut matches = 0u64;
                     for ev in &workload.events {
-                        matches += engine.process(ev).len() as u64;
+                        matches += engine.ingest(ev).len() as u64;
                     }
                     matches
                 })

@@ -11,7 +11,7 @@
 
 use streamworks_bench::{measure, PresetSize, Table};
 use streamworks_core::{
-    AdaptiveConfig, AdaptiveReplanner, ContinuousQueryEngine, EngineConfig, QueryId,
+    AdaptiveConfig, AdaptiveReplanner, ContinuousQueryEngine, EngineConfig, QueryHandle,
 };
 use streamworks_graph::{Duration, EdgeEvent};
 use streamworks_query::{CostBasedOrdered, LeftDeepEdgeChain, TreeShapeKind};
@@ -31,7 +31,7 @@ fn phase(seed: u64, articles: usize) -> Vec<EdgeEvent> {
 
 fn run_phase(
     engine: &mut ContinuousQueryEngine,
-    id: QueryId,
+    id: QueryHandle,
     events: &[EdgeEvent],
     label: &str,
     plan: &str,
@@ -42,7 +42,7 @@ fn run_phase(
     let run = measure(events.len(), || {
         let mut matches = 0u64;
         for ev in events {
-            matches += engine.process(ev).len() as u64;
+            matches += engine.ingest(ev).len() as u64;
         }
         matches
     });
@@ -142,7 +142,7 @@ fn main() {
     let mut informed = ContinuousQueryEngine::new(config);
     // Warm statistics so the informed plan actually has something to use.
     for ev in &phase1 {
-        informed.process(ev);
+        informed.ingest(ev);
     }
     let informed_id = informed
         .register_query_with(query, &CostBasedOrdered::default(), TreeShapeKind::LeftDeep)
@@ -160,7 +160,7 @@ fn main() {
     for d in &decisions {
         println!(
             "replan decision: query={} drift={:.3} current_cost={:.1} candidate_cost={:.1} replanned={} ({})",
-            d.query.0, d.drift, d.current_cost, d.candidate_cost, d.replanned, d.reason
+            d.query, d.drift, d.current_cost, d.candidate_cost, d.replanned, d.reason
         );
     }
 }

@@ -19,9 +19,9 @@ use streamworks_workloads::{CyberTrafficGenerator, NewsConfig, NewsStreamGenerat
 
 fn ablate(name: &str, query: QueryGraph, events: &[EdgeEvent], table: &mut Table) {
     // Learn statistics with a warm-up pass.
-    let mut warm = ContinuousQueryEngine::with_defaults();
+    let mut warm = ContinuousQueryEngine::builder().build().unwrap();
     for ev in events {
-        warm.process(ev);
+        warm.ingest(ev);
     }
     let strategies: Vec<(&str, Box<dyn DecompositionStrategy>)> = vec![
         ("selectivity-pairs", Box::new(SelectivityOrdered::default())),
@@ -57,7 +57,7 @@ fn ablate(name: &str, query: QueryGraph, events: &[EdgeEvent], table: &mut Table
         let run = measure(events.len(), || {
             let mut matches = 0u64;
             for ev in events {
-                matches += engine.process(ev).len() as u64;
+                matches += engine.ingest(ev).len() as u64;
             }
             matches
         });

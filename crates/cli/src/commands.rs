@@ -8,7 +8,7 @@ use std::fmt;
 use std::path::Path;
 
 use crate::options::{OptionError, Options};
-use streamworks_core::{ContinuousQueryEngine, EngineConfig, MatchEvent};
+use streamworks_core::{ContinuousQueryEngine, EngineError, MatchEvent};
 use streamworks_query::{
     estimate_shape_cost, BalancedPairs, CostBasedOrdered, DecompositionStrategy, LeftDeepEdgeChain,
     Planner, QueryError, QueryGraph, SelectivityEstimator, SelectivityOrdered, TreeShapeKind,
@@ -31,6 +31,8 @@ pub enum CliError {
     Options(OptionError),
     /// A query file could not be parsed.
     Query(QueryError),
+    /// The engine rejected a registration or configuration.
+    Engine(EngineError),
     /// A trace could not be read or written.
     Trace(TraceError),
     /// Filesystem access failed.
@@ -43,6 +45,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Options(e) => write!(f, "{e}"),
             CliError::Query(e) => write!(f, "query error: {e}"),
+            CliError::Engine(e) => write!(f, "engine error: {e}"),
             CliError::Trace(e) => write!(f, "trace error: {e}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
         }
@@ -59,6 +62,11 @@ impl From<OptionError> for CliError {
 impl From<QueryError> for CliError {
     fn from(e: QueryError) -> Self {
         CliError::Query(e)
+    }
+}
+impl From<EngineError> for CliError {
+    fn from(e: EngineError) -> Self {
+        CliError::Engine(e)
     }
 }
 impl From<TraceError> for CliError {
@@ -88,9 +96,10 @@ COMMANDS:
              Parse a DSL query, plan it (optionally against trace statistics)
              and print the SJ-Tree plan with its cost estimate.
   run        --query <q.swq> [--query <q2.swq> ...] --trace <trace.jsonl>
-             [--strategy <name>] [--limit N] [--csv <out.csv>] [--jsonl <out>]
-             Register the queries and replay the trace, printing the event
-             table and per-query metrics.
+             [--strategy <name>] [--batch N] [--limit N] [--csv <out.csv>]
+             [--jsonl <out>]
+             Register the queries and replay the trace in batches of N events
+             (default 1024), printing the event table and per-query metrics.
   summarize  --trace <trace.jsonl> [--triads N]
              Ingest the trace and print the graph statistics report.
 
@@ -131,10 +140,8 @@ fn load_query(path: &str) -> Result<QueryGraph, CliError> {
 /// and type interner can back statistics-driven planning.
 fn engine_from_trace(path: &str) -> Result<ContinuousQueryEngine, CliError> {
     let events = read_trace_file(path)?;
-    let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
-    for ev in &events {
-        engine.process(ev);
-    }
+    let mut engine = ContinuousQueryEngine::builder().build()?;
+    engine.ingest(&events);
     Ok(engine)
 }
 
@@ -242,7 +249,8 @@ pub fn cmd_plan(opts: &Options) -> Result<String, CliError> {
 // run
 // ---------------------------------------------------------------------------
 
-/// `run`: register queries and replay a trace through the engine.
+/// `run`: register queries and replay a trace through the engine, ingesting
+/// at batch granularity (`--batch`, default 1024 events per ingest call).
 pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
     let query_paths = opts.values("query");
     if query_paths.is_empty() {
@@ -252,27 +260,35 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
     let strategy = strategy_by_name(opts.value("strategy").unwrap_or("selectivity"))?;
     let tree_kind = tree_kind_by_name(opts.value("tree").unwrap_or("left-deep"))?;
     let limit: usize = opts.parse_or("limit", 50)?;
+    let batch: usize = opts.parse_or("batch", 1024)?;
+    if batch == 0 {
+        return Err(CliError::Options(OptionError::Invalid {
+            flag: "batch".into(),
+            message: "batch size must be positive".into(),
+        }));
+    }
 
-    let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
+    let mut engine = ContinuousQueryEngine::builder().build()?;
     let mut spec = EventTableSpec::standard();
     for path in query_paths {
         let query = load_query(path)?;
         let name = query.name().to_owned();
-        let id = engine.register_query_with(query, strategy.as_ref(), tree_kind)?;
-        spec = spec.label(id, name);
+        let handle = engine.register_query_with(query, strategy.as_ref(), tree_kind)?;
+        spec = spec.label(handle.id(), name);
     }
 
     let events = read_trace_file(trace)?;
     let mut matches: Vec<MatchEvent> = Vec::new();
-    for ev in &events {
-        matches.extend(engine.process(ev));
+    for chunk in events.chunks(batch) {
+        matches.extend(engine.ingest(chunk));
     }
 
     let table = EventTable::build(&spec, &matches);
     let mut out = String::new();
     out.push_str(&format!(
-        "replayed {} events, {} matches across {} queries\n\n",
+        "replayed {} events in batches of {}, {} matches across {} queries\n\n",
         events.len(),
+        batch,
         matches.len(),
         engine.query_count()
     ));
@@ -290,12 +306,18 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
         "partial_live",
         "joins",
         "complete",
+        "spills",
     ]);
-    for (id, m) in engine.all_metrics() {
+    let all_metrics = engine.all_metrics();
+    let mut spilled: Vec<String> = Vec::new();
+    for (handle, m) in &all_metrics {
         let name = engine
-            .plan(id)
+            .plan(*handle)
             .map(|p| p.query.name().to_owned())
-            .unwrap_or_else(|| format!("q{}", id.0));
+            .unwrap_or_else(|_| format!("q{}", handle.id().0));
+        if m.binding_spills > 0 {
+            spilled.push(name.clone());
+        }
         metrics_table.add_row([
             name,
             m.edges_processed.to_string(),
@@ -303,9 +325,17 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
             m.partial_matches_live.to_string(),
             m.joins_attempted.to_string(),
             m.complete_matches.to_string(),
+            m.binding_spills.to_string(),
         ]);
     }
     out.push_str(&metrics_table.render());
+    if !spilled.is_empty() {
+        out.push_str(&format!(
+            "note: {} exceeded the inline hot-path capacities (>8 vertices or >6 edges); \
+             each of their partial matches heap-allocates\n",
+            spilled.join(", ")
+        ));
+    }
 
     if let Some(path) = opts.value("csv") {
         std::fs::write(path, table.to_csv())?;
@@ -461,8 +491,28 @@ mod tests {
         assert!(out.contains("2 matches"), "output: {out}");
         assert!(out.contains("per-query metrics"));
         assert!(out.contains("pair"));
+        assert!(
+            out.contains("spills"),
+            "metrics table surfaces spill column"
+        );
         let csv_text = std::fs::read_to_string(&csv).unwrap();
         assert_eq!(csv_text.lines().count(), 3);
+
+        // Replaying at a different batch granularity reports the same matches.
+        let small_batches = dispatch(&args(&[
+            "run", "--query", &query, "--trace", &trace, "--batch", "1",
+        ]))
+        .unwrap();
+        assert!(
+            small_batches.contains("2 matches"),
+            "output: {small_batches}"
+        );
+        assert!(small_batches.contains("batches of 1"));
+        // A batch size of zero is rejected up front.
+        assert!(dispatch(&args(&[
+            "run", "--query", &query, "--trace", &trace, "--batch", "0",
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! from the data stream and updating the query decomposition and search
 //! strategy remains an area for future work." The engine already maintains the
 //! statistics ([`crate::ContinuousQueryEngine::summary`]) and exposes the
-//! mechanism ([`crate::ContinuousQueryEngine::replan_query`]); this module adds
+//! mechanism ([`crate::ContinuousQueryEngine::replan`]); this module adds
 //! the *policy*: an [`AdaptiveReplanner`] that watches how far the live
 //! edge-type distribution has drifted from the distribution each plan was
 //! built against, predicts (with the plan cost model of `streamworks-query`)
@@ -18,7 +18,7 @@
 //! accumulated under the old plan, so the policy should not fire on noise.
 
 use crate::engine::ContinuousQueryEngine;
-use crate::event::QueryId;
+use crate::handle::QueryHandle;
 use serde::{Deserialize, Serialize};
 use streamworks_graph::hash::FxHashMap;
 use streamworks_query::{
@@ -83,7 +83,7 @@ impl Default for AdaptiveConfig {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ReplanDecision {
     /// The query considered.
-    pub query: QueryId,
+    pub query: QueryHandle,
     /// Total-variation distance between the baseline and current edge-type
     /// distributions (0 = identical, 1 = disjoint).
     pub drift: f64,
@@ -154,7 +154,8 @@ impl StatSnapshot {
 #[derive(Debug)]
 pub struct AdaptiveReplanner {
     config: AdaptiveConfig,
-    baselines: Vec<StatSnapshot>,
+    /// Baseline statistics snapshot per live query handle.
+    baselines: FxHashMap<QueryHandle, StatSnapshot>,
     decisions: Vec<ReplanDecision>,
 }
 
@@ -163,7 +164,7 @@ impl AdaptiveReplanner {
     pub fn new(config: AdaptiveConfig) -> Self {
         AdaptiveReplanner {
             config,
-            baselines: Vec::new(),
+            baselines: FxHashMap::default(),
             decisions: Vec::new(),
         }
     }
@@ -192,15 +193,18 @@ impl AdaptiveReplanner {
     /// the re-plan where the policy says so. Returns the decisions taken in
     /// this round (also appended to [`AdaptiveReplanner::decisions`]).
     pub fn check(&mut self, engine: &mut ContinuousQueryEngine) -> Vec<ReplanDecision> {
-        // Late registration: make sure every query has a baseline snapshot.
-        while self.baselines.len() < engine.query_count() {
-            self.baselines.push(StatSnapshot::capture(engine));
+        let handles = engine.handles();
+        // Forget deregistered queries; snapshot a baseline for new arrivals.
+        self.baselines.retain(|h, _| handles.contains(h));
+        for &handle in &handles {
+            self.baselines
+                .entry(handle)
+                .or_insert_with(|| StatSnapshot::capture(engine));
         }
 
         let mut round = Vec::new();
-        for idx in 0..engine.query_count() {
-            let id = QueryId(idx);
-            let decision = self.consider(engine, id);
+        for handle in handles {
+            let decision = self.consider(engine, handle);
             if let Some(d) = decision {
                 round.push(d.clone());
                 self.decisions.push(d);
@@ -212,9 +216,9 @@ impl AdaptiveReplanner {
     fn consider(
         &mut self,
         engine: &mut ContinuousQueryEngine,
-        id: QueryId,
+        handle: QueryHandle,
     ) -> Option<ReplanDecision> {
-        let baseline = &self.baselines[id.0];
+        let baseline = self.baselines.get(&handle)?;
         let observed_since = engine
             .summary()
             .edges_observed()
@@ -225,7 +229,7 @@ impl AdaptiveReplanner {
         let drift = baseline.drift_from(engine);
         if drift < self.config.drift_threshold {
             return Some(ReplanDecision {
-                query: id,
+                query: handle,
                 drift,
                 current_cost: f64::NAN,
                 candidate_cost: f64::NAN,
@@ -244,7 +248,7 @@ impl AdaptiveReplanner {
             let summary = engine.summary();
             let graph = engine.graph();
             let estimator = SelectivityEstimator::with_summary(summary, graph);
-            let current_plan = engine.plan(id)?;
+            let current_plan = engine.plan(handle).ok()?;
             let current_cost =
                 estimate_shape_cost(&current_plan.query, &estimator, &current_plan.shape)
                     .stored_partial_matches;
@@ -272,7 +276,7 @@ impl AdaptiveReplanner {
         };
         if !improvement.is_finite() && candidate_cost.is_infinite() {
             return Some(ReplanDecision {
-                query: id,
+                query: handle,
                 drift,
                 current_cost,
                 candidate_cost,
@@ -282,7 +286,7 @@ impl AdaptiveReplanner {
         }
         if improvement < self.config.min_improvement {
             return Some(ReplanDecision {
-                query: id,
+                query: handle,
                 drift,
                 current_cost,
                 candidate_cost,
@@ -295,13 +299,13 @@ impl AdaptiveReplanner {
         }
 
         let applied = engine
-            .replan_query(id, strategy.as_ref(), self.config.tree_kind)
+            .replan(handle, strategy.as_ref(), self.config.tree_kind)
             .is_ok();
         if applied {
-            self.baselines[id.0] = StatSnapshot::capture(engine);
+            self.baselines.insert(handle, StatSnapshot::capture(engine));
         }
         Some(ReplanDecision {
-            query: id,
+            query: handle,
             drift,
             current_cost,
             candidate_cost,
@@ -347,7 +351,7 @@ mod tests {
     fn feed_skewed(engine: &mut ContinuousQueryEngine, n: usize, start: i64) {
         let mut t = start;
         for i in 0..n {
-            engine.process(&ev(
+            engine.ingest(&ev(
                 &format!("a{}", i % 50),
                 "Article",
                 &format!("k{}", i % 10),
@@ -357,7 +361,7 @@ mod tests {
             ));
             t += 1;
             if i % 40 == 0 {
-                engine.process(&ev(
+                engine.ingest(&ev(
                     &format!("a{}", i % 50),
                     "Article",
                     "paris",
@@ -373,14 +377,17 @@ mod tests {
     #[test]
     fn replans_after_drift_and_improvement() {
         let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
-        let id = engine
+        let handle = engine
             .register_query_with(
                 wedge_query(Duration::from_hours(2)),
                 &LeftDeepEdgeChain,
                 TreeShapeKind::LeftDeep,
             )
             .unwrap();
-        assert_eq!(engine.plan(id).unwrap().strategy, "left-deep-edge-chain");
+        assert_eq!(
+            engine.plan(handle).unwrap().strategy,
+            "left-deep-edge-chain"
+        );
 
         let mut replanner = AdaptiveReplanner::new(AdaptiveConfig {
             min_edges_between_replans: 100,
@@ -395,22 +402,19 @@ mod tests {
         let decisions = replanner.check(&mut engine);
         assert_eq!(decisions.len(), 1);
         assert!(decisions[0].replanned, "reason: {}", decisions[0].reason);
-        assert_eq!(engine.plan(id).unwrap().strategy, "cost-based");
+        assert_eq!(engine.plan(handle).unwrap().strategy, "cost-based");
         assert_eq!(replanner.replans_applied(), 1);
         // The new plan still finds matches arriving after the re-plan.
-        let out = engine.process_batch(
-            [
-                ev("fresh", "Article", "k0", "Keyword", "mentions", 10_000),
-                ev("fresh", "Article", "paris", "Location", "located", 10_001),
-            ]
-            .iter(),
-        );
+        let out = engine.ingest(&[
+            ev("fresh", "Article", "k0", "Keyword", "mentions", 10_000),
+            ev("fresh", "Article", "paris", "Location", "located", 10_001),
+        ]);
         assert_eq!(out.len(), 1);
     }
 
     #[test]
     fn does_not_replan_below_drift_threshold() {
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         engine
             .register_query(wedge_query(Duration::from_hours(1)))
             .unwrap();
@@ -434,7 +438,7 @@ mod tests {
 
     #[test]
     fn respects_min_edges_between_replans() {
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         engine
             .register_query(wedge_query(Duration::from_hours(1)))
             .unwrap();
@@ -451,7 +455,7 @@ mod tests {
 
     #[test]
     fn keeps_plan_when_improvement_is_too_small() {
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         // Register with the statistics-driven strategy already — the candidate
         // cannot beat it by the required margin.
         engine
@@ -475,7 +479,7 @@ mod tests {
 
     #[test]
     fn handles_multiple_queries_and_late_registration() {
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         engine
             .register_query_with(
                 wedge_query(Duration::from_hours(1)),
@@ -506,7 +510,9 @@ mod tests {
         assert!(!decisions.is_empty());
         feed_skewed(&mut engine, 200, 1_000);
         let second_round = replanner.check(&mut engine);
-        assert!(second_round.iter().any(|d| d.query == QueryId(1)));
+        assert!(second_round
+            .iter()
+            .any(|d| d.query.id() == crate::event::QueryId(1)));
         for d in replanner.decisions() {
             if d.replanned {
                 assert_eq!(

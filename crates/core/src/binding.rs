@@ -152,6 +152,13 @@ impl Binding {
         true
     }
 
+    /// True if the slot table has outgrown its inline capacity
+    /// ([`INLINE_VERTICES`]) and lives on the heap.
+    #[inline]
+    pub fn spilled(&self) -> bool {
+        !self.slots.is_inline()
+    }
+
     /// Merges `other` into a copy of `self`. Returns `None` on any conflict:
     /// a query vertex bound to different data vertices, or two query vertices
     /// bound to the same data vertex (injectivity across the merged binding).
@@ -229,6 +236,15 @@ impl PartialMatch {
     #[inline]
     pub fn edge_count(&self) -> usize {
         self.edges.len()
+    }
+
+    /// True if either inline hot-path structure (the binding's slot table or
+    /// the edge list) has spilled to the heap — i.e. the query exceeds
+    /// [`INLINE_VERTICES`] vertices or [`INLINE_EDGES`] edges. Surfaced per
+    /// query as [`crate::QueryMetrics::binding_spills`].
+    #[inline]
+    pub fn spilled(&self) -> bool {
+        self.binding.spilled() || !self.edges.is_inline()
     }
 
     /// The time span `τ(g)` of the match.
@@ -521,5 +537,32 @@ mod tests {
             ));
         }
         assert!(m.edges.is_inline());
+        assert!(!m.spilled());
+    }
+
+    #[test]
+    fn oversized_queries_report_their_spill() {
+        // One vertex over the inline capacity: the slot table heap-allocates.
+        let big_binding = PartialMatch::seed(
+            INLINE_VERTICES + 1,
+            QueryEdgeId(0),
+            EdgeId(1),
+            Timestamp::from_secs(1),
+        );
+        assert!(big_binding.binding.spilled());
+        assert!(big_binding.spilled());
+
+        // One edge over the inline capacity: the edge list heap-allocates.
+        let mut big_edges =
+            PartialMatch::seed(4, QueryEdgeId(0), EdgeId(1), Timestamp::from_secs(1));
+        for q in 1..=INLINE_EDGES {
+            big_edges.add_edge(
+                QueryEdgeId(q),
+                EdgeId(1 + q as u64),
+                Timestamp::from_secs(1),
+            );
+        }
+        assert!(!big_edges.binding.spilled());
+        assert!(big_edges.spilled());
     }
 }

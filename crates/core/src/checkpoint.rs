@@ -51,6 +51,14 @@ impl EventSink for NullSink {
 
 impl EngineCheckpoint {
     /// Captures the restorable state of `engine`.
+    ///
+    /// Only *live* queries are captured, in query-id order; deregistered
+    /// slots are compacted away, so query ids in the restored engine are
+    /// dense again. Because of that compaction, `QueryHandle`s issued by the
+    /// checkpointed engine are meaningless on the restored one (and the
+    /// mismatch is not detectable) — always re-obtain handles from the
+    /// restored engine's `handles()`. Paused queries are captured like any
+    /// other and come back running.
     pub fn capture(engine: &ContinuousQueryEngine) -> Self {
         let graph = engine.graph();
         let mut live_edges: Vec<EdgeEvent> = graph
@@ -83,8 +91,10 @@ impl EngineCheckpoint {
             })
             .collect();
         live_edges.sort_by_key(|e| e.timestamp);
-        let plans = (0..engine.query_count())
-            .filter_map(|i| engine.plan(crate::event::QueryId(i)).cloned())
+        let plans = engine
+            .handles()
+            .into_iter()
+            .filter_map(|h| engine.plan(h).ok().cloned())
             .collect();
         EngineCheckpoint {
             config: *engine.config(),
@@ -96,16 +106,21 @@ impl EngineCheckpoint {
     }
 
     /// Rebuilds an engine from this checkpoint (see the module docs for the
-    /// exact semantics of the replay).
+    /// exact semantics of the replay). The retained edges are replayed as one
+    /// batch through the unified ingest path, with event emission suppressed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpointed configuration fails
+    /// [`EngineConfig::validate`] (possible only for hand-edited JSON);
+    /// validate the config first to recover gracefully.
     pub fn restore(&self) -> ContinuousQueryEngine {
         let mut engine = ContinuousQueryEngine::new(self.config);
         for plan in &self.plans {
             engine.register_plan(plan.clone());
         }
         let mut sink = NullSink;
-        for ev in &self.live_edges {
-            engine.process_with_sink(ev, &mut sink);
-        }
+        engine.ingest_with(&self.live_edges, &mut sink);
         // The replayed matches were suppressed; continue the emitted-event
         // counter from where the checkpointed engine left off.
         engine.set_events_emitted(self.events_emitted);
@@ -159,12 +174,12 @@ mod tests {
 
     #[test]
     fn restore_preserves_queries_window_state_and_future_matches() {
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         engine
             .register_query(pair_query(Duration::from_secs(100)))
             .unwrap();
         // One article already mentioned the keyword before the checkpoint.
-        assert!(engine.process(&ev("a1", "rust", "mentions", 10)).is_empty());
+        assert!(engine.ingest(&ev("a1", "rust", "mentions", 10)).is_empty());
 
         let checkpoint = engine.checkpoint();
         assert_eq!(checkpoint.plans.len(), 1);
@@ -174,22 +189,22 @@ mod tests {
         assert_eq!(restored.query_count(), 1);
         // The pre-checkpoint partial state was rebuilt: a second article now
         // completes the pair exactly as it would have without the restart.
-        let matches = restored.process(&ev("a2", "rust", "mentions", 20));
+        let matches = restored.ingest(&ev("a2", "rust", "mentions", 20));
         assert_eq!(matches.len(), 2);
 
         // The original engine (no restart) behaves identically.
-        let direct = engine.process(&ev("a2", "rust", "mentions", 20));
+        let direct = engine.ingest(&ev("a2", "rust", "mentions", 20));
         assert_eq!(direct.len(), matches.len());
     }
 
     #[test]
     fn restore_does_not_re_emit_completed_matches() {
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         engine
             .register_query(pair_query(Duration::from_secs(100)))
             .unwrap();
-        engine.process(&ev("a1", "rust", "mentions", 1));
-        let matched = engine.process(&ev("a2", "rust", "mentions", 2));
+        engine.ingest(&ev("a1", "rust", "mentions", 1));
+        let matched = engine.ingest(&ev("a2", "rust", "mentions", 2));
         assert_eq!(matched.len(), 2);
 
         let checkpoint = engine.checkpoint();
@@ -202,12 +217,12 @@ mod tests {
 
     #[test]
     fn expired_edges_are_not_checkpointed() {
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         engine
             .register_query(pair_query(Duration::from_secs(30)))
             .unwrap();
-        engine.process(&ev("a1", "rust", "mentions", 0));
-        engine.process(&ev("a2", "go", "mentions", 1_000));
+        engine.ingest(&ev("a1", "rust", "mentions", 0));
+        engine.ingest(&ev("a2", "go", "mentions", 1_000));
         let checkpoint = engine.checkpoint();
         // Only the recent edge is still live (retention follows the window).
         assert_eq!(checkpoint.live_edges.len(), 1);
@@ -216,11 +231,11 @@ mod tests {
 
     #[test]
     fn json_round_trip_preserves_everything() {
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         engine
             .register_query(pair_query(Duration::from_secs(60)))
             .unwrap();
-        engine.process(&ev("a1", "rust", "mentions", 5));
+        engine.ingest(&ev("a1", "rust", "mentions", 5));
         let checkpoint = engine.checkpoint();
         let json = checkpoint.to_json().unwrap();
         let parsed = EngineCheckpoint::from_json(&json).unwrap();
@@ -235,12 +250,12 @@ mod tests {
 
     #[test]
     fn checkpoint_preserves_edge_attributes() {
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         engine
             .register_query(pair_query(Duration::from_secs(3600)))
             .unwrap();
         let event = ev("a1", "rust", "mentions", 1).with_attr("label", "politics");
-        engine.process(&event);
+        engine.ingest(&event);
 
         let checkpoint = engine.checkpoint();
         assert_eq!(
@@ -260,8 +275,33 @@ mod tests {
     }
 
     #[test]
+    fn deregistered_queries_are_compacted_out() {
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+        let doomed = engine
+            .register_query(pair_query(Duration::from_secs(60)))
+            .unwrap();
+        engine
+            .register_dsl(
+                "QUERY keeper WINDOW 1m MATCH (a1:Article)-[:cites]->(k:Keyword), (a2:Article)-[:cites]->(k)",
+            )
+            .unwrap();
+        engine.deregister(doomed).unwrap();
+
+        let checkpoint = engine.checkpoint();
+        assert_eq!(checkpoint.plans.len(), 1);
+        assert_eq!(checkpoint.plans[0].query.name(), "keeper");
+        let restored = checkpoint.restore();
+        assert_eq!(restored.query_count(), 1);
+        assert_eq!(
+            restored.handles()[0].id().0,
+            0,
+            "restored ids are dense again"
+        );
+    }
+
+    #[test]
     fn empty_engine_round_trips() {
-        let engine = ContinuousQueryEngine::with_defaults();
+        let engine = ContinuousQueryEngine::builder().build().unwrap();
         let checkpoint = engine.checkpoint();
         assert!(checkpoint.plans.is_empty());
         assert!(checkpoint.live_edges.is_empty());

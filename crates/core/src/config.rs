@@ -1,10 +1,22 @@
-//! Engine configuration.
+//! Engine configuration and the validating builder.
+//!
+//! [`EngineConfig`] is the serialisable *snapshot* of an engine's settings
+//! (checkpoints embed it verbatim); [`EngineBuilder`] is the service-facing
+//! way to construct an engine — every setting is validated up front, so a
+//! misconfigured deployment fails at build time with a
+//! [`crate::EngineError::InvalidConfig`] instead of misbehaving mid-stream.
 
+use crate::engine::ContinuousQueryEngine;
+use crate::error::EngineError;
 use serde::{Deserialize, Serialize};
 use streamworks_graph::Duration;
 use streamworks_summarize::SummaryConfig;
 
 /// Configuration of a [`crate::ContinuousQueryEngine`].
+///
+/// Prefer assembling one through [`EngineBuilder`] (or
+/// [`ContinuousQueryEngine::builder`]), which validates the settings;
+/// the plain struct exists as the serialisable form carried by checkpoints.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Retention horizon of the underlying graph. `None` lets the engine pick
@@ -46,6 +58,129 @@ impl EngineConfig {
             ..Default::default()
         }
     }
+
+    /// Checks the settings for internal consistency. [`EngineBuilder::build`]
+    /// calls this; it is public so checkpoint consumers can validate a
+    /// deserialized configuration before trusting it.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.prune_every == 0 {
+            return Err(
+                "prune_every must be positive (0 would prune after every edge check and \
+                 never advance the cadence counter)"
+                    .into(),
+            );
+        }
+        if self.max_matches_per_node == Some(0) {
+            return Err(
+                "max_matches_per_node of 0 would drop every partial match; use None for \
+                 unbounded or a positive cap"
+                    .into(),
+            );
+        }
+        if let Some(retention) = self.retention {
+            if retention.as_micros() <= 0 {
+                return Err(format!(
+                    "retention must be a positive duration, got {}µs",
+                    retention.as_micros()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`crate::ContinuousQueryEngine`].
+///
+/// ```
+/// use streamworks_core::ContinuousQueryEngine;
+/// use streamworks_graph::Duration;
+///
+/// let engine = ContinuousQueryEngine::builder()
+///     .retention(Duration::from_hours(2))
+///     .prune_every(512)
+///     .max_matches_per_node(100_000)
+///     .build()
+///     .unwrap();
+/// assert_eq!(engine.config().prune_every, 512);
+///
+/// // Invalid settings are rejected at build time.
+/// assert!(ContinuousQueryEngine::builder().prune_every(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EngineBuilder {
+    config: EngineConfig,
+}
+
+impl EngineBuilder {
+    /// Starts from the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts from an existing configuration snapshot (e.g. a checkpoint's).
+    pub fn from_config(config: EngineConfig) -> Self {
+        EngineBuilder { config }
+    }
+
+    /// Starts from the raw-ingest preset: no summary maintenance and a modest
+    /// partial-match cap (see [`EngineConfig::fast_ingest`]).
+    pub fn fast_ingest() -> Self {
+        Self::from_config(EngineConfig::fast_ingest())
+    }
+
+    /// Fixes the graph's retention horizon explicitly.
+    pub fn retention(mut self, horizon: Duration) -> Self {
+        self.config.retention = Some(horizon);
+        self
+    }
+
+    /// Lets the engine derive retention from the largest registered query
+    /// window (the default).
+    pub fn auto_retention(mut self) -> Self {
+        self.config.retention = None;
+        self
+    }
+
+    /// Sets how many processed edges pass between partial-match prunes.
+    pub fn prune_every(mut self, edges: u64) -> Self {
+        self.config.prune_every = edges;
+        self
+    }
+
+    /// Caps live partial matches per SJ-Tree node per query.
+    pub fn max_matches_per_node(mut self, cap: usize) -> Self {
+        self.config.max_matches_per_node = Some(cap);
+        self
+    }
+
+    /// Removes the per-node partial-match cap (the default).
+    pub fn unbounded_matches(mut self) -> Self {
+        self.config.max_matches_per_node = None;
+        self
+    }
+
+    /// Enables or disables streaming summary maintenance.
+    pub fn maintain_summary(mut self, enabled: bool) -> Self {
+        self.config.maintain_summary = enabled;
+        self
+    }
+
+    /// Sets the summary configuration used when summaries are maintained.
+    pub fn summary_config(mut self, config: SummaryConfig) -> Self {
+        self.config.summary = config;
+        self
+    }
+
+    /// The configuration assembled so far.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Validates the settings and constructs the engine.
+    pub fn build(self) -> Result<ContinuousQueryEngine, EngineError> {
+        self.config.validate().map_err(EngineError::InvalidConfig)?;
+        Ok(ContinuousQueryEngine::new(self.config))
+    }
 }
 
 #[cfg(test)]
@@ -58,6 +193,7 @@ mod tests {
         assert!(c.maintain_summary);
         assert!(c.prune_every > 0);
         assert!(c.retention.is_none());
+        assert!(c.validate().is_ok());
     }
 
     #[test]
@@ -65,5 +201,60 @@ mod tests {
         let c = EngineConfig::fast_ingest();
         assert!(!c.maintain_summary);
         assert!(c.max_matches_per_node.is_some());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_accumulates_settings() {
+        let builder = EngineBuilder::new()
+            .retention(Duration::from_secs(60))
+            .prune_every(128)
+            .max_matches_per_node(1_000)
+            .maintain_summary(false);
+        let c = builder.config();
+        assert_eq!(c.retention, Some(Duration::from_secs(60)));
+        assert_eq!(c.prune_every, 128);
+        assert_eq!(c.max_matches_per_node, Some(1_000));
+        assert!(!c.maintain_summary);
+        let engine = builder.build().unwrap();
+        assert_eq!(engine.config().prune_every, 128);
+    }
+
+    #[test]
+    fn builder_round_trips_auto_settings() {
+        let c = *EngineBuilder::new()
+            .retention(Duration::from_secs(5))
+            .auto_retention()
+            .max_matches_per_node(7)
+            .unbounded_matches()
+            .config();
+        assert!(c.retention.is_none());
+        assert!(c.max_matches_per_node.is_none());
+    }
+
+    #[test]
+    fn invalid_settings_fail_at_build_time() {
+        assert!(EngineBuilder::new().prune_every(0).build().is_err());
+        assert!(EngineBuilder::new()
+            .max_matches_per_node(0)
+            .build()
+            .is_err());
+        assert!(EngineBuilder::new()
+            .retention(Duration::from_secs(0))
+            .build()
+            .is_err());
+        let err = EngineConfig {
+            prune_every: 0,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("prune_every"));
+    }
+
+    #[test]
+    fn fast_ingest_builder_matches_preset() {
+        let engine = EngineBuilder::fast_ingest().build().unwrap();
+        assert!(!engine.config().maintain_summary);
     }
 }

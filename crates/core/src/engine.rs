@@ -5,18 +5,29 @@
 //! by every incoming edge event, registered queries are planned against the
 //! summaries, and each event is pushed through every query's incremental
 //! SJ-Tree matcher, emitting [`MatchEvent`]s for completed patterns.
+//!
+//! The engine is a *service object*: it is built through the validating
+//! [`crate::EngineBuilder`], queries are registered and come back as
+//! generation-tagged [`QueryHandle`]s with a full lifecycle
+//! ([`ContinuousQueryEngine::pause`] / [`ContinuousQueryEngine::resume`] /
+//! [`ContinuousQueryEngine::deregister`]), each query can carry its own
+//! subscriptions ([`ContinuousQueryEngine::subscribe`]), and every way of
+//! feeding events — single, slice, iterator — goes through the unified
+//! [`ContinuousQueryEngine::ingest`] surface.
 
 use crate::binding::PartialMatch;
-use crate::config::EngineConfig;
+use crate::config::{EngineBuilder, EngineConfig};
+use crate::error::EngineError;
 use crate::event::{CollectingSink, EventSink, MatchEvent, QueryId};
+use crate::handle::{QueryHandle, SubscriptionId};
+use crate::ingest::{EventBatch, Ingest};
 use crate::metrics::QueryMetrics;
 use crate::sj_matcher::SjTreeMatcher;
 use streamworks_graph::{
     Duration, DynamicGraph, EdgeEvent, EdgeId, GraphConfig, GraphStats, TypeId,
 };
 use streamworks_query::{
-    DecompositionStrategy, Planner, QueryError, QueryGraph, QueryPlan, SelectivityOrdered,
-    TreeShapeKind,
+    DecompositionStrategy, Planner, QueryGraph, QueryPlan, SelectivityOrdered, TreeShapeKind,
 };
 use streamworks_summarize::GraphSummary;
 
@@ -101,12 +112,47 @@ impl EdgeTypeSlab {
     }
 }
 
+/// The live state of one registered query.
+struct QueryState {
+    matcher: SjTreeMatcher,
+    paused: bool,
+    /// Per-query subscriptions, in subscription order.
+    subscribers: Vec<(u64, Box<dyn EventSink>)>,
+}
+
+/// One query slot. Deregistration bumps the generation and puts the slot on
+/// the free list; a later registration re-occupies it under the new
+/// generation, so slot memory stays bounded under register/deregister churn
+/// while every handle ever issued to a previous occupant stays stale —
+/// the discipline `MatchStore` applies to its match slots.
+struct QuerySlot {
+    generation: u32,
+    state: Option<QueryState>,
+}
+
+impl QuerySlot {
+    fn live(&self) -> Option<&QueryState> {
+        self.state.as_ref()
+    }
+}
+
 /// The StreamWorks continuous-query engine.
 pub struct ContinuousQueryEngine {
     config: EngineConfig,
     graph: DynamicGraph,
     summary: GraphSummary,
-    matchers: Vec<SjTreeMatcher>,
+    /// Query slots, indexed by `QueryId`.
+    queries: Vec<QuerySlot>,
+    /// Indices of vacant slots, re-occupied (under a fresh generation) before
+    /// the slot vector grows.
+    free_slots: Vec<u32>,
+    /// Slot indices of live, unpaused queries in query-id order — the
+    /// dispatch table the per-event loop walks. Rebuilt on every lifecycle
+    /// change (register / deregister / pause / resume), so paused or
+    /// deregistered queries cost nothing per event.
+    dispatch: Vec<u32>,
+    /// Monotonic token generator for subscription ids.
+    next_subscription: u64,
     /// Type info of live edges, used to update the summary on expiry.
     live_edge_types: EdgeTypeSlab,
     edges_since_prune: u64,
@@ -116,8 +162,23 @@ pub struct ContinuousQueryEngine {
 }
 
 impl ContinuousQueryEngine {
-    /// Creates an engine with the given configuration.
+    /// Starts a validating [`EngineBuilder`] — the service-facing way to
+    /// construct an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// Creates an engine directly from a configuration snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`EngineConfig::validate`]; use
+    /// [`Self::builder`] (or [`EngineBuilder::from_config`]) for the
+    /// non-panicking path.
     pub fn new(config: EngineConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid engine configuration: {msg}");
+        }
         let graph = DynamicGraph::new(GraphConfig {
             retention: config.retention,
             ..Default::default()
@@ -125,7 +186,10 @@ impl ContinuousQueryEngine {
         ContinuousQueryEngine {
             summary: GraphSummary::with_config(config.summary),
             graph,
-            matchers: Vec::new(),
+            queries: Vec::new(),
+            free_slots: Vec::new(),
+            dispatch: Vec::new(),
+            next_subscription: 0,
             live_edge_types: EdgeTypeSlab::default(),
             edges_since_prune: 0,
             events_emitted: 0,
@@ -135,6 +199,10 @@ impl ContinuousQueryEngine {
     }
 
     /// Creates an engine with the default configuration.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ContinuousQueryEngine::builder().build()`"
+    )]
     pub fn with_defaults() -> Self {
         Self::new(EngineConfig::default())
     }
@@ -159,7 +227,8 @@ impl ContinuousQueryEngine {
         self.graph.stats()
     }
 
-    /// Total number of match events emitted so far.
+    /// Total number of match events emitted so far (fan-out to per-query
+    /// subscribers does not multiply the count).
     pub fn events_emitted(&self) -> u64 {
         self.events_emitted
     }
@@ -172,22 +241,42 @@ impl ContinuousQueryEngine {
     }
 
     // ------------------------------------------------------------------
-    // Query registration
+    // Query registration and lifecycle
     // ------------------------------------------------------------------
 
-    /// Registers a pre-built plan. Returns the query's id.
-    pub fn register_plan(&mut self, plan: QueryPlan) -> QueryId {
-        let id = QueryId(self.matchers.len());
+    /// Registers a pre-built plan, returning the query's handle. A slot freed
+    /// by an earlier [`Self::deregister`] is re-occupied (under a fresh
+    /// generation, so the old occupant's handles stay stale) before the slot
+    /// table grows.
+    pub fn register_plan(&mut self, plan: QueryPlan) -> QueryHandle {
         self.extend_retention(plan.query.window());
         let matcher =
             SjTreeMatcher::new(plan, &self.graph).with_match_cap(self.config.max_matches_per_node);
-        self.matchers.push(matcher);
-        id
+        let state = QueryState {
+            matcher,
+            paused: false,
+            subscribers: Vec::new(),
+        };
+        let index = match self.free_slots.pop() {
+            Some(i) => {
+                self.queries[i as usize].state = Some(state);
+                i as usize
+            }
+            None => {
+                self.queries.push(QuerySlot {
+                    generation: 0,
+                    state: Some(state),
+                });
+                self.queries.len() - 1
+            }
+        };
+        self.rebuild_dispatch();
+        QueryHandle::new(QueryId(index), self.queries[index].generation)
     }
 
     /// Plans a query with the default (selectivity-ordered) strategy using the
     /// engine's current summaries, then registers it.
-    pub fn register_query(&mut self, query: QueryGraph) -> Result<QueryId, QueryError> {
+    pub fn register_query(&mut self, query: QueryGraph) -> Result<QueryHandle, EngineError> {
         self.register_query_with(
             query,
             &SelectivityOrdered::default(),
@@ -202,7 +291,7 @@ impl ContinuousQueryEngine {
         query: QueryGraph,
         strategy: &dyn DecompositionStrategy,
         tree_kind: TreeShapeKind,
-    ) -> Result<QueryId, QueryError> {
+    ) -> Result<QueryHandle, EngineError> {
         let plan = Planner::new()
             .with_statistics(&self.summary, &self.graph)
             .tree_kind(tree_kind)
@@ -211,13 +300,62 @@ impl ContinuousQueryEngine {
     }
 
     /// Parses a DSL query (see `streamworks_query::parse_query`) and registers it.
-    pub fn register_dsl(&mut self, text: &str) -> Result<QueryId, QueryError> {
+    pub fn register_dsl(&mut self, text: &str) -> Result<QueryHandle, EngineError> {
         let query = streamworks_query::parse_query(text)?;
         self.register_query(query)
     }
 
+    /// Removes a query from the engine. Its matcher — and with it every
+    /// `MatchStore` of partial matches the query had accumulated — is dropped
+    /// immediately, along with the query's subscriptions. The handle (and any
+    /// copy of it) is permanently stale afterwards, even once a later
+    /// registration re-occupies the slot under a new generation.
+    ///
+    /// Retention derived from the query's window is *not* shrunk back: edges
+    /// already admitted under the old horizon stay until they expire.
+    pub fn deregister(&mut self, handle: QueryHandle) -> Result<(), EngineError> {
+        let slot = self.slot_mut(handle)?;
+        slot.state = None;
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free_slots.push(handle.id().0 as u32);
+        self.rebuild_dispatch();
+        Ok(())
+    }
+
+    /// Stops routing events to a query. Its accumulated partial matches stay
+    /// (and keep expiring on the prune cadence); the per-event cost of a
+    /// paused query is zero because the dispatch table is rebuilt without it.
+    /// Pausing an already-paused query is a no-op.
+    pub fn pause(&mut self, handle: QueryHandle) -> Result<(), EngineError> {
+        let state = self.state_mut(handle)?;
+        if !state.paused {
+            state.paused = true;
+            self.rebuild_dispatch();
+        }
+        Ok(())
+    }
+
+    /// Resumes event routing for a paused query. Edges that streamed past
+    /// while it was paused are not replayed — matches needing them are
+    /// missed, exactly as for a query registered late. Resuming an unpaused
+    /// query is a no-op.
+    pub fn resume(&mut self, handle: QueryHandle) -> Result<(), EngineError> {
+        let state = self.state_mut(handle)?;
+        if state.paused {
+            state.paused = false;
+            self.rebuild_dispatch();
+        }
+        Ok(())
+    }
+
+    /// Whether the query is currently paused.
+    pub fn is_paused(&self, handle: QueryHandle) -> Result<bool, EngineError> {
+        Ok(self.state(handle)?.paused)
+    }
+
     /// Re-plans an already-registered query using the engine's *current*
-    /// statistics and replaces its matcher.
+    /// statistics and replaces its matcher. Subscriptions and the paused flag
+    /// survive the re-plan.
     ///
     /// Paper §4.3 lists "continuously collecting the statistics information
     /// from the data stream and updating the query decomposition" as future
@@ -226,57 +364,158 @@ impl ContinuousQueryEngine {
     /// shape), so matches whose first edges arrived before the re-plan and
     /// whose last edges arrive after it may be missed — call it during quiet
     /// periods or accept the gap, exactly as a production system would.
-    pub fn replan_query(
+    pub fn replan(
         &mut self,
-        id: QueryId,
+        handle: QueryHandle,
         strategy: &dyn DecompositionStrategy,
         tree_kind: TreeShapeKind,
-    ) -> Result<(), QueryError> {
-        let query = self
-            .matchers
-            .get(id.0)
-            .ok_or_else(|| QueryError::InvalidDecomposition(format!("unknown query id {id:?}")))?
-            .plan()
-            .query
-            .clone();
+    ) -> Result<(), EngineError> {
+        let query = self.state(handle)?.matcher.plan().query.clone();
         let plan = Planner::new()
             .with_statistics(&self.summary, &self.graph)
             .tree_kind(tree_kind)
             .plan_with(query, strategy)?;
         let matcher =
             SjTreeMatcher::new(plan, &self.graph).with_match_cap(self.config.max_matches_per_node);
-        self.matchers[id.0] = matcher;
+        self.state_mut(handle)?.matcher = matcher;
         Ok(())
     }
 
-    /// Number of registered queries.
+    /// Number of live (registered, not deregistered) queries.
     pub fn query_count(&self) -> usize {
-        self.matchers.len()
+        self.queries.iter().filter(|s| s.state.is_some()).count()
+    }
+
+    /// Handles of every live query, in query-id (slot) order. This is
+    /// registration order until a freed slot is re-occupied.
+    pub fn handles(&self) -> Vec<QueryHandle> {
+        self.queries
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state.is_some())
+            .map(|(i, s)| QueryHandle::new(QueryId(i), s.generation))
+            .collect()
     }
 
     /// The plan of a registered query.
-    pub fn plan(&self, id: QueryId) -> Option<&QueryPlan> {
-        self.matchers.get(id.0).map(|m| m.plan())
+    pub fn plan(&self, handle: QueryHandle) -> Result<&QueryPlan, EngineError> {
+        Ok(self.state(handle)?.matcher.plan())
     }
 
     /// Metrics of a registered query.
-    pub fn metrics(&self, id: QueryId) -> Option<QueryMetrics> {
-        self.matchers.get(id.0).map(|m| m.metrics())
+    pub fn metrics(&self, handle: QueryHandle) -> Result<QueryMetrics, EngineError> {
+        Ok(self.state(handle)?.matcher.metrics())
     }
 
-    /// Metrics of every registered query, in registration order.
-    pub fn all_metrics(&self) -> Vec<(QueryId, QueryMetrics)> {
-        self.matchers
-            .iter()
-            .enumerate()
-            .map(|(i, m)| (QueryId(i), m.metrics()))
+    /// Metrics of every live query, in the order of [`Self::handles`].
+    pub fn all_metrics(&self) -> Vec<(QueryHandle, QueryMetrics)> {
+        self.handles()
+            .into_iter()
+            .map(|h| {
+                let m = self
+                    .metrics(h)
+                    .expect("handles() only returns live handles");
+                (h, m)
+            })
             .collect()
+    }
+
+    /// Partial matches currently stored across every live query's
+    /// `MatchStore`s — the figure that drops to zero for a query's share when
+    /// it is deregistered.
+    pub fn live_partial_matches(&self) -> u64 {
+        self.queries
+            .iter()
+            .filter_map(QuerySlot::live)
+            .map(|s| s.matcher.metrics().partial_matches_live)
+            .sum()
     }
 
     /// Direct access to a registered matcher (used by experiments that inspect
     /// per-node match collections).
-    pub fn matcher(&self, id: QueryId) -> Option<&SjTreeMatcher> {
-        self.matchers.get(id.0)
+    pub fn matcher(&self, handle: QueryHandle) -> Result<&SjTreeMatcher, EngineError> {
+        Ok(&self.state(handle)?.matcher)
+    }
+
+    // ------------------------------------------------------------------
+    // Subscriptions
+    // ------------------------------------------------------------------
+
+    /// Attaches a sink to one query: every future match of that query is
+    /// delivered to it (in addition to whatever sink an `ingest_with` call
+    /// passes). Use [`crate::CountingSink`], [`crate::BufferingSink`],
+    /// [`crate::ChannelSink`] or [`crate::CallbackSink`] to observe the
+    /// delivery while the engine owns the sink.
+    pub fn subscribe(
+        &mut self,
+        handle: QueryHandle,
+        sink: impl EventSink + 'static,
+    ) -> Result<SubscriptionId, EngineError> {
+        let token = self.next_subscription;
+        let state = self.state_mut(handle)?;
+        state.subscribers.push((token, Box::new(sink)));
+        self.next_subscription += 1;
+        Ok(SubscriptionId {
+            query: handle.id(),
+            token,
+        })
+    }
+
+    /// Detaches a subscription. The sink is dropped; a stale or unknown id is
+    /// rejected. (Deregistering a query drops all its subscriptions at once.)
+    pub fn unsubscribe(&mut self, sub: SubscriptionId) -> Result<(), EngineError> {
+        let state = self
+            .queries
+            .get_mut(sub.query.0)
+            .and_then(|slot| slot.state.as_mut())
+            .ok_or(EngineError::UnknownSubscription(sub))?;
+        let before = state.subscribers.len();
+        state.subscribers.retain(|(token, _)| *token != sub.token);
+        if state.subscribers.len() == before {
+            return Err(EngineError::UnknownSubscription(sub));
+        }
+        Ok(())
+    }
+
+    /// Number of active subscriptions on a query.
+    pub fn subscription_count(&self, handle: QueryHandle) -> Result<usize, EngineError> {
+        Ok(self.state(handle)?.subscribers.len())
+    }
+
+    // ------------------------------------------------------------------
+    // Slot plumbing
+    // ------------------------------------------------------------------
+
+    fn rebuild_dispatch(&mut self) {
+        self.dispatch.clear();
+        for (i, slot) in self.queries.iter().enumerate() {
+            if matches!(&slot.state, Some(state) if !state.paused) {
+                self.dispatch.push(i as u32);
+            }
+        }
+    }
+
+    fn slot_mut(&mut self, handle: QueryHandle) -> Result<&mut QuerySlot, EngineError> {
+        match self.queries.get_mut(handle.id().0) {
+            Some(slot) if slot.generation == handle.generation() && slot.state.is_some() => {
+                Ok(slot)
+            }
+            _ => Err(EngineError::StaleHandle(handle)),
+        }
+    }
+
+    fn state(&self, handle: QueryHandle) -> Result<&QueryState, EngineError> {
+        match self.queries.get(handle.id().0) {
+            Some(slot) if slot.generation == handle.generation() => {
+                slot.state.as_ref().ok_or(EngineError::StaleHandle(handle))
+            }
+            _ => Err(EngineError::StaleHandle(handle)),
+        }
+    }
+
+    fn state_mut(&mut self, handle: QueryHandle) -> Result<&mut QueryState, EngineError> {
+        self.slot_mut(handle)
+            .map(|slot| slot.state.as_mut().expect("slot_mut checked liveness"))
     }
 
     fn extend_retention(&mut self, window: Duration) {
@@ -294,17 +533,73 @@ impl ContinuousQueryEngine {
     // Stream processing
     // ------------------------------------------------------------------
 
-    /// Processes one edge event, returning the complete matches it produced.
-    pub fn process(&mut self, event: &EdgeEvent) -> Vec<MatchEvent> {
+    /// Absorbs events from any [`Ingest`] source — a single `&EdgeEvent`, a
+    /// slice or `Vec` of events, or an iterator wrapped in
+    /// [`EventBatch`] — returning the complete matches in arrival
+    /// order. Matches are also fanned out to the per-query subscriptions.
+    ///
+    /// Batch sources report exactly the same matches as feeding the events
+    /// one at a time; they additionally amortise the per-event overheads (one
+    /// sink and one scratch set for the whole batch) and finish with a single
+    /// partial-match prune covering the trailing sub-interval of the prune
+    /// cadence.
+    pub fn ingest<B: Ingest>(&mut self, batch: B) -> Vec<MatchEvent> {
         let mut sink = CollectingSink::new();
-        self.process_with_sink(event, &mut sink);
+        self.ingest_with(batch, &mut sink);
         sink.into_events()
+    }
+
+    /// Like [`Self::ingest`], but delivers matches to `sink` instead of
+    /// collecting them. Returns the number of matches emitted (fan-out to
+    /// subscriptions does not multiply the count).
+    pub fn ingest_with<B: Ingest>(&mut self, batch: B, sink: &mut dyn EventSink) -> usize {
+        let trailing_prune = batch.is_batch();
+        let mut emitted = 0usize;
+        batch.drive(&mut |ev| emitted += self.process_event_inner(ev, sink));
+        // Cover the trailing partial prune interval so a sequence of batches
+        // never carries more than `prune_every` edges of stale partials.
+        if trailing_prune && self.edges_since_prune > 0 {
+            self.prune_now();
+        }
+        emitted
+    }
+
+    /// Processes one edge event, returning the complete matches it produced.
+    #[deprecated(since = "0.2.0", note = "use `ingest(&event)`")]
+    pub fn process(&mut self, event: &EdgeEvent) -> Vec<MatchEvent> {
+        self.ingest(event)
     }
 
     /// Processes one edge event, delivering matches to `sink`.
     /// Returns the number of matches emitted.
+    #[deprecated(since = "0.2.0", note = "use `ingest_with(&event, sink)`")]
     pub fn process_with_sink(&mut self, event: &EdgeEvent, sink: &mut dyn EventSink) -> usize {
-        self.process_event_inner(event, sink)
+        self.ingest_with(event, sink)
+    }
+
+    /// Processes a batch of events, returning all matches in arrival order.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ingest(&events[..])`, or `ingest(EventBatch(iter))` for iterators"
+    )]
+    pub fn process_batch<'a>(
+        &mut self,
+        events: impl IntoIterator<Item = &'a EdgeEvent>,
+    ) -> Vec<MatchEvent> {
+        self.ingest(EventBatch(events))
+    }
+
+    /// Batch twin of `process_with_sink`; returns matches emitted.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ingest_with(&events[..], sink)`, or `ingest_with(EventBatch(iter), sink)`"
+    )]
+    pub fn process_batch_with_sink<'a>(
+        &mut self,
+        events: impl IntoIterator<Item = &'a EdgeEvent>,
+        sink: &mut dyn EventSink,
+    ) -> usize {
+        self.ingest_with(EventBatch(events), sink)
     }
 
     fn process_event_inner(&mut self, event: &EdgeEvent, sink: &mut dyn EventSink) -> usize {
@@ -370,15 +665,24 @@ impl ContinuousQueryEngine {
             }
         }
 
-        // 3. Run every registered matcher.
+        // 3. Run every live, unpaused matcher (the dispatch table).
         let mut emitted = 0usize;
         let mut complete = std::mem::take(&mut self.match_scratch);
-        for (idx, matcher) in self.matchers.iter_mut().enumerate() {
+        let graph = &self.graph;
+        for &idx in &self.dispatch {
+            let slot = &mut self.queries[idx as usize];
+            let handle = QueryHandle::new(QueryId(idx as usize), slot.generation);
+            let state = slot
+                .state
+                .as_mut()
+                .expect("dispatch table only lists live queries");
             complete.clear();
-            matcher.process_edge(&self.graph, edge, &mut complete);
+            state.matcher.process_edge(graph, edge, &mut complete);
             for m in complete.drain(..) {
-                let event =
-                    MatchEvent::from_match(QueryId(idx), &matcher.plan().query, &self.graph, &m);
+                let event = MatchEvent::from_match(handle, &state.matcher.plan().query, graph, &m);
+                for (_, subscriber) in &mut state.subscribers {
+                    subscriber.on_match(event.clone());
+                }
                 sink.on_match(event);
                 emitted += 1;
             }
@@ -398,46 +702,14 @@ impl ContinuousQueryEngine {
         emitted
     }
 
-    /// Processes a batch of events, returning all matches in arrival order.
-    ///
-    /// Reports exactly the same matches as calling [`Self::process`] per
-    /// event. The batch path amortises the per-event overheads the streaming
-    /// path cannot avoid — one sink and one scratch set are reused across the
-    /// whole batch instead of materialising a `Vec<MatchEvent>` per event —
-    /// and finishes with a single partial-match prune covering the trailing
-    /// sub-interval of the prune cadence.
-    pub fn process_batch<'a>(
-        &mut self,
-        events: impl IntoIterator<Item = &'a EdgeEvent>,
-    ) -> Vec<MatchEvent> {
-        let mut sink = CollectingSink::new();
-        self.process_batch_with_sink(events, &mut sink);
-        sink.into_events()
-    }
-
-    /// Batch twin of [`Self::process_with_sink`]; returns matches emitted.
-    pub fn process_batch_with_sink<'a>(
-        &mut self,
-        events: impl IntoIterator<Item = &'a EdgeEvent>,
-        sink: &mut dyn EventSink,
-    ) -> usize {
-        let mut emitted = 0usize;
-        for ev in events {
-            emitted += self.process_event_inner(ev, sink);
-        }
-        // Cover the trailing partial prune interval so a sequence of batches
-        // never carries more than `prune_every` edges of stale partials.
-        if self.edges_since_prune > 0 {
-            self.prune_now();
-        }
-        emitted
-    }
-
-    /// Prunes expired partial matches in every matcher immediately.
+    /// Prunes expired partial matches in every live matcher immediately
+    /// (paused queries included — their stale partials keep expiring).
     pub fn prune_now(&mut self) {
         let now = self.graph.now();
-        for matcher in &mut self.matchers {
-            matcher.prune(now);
+        for slot in &mut self.queries {
+            if let Some(state) = &mut slot.state {
+                state.matcher.prune(now);
+            }
         }
         self.edges_since_prune = 0;
     }
@@ -446,7 +718,8 @@ impl ContinuousQueryEngine {
 impl std::fmt::Debug for ContinuousQueryEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ContinuousQueryEngine")
-            .field("queries", &self.matchers.len())
+            .field("queries", &self.query_count())
+            .field("active", &self.dispatch.len())
             .field("graph", &self.graph.stats())
             .finish()
     }
@@ -455,8 +728,13 @@ impl std::fmt::Debug for ContinuousQueryEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::{BufferingSink, CountingSink};
     use streamworks_graph::Timestamp;
     use streamworks_query::QueryGraphBuilder;
+
+    fn engine() -> ContinuousQueryEngine {
+        ContinuousQueryEngine::builder().build().unwrap()
+    }
 
     fn ev(src: &str, st: &str, dst: &str, dt: &str, et: &str, t: i64) -> EdgeEvent {
         EdgeEvent::new(src, st, dst, dt, et, Timestamp::from_secs(t))
@@ -476,39 +754,39 @@ mod tests {
 
     #[test]
     fn register_and_match_via_dsl() {
-        let mut engine = ContinuousQueryEngine::with_defaults();
-        let id = engine
+        let mut engine = engine();
+        let handle = engine
             .register_dsl(
                 "QUERY pair WINDOW 1h MATCH (a1:Article)-[:mentions]->(k:Keyword), (a2:Article)-[:mentions]->(k)",
             )
             .unwrap();
         assert_eq!(engine.query_count(), 1);
-        let e1 = engine.process(&ev("a1", "Article", "k1", "Keyword", "mentions", 10));
+        let e1 = engine.ingest(&ev("a1", "Article", "k1", "Keyword", "mentions", 10));
         assert!(e1.is_empty());
-        let e2 = engine.process(&ev("a2", "Article", "k1", "Keyword", "mentions", 20));
+        let e2 = engine.ingest(&ev("a2", "Article", "k1", "Keyword", "mentions", 20));
         assert_eq!(e2.len(), 2);
-        assert_eq!(e2[0].query, id);
+        assert_eq!(e2[0].query, handle.id());
         assert_eq!(engine.events_emitted(), 2);
-        assert_eq!(engine.metrics(id).unwrap().complete_matches, 2);
+        assert_eq!(engine.metrics(handle).unwrap().complete_matches, 2);
     }
 
     #[test]
     fn window_is_enforced_end_to_end() {
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = engine();
         engine
             .register_query(common_keyword_query(Duration::from_secs(30)))
             .unwrap();
-        engine.process(&ev("a1", "Article", "k1", "Keyword", "mentions", 0));
-        let matches = engine.process(&ev("a2", "Article", "k1", "Keyword", "mentions", 100));
+        engine.ingest(&ev("a1", "Article", "k1", "Keyword", "mentions", 0));
+        let matches = engine.ingest(&ev("a2", "Article", "k1", "Keyword", "mentions", 100));
         assert!(matches.is_empty());
         // A third article arriving close to the second *does* match with it.
-        let matches = engine.process(&ev("a3", "Article", "k1", "Keyword", "mentions", 110));
+        let matches = engine.ingest(&ev("a3", "Article", "k1", "Keyword", "mentions", 110));
         assert_eq!(matches.len(), 2);
     }
 
     #[test]
     fn retention_auto_extends_to_query_window() {
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = engine();
         assert_eq!(engine.graph().retention(), None);
         engine
             .register_query(common_keyword_query(Duration::from_secs(600)))
@@ -523,7 +801,7 @@ mod tests {
 
     #[test]
     fn multiple_queries_run_side_by_side() {
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = engine();
         let keyword_q = engine
             .register_query(common_keyword_query(Duration::from_hours(1)))
             .unwrap();
@@ -538,24 +816,24 @@ mod tests {
             ev("a1", "Article", "paris", "Location", "located", 3),
             ev("a2", "Article", "paris", "Location", "located", 4),
         ];
-        let all = engine.process_batch(events.iter());
-        let keyword_hits = all.iter().filter(|e| e.query == keyword_q).count();
-        let location_hits = all.iter().filter(|e| e.query == location_q).count();
+        let all = engine.ingest(&events);
+        let keyword_hits = all.iter().filter(|e| e.query == keyword_q.id()).count();
+        let location_hits = all.iter().filter(|e| e.query == location_q.id()).count();
         assert_eq!(keyword_hits, 2);
         assert_eq!(location_hits, 2);
     }
 
     #[test]
     fn summary_tracks_live_edges_through_expiry() {
-        let mut engine = ContinuousQueryEngine::new(EngineConfig {
-            retention: Some(Duration::from_secs(10)),
-            ..Default::default()
-        });
+        let mut engine = ContinuousQueryEngine::builder()
+            .retention(Duration::from_secs(10))
+            .build()
+            .unwrap();
         engine
             .register_query(common_keyword_query(Duration::from_secs(10)))
             .unwrap();
-        engine.process(&ev("a1", "Article", "k1", "Keyword", "mentions", 0));
-        engine.process(&ev("a2", "Article", "k2", "Keyword", "mentions", 100));
+        engine.ingest(&ev("a1", "Article", "k1", "Keyword", "mentions", 0));
+        engine.ingest(&ev("a2", "Article", "k2", "Keyword", "mentions", 100));
         // The first edge expired; the summary's live edge count reflects that.
         let mentions = engine.graph().edge_type_id("mentions").unwrap();
         assert_eq!(engine.summary().types().edge_count(mentions), 1);
@@ -564,11 +842,11 @@ mod tests {
 
     #[test]
     fn prune_keeps_partial_match_population_bounded() {
-        let mut engine = ContinuousQueryEngine::new(EngineConfig {
-            prune_every: 16,
-            ..Default::default()
-        });
-        let id = engine
+        let mut engine = ContinuousQueryEngine::builder()
+            .prune_every(16)
+            .build()
+            .unwrap();
+        let handle = engine
             .register_query_with(
                 common_keyword_query(Duration::from_secs(5)),
                 &streamworks_query::SelectivityOrdered {
@@ -580,7 +858,7 @@ mod tests {
         // A long stream of articles each mentioning their own keyword: no
         // matches, and partial matches should be pruned as time advances.
         for i in 0..500 {
-            engine.process(&ev(
+            engine.ingest(&ev(
                 &format!("a{i}"),
                 "Article",
                 &format!("k{}", i % 7),
@@ -589,7 +867,7 @@ mod tests {
                 i,
             ));
         }
-        let metrics = engine.metrics(id).unwrap();
+        let metrics = engine.metrics(handle).unwrap();
         assert!(metrics.partial_matches_expired > 0);
         assert!(
             metrics.partial_matches_live < 100,
@@ -601,34 +879,42 @@ mod tests {
     #[test]
     fn replan_uses_learned_statistics_and_keeps_matching() {
         use streamworks_query::LeftDeepEdgeChain;
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = engine();
         // Registered before any data: the plan is frequency-blind.
-        let id = engine
+        let handle = engine
             .register_query_with(
                 common_keyword_query(Duration::from_hours(1)),
                 &LeftDeepEdgeChain,
                 TreeShapeKind::LeftDeep,
             )
             .unwrap();
-        assert_eq!(engine.plan(id).unwrap().strategy, "left-deep-edge-chain");
+        assert_eq!(
+            engine.plan(handle).unwrap().strategy,
+            "left-deep-edge-chain"
+        );
 
-        engine.process(&ev("a1", "Article", "k1", "Keyword", "mentions", 1));
-        engine.process(&ev("a2", "Article", "k2", "Keyword", "mentions", 2));
+        engine.ingest(&ev("a1", "Article", "k1", "Keyword", "mentions", 1));
+        engine.ingest(&ev("a2", "Article", "k2", "Keyword", "mentions", 2));
 
         // Re-plan with statistics; the strategy name changes and matching
         // continues to work for patterns completed entirely after the re-plan.
         engine
-            .replan_query(id, &SelectivityOrdered::default(), TreeShapeKind::LeftDeep)
+            .replan(
+                handle,
+                &SelectivityOrdered::default(),
+                TreeShapeKind::LeftDeep,
+            )
             .unwrap();
-        assert_eq!(engine.plan(id).unwrap().strategy, "selectivity-ordered");
-        engine.process(&ev("a3", "Article", "k3", "Keyword", "mentions", 10));
-        let matches = engine.process(&ev("a4", "Article", "k3", "Keyword", "mentions", 11));
+        assert_eq!(engine.plan(handle).unwrap().strategy, "selectivity-ordered");
+        engine.ingest(&ev("a3", "Article", "k3", "Keyword", "mentions", 10));
+        let matches = engine.ingest(&ev("a4", "Article", "k3", "Keyword", "mentions", 11));
         assert_eq!(matches.len(), 2);
 
-        // Unknown ids are rejected.
+        // Stale handles are rejected.
+        let bogus = QueryHandle::new(QueryId(99), 0);
         assert!(engine
-            .replan_query(
-                QueryId(99),
+            .replan(
+                bogus,
                 &SelectivityOrdered::default(),
                 TreeShapeKind::LeftDeep
             )
@@ -637,15 +923,91 @@ mod tests {
 
     #[test]
     fn events_resolve_bindings_to_external_keys() {
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = engine();
         engine
             .register_query(common_keyword_query(Duration::from_hours(1)))
             .unwrap();
-        engine.process(&ev("a1", "Article", "k1", "Keyword", "mentions", 1));
-        let matches = engine.process(&ev("a2", "Article", "k1", "Keyword", "mentions", 2));
+        engine.ingest(&ev("a1", "Article", "k1", "Keyword", "mentions", 1));
+        let matches = engine.ingest(&ev("a2", "Article", "k1", "Keyword", "mentions", 2));
         let keys: Vec<_> = matches[0].bindings.iter().map(|b| b.key.as_str()).collect();
         assert!(keys.contains(&"a1"));
         assert!(keys.contains(&"a2"));
         assert!(keys.contains(&"k1"));
+    }
+
+    #[test]
+    fn deprecated_process_family_matches_ingest() {
+        #![allow(deprecated)]
+        let mut old = engine();
+        let mut new = engine();
+        for e in [&mut old, &mut new] {
+            e.register_query(common_keyword_query(Duration::from_hours(1)))
+                .unwrap();
+        }
+        let events = vec![
+            ev("a1", "Article", "k1", "Keyword", "mentions", 1),
+            ev("a2", "Article", "k1", "Keyword", "mentions", 2),
+            ev("a3", "Article", "k1", "Keyword", "mentions", 3),
+        ];
+        let via_process: Vec<_> = events.iter().flat_map(|e| old.process(e)).collect();
+        let via_ingest = new.ingest(&events);
+        assert_eq!(via_process, via_ingest);
+
+        let mut old_batch = engine();
+        old_batch
+            .register_query(common_keyword_query(Duration::from_hours(1)))
+            .unwrap();
+        assert_eq!(old_batch.process_batch(events.iter()), via_ingest);
+    }
+
+    #[test]
+    fn subscriptions_fan_out_per_query() {
+        let mut engine = engine();
+        let keyword_q = engine
+            .register_query(common_keyword_query(Duration::from_hours(1)))
+            .unwrap();
+        let location_q = engine
+            .register_dsl(
+                "QUERY colocated WINDOW 1h MATCH (a1:Article)-[:located]->(l:Location), (a2:Article)-[:located]->(l)",
+            )
+            .unwrap();
+        let (count_sink, keyword_count) = CountingSink::new();
+        engine.subscribe(keyword_q, count_sink).unwrap();
+        let (buffer_sink, location_buffer) = BufferingSink::new();
+        let location_sub = engine.subscribe(location_q, buffer_sink).unwrap();
+        assert_eq!(engine.subscription_count(keyword_q).unwrap(), 1);
+
+        engine.ingest(&[
+            ev("a1", "Article", "k1", "Keyword", "mentions", 1),
+            ev("a2", "Article", "k1", "Keyword", "mentions", 2),
+            ev("a1", "Article", "paris", "Location", "located", 3),
+            ev("a2", "Article", "paris", "Location", "located", 4),
+        ]);
+        // Each tenant saw only its own query's matches.
+        assert_eq!(keyword_count.get(), 2);
+        let location_events = location_buffer.drain();
+        assert_eq!(location_events.len(), 2);
+        assert!(location_events.iter().all(|e| e.query == location_q.id()));
+
+        // Unsubscribing stops delivery; a second cancel of the same id fails.
+        engine.unsubscribe(location_sub).unwrap();
+        assert!(engine.unsubscribe(location_sub).is_err());
+        engine.ingest(&[
+            ev("a3", "Article", "paris", "Location", "located", 5),
+            ev("a4", "Article", "paris", "Location", "located", 6),
+        ]);
+        assert!(location_buffer.is_empty());
+        assert_eq!(engine.subscription_count(location_q).unwrap(), 0);
+    }
+
+    #[test]
+    fn invalid_config_panics_in_new() {
+        let result = std::panic::catch_unwind(|| {
+            ContinuousQueryEngine::new(EngineConfig {
+                prune_every: 0,
+                ..Default::default()
+            })
+        });
+        assert!(result.is_err());
     }
 }

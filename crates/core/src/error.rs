@@ -1,0 +1,77 @@
+//! Engine-level errors.
+
+use crate::handle::{QueryHandle, SubscriptionId};
+use streamworks_query::QueryError;
+
+/// Errors produced by the service-facing engine API.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The handle's query has been deregistered. (Handles are only meaningful
+    /// on the engine that issued them — using one on another engine, e.g. one
+    /// restored from a checkpoint, is not detectable and must be avoided; see
+    /// [`crate::EngineCheckpoint`].)
+    StaleHandle(QueryHandle),
+    /// The subscription is unknown or was already cancelled.
+    UnknownSubscription(SubscriptionId),
+    /// A configuration rejected by [`crate::EngineBuilder::build`].
+    InvalidConfig(String),
+    /// Query parsing or planning failed.
+    Planning(QueryError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::StaleHandle(h) => {
+                write!(f, "stale query handle {h}: the query was deregistered")
+            }
+            EngineError::UnknownSubscription(s) => {
+                write!(f, "unknown or cancelled subscription {s}")
+            }
+            EngineError::InvalidConfig(msg) => write!(f, "invalid engine configuration: {msg}"),
+            EngineError::Planning(e) => write!(f, "query planning failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Planning(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for EngineError {
+    fn from(e: QueryError) -> Self {
+        EngineError::Planning(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::QueryId;
+
+    #[test]
+    fn errors_render_their_context() {
+        let stale = EngineError::StaleHandle(QueryHandle::new(QueryId(2), 1));
+        assert!(stale.to_string().contains("q2@1"));
+        let invalid = EngineError::InvalidConfig("prune_every must be positive".into());
+        assert!(invalid.to_string().contains("prune_every"));
+        let sub = EngineError::UnknownSubscription(SubscriptionId {
+            query: QueryId(0),
+            token: 4,
+        });
+        assert!(sub.to_string().contains("sub4.q0"));
+    }
+
+    #[test]
+    fn planning_errors_chain_their_source() {
+        use std::error::Error;
+        let e: EngineError = QueryError::EmptyQuery.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("planning failed"));
+    }
+}

@@ -7,6 +7,7 @@
 //! the demo's map/table/graph views.
 
 use crate::binding::PartialMatch;
+use crate::handle::QueryHandle;
 use serde::{Deserialize, Serialize};
 use streamworks_graph::{Duration, DynamicGraph, EdgeId, Timestamp, VertexId};
 use streamworks_query::QueryGraph;
@@ -31,6 +32,11 @@ pub struct BoundVertex {
 pub struct MatchEvent {
     /// Which registered query matched.
     pub query: QueryId,
+    /// Slot generation of the emitting query. Query ids are recycled by
+    /// deregister/register churn; the generation distinguishes matches of a
+    /// slot's previous occupants from its current one — compare via
+    /// [`MatchEvent::handle`] rather than `query` when queries come and go.
+    pub query_generation: u32,
     /// The query's name.
     pub query_name: String,
     /// Stream time at which the match completed (timestamp of its latest edge).
@@ -46,7 +52,7 @@ pub struct MatchEvent {
 impl MatchEvent {
     /// Builds an event from a root-level partial match.
     pub fn from_match(
-        query_id: QueryId,
+        handle: QueryHandle,
         query: &QueryGraph,
         graph: &DynamicGraph,
         m: &PartialMatch,
@@ -61,13 +67,21 @@ impl MatchEvent {
             })
             .collect();
         MatchEvent {
-            query: query_id,
+            query: handle.id(),
+            query_generation: handle.generation(),
             query_name: query.name().to_owned(),
             at: m.latest,
             span: m.span(),
             bindings,
             edges: m.edges.iter().map(|(_, e)| *e).collect(),
         }
+    }
+
+    /// The handle of the query that emitted this event — equal to the handle
+    /// `register_*` returned for it, and never equal to the handle of a
+    /// different query that later recycled the same id.
+    pub fn handle(&self) -> QueryHandle {
+        QueryHandle::new(self.query, self.query_generation)
     }
 
     /// The data vertex bound to a query variable, if present.
@@ -175,6 +189,97 @@ impl EventSink for ChannelSink {
     }
 }
 
+/// A sink that only counts matches, observable through its paired
+/// [`MatchCounter`] while the engine owns the sink — the cheapest way for a
+/// tenant to watch a subscription (see
+/// [`crate::ContinuousQueryEngine::subscribe`]).
+#[derive(Debug)]
+pub struct CountingSink {
+    count: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl CountingSink {
+    /// Creates the sink and the shared counter observing it.
+    pub fn new() -> (CountingSink, MatchCounter) {
+        let count = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        (
+            CountingSink {
+                count: count.clone(),
+            },
+            MatchCounter(count),
+        )
+    }
+}
+
+impl EventSink for CountingSink {
+    fn on_match(&mut self, _event: MatchEvent) {
+        self.count
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// Shared observer of a [`CountingSink`].
+#[derive(Debug, Clone)]
+pub struct MatchCounter(std::sync::Arc<std::sync::atomic::AtomicU64>);
+
+impl MatchCounter {
+    /// Matches delivered to the paired sink so far.
+    pub fn get(&self) -> u64 {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// A sink that buffers every event behind a shared handle, so a subscriber
+/// can drain its matches between ingest calls while the engine owns the sink
+/// itself. The buffering twin of [`CollectingSink`] for the subscription API.
+#[derive(Debug)]
+pub struct BufferingSink {
+    buffer: std::sync::Arc<std::sync::Mutex<Vec<MatchEvent>>>,
+}
+
+impl BufferingSink {
+    /// Creates the sink and the shared buffer observing it.
+    pub fn new() -> (BufferingSink, MatchBuffer) {
+        let buffer = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        (
+            BufferingSink {
+                buffer: buffer.clone(),
+            },
+            MatchBuffer(buffer),
+        )
+    }
+}
+
+impl EventSink for BufferingSink {
+    fn on_match(&mut self, event: MatchEvent) {
+        self.buffer
+            .lock()
+            .expect("match buffer poisoned")
+            .push(event);
+    }
+}
+
+/// Shared observer of a [`BufferingSink`].
+#[derive(Debug, Clone)]
+pub struct MatchBuffer(std::sync::Arc<std::sync::Mutex<Vec<MatchEvent>>>);
+
+impl MatchBuffer {
+    /// Removes and returns every buffered event, in delivery order.
+    pub fn drain(&self) -> Vec<MatchEvent> {
+        std::mem::take(&mut *self.0.lock().expect("match buffer poisoned"))
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.0.lock().expect("match buffer poisoned").len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,7 +311,7 @@ mod tests {
     #[test]
     fn events_resolve_variable_names_and_keys() {
         let (g, q, m) = sample_event();
-        let ev = MatchEvent::from_match(QueryId(0), &q, &g, &m);
+        let ev = MatchEvent::from_match(QueryHandle::new(QueryId(0), 0), &q, &g, &m);
         assert_eq!(ev.query_name, "demo");
         assert_eq!(ev.binding("a").unwrap().key, "a1");
         assert_eq!(ev.binding("k").unwrap().key, "k1");
@@ -220,7 +325,7 @@ mod tests {
     #[test]
     fn collecting_sink_accumulates() {
         let (g, q, m) = sample_event();
-        let ev = MatchEvent::from_match(QueryId(0), &q, &g, &m);
+        let ev = MatchEvent::from_match(QueryHandle::new(QueryId(0), 0), &q, &g, &m);
         let mut sink = CollectingSink::new();
         assert!(sink.is_empty());
         sink.on_match(ev.clone());
@@ -232,7 +337,7 @@ mod tests {
     #[test]
     fn callback_and_channel_sinks_deliver() {
         let (g, q, m) = sample_event();
-        let ev = MatchEvent::from_match(QueryId(3), &q, &g, &m);
+        let ev = MatchEvent::from_match(QueryHandle::new(QueryId(3), 0), &q, &g, &m);
         let mut count = 0usize;
         {
             let mut cb = CallbackSink::new(|_e| count += 1);
@@ -245,5 +350,49 @@ mod tests {
         chan.on_match(ev);
         let received = rx.try_recv().unwrap();
         assert_eq!(received.query, QueryId(3));
+    }
+
+    #[test]
+    fn counting_sink_is_observable_while_owned_elsewhere() {
+        let (g, q, m) = sample_event();
+        let ev = MatchEvent::from_match(QueryHandle::new(QueryId(0), 0), &q, &g, &m);
+        let (mut sink, counter) = CountingSink::new();
+        assert_eq!(counter.get(), 0);
+        sink.on_match(ev.clone());
+        sink.on_match(ev);
+        // The sink can live inside the engine; the counter observes remotely.
+        drop(sink);
+        assert_eq!(counter.get(), 2);
+    }
+
+    #[test]
+    fn buffering_sink_drains_in_delivery_order() {
+        let (g, q, m) = sample_event();
+        let (mut sink, buffer) = BufferingSink::new();
+        assert!(buffer.is_empty());
+        sink.on_match(MatchEvent::from_match(
+            QueryHandle::new(QueryId(0), 0),
+            &q,
+            &g,
+            &m,
+        ));
+        sink.on_match(MatchEvent::from_match(
+            QueryHandle::new(QueryId(1), 0),
+            &q,
+            &g,
+            &m,
+        ));
+        assert_eq!(buffer.len(), 2);
+        let drained = buffer.drain();
+        assert_eq!(drained[0].query, QueryId(0));
+        assert_eq!(drained[1].query, QueryId(1));
+        assert!(buffer.is_empty());
+        sink.on_match(MatchEvent::from_match(
+            QueryHandle::new(QueryId(2), 0),
+            &q,
+            &g,
+            &m,
+        ));
+        assert_eq!(buffer.drain().len(), 1);
     }
 }

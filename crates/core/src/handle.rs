@@ -1,0 +1,95 @@
+//! Generation-tagged handles for registered queries and subscriptions.
+//!
+//! A [`QueryHandle`] is the capability returned by every `register_*` method
+//! of [`crate::ContinuousQueryEngine`]. It names a query *slot* plus the
+//! generation of its occupant, so a handle kept across a
+//! [`crate::ContinuousQueryEngine::deregister`] call goes permanently stale
+//! instead of silently observing whatever query lives in the slot next — the
+//! same discipline [`crate::MatchHandle`] applies to partial matches.
+
+use crate::event::QueryId;
+use serde::{Deserialize, Serialize};
+
+/// Capability for one registered query, returned by the `register_*` family.
+///
+/// All lifecycle operations (`pause`, `resume`, `deregister`, `replan`) and
+/// accessors (`plan`, `metrics`, `matcher`, `subscribe`) take the handle; a
+/// handle whose query has been deregistered yields
+/// [`crate::EngineError::StaleHandle`].
+///
+/// A handle is scoped to the engine instance that issued it. In particular,
+/// an engine restored from a [`crate::EngineCheckpoint`] compacts query slots
+/// and issues fresh handles (via `handles()`); handles from the checkpointed
+/// engine must not be used on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct QueryHandle {
+    id: QueryId,
+    generation: u32,
+}
+
+impl QueryHandle {
+    pub(crate) fn new(id: QueryId, generation: u32) -> Self {
+        QueryHandle { id, generation }
+    }
+
+    /// The engine-assigned query id (the identifier carried by
+    /// [`crate::MatchEvent::query`]).
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    pub(crate) fn generation(&self) -> u32 {
+        self.generation
+    }
+}
+
+impl std::fmt::Display for QueryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}@{}", self.id.0, self.generation)
+    }
+}
+
+/// Identifier of one per-query subscription (see
+/// [`crate::ContinuousQueryEngine::subscribe`]).
+///
+/// Cancelling a subscription through a stale or already-cancelled id is
+/// rejected, never misdelivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubscriptionId {
+    pub(crate) query: QueryId,
+    pub(crate) token: u64,
+}
+
+impl std::fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sub{}.q{}", self.token, self.query.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_expose_id_and_render() {
+        let h = QueryHandle::new(QueryId(3), 2);
+        assert_eq!(h.id(), QueryId(3));
+        assert_eq!(h.generation(), 2);
+        assert_eq!(h.to_string(), "q3@2");
+        let s = SubscriptionId {
+            query: QueryId(1),
+            token: 9,
+        };
+        assert_eq!(s.to_string(), "sub9.q1");
+    }
+
+    #[test]
+    fn handles_compare_by_slot_and_generation() {
+        let a = QueryHandle::new(QueryId(0), 0);
+        let b = QueryHandle::new(QueryId(0), 1);
+        let c = QueryHandle::new(QueryId(1), 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, QueryHandle::new(QueryId(0), 0));
+    }
+}

@@ -1,0 +1,113 @@
+//! The unified ingest surface.
+//!
+//! Historically the engine grew four entry points — `process`,
+//! `process_with_sink`, `process_batch`, `process_batch_with_sink` — that
+//! differed only in how events arrived and where matches went. The [`Ingest`]
+//! trait collapses the *arrival* axis: a single event, a slice, an array or an
+//! arbitrary iterator (via [`EventBatch`]) all drive the same batched
+//! bookkeeping path inside [`crate::ContinuousQueryEngine::ingest`] /
+//! [`crate::ContinuousQueryEngine::ingest_with`], which cover the *delivery*
+//! axis (collected vector vs. caller-supplied sink; per-query subscriptions
+//! are fanned out either way).
+//!
+//! Batch sources additionally request a trailing partial-match prune once the
+//! whole batch is absorbed, so a sequence of batches never carries more than
+//! `prune_every` edges of stale partial matches — exactly the behaviour the
+//! old `process_batch*` pair had. A single event reports `is_batch() ==
+//! false` and keeps the cadence-driven pruning of the streaming path.
+
+use streamworks_graph::EdgeEvent;
+
+/// A source of edge events the engine can absorb in one call.
+///
+/// Implemented for `&EdgeEvent` (single event, streaming semantics), for
+/// `&[EdgeEvent]`, `&Vec<EdgeEvent>` and `&[EdgeEvent; N]` (batch semantics),
+/// and for any iterator of `&EdgeEvent` wrapped in [`EventBatch`].
+pub trait Ingest {
+    /// Feeds every event to `f`, in arrival order.
+    fn drive(self, f: &mut dyn FnMut(&EdgeEvent));
+
+    /// True when the engine should run the trailing partial-match prune once
+    /// the whole source is absorbed (see the module docs).
+    fn is_batch(&self) -> bool {
+        true
+    }
+}
+
+impl Ingest for &EdgeEvent {
+    fn drive(self, f: &mut dyn FnMut(&EdgeEvent)) {
+        f(self);
+    }
+
+    fn is_batch(&self) -> bool {
+        false
+    }
+}
+
+impl Ingest for &[EdgeEvent] {
+    fn drive(self, f: &mut dyn FnMut(&EdgeEvent)) {
+        for ev in self {
+            f(ev);
+        }
+    }
+}
+
+impl<const N: usize> Ingest for &[EdgeEvent; N] {
+    fn drive(self, f: &mut dyn FnMut(&EdgeEvent)) {
+        self.as_slice().drive(f);
+    }
+}
+
+impl Ingest for &Vec<EdgeEvent> {
+    fn drive(self, f: &mut dyn FnMut(&EdgeEvent)) {
+        self.as_slice().drive(f);
+    }
+}
+
+/// Adapter treating any iterator of `&EdgeEvent` as a batch, e.g.
+/// `engine.ingest(EventBatch(events.iter().filter(..)))`.
+#[derive(Debug, Clone)]
+pub struct EventBatch<I>(pub I);
+
+impl<'a, I: IntoIterator<Item = &'a EdgeEvent>> Ingest for EventBatch<I> {
+    fn drive(self, f: &mut dyn FnMut(&EdgeEvent)) {
+        for ev in self.0 {
+            f(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamworks_graph::Timestamp;
+
+    fn ev(t: i64) -> EdgeEvent {
+        EdgeEvent::new("a", "A", "b", "B", "rel", Timestamp::from_secs(t))
+    }
+
+    fn drain(batch: impl Ingest) -> (Vec<i64>, bool) {
+        let is_batch = batch.is_batch();
+        let mut seen = Vec::new();
+        batch.drive(&mut |e| seen.push(e.timestamp.as_micros() / 1_000_000));
+        (seen, is_batch)
+    }
+
+    #[test]
+    fn single_events_stream_without_trailing_prune() {
+        let e = ev(1);
+        assert_eq!(drain(&e), (vec![1], false));
+    }
+
+    #[test]
+    fn slices_vectors_arrays_and_iterators_are_batches() {
+        let events = vec![ev(1), ev(2), ev(3)];
+        assert_eq!(drain(&events), (vec![1, 2, 3], true));
+        assert_eq!(drain(&events[..2]), (vec![1, 2], true));
+        assert_eq!(drain(&[ev(7), ev(8)]), (vec![7, 8], true));
+        assert_eq!(
+            drain(EventBatch(events.iter().rev())),
+            (vec![3, 2, 1], true)
+        );
+    }
+}

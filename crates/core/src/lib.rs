@@ -5,27 +5,40 @@
 //! (Choudhury et al., *StreamWorks: A System for Dynamic Graph Search*,
 //! SIGMOD 2013, §3–§4).
 //!
-//! The engine consumes timestamped [`streamworks_graph::EdgeEvent`]s, keeps the
-//! dynamic graph and its statistics up to date, and runs every registered
-//! query's SJ-Tree matcher incrementally: local search at the leaves for each
-//! new edge, hash-join propagation toward the root, window-based expiry of
-//! partial matches, and [`MatchEvent`] emission for completed patterns.
+//! The engine is a long-running service object: it is assembled through the
+//! validating [`EngineBuilder`], registered queries come back as
+//! generation-tagged [`QueryHandle`]s that can be paused, resumed, re-planned
+//! and deregistered at runtime, each query can carry its own subscriptions,
+//! and events arrive through the unified [`Ingest`] surface (single event,
+//! slice, or iterator via [`EventBatch`] — all sharing the batched
+//! bookkeeping path).
 //!
 //! ```
-//! use streamworks_core::ContinuousQueryEngine;
+//! use streamworks_core::{ContinuousQueryEngine, CountingSink};
 //! use streamworks_graph::{EdgeEvent, Timestamp};
 //!
-//! let mut engine = ContinuousQueryEngine::with_defaults();
-//! engine.register_dsl(
+//! let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+//! let pairs = engine.register_dsl(
 //!     "QUERY pair WINDOW 1h \
 //!      MATCH (a1:Article)-[:mentions]->(k:Keyword), (a2:Article)-[:mentions]->(k)",
 //! ).unwrap();
 //!
-//! engine.process(&EdgeEvent::new("a1", "Article", "rust", "Keyword", "mentions",
-//!                                Timestamp::from_secs(10)));
-//! let matches = engine.process(&EdgeEvent::new("a2", "Article", "rust", "Keyword",
-//!                                              "mentions", Timestamp::from_secs(20)));
+//! // A per-query subscription observes matches while the engine owns the sink.
+//! let (sink, seen) = CountingSink::new();
+//! engine.subscribe(pairs, sink).unwrap();
+//!
+//! let matches = engine.ingest(&[
+//!     EdgeEvent::new("a1", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(10)),
+//!     EdgeEvent::new("a2", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(20)),
+//! ]);
 //! assert_eq!(matches.len(), 2); // (a1, a2) and (a2, a1)
+//! assert_eq!(seen.get(), 2);
+//!
+//! // Full lifecycle: pause, resume, deregister — the handle goes stale.
+//! engine.pause(pairs).unwrap();
+//! engine.resume(pairs).unwrap();
+//! engine.deregister(pairs).unwrap();
+//! assert!(engine.metrics(pairs).is_err());
 //! ```
 
 #![warn(missing_docs)]
@@ -37,7 +50,10 @@ mod checkpoint;
 mod config;
 mod constraints;
 mod engine;
+mod error;
 mod event;
+mod handle;
+mod ingest;
 mod local_search;
 mod match_store;
 mod metrics;
@@ -45,14 +61,18 @@ mod parallel;
 mod sj_matcher;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveReplanner, ReplanDecision, ReplanStrategy};
-pub use binding::{Binding, PartialMatch};
+pub use binding::{Binding, PartialMatch, INLINE_EDGES, INLINE_VERTICES};
 pub use checkpoint::EngineCheckpoint;
-pub use config::EngineConfig;
+pub use config::{EngineBuilder, EngineConfig};
 pub use constraints::CompiledConstraints;
 pub use engine::ContinuousQueryEngine;
+pub use error::EngineError;
 pub use event::{
-    BoundVertex, CallbackSink, ChannelSink, CollectingSink, EventSink, MatchEvent, QueryId,
+    BoundVertex, BufferingSink, CallbackSink, ChannelSink, CollectingSink, CountingSink, EventSink,
+    MatchBuffer, MatchCounter, MatchEvent, QueryId,
 };
+pub use handle::{QueryHandle, SubscriptionId};
+pub use ingest::{EventBatch, Ingest};
 pub use local_search::{find_primitive_matches, LocalSearchStats};
 pub use match_store::{JoinKey, MatchHandle, MatchStore};
 pub use metrics::QueryMetrics;

@@ -30,6 +30,12 @@ pub struct QueryMetrics {
     pub complete_matches: u64,
     /// Partial matches dropped because a per-node cap was reached.
     pub matches_dropped_by_cap: u64,
+    /// Partial matches whose inline hot-path storage spilled to the heap
+    /// (queries with more than 8 vertices or 6 edges — see
+    /// `streamworks_core::binding`). A non-zero count flags a query that is
+    /// silently paying a per-match allocation the paper-sized fast path
+    /// avoids.
+    pub binding_spills: u64,
 }
 
 impl QueryMetrics {
@@ -64,6 +70,7 @@ impl QueryMetrics {
         self.joins_succeeded += other.joins_succeeded;
         self.complete_matches += other.complete_matches;
         self.matches_dropped_by_cap += other.matches_dropped_by_cap;
+        self.binding_spills += other.binding_spills;
     }
 }
 
@@ -102,11 +109,13 @@ mod tests {
             edges_processed: 3,
             complete_matches: 4,
             partial_matches_expired: 7,
+            binding_spills: 5,
             ..Default::default()
         };
         a.absorb(&b);
         assert_eq!(a.edges_processed, 4);
         assert_eq!(a.complete_matches, 6);
         assert_eq!(a.partial_matches_expired, 7);
+        assert_eq!(a.binding_spills, 5);
     }
 }

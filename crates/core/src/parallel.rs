@@ -13,11 +13,11 @@
 
 use crate::config::EngineConfig;
 use crate::engine::ContinuousQueryEngine;
-use crate::event::{MatchEvent, QueryId};
+use crate::error::EngineError;
+use crate::event::MatchEvent;
 use crate::metrics::QueryMetrics;
 use streamworks_graph::EdgeEvent;
-use streamworks_query::QueryError as ShardError;
-use streamworks_query::{QueryError, QueryGraph};
+use streamworks_query::QueryGraph;
 
 /// Outcome of a parallel run.
 #[derive(Debug)]
@@ -69,8 +69,14 @@ impl ParallelRunner {
     }
 
     /// Replays `events` through every registered query, sharded across the
-    /// worker threads, and merges the results.
-    pub fn run(&self, events: &[EdgeEvent]) -> Result<ParallelRunOutcome, QueryError> {
+    /// worker threads, and merges the results. Each worker feeds its engine
+    /// through the batched ingest path.
+    ///
+    /// The configuration is validated up front, so an invalid one surfaces as
+    /// [`EngineError::InvalidConfig`] here instead of panicking inside a
+    /// worker thread.
+    pub fn run(&self, events: &[EdgeEvent]) -> Result<ParallelRunOutcome, EngineError> {
+        self.config.validate().map_err(EngineError::InvalidConfig)?;
         if self.queries.is_empty() {
             return Ok(ParallelRunOutcome {
                 events: Vec::new(),
@@ -87,27 +93,23 @@ impl ParallelRunner {
         }
 
         let config = self.config;
-        type ShardResult = Result<(Vec<MatchEvent>, Vec<(String, QueryMetrics)>), ShardError>;
+        type ShardResult = Result<(Vec<MatchEvent>, Vec<(String, QueryMetrics)>), EngineError>;
         let results: Vec<ShardResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
                 .iter()
                 .map(|shard| {
-                    scope.spawn(move || -> Result<_, QueryError> {
+                    scope.spawn(move || -> Result<_, EngineError> {
                         let mut engine = ContinuousQueryEngine::new(config);
-                        let mut names = Vec::new();
+                        let mut registered = Vec::new();
                         for q in shard {
-                            names.push(q.name().to_owned());
-                            engine.register_query(q.clone())?;
+                            let handle = engine.register_query(q.clone())?;
+                            registered.push((q.name().to_owned(), handle));
                         }
-                        let mut matches = Vec::new();
-                        for ev in events {
-                            matches.extend(engine.process(ev));
-                        }
-                        let metrics = names
-                            .iter()
-                            .enumerate()
-                            .map(|(i, name)| {
-                                (name.clone(), engine.metrics(QueryId(i)).unwrap_or_default())
+                        let matches = engine.ingest(events);
+                        let metrics = registered
+                            .into_iter()
+                            .map(|(name, handle)| {
+                                (name, engine.metrics(handle).unwrap_or_default())
                             })
                             .collect();
                         Ok((matches, metrics))
@@ -186,13 +188,13 @@ mod tests {
         let events = stream();
 
         // Sequential reference.
-        let mut sequential = ContinuousQueryEngine::with_defaults();
+        let mut sequential = ContinuousQueryEngine::builder().build().unwrap();
         for q in &queries {
             sequential.register_query(q.clone()).unwrap();
         }
         let mut seq_events = Vec::new();
         for ev in &events {
-            seq_events.extend(sequential.process(ev));
+            seq_events.extend(sequential.ingest(ev));
         }
 
         // Parallel runs with 1, 2 and 4 workers all agree with it.
@@ -211,6 +213,24 @@ mod tests {
                 .map(|(_, m)| m.complete_matches)
                 .sum();
             assert_eq!(total as usize, seq_events.len());
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_an_error_not_a_worker_panic() {
+        let mut runner = ParallelRunner::new(
+            EngineConfig {
+                prune_every: 0,
+                ..EngineConfig::default()
+            },
+            2,
+        );
+        runner.register_query(pair_query("p", "mentions"));
+        match runner.run(&stream()) {
+            Err(crate::error::EngineError::InvalidConfig(msg)) => {
+                assert!(msg.contains("prune_every"));
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
         }
     }
 

@@ -204,6 +204,11 @@ impl SjTreeMatcher {
         let mut merged_results = std::mem::take(&mut self.merged);
         stack.push((node, m));
         while let Some((node, m)) = stack.pop() {
+            // Spill telemetry: each materialised match whose inline storage
+            // went to the heap is counted once, when it surfaces here.
+            if m.spilled() {
+                self.metrics.binding_spills += 1;
+            }
             if node == root {
                 // Root-level combination: a complete match.
                 self.metrics.complete_matches += 1;
@@ -392,6 +397,40 @@ mod tests {
         matcher.reset();
         assert_eq!(matcher.metrics().complete_matches, 0);
         assert_eq!(matcher.metrics().partial_matches_live, 0);
+    }
+
+    #[test]
+    fn oversized_query_increments_spill_counter() {
+        // Nine vertices (> INLINE_VERTICES = 8): every partial match carries a
+        // heap-spilled binding slot table, and the matcher must say so.
+        let mut b = QueryGraphBuilder::new("big_star").window(Duration::from_hours(1));
+        for i in 0..8 {
+            b = b.vertex(&format!("a{i}"), "Article");
+        }
+        b = b.vertex("k", "Keyword");
+        for i in 0..8 {
+            b = b.edge(&format!("a{i}"), "mentions", "k");
+        }
+        let plan = Planner::new().plan(b.build().unwrap()).unwrap();
+        let mut g = DynamicGraph::unbounded();
+        let mut matcher = SjTreeMatcher::new(plan, &g);
+        for i in 0..4 {
+            feed(&mut g, &mut matcher, &format!("x{i}"), "k1", "mentions", i);
+        }
+        let m = matcher.metrics();
+        assert!(m.partial_matches_inserted > 0);
+        assert_eq!(
+            m.binding_spills,
+            m.partial_matches_inserted + m.complete_matches,
+            "every materialised match of an oversized query spills"
+        );
+
+        // The paper-sized wedge query never spills.
+        let mut g2 = DynamicGraph::unbounded();
+        let mut small = SjTreeMatcher::new(wedge_query(3600), &g2);
+        feed(&mut g2, &mut small, "a1", "k1", "mentions", 1);
+        feed(&mut g2, &mut small, "a2", "k1", "mentions", 2);
+        assert_eq!(small.metrics().binding_spills, 0);
     }
 
     #[test]

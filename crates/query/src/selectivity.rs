@@ -299,7 +299,7 @@ impl<'a> SelectivityEstimator<'a> {
     /// factor (one free endpoint), a closure probability (both endpoints
     /// already bound) or the full edge cardinality (cartesian extension).
     ///
-    /// This is the building block of the plan cost model (see [`crate::cost`]):
+    /// This is the building block of the plan cost model (see [`crate::estimate_shape_cost`]):
     /// the estimate for an SJ-Tree node's subgraph approximates the number of
     /// partial matches the runtime will store at that node.
     pub fn subgraph_cardinality(&self, query: &QueryGraph, edges: &[QueryEdgeId]) -> f64 {

@@ -208,14 +208,14 @@ mod tests {
 
     #[test]
     fn match_dot_highlights_matched_edges_and_bound_vertices() {
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         engine
             .register_dsl(
                 "QUERY pair WINDOW 1h \
                  MATCH (a1:Article)-[:mentions]->(k:Keyword), (a2:Article)-[:mentions]->(k)",
             )
             .unwrap();
-        engine.process(&EdgeEvent::new(
+        engine.ingest(&EdgeEvent::new(
             "a1",
             "Article",
             "rust",
@@ -224,7 +224,7 @@ mod tests {
             Timestamp::from_secs(1),
         ));
         // An unrelated edge that should only appear as a grey neighbour.
-        engine.process(&EdgeEvent::new(
+        engine.ingest(&EdgeEvent::new(
             "a1",
             "Article",
             "paris",
@@ -232,7 +232,7 @@ mod tests {
             "located",
             Timestamp::from_secs(2),
         ));
-        let matches = engine.process(&EdgeEvent::new(
+        let matches = engine.ingest(&EdgeEvent::new(
             "a2",
             "Article",
             "rust",

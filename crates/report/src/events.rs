@@ -176,7 +176,7 @@ mod tests {
     use streamworks_graph::{EdgeEvent, Timestamp};
 
     fn sample_events() -> Vec<MatchEvent> {
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         engine
             .register_dsl(
                 "QUERY pair WINDOW 1h \
@@ -184,7 +184,7 @@ mod tests {
             )
             .unwrap();
         let mut out = Vec::new();
-        out.extend(engine.process(&EdgeEvent::new(
+        out.extend(engine.ingest(&EdgeEvent::new(
             "article-1",
             "Article",
             "rust",
@@ -192,7 +192,7 @@ mod tests {
             "mentions",
             Timestamp::from_secs(10),
         )));
-        out.extend(engine.process(&EdgeEvent::new(
+        out.extend(engine.ingest(&EdgeEvent::new(
             "article-2",
             "Article",
             "rust",

@@ -210,6 +210,7 @@ mod tests {
     fn event(at: i64, bindings: &[(&str, &str)]) -> MatchEvent {
         MatchEvent {
             query: QueryId(0),
+            query_generation: 0,
             query_name: "smurf".into(),
             at: Timestamp::from_secs(at),
             span: Duration::from_secs(2),

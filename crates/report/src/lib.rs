@@ -22,15 +22,15 @@
 //! use streamworks_graph::{EdgeEvent, Timestamp};
 //! use streamworks_report::{EventTable, EventTableSpec};
 //!
-//! let mut engine = ContinuousQueryEngine::with_defaults();
+//! let mut engine = ContinuousQueryEngine::builder().build().unwrap();
 //! engine.register_dsl(
 //!     "QUERY pair WINDOW 1h \
 //!      MATCH (a1:Article)-[:mentions]->(k:Keyword), (a2:Article)-[:mentions]->(k)",
 //! ).unwrap();
-//! engine.process(&EdgeEvent::new("a1", "Article", "rust", "Keyword", "mentions",
-//!                                Timestamp::from_secs(10)));
-//! let matches = engine.process(&EdgeEvent::new("a2", "Article", "rust", "Keyword",
-//!                                              "mentions", Timestamp::from_secs(20)));
+//! let matches = engine.ingest(&[
+//!     EdgeEvent::new("a1", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(10)),
+//!     EdgeEvent::new("a2", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(20)),
+//! ]);
 //! let table = EventTable::build(&EventTableSpec::standard(), &matches);
 //! assert_eq!(table.len(), 2);
 //! println!("{}", table.render());

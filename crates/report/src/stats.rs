@@ -155,7 +155,7 @@ mod tests {
         let mut t = 0;
         for a in 0..10 {
             for k in 0..3 {
-                engine.process(&EdgeEvent::new(
+                engine.ingest(&EdgeEvent::new(
                     format!("a{a}"),
                     "Article",
                     format!("k{k}"),
@@ -165,7 +165,7 @@ mod tests {
                 ));
                 t += 1;
             }
-            engine.process(&EdgeEvent::new(
+            engine.ingest(&EdgeEvent::new(
                 format!("a{a}"),
                 "Article",
                 "paris",

@@ -40,7 +40,7 @@ fn main() {
     );
     let workload = CyberTrafficGenerator::new(config).generate();
 
-    let mut engine = ContinuousQueryEngine::with_defaults();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     let window = Duration::from_mins(5);
     let smurf = engine
         .register_query(queries::smurf_ddos_query(4, window))
@@ -59,7 +59,7 @@ fn main() {
     let start = Instant::now();
     let mut events = Vec::new();
     for ev in &workload.events {
-        events.extend(engine.process(ev));
+        events.extend(engine.ingest(ev));
     }
     let elapsed = start.elapsed().as_secs_f64();
 
@@ -74,7 +74,7 @@ fn main() {
         };
         let detected = events
             .iter()
-            .any(|e| e.query == qid && e.bindings.iter().any(|b| b.key == attack.attacker));
+            .any(|e| e.query == qid.id() && e.bindings.iter().any(|b| b.key == attack.attacker));
         println!(
             "{:?} by {} at t={}s: {}",
             attack.kind,

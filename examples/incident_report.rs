@@ -42,7 +42,7 @@ fn main() {
     );
 
     // 2. Register the Fig. 3 queries.
-    let mut engine = ContinuousQueryEngine::with_defaults();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     let window = Duration::from_mins(5);
     let smurf = smurf_ddos_query(5, window);
     let scan = port_scan_query(8, window);
@@ -58,7 +58,7 @@ fn main() {
     let mut seen = std::collections::BTreeSet::new();
     let mut incidents: Vec<MatchEvent> = Vec::new();
     for ev in &workload.events {
-        for m in engine.process(ev) {
+        for m in engine.ingest(ev) {
             let mut key: Vec<String> = m.bindings.iter().map(|b| b.key.clone()).collect();
             key.sort();
             key.push(m.query.0.to_string());
@@ -76,15 +76,15 @@ fn main() {
 
     // 4. Tabular event view (Fig. 6's table).
     let spec = EventTableSpec::standard()
-        .label(smurf_id, "smurf-ddos")
-        .label(scan_id, "port-scan");
+        .label(smurf_id.id(), "smurf-ddos")
+        .label(scan_id.id(), "port-scan");
     let table = EventTable::build(&spec, &incidents[..incidents.len().min(20)]);
     println!("=== incident table (first 20) ===\n{}", table.render());
 
     // 5. Victim frequency view (Fig. 5's map legend), over the Smurf incidents
     //    (the port-scan query has no `victim` variable).
     let mut geo = GeoView::new("victim");
-    geo.observe_all(incidents.iter().filter(|m| m.query == smurf_id));
+    geo.observe_all(incidents.iter().filter(|m| m.query == smurf_id.id()));
     println!("=== incidents per victim ===\n{}", geo.render());
 
     // 6. Subnet activity grid (Fig. 6's cascading blue dots).

@@ -13,7 +13,7 @@
 
 use streamworks::workloads::queries::labelled_news_query;
 use streamworks::workloads::{NewsConfig, NewsStreamGenerator};
-use streamworks::{ContinuousQueryEngine, Duration, MatchEvent, QueryId};
+use streamworks::{ContinuousQueryEngine, Duration, MatchEvent, QueryHandle};
 
 fn main() {
     let articles: usize = std::env::args()
@@ -34,9 +34,9 @@ fn main() {
         workload.planted.len()
     );
 
-    let mut engine = ContinuousQueryEngine::with_defaults();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     let window = Duration::from_mins(30);
-    let query_ids: Vec<(QueryId, &str)> = labels
+    let query_ids: Vec<(QueryHandle, &str)> = labels
         .iter()
         .map(|label| {
             let id = engine
@@ -48,7 +48,7 @@ fn main() {
 
     let mut events: Vec<MatchEvent> = Vec::new();
     for ev in &workload.events {
-        events.extend(engine.process(ev));
+        events.extend(engine.ingest(ev));
     }
 
     // Tabular event view (Fig. 6 analogue): one row per detected event.
@@ -60,7 +60,7 @@ fn main() {
     for e in &events {
         let label = query_ids
             .iter()
-            .find(|(id, _)| *id == e.query)
+            .find(|(id, _)| id.id() == e.query)
             .map(|(_, l)| *l)
             .unwrap_or("?");
         let location = e.binding("l").map(|b| b.key.as_str()).unwrap_or("?");

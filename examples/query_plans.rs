@@ -81,7 +81,7 @@ fn show_progression() {
         ),
     ];
 
-    let mut engines: Vec<(&str, ContinuousQueryEngine, streamworks::QueryId)> = plans
+    let mut engines: Vec<(&str, ContinuousQueryEngine, streamworks::QueryHandle)> = plans
         .into_iter()
         .map(|(name, plan)| {
             let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
@@ -99,7 +99,7 @@ fn show_progression() {
     let mut processed = 0usize;
     for (i, ev) in workload.events.iter().enumerate() {
         for (_, engine, _) in engines.iter_mut() {
-            engine.process(ev);
+            engine.ingest(ev);
         }
         processed = i + 1;
         if processed.is_multiple_of(step) || processed == workload.events.len() {

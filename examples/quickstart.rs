@@ -6,20 +6,26 @@
 //! ```
 //!
 //! The example registers the simplest interesting query — two articles that
-//! mention the same keyword within one hour — and pushes a handful of edge
-//! events through the engine, printing every match as it is discovered.
+//! mention the same keyword within one hour — subscribes a callback to it,
+//! pushes a batch of edge events through the engine, and then walks the query
+//! through its lifecycle (pause, resume, deregister).
 
-use streamworks::{ContinuousQueryEngine, EdgeEvent, Timestamp};
+use streamworks::{CallbackSink, ContinuousQueryEngine, EdgeEvent, Timestamp};
 
 fn main() {
-    // 1. Create the engine. The default configuration maintains graph
-    //    statistics (used for query planning) and prunes stale partial
-    //    matches automatically.
-    let mut engine = ContinuousQueryEngine::with_defaults();
+    // 1. Build the engine. The builder validates every setting up front; the
+    //    defaults maintain graph statistics (used for query planning) and
+    //    prune stale partial matches automatically.
+    let mut engine = ContinuousQueryEngine::builder()
+        .prune_every(256)
+        .build()
+        .expect("valid configuration");
 
     // 2. Register a continuous query using the text DSL. Queries can also be
-    //    built programmatically with `QueryGraphBuilder`.
-    let query_id = engine
+    //    built programmatically with `QueryGraphBuilder`. Registration hands
+    //    back a generation-tagged handle — the capability for everything
+    //    else: metrics, re-planning, subscriptions, pause and deregister.
+    let pairs = engine
         .register_dsl(
             r#"
             QUERY common_keyword WINDOW 1h
@@ -30,11 +36,21 @@ fn main() {
         .expect("query parses and plans");
     println!(
         "registered query:\n{}\n",
-        engine.plan(query_id).unwrap().explain()
+        engine.plan(pairs).unwrap().explain()
     );
 
-    // 3. Feed a stream of timestamped edge events. Each call returns the
-    //    complete matches that the event produced.
+    // 3. Subscribe to the query: the engine owns the sink and delivers every
+    //    future match of *this* query to it, independent of other tenants.
+    let subscription = engine
+        .subscribe(
+            pairs,
+            CallbackSink::new(|m| println!("subscriber saw: {}", m.render())),
+        )
+        .unwrap();
+
+    // 4. Feed a stream of timestamped edge events. `ingest` accepts a single
+    //    `&event`, a slice, or any iterator via `EventBatch`; batches share
+    //    one bookkeeping pass and return the complete matches in order.
     let stream = [
         EdgeEvent::new(
             "article-1",
@@ -77,22 +93,38 @@ fn main() {
             Timestamp::from_secs(120),
         ),
     ];
+    let matches = engine.ingest(&stream);
+    println!("\n{} matches emitted", matches.len());
 
-    let mut total = 0;
-    for event in &stream {
-        let matches = engine.process(event);
-        for m in &matches {
-            println!("match: {}", m.render());
-        }
-        total += matches.len();
-    }
+    // 5. Lifecycle: a paused query costs nothing per event and reports no
+    //    matches; resuming re-enters it into the dispatch table.
+    engine.pause(pairs).unwrap();
+    let while_paused = engine.ingest(&EdgeEvent::new(
+        "article-5",
+        "Article",
+        "rust",
+        "Keyword",
+        "mentions",
+        Timestamp::from_secs(150),
+    ));
+    assert!(while_paused.is_empty());
+    engine.resume(pairs).unwrap();
 
-    // 4. Inspect engine metrics.
-    let metrics = engine.metrics(query_id).unwrap();
-    println!("\n{total} matches emitted");
+    // 6. Inspect metrics through the handle, then retire the query. After
+    //    deregistration the handle is permanently stale and all partial-match
+    //    memory is released.
+    let metrics = engine.metrics(pairs).unwrap();
     println!(
         "edges processed: {}, partial matches live: {}, joins attempted: {}",
         metrics.edges_processed, metrics.partial_matches_live, metrics.joins_attempted
     );
     println!("graph: {:?}", engine.graph_stats());
+
+    engine.unsubscribe(subscription).unwrap();
+    engine.deregister(pairs).unwrap();
+    assert!(engine.metrics(pairs).is_err());
+    println!(
+        "query deregistered; {} live queries remain",
+        engine.query_count()
+    );
 }

@@ -42,7 +42,7 @@ fn main() {
     println!("replayed {} events from disk\n", replayed.len());
 
     // ---- 2. blind registration, then statistics-driven re-planning --------
-    let mut engine = ContinuousQueryEngine::with_defaults();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     let triple = engine
         .register_query_with(
             news_triple_query(Duration::from_mins(10)),
@@ -57,7 +57,7 @@ fn main() {
     let half = replayed.len() / 2;
     let mut matches = 0usize;
     for ev in &replayed[..half] {
-        matches += engine.process(ev).len();
+        matches += engine.ingest(ev).len();
     }
     println!(
         "first half: {matches} matches, summaries over {} edges",
@@ -67,7 +67,7 @@ fn main() {
     // Re-plan with the learned statistics: located edges are rarer than
     // mention edges, so they move to the bottom of the SJ-Tree.
     engine
-        .replan_query(
+        .replan(
             triple,
             &SelectivityOrdered::default(),
             TreeShapeKind::LeftDeep,
@@ -77,7 +77,7 @@ fn main() {
     println!("{}", engine.plan(triple).unwrap().explain());
 
     for ev in &replayed[half..] {
-        matches += engine.process(ev).len();
+        matches += engine.ingest(ev).len();
     }
     let metrics = engine.metrics(triple).unwrap();
     println!(

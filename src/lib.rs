@@ -13,27 +13,72 @@
 //! | [`graph`] | `streamworks-graph` | dynamic multi-relational graph store |
 //! | [`summarize`] | `streamworks-summarize` | streaming degree/type/triad statistics |
 //! | [`query`] | `streamworks-query` | query graphs, DSL, planner, SJ-Tree shape |
-//! | [`engine`] | `streamworks-core` | incremental matcher + continuous query engine |
+//! | [`engine`] | `streamworks-core` | builder-configured engine, query handles & lifecycle, per-query subscriptions, unified ingest |
 //! | [`baseline`] | `streamworks-baseline` | repeated-search and naive baselines |
 //! | [`workloads`] | `streamworks-workloads` | synthetic cyber / news / random streams |
 //! | [`report`] | `streamworks-report` | event tables, map/grid views, DOT export, statistics reports |
 //!
 //! The most common entry points are re-exported at the top level.
 //!
-//! ```
-//! use streamworks::{ContinuousQueryEngine, EdgeEvent, Timestamp};
+//! ## The service API in one example
 //!
-//! let mut engine = ContinuousQueryEngine::with_defaults();
-//! engine.register_dsl(
+//! The engine is built through a validating builder, queries are registered
+//! and come back as generation-tagged [`QueryHandle`]s with a full lifecycle
+//! (pause / resume / deregister), each query can carry its own typed
+//! subscriptions, and events of any shape — single, slice, iterator — go
+//! through the unified `ingest` surface:
+//!
+//! ```
+//! use streamworks::{ContinuousQueryEngine, CountingSink, EdgeEvent, Timestamp};
+//!
+//! let mut engine = ContinuousQueryEngine::builder()
+//!     .prune_every(512)
+//!     .build()
+//!     .unwrap();
+//!
+//! let pairs = engine.register_dsl(
 //!     "QUERY pair WINDOW 1h \
 //!      MATCH (a1:Article)-[:mentions]->(k:Keyword), (a2:Article)-[:mentions]->(k)",
 //! ).unwrap();
-//! engine.process(&EdgeEvent::new("a1", "Article", "rust", "Keyword", "mentions",
-//!                                Timestamp::from_secs(10)));
-//! let matches = engine.process(&EdgeEvent::new("a2", "Article", "rust", "Keyword",
-//!                                              "mentions", Timestamp::from_secs(20)));
-//! assert_eq!(matches.len(), 2);
+//!
+//! // Per-query subscription: this tenant sees only `pairs` matches.
+//! let (sink, seen) = CountingSink::new();
+//! engine.subscribe(pairs, sink).unwrap();
+//!
+//! let matches = engine.ingest(&[
+//!     EdgeEvent::new("a1", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(10)),
+//!     EdgeEvent::new("a2", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(20)),
+//! ]);
+//! assert_eq!(matches.len(), 2); // (a1, a2) and (a2, a1)
+//! assert_eq!(seen.get(), 2);
+//!
+//! // Lifecycle: paused queries cost nothing per event; deregistering frees
+//! // all partial-match memory and makes the handle permanently stale.
+//! engine.pause(pairs).unwrap();
+//! engine.resume(pairs).unwrap();
+//! engine.deregister(pairs).unwrap();
+//! assert!(engine.metrics(pairs).is_err());
 //! ```
+//!
+//! ## Migrating from the `process*` family
+//!
+//! The pre-0.2 entry points `process`, `process_with_sink`, `process_batch`
+//! and `process_batch_with_sink` are still present as deprecated shims and
+//! will be removed in a future release. The mapping is mechanical:
+//!
+//! * `engine.process(&event)` → `engine.ingest(&event)`
+//! * `engine.process_with_sink(&event, sink)` → `engine.ingest_with(&event, sink)`
+//! * `engine.process_batch(events.iter())` → `engine.ingest(&events[..])`
+//!   (or `engine.ingest(streamworks::engine::EventBatch(iter))` for arbitrary
+//!   iterators)
+//! * `engine.process_batch_with_sink(events.iter(), sink)` →
+//!   `engine.ingest_with(&events[..], sink)`
+//!
+//! Likewise `ContinuousQueryEngine::with_defaults()` is deprecated in favour
+//! of `ContinuousQueryEngine::builder().build()`, and the `QueryId`-indexed
+//! accessors (`plan`, `metrics`, `matcher`, `replan_query`) have become
+//! handle-scoped (`plan(handle)`, `metrics(handle)`, `matcher(handle)`,
+//! `replan(handle, ..)`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -77,8 +122,10 @@ pub mod report {
 }
 
 pub use streamworks_core::{
-    AdaptiveConfig, AdaptiveReplanner, ContinuousQueryEngine, EngineConfig, EventSink, MatchEvent,
-    ParallelRunner, QueryId, QueryMetrics,
+    AdaptiveConfig, AdaptiveReplanner, BufferingSink, CallbackSink, ChannelSink, CollectingSink,
+    ContinuousQueryEngine, CountingSink, EngineBuilder, EngineConfig, EngineError, EventBatch,
+    EventSink, Ingest, MatchBuffer, MatchCounter, MatchEvent, ParallelRunner, QueryHandle, QueryId,
+    QueryMetrics, SubscriptionId,
 };
 pub use streamworks_graph::{
     AttrValue, Attrs, Direction, Duration, DynamicGraph, EdgeEvent, EdgeId, Timestamp, VertexId,

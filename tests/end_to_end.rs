@@ -27,7 +27,7 @@ fn cyber_attacks_are_detected_with_ground_truth_recall() {
     })
     .generate();
 
-    let mut engine = ContinuousQueryEngine::with_defaults();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     let smurf = engine
         .register_query(smurf_ddos_query(4, Duration::from_mins(5)))
         .unwrap();
@@ -38,7 +38,7 @@ fn cyber_attacks_are_detected_with_ground_truth_recall() {
         .register_query(worm_spread_query(2, Duration::from_mins(10)))
         .unwrap();
 
-    let events = engine.process_batch(workload.events.iter());
+    let events = engine.ingest(&workload.events);
 
     for attack in &workload.attacks {
         let qid = match attack.kind {
@@ -48,7 +48,7 @@ fn cyber_attacks_are_detected_with_ground_truth_recall() {
         };
         let detected = events
             .iter()
-            .any(|e| e.query == qid && e.bindings.iter().any(|b| b.key == attack.attacker));
+            .any(|e| e.query == qid.id() && e.bindings.iter().any(|b| b.key == attack.attacker));
         assert!(
             detected,
             "attack {:?} by {} not detected",
@@ -66,7 +66,7 @@ fn news_bursts_are_detected_and_matches_verify() {
     })
     .generate();
 
-    let mut engine = ContinuousQueryEngine::with_defaults();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     let politics = engine
         .register_query(labelled_news_query("politics", Duration::from_mins(30)))
         .unwrap();
@@ -80,7 +80,7 @@ fn news_bursts_are_detected_and_matches_verify() {
     let mut all_events = Vec::new();
     for ev in &workload.events {
         reference.ingest(ev);
-        all_events.extend(engine.process(ev));
+        all_events.extend(engine.ingest(ev));
     }
 
     // Every planted burst is found by its labelled query.
@@ -98,10 +98,10 @@ fn news_bursts_are_detected_and_matches_verify() {
 
     // Every emitted match verifies independently against the reference graph.
     for event in &all_events {
-        let query = if event.query == politics {
+        let query = if event.query == politics.id() {
             labelled_news_query("politics", Duration::from_mins(30))
         } else {
-            assert_eq!(event.query, accident);
+            assert_eq!(event.query, accident.id());
             labelled_news_query("accident", Duration::from_mins(30))
         };
         let assignment: Vec<(QueryEdgeId, streamworks::EdgeId)> = event
@@ -130,9 +130,9 @@ fn selectivity_plan_stores_fewer_partial_matches_than_blind_plan() {
     let query = news_triple_query(Duration::from_mins(10));
 
     // Warm-up pass to build statistics, then register with/without them.
-    let mut warm = ContinuousQueryEngine::with_defaults();
+    let mut warm = ContinuousQueryEngine::builder().build().unwrap();
     for ev in &workload.events {
-        warm.process(ev);
+        warm.ingest(ev);
     }
 
     // Statistics-driven plan on a fresh engine seeded with the learned stats:
@@ -154,7 +154,7 @@ fn selectivity_plan_stores_fewer_partial_matches_than_blind_plan() {
         let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
         let id = engine.register_plan(plan);
         for ev in &workload.events {
-            engine.process(ev);
+            engine.ingest(ev);
         }
         engine.metrics(id).unwrap()
     };
@@ -203,11 +203,11 @@ fn multiple_strategies_and_tree_kinds_agree_on_results() {
             TreeShapeKind::Balanced,
         ),
     ] {
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         let id = engine
             .register_query_with(query.clone(), &strategy, kind)
             .unwrap();
-        let events = engine.process_batch(workload.events.iter());
+        let events = engine.ingest(&workload.events);
         counts.push((events.len(), engine.metrics(id).unwrap().complete_matches));
     }
     assert!(
@@ -250,7 +250,7 @@ fn engine_sustains_multi_query_load_with_bounded_state() {
             .unwrap(),
     ];
     for ev in &workload.events {
-        engine.process(ev);
+        engine.ingest(ev);
     }
     // The stream spans hours while the windows are minutes: partial-match
     // populations must stay far below the number of processed edges.

@@ -40,8 +40,8 @@ fn run_incremental(
     let mut signatures = BTreeSet::new();
     let mut reports = 0usize;
     for ev in events {
-        for m in engine.process(ev) {
-            assert_eq!(m.query, id);
+        for m in engine.ingest(ev) {
+            assert_eq!(m.query, id.id());
             let sig: Signature = m.edges.iter().enumerate().map(|(q, e)| (q, e.0)).collect();
             signatures.insert(sig);
             reports += 1;
@@ -400,17 +400,17 @@ fn batch_ingest_equals_streaming_ingest() {
     let query = labelled_news_query("politics", Duration::from_mins(30));
 
     let per_event: Vec<_> = {
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         engine.register_query(query.clone()).unwrap();
-        events.iter().flat_map(|ev| engine.process(ev)).collect()
+        events.iter().flat_map(|ev| engine.ingest(ev)).collect()
     };
 
     for chunk_size in [1usize, 7, 64, usize::MAX] {
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         engine.register_query(query.clone()).unwrap();
         let mut batched = Vec::new();
         for chunk in events.chunks(chunk_size.min(events.len())) {
-            batched.extend(engine.process_batch(chunk.iter()));
+            batched.extend(engine.ingest(chunk));
         }
         assert_eq!(batched.len(), per_event.len(), "chunk={chunk_size}");
         let sig = |m: &streamworks::MatchEvent| {
@@ -450,14 +450,14 @@ fn every_reported_match_is_within_its_window() {
         })
         .collect();
 
-    let mut engine = ContinuousQueryEngine::with_defaults();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     engine.register_query(query).unwrap();
     let mut timestamps: HashMap<u64, i64> = HashMap::new();
     let mut count = 0;
     for ev in &events {
         // Track edge-id -> timestamp as the graph assigns ids in arrival order.
         timestamps.insert(timestamps.len() as u64, ev.timestamp.as_micros());
-        for m in engine.process(ev) {
+        for m in engine.ingest(ev) {
             let times: Vec<i64> = m.edges.iter().map(|e| timestamps[&e.0]).collect();
             let span = times.iter().max().unwrap() - times.iter().min().unwrap();
             assert!(span < window.as_micros(), "span {span} exceeds window");

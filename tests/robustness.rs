@@ -49,7 +49,7 @@ fn wedge_query(window_secs: i64) -> QueryGraph {
 fn signatures(engine: &mut ContinuousQueryEngine, events: &[EdgeEvent]) -> BTreeSet<Signature> {
     let mut out = BTreeSet::new();
     for e in events {
-        for m in engine.process(e) {
+        for m in engine.ingest(e) {
             out.insert(
                 m.edges
                     .iter()
@@ -74,7 +74,7 @@ fn key_signatures(
 ) -> BTreeSet<KeySignature> {
     let mut out = BTreeSet::new();
     for e in events {
-        for m in engine.process(e) {
+        for m in engine.ingest(e) {
             let mut bindings: Vec<(String, String)> = m
                 .bindings
                 .iter()
@@ -106,17 +106,17 @@ fn repeated_signatures(query: &QueryGraph, events: &[EdgeEvent]) -> BTreeSet<Sig
 
 #[test]
 fn self_loops_do_not_produce_non_injective_matches() {
-    let mut engine = ContinuousQueryEngine::with_defaults();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     engine.register_query(pair_query(1_000)).unwrap();
     // A self-loop on the keyword vertex and an article that mentions itself.
-    engine.process(&ev("k1", "K", "k1", "K", "rel", 1));
-    engine.process(&ev("a1", "A", "a1", "A", "rel", 2));
+    engine.ingest(&ev("k1", "K", "k1", "K", "rel", 1));
+    engine.ingest(&ev("a1", "A", "a1", "A", "rel", 2));
     // One legitimate mention; still no complete pair (a1 = a2 is forbidden).
-    let matches = engine.process(&ev("a1", "A", "k1", "K", "rel", 3));
+    let matches = engine.ingest(&ev("a1", "A", "k1", "K", "rel", 3));
     assert!(matches.is_empty());
     // A second, distinct article completes the pattern exactly once per
     // automorphism.
-    let matches = engine.process(&ev("a2", "A", "k1", "K", "rel", 4));
+    let matches = engine.ingest(&ev("a2", "A", "k1", "K", "rel", 4));
     assert_eq!(matches.len(), 2);
 }
 
@@ -129,7 +129,7 @@ fn duplicate_edge_events_agree_with_repeated_search() {
         ev("a2", "A", "k1", "K", "rel", 2),
         ev("a2", "A", "k1", "K", "rel", 3), // same endpoints, later timestamp
     ];
-    let mut engine = ContinuousQueryEngine::with_defaults();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     engine.register_query(query.clone()).unwrap();
     let incremental = signatures(&mut engine, &events);
     let repeated = repeated_signatures(&query, &events);
@@ -139,12 +139,12 @@ fn duplicate_edge_events_agree_with_repeated_search() {
 
 #[test]
 fn out_of_order_timestamps_do_not_panic_and_respect_the_window() {
-    let mut engine = ContinuousQueryEngine::with_defaults();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     engine.register_query(pair_query(30)).unwrap();
     // The second mention arrives with an *older* timestamp, still inside the
     // window relative to the first edge.
-    engine.process(&ev("a1", "A", "k1", "K", "rel", 100));
-    let in_window = engine.process(&ev("a2", "A", "k1", "K", "rel", 80));
+    engine.ingest(&ev("a1", "A", "k1", "K", "rel", 100));
+    let in_window = engine.ingest(&ev("a2", "A", "k1", "K", "rel", 80));
     assert_eq!(
         in_window.len(),
         2,
@@ -152,7 +152,7 @@ fn out_of_order_timestamps_do_not_panic_and_respect_the_window() {
     );
 
     // A mention that is far in the past relative to the window must not match.
-    let stale = engine.process(&ev("a3", "A", "k1", "K", "rel", 10));
+    let stale = engine.ingest(&ev("a3", "A", "k1", "K", "rel", 10));
     assert!(
         stale.iter().all(|m| m.span.as_secs() < 30),
         "any reported match must still satisfy τ(g) < tW"
@@ -176,23 +176,23 @@ fn clock_jumps_forward_expire_state_without_panicking() {
             TreeShapeKind::LeftDeep,
         )
         .unwrap();
-    engine.process(&ev("a1", "A", "k1", "K", "rel", 0));
+    engine.ingest(&ev("a1", "A", "k1", "K", "rel", 0));
     // Jump three hours ahead: the old partial match must be expired.
-    engine.process(&ev("a2", "A", "k2", "K", "rel", 10_800));
+    engine.ingest(&ev("a2", "A", "k2", "K", "rel", 10_800));
     engine.prune_now();
     let metrics = engine.metrics(id).unwrap();
     assert!(metrics.partial_matches_expired > 0);
     // Matching continues normally at the new time frontier.
-    let matches = engine.process(&ev("a3", "A", "k2", "K", "rel", 10_805));
+    let matches = engine.ingest(&ev("a3", "A", "k2", "K", "rel", 10_805));
     assert_eq!(matches.len(), 2);
 }
 
 #[test]
 fn zero_width_window_reports_nothing() {
-    let mut engine = ContinuousQueryEngine::with_defaults();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     engine.register_query(pair_query(0)).unwrap();
-    engine.process(&ev("a1", "A", "k1", "K", "rel", 5));
-    let matches = engine.process(&ev("a2", "A", "k1", "K", "rel", 5));
+    engine.ingest(&ev("a1", "A", "k1", "K", "rel", 5));
+    let matches = engine.ingest(&ev("a2", "A", "k1", "K", "rel", 5));
     assert!(
         matches.is_empty(),
         "τ(g) < 0s can never hold, even for simultaneous edges"
@@ -203,11 +203,11 @@ fn zero_width_window_reports_nothing() {
 fn types_unseen_at_registration_time_still_match_later() {
     // Register before *any* data: the type interner knows nothing about the
     // query's labels yet, so constraints must re-resolve lazily.
-    let mut engine = ContinuousQueryEngine::with_defaults();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     engine.register_query(wedge_query(600)).unwrap();
     // Unrelated traffic with completely different types arrives first.
     for i in 0..50 {
-        engine.process(&ev(
+        engine.ingest(&ev(
             &format!("h{i}"),
             "Host",
             &format!("h{}", i + 1),
@@ -216,17 +216,17 @@ fn types_unseen_at_registration_time_still_match_later() {
             i,
         ));
     }
-    engine.process(&ev("a1", "A", "k1", "K", "rel", 100));
-    let matches = engine.process(&ev("a1", "A", "l1", "L", "loc", 101));
+    engine.ingest(&ev("a1", "A", "k1", "K", "rel", 100));
+    let matches = engine.ingest(&ev("a1", "A", "l1", "L", "loc", 101));
     assert_eq!(matches.len(), 1);
 }
 
 #[test]
 fn unrelated_edge_types_never_reach_the_matcher_as_matches() {
-    let mut engine = ContinuousQueryEngine::with_defaults();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     let id = engine.register_query(pair_query(1_000)).unwrap();
     for i in 0..200 {
-        let out = engine.process(&ev(
+        let out = engine.ingest(&ev(
             &format!("x{}", i % 17),
             "A",
             &format!("y{}", i % 13),
@@ -258,14 +258,14 @@ fn checkpoint_restore_preserves_future_matches_on_a_cyber_stream() {
     let query = smurf_ddos_query(4, Duration::from_mins(5));
 
     // Reference: process the whole stream without interruption.
-    let mut reference = ContinuousQueryEngine::with_defaults();
+    let mut reference = ContinuousQueryEngine::builder().build().unwrap();
     reference.register_query(query.clone()).unwrap();
     let half = workload.events.len() / 2;
     let first_half_ref = key_signatures(&mut reference, &workload.events[..half]);
     let second_half_ref = key_signatures(&mut reference, &workload.events[half..]);
 
     // Checkpointed run: restart the engine in the middle of the stream.
-    let mut engine = ContinuousQueryEngine::with_defaults();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     engine.register_query(query).unwrap();
     let first_half = key_signatures(&mut engine, &workload.events[..half]);
     let checkpoint = EngineCheckpoint::capture(&engine);
@@ -299,7 +299,7 @@ fn statistics_driven_strategies_agree_with_the_blind_plan() {
         ("triads", Box::new(TriadWedges::default())),
     ];
     for (name, strategy) in &strategies {
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         engine
             .register_query_with(query.clone(), strategy.as_ref(), TreeShapeKind::LeftDeep)
             .unwrap();
@@ -315,7 +315,7 @@ fn statistics_driven_strategies_agree_with_the_blind_plan() {
 
 #[test]
 fn adaptive_replanning_keeps_finding_matches_after_the_switch() {
-    let mut engine = ContinuousQueryEngine::with_defaults();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     let id = engine
         .register_query_with(
             wedge_query(3_600),
@@ -334,7 +334,7 @@ fn adaptive_replanning_keeps_finding_matches_after_the_switch() {
     // Skewed warm-up traffic that motivates a re-plan.
     let mut t = 0;
     for i in 0..600 {
-        engine.process(&ev(
+        engine.ingest(&ev(
             &format!("a{}", i % 40),
             "A",
             &format!("k{}", i % 12),
@@ -352,8 +352,8 @@ fn adaptive_replanning_keeps_finding_matches_after_the_switch() {
 
     // Patterns completed entirely after the re-plan are still found.
     let before = engine.metrics(id).unwrap().complete_matches;
-    engine.process(&ev("fresh", "A", "k-new", "K", "rel", t + 10));
-    let matches = engine.process(&ev("fresh", "A", "l-new", "L", "loc", t + 11));
+    engine.ingest(&ev("fresh", "A", "k-new", "K", "rel", t + 10));
+    let matches = engine.ingest(&ev("fresh", "A", "l-new", "L", "loc", t + 11));
     assert_eq!(matches.len(), 1);
     assert_eq!(engine.metrics(id).unwrap().complete_matches, before + 1);
 }
@@ -410,12 +410,12 @@ fn checkpoint_restore_is_transparent() {
         let window = rng.gen_range(20i64..200);
         let query = pair_query(window);
 
-        let mut reference = ContinuousQueryEngine::with_defaults();
+        let mut reference = ContinuousQueryEngine::builder().build().unwrap();
         reference.register_query(query.clone()).unwrap();
         let _ = key_signatures(&mut reference, &events[..split]);
         let tail_ref = key_signatures(&mut reference, &events[split..]);
 
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         engine.register_query(query).unwrap();
         let _ = key_signatures(&mut engine, &events[..split]);
         let mut restored = engine.checkpoint().restore();
@@ -434,7 +434,7 @@ fn cost_based_plans_match_repeated_search() {
         let events = to_sorted_events(&random_raw(&mut rng, 35));
         let window = rng.gen_range(20i64..200);
         let query = pair_query(window);
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         engine
             .register_query_with(
                 query.clone(),
@@ -457,10 +457,10 @@ fn shuffled_streams_respect_window_semantics() {
         let events = to_events(&random_raw(&mut rng, 40));
         let window = rng.gen_range(5i64..100);
         let query = pair_query(window);
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         engine.register_query(query).unwrap();
         for e in &events {
-            for m in engine.process(e) {
+            for m in engine.ingest(e) {
                 assert!(m.span < Duration::from_secs(window));
             }
         }

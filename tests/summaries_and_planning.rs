@@ -11,9 +11,9 @@ use streamworks::{ContinuousQueryEngine, Duration, Planner};
 
 /// Feeds a workload through an engine purely to accumulate statistics.
 fn summarize_stream(events: &[streamworks::EdgeEvent]) -> ContinuousQueryEngine {
-    let mut engine = ContinuousQueryEngine::with_defaults();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     for ev in events {
-        engine.process(ev);
+        engine.ingest(ev);
     }
     engine
 }
@@ -68,12 +68,12 @@ fn cyber_summary_reflects_live_window_population() {
     .generate();
     // Register a query with a short window so retention (and thus summary
     // retraction) kicks in.
-    let mut engine = ContinuousQueryEngine::with_defaults();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     engine
         .register_query(smurf_ddos_query(3, Duration::from_mins(1)))
         .unwrap();
     for ev in &workload.events {
-        engine.process(ev);
+        engine.ingest(ev);
     }
     let flow = engine.graph().edge_type_id("flow").unwrap();
     let live_flow_edges = engine.graph().edges().filter(|e| e.etype == flow).count() as u64;
@@ -92,9 +92,9 @@ fn degree_skew_is_visible_in_summary_histograms() {
         ..Default::default()
     })
     .generate();
-    let mut engine = ContinuousQueryEngine::with_defaults();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     for ev in &workload.events {
-        engine.process(ev);
+        engine.ingest(ev);
     }
     let mut summary = engine.summary().clone();
     summary.resample_degrees(engine.graph());
@@ -126,7 +126,7 @@ fn traces_round_trip_through_the_engine() {
 
     // The replayed stream produces exactly the same matches as the original.
     let run = |events: &[streamworks::EdgeEvent]| -> Vec<String> {
-        let mut engine = ContinuousQueryEngine::with_defaults();
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         engine
             .register_query(streamworks::workloads::queries::labelled_news_query(
                 "politics",
@@ -135,7 +135,7 @@ fn traces_round_trip_through_the_engine() {
             .unwrap();
         let mut out: Vec<String> = Vec::new();
         for ev in events {
-            for m in engine.process(ev) {
+            for m in engine.ingest(ev) {
                 out.push(m.render());
             }
         }
