@@ -3,8 +3,14 @@
 //! grows.
 //!
 //! ```text
-//! cargo run --release -p streamworks-bench --bin exp_throughput [-- small|medium|large]
+//! cargo run --release -p streamworks-bench --bin exp_throughput \
+//!     [-- smoke|small|medium|large] [--shards N]
 //! ```
+//!
+//! `--shards N` (default 1) additionally measures the engine with each
+//! query's match state sharded over N worker threads; `smoke` runs one tiny
+//! size without the slow repeated-search baseline (used by CI to exercise
+//! the sharded path on every push).
 
 use streamworks_baseline::{NaiveEdgeExpansion, RepeatedSearchMatcher};
 use streamworks_bench::{measure, Table};
@@ -14,11 +20,35 @@ use streamworks_workloads::queries::labelled_news_query;
 use streamworks_workloads::{NewsConfig, NewsStreamGenerator};
 
 fn main() {
-    let size = std::env::args().nth(1).unwrap_or_else(|| "small".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut size = "small".to_owned();
+    let mut shards = 1usize;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--shards" {
+            shards = args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .expect("--shards takes a positive integer");
+            i += 2;
+        } else {
+            size = args[i].clone();
+            i += 1;
+        }
+    }
     let article_counts: Vec<usize> = match size.as_str() {
         "large" => vec![1_000, 5_000, 20_000, 50_000],
         "medium" => vec![500, 2_000, 8_000, 20_000],
+        "smoke" => vec![400],
         _ => vec![200, 800, 2_000, 5_000],
+    };
+    // Repeated full search is quadratic+; keep it to the smallest sizes and
+    // skip it entirely in the CI smoke run.
+    let repeated_search_cutoff = if size == "smoke" {
+        0
+    } else {
+        article_counts[1.min(article_counts.len() - 1)]
     };
     let query = labelled_news_query("politics", Duration::from_mins(30));
 
@@ -69,6 +99,26 @@ fn main() {
             run.matches.to_string(),
         ]);
 
+        // Sharded single-query matching (join-key hash over worker threads).
+        if shards > 1 {
+            let run = measure(events.len(), || {
+                let mut engine = ContinuousQueryEngine::builder()
+                    .shards(shards)
+                    .build()
+                    .unwrap();
+                engine.register_query(query.clone()).unwrap();
+                engine.ingest(events).len() as u64
+            });
+            table.row(&[
+                articles.to_string(),
+                events.len().to_string(),
+                format!("sharded-{shards}"),
+                format!("{:.0}", run.throughput()),
+                format!("{:.1}", run.mean_latency_us()),
+                run.matches.to_string(),
+            ]);
+        }
+
         // Naive per-edge expansion.
         let run = measure(events.len(), || {
             let mut graph = DynamicGraph::unbounded();
@@ -91,7 +141,7 @@ fn main() {
         ]);
 
         // Repeated full search only at the smallest two sizes (quadratic+ cost).
-        if articles <= article_counts[1] {
+        if articles <= repeated_search_cutoff {
             let run = measure(events.len(), || {
                 let mut graph = DynamicGraph::unbounded();
                 let mut matcher = RepeatedSearchMatcher::new(query.clone());

@@ -96,10 +96,12 @@ COMMANDS:
              Parse a DSL query, plan it (optionally against trace statistics)
              and print the SJ-Tree plan with its cost estimate.
   run        --query <q.swq> [--query <q2.swq> ...] --trace <trace.jsonl>
-             [--strategy <name>] [--batch N] [--limit N] [--csv <out.csv>]
-             [--jsonl <out>]
+             [--strategy <name>] [--batch N] [--limit N] [--shards N]
+             [--csv <out.csv>] [--jsonl <out>]
              Register the queries and replay the trace in batches of N events
              (default 1024), printing the event table and per-query metrics.
+             --shards N > 1 spreads each query's match state over N worker
+             threads (join-key sharding); results are identical to --shards 1.
   summarize  --trace <trace.jsonl> [--triads N]
              Ingest the trace and print the graph statistics report.
 
@@ -267,8 +269,15 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
             message: "batch size must be positive".into(),
         }));
     }
+    let shards: usize = opts.parse_or("shards", 1)?;
+    if shards == 0 {
+        return Err(CliError::Options(OptionError::Invalid {
+            flag: "shards".into(),
+            message: "shard count must be positive (1 = single-threaded matching)".into(),
+        }));
+    }
 
-    let mut engine = ContinuousQueryEngine::builder().build()?;
+    let mut engine = ContinuousQueryEngine::builder().shards(shards).build()?;
     let mut spec = EventTableSpec::standard();
     for path in query_paths {
         let query = load_query(path)?;
@@ -286,9 +295,14 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
     let table = EventTable::build(&spec, &matches);
     let mut out = String::new();
     out.push_str(&format!(
-        "replayed {} events in batches of {}, {} matches across {} queries\n\n",
+        "replayed {} events in batches of {}{}, {} matches across {} queries\n\n",
         events.len(),
         batch,
+        if shards > 1 {
+            format!(" on {shards} shards per query")
+        } else {
+            String::new()
+        },
         matches.len(),
         engine.query_count()
     ));
@@ -511,6 +525,19 @@ mod tests {
         // A batch size of zero is rejected up front.
         assert!(dispatch(&args(&[
             "run", "--query", &query, "--trace", &trace, "--batch", "0",
+        ]))
+        .is_err());
+
+        // Sharded matching reports the same matches and says so.
+        let sharded = dispatch(&args(&[
+            "run", "--query", &query, "--trace", &trace, "--shards", "2",
+        ]))
+        .unwrap();
+        assert!(sharded.contains("2 matches"), "output: {sharded}");
+        assert!(sharded.contains("on 2 shards per query"));
+        // A shard count of zero is rejected up front.
+        assert!(dispatch(&args(&[
+            "run", "--query", &query, "--trace", &trace, "--shards", "0",
         ]))
         .is_err());
     }

@@ -34,6 +34,23 @@ pub struct EngineConfig {
     pub maintain_summary: bool,
     /// Summary configuration used when `maintain_summary` is set.
     pub summary: SummaryConfig,
+    /// Worker threads each registered query's SJ-Tree match state is sharded
+    /// over, by join-key hash (see `crate::ShardedMatcher`). `1` (the
+    /// default) runs every matcher in-process on the ingest thread. Values
+    /// above 1 spawn that many shard threads *per registered query*, so the
+    /// knob targets deployments with one (or few) hot queries. When a cap is
+    /// set, `max_matches_per_node` applies per shard. Defaults to 1 when
+    /// absent from serialized form, so checkpoints written before the field
+    /// existed keep restoring.
+    #[serde(default = "default_shards")]
+    pub shards: usize,
+}
+
+/// Serde fallback for [`EngineConfig::shards`]: pre-sharding checkpoints
+/// deserialize to the single-threaded execution (a bare `default` would give
+/// 0, which validation rejects).
+fn default_shards() -> usize {
+    1
 }
 
 impl Default for EngineConfig {
@@ -44,6 +61,7 @@ impl Default for EngineConfig {
             max_matches_per_node: None,
             maintain_summary: true,
             summary: SummaryConfig::full(),
+            shards: 1,
         }
     }
 }
@@ -84,6 +102,19 @@ impl EngineConfig {
                     retention.as_micros()
                 ));
             }
+        }
+        if self.shards == 0 {
+            return Err(
+                "shards must be at least 1 (1 runs matchers in-process; higher values \
+                 shard each query's match state across that many worker threads)"
+                    .into(),
+            );
+        }
+        if self.shards > 256 {
+            return Err(format!(
+                "shards is capped at 256 worker threads per query, got {}",
+                self.shards
+            ));
         }
         Ok(())
     }
@@ -165,6 +196,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Shards each registered query's SJ-Tree match state across `count`
+    /// worker threads by join-key hash (`1`, the default, keeps matchers
+    /// in-process). Match results and subscriptions are unaffected — one
+    /// tenant still observes a single, stream-ordered match feed — and the
+    /// emitted match multiset is identical for every shard count. Validated
+    /// at build time: must be between 1 and 256.
+    pub fn shards(mut self, count: usize) -> Self {
+        self.config.shards = count;
+        self
+    }
+
     /// Sets the summary configuration used when summaries are maintained.
     pub fn summary_config(mut self, config: SummaryConfig) -> Self {
         self.config.summary = config;
@@ -230,6 +272,28 @@ mod tests {
             .config();
         assert!(c.retention.is_none());
         assert!(c.max_matches_per_node.is_none());
+    }
+
+    #[test]
+    fn shard_counts_are_validated() {
+        assert!(EngineBuilder::new().shards(0).build().is_err());
+        assert!(EngineBuilder::new().shards(257).build().is_err());
+        let engine = EngineBuilder::new().shards(2).build().unwrap();
+        assert_eq!(engine.config().shards, 2);
+        assert_eq!(EngineConfig::default().shards, 1);
+    }
+
+    #[test]
+    fn configs_serialized_before_the_shards_field_still_deserialize() {
+        // A checkpoint written by a pre-sharding release has no `shards` key;
+        // it must come back as a valid single-threaded configuration.
+        let mut json = serde_json::to_string(&EngineConfig::default()).unwrap();
+        assert!(json.contains("\"shards\""));
+        json = json.replace(",\"shards\":1", "");
+        assert!(!json.contains("\"shards\""));
+        let config: EngineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(config.shards, 1);
+        assert!(config.validate().is_ok());
     }
 
     #[test]

@@ -20,11 +20,12 @@ use crate::config::{EngineBuilder, EngineConfig};
 use crate::error::EngineError;
 use crate::event::{CollectingSink, EventSink, MatchEvent, QueryId};
 use crate::handle::{QueryHandle, SubscriptionId};
-use crate::ingest::{EventBatch, Ingest};
-use crate::metrics::QueryMetrics;
+use crate::ingest::Ingest;
+use crate::metrics::{QueryMetrics, ShardMetrics};
+use crate::parallel::ShardedMatcher;
 use crate::sj_matcher::SjTreeMatcher;
 use streamworks_graph::{
-    Duration, DynamicGraph, EdgeEvent, EdgeId, GraphConfig, GraphStats, TypeId,
+    Duration, DynamicGraph, EdgeEvent, EdgeId, GraphConfig, GraphStats, Timestamp, TypeId,
 };
 use streamworks_query::{
     DecompositionStrategy, Planner, QueryGraph, QueryPlan, SelectivityOrdered, TreeShapeKind,
@@ -112,9 +113,56 @@ impl EdgeTypeSlab {
     }
 }
 
+/// How a query's SJ-Tree is executed: in-process on the ingest thread, or
+/// sharded by join-key hash across worker threads (see
+/// [`crate::EngineBuilder::shards`]).
+// One value per registered query (never mass-allocated), and the common
+// `Single` variant sits on the per-event dispatch path — keeping it inline
+// avoids a pointer chase there, so the size asymmetry is deliberate.
+#[allow(clippy::large_enum_variant)]
+enum QueryExec {
+    Single(SjTreeMatcher),
+    // Boxed: the sharded matcher carries channel endpoints and worker
+    // handles; it is only touched via routing/flush calls.
+    Sharded(Box<ShardedMatcher>),
+}
+
+impl QueryExec {
+    fn plan(&self) -> &QueryPlan {
+        match self {
+            QueryExec::Single(m) => m.plan(),
+            QueryExec::Sharded(s) => s.plan(),
+        }
+    }
+
+    fn metrics(&self) -> QueryMetrics {
+        match self {
+            QueryExec::Single(m) => m.metrics(),
+            QueryExec::Sharded(s) => s.metrics(),
+        }
+    }
+
+    fn prune(&mut self, now: Timestamp) {
+        match self {
+            QueryExec::Single(m) => m.prune(now),
+            QueryExec::Sharded(s) => s.prune(now),
+        }
+    }
+
+    /// The matcher carrying the compiled plan and local-search state — for a
+    /// sharded query this is the driver-side front end, whose per-node match
+    /// stores are empty (join state lives in the shards).
+    fn matcher(&self) -> &SjTreeMatcher {
+        match self {
+            QueryExec::Single(m) => m,
+            QueryExec::Sharded(s) => s.front(),
+        }
+    }
+}
+
 /// The live state of one registered query.
 struct QueryState {
-    matcher: SjTreeMatcher,
+    exec: QueryExec,
     paused: bool,
     /// Per-query subscriptions, in subscription order.
     subscribers: Vec<(u64, Box<dyn EventSink>)>,
@@ -156,6 +204,10 @@ pub struct ContinuousQueryEngine {
     /// Type info of live edges, used to update the summary on expiry.
     live_edge_types: EdgeTypeSlab,
     edges_since_prune: u64,
+    /// Edge events absorbed over the engine's lifetime — the stream position
+    /// stamped onto sharded queries' completed matches so the fan-in flush
+    /// can interleave matches of different queries in arrival order.
+    events_ingested: u64,
     events_emitted: u64,
     /// Reusable buffer for complete matches produced per event.
     match_scratch: Vec<PartialMatch>,
@@ -192,19 +244,30 @@ impl ContinuousQueryEngine {
             next_subscription: 0,
             live_edge_types: EdgeTypeSlab::default(),
             edges_since_prune: 0,
+            events_ingested: 0,
             events_emitted: 0,
             match_scratch: Vec::new(),
             config,
         }
     }
 
-    /// Creates an engine with the default configuration.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ContinuousQueryEngine::builder().build()`"
-    )]
-    pub fn with_defaults() -> Self {
-        Self::new(EngineConfig::default())
+    /// Builds the execution backend the configuration asks for: an
+    /// in-process matcher, or — when [`EngineConfig::shards`] is above 1 — a
+    /// join-key-sharded matcher spread over worker threads.
+    fn build_exec(&self, plan: QueryPlan) -> QueryExec {
+        if self.config.shards > 1 {
+            QueryExec::Sharded(Box::new(ShardedMatcher::new(
+                plan,
+                &self.graph,
+                self.config.shards,
+                self.config.max_matches_per_node,
+            )))
+        } else {
+            QueryExec::Single(
+                SjTreeMatcher::new(plan, &self.graph)
+                    .with_match_cap(self.config.max_matches_per_node),
+            )
+        }
     }
 
     /// The engine configuration.
@@ -250,10 +313,8 @@ impl ContinuousQueryEngine {
     /// table grows.
     pub fn register_plan(&mut self, plan: QueryPlan) -> QueryHandle {
         self.extend_retention(plan.query.window());
-        let matcher =
-            SjTreeMatcher::new(plan, &self.graph).with_match_cap(self.config.max_matches_per_node);
         let state = QueryState {
-            matcher,
+            exec: self.build_exec(plan),
             paused: false,
             subscribers: Vec::new(),
         };
@@ -370,14 +431,13 @@ impl ContinuousQueryEngine {
         strategy: &dyn DecompositionStrategy,
         tree_kind: TreeShapeKind,
     ) -> Result<(), EngineError> {
-        let query = self.state(handle)?.matcher.plan().query.clone();
+        let query = self.state(handle)?.exec.plan().query.clone();
         let plan = Planner::new()
             .with_statistics(&self.summary, &self.graph)
             .tree_kind(tree_kind)
             .plan_with(query, strategy)?;
-        let matcher =
-            SjTreeMatcher::new(plan, &self.graph).with_match_cap(self.config.max_matches_per_node);
-        self.state_mut(handle)?.matcher = matcher;
+        let exec = self.build_exec(plan);
+        self.state_mut(handle)?.exec = exec;
         Ok(())
     }
 
@@ -399,12 +459,28 @@ impl ContinuousQueryEngine {
 
     /// The plan of a registered query.
     pub fn plan(&self, handle: QueryHandle) -> Result<&QueryPlan, EngineError> {
-        Ok(self.state(handle)?.matcher.plan())
+        Ok(self.state(handle)?.exec.plan())
     }
 
-    /// Metrics of a registered query.
+    /// Metrics of a registered query. For a sharded query the snapshot
+    /// aggregates the driver's local-search counters with every shard's
+    /// join/store counters.
     pub fn metrics(&self, handle: QueryHandle) -> Result<QueryMetrics, EngineError> {
-        Ok(self.state(handle)?.matcher.metrics())
+        Ok(self.state(handle)?.exec.metrics())
+    }
+
+    /// Per-shard counters of a registered query: `Some` with one
+    /// [`ShardMetrics`] per shard when the engine runs sharded
+    /// ([`crate::EngineBuilder::shards`] above 1), `None` for the
+    /// single-threaded execution.
+    pub fn shard_metrics(
+        &self,
+        handle: QueryHandle,
+    ) -> Result<Option<Vec<ShardMetrics>>, EngineError> {
+        Ok(match &self.state(handle)?.exec {
+            QueryExec::Single(_) => None,
+            QueryExec::Sharded(s) => Some(s.shard_metrics()),
+        })
     }
 
     /// Metrics of every live query, in the order of [`Self::handles`].
@@ -427,14 +503,17 @@ impl ContinuousQueryEngine {
         self.queries
             .iter()
             .filter_map(QuerySlot::live)
-            .map(|s| s.matcher.metrics().partial_matches_live)
+            .map(|s| s.exec.metrics().partial_matches_live)
             .sum()
     }
 
     /// Direct access to a registered matcher (used by experiments that inspect
-    /// per-node match collections).
+    /// per-node match collections). For a sharded query this returns the
+    /// driver-side front end, whose per-node stores are empty — the join
+    /// state lives in the shards and is observable through
+    /// [`Self::shard_metrics`].
     pub fn matcher(&self, handle: QueryHandle) -> Result<&SjTreeMatcher, EngineError> {
-        Ok(&self.state(handle)?.matcher)
+        Ok(self.state(handle)?.exec.matcher())
     }
 
     // ------------------------------------------------------------------
@@ -535,7 +614,7 @@ impl ContinuousQueryEngine {
 
     /// Absorbs events from any [`Ingest`] source — a single `&EdgeEvent`, a
     /// slice or `Vec` of events, or an iterator wrapped in
-    /// [`EventBatch`] — returning the complete matches in arrival
+    /// [`crate::EventBatch`] — returning the complete matches in arrival
     /// order. Matches are also fanned out to the per-query subscriptions.
     ///
     /// Batch sources report exactly the same matches as feeding the events
@@ -556,6 +635,9 @@ impl ContinuousQueryEngine {
         let trailing_prune = batch.is_batch();
         let mut emitted = 0usize;
         batch.drive(&mut |ev| emitted += self.process_event_inner(ev, sink));
+        // Sharded queries join asynchronously; the end of the ingest call is
+        // the quiescent point where their fan-in is flushed, in stream order.
+        emitted += self.flush_sharded(sink);
         // Cover the trailing partial prune interval so a sequence of batches
         // never carries more than `prune_every` edges of stale partials.
         if trailing_prune && self.edges_since_prune > 0 {
@@ -564,45 +646,54 @@ impl ContinuousQueryEngine {
         emitted
     }
 
-    /// Processes one edge event, returning the complete matches it produced.
-    #[deprecated(since = "0.2.0", note = "use `ingest(&event)`")]
-    pub fn process(&mut self, event: &EdgeEvent) -> Vec<MatchEvent> {
-        self.ingest(event)
-    }
-
-    /// Processes one edge event, delivering matches to `sink`.
-    /// Returns the number of matches emitted.
-    #[deprecated(since = "0.2.0", note = "use `ingest_with(&event, sink)`")]
-    pub fn process_with_sink(&mut self, event: &EdgeEvent, sink: &mut dyn EventSink) -> usize {
-        self.ingest_with(event, sink)
-    }
-
-    /// Processes a batch of events, returning all matches in arrival order.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ingest(&events[..])`, or `ingest(EventBatch(iter))` for iterators"
-    )]
-    pub fn process_batch<'a>(
-        &mut self,
-        events: impl IntoIterator<Item = &'a EdgeEvent>,
-    ) -> Vec<MatchEvent> {
-        self.ingest(EventBatch(events))
-    }
-
-    /// Batch twin of `process_with_sink`; returns matches emitted.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ingest_with(&events[..], sink)`, or `ingest_with(EventBatch(iter), sink)`"
-    )]
-    pub fn process_batch_with_sink<'a>(
-        &mut self,
-        events: impl IntoIterator<Item = &'a EdgeEvent>,
-        sink: &mut dyn EventSink,
-    ) -> usize {
-        self.ingest_with(EventBatch(events), sink)
+    /// Drains every sharded query's completed-match fan-in: waits for the
+    /// shard workers to quiesce, materialises the matches as [`MatchEvent`]s,
+    /// and delivers them to each query's subscribers and to `sink` in
+    /// arrival order — interleaved across queries by the stream position of
+    /// the completing edge (ties fall back to query-slot order, matching the
+    /// per-event dispatch order of the in-process path). Single-threaded
+    /// queries emit inline and are untouched.
+    fn flush_sharded(&mut self, sink: &mut dyn EventSink) -> usize {
+        let mut completed: Vec<(u64, usize, PartialMatch)> = Vec::new();
+        for (idx, slot) in self.queries.iter_mut().enumerate() {
+            let Some(state) = slot.state.as_mut() else {
+                continue;
+            };
+            let QueryExec::Sharded(sharded) = &mut state.exec else {
+                continue;
+            };
+            for (seq, m) in sharded.take_completed() {
+                completed.push((seq, idx, m));
+            }
+        }
+        if completed.is_empty() {
+            return 0;
+        }
+        // Stable: preserves each query's own (already seq-sorted) order.
+        completed.sort_by_key(|(seq, _, _)| *seq);
+        let graph = &self.graph;
+        let mut emitted = 0usize;
+        for (_, idx, m) in &completed {
+            let slot = &mut self.queries[*idx];
+            let handle = QueryHandle::new(QueryId(*idx), slot.generation);
+            let state = slot
+                .state
+                .as_mut()
+                .expect("matches were collected from a live slot");
+            let event = MatchEvent::from_match(handle, &state.exec.plan().query, graph, m);
+            for (_, subscriber) in &mut state.subscribers {
+                subscriber.on_match(event.clone());
+            }
+            sink.on_match(event);
+            emitted += 1;
+        }
+        self.events_emitted += emitted as u64;
+        emitted
     }
 
     fn process_event_inner(&mut self, event: &EdgeEvent, sink: &mut dyn EventSink) -> usize {
+        let seq = self.events_ingested;
+        self.events_ingested += 1;
         // 1. Update the graph.
         let result = self.graph.ingest(event);
 
@@ -665,7 +756,9 @@ impl ContinuousQueryEngine {
             }
         }
 
-        // 3. Run every live, unpaused matcher (the dispatch table).
+        // 3. Run every live, unpaused matcher (the dispatch table). Sharded
+        // matchers only route here — their completed matches surface at the
+        // next quiescent point (see `flush_sharded`).
         let mut emitted = 0usize;
         let mut complete = std::mem::take(&mut self.match_scratch);
         let graph = &self.graph;
@@ -676,10 +769,17 @@ impl ContinuousQueryEngine {
                 .state
                 .as_mut()
                 .expect("dispatch table only lists live queries");
+            let matcher = match &mut state.exec {
+                QueryExec::Single(matcher) => matcher,
+                QueryExec::Sharded(sharded) => {
+                    sharded.process_edge_at(graph, edge, seq);
+                    continue;
+                }
+            };
             complete.clear();
-            state.matcher.process_edge(graph, edge, &mut complete);
+            matcher.process_edge(graph, edge, &mut complete);
             for m in complete.drain(..) {
-                let event = MatchEvent::from_match(handle, &state.matcher.plan().query, graph, &m);
+                let event = MatchEvent::from_match(handle, &matcher.plan().query, graph, &m);
                 for (_, subscriber) in &mut state.subscribers {
                     subscriber.on_match(event.clone());
                 }
@@ -697,18 +797,37 @@ impl ContinuousQueryEngine {
         // partial interval, never a full `prune_every` window.
         self.edges_since_prune += 1;
         if self.edges_since_prune >= self.config.prune_every {
-            self.prune_now();
+            self.prune_async();
         }
         emitted
     }
 
     /// Prunes expired partial matches in every live matcher immediately
-    /// (paused queries included — their stale partials keep expiring).
+    /// (paused queries included — their stale partials keep expiring). For
+    /// sharded queries the sweeps run on the shard workers; this method
+    /// waits for them, so metrics read afterwards reflect the prune — the
+    /// mid-batch cadence prune uses a non-blocking internal variant to
+    /// preserve pipelining.
     pub fn prune_now(&mut self) {
+        self.prune_async();
+        for slot in &mut self.queries {
+            if let Some(state) = &mut slot.state {
+                if let QueryExec::Sharded(sharded) = &mut state.exec {
+                    sharded.sync();
+                }
+            }
+        }
+    }
+
+    /// Starts a prune pass in every live matcher: in-process matchers sweep
+    /// synchronously, sharded matchers enqueue sweep markers to their
+    /// workers without waiting (their metrics catch up at the next
+    /// quiescent point — a barrier or the end of the `ingest` call).
+    fn prune_async(&mut self) {
         let now = self.graph.now();
         for slot in &mut self.queries {
             if let Some(state) = &mut slot.state {
-                state.matcher.prune(now);
+                state.exec.prune(now);
             }
         }
         self.edges_since_prune = 0;
@@ -936,28 +1055,37 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_process_family_matches_ingest() {
-        #![allow(deprecated)]
-        let mut old = engine();
-        let mut new = engine();
-        for e in [&mut old, &mut new] {
-            e.register_query(common_keyword_query(Duration::from_hours(1)))
-                .unwrap();
+    fn sharded_engine_reports_the_same_matches() {
+        let mut single = engine();
+        let mut sharded = ContinuousQueryEngine::builder().shards(3).build().unwrap();
+        let mut handles = Vec::new();
+        for e in [&mut single, &mut sharded] {
+            handles.push(
+                e.register_query(common_keyword_query(Duration::from_hours(1)))
+                    .unwrap(),
+            );
         }
         let events = vec![
             ev("a1", "Article", "k1", "Keyword", "mentions", 1),
             ev("a2", "Article", "k1", "Keyword", "mentions", 2),
-            ev("a3", "Article", "k1", "Keyword", "mentions", 3),
+            ev("a3", "Article", "k2", "Keyword", "mentions", 3),
+            ev("a4", "Article", "k1", "Keyword", "mentions", 4),
         ];
-        let via_process: Vec<_> = events.iter().flat_map(|e| old.process(e)).collect();
-        let via_ingest = new.ingest(&events);
-        assert_eq!(via_process, via_ingest);
-
-        let mut old_batch = engine();
-        old_batch
-            .register_query(common_keyword_query(Duration::from_hours(1)))
-            .unwrap();
-        assert_eq!(old_batch.process_batch(events.iter()), via_ingest);
+        let expected = single.ingest(&events);
+        let got = sharded.ingest(&events);
+        // Same events in stream order (MatchEvent derives PartialEq).
+        let mut expected_sorted = expected.clone();
+        let mut got_sorted = got.clone();
+        expected_sorted.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        got_sorted.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        assert_eq!(expected_sorted, got_sorted);
+        assert_eq!(
+            single.metrics(handles[0]).unwrap().complete_matches,
+            sharded.metrics(handles[1]).unwrap().complete_matches
+        );
+        // Per-shard counters exist for the sharded engine only.
+        assert_eq!(sharded.shard_metrics(handles[1]).unwrap().unwrap().len(), 3);
+        assert!(single.shard_metrics(handles[0]).unwrap().is_none());
     }
 
     #[test]

@@ -5,6 +5,15 @@
 //! what the application does with events (collect them, forward them over a
 //! channel to a UI thread, call back into user code) — the library analogue of
 //! the demo's map/table/graph views.
+//!
+//! Sinks are always invoked on the engine's ingest thread, whatever the
+//! execution backend: a sharded query ([`crate::EngineBuilder::shards`])
+//! fans its workers' results into one channel and the engine drains it at
+//! the end of each `ingest` call, delivering to sinks in stream order. Sink
+//! implementations therefore need no synchronisation of their own (the
+//! shareable observers — [`CountingSink`]/[`MatchCounter`] and
+//! [`BufferingSink`]/[`MatchBuffer`] — synchronise only because their
+//! *observer* half may live on another thread).
 
 use crate::binding::PartialMatch;
 use crate::handle::QueryHandle;

@@ -54,6 +54,15 @@ impl std::fmt::Display for QueryHandle {
 ///
 /// Cancelling a subscription through a stale or already-cancelled id is
 /// rejected, never misdelivered.
+///
+/// Subscriptions are execution-agnostic: when the engine runs a query
+/// sharded across worker threads ([`crate::EngineBuilder::shards`]), the
+/// shards' results are fanned back into one channel and delivered to the
+/// subscribed sinks on the ingest thread, ordered by stream position — the
+/// same match multiset as a single-threaded engine, in the order of the
+/// completing edges (only the relative order of several matches completed
+/// by one edge is unspecified, as it depends on which shards produced
+/// them). Sinks never need to be `Send`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SubscriptionId {
     pub(crate) query: QueryId,

@@ -11,7 +11,10 @@
 //! and deregistered at runtime, each query can carry its own subscriptions,
 //! and events arrive through the unified [`Ingest`] surface (single event,
 //! slice, or iterator via [`EventBatch`] — all sharing the batched
-//! bookkeeping path).
+//! bookkeeping path). A single hot query can be spread across worker threads
+//! with [`EngineBuilder::shards`], which partitions its SJ-Tree match state
+//! by join-key hash ([`ShardedMatcher`]) without changing any observable
+//! result.
 //!
 //! ```
 //! use streamworks_core::{ContinuousQueryEngine, CountingSink};
@@ -74,7 +77,7 @@ pub use event::{
 pub use handle::{QueryHandle, SubscriptionId};
 pub use ingest::{EventBatch, Ingest};
 pub use local_search::{find_primitive_matches, LocalSearchStats};
-pub use match_store::{JoinKey, MatchHandle, MatchStore};
-pub use metrics::QueryMetrics;
-pub use parallel::{ParallelRunOutcome, ParallelRunner};
+pub use match_store::{JoinKey, JoinSide, MatchHandle, MatchStore, SharedJoinStore};
+pub use metrics::{QueryMetrics, ShardMetrics};
+pub use parallel::{ParallelRunOutcome, ParallelRunner, ShardedMatcher};
 pub use sj_matcher::SjTreeMatcher;

@@ -332,6 +332,199 @@ impl MatchStore {
     }
 }
 
+/// Which child of an internal SJ-Tree node a match belongs to in a
+/// [`SharedJoinStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinSide {
+    /// The internal node's left child.
+    Left,
+    /// The internal node's right child.
+    Right,
+}
+
+impl JoinSide {
+    /// The opposite side (the sibling a probe scans).
+    #[inline]
+    pub fn other(self) -> JoinSide {
+        match self {
+            JoinSide::Left => JoinSide::Right,
+            JoinSide::Right => JoinSide::Left,
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            JoinSide::Left => 0,
+            JoinSide::Right => 1,
+        }
+    }
+}
+
+/// One join key's matches, split by which child they belong to.
+#[derive(Debug, Default)]
+struct SideBucket {
+    sides: [Vec<PartialMatch>; 2],
+}
+
+/// The *per-parent shared join index* (ROADMAP): one match collection per
+/// **internal** SJ-Tree node holding both children's matches, keyed by the
+/// parent's cut projection.
+///
+/// Sibling nodes project onto the same cut, so instead of one [`MatchStore`]
+/// per child (two hash maps, and an insert+probe costing two lookups), the
+/// shared store keeps a single map from [`JoinKey`] to a two-sided bucket:
+/// [`SharedJoinStore::probe_then_insert`] finds the bucket once, scans the
+/// sibling side for join candidates, and files the new match on its own side
+/// — one hash operation for the whole insert+probe step.
+///
+/// This is the match collection the sharded single-query matcher
+/// ([`crate::ShardedMatcher`]) partitions by join-key hash: every shard owns
+/// one `SharedJoinStore` per internal node, holding the slice of the key
+/// space that hashes to it. Probing reuses the same allocation-free
+/// [`PartialMatch`] merge path as the single-threaded matcher.
+///
+/// Expiry is a sweep ([`SharedJoinStore::expire_older_than`]) guarded by a
+/// running minimum of the stored matches' earliest timestamps, so prune
+/// passes that cannot remove anything skip the map walk entirely.
+#[derive(Debug)]
+pub struct SharedJoinStore {
+    /// The cut vertices of the owning internal node (the join key both
+    /// children project onto).
+    key_vertices: Vec<QueryVertexId>,
+    buckets: FxHashMap<JoinKey, SideBucket>,
+    live: [usize; 2],
+    /// Lower bound on the earliest timestamp of any stored match; when a
+    /// prune cutoff does not reach it, the sweep is skipped.
+    min_earliest: Timestamp,
+    inserted_total: u64,
+    expired_total: u64,
+}
+
+impl SharedJoinStore {
+    /// Creates a store for an internal node whose cut is `key_vertices`.
+    pub fn new(key_vertices: Vec<QueryVertexId>) -> Self {
+        SharedJoinStore {
+            key_vertices,
+            buckets: FxHashMap::default(),
+            live: [0, 0],
+            min_earliest: Timestamp(i64::MAX),
+            inserted_total: 0,
+            expired_total: 0,
+        }
+    }
+
+    /// The join-key vertices (the owning node's cut).
+    pub fn key_vertices(&self) -> &[QueryVertexId] {
+        &self.key_vertices
+    }
+
+    /// Live matches stored across both sides.
+    pub fn len(&self) -> usize {
+        self.live[0] + self.live[1]
+    }
+
+    /// True if no matches are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Live matches stored for one child.
+    pub fn side_len(&self, side: JoinSide) -> usize {
+        self.live[side.index()]
+    }
+
+    /// Total matches ever inserted.
+    pub fn inserted_total(&self) -> u64 {
+        self.inserted_total
+    }
+
+    /// Total matches removed by expiry.
+    pub fn expired_total(&self) -> u64 {
+        self.expired_total
+    }
+
+    /// Computes the join key this store files `m` under (the projection onto
+    /// the cut). `None` if the match does not bind every cut vertex.
+    pub fn join_key_for(&self, m: &PartialMatch) -> Option<JoinKey> {
+        let mut key = JoinKey::new();
+        if m.binding.project_into(&self.key_vertices, &mut key) {
+            Some(key)
+        } else {
+            None
+        }
+    }
+
+    /// Scans the sibling side of `key` for join candidates — calling
+    /// `probe(&m, candidate)` for each — and then files `m` under `key` on
+    /// `side`. One hash lookup covers both the probe and the insert.
+    ///
+    /// The probe-before-store order matches the single-threaded matcher: a
+    /// match never joins with matches on its own side, so every (left, right)
+    /// pair under a key is offered to `probe` exactly once, by whichever
+    /// member is inserted later.
+    pub fn probe_then_insert<F>(&mut self, side: JoinSide, key: JoinKey, m: PartialMatch, probe: F)
+    where
+        F: FnMut(&PartialMatch, &PartialMatch),
+    {
+        let mut probe = probe;
+        let bucket = self.buckets.entry(key).or_default();
+        for candidate in &bucket.sides[side.other().index()] {
+            probe(&m, candidate);
+        }
+        if m.earliest < self.min_earliest {
+            self.min_earliest = m.earliest;
+        }
+        bucket.sides[side.index()].push(m);
+        self.live[side.index()] += 1;
+        self.inserted_total += 1;
+    }
+
+    /// Iterates every stored match (both sides, unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &PartialMatch> {
+        self.buckets.values().flat_map(|b| b.sides.iter().flatten())
+    }
+
+    /// Removes every match whose earliest edge is older than `cutoff`,
+    /// returning the number removed. A no-op (without touching the map) when
+    /// the running minimum proves nothing can expire.
+    pub fn expire_older_than(&mut self, cutoff: Timestamp) -> usize {
+        if self.min_earliest >= cutoff {
+            return 0;
+        }
+        let mut removed = 0usize;
+        let mut min = Timestamp(i64::MAX);
+        let live = &mut self.live;
+        self.buckets.retain(|_, bucket| {
+            for (i, matches) in bucket.sides.iter_mut().enumerate() {
+                matches.retain(|m| {
+                    if m.earliest < cutoff {
+                        removed += 1;
+                        live[i] -= 1;
+                        false
+                    } else {
+                        if m.earliest < min {
+                            min = m.earliest;
+                        }
+                        true
+                    }
+                });
+            }
+            !bucket.sides[0].is_empty() || !bucket.sides[1].is_empty()
+        });
+        self.min_earliest = min;
+        self.expired_total += removed as u64;
+        removed
+    }
+
+    /// Drops every stored match.
+    pub fn clear(&mut self) {
+        self.buckets.clear();
+        self.live = [0, 0];
+        self.min_earliest = Timestamp(i64::MAX);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -486,5 +679,90 @@ mod tests {
         store.clear();
         assert!(store.is_empty());
         assert_eq!(store.candidates(&[VertexId(1)]).count(), 0);
+    }
+
+    fn key_of(store: &SharedJoinStore, pm: &PartialMatch) -> JoinKey {
+        store.join_key_for(pm).unwrap()
+    }
+
+    #[test]
+    fn shared_store_probes_only_the_sibling_side() {
+        let mut store = SharedJoinStore::new(vec![QueryVertexId(0)]);
+        let left1 = m(&[(0, 10), (1, 20)], 1, 100);
+        let left2 = m(&[(0, 10), (1, 21)], 2, 101);
+        let right = m(&[(0, 10), (2, 30)], 3, 102);
+
+        let mut seen = 0;
+        let k = key_of(&store, &left1);
+        store.probe_then_insert(JoinSide::Left, k, left1, |_, _| seen += 1);
+        assert_eq!(seen, 0, "empty store: nothing to probe");
+
+        // A second left-side match under the same key must NOT see the first
+        // (same-side matches never join).
+        let k = key_of(&store, &left2);
+        store.probe_then_insert(JoinSide::Left, k, left2, |_, _| seen += 1);
+        assert_eq!(seen, 0);
+        assert_eq!(store.side_len(JoinSide::Left), 2);
+
+        // A right-side match under the key probes both left matches.
+        let k = key_of(&store, &right);
+        store.probe_then_insert(JoinSide::Right, k, right, |m, cand| {
+            assert_eq!(m.binding.get(QueryVertexId(2)), Some(VertexId(30)));
+            assert!(cand.binding.get(QueryVertexId(1)).is_some());
+            seen += 1;
+        });
+        assert_eq!(seen, 2);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.inserted_total(), 3);
+    }
+
+    #[test]
+    fn shared_store_separates_keys() {
+        let mut store = SharedJoinStore::new(vec![QueryVertexId(0)]);
+        let left = m(&[(0, 10)], 1, 100);
+        let k = key_of(&store, &left);
+        store.probe_then_insert(JoinSide::Left, k, left, |_, _| {});
+        // A right-side match under a *different* key probes nothing.
+        let other = m(&[(0, 99)], 2, 101);
+        let k = key_of(&store, &other);
+        let mut seen = 0;
+        store.probe_then_insert(JoinSide::Right, k, other, |_, _| seen += 1);
+        assert_eq!(seen, 0);
+    }
+
+    #[test]
+    fn shared_store_expiry_sweeps_and_skips_when_nothing_can_expire() {
+        let mut store = SharedJoinStore::new(vec![QueryVertexId(0)]);
+        for i in 0..10i64 {
+            let pm = m(&[(0, (i % 3) as u32)], i as u64, 100 + i);
+            let k = key_of(&store, &pm);
+            let side = if i % 2 == 0 {
+                JoinSide::Left
+            } else {
+                JoinSide::Right
+            };
+            store.probe_then_insert(side, k, pm, |_, _| {});
+        }
+        assert_eq!(store.len(), 10);
+        // Cutoff below the minimum: the guarded sweep is a no-op.
+        assert_eq!(store.expire_older_than(Timestamp::from_secs(100)), 0);
+        // Remove the first five (earliest 100..=104).
+        assert_eq!(store.expire_older_than(Timestamp::from_secs(105)), 5);
+        assert_eq!(store.len(), 5);
+        assert_eq!(store.expired_total(), 5);
+        // Survivors are still probeable.
+        let probe = m(&[(0, 0)], 99, 200);
+        let k = key_of(&store, &probe);
+        let mut seen = 0;
+        store.probe_then_insert(JoinSide::Left, k, probe, |_, _| seen += 1);
+        assert!(seen > 0, "surviving right-side matches remain indexed");
+        store.clear();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn join_side_other_flips() {
+        assert_eq!(JoinSide::Left.other(), JoinSide::Right);
+        assert_eq!(JoinSide::Right.other(), JoinSide::Left);
     }
 }

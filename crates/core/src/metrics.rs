@@ -74,6 +74,42 @@ impl QueryMetrics {
     }
 }
 
+/// Counters for one shard of a sharded single-query matcher
+/// (see `crate::ShardedMatcher`).
+///
+/// Shard counters are updated by the worker threads through relaxed atomics
+/// and snapshotted by [`crate::ShardedMatcher::shard_metrics`] /
+/// [`crate::ContinuousQueryEngine::shard_metrics`]; they are exact whenever
+/// the matcher is quiescent (between `ingest` calls). Comparing
+/// `items_routed` across shards shows how evenly the join-key hash spreads
+/// the query's live state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardMetrics {
+    /// Work items (primitive or merged matches) this shard received, from the
+    /// driver or from other shards.
+    pub items_routed: u64,
+    /// Merged matches this shard produced whose next join key hashed to a
+    /// *different* shard (cross-shard handoffs at internal SJ-Tree nodes).
+    pub handoffs_out: u64,
+    /// Partial matches filed into this shard's join stores.
+    pub partial_matches_inserted: u64,
+    /// Partial matches currently stored in this shard.
+    pub partial_matches_live: u64,
+    /// Partial matches removed by window expiry.
+    pub partial_matches_expired: u64,
+    /// Join attempts against sibling matches in this shard.
+    pub joins_attempted: u64,
+    /// Join attempts that produced a larger partial match.
+    pub joins_succeeded: u64,
+    /// Complete (root-level) matches this shard emitted into the fan-in
+    /// channel.
+    pub complete_matches: u64,
+    /// Partial matches dropped because the per-shard node cap was reached.
+    pub matches_dropped_by_cap: u64,
+    /// Matches processed here whose inline storage had spilled to the heap.
+    pub binding_spills: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,23 +1,99 @@
-//! Multi-query parallel execution.
+//! Parallel execution: across queries and *within* one query.
 //!
-//! The paper's demo runs on a 48-core shared-memory node (§6.1). The natural
-//! unit of parallelism in StreamWorks is the *registered query*: matchers for
-//! different queries never share mutable state, so a registry of queries can
-//! be sharded across worker threads, each worker maintaining its own graph and
-//! summaries and processing the full edge stream for its shard. This module
-//! provides that batch-oriented runner on top of crossbeam's scoped threads.
+//! The paper's demo runs on a 48-core shared-memory node (§6.1). This module
+//! provides both units of parallelism the reproduction supports:
 //!
-//! Sharding by query replicates the graph per worker (memory trades for
-//! scalability); it preserves exact semantics because each query's results
-//! depend only on the stream, not on other queries.
+//! * **Across queries** — [`ParallelRunner`] shards a *registry* of queries
+//!   over worker threads, each worker replaying the full stream through its
+//!   own engine (graph and summaries replicated per worker). Exact semantics
+//!   are trivial: each query's results depend only on the stream.
+//! * **Within one query** — [`ShardedMatcher`] shards a *single* query's
+//!   SJ-Tree match state by **join-key hash**, so one hot query — the
+//!   real-time cyber regime StreamWorks targets — can use the whole machine
+//!   instead of one core.
+//!
+//! # How single-query sharding works
+//!
+//! Two matches at sibling SJ-Tree nodes can only join when they agree on the
+//! parent's cut vertices — the join key. Partitioning every node's match
+//! collection by `hash(join key) % N` therefore never separates a joinable
+//! pair: all the state one join could touch lives in exactly one shard.
+//!
+//! The calling thread (the engine's ingest thread) keeps the serial,
+//! graph-dependent front end: graph updates and the anchored local search.
+//! Each primitive embedding it finds is routed — over a crossbeam channel —
+//! to the shard owning its join key. Shard workers own one
+//! [`crate::SharedJoinStore`] per internal SJ-Tree node (the per-parent
+//! shared index: one hash lookup covers probe *and* insert) and run the same
+//! allocation-free probe/merge path as the single-threaded matcher. A merged
+//! match climbing to the next internal node re-hashes under that node's cut;
+//! if its new key belongs to a different shard it is handed off over the
+//! worker's peer channels, which is how cross-shard joins at internal nodes
+//! are met. Root-level combinations are complete matches and flow into a
+//! single fan-in channel.
+//!
+//! The driver drains that fan-in and, at every quiescent point (the end of
+//! each `ingest` call), releases the completed matches ordered by the stream
+//! position of the edge that completed them — so a tenant's
+//! [`crate::ContinuousQueryEngine::subscribe`] sink observes one unified,
+//! correctly-ordered stream no matter how many cores the query runs on.
+//!
+//! Exactness: every (left, right) pair of sibling matches under one key meets
+//! in exactly one shard, and whichever member is filed later probes the
+//! earlier one — the same probe-before-store discipline as the in-process
+//! matcher — so the emitted match multiset is identical to the
+//! single-threaded engine's for any shard count (`tests/sharding.rs` asserts
+//! this for 1/2/4/8 shards on both bundled workloads).
+//!
+//! # Using it through the engine
+//!
+//! Sharding is a deployment knob, not an API: build the engine with
+//! [`crate::EngineBuilder::shards`] and every registered query runs sharded,
+//! with subscriptions, pause/resume, deregistration and metrics behaving
+//! exactly as in the single-threaded engine.
+//!
+//! ```
+//! use streamworks_core::{BufferingSink, ContinuousQueryEngine};
+//! use streamworks_graph::{EdgeEvent, Timestamp};
+//!
+//! // One query, four shards: the match state is spread over four workers.
+//! let mut engine = ContinuousQueryEngine::builder().shards(4).build().unwrap();
+//! let pairs = engine
+//!     .register_dsl(
+//!         "QUERY pair WINDOW 1h \
+//!          MATCH (a1:Article)-[:mentions]->(k:Keyword), (a2:Article)-[:mentions]->(k)",
+//!     )
+//!     .unwrap();
+//!
+//! // The tenant's subscription sees one unified stream across all shards.
+//! let (sink, seen) = BufferingSink::new();
+//! engine.subscribe(pairs, sink).unwrap();
+//!
+//! let matches = engine.ingest(&[
+//!     EdgeEvent::new("a1", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(10)),
+//!     EdgeEvent::new("a2", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(20)),
+//! ]);
+//! assert_eq!(matches.len(), 2); // same multiset as the 1-thread engine
+//! assert_eq!(seen.drain().len(), 2);
+//!
+//! // Per-shard counters show how the state spread.
+//! let per_shard = engine.shard_metrics(pairs).unwrap().unwrap();
+//! assert_eq!(per_shard.len(), 4);
+//! ```
 
+use crate::binding::PartialMatch;
 use crate::config::EngineConfig;
 use crate::engine::ContinuousQueryEngine;
 use crate::error::EngineError;
 use crate::event::MatchEvent;
-use crate::metrics::QueryMetrics;
-use streamworks_graph::EdgeEvent;
-use streamworks_query::QueryGraph;
+use crate::match_store::{JoinKey, JoinSide, SharedJoinStore};
+use crate::metrics::{QueryMetrics, ShardMetrics};
+use crate::sj_matcher::SjTreeMatcher;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use streamworks_graph::hash::FxHasher;
+use streamworks_graph::{Duration, DynamicGraph, Edge, EdgeEvent, Timestamp, VertexId};
+use streamworks_query::{QueryGraph, QueryPlan, QueryVertexId, SjNodeId};
 
 /// Outcome of a parallel run.
 #[derive(Debug)]
@@ -146,6 +222,697 @@ impl ParallelRunner {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Single-query sharding
+// ---------------------------------------------------------------------------
+
+/// Routes a join key to its owning shard. Both the driver (for leaf matches)
+/// and the workers (for merged matches climbing the tree) use this, so a
+/// key's owner is a pure function of its projection.
+#[inline]
+fn shard_of(key: &[VertexId], shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    use std::hash::{Hash, Hasher};
+    let mut hasher = FxHasher::default();
+    for v in key {
+        v.0.hash(&mut hasher);
+    }
+    // Fold the well-mixed high bits of the Fx product into the low bits
+    // before reducing: the raw multiply keeps the key's low-bit patterns
+    // (dense vertex ids would otherwise land on a subset of the shards).
+    let mut h = hasher.finish();
+    h ^= h >> 32;
+    h ^= h >> 16;
+    (h % shards as u64) as usize
+}
+
+/// Projects `m` onto `key_vertices` and returns the owning shard.
+#[inline]
+fn owner_of(m: &PartialMatch, key_vertices: &[QueryVertexId], shards: usize) -> usize {
+    let mut key = JoinKey::new();
+    let bound = m.binding.project_into(key_vertices, &mut key);
+    debug_assert!(bound, "a node-complete match binds its join key");
+    shard_of(&key, shards)
+}
+
+/// One routed unit of join work: a partial match to file at `node` (and join
+/// upward from there). `seq` is the stream position of the producing edge.
+struct RoutedMatch {
+    node: SjNodeId,
+    seq: u64,
+    m: PartialMatch,
+}
+
+/// Matches buffered per destination before one channel send covers them all:
+/// channel and wake-up costs are per *batch*, not per match, which is what
+/// keeps the routed hot path cheap.
+const ROUTE_BATCH: usize = 128;
+
+/// Work items flowing into a shard worker.
+enum ShardItem {
+    /// A batch of routed matches (driver → shard, or shard → shard).
+    Matches(Vec<RoutedMatch>),
+    /// Expire stored matches whose earliest edge predates `cutoff`.
+    Prune { cutoff: Timestamp },
+    /// Drop the worker's channels and exit.
+    Shutdown,
+}
+
+/// Per-shard counters, shared between a worker and the driver. Workers batch
+/// their updates per work item; the driver snapshots with relaxed loads
+/// (exact at quiescent points — between `ingest` calls).
+#[derive(Default)]
+struct ShardCounters {
+    items_routed: AtomicU64,
+    handoffs_out: AtomicU64,
+    inserted: AtomicU64,
+    live: AtomicU64,
+    expired: AtomicU64,
+    joins_attempted: AtomicU64,
+    joins_succeeded: AtomicU64,
+    complete: AtomicU64,
+    dropped_by_cap: AtomicU64,
+    spills: AtomicU64,
+}
+
+impl ShardCounters {
+    fn snapshot(&self) -> ShardMetrics {
+        ShardMetrics {
+            items_routed: self.items_routed.load(Ordering::Relaxed),
+            handoffs_out: self.handoffs_out.load(Ordering::Relaxed),
+            partial_matches_inserted: self.inserted.load(Ordering::Relaxed),
+            partial_matches_live: self.live.load(Ordering::Relaxed),
+            partial_matches_expired: self.expired.load(Ordering::Relaxed),
+            joins_attempted: self.joins_attempted.load(Ordering::Relaxed),
+            joins_succeeded: self.joins_succeeded.load(Ordering::Relaxed),
+            complete_matches: self.complete.load(Ordering::Relaxed),
+            matches_dropped_by_cap: self.dropped_by_cap.load(Ordering::Relaxed),
+            binding_spills: self.spills.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Join/store counters accumulated across one work batch, flushed to the
+/// shared atomics once per batch.
+#[derive(Default)]
+struct BatchCounters {
+    inserted: u64,
+    joins_attempted: u64,
+    joins_succeeded: u64,
+    complete: u64,
+    handoffs: u64,
+    dropped: u64,
+    spills: u64,
+}
+
+/// Precomputed per-node climb step, so the worker hot loop never touches
+/// the plan (no `Arc` traffic, no repeated tree lookups). For the root the
+/// `parent` field is the `NO_PARENT` sentinel and the entry is never read.
+#[derive(Clone, Copy)]
+struct NodeRoute {
+    /// Parent node index (`NO_PARENT` for the root).
+    parent: u32,
+    /// Which child of the parent this node is.
+    side: JoinSide,
+    /// True when the parent is the root: a successful join there is a
+    /// complete match.
+    parent_is_root: bool,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// Builds the per-node climb table for a plan's tree shape.
+fn node_routes(plan: &QueryPlan) -> Vec<NodeRoute> {
+    let shape = &plan.shape;
+    let root = shape.root();
+    shape
+        .nodes()
+        .map(|n| match n.parent {
+            Some(parent) => {
+                let (left, _) = shape.node(parent).children.expect("parent is internal");
+                NodeRoute {
+                    parent: parent.0 as u32,
+                    side: if n.id == left {
+                        JoinSide::Left
+                    } else {
+                        JoinSide::Right
+                    },
+                    parent_is_root: parent == root,
+                }
+            }
+            None => NodeRoute {
+                parent: NO_PARENT,
+                side: JoinSide::Left,
+                parent_is_root: false,
+            },
+        })
+        .collect()
+}
+
+/// One shard worker: owns a [`SharedJoinStore`] per internal SJ-Tree node
+/// covering the slice of the join-key space that hashes to it.
+struct ShardWorker {
+    id: usize,
+    shards: usize,
+    /// Per-node climb steps (see [`NodeRoute`]).
+    routes: Vec<NodeRoute>,
+    /// Per-node join key of the *next* level (`shape.join_key(node)`),
+    /// indexed by node id — what a match merged at that node re-hashes on.
+    next_keys: Vec<Vec<QueryVertexId>>,
+    /// Store per node id; `Some` for internal nodes only (leaves store their
+    /// matches in their parent's shared index, the root stores nothing).
+    stores: Vec<Option<SharedJoinStore>>,
+    rx: crossbeam::channel::Receiver<ShardItem>,
+    /// Senders to every shard (self unused) for cross-shard handoffs.
+    peers: Vec<crossbeam::channel::Sender<ShardItem>>,
+    /// Per-peer buffers of outgoing handoffs, flushed as one batch each.
+    handoff_buffers: Vec<Vec<RoutedMatch>>,
+    results: crossbeam::channel::Sender<Vec<(u64, PartialMatch)>>,
+    /// Completed matches buffered during one work batch, sent as one message.
+    completed_buffer: Vec<(u64, PartialMatch)>,
+    pending: Arc<AtomicUsize>,
+    counters: Arc<ShardCounters>,
+    max_matches_per_node: Option<usize>,
+    window: Duration,
+    /// Scratch reused across items: pending (node, match) pairs local to
+    /// this shard and merge results of one probe.
+    stack: Vec<(SjNodeId, PartialMatch)>,
+    merged: Vec<PartialMatch>,
+    acc: BatchCounters,
+}
+
+impl ShardWorker {
+    fn run(mut self) {
+        while let Ok(item) = self.rx.recv() {
+            match item {
+                ShardItem::Matches(batch) => {
+                    self.counters
+                        .items_routed
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    for routed in batch {
+                        self.process(routed);
+                    }
+                    if !self.completed_buffer.is_empty() {
+                        // The driver may already have dropped the receiver
+                        // during shutdown; losing the matches is fine then.
+                        let batch = std::mem::take(&mut self.completed_buffer);
+                        let _ = self.results.send(batch);
+                    }
+                    self.flush_handoffs();
+                    self.flush_counters();
+                    // Decrement only after the batch (and every local
+                    // descendant) is fully processed and its handoffs have
+                    // been counted: `pending == 0` ⇒ globally quiescent. The
+                    // worker that brings the counter to zero wakes the driver
+                    // (possibly blocked in `wait_quiescent`) with an empty
+                    // result batch, so the barrier never has to spin.
+                    if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let _ = self.results.send(Vec::new());
+                    }
+                }
+                ShardItem::Prune { cutoff } => {
+                    self.prune(cutoff);
+                    // Prune markers are counted in `pending` like match
+                    // batches, so a barrier right after a prune also waits
+                    // for the sweeps (metrics read exactly afterwards).
+                    if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let _ = self.results.send(Vec::new());
+                    }
+                }
+                ShardItem::Shutdown => break,
+            }
+        }
+        // Dropping `self` here releases the peer senders, letting sibling
+        // workers (already shut down themselves) disconnect cleanly.
+    }
+
+    /// The sharded twin of `SjTreeMatcher::insert_and_join`: file the match
+    /// in the per-parent shared index, probe the sibling side, and climb.
+    fn process(&mut self, routed: RoutedMatch) {
+        let RoutedMatch { node, seq, m } = routed;
+        let window = self.window;
+
+        let mut stack = std::mem::take(&mut self.stack);
+        let mut merged = std::mem::take(&mut self.merged);
+        stack.push((node, m));
+        while let Some((node, m)) = stack.pop() {
+            if m.spilled() {
+                self.acc.spills += 1;
+            }
+            let NodeRoute {
+                parent,
+                side,
+                parent_is_root,
+            } = self.routes[node.0];
+            debug_assert_ne!(parent, NO_PARENT, "root matches are emitted, never filed");
+            let parent = parent as usize;
+            let store = self.stores[parent]
+                .as_mut()
+                .expect("internal node has a shared store");
+            if let Some(cap) = self.max_matches_per_node {
+                if store.side_len(side) >= cap {
+                    self.acc.dropped += 1;
+                    continue;
+                }
+            }
+            let Some(key) = store.join_key_for(&m) else {
+                debug_assert!(false, "a node-complete match binds its join key");
+                continue;
+            };
+
+            merged.clear();
+            let mut attempts = 0u64;
+            store.probe_then_insert(side, key, m, |m, candidate| {
+                attempts += 1;
+                if let Some(combined) = m.merge(candidate) {
+                    if combined.within_window(window) {
+                        merged.push(combined);
+                    }
+                }
+            });
+            self.acc.inserted += 1;
+            self.acc.joins_attempted += attempts;
+            self.acc.joins_succeeded += merged.len() as u64;
+
+            for combined in merged.drain(..) {
+                if parent_is_root {
+                    self.acc.complete += 1;
+                    if combined.spilled() {
+                        self.acc.spills += 1;
+                    }
+                    self.completed_buffer.push((seq, combined));
+                } else {
+                    let owner = owner_of(&combined, &self.next_keys[parent], self.shards);
+                    if owner == self.id {
+                        stack.push((SjNodeId(parent), combined));
+                    } else {
+                        self.acc.handoffs += 1;
+                        self.handoff_buffers[owner].push(RoutedMatch {
+                            node: SjNodeId(parent),
+                            seq,
+                            m: combined,
+                        });
+                        if self.handoff_buffers[owner].len() >= ROUTE_BATCH {
+                            self.flush_handoff_to(owner);
+                        }
+                    }
+                }
+            }
+        }
+        self.stack = stack;
+        self.merged = merged;
+    }
+
+    /// Sends one buffered handoff batch. The pending increment happens
+    /// *before* the send, so the counter can never under-report in-flight
+    /// work.
+    fn flush_handoff_to(&mut self, owner: usize) {
+        if self.handoff_buffers[owner].is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.handoff_buffers[owner]);
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        let _ = self.peers[owner].send(ShardItem::Matches(batch));
+    }
+
+    fn flush_handoffs(&mut self) {
+        for owner in 0..self.handoff_buffers.len() {
+            self.flush_handoff_to(owner);
+        }
+    }
+
+    fn flush_counters(&mut self) {
+        let acc = std::mem::take(&mut self.acc);
+        let c = &self.counters;
+        c.inserted.fetch_add(acc.inserted, Ordering::Relaxed);
+        c.joins_attempted
+            .fetch_add(acc.joins_attempted, Ordering::Relaxed);
+        c.joins_succeeded
+            .fetch_add(acc.joins_succeeded, Ordering::Relaxed);
+        c.complete.fetch_add(acc.complete, Ordering::Relaxed);
+        c.handoffs_out.fetch_add(acc.handoffs, Ordering::Relaxed);
+        c.dropped_by_cap.fetch_add(acc.dropped, Ordering::Relaxed);
+        c.spills.fetch_add(acc.spills, Ordering::Relaxed);
+        self.publish_live();
+    }
+
+    fn prune(&mut self, cutoff: Timestamp) {
+        let mut removed = 0usize;
+        for store in self.stores.iter_mut().flatten() {
+            removed += store.expire_older_than(cutoff);
+        }
+        self.counters
+            .expired
+            .fetch_add(removed as u64, Ordering::Relaxed);
+        self.publish_live();
+    }
+
+    fn publish_live(&self) {
+        let live: usize = self.stores.iter().flatten().map(SharedJoinStore::len).sum();
+        self.counters.live.store(live as u64, Ordering::Relaxed);
+    }
+}
+
+/// Sharded execution of **one** query's SJ-Tree: match state partitioned by
+/// join-key hash across `N` worker threads, results fanned back in over a
+/// crossbeam channel (see the module docs for the full design).
+///
+/// Most deployments use this through
+/// [`crate::EngineBuilder::shards`] rather than directly: the engine routes
+/// edges, flushes the fan-in at the end of every `ingest` call, and delivers
+/// the unified stream to per-query subscriptions. Driving it by hand means
+/// calling [`ShardedMatcher::process_edge`] per edge and
+/// [`ShardedMatcher::take_completed`] at every point where results are
+/// needed in order.
+pub struct ShardedMatcher {
+    /// Serial front end (shared with the single-threaded matcher): compiled
+    /// constraints, anchor dispatch and local search. Its per-node stores
+    /// stay empty — all join state lives in the shard workers.
+    front: SjTreeMatcher,
+    shards: usize,
+    senders: Vec<crossbeam::channel::Sender<ShardItem>>,
+    /// Per-shard buffers of routed matches; one channel send covers a batch.
+    route_buffers: Vec<Vec<RoutedMatch>>,
+    results_rx: crossbeam::channel::Receiver<Vec<(u64, PartialMatch)>>,
+    /// Work items routed but not yet fully processed (including cross-shard
+    /// handoffs); zero ⇔ the shards are quiescent.
+    pending: Arc<AtomicUsize>,
+    counters: Vec<Arc<ShardCounters>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    /// Stream position of the next edge (stamps completed matches so the
+    /// fan-in can be released in stream order).
+    seq: u64,
+    /// Completed matches drained from the fan-in, awaiting release.
+    completed: Vec<(u64, PartialMatch)>,
+    complete_emitted: u64,
+    /// Spill count for matches completed on the driver (single-leaf plans).
+    driver_spills: u64,
+    primitive_scratch: Vec<(SjNodeId, PartialMatch)>,
+}
+
+impl ShardedMatcher {
+    /// Creates a sharded matcher for `plan` with `shards` worker threads
+    /// (clamped to at least 1) and an optional per-shard, per-node cap on
+    /// live partial matches.
+    pub fn new(
+        plan: QueryPlan,
+        graph: &DynamicGraph,
+        shards: usize,
+        max_matches_per_node: Option<usize>,
+    ) -> Self {
+        let shards = shards.max(1);
+        // Everything the workers need from the plan is extracted up front
+        // (stores, climb routes, next-level keys); the plan itself moves
+        // into the driver-side front end.
+        let routes = node_routes(&plan);
+        let next_keys: Vec<Vec<QueryVertexId>> = plan
+            .shape
+            .nodes()
+            .map(|n| plan.shape.join_key(n.id).to_vec())
+            .collect();
+        let cuts: Vec<Option<Vec<QueryVertexId>>> = plan
+            .shape
+            .nodes()
+            .map(|n| n.children.map(|_| n.cut_vertices.clone()))
+            .collect();
+        let front = SjTreeMatcher::new(plan, graph);
+        let window = front.window();
+        let pending = Arc::new(AtomicUsize::new(0));
+        let (results_tx, results_rx) = crossbeam::channel::unbounded();
+
+        let mut senders = Vec::with_capacity(shards);
+        let mut receivers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = crossbeam::channel::unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let counters: Vec<Arc<ShardCounters>> = (0..shards)
+            .map(|_| Arc::new(ShardCounters::default()))
+            .collect();
+
+        let workers = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(id, rx)| {
+                let stores = cuts
+                    .iter()
+                    .map(|cut| cut.clone().map(SharedJoinStore::new))
+                    .collect();
+                let worker = ShardWorker {
+                    id,
+                    shards,
+                    routes: routes.clone(),
+                    next_keys: next_keys.clone(),
+                    stores,
+                    rx,
+                    peers: senders.clone(),
+                    handoff_buffers: (0..shards).map(|_| Vec::new()).collect(),
+                    results: results_tx.clone(),
+                    completed_buffer: Vec::new(),
+                    pending: Arc::clone(&pending),
+                    counters: Arc::clone(&counters[id]),
+                    max_matches_per_node,
+                    window,
+                    stack: Vec::new(),
+                    merged: Vec::new(),
+                    acc: BatchCounters::default(),
+                };
+                std::thread::Builder::new()
+                    .name(format!("sw-shard-{id}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn shard worker thread")
+            })
+            .collect();
+
+        ShardedMatcher {
+            front,
+            shards,
+            senders,
+            route_buffers: (0..shards).map(|_| Vec::new()).collect(),
+            results_rx,
+            pending,
+            counters,
+            workers,
+            seq: 0,
+            completed: Vec::new(),
+            complete_emitted: 0,
+            driver_spills: 0,
+            primitive_scratch: Vec::new(),
+        }
+    }
+
+    /// Number of shard worker threads.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The plan this matcher executes.
+    pub fn plan(&self) -> &QueryPlan {
+        self.front.plan()
+    }
+
+    /// Blocks until every routed match and prune marker enqueued so far has
+    /// been fully processed (completed matches stay buffered for the next
+    /// [`Self::take_completed`]). Afterwards [`Self::metrics`] and
+    /// [`Self::shard_metrics`] reflect all prior work exactly.
+    pub fn sync(&mut self) {
+        self.flush_routes();
+        self.wait_quiescent();
+    }
+
+    /// The driver-side front end (local search state; its match stores are
+    /// empty — join state lives in the shards).
+    pub(crate) fn front(&self) -> &SjTreeMatcher {
+        &self.front
+    }
+
+    /// Runs local search for one edge and routes every primitive embedding to
+    /// the shard owning its join key. Complete matches surface later, through
+    /// [`Self::take_completed`] — the shards process asynchronously, so the
+    /// driver can pipeline the next edge's graph work while they join.
+    ///
+    /// The edge's stream position is taken from an internal per-matcher
+    /// counter; a caller interleaving several matchers over one stream (the
+    /// engine) should use [`Self::process_edge_at`] with a shared counter so
+    /// positions are comparable across matchers.
+    pub fn process_edge(&mut self, graph: &DynamicGraph, edge: &Edge) {
+        let seq = self.seq;
+        self.process_edge_at(graph, edge, seq);
+    }
+
+    /// Like [`Self::process_edge`] with an explicit stream position, which
+    /// stamps any match this edge completes (see [`Self::take_completed`]).
+    /// Positions must be non-decreasing across calls.
+    pub fn process_edge_at(&mut self, graph: &DynamicGraph, edge: &Edge, seq: u64) {
+        debug_assert!(
+            seq >= self.seq.saturating_sub(1),
+            "stream positions regress"
+        );
+        self.seq = seq + 1;
+        let mut primitives = std::mem::take(&mut self.primitive_scratch);
+        primitives.clear();
+        self.front
+            .primitive_matches_into(graph, edge, &mut primitives);
+        let root = self.front.plan().shape.root();
+        for (leaf, m) in primitives.drain(..) {
+            if leaf == root {
+                // Single-primitive plan: a leaf embedding is already complete.
+                if m.spilled() {
+                    self.driver_spills += 1;
+                }
+                self.completed.push((seq, m));
+            } else {
+                let owner = owner_of(&m, self.front.plan().shape.join_key(leaf), self.shards);
+                self.route_buffers[owner].push(RoutedMatch { node: leaf, seq, m });
+                if self.route_buffers[owner].len() >= ROUTE_BATCH {
+                    self.flush_route_to(owner);
+                }
+            }
+        }
+        self.primitive_scratch = primitives;
+        // Opportunistic drain keeps the fan-in channel shallow mid-batch.
+        while let Ok(results) = self.results_rx.try_recv() {
+            self.completed.extend(results);
+        }
+    }
+
+    /// Sends one buffered route batch (pending incremented before the send,
+    /// so quiescence can never be observed early).
+    fn flush_route_to(&mut self, owner: usize) {
+        if self.route_buffers[owner].is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.route_buffers[owner]);
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        let _ = self.senders[owner].send(ShardItem::Matches(batch));
+    }
+
+    fn flush_routes(&mut self) {
+        for owner in 0..self.route_buffers.len() {
+            self.flush_route_to(owner);
+        }
+    }
+
+    /// Waits for the shards to quiesce, then returns every completed match
+    /// accumulated since the last call, sorted by the stream position of the
+    /// completing edge (ties keep fan-in arrival order).
+    pub fn take_completed(&mut self) -> Vec<(u64, PartialMatch)> {
+        self.flush_routes();
+        self.wait_quiescent();
+        while let Ok(results) = self.results_rx.try_recv() {
+            self.completed.extend(results);
+        }
+        let mut out = std::mem::take(&mut self.completed);
+        out.sort_by_key(|(seq, _)| *seq);
+        self.complete_emitted += out.len() as u64;
+        out
+    }
+
+    /// Sends a prune marker to every shard; stored matches whose earliest
+    /// edge predates `now - window` are expired asynchronously (call
+    /// [`Self::sync`] or [`Self::take_completed`] afterwards to observe the
+    /// sweeps in the metrics). A merged match handed off between shards
+    /// concurrently with the markers may be filed after the sweep and live
+    /// until the next prune — harmless for match output (out-of-window
+    /// state can never complete a match), but `partial_matches_live` can
+    /// transiently read high, and with a per-node cap set, which matches
+    /// are dropped near the cap can vary run to run.
+    pub fn prune(&mut self, now: Timestamp) {
+        // Route buffered matches first so the prune marker never overtakes
+        // work produced before it.
+        self.flush_routes();
+        let cutoff = now.minus(self.front.window());
+        for tx in &self.senders {
+            self.pending.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(ShardItem::Prune { cutoff });
+        }
+    }
+
+    /// Aggregated metrics: driver-side local-search counters plus the sum of
+    /// the per-shard join/store counters (exact between `ingest` calls).
+    pub fn metrics(&self) -> QueryMetrics {
+        let mut m = self.front.metrics();
+        m.complete_matches = self.complete_emitted;
+        m.binding_spills += self.driver_spills;
+        for c in &self.counters {
+            let s = c.snapshot();
+            m.partial_matches_inserted += s.partial_matches_inserted;
+            m.partial_matches_live += s.partial_matches_live;
+            m.partial_matches_expired += s.partial_matches_expired;
+            m.joins_attempted += s.joins_attempted;
+            m.joins_succeeded += s.joins_succeeded;
+            m.matches_dropped_by_cap += s.matches_dropped_by_cap;
+            m.binding_spills += s.binding_spills;
+        }
+        m
+    }
+
+    /// Per-shard counter snapshot, in shard order.
+    pub fn shard_metrics(&self) -> Vec<ShardMetrics> {
+        self.counters.iter().map(|c| c.snapshot()).collect()
+    }
+
+    /// Blocks until every routed work item (including cross-shard handoffs)
+    /// has been fully processed. The wait parks on the result channel — the
+    /// last worker to go idle sends a wake — so the driver never burns a
+    /// core spinning while the shards drain their queues.
+    fn wait_quiescent(&mut self) {
+        loop {
+            while let Ok(results) = self.results_rx.try_recv() {
+                self.completed.extend(results);
+            }
+            if self.pending.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            if self
+                .workers
+                .iter()
+                .all(std::thread::JoinHandle::is_finished)
+            {
+                break; // a worker died; don't hang the driver
+            }
+            // The timeout only matters if a worker dies without decrementing
+            // the pending counter (a bug); it turns a hang into a stall.
+            match self
+                .results_rx
+                .recv_timeout(std::time::Duration::from_millis(50))
+            {
+                Ok(results) => self.completed.extend(results),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+}
+
+impl Drop for ShardedMatcher {
+    fn drop(&mut self) {
+        // Quiesce first so no worker is mid-handoff, then shut them down in
+        // order; workers drop their peer senders as they exit.
+        self.flush_routes();
+        self.wait_quiescent();
+        for tx in &self.senders {
+            let _ = tx.send(ShardItem::Shutdown);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedMatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMatcher")
+            .field("query", &self.front.plan().query.name())
+            .field("shards", &self.shards)
+            .field("pending", &self.pending.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +1025,232 @@ mod tests {
         let outcome = runner.run(&stream()).unwrap();
         assert_eq!(outcome.metrics[0].0, "zz_last_name");
         assert_eq!(outcome.metrics[1].0, "aa_first_name");
+    }
+
+    // -- ShardedMatcher ----------------------------------------------------
+
+    use crate::sj_matcher::SjTreeMatcher;
+    use std::collections::BTreeSet;
+    use streamworks_query::{Planner, SelectivityOrdered};
+
+    /// Multi-leaf plan (single-edge primitives) so the tree genuinely joins.
+    fn planned(query: QueryGraph) -> QueryPlan {
+        Planner::new()
+            .plan_with(
+                query,
+                &SelectivityOrdered {
+                    max_primitive_size: 1,
+                },
+            )
+            .unwrap()
+    }
+
+    fn drive_sharded(
+        plan: &QueryPlan,
+        events: &[EdgeEvent],
+        shards: usize,
+    ) -> (BTreeSet<u64>, usize, ShardedMatcher) {
+        let mut graph = streamworks_graph::DynamicGraph::unbounded();
+        let mut matcher = ShardedMatcher::new(plan.clone(), &graph, shards, None);
+        let mut signatures = BTreeSet::new();
+        let mut count = 0usize;
+        for ev in events {
+            let r = graph.ingest(ev);
+            let edge = graph.edge(r.edge).unwrap().clone();
+            matcher.process_edge(&graph, &edge);
+        }
+        let mut last_seq = 0u64;
+        for (seq, m) in matcher.take_completed() {
+            assert!(seq >= last_seq, "fan-in must release in stream order");
+            last_seq = seq;
+            signatures.insert(m.signature());
+            count += 1;
+        }
+        (signatures, count, matcher)
+    }
+
+    /// A stream where several articles genuinely share keywords, so the pair
+    /// query produces matches (unlike `stream()`, whose type interleaving
+    /// gives every article its own keyword).
+    fn mention_stream(n: i64) -> Vec<EdgeEvent> {
+        (0..n)
+            .map(|i| {
+                EdgeEvent::new(
+                    format!("a{}", i % 7),
+                    "Article",
+                    format!("k{}", i % 3),
+                    "Keyword",
+                    "mentions",
+                    Timestamp::from_secs(i * 3),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_matcher_agrees_with_single_threaded_for_any_shard_count() {
+        let plan = planned(pair_query("pair", "mentions"));
+        let events = mention_stream(40);
+
+        // Single-threaded reference.
+        let mut graph = streamworks_graph::DynamicGraph::unbounded();
+        let mut single = SjTreeMatcher::new(plan.clone(), &graph);
+        let mut expected = BTreeSet::new();
+        let mut expected_count = 0usize;
+        let mut out = Vec::new();
+        for ev in &events {
+            let r = graph.ingest(ev);
+            let edge = graph.edge(r.edge).unwrap().clone();
+            out.clear();
+            single.process_edge(&graph, &edge, &mut out);
+            for m in &out {
+                expected.insert(m.signature());
+                expected_count += 1;
+            }
+        }
+        assert!(expected_count > 0, "the stream must produce matches");
+
+        for shards in [1usize, 2, 4, 8] {
+            let (signatures, count, matcher) = drive_sharded(&plan, &events, shards);
+            assert_eq!(signatures, expected, "shards={shards}");
+            assert_eq!(count, expected_count, "shards={shards}");
+            let metrics = matcher.metrics();
+            assert_eq!(metrics.complete_matches, expected_count as u64);
+            assert_eq!(metrics.edges_processed, events.len() as u64);
+            // Store work happened in the shards, not the driver front end.
+            assert_eq!(
+                metrics.partial_matches_inserted,
+                single.metrics().partial_matches_inserted
+            );
+            let per_shard = matcher.shard_metrics();
+            assert_eq!(per_shard.len(), shards);
+            let routed: u64 = per_shard.iter().map(|s| s.items_routed).sum();
+            assert!(routed > 0);
+        }
+    }
+
+    #[test]
+    fn sharded_matcher_spreads_state_across_shards() {
+        // Many distinct keywords → many distinct join keys → every shard of a
+        // 4-way split should own some of them.
+        let plan = planned(pair_query("pair", "mentions"));
+        let mut events = Vec::new();
+        for i in 0..400i64 {
+            events.push(EdgeEvent::new(
+                format!("a{i}"),
+                "Article",
+                format!("k{}", i % 97),
+                "Keyword",
+                "mentions",
+                Timestamp::from_secs(i),
+            ));
+        }
+        let (_, _, matcher) = drive_sharded(&plan, &events, 4);
+        let per_shard = matcher.shard_metrics();
+        assert!(
+            per_shard.iter().all(|s| s.items_routed > 0),
+            "all shards took work: {per_shard:?}"
+        );
+        let live: u64 = per_shard.iter().map(|s| s.partial_matches_live).sum();
+        assert_eq!(live, matcher.metrics().partial_matches_live);
+    }
+
+    #[test]
+    fn sharded_matcher_prunes_windowed_state() {
+        let plan = planned(pair_query("pair", "mentions"));
+        let mut graph = streamworks_graph::DynamicGraph::unbounded();
+        let mut matcher = ShardedMatcher::new(plan, &graph, 2, None);
+        for i in 0..50i64 {
+            let r = graph.ingest(&EdgeEvent::new(
+                format!("a{i}"),
+                "Article",
+                format!("k{i}"),
+                "Keyword",
+                "mentions",
+                Timestamp::from_secs(i),
+            ));
+            let edge = graph.edge(r.edge).unwrap().clone();
+            matcher.process_edge(&graph, &edge);
+        }
+        matcher.take_completed();
+        assert!(matcher.metrics().partial_matches_live > 0);
+        // The pair query's window is 1h; advance far beyond it and prune.
+        matcher.prune(Timestamp::from_secs(1_000_000));
+        matcher.take_completed(); // barrier so the prune markers are processed
+        let metrics = matcher.metrics();
+        assert_eq!(metrics.partial_matches_live, 0);
+        assert!(metrics.partial_matches_expired >= 50);
+    }
+
+    #[test]
+    fn sharded_matcher_handles_multi_level_plans() {
+        // Three-leaf query: internal-node joins must hand matches across
+        // shards when the next join key hashes elsewhere.
+        let q = QueryGraphBuilder::new("triple")
+            .window(Duration::from_hours(6))
+            .vertex("a1", "Article")
+            .vertex("a2", "Article")
+            .vertex("k", "Keyword")
+            .vertex("l", "Location")
+            .edge("a1", "mentions", "k")
+            .edge("a2", "mentions", "k")
+            .edge("a1", "located", "l")
+            .build()
+            .unwrap();
+        let plan = planned(q);
+        assert!(plan.shape.node_count() >= 5, "three leaves, two joins");
+        let mut events = Vec::new();
+        for i in 0..60i64 {
+            events.push(EdgeEvent::new(
+                format!("a{}", i % 10),
+                "Article",
+                format!("k{}", i % 4),
+                "Keyword",
+                "mentions",
+                Timestamp::from_secs(2 * i),
+            ));
+            events.push(EdgeEvent::new(
+                format!("a{}", i % 10),
+                "Article",
+                format!("city{}", i % 3),
+                "Location",
+                "located",
+                Timestamp::from_secs(2 * i + 1),
+            ));
+        }
+        let (expected, expected_count, _) = drive_sharded(&plan, &events, 1);
+        assert!(expected_count > 0);
+        for shards in [2usize, 4] {
+            let (signatures, count, matcher) = drive_sharded(&plan, &events, shards);
+            assert_eq!(signatures, expected, "shards={shards}");
+            assert_eq!(count, expected_count, "shards={shards}");
+            let handoffs: u64 = matcher.shard_metrics().iter().map(|s| s.handoffs_out).sum();
+            // With several shards and mixed join keys, at least some merged
+            // matches must migrate between shards.
+            assert!(handoffs > 0, "expected cross-shard handoffs at {shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_matcher_per_shard_cap_drops_matches() {
+        let plan = planned(pair_query("pair", "mentions"));
+        let mut graph = streamworks_graph::DynamicGraph::unbounded();
+        let mut matcher = ShardedMatcher::new(plan, &graph, 1, Some(3));
+        for i in 0..30i64 {
+            let r = graph.ingest(&EdgeEvent::new(
+                format!("a{i}"),
+                "Article",
+                "k0",
+                "Keyword",
+                "mentions",
+                Timestamp::from_secs(i),
+            ));
+            let edge = graph.edge(r.edge).unwrap().clone();
+            matcher.process_edge(&graph, &edge);
+        }
+        matcher.take_completed();
+        let metrics = matcher.metrics();
+        assert!(metrics.matches_dropped_by_cap > 0);
+        assert!(metrics.partial_matches_live <= 12);
     }
 }

@@ -47,6 +47,7 @@ pub struct SjTreeMatcher {
     /// transient allocations once warm.
     anchor_scratch: Vec<(SjNodeId, QueryEdgeId)>,
     found: Vec<PartialMatch>,
+    primitive_scratch: Vec<(SjNodeId, PartialMatch)>,
     stack: Vec<(SjNodeId, PartialMatch)>,
     merged: Vec<PartialMatch>,
 }
@@ -70,6 +71,7 @@ impl SjTreeMatcher {
             anchors_any_type: Vec::new(),
             anchor_scratch: Vec::new(),
             found: Vec::new(),
+            primitive_scratch: Vec::new(),
             stack: Vec::new(),
             merged: Vec::new(),
             plan,
@@ -145,6 +147,31 @@ impl SjTreeMatcher {
     /// Processes one newly inserted data edge. Complete matches are appended
     /// to `out`.
     pub fn process_edge(&mut self, graph: &DynamicGraph, edge: &Edge, out: &mut Vec<PartialMatch>) {
+        let mut primitives = std::mem::take(&mut self.primitive_scratch);
+        primitives.clear();
+        self.primitive_matches_into(graph, edge, &mut primitives);
+        for (leaf, m) in primitives.drain(..) {
+            self.insert_and_join(leaf, m, out);
+        }
+        self.primitive_scratch = primitives;
+    }
+
+    /// The matcher's *local-search front end*: runs the schema-gated
+    /// constraint refresh and the per-type anchor dispatch for one data edge,
+    /// appending every primitive embedding found as `(leaf, match)` to `out`
+    /// — without touching the match stores.
+    ///
+    /// [`Self::process_edge`] feeds the results into the in-process join
+    /// propagation; the sharded matcher (`crate::ShardedMatcher`) feeds them
+    /// into its join-key router instead, so both executions share one front
+    /// end. Local-search metrics (`edges_processed`,
+    /// `local_search_candidates`, `primitive_matches`) are accounted here.
+    pub(crate) fn primitive_matches_into(
+        &mut self,
+        graph: &DynamicGraph,
+        edge: &Edge,
+        out: &mut Vec<(SjNodeId, PartialMatch)>,
+    ) {
         self.metrics.edges_processed += 1;
         // Type constraints only change when the graph interns a new type
         // name; gate the refresh on the schema version so the steady-state
@@ -182,7 +209,7 @@ impl SjTreeMatcher {
                 &mut stats,
             );
             for m in found.drain(..) {
-                self.insert_and_join(leaf, m, out);
+                out.push((leaf, m));
             }
         }
         self.metrics.local_search_candidates += stats.candidates_examined;

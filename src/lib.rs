@@ -18,7 +18,12 @@
 //! | [`workloads`] | `streamworks-workloads` | synthetic cyber / news / random streams |
 //! | [`report`] | `streamworks-report` | event tables, map/grid views, DOT export, statistics reports |
 //!
-//! The most common entry points are re-exported at the top level.
+//! The most common entry points are re-exported at the top level. The
+//! [`architecture`] page maps the paper's components onto the crates and
+//! shows the end-to-end data flow (ingest → dispatch → shards → fan-in →
+//! sinks); migration tables for APIs removed before 1.0 (the pre-0.2
+//! `process*` family, `with_defaults`, the `QueryId`-indexed accessors)
+//! live in `docs/MIGRATION.md`.
 //!
 //! ## The service API in one example
 //!
@@ -60,28 +65,35 @@
 //! assert!(engine.metrics(pairs).is_err());
 //! ```
 //!
-//! ## Migrating from the `process*` family
+//! ## Scaling one hot query across cores
 //!
-//! The pre-0.2 entry points `process`, `process_with_sink`, `process_batch`
-//! and `process_batch_with_sink` are still present as deprecated shims and
-//! will be removed in a future release. The mapping is mechanical:
+//! `ParallelRunner` shards a *registry* of queries across threads; for the
+//! single-hot-query regime the paper targets, [`EngineBuilder::shards`]
+//! instead shards *one query's* SJ-Tree match state by join-key hash. The
+//! emitted match multiset is identical for every shard count, and a
+//! tenant's subscription still observes one stream-ordered feed:
 //!
-//! * `engine.process(&event)` → `engine.ingest(&event)`
-//! * `engine.process_with_sink(&event, sink)` → `engine.ingest_with(&event, sink)`
-//! * `engine.process_batch(events.iter())` → `engine.ingest(&events[..])`
-//!   (or `engine.ingest(streamworks::engine::EventBatch(iter))` for arbitrary
-//!   iterators)
-//! * `engine.process_batch_with_sink(events.iter(), sink)` →
-//!   `engine.ingest_with(&events[..], sink)`
+//! ```
+//! use streamworks::{ContinuousQueryEngine, EdgeEvent, Timestamp};
 //!
-//! Likewise `ContinuousQueryEngine::with_defaults()` is deprecated in favour
-//! of `ContinuousQueryEngine::builder().build()`, and the `QueryId`-indexed
-//! accessors (`plan`, `metrics`, `matcher`, `replan_query`) have become
-//! handle-scoped (`plan(handle)`, `metrics(handle)`, `matcher(handle)`,
-//! `replan(handle, ..)`).
+//! let mut engine = ContinuousQueryEngine::builder().shards(4).build().unwrap();
+//! let pairs = engine.register_dsl(
+//!     "QUERY pair WINDOW 1h \
+//!      MATCH (a1:Article)-[:mentions]->(k:Keyword), (a2:Article)-[:mentions]->(k)",
+//! ).unwrap();
+//! let matches = engine.ingest(&[
+//!     EdgeEvent::new("a1", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(10)),
+//!     EdgeEvent::new("a2", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(20)),
+//! ]);
+//! assert_eq!(matches.len(), 2); // exactly what the 1-thread engine reports
+//! assert_eq!(engine.shard_metrics(pairs).unwrap().unwrap().len(), 4);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+#[doc = include_str!("../ARCHITECTURE.md")]
+pub mod architecture {}
 
 /// Dynamic multi-relational graph substrate (`streamworks-graph`).
 pub mod graph {
@@ -125,7 +137,7 @@ pub use streamworks_core::{
     AdaptiveConfig, AdaptiveReplanner, BufferingSink, CallbackSink, ChannelSink, CollectingSink,
     ContinuousQueryEngine, CountingSink, EngineBuilder, EngineConfig, EngineError, EventBatch,
     EventSink, Ingest, MatchBuffer, MatchCounter, MatchEvent, ParallelRunner, QueryHandle, QueryId,
-    QueryMetrics, SubscriptionId,
+    QueryMetrics, ShardMetrics, ShardedMatcher, SubscriptionId,
 };
 pub use streamworks_graph::{
     AttrValue, Attrs, Direction, Duration, DynamicGraph, EdgeEvent, EdgeId, Timestamp, VertexId,

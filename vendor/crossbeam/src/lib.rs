@@ -6,9 +6,19 @@ pub mod channel {
     use std::sync::mpsc;
 
     /// Sending half of an unbounded channel.
-    #[derive(Debug, Clone)]
+    #[derive(Debug)]
     pub struct Sender<T> {
         inner: mpsc::Sender<T>,
+    }
+
+    // Manual impl: senders clone for any payload type (a derive would
+    // needlessly require `T: Clone`).
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
     }
 
     /// Receiving half of an unbounded channel.
@@ -33,6 +43,15 @@ pub mod channel {
     /// Error returned by [`Receiver::recv`] when all senders disconnected.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders have disconnected.
+        Disconnected,
+    }
 
     /// Creates an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
@@ -59,6 +78,15 @@ pub mod channel {
         /// Blocks until a message arrives or all senders disconnect.
         pub fn recv(&self) -> Result<T, RecvError> {
             self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocks until a message arrives, the timeout elapses, or all
+        /// senders disconnect.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
 
         /// Iterates messages until all senders disconnect.

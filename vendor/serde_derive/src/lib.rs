@@ -5,16 +5,23 @@
 //! `syn`/`quote` available offline) and emitting impls of the facade's
 //! value-tree traits. Supported shapes: unit / tuple / named-field structs,
 //! and enums with unit, tuple and named-field variants (externally tagged,
-//! matching serde's default). The `#[serde(default)]` field attribute is
-//! honoured on deserialisation; other `#[serde(...)]` options are accepted and
-//! ignored (this facade always serialises every field).
+//! matching serde's default). The `#[serde(default)]` and
+//! `#[serde(default = "path")]` field attributes are honoured on
+//! deserialisation (missing fields fall back to `Default::default()` or the
+//! named function); other `#[serde(...)]` options are accepted and ignored
+//! (this facade always serialises every field).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How a missing field is filled on deserialisation: not at all (`None`),
+/// via `Default::default()` (`Some(None)`), or via a named function
+/// (`Some(Some(path))`).
+type FieldDefault = Option<Option<String>>;
 
 #[derive(Debug)]
 struct Field {
     name: String,
-    default: bool,
+    default: FieldDefault,
 }
 
 #[derive(Debug)]
@@ -64,10 +71,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 // Parsing
 // ---------------------------------------------------------------------------
 
-/// Skips attributes (`# [ ... ]`), returning whether any skipped `#[serde(...)]`
-/// attribute mentions the `default` option.
-fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
-    let mut has_default = false;
+/// Skips attributes (`# [ ... ]`), returning how any skipped `#[serde(...)]`
+/// attribute configures the `default` option (bare or `default = "path"`).
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, FieldDefault) {
+    let mut default: FieldDefault = None;
     while i < tokens.len() {
         match &tokens[i] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
@@ -76,12 +83,29 @@ fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
                     if let Some(TokenTree::Ident(id)) = inner.first() {
                         if id.to_string() == "serde" {
                             if let Some(TokenTree::Group(args)) = inner.get(1) {
-                                for t in args.stream() {
-                                    if let TokenTree::Ident(opt) = t {
+                                let args: Vec<TokenTree> = args.stream().into_iter().collect();
+                                let mut j = 0;
+                                while j < args.len() {
+                                    if let TokenTree::Ident(opt) = &args[j] {
                                         if opt.to_string() == "default" {
-                                            has_default = true;
+                                            default = Some(None);
+                                            if let (
+                                                Some(TokenTree::Punct(eq)),
+                                                Some(TokenTree::Literal(lit)),
+                                            ) = (args.get(j + 1), args.get(j + 2))
+                                            {
+                                                if eq.as_char() == '=' {
+                                                    let path = lit
+                                                        .to_string()
+                                                        .trim_matches('"')
+                                                        .to_string();
+                                                    default = Some(Some(path));
+                                                    j += 2;
+                                                }
+                                            }
                                         }
                                     }
+                                    j += 1;
                                 }
                             }
                         }
@@ -94,7 +118,7 @@ fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
             _ => break,
         }
     }
-    (i, has_default)
+    (i, default)
 }
 
 /// Skips a visibility modifier (`pub`, `pub(crate)`, ...).
@@ -454,20 +478,25 @@ fn named_fields_from_value(fields: &[Field]) -> String {
         .iter()
         .map(|f| {
             let n = &f.name;
-            if f.default {
-                format!(
+            match &f.default {
+                Some(Some(path)) => format!(
+                    "{n}: match ::serde::value::get_field(__obj, \"{n}\") {{\n\
+                         ::std::option::Option::Some(__fv) => ::serde::Deserialize::from_value(__fv)?,\n\
+                         ::std::option::Option::None => {path}(),\n\
+                     }}"
+                ),
+                Some(None) => format!(
                     "{n}: match ::serde::value::get_field(__obj, \"{n}\") {{\n\
                          ::std::option::Option::Some(__fv) => ::serde::Deserialize::from_value(__fv)?,\n\
                          ::std::option::Option::None => ::std::default::Default::default(),\n\
                      }}"
-                )
-            } else {
-                format!(
+                ),
+                None => format!(
                     "{n}: match ::serde::value::get_field(__obj, \"{n}\") {{\n\
                          ::std::option::Option::Some(__fv) => ::serde::Deserialize::from_value(__fv)?,\n\
                          ::std::option::Option::None => return ::std::result::Result::Err(::serde::Error::custom(\"missing field {n}\")),\n\
                      }}"
-                )
+                ),
             }
         })
         .collect::<Vec<_>>()
