@@ -18,6 +18,9 @@
 //! single-core container the shard threads serialise and the bench only
 //! shows the overhead floor.
 
+//!
+//! Set `STREAMWORKS_BENCH_SMOKE=1` to run on CI-sized inputs.
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use streamworks_core::{ShardedMatcher, SjTreeMatcher};
 use streamworks_graph::{Duration, DynamicGraph, EdgeEvent, Timestamp};
@@ -117,7 +120,8 @@ fn run_sharded(plan: &QueryPlan, events: &[EdgeEvent], shards: usize) -> u64 {
 
 fn bench_sharded(c: &mut Criterion) {
     let plan = hot_wedge_plan();
-    let events = hot_stream(6_000, 24, 160);
+    let smoke = std::env::var_os("STREAMWORKS_BENCH_SMOKE").is_some();
+    let events = hot_stream(if smoke { 1_000 } else { 6_000 }, 24, 160);
 
     let mut group = c.benchmark_group("sharded_matching");
     group.sample_size(10);

@@ -49,17 +49,36 @@ impl ReplanStrategy {
 }
 
 /// Policy knobs of the adaptive replanner.
+///
+/// The defaults are tuned for the **exact** O(#types) triad/type statistics
+/// the summaries maintain (`streamworks-summarize`). The original values
+/// (`min_edges_between_replans: 5_000`, `drift_threshold: 0.10`,
+/// `min_improvement: 1.2`) were chosen when triad counts came from capped
+/// neighbourhood *sampling*: large observation windows and wide margins
+/// existed to keep estimator variance from triggering spurious re-plans.
+/// With exact counts the measured drift carries no sampling noise — any
+/// movement is real distribution change — so the observation window and both
+/// thresholds tighten: see [`Default`] for the current values and
+/// `EngineConfig`'s module docs for the pointer.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct AdaptiveConfig {
     /// Minimum number of newly observed edges between two re-plans of the same
-    /// query (prevents thrashing on small samples).
+    /// query (prevents thrashing on bursts). Default **2_000**: with exact
+    /// statistics the window only needs to cover enough stream for the
+    /// drifted distribution to be representative, not to average out
+    /// estimator noise (was 5_000 under the sampled estimator).
     pub min_edges_between_replans: u64,
     /// Minimum total-variation distance between the edge-type distribution at
     /// plan time and now before a re-plan is even considered (0 = always
-    /// consider, 1 = never).
+    /// consider, 1 = never). Default **0.05**: exact triad/type counts have
+    /// zero sampling variance, so 5 points of measured drift is genuine
+    /// (was 0.10 to stay above sampling jitter).
     pub drift_threshold: f64,
     /// Required ratio `current_cost / candidate_cost` before the re-plan is
-    /// applied (1.0 = replan on any predicted improvement).
+    /// applied (1.0 = replan on any predicted improvement). Default **1.15**:
+    /// the cost model's inputs are exact, so a 15% predicted reduction in
+    /// stored partial matches is trustworthy enough to outweigh the
+    /// partial-state discard a re-plan costs (was 1.2).
     pub min_improvement: f64,
     /// Strategy used for the candidate plan.
     pub strategy: ReplanStrategy,
@@ -70,9 +89,9 @@ pub struct AdaptiveConfig {
 impl Default for AdaptiveConfig {
     fn default() -> Self {
         AdaptiveConfig {
-            min_edges_between_replans: 5_000,
-            drift_threshold: 0.10,
-            min_improvement: 1.2,
+            min_edges_between_replans: 2_000,
+            drift_threshold: 0.05,
+            min_improvement: 1.15,
             strategy: ReplanStrategy::CostBased,
             tree_kind: TreeShapeKind::LeftDeep,
         }

@@ -7,7 +7,8 @@
 //!
 //! * the engine configuration,
 //! * every registered query's *plan* (so the SJ-Tree shapes — possibly the
-//!   product of statistics that have since drifted — are preserved verbatim),
+//!   product of statistics that have since drifted — are preserved verbatim)
+//!   together with its **paused flag**,
 //! * the live (non-expired) edges of the data graph, re-expressed as
 //!   [`EdgeEvent`]s.
 //!
@@ -18,6 +19,22 @@
 //! the process had never stopped. Matches that had already completed before
 //! the checkpoint are not re-emitted. This mirrors how a production system
 //! would recover from a write-ahead edge log bounded by the retention horizon.
+//!
+//! **Paused queries come back paused**, and they are paused *before* the
+//! replay: a paused query never observes events that stream past it, and at
+//! restore time the retained edges cannot be split into "arrived before the
+//! pause" and "arrived after", so the conservative choice is to skip the
+//! whole replay for it. Its pre-pause partial matches are therefore not
+//! reconstructed, which makes restore **strictly lossier than an in-process
+//! pause**: a never-restarted engine keeps a paused query's accumulated
+//! partials and can complete them after a resume, while a restored one
+//! starts the query empty and only matches patterns whose every edge
+//! arrives after the restore. The trade is deliberate — replaying *all*
+//! retained edges instead would fabricate partial state from edges the
+//! paused query was never shown, risking matches the original engine could
+//! never have emitted; losing some is safer than inventing any. (Capturing
+//! the pause timestamp and replaying only the prefix would close the gap —
+//! noted on the ROADMAP.)
 
 use crate::config::EngineConfig;
 use crate::engine::ContinuousQueryEngine;
@@ -33,6 +50,11 @@ pub struct EngineCheckpoint {
     pub config: EngineConfig,
     /// Plans of every registered query, in registration (query-id) order.
     pub plans: Vec<QueryPlan>,
+    /// Paused flag per entry of `plans` (same order). Defaults to
+    /// all-running when absent, so checkpoints written before the field
+    /// existed keep restoring.
+    #[serde(default)]
+    pub paused: Vec<bool>,
     /// Live edges of the data graph, in timestamp order.
     pub live_edges: Vec<EdgeEvent>,
     /// Stream time of the engine when the checkpoint was taken.
@@ -57,8 +79,9 @@ impl EngineCheckpoint {
     /// dense again. Because of that compaction, `QueryHandle`s issued by the
     /// checkpointed engine are meaningless on the restored one (and the
     /// mismatch is not detectable) — always re-obtain handles from the
-    /// restored engine's `handles()`. Paused queries are captured like any
-    /// other and come back running.
+    /// restored engine's `handles()`. Paused queries are captured with their
+    /// flag and come back paused (see the module docs for the replay
+    /// semantics).
     pub fn capture(engine: &ContinuousQueryEngine) -> Self {
         let graph = engine.graph();
         let mut live_edges: Vec<EdgeEvent> = graph
@@ -91,14 +114,17 @@ impl EngineCheckpoint {
             })
             .collect();
         live_edges.sort_by_key(|e| e.timestamp);
-        let plans = engine
-            .handles()
-            .into_iter()
-            .filter_map(|h| engine.plan(h).ok().cloned())
-            .collect();
+        let mut plans = Vec::new();
+        let mut paused = Vec::new();
+        for h in engine.handles() {
+            let Ok(plan) = engine.plan(h) else { continue };
+            plans.push(plan.clone());
+            paused.push(engine.is_paused(h).unwrap_or(false));
+        }
         EngineCheckpoint {
             config: *engine.config(),
             plans,
+            paused,
             live_edges,
             taken_at: engine.graph().now(),
             events_emitted: engine.events_emitted(),
@@ -116,8 +142,17 @@ impl EngineCheckpoint {
     /// validate the config first to recover gracefully.
     pub fn restore(&self) -> ContinuousQueryEngine {
         let mut engine = ContinuousQueryEngine::new(self.config);
-        for plan in &self.plans {
-            engine.register_plan(plan.clone());
+        let handles: Vec<_> = self
+            .plans
+            .iter()
+            .map(|plan| engine.register_plan(plan.clone()))
+            .collect();
+        // Re-apply paused flags *before* the replay: a paused query does not
+        // observe replayed events (see the module docs).
+        for (handle, &paused) in handles.iter().zip(&self.paused) {
+            if paused {
+                engine.pause(*handle).expect("freshly registered handle");
+            }
         }
         let mut sink = NullSink;
         engine.ingest_with(&self.live_edges, &mut sink);
@@ -297,6 +332,98 @@ mod tests {
             0,
             "restored ids are dense again"
         );
+    }
+
+    #[test]
+    fn paused_flags_survive_the_round_trip() {
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+        let running = engine
+            .register_query(pair_query(Duration::from_secs(100)))
+            .unwrap();
+        let paused = engine
+            .register_dsl(
+                "QUERY dormant WINDOW 100s MATCH (a1:Article)-[:cites]->(k:Keyword), (a2:Article)-[:cites]->(k)",
+            )
+            .unwrap();
+        engine.ingest(&ev("a1", "rust", "mentions", 10));
+        engine.pause(paused).unwrap();
+
+        // Through JSON, like a real restart.
+        let json = engine.checkpoint().to_json().unwrap();
+        let checkpoint = EngineCheckpoint::from_json(&json).unwrap();
+        assert_eq!(checkpoint.paused, vec![false, true]);
+
+        let mut restored = checkpoint.restore();
+        let handles = restored.handles();
+        assert_eq!(handles.len(), 2);
+        assert!(!restored.is_paused(handles[0]).unwrap());
+        assert!(restored.is_paused(handles[1]).unwrap());
+        let _ = running;
+
+        // The running query kept its replayed partial state; the paused one
+        // stays silent until resumed, then matches patterns completed
+        // entirely after the resume.
+        let matches = restored.ingest(&ev("a2", "rust", "mentions", 20));
+        assert_eq!(matches.len(), 2, "running query rebuilt its window state");
+        restored.resume(handles[1]).unwrap();
+        let matches = restored.ingest(&[
+            EdgeEvent::new(
+                "b1",
+                "Article",
+                "go",
+                "Keyword",
+                "cites",
+                Timestamp::from_secs(30),
+            ),
+            EdgeEvent::new(
+                "b2",
+                "Article",
+                "go",
+                "Keyword",
+                "cites",
+                Timestamp::from_secs(31),
+            ),
+        ]);
+        assert_eq!(
+            matches.len(),
+            2,
+            "resumed query matches patterns arriving after the restore"
+        );
+    }
+
+    #[test]
+    fn paused_query_does_not_observe_the_replay() {
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+        let handle = engine
+            .register_query(pair_query(Duration::from_secs(1_000)))
+            .unwrap();
+        engine.ingest(&ev("a1", "rust", "mentions", 10));
+        engine.pause(handle).unwrap();
+
+        let restored = engine.checkpoint().restore();
+        let h = restored.handles()[0];
+        // No partial state was rebuilt for the paused query: the replayed
+        // edge streamed past it, exactly as live edges would have.
+        assert_eq!(restored.metrics(h).unwrap().partial_matches_live, 0);
+        assert_eq!(restored.metrics(h).unwrap().edges_processed, 0);
+    }
+
+    #[test]
+    fn checkpoints_without_paused_field_still_restore() {
+        // A checkpoint written before the `paused` field existed has no such
+        // key; it must deserialize to all-running.
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+        engine
+            .register_query(pair_query(Duration::from_secs(60)))
+            .unwrap();
+        let json = engine.checkpoint().to_json().unwrap();
+        assert!(json.contains("\"paused\""));
+        let legacy = json.replace(",\"paused\":[false]", "");
+        assert!(!legacy.contains("\"paused\""));
+        let checkpoint = EngineCheckpoint::from_json(&legacy).unwrap();
+        assert!(checkpoint.paused.is_empty());
+        let restored = checkpoint.restore();
+        assert!(!restored.is_paused(restored.handles()[0]).unwrap());
     }
 
     #[test]

@@ -5,6 +5,11 @@
 //! way to construct an engine — every setting is validated up front, so a
 //! misconfigured deployment fails at build time with a
 //! [`crate::EngineError::InvalidConfig`] instead of misbehaving mid-stream.
+//!
+//! Re-planning policy (observation window, drift and improvement thresholds)
+//! lives in [`crate::AdaptiveConfig`]; its defaults are re-tuned for the
+//! exact O(#types) triad statistics — see that type's rustdoc for the values
+//! and the sampled-estimator history.
 
 use crate::engine::ContinuousQueryEngine;
 use crate::error::EngineError;

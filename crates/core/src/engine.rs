@@ -172,7 +172,7 @@ struct QueryState {
 /// the free list; a later registration re-occupies it under the new
 /// generation, so slot memory stays bounded under register/deregister churn
 /// while every handle ever issued to a previous occupant stays stale —
-/// the discipline `MatchStore` applies to its match slots.
+/// the discipline `SharedJoinStore` applies to its match slots.
 struct QuerySlot {
     generation: u32,
     state: Option<QueryState>,
@@ -367,7 +367,7 @@ impl ContinuousQueryEngine {
     }
 
     /// Removes a query from the engine. Its matcher — and with it every
-    /// `MatchStore` of partial matches the query had accumulated — is dropped
+    /// `SharedJoinStore` of partial matches the query had accumulated — is dropped
     /// immediately, along with the query's subscriptions. The handle (and any
     /// copy of it) is permanently stale afterwards, even once a later
     /// registration re-occupies the slot under a new generation.
@@ -497,7 +497,7 @@ impl ContinuousQueryEngine {
     }
 
     /// Partial matches currently stored across every live query's
-    /// `MatchStore`s — the figure that drops to zero for a query's share when
+    /// `SharedJoinStore`s — the figure that drops to zero for a query's share when
     /// it is deregistered.
     pub fn live_partial_matches(&self) -> u64 {
         self.queries

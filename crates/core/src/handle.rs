@@ -4,8 +4,7 @@
 //! of [`crate::ContinuousQueryEngine`]. It names a query *slot* plus the
 //! generation of its occupant, so a handle kept across a
 //! [`crate::ContinuousQueryEngine::deregister`] call goes permanently stale
-//! instead of silently observing whatever query lives in the slot next — the
-//! same discipline [`crate::MatchHandle`] applies to partial matches.
+//! instead of silently observing whatever query lives in the slot next.
 
 use crate::event::QueryId;
 use serde::{Deserialize, Serialize};

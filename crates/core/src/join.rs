@@ -1,0 +1,104 @@
+//! The join inner loop and climb table shared by **every** execution mode.
+//!
+//! PR 3 left the codebase with two copies of the §4.2 join step: the
+//! single-threaded `SjTreeMatcher` drove per-node lazy-indexed stores while
+//! the shard workers drove per-parent [`SharedJoinStore`]s. This module is
+//! the one remaining copy — [`probe_insert`] is *the* join step, called from
+//! the in-process matcher's flattened climb loop and from
+//! `ShardWorker::process` alike, and [`node_routes`] is the precomputed climb
+//! table both walk instead of chasing the plan's tree shape per match.
+
+use crate::binding::PartialMatch;
+use crate::match_store::{JoinSide, SharedJoinStore};
+use streamworks_graph::Duration;
+use streamworks_query::QueryPlan;
+
+/// Sentinel `parent` value of the root's [`NodeRoute`] (never climbed from).
+pub(crate) const NO_PARENT: u32 = u32::MAX;
+
+/// Precomputed per-node climb step, so the join hot loop never touches the
+/// plan (no `Arc` traffic, no repeated tree lookups). For the root the
+/// `parent` field is the [`NO_PARENT`] sentinel — a match reaching it is a
+/// complete match, not a climb.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeRoute {
+    /// Parent node index (`NO_PARENT` for the root).
+    pub parent: u32,
+    /// Which child of the parent this node is.
+    pub side: JoinSide,
+    /// True when the parent is the root: a successful join there is a
+    /// complete match.
+    pub parent_is_root: bool,
+}
+
+/// Builds the per-node climb table for a plan's tree shape.
+pub(crate) fn node_routes(plan: &QueryPlan) -> Vec<NodeRoute> {
+    let shape = &plan.shape;
+    let root = shape.root();
+    shape
+        .nodes()
+        .map(|n| match n.parent {
+            Some(parent) => {
+                let (left, _) = shape.node(parent).children.expect("parent is internal");
+                NodeRoute {
+                    parent: parent.0 as u32,
+                    side: if n.id == left {
+                        JoinSide::Left
+                    } else {
+                        JoinSide::Right
+                    },
+                    parent_is_root: parent == root,
+                }
+            }
+            None => NodeRoute {
+                parent: NO_PARENT,
+                side: JoinSide::Left,
+                parent_is_root: false,
+            },
+        })
+        .collect()
+}
+
+/// Join counters of one [`probe_insert`] step.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct JoinStepStats {
+    /// Sibling candidates offered to the merge.
+    pub attempted: u64,
+    /// Merges that produced an in-window larger match.
+    pub succeeded: u64,
+}
+
+/// One §4.2 join step at an internal node's shared store: project `m`'s join
+/// key, scan the sibling side for candidates, append every successful
+/// in-window merge to `merged`, and file `m` on its own side — one hash
+/// operation for the whole step ([`SharedJoinStore::probe_then_insert`]).
+///
+/// `merged` is appended to, not cleared; the returned
+/// [`JoinStepStats::succeeded`] counts only this step's additions.
+#[inline]
+pub(crate) fn probe_insert(
+    store: &mut SharedJoinStore,
+    side: JoinSide,
+    m: PartialMatch,
+    window: Duration,
+    merged: &mut Vec<PartialMatch>,
+) -> JoinStepStats {
+    let Some(key) = store.join_key_for(&m) else {
+        debug_assert!(false, "a node-complete match binds its join key");
+        return JoinStepStats::default();
+    };
+    let before = merged.len();
+    let mut attempted = 0u64;
+    store.probe_then_insert(side, key, m, |m, candidate| {
+        attempted += 1;
+        if let Some(combined) = m.merge(candidate) {
+            if combined.within_window(window) {
+                merged.push(combined);
+            }
+        }
+    });
+    JoinStepStats {
+        attempted,
+        succeeded: (merged.len() - before) as u64,
+    }
+}

@@ -57,6 +57,7 @@ mod error;
 mod event;
 mod handle;
 mod ingest;
+mod join;
 mod local_search;
 mod match_store;
 mod metrics;
@@ -77,7 +78,7 @@ pub use event::{
 pub use handle::{QueryHandle, SubscriptionId};
 pub use ingest::{EventBatch, Ingest};
 pub use local_search::{find_primitive_matches, LocalSearchStats};
-pub use match_store::{JoinKey, JoinSide, MatchHandle, MatchStore, SharedJoinStore};
+pub use match_store::{JoinKey, JoinSide, SharedJoinStore};
 pub use metrics::{QueryMetrics, ShardMetrics};
 pub use parallel::{ParallelRunOutcome, ParallelRunner, ShardedMatcher};
 pub use sj_matcher::SjTreeMatcher;

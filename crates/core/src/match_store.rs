@@ -1,54 +1,56 @@
-//! Per-SJ-Tree-node partial-match collections.
+//! The *shared per-parent join store* — the single match collection every
+//! execution mode runs on.
 //!
-//! Each SJ-Tree node "maintains a set of matching subgraphs" (paper property
-//! 3). The store indexes partial matches by the projection of their binding
-//! onto the node's *join key* (the cut vertices of its parent) so that the
-//! upward join of §4.2 is a hash lookup instead of a scan, and it supports
-//! window-based expiry so stale partial matches do not accumulate (§2.1's
-//! `τ(g) < tW` applies to partial matches too — anything outside the window
-//! can never complete).
+//! Each **internal** SJ-Tree node "maintains a set of matching subgraphs"
+//! (paper property 3) for both of its children. Sibling nodes project onto
+//! the same cut — the parent's join key — so instead of one store per child
+//! (two hash maps, an insert + probe costing two lookups), one
+//! [`SharedJoinStore`] per internal node holds both children's matches in a
+//! single map from [`JoinKey`] to a two-sided bucket:
+//! [`SharedJoinStore::probe_then_insert`] finds the bucket once, scans the
+//! sibling side for join candidates, and files the new match on its own side
+//! — one hash operation for the whole §4.2 join step.
+//!
+//! This store used to be the sharded path's private structure while the
+//! single-threaded matcher ran a separate lazy-indexed `MatchStore`; both the
+//! in-process [`crate::SjTreeMatcher`] and the shard workers of
+//! [`crate::ShardedMatcher`] now drive the same store through the same
+//! `probe_then_insert` front end (the shared inner loop lives in
+//! `crate::join`), so there is exactly one join engine in the codebase.
 //!
 //! Hot-path representation:
 //!
 //! * [`JoinKey`] is an inline small-vector (cuts of real queries are 1–2
-//!   vertices; up to 4 stay allocation-free), and [`MatchStore::candidates`]
-//!   accepts a **borrowed** `&[VertexId]`, so probing a sibling's collection
-//!   never materialises an owned key.
-//! * Slots are recycled through a free list (long streams no longer grow the
-//!   slab unboundedly) with generation-tagged [`MatchHandle`]s so a handle to
-//!   an expired match can never observe its slot's next tenant.
-//! * Each occupied slot remembers its position inside its key bucket, making
-//!   the unlink on expiry a swap-remove instead of an O(bucket) scan.
-//! * The store maintains a running maximum of covered query edges per live
-//!   match, so "best partial match" queries are O(1) reads instead of full
-//!   scans.
-//! * Join indexing is **lazy**: a freshly inserted match is queued in an
-//!   unindexed backlog and only added to the key index when the sibling node
-//!   next probes this store. Under asymmetric leaf selectivities — the regime
-//!   the selectivity-ordered decomposition deliberately creates — the
-//!   non-selective side accumulates thousands of partial matches that expire
-//!   without ever being probed; those now skip the hash index entirely, both
-//!   on insert and on expiry.
+//!   vertices; up to 4 stay allocation-free), and key projection appends into
+//!   it without heap work.
+//! * Matches are stored **contiguously inside their bucket side**, so a
+//!   probe is a sequential scan — no handle chasing on the path every join
+//!   attempt walks.
+//! * Expiry is **exact** and scheduled by a real min-heap keyed on earliest
+//!   timestamp. The heap holds one entry per *bucket side* — that side's
+//!   minimum earliest — rather than one per match: an entry is pushed only
+//!   when a side's minimum decreases (for streams with mostly-increasing
+//!   timestamps that is once per side, not once per match — a per-match heap
+//!   measured ~25% slower end to end on the join-heavy bench), and
+//!   superseded entries are dropped by **lazy stale deletion** when popped.
+//!   [`SharedJoinStore::expire_older_than`] pops every side whose minimum
+//!   predates the cutoff and sweeps exactly that side — nothing is ever
+//!   retained behind an in-window head (the failure mode of the retired
+//!   `MatchStore`'s FIFO queue), so `partial_matches_live` is exact on every
+//!   execution path, and a prune pass only ever touches bucket sides that
+//!   actually contain expirable matches. A pass that cannot remove anything
+//!   costs one heap peek.
+//! * The store maintains a histogram of covered query edges over live
+//!   matches, so "best partial match" queries are O(1) reads and an expiry
+//!   burst never rescans the store to restore the maximum.
 
 use crate::binding::PartialMatch;
 use smallvec::SmallVec;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use streamworks_graph::hash::FxHashMap;
 use streamworks_graph::{Timestamp, VertexId};
 use streamworks_query::QueryVertexId;
-
-/// Handle of a partial match within one [`MatchStore`].
-///
-/// Handles are generation-tagged: once the match expires, the handle goes
-/// permanently stale even if its slot is recycled for a new match.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub struct MatchHandle {
-    index: u32,
-    generation: u32,
-}
-
-/// One key's handles. Most join keys index one or two matches at a time, so
-/// buckets stay inline and inserting under a fresh key allocates nothing.
-type Bucket = SmallVec<MatchHandle, 3>;
 
 /// The join-key projection of a binding: the data vertices bound to the cut
 /// vertices, in cut order. Inline up to 4 cut vertices — covering every plan
@@ -56,285 +58,9 @@ type Bucket = SmallVec<MatchHandle, 3>;
 /// allocation-free.
 pub type JoinKey = SmallVec<VertexId, 4>;
 
-/// One slab slot: the match plus its location in the key index.
-#[derive(Debug)]
-struct Slot {
-    m: Option<PartialMatch>,
-    /// Incremented every time the slot's occupant is removed.
-    generation: u32,
-    /// Position of this slot's handle within its `by_key` bucket
-    /// (meaningful only when `indexed`).
-    bucket_pos: u32,
-    /// True once the occupant has been added to the key index.
-    indexed: bool,
-}
-
-/// Partial-match collection of one SJ-Tree node.
-#[derive(Debug, Default)]
-pub struct MatchStore {
-    /// The query vertices this store projects on (the parent's cut).
-    key_vertices: Vec<QueryVertexId>,
-    /// Slab of matches; expired slots are recycled via `free`.
-    slots: Vec<Slot>,
-    /// Indices of vacant slots, reused before the slab grows.
-    free: Vec<u32>,
-    /// Hash index from join key to the handles of matches with that key.
-    /// Populated lazily: see `unindexed`.
-    by_key: FxHashMap<JoinKey, Bucket>,
-    /// Handles inserted since the last probe, not yet in `by_key`. Entries
-    /// may be stale (expired before ever being probed); staleness is detected
-    /// by the generation tag when the backlog is drained.
-    unindexed: Vec<MatchHandle>,
-    /// Live matches ordered (approximately) by earliest timestamp for expiry.
-    /// Entries may be stale (already removed); they are skipped during expiry.
-    expiry_queue: std::collections::VecDeque<(Timestamp, MatchHandle)>,
-    live: usize,
-    inserted_total: u64,
-    expired_total: u64,
-    /// Running maximum of `edge_count()` over live matches. Maintained
-    /// incrementally on insert; recomputed after an expiry round only if a
-    /// maximal match was removed.
-    max_edges: usize,
-}
-
-impl MatchStore {
-    /// Creates a store projecting on the given join-key vertices.
-    pub fn new(key_vertices: Vec<QueryVertexId>) -> Self {
-        MatchStore {
-            key_vertices,
-            ..Default::default()
-        }
-    }
-
-    /// The join-key vertices this store projects on.
-    pub fn key_vertices(&self) -> &[QueryVertexId] {
-        &self.key_vertices
-    }
-
-    /// Number of live partial matches.
-    pub fn len(&self) -> usize {
-        self.live
-    }
-
-    /// True if no live matches are stored.
-    pub fn is_empty(&self) -> bool {
-        self.live == 0
-    }
-
-    /// Total matches ever inserted.
-    pub fn inserted_total(&self) -> u64 {
-        self.inserted_total
-    }
-
-    /// Total matches expired.
-    pub fn expired_total(&self) -> u64 {
-        self.expired_total
-    }
-
-    /// Number of slab slots (live + vacant); exposed for capacity tests.
-    pub fn slot_capacity(&self) -> usize {
-        self.slots.len()
-    }
-
-    /// Largest number of query edges covered by any live match (0 if empty).
-    pub fn best_edge_count(&self) -> usize {
-        self.max_edges
-    }
-
-    /// Computes the join key this store uses for `m` (projection onto the
-    /// store's key vertices). `None` if the match does not bind them all.
-    pub fn join_key_for(&self, m: &PartialMatch) -> Option<JoinKey> {
-        let mut key = JoinKey::new();
-        if m.binding.project_into(&self.key_vertices, &mut key) {
-            Some(key)
-        } else {
-            None
-        }
-    }
-
-    /// Inserts a partial match, returning its handle. The caller must ensure
-    /// the match binds every join-key vertex (true for matches that cover the
-    /// node's full subgraph).
-    ///
-    /// The match is *not* hashed into the key index yet — it joins the index
-    /// the next time the sibling probes (see the module docs on lazy
-    /// indexing), so inserting performs no hash-map operation at all.
-    pub fn insert(&mut self, m: PartialMatch) -> MatchHandle {
-        let earliest = m.earliest;
-        let edge_count = m.edge_count();
-
-        // Claim a slot: recycle a vacant one before growing the slab.
-        let index = match self.free.pop() {
-            Some(i) => i,
-            None => {
-                let i = self.slots.len() as u32;
-                self.slots.push(Slot {
-                    m: None,
-                    generation: 0,
-                    bucket_pos: 0,
-                    indexed: false,
-                });
-                i
-            }
-        };
-        let handle = MatchHandle {
-            index,
-            generation: self.slots[index as usize].generation,
-        };
-        let slot = &mut self.slots[index as usize];
-        slot.m = Some(m);
-        slot.indexed = false;
-
-        self.unindexed.push(handle);
-        self.expiry_queue.push_back((earliest, handle));
-        self.live += 1;
-        self.inserted_total += 1;
-        self.max_edges = self.max_edges.max(edge_count);
-        handle
-    }
-
-    /// Drains the unindexed backlog into the key index (called on probe).
-    fn flush_index(&mut self) {
-        while let Some(handle) = self.unindexed.pop() {
-            let slot = &self.slots[handle.index as usize];
-            if slot.generation != handle.generation || slot.m.is_none() {
-                continue; // expired before ever being probed
-            }
-            let key = self
-                .join_key_for(slot.m.as_ref().expect("checked live"))
-                .expect("stored match binds its join key");
-            let bucket = self.by_key.entry(key).or_default();
-            let pos = bucket.len() as u32;
-            bucket.push(handle);
-            let slot = &mut self.slots[handle.index as usize];
-            slot.bucket_pos = pos;
-            slot.indexed = true;
-        }
-    }
-
-    /// Fetches a live match by handle.
-    pub fn get(&self, handle: MatchHandle) -> Option<&PartialMatch> {
-        let slot = self.slots.get(handle.index as usize)?;
-        if slot.generation != handle.generation {
-            return None;
-        }
-        slot.m.as_ref()
-    }
-
-    /// Iterates the live matches whose join-key projection equals `key`.
-    ///
-    /// The key is a borrowed slice: probing allocates nothing. Takes `&mut`
-    /// because a probe first drains the unindexed backlog into the key index.
-    #[inline]
-    pub fn candidates<'a>(
-        &'a mut self,
-        key: &[VertexId],
-    ) -> impl Iterator<Item = &'a PartialMatch> + 'a {
-        if !self.unindexed.is_empty() {
-            self.flush_index();
-        }
-        let slots = &self.slots;
-        self.by_key
-            .get(key)
-            .into_iter()
-            .flatten()
-            .filter_map(move |h| slots[h.index as usize].m.as_ref())
-    }
-
-    /// Iterates all live matches.
-    pub fn iter(&self) -> impl Iterator<Item = &PartialMatch> {
-        self.slots.iter().filter_map(|s| s.m.as_ref())
-    }
-
-    /// Removes the occupant of `handle`'s slot. A match that was never
-    /// probed (still unindexed) pays no hash work at all; an indexed match is
-    /// unlinked from its key bucket in O(1) via the stored bucket position.
-    fn remove_at(&mut self, handle: MatchHandle) -> Option<PartialMatch> {
-        let slot = self.slots.get_mut(handle.index as usize)?;
-        if slot.generation != handle.generation {
-            return None;
-        }
-        let m = slot.m.take()?;
-        slot.generation = slot.generation.wrapping_add(1);
-        let bucket_pos = slot.bucket_pos as usize;
-        let indexed = slot.indexed;
-
-        if indexed {
-            // Unlink from the key bucket by swap-remove, repairing the moved
-            // entry's recorded position.
-            let key = self
-                .join_key_for(&m)
-                .expect("stored match binds its join key");
-            let bucket = self
-                .by_key
-                .get_mut(key.as_slice())
-                .expect("stored match is indexed");
-            debug_assert_eq!(bucket[bucket_pos], handle);
-            let last = bucket.len() - 1;
-            bucket.as_mut_slice().swap(bucket_pos, last);
-            bucket.truncate(last);
-            if let Some(&moved) = bucket.get(bucket_pos) {
-                self.slots[moved.index as usize].bucket_pos = bucket_pos as u32;
-            }
-            if bucket.is_empty() {
-                self.by_key.remove(key.as_slice());
-            }
-        }
-        // Unindexed matches leave a stale backlog entry behind; it is skipped
-        // (generation mismatch) when the backlog is drained or compacted.
-
-        self.free.push(handle.index);
-        self.live -= 1;
-        Some(m)
-    }
-
-    /// Removes every live match whose *earliest* edge is older than `cutoff`
-    /// (such matches can never satisfy `τ(g) < tW` once stream time has passed
-    /// `cutoff + tW`). Returns the number removed.
-    pub fn expire_older_than(&mut self, cutoff: Timestamp) -> usize {
-        let mut removed = 0;
-        let mut max_removed = false;
-        while let Some(&(earliest, handle)) = self.expiry_queue.front() {
-            if earliest >= cutoff {
-                break;
-            }
-            self.expiry_queue.pop_front();
-            if let Some(m) = self.remove_at(handle) {
-                max_removed |= m.edge_count() == self.max_edges;
-                removed += 1;
-            }
-        }
-        self.expired_total += removed as u64;
-        // Restore the running max only when a maximal match died.
-        if max_removed {
-            self.max_edges = self.iter().map(PartialMatch::edge_count).max().unwrap_or(0);
-        }
-        // Keep the never-probed backlog proportional to the live population.
-        if self.unindexed.len() > 2 * self.live + 64 {
-            let slots = &self.slots;
-            self.unindexed.retain(|h| {
-                let slot = &slots[h.index as usize];
-                slot.generation == h.generation && slot.m.is_some()
-            });
-        }
-        removed
-    }
-
-    /// Drops every stored match (used when a matcher is reset).
-    pub fn clear(&mut self) {
-        self.slots.clear();
-        self.free.clear();
-        self.by_key.clear();
-        self.unindexed.clear();
-        self.expiry_queue.clear();
-        self.live = 0;
-        self.max_edges = 0;
-    }
-}
-
 /// Which child of an internal SJ-Tree node a match belongs to in a
 /// [`SharedJoinStore`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum JoinSide {
     /// The internal node's left child.
     Left,
@@ -361,44 +87,91 @@ impl JoinSide {
     }
 }
 
-/// One join key's matches, split by which child they belong to.
-#[derive(Debug, Default)]
+/// One key's matches, split by which child they belong to, plus the running
+/// minimum earliest timestamp per side (the value the expiry heap schedules
+/// on; `Timestamp(i64::MAX)` for an empty side).
+#[derive(Debug)]
 struct SideBucket {
     sides: [Vec<PartialMatch>; 2],
+    min_earliest: [Timestamp; 2],
 }
 
-/// The *per-parent shared join index* (ROADMAP): one match collection per
-/// **internal** SJ-Tree node holding both children's matches, keyed by the
-/// parent's cut projection.
-///
-/// Sibling nodes project onto the same cut, so instead of one [`MatchStore`]
-/// per child (two hash maps, and an insert+probe costing two lookups), the
-/// shared store keeps a single map from [`JoinKey`] to a two-sided bucket:
-/// [`SharedJoinStore::probe_then_insert`] finds the bucket once, scans the
-/// sibling side for join candidates, and files the new match on its own side
-/// — one hash operation for the whole insert+probe step.
-///
-/// This is the match collection the sharded single-query matcher
-/// ([`crate::ShardedMatcher`]) partitions by join-key hash: every shard owns
-/// one `SharedJoinStore` per internal node, holding the slice of the key
-/// space that hashes to it. Probing reuses the same allocation-free
-/// [`PartialMatch`] merge path as the single-threaded matcher.
-///
-/// Expiry is a sweep ([`SharedJoinStore::expire_older_than`]) guarded by a
-/// running minimum of the stored matches' earliest timestamps, so prune
-/// passes that cannot remove anything skip the map walk entirely.
+impl Default for SideBucket {
+    fn default() -> Self {
+        SideBucket {
+            sides: [Vec::new(), Vec::new()],
+            min_earliest: [Timestamp(i64::MAX), Timestamp(i64::MAX)],
+        }
+    }
+}
+
+/// One scheduled sweep: "bucket `key`, side `side`, had minimum `earliest`".
+/// An entry is stale — dropped when popped — if the side has since been
+/// swept, emptied, or re-scheduled under a smaller minimum.
+#[derive(Debug, Clone)]
+struct ExpiryEntry {
+    earliest: Timestamp,
+    key: JoinKey,
+    side: JoinSide,
+}
+
+// `BinaryHeap` is a max-heap; order entries by *descending* earliest so the
+// oldest side minimum surfaces first. The key is deliberately excluded from
+// the ordering (entries with equal timestamps pop in unspecified order,
+// which expiry does not care about).
+impl PartialEq for ExpiryEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.earliest == other.earliest && self.side == other.side
+    }
+}
+impl Eq for ExpiryEntry {}
+impl PartialOrd for ExpiryEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ExpiryEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .earliest
+            .cmp(&self.earliest)
+            .then_with(|| other.side.cmp(&self.side))
+    }
+}
+
+/// The per-parent shared join index: one match collection per **internal**
+/// SJ-Tree node holding both children's matches, keyed by the parent's cut
+/// projection. See the module docs for the representation; see
+/// [`Self::probe_then_insert`] for the single-hash-op join step every
+/// execution mode shares.
 #[derive(Debug)]
 pub struct SharedJoinStore {
     /// The cut vertices of the owning internal node (the join key both
     /// children project onto).
     key_vertices: Vec<QueryVertexId>,
+    /// Hash index from join key to the two-sided match bucket.
     buckets: FxHashMap<JoinKey, SideBucket>,
+    /// Per-side backlog of matches whose key had no bucket when they were
+    /// filed: they stay out of the hash index entirely until the sibling
+    /// side's next probe drains them in (amortized one hash op per match,
+    /// and matches that expire un-probed never touch the index at all —
+    /// the asymmetric-selectivity regime the decomposition deliberately
+    /// creates).
+    pending: [Vec<PartialMatch>; 2],
+    /// Minimum earliest timestamp per pending backlog
+    /// (`Timestamp(i64::MAX)` when empty); the exact-expiry guard for the
+    /// unindexed segment.
+    pending_min: [Timestamp; 2],
+    /// Exact-expiry schedule for the bucket index: min-heap of per-side
+    /// minima (see module docs).
+    expiry: BinaryHeap<ExpiryEntry>,
     live: [usize; 2],
-    /// Lower bound on the earliest timestamp of any stored match; when a
-    /// prune cutoff does not reach it, the sweep is skipped.
-    min_earliest: Timestamp,
     inserted_total: u64,
     expired_total: u64,
+    /// Live-match counts by covered edge count (index = `edge_count()`),
+    /// so the running maximum is maintained in O(1) on insert and removal.
+    edge_histogram: Vec<u32>,
+    max_edges: usize,
 }
 
 impl SharedJoinStore {
@@ -407,10 +180,14 @@ impl SharedJoinStore {
         SharedJoinStore {
             key_vertices,
             buckets: FxHashMap::default(),
+            pending: [Vec::new(), Vec::new()],
+            pending_min: [Timestamp(i64::MAX), Timestamp(i64::MAX)],
+            expiry: BinaryHeap::new(),
             live: [0, 0],
-            min_earliest: Timestamp(i64::MAX),
             inserted_total: 0,
             expired_total: 0,
+            edge_histogram: Vec::new(),
+            max_edges: 0,
         }
     }
 
@@ -444,6 +221,17 @@ impl SharedJoinStore {
         self.expired_total
     }
 
+    /// Entries currently in the expiry schedule (live side minima plus
+    /// not-yet-popped stale entries); exposed for capacity tests.
+    pub fn expiry_backlog(&self) -> usize {
+        self.expiry.len()
+    }
+
+    /// Largest number of query edges covered by any live match (0 if empty).
+    pub fn best_edge_count(&self) -> usize {
+        self.max_edges
+    }
+
     /// Computes the join key this store files `m` under (the projection onto
     /// the cut). `None` if the match does not bind every cut vertex.
     pub fn join_key_for(&self, m: &PartialMatch) -> Option<JoinKey> {
@@ -457,71 +245,209 @@ impl SharedJoinStore {
 
     /// Scans the sibling side of `key` for join candidates — calling
     /// `probe(&m, candidate)` for each — and then files `m` under `key` on
-    /// `side`. One hash lookup covers both the probe and the insert.
+    /// `side`. One hash lookup covers both the probe and the insert, the
+    /// sibling scan is a contiguous walk, and the whole step performs no
+    /// allocation once the store's capacities are warm.
     ///
-    /// The probe-before-store order matches the single-threaded matcher: a
-    /// match never joins with matches on its own side, so every (left, right)
-    /// pair under a key is offered to `probe` exactly once, by whichever
-    /// member is inserted later.
-    pub fn probe_then_insert<F>(&mut self, side: JoinSide, key: JoinKey, m: PartialMatch, probe: F)
-    where
+    /// The probe-before-store order is the join discipline every execution
+    /// mode shares: a match never joins with matches on its own side, so
+    /// every (left, right) pair under a key is offered to `probe` exactly
+    /// once, by whichever member is filed later.
+    pub fn probe_then_insert<F>(
+        &mut self,
+        side: JoinSide,
+        key: JoinKey,
+        m: PartialMatch,
+        mut probe: F,
+    ) where
         F: FnMut(&PartialMatch, &PartialMatch),
     {
-        let mut probe = probe;
-        let bucket = self.buckets.entry(key).or_default();
-        for candidate in &bucket.sides[side.other().index()] {
-            probe(&m, candidate);
+        let earliest = m.earliest;
+        let edge_count = m.edge_count();
+
+        // Any sibling match this probe must see is either already in the
+        // bucket index or in the sibling's pending backlog: drain the
+        // backlog first (a no-op in the join-heavy steady state, where
+        // buckets exist and nothing ever goes pending).
+        self.drain_pending(side.other());
+
+        match self.buckets.get_mut(key.as_slice()) {
+            Some(bucket) => {
+                for candidate in &bucket.sides[side.other().index()] {
+                    probe(&m, candidate);
+                }
+                bucket.sides[side.index()].push(m);
+                // Schedule the side for expiry only when its minimum
+                // decreases (for in-order streams: once per side, not once
+                // per match). The side's previous entry, if any, goes stale
+                // and is dropped lazily on pop.
+                if earliest < bucket.min_earliest[side.index()] {
+                    bucket.min_earliest[side.index()] = earliest;
+                    self.expiry.push(ExpiryEntry {
+                        earliest,
+                        key,
+                        side,
+                    });
+                }
+            }
+            None => {
+                // No sibling match has this key (the drain above would have
+                // built the bucket): no candidates to probe, and the match
+                // stays out of the hash index until the sibling side next
+                // probes — or expires without ever paying for indexing.
+                if earliest < self.pending_min[side.index()] {
+                    self.pending_min[side.index()] = earliest;
+                }
+                self.pending[side.index()].push(m);
+            }
         }
-        if m.earliest < self.min_earliest {
-            self.min_earliest = m.earliest;
-        }
-        bucket.sides[side.index()].push(m);
         self.live[side.index()] += 1;
         self.inserted_total += 1;
+        if edge_count >= self.edge_histogram.len() {
+            self.edge_histogram.resize(edge_count + 1, 0);
+        }
+        self.edge_histogram[edge_count] += 1;
+        self.max_edges = self.max_edges.max(edge_count);
+    }
+
+    /// Moves every pending match of `side` into the bucket index (called
+    /// before a sibling probe scans that side). Amortized one hash op per
+    /// match over its lifetime; empty backlogs return immediately.
+    fn drain_pending(&mut self, side: JoinSide) {
+        if self.pending[side.index()].is_empty() {
+            return;
+        }
+        let drained = std::mem::take(&mut self.pending[side.index()]);
+        for m in drained {
+            let earliest = m.earliest;
+            let key = self
+                .join_key_for(&m)
+                .expect("stored match binds its join key");
+            let bucket = self.buckets.entry(key.clone()).or_default();
+            bucket.sides[side.index()].push(m);
+            if earliest < bucket.min_earliest[side.index()] {
+                bucket.min_earliest[side.index()] = earliest;
+                self.expiry.push(ExpiryEntry {
+                    earliest,
+                    key,
+                    side,
+                });
+            }
+        }
+        self.pending_min[side.index()] = Timestamp(i64::MAX);
     }
 
     /// Iterates every stored match (both sides, unspecified order).
     pub fn iter(&self) -> impl Iterator<Item = &PartialMatch> {
-        self.buckets.values().flat_map(|b| b.sides.iter().flatten())
+        self.buckets
+            .values()
+            .flat_map(|b| b.sides.iter().flatten())
+            .chain(self.pending.iter().flatten())
     }
 
-    /// Removes every match whose earliest edge is older than `cutoff`,
-    /// returning the number removed. A no-op (without touching the map) when
-    /// the running minimum proves nothing can expire.
+    /// Removes every match whose earliest edge is older than `cutoff` (such
+    /// matches can never satisfy `τ(g) < tW` once stream time has passed
+    /// `cutoff + tW`), returning the number removed.
+    ///
+    /// **Exact**: every live bucket side carries a fresh schedule entry for
+    /// its minimum earliest, so the heap surfaces every side containing an
+    /// expirable match, and each surfaced side is swept completely — a
+    /// skewed stream whose merged matches carry older `earliest` values than
+    /// previously filed ones cannot hide state behind an in-window head.
+    /// Sides with nothing to expire are never touched; a pass that cannot
+    /// remove anything costs one heap peek.
     pub fn expire_older_than(&mut self, cutoff: Timestamp) -> usize {
-        if self.min_earliest >= cutoff {
-            return 0;
-        }
         let mut removed = 0usize;
-        let mut min = Timestamp(i64::MAX);
-        let live = &mut self.live;
-        self.buckets.retain(|_, bucket| {
-            for (i, matches) in bucket.sides.iter_mut().enumerate() {
-                matches.retain(|m| {
-                    if m.earliest < cutoff {
-                        removed += 1;
-                        live[i] -= 1;
-                        false
-                    } else {
-                        if m.earliest < min {
-                            min = m.earliest;
-                        }
-                        true
+        // Unindexed segment first: sweep each pending backlog whose minimum
+        // proves it holds something expirable.
+        for side in [JoinSide::Left, JoinSide::Right] {
+            let i = side.index();
+            if self.pending_min[i] >= cutoff {
+                continue;
+            }
+            let before = self.pending[i].len();
+            let mut min = Timestamp(i64::MAX);
+            let hist = &mut self.edge_histogram;
+            self.pending[i].retain(|m| {
+                if m.earliest < cutoff {
+                    hist[m.edge_count()] -= 1;
+                    false
+                } else {
+                    if m.earliest < min {
+                        min = m.earliest;
                     }
+                    true
+                }
+            });
+            let swept = before - self.pending[i].len();
+            removed += swept;
+            self.live[i] -= swept;
+            self.pending_min[i] = min;
+        }
+        loop {
+            match self.expiry.peek() {
+                Some(entry) if entry.earliest < cutoff => {}
+                _ => break,
+            }
+            let ExpiryEntry {
+                earliest,
+                key,
+                side,
+            } = self.expiry.pop().expect("peeked entry exists");
+            let Some(bucket) = self.buckets.get_mut(key.as_slice()) else {
+                continue; // stale: bucket fully removed since scheduling
+            };
+            if bucket.min_earliest[side.index()] != earliest {
+                continue; // stale: side swept or re-scheduled since
+            }
+            // Sweep the scheduled side, recomputing its minimum.
+            let side_vec = &mut bucket.sides[side.index()];
+            let before = side_vec.len();
+            let mut min = Timestamp(i64::MAX);
+            let hist = &mut self.edge_histogram;
+            side_vec.retain(|m| {
+                if m.earliest < cutoff {
+                    hist[m.edge_count()] -= 1;
+                    false
+                } else {
+                    if m.earliest < min {
+                        min = m.earliest;
+                    }
+                    true
+                }
+            });
+            let swept = before - side_vec.len();
+            removed += swept;
+            self.live[side.index()] -= swept;
+            bucket.min_earliest[side.index()] = min;
+            if side_vec.is_empty() {
+                if bucket.sides[side.other().index()].is_empty() {
+                    self.buckets.remove(key.as_slice());
+                }
+            } else {
+                self.expiry.push(ExpiryEntry {
+                    earliest: min,
+                    key,
+                    side,
                 });
             }
-            !bucket.sides[0].is_empty() || !bucket.sides[1].is_empty()
-        });
-        self.min_earliest = min;
+        }
         self.expired_total += removed as u64;
+        while self.max_edges > 0 && self.edge_histogram[self.max_edges] == 0 {
+            self.max_edges -= 1;
+        }
         removed
     }
 
     /// Drops every stored match.
     pub fn clear(&mut self) {
         self.buckets.clear();
+        self.pending = [Vec::new(), Vec::new()];
+        self.pending_min = [Timestamp(i64::MAX), Timestamp(i64::MAX)];
+        self.expiry.clear();
         self.live = [0, 0];
-        self.min_earliest = Timestamp(i64::MAX);
+        self.edge_histogram.clear();
+        self.max_edges = 0;
     }
 }
 
@@ -544,168 +470,33 @@ mod tests {
         pm
     }
 
-    #[test]
-    fn insert_and_lookup_by_join_key() {
-        let mut store = MatchStore::new(vec![QueryVertexId(0)]);
-        store.insert(m(&[(0, 10), (1, 20)], 1, 100));
-        store.insert(m(&[(0, 10), (1, 21)], 2, 101));
-        store.insert(m(&[(0, 99), (1, 22)], 3, 102));
-        assert_eq!(store.len(), 3);
-        let hits: Vec<_> = store.candidates(&[VertexId(10)]).collect();
-        assert_eq!(hits.len(), 2);
-        let misses: Vec<_> = store.candidates(&[VertexId(1)]).collect();
-        assert!(misses.is_empty());
-    }
-
-    #[test]
-    fn composite_join_keys_project_in_order() {
-        let mut store = MatchStore::new(vec![QueryVertexId(1), QueryVertexId(0)]);
-        store.insert(m(&[(0, 10), (1, 20)], 1, 100));
-        let key = store.join_key_for(&m(&[(0, 10), (1, 20)], 9, 100)).unwrap();
-        assert_eq!(key.as_slice(), &[VertexId(20), VertexId(10)]);
-        assert_eq!(store.candidates(&key).count(), 1);
-    }
-
-    #[test]
-    fn expiry_removes_old_matches_and_updates_index() {
-        let mut store = MatchStore::new(vec![QueryVertexId(0)]);
-        store.insert(m(&[(0, 10)], 1, 100));
-        store.insert(m(&[(0, 10)], 2, 200));
-        store.insert(m(&[(0, 10)], 3, 300));
-        let removed = store.expire_older_than(Timestamp::from_secs(250));
-        assert_eq!(removed, 2);
-        assert_eq!(store.len(), 1);
-        assert_eq!(store.expired_total(), 2);
-        assert_eq!(store.candidates(&[VertexId(10)]).count(), 1);
-        // Expiring again with an older cutoff removes nothing.
-        assert_eq!(store.expire_older_than(Timestamp::from_secs(100)), 0);
-    }
-
-    #[test]
-    fn get_and_iter_skip_expired_entries() {
-        let mut store = MatchStore::new(vec![QueryVertexId(0)]);
-        let h1 = store.insert(m(&[(0, 10)], 1, 100));
-        store.insert(m(&[(0, 11)], 2, 500));
-        store.expire_older_than(Timestamp::from_secs(200));
-        assert!(store.get(h1).is_none());
-        assert_eq!(store.iter().count(), 1);
-        assert_eq!(store.inserted_total(), 2);
-    }
-
-    #[test]
-    fn slots_are_recycled_and_stale_handles_stay_dead() {
-        let mut store = MatchStore::new(vec![QueryVertexId(0)]);
-        let h1 = store.insert(m(&[(0, 10)], 1, 100));
-        store.expire_older_than(Timestamp::from_secs(200));
-        assert!(store.get(h1).is_none());
-
-        // The next insert reuses the vacated slot...
-        let h2 = store.insert(m(&[(0, 11)], 2, 300));
-        assert_eq!(
-            store.slot_capacity(),
-            1,
-            "slot must be recycled, not appended"
-        );
-        // ...but the stale handle still observes nothing.
-        assert!(store.get(h1).is_none());
-        assert!(store.get(h2).is_some());
-    }
-
-    #[test]
-    fn long_stream_keeps_slab_bounded() {
-        let mut store = MatchStore::new(vec![QueryVertexId(0)]);
-        for i in 0..10_000i64 {
-            store.insert(m(&[(0, (i % 7) as u32)], i as u64, i));
-            // Expire everything older than 50s behind the newest insert.
-            store.expire_older_than(Timestamp::from_secs(i - 50));
-        }
-        assert!(store.len() <= 52);
-        assert!(
-            store.slot_capacity() <= 128,
-            "slab grew to {} slots for ~51 live matches",
-            store.slot_capacity()
-        );
-    }
-
-    #[test]
-    fn swap_remove_unlink_keeps_buckets_consistent() {
-        // Several matches under the same key; expire a prefix and verify the
-        // survivors are all still reachable through the bucket.
-        let mut store = MatchStore::new(vec![QueryVertexId(0)]);
-        for i in 0..10 {
-            store.insert(m(&[(0, 42)], i, 100 + i as i64));
-        }
-        store.expire_older_than(Timestamp::from_secs(105));
-        let survivors: Vec<u64> = store
-            .candidates(&[VertexId(42)])
-            .map(|pm| pm.edges[0].1 .0)
-            .collect();
-        assert_eq!(survivors.len(), 5);
-        for id in 5..10u64 {
-            assert!(survivors.contains(&id), "edge {id} lost from bucket");
-        }
-    }
-
-    #[test]
-    fn best_edge_count_tracks_running_max() {
-        let mut store = MatchStore::new(vec![QueryVertexId(0)]);
-        assert_eq!(store.best_edge_count(), 0);
-        store.insert(m(&[(0, 1)], 1, 10));
-        assert_eq!(store.best_edge_count(), 1);
-        let mut big = m(&[(0, 2)], 2, 20);
-        assert!(big.add_edge(QueryEdgeId(3), EdgeId(30), Timestamp::from_secs(21)));
-        store.insert(big);
-        assert_eq!(store.best_edge_count(), 2);
-        // Expiring the maximal match recomputes the max from survivors.
-        store.expire_older_than(Timestamp::from_secs(15));
-        assert_eq!(store.best_edge_count(), 2);
-        store.expire_older_than(Timestamp::from_secs(100));
-        assert_eq!(store.best_edge_count(), 0);
-    }
-
-    #[test]
-    fn empty_key_store_groups_everything_together() {
-        // The root has no parent cut: all matches share the empty key.
-        let mut store = MatchStore::new(vec![]);
-        store.insert(m(&[(0, 1)], 1, 10));
-        store.insert(m(&[(0, 2)], 2, 20));
-        assert_eq!(store.candidates(&[]).count(), 2);
-    }
-
-    #[test]
-    fn clear_empties_the_store() {
-        let mut store = MatchStore::new(vec![QueryVertexId(0)]);
-        store.insert(m(&[(0, 1)], 1, 10));
-        store.clear();
-        assert!(store.is_empty());
-        assert_eq!(store.candidates(&[VertexId(1)]).count(), 0);
-    }
-
     fn key_of(store: &SharedJoinStore, pm: &PartialMatch) -> JoinKey {
         store.join_key_for(pm).unwrap()
     }
 
+    fn file(store: &mut SharedJoinStore, side: JoinSide, pm: PartialMatch) -> usize {
+        let k = key_of(store, &pm);
+        let mut seen = 0;
+        store.probe_then_insert(side, k, pm, |_, _| seen += 1);
+        seen
+    }
+
     #[test]
-    fn shared_store_probes_only_the_sibling_side() {
+    fn probes_only_the_sibling_side() {
         let mut store = SharedJoinStore::new(vec![QueryVertexId(0)]);
         let left1 = m(&[(0, 10), (1, 20)], 1, 100);
         let left2 = m(&[(0, 10), (1, 21)], 2, 101);
         let right = m(&[(0, 10), (2, 30)], 3, 102);
 
-        let mut seen = 0;
-        let k = key_of(&store, &left1);
-        store.probe_then_insert(JoinSide::Left, k, left1, |_, _| seen += 1);
-        assert_eq!(seen, 0, "empty store: nothing to probe");
-
+        assert_eq!(file(&mut store, JoinSide::Left, left1), 0);
         // A second left-side match under the same key must NOT see the first
         // (same-side matches never join).
-        let k = key_of(&store, &left2);
-        store.probe_then_insert(JoinSide::Left, k, left2, |_, _| seen += 1);
-        assert_eq!(seen, 0);
+        assert_eq!(file(&mut store, JoinSide::Left, left2), 0);
         assert_eq!(store.side_len(JoinSide::Left), 2);
 
         // A right-side match under the key probes both left matches.
         let k = key_of(&store, &right);
+        let mut seen = 0;
         store.probe_then_insert(JoinSide::Right, k, right, |m, cand| {
             assert_eq!(m.binding.get(QueryVertexId(2)), Some(VertexId(30)));
             assert!(cand.binding.get(QueryVertexId(1)).is_some());
@@ -717,34 +508,42 @@ mod tests {
     }
 
     #[test]
-    fn shared_store_separates_keys() {
+    fn separates_keys() {
         let mut store = SharedJoinStore::new(vec![QueryVertexId(0)]);
-        let left = m(&[(0, 10)], 1, 100);
-        let k = key_of(&store, &left);
-        store.probe_then_insert(JoinSide::Left, k, left, |_, _| {});
+        assert_eq!(file(&mut store, JoinSide::Left, m(&[(0, 10)], 1, 100)), 0);
         // A right-side match under a *different* key probes nothing.
-        let other = m(&[(0, 99)], 2, 101);
-        let k = key_of(&store, &other);
-        let mut seen = 0;
-        store.probe_then_insert(JoinSide::Right, k, other, |_, _| seen += 1);
-        assert_eq!(seen, 0);
+        assert_eq!(file(&mut store, JoinSide::Right, m(&[(0, 99)], 2, 101)), 0);
     }
 
     #[test]
-    fn shared_store_expiry_sweeps_and_skips_when_nothing_can_expire() {
+    fn composite_join_keys_project_in_order() {
+        let store = SharedJoinStore::new(vec![QueryVertexId(1), QueryVertexId(0)]);
+        let key = store.join_key_for(&m(&[(0, 10), (1, 20)], 9, 100)).unwrap();
+        assert_eq!(key.as_slice(), &[VertexId(20), VertexId(10)]);
+    }
+
+    #[test]
+    fn empty_key_store_groups_everything_together() {
+        // An internal node with an empty cut groups all matches under one key.
+        let mut store = SharedJoinStore::new(vec![]);
+        assert_eq!(file(&mut store, JoinSide::Left, m(&[(0, 1)], 1, 10)), 0);
+        assert_eq!(file(&mut store, JoinSide::Right, m(&[(0, 2)], 2, 20)), 1);
+    }
+
+    #[test]
+    fn expiry_sweeps_exactly_and_skips_when_nothing_can_expire() {
         let mut store = SharedJoinStore::new(vec![QueryVertexId(0)]);
         for i in 0..10i64 {
             let pm = m(&[(0, (i % 3) as u32)], i as u64, 100 + i);
-            let k = key_of(&store, &pm);
             let side = if i % 2 == 0 {
                 JoinSide::Left
             } else {
                 JoinSide::Right
             };
-            store.probe_then_insert(side, k, pm, |_, _| {});
+            file(&mut store, side, pm);
         }
         assert_eq!(store.len(), 10);
-        // Cutoff below the minimum: the guarded sweep is a no-op.
+        // Cutoff below the minimum: the heap peek says nothing can go.
         assert_eq!(store.expire_older_than(Timestamp::from_secs(100)), 0);
         // Remove the first five (earliest 100..=104).
         assert_eq!(store.expire_older_than(Timestamp::from_secs(105)), 5);
@@ -752,12 +551,95 @@ mod tests {
         assert_eq!(store.expired_total(), 5);
         // Survivors are still probeable.
         let probe = m(&[(0, 0)], 99, 200);
-        let k = key_of(&store, &probe);
-        let mut seen = 0;
-        store.probe_then_insert(JoinSide::Left, k, probe, |_, _| seen += 1);
+        let seen = file(&mut store, JoinSide::Left, probe);
         assert!(seen > 0, "surviving right-side matches remain indexed");
         store.clear();
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn skewed_insertion_order_expires_exactly() {
+        // The regime the old FIFO expiry queue got wrong: a match with an
+        // *older* earliest timestamp filed after newer ones (merged matches
+        // inherit the minimum of their components, so this happens on every
+        // join-heavy stream). The heap re-schedules the side on the new
+        // minimum and the sweep removes exactly the expirable set.
+        let mut store = SharedJoinStore::new(vec![QueryVertexId(0)]);
+        file(&mut store, JoinSide::Left, m(&[(0, 1)], 1, 200));
+        file(&mut store, JoinSide::Left, m(&[(0, 2)], 2, 100)); // older, behind
+        file(&mut store, JoinSide::Left, m(&[(0, 3)], 3, 300));
+        // Cutoff between the skewed entry and the head of insertion order:
+        // exactly the ts=100 match must go, regardless of arrival position.
+        assert_eq!(store.expire_older_than(Timestamp::from_secs(150)), 1);
+        assert_eq!(store.len(), 2);
+        assert!(store
+            .iter()
+            .all(|pm| pm.earliest >= Timestamp::from_secs(150)));
+        // Full-window drain leaves nothing behind the head.
+        assert_eq!(store.expire_older_than(Timestamp::from_secs(1_000)), 2);
+        assert_eq!(store.len(), 0);
+        assert_eq!(store.expired_total(), 3);
+    }
+
+    #[test]
+    fn long_stream_keeps_schedule_and_memory_bounded() {
+        // Decreasing side minima are the worst case for the lazy schedule
+        // (every insert can push an entry); periodic expiry must keep both
+        // the live population and the heap backlog proportional to the live
+        // state, not the stream length.
+        let mut store = SharedJoinStore::new(vec![QueryVertexId(0)]);
+        for i in 0..10_000i64 {
+            file(
+                &mut store,
+                JoinSide::Left,
+                m(&[(0, (i % 7) as u32)], i as u64, i),
+            );
+            store.expire_older_than(Timestamp::from_secs(i - 50));
+        }
+        assert!(store.len() <= 52);
+        assert!(
+            store.expiry_backlog() <= 64,
+            "schedule backlog grew to {} entries for ~51 live matches",
+            store.expiry_backlog()
+        );
+    }
+
+    #[test]
+    fn sweep_keeps_buckets_consistent() {
+        // Several matches under the same key; expire a prefix and verify the
+        // survivors are all still probeable through the bucket.
+        let mut store = SharedJoinStore::new(vec![QueryVertexId(0)]);
+        for i in 0..10 {
+            file(&mut store, JoinSide::Left, m(&[(0, 42)], i, 100 + i as i64));
+        }
+        store.expire_older_than(Timestamp::from_secs(105));
+        let mut survivors = Vec::new();
+        let probe = m(&[(0, 42)], 99, 200);
+        let k = key_of(&store, &probe);
+        store.probe_then_insert(JoinSide::Right, k, probe, |_, cand| {
+            survivors.push(cand.edges[0].1 .0);
+        });
+        assert_eq!(survivors.len(), 5);
+        for id in 5..10u64 {
+            assert!(survivors.contains(&id), "edge {id} lost from bucket");
+        }
+    }
+
+    #[test]
+    fn best_edge_count_tracks_running_max() {
+        let mut store = SharedJoinStore::new(vec![QueryVertexId(0)]);
+        assert_eq!(store.best_edge_count(), 0);
+        file(&mut store, JoinSide::Left, m(&[(0, 1)], 1, 10));
+        assert_eq!(store.best_edge_count(), 1);
+        let mut big = m(&[(0, 2)], 2, 20);
+        assert!(big.add_edge(QueryEdgeId(3), EdgeId(30), Timestamp::from_secs(21)));
+        file(&mut store, JoinSide::Right, big);
+        assert_eq!(store.best_edge_count(), 2);
+        // Expiring the maximal match restores the max from the histogram.
+        store.expire_older_than(Timestamp::from_secs(15));
+        assert_eq!(store.best_edge_count(), 2);
+        store.expire_older_than(Timestamp::from_secs(100));
+        assert_eq!(store.best_edge_count(), 0);
     }
 
     #[test]

@@ -19,6 +19,11 @@ pub struct QueryMetrics {
     /// Partial matches inserted across all SJ-Tree nodes (including leaves).
     pub partial_matches_inserted: u64,
     /// Partial matches currently stored (updated on insert/expiry).
+    ///
+    /// **Exact on every execution path** since the store unification: the
+    /// shared join store's min-heap-scheduled expiry never retains stale
+    /// matches behind an in-window head, so this reads 0 after a full-window
+    /// drain — single-threaded and sharded alike.
     pub partial_matches_live: u64,
     /// Partial matches removed by window expiry.
     pub partial_matches_expired: u64,

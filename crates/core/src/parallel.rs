@@ -86,7 +86,8 @@ use crate::config::EngineConfig;
 use crate::engine::ContinuousQueryEngine;
 use crate::error::EngineError;
 use crate::event::MatchEvent;
-use crate::match_store::{JoinKey, JoinSide, SharedJoinStore};
+use crate::join::{self, NodeRoute, NO_PARENT};
+use crate::match_store::{JoinKey, SharedJoinStore};
 use crate::metrics::{QueryMetrics, ShardMetrics};
 use crate::sj_matcher::SjTreeMatcher;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -327,50 +328,6 @@ struct BatchCounters {
     spills: u64,
 }
 
-/// Precomputed per-node climb step, so the worker hot loop never touches
-/// the plan (no `Arc` traffic, no repeated tree lookups). For the root the
-/// `parent` field is the `NO_PARENT` sentinel and the entry is never read.
-#[derive(Clone, Copy)]
-struct NodeRoute {
-    /// Parent node index (`NO_PARENT` for the root).
-    parent: u32,
-    /// Which child of the parent this node is.
-    side: JoinSide,
-    /// True when the parent is the root: a successful join there is a
-    /// complete match.
-    parent_is_root: bool,
-}
-
-const NO_PARENT: u32 = u32::MAX;
-
-/// Builds the per-node climb table for a plan's tree shape.
-fn node_routes(plan: &QueryPlan) -> Vec<NodeRoute> {
-    let shape = &plan.shape;
-    let root = shape.root();
-    shape
-        .nodes()
-        .map(|n| match n.parent {
-            Some(parent) => {
-                let (left, _) = shape.node(parent).children.expect("parent is internal");
-                NodeRoute {
-                    parent: parent.0 as u32,
-                    side: if n.id == left {
-                        JoinSide::Left
-                    } else {
-                        JoinSide::Right
-                    },
-                    parent_is_root: parent == root,
-                }
-            }
-            None => NodeRoute {
-                parent: NO_PARENT,
-                side: JoinSide::Left,
-                parent_is_root: false,
-            },
-        })
-        .collect()
-}
-
 /// One shard worker: owns a [`SharedJoinStore`] per internal SJ-Tree node
 /// covering the slice of the join-key space that hashes to it.
 struct ShardWorker {
@@ -448,8 +405,9 @@ impl ShardWorker {
         // workers (already shut down themselves) disconnect cleanly.
     }
 
-    /// The sharded twin of `SjTreeMatcher::insert_and_join`: file the match
-    /// in the per-parent shared index, probe the sibling side, and climb.
+    /// The sharded twin of `SjTreeMatcher::insert_and_join`: the same
+    /// `crate::join::probe_insert` step, plus cross-shard handoffs when a
+    /// merged match's next join key hashes elsewhere.
     fn process(&mut self, routed: RoutedMatch) {
         let RoutedMatch { node, seq, m } = routed;
         let window = self.window;
@@ -477,24 +435,12 @@ impl ShardWorker {
                     continue;
                 }
             }
-            let Some(key) = store.join_key_for(&m) else {
-                debug_assert!(false, "a node-complete match binds its join key");
-                continue;
-            };
 
             merged.clear();
-            let mut attempts = 0u64;
-            store.probe_then_insert(side, key, m, |m, candidate| {
-                attempts += 1;
-                if let Some(combined) = m.merge(candidate) {
-                    if combined.within_window(window) {
-                        merged.push(combined);
-                    }
-                }
-            });
+            let stats = join::probe_insert(store, side, m, window, &mut merged);
             self.acc.inserted += 1;
-            self.acc.joins_attempted += attempts;
-            self.acc.joins_succeeded += merged.len() as u64;
+            self.acc.joins_attempted += stats.attempted;
+            self.acc.joins_succeeded += stats.succeeded;
 
             for combined in merged.drain(..) {
                 if parent_is_root {
@@ -626,7 +572,7 @@ impl ShardedMatcher {
         // Everything the workers need from the plan is extracted up front
         // (stores, climb routes, next-level keys); the plan itself moves
         // into the driver-side front end.
-        let routes = node_routes(&plan);
+        let routes = join::node_routes(&plan);
         let next_keys: Vec<Vec<QueryVertexId>> = plan
             .shape
             .nodes()

@@ -1,22 +1,29 @@
 //! The incremental SJ-Tree matcher (paper §4.2).
 //!
-//! One [`SjTreeMatcher`] is instantiated per registered query. It owns a
-//! [`MatchStore`] per SJ-Tree node and implements the paper's two-step
-//! algorithm for every incoming edge:
+//! One [`SjTreeMatcher`] is instantiated per registered query. It owns one
+//! [`SharedJoinStore`] per **internal** SJ-Tree node — the same per-parent
+//! join index the sharded workers run on, driven through the same
+//! `probe_then_insert` inner loop (`crate::join`) — and implements the
+//! paper's two-step algorithm for every incoming edge:
 //!
 //! 1. **Local search** — match the edge against the search primitives at the
-//!    leaves; each embedding found is inserted into the leaf's match
-//!    collection.
-//! 2. **Join propagation** — whenever a match is inserted at a node, probe the
-//!    sibling node's collection using the parent's cut-subgraph as the join
-//!    key; every successful combination is inserted at the parent, repeating
-//!    until no larger match can be produced. A combination at the root that
-//!    satisfies `τ(g) < tW` is a complete match.
+//!    leaves; each embedding found enters the join propagation at its leaf.
+//! 2. **Join propagation** — a match at a node is filed on its side of the
+//!    parent's shared store, probing the sibling side with the parent's
+//!    cut-subgraph as the join key in the same hash lookup; every successful
+//!    combination climbs to the parent, repeating until no larger match can
+//!    be produced. A combination at the root that satisfies `τ(g) < tW` is a
+//!    complete match.
+//!
+//! The climb is *flattened*: a precomputed per-node route table
+//! (`crate::join::NodeRoute`) replaces tree-shape lookups on the hot path,
+//! exactly as in the shard workers.
 
 use crate::binding::PartialMatch;
 use crate::constraints::CompiledConstraints;
+use crate::join::{self, NodeRoute, NO_PARENT};
 use crate::local_search::{find_primitive_matches_anchored, LocalSearchStats};
-use crate::match_store::MatchStore;
+use crate::match_store::SharedJoinStore;
 use crate::metrics::QueryMetrics;
 use streamworks_graph::hash::FxHashMap;
 use streamworks_graph::{Duration, DynamicGraph, Edge, Timestamp, TypeId};
@@ -27,8 +34,12 @@ use streamworks_query::{QueryEdgeId, QueryPlan, SjNodeId};
 pub struct SjTreeMatcher {
     plan: QueryPlan,
     constraints: CompiledConstraints,
-    /// Match collection per SJ-Tree node, indexed by `SjNodeId`.
-    stores: Vec<MatchStore>,
+    /// Shared two-sided join store per SJ-Tree node, indexed by `SjNodeId`;
+    /// `Some` for internal nodes only (leaves file their matches into their
+    /// parent's store, the root emits instead of storing).
+    stores: Vec<Option<SharedJoinStore>>,
+    /// Precomputed per-node climb steps (see [`NodeRoute`]).
+    routes: Vec<NodeRoute>,
     metrics: QueryMetrics,
     /// Optional cap on live matches per node (guards against partial-match
     /// explosion under hostile plans; `None` = unbounded).
@@ -56,14 +67,21 @@ impl SjTreeMatcher {
     /// Creates a matcher for `plan`, compiled against `graph`.
     pub fn new(plan: QueryPlan, graph: &DynamicGraph) -> Self {
         let constraints = CompiledConstraints::compile(&plan.query, graph);
+        // One shared store per internal node, keyed on that node's cut (the
+        // join key both children project onto).
         let stores = plan
             .shape
             .nodes()
-            .map(|n| MatchStore::new(plan.shape.join_key(n.id).to_vec()))
+            .map(|n| {
+                n.children
+                    .map(|_| SharedJoinStore::new(n.cut_vertices.clone()))
+            })
             .collect();
+        let routes = join::node_routes(&plan);
         let mut matcher = SjTreeMatcher {
             constraints,
             stores,
+            routes,
             metrics: QueryMetrics::default(),
             max_matches_per_node: None,
             seen_schema: graph.schema_version(),
@@ -116,13 +134,22 @@ impl SjTreeMatcher {
     /// Current metrics snapshot.
     pub fn metrics(&self) -> QueryMetrics {
         let mut m = self.metrics;
-        m.partial_matches_live = self.stores.iter().map(|s| s.len() as u64).sum();
+        m.partial_matches_live = self.stores.iter().flatten().map(|s| s.len() as u64).sum();
         m
     }
 
-    /// Live partial matches stored at a specific SJ-Tree node.
+    /// Live partial matches stored at a specific SJ-Tree node. A node's
+    /// matches live on its side of the parent's shared store; the root
+    /// stores nothing (its combinations are emitted).
     pub fn node_match_count(&self, node: SjNodeId) -> usize {
-        self.stores[node.0].len()
+        let route = self.routes[node.0];
+        if route.parent == NO_PARENT {
+            return 0;
+        }
+        self.stores[route.parent as usize]
+            .as_ref()
+            .map(|s| s.side_len(route.side))
+            .unwrap_or(0)
     }
 
     /// The fraction of the query's edges covered by the largest partial match
@@ -138,7 +165,8 @@ impl SjTreeMatcher {
         let best = self
             .stores
             .iter()
-            .map(MatchStore::best_edge_count)
+            .flatten()
+            .map(SharedJoinStore::best_edge_count)
             .max()
             .unwrap_or(0);
         best as f64 / total
@@ -218,17 +246,19 @@ impl SjTreeMatcher {
         self.anchor_scratch = anchors;
     }
 
-    /// Inserts a match at a node and propagates joins towards the root.
+    /// Inserts a match at a node and propagates joins towards the root —
+    /// the flattened twin of `ShardWorker::process`, walking the precomputed
+    /// route table and calling the shared `crate::join::probe_insert` step.
     ///
-    /// For each match the join key is projected once, the sibling collection
-    /// is probed *before* the match is stored (a match at one node never
-    /// joins with matches at the same node, so the order is equivalent), and
-    /// the match is then moved — not cloned — into its store.
+    /// For each match the join key is projected once, the sibling side of
+    /// the parent's shared store is probed *before* the match is filed (a
+    /// match at one node never joins with matches at the same node, so the
+    /// order is equivalent), and the match is then moved — not cloned — into
+    /// the store, all within a single hash lookup.
     fn insert_and_join(&mut self, node: SjNodeId, m: PartialMatch, out: &mut Vec<PartialMatch>) {
         let window = self.window();
-        let root = self.plan.shape.root();
         let mut stack = std::mem::take(&mut self.stack);
-        let mut merged_results = std::mem::take(&mut self.merged);
+        let mut merged = std::mem::take(&mut self.merged);
         stack.push((node, m));
         while let Some((node, m)) = stack.pop() {
             // Spill telemetry: each materialised match whose inline storage
@@ -236,62 +266,51 @@ impl SjTreeMatcher {
             if m.spilled() {
                 self.metrics.binding_spills += 1;
             }
-            if node == root {
+            let NodeRoute {
+                parent,
+                side,
+                parent_is_root: _,
+            } = self.routes[node.0];
+            if parent == NO_PARENT {
                 // Root-level combination: a complete match.
                 self.metrics.complete_matches += 1;
                 out.push(m);
                 continue;
             }
-            // Respect the per-node cap.
+            let parent = parent as usize;
+            let store = self.stores[parent]
+                .as_mut()
+                .expect("internal node has a shared store");
+            // Respect the per-node cap (one node = one side of its parent's
+            // shared store).
             if let Some(cap) = self.max_matches_per_node {
-                if self.stores[node.0].len() >= cap {
+                if store.side_len(side) >= cap {
                     self.metrics.matches_dropped_by_cap += 1;
                     continue;
                 }
             }
-            let Some(key) = self.stores[node.0].join_key_for(&m) else {
-                debug_assert!(false, "a node-complete match binds its join key");
-                continue;
-            };
 
-            // Probe the sibling's collection on the shared cut vertices.
-            if let Some(sibling) = self.plan.shape.sibling(node) {
-                let parent = self
-                    .plan
-                    .shape
-                    .node(node)
-                    .parent
-                    .expect("non-root node has a parent");
-                merged_results.clear();
-                for candidate in self.stores[sibling.0].candidates(&key) {
-                    self.metrics.joins_attempted += 1;
-                    if let Some(merged) = m.merge(candidate) {
-                        if merged.within_window(window) {
-                            merged_results.push(merged);
-                        }
-                    }
-                }
-                self.metrics.joins_succeeded += merged_results.len() as u64;
-                for merged in merged_results.drain(..) {
-                    stack.push((parent, merged));
-                }
-            }
-
-            // Store the match (moved, not cloned) so later sibling
-            // insertions can find it.
-            self.stores[node.0].insert(m);
+            merged.clear();
+            let stats = join::probe_insert(store, side, m, window, &mut merged);
+            self.metrics.joins_attempted += stats.attempted;
+            self.metrics.joins_succeeded += stats.succeeded;
             self.metrics.partial_matches_inserted += 1;
+            for combined in merged.drain(..) {
+                stack.push((SjNodeId(parent), combined));
+            }
         }
         self.stack = stack;
-        self.merged = merged_results;
+        self.merged = merged;
     }
 
     /// Removes every partial match whose earliest edge is older than
     /// `now - tW`: such matches can never be completed within the window.
+    /// Exact on every node — the shared stores' min-heap expiry never
+    /// retains stale matches behind an in-window head.
     pub fn prune(&mut self, now: Timestamp) {
         let cutoff = now.minus(self.window());
         let mut removed = 0usize;
-        for store in &mut self.stores {
+        for store in self.stores.iter_mut().flatten() {
             removed += store.expire_older_than(cutoff);
         }
         self.metrics.partial_matches_expired += removed as u64;
@@ -300,7 +319,7 @@ impl SjTreeMatcher {
     /// Drops all stored partial matches and resets metrics (used between
     /// experiment repetitions).
     pub fn reset(&mut self) {
-        for store in &mut self.stores {
+        for store in self.stores.iter_mut().flatten() {
             store.clear();
         }
         self.metrics = QueryMetrics::default();

@@ -1,8 +1,10 @@
-//! Verifies the zero-allocation guarantee of the matcher hot path: once a
-//! store's lazy index is flushed, join-key probes (`MatchStore::candidates`)
-//! and binding merges (`Binding::merge`) perform no heap allocation for
-//! paper-sized queries. Uses a counting global allocator, so this test lives
-//! in its own integration-test binary.
+//! Verifies the zero-allocation guarantee of the unified matcher hot path:
+//! once a [`SharedJoinStore`]'s bucket map, side vectors and expiry heap are
+//! warm, the `probe_then_insert` join step (key projection, bucket lookup,
+//! contiguous sibling scan, merge in the probe closure, insert into spare
+//! capacity) and binding merges perform no heap allocation for paper-sized
+//! queries. Uses a counting global allocator, so this test lives in its own
+//! integration-test binary.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,7 +36,7 @@ fn allocations() -> u64 {
     ALLOCATIONS.load(Ordering::SeqCst)
 }
 
-use streamworks::engine::{MatchStore, PartialMatch};
+use streamworks::engine::{JoinSide, PartialMatch, SharedJoinStore};
 use streamworks::query::{QueryEdgeId, QueryVertexId};
 use streamworks::{EdgeId, Timestamp, VertexId};
 
@@ -50,30 +52,98 @@ fn pair_match(a: u32, b: u32, edge: u64, ts: i64) -> PartialMatch {
     m
 }
 
-#[test]
-fn probe_path_is_allocation_free() {
-    let mut store = MatchStore::new(vec![QueryVertexId(0), QueryVertexId(1)]);
-    for i in 0..256u32 {
-        store.insert(pair_match(i % 16, 100 + i % 8, i as u64, i as i64));
-    }
-    // First probe flushes the lazy index (this may allocate buckets).
-    assert!(store.candidates(&[VertexId(3), VertexId(103)]).count() > 0);
+/// Files `m` on `side`, returning how many sibling candidates were probed.
+fn file(store: &mut SharedJoinStore, side: JoinSide, m: PartialMatch) -> usize {
+    let key = store.join_key_for(&m).expect("pair matches bind the key");
+    let mut probed = 0usize;
+    store.probe_then_insert(side, key, m, |m, candidate| {
+        probed += 1;
+        // The merge every real probe performs; both matches bind the same
+        // key vertices, so the merge must succeed.
+        assert!(m.binding.merge(&candidate.binding).is_some());
+    });
+    probed
+}
 
-    // Steady state: key projection + probe + candidate iteration must not
-    // touch the allocator.
+#[test]
+fn probe_then_insert_is_allocation_free_once_warm() {
+    let mut store = SharedJoinStore::new(vec![QueryVertexId(0), QueryVertexId(1)]);
+
+    // Warm-up: 16 keys, 8 matches per side per key (timestamps 0..8), so the
+    // bucket map, both side vectors of every bucket and the expiry heap all
+    // have backing capacity.
+    for ts in 0..8i64 {
+        for k in 0..16u32 {
+            file(
+                &mut store,
+                JoinSide::Left,
+                pair_match(k, 100 + k, (ts as u64) * 32 + k as u64, ts),
+            );
+            file(
+                &mut store,
+                JoinSide::Right,
+                pair_match(k, 100 + k, (ts as u64) * 32 + 16 + k as u64, ts),
+            );
+        }
+    }
+    // Expire the older half: the sweep's `Vec::retain` compacts each side in
+    // place, so every side keeps 4 matches plus 4 elements of spare capacity,
+    // and the heap keeps its backing storage.
+    let removed = store.expire_older_than(Timestamp::from_secs(4));
+    assert_eq!(removed, 128);
+    assert_eq!(store.len(), 128);
+
+    // Steady state: key projection + single-hash-op probe + contiguous
+    // sibling scan + candidate merge + push into the sides' spare capacity
+    // must not touch the allocator.
     let before = allocations();
     let mut hits = 0usize;
     for i in 0..16u32 {
-        hits += store
-            .candidates(&[VertexId(i), VertexId(100 + (i % 8))])
-            .count();
+        hits += file(
+            &mut store,
+            JoinSide::Right,
+            pair_match(i, 100 + i, 500 + i as u64, 10 + i as i64),
+        );
     }
     assert_eq!(
         allocations(),
         before,
-        "MatchStore::candidates allocated on the probe path"
+        "SharedJoinStore::probe_then_insert allocated on the warm probe path"
     );
-    assert!(hits > 0, "the probes must actually find candidates");
+    assert_eq!(hits, 64, "every probe scans its key's 4 left candidates");
+}
+
+#[test]
+fn exact_expiry_is_allocation_free() {
+    // The heap-scheduled expiry must not allocate either: pops shrink the
+    // heap in place and the per-side sweeps retain-compact the bucket
+    // vectors without reallocating. One full insert-and-drain cycle warms
+    // every capacity, then the measured sweep runs against it.
+    let mut store = SharedJoinStore::new(vec![QueryVertexId(0), QueryVertexId(1)]);
+    for i in 0..128u32 {
+        file(
+            &mut store,
+            JoinSide::Left,
+            pair_match(i, 200 + i, i as u64, i as i64),
+        );
+    }
+    store.expire_older_than(Timestamp::from_secs(1_000_000));
+    for i in 0..128u32 {
+        file(
+            &mut store,
+            JoinSide::Left,
+            pair_match(i, 200 + i, i as u64, 2_000_000 + i as i64),
+        );
+    }
+    let before = allocations();
+    let removed = store.expire_older_than(Timestamp::from_secs(2_000_064));
+    assert_eq!(
+        allocations(),
+        before,
+        "SharedJoinStore::expire_older_than allocated during the sweep"
+    );
+    assert_eq!(removed, 64, "the min-heap sweep is exact");
+    assert_eq!(store.len(), 64);
 }
 
 #[test]

@@ -467,3 +467,77 @@ fn every_reported_match_is_within_its_window() {
     }
     assert!(count > 0, "the scenario should produce at least one match");
 }
+
+// ---------------------------------------------------------------------------
+// Exact expiry
+// ---------------------------------------------------------------------------
+
+/// After stream time advances a full window past the last event, every
+/// partial match is expirable — and with the unified store's exact min-heap
+/// expiry, `partial_matches_live` must read exactly 0 on the single-threaded
+/// AND the sharded path (the retired `MatchStore` FIFO could retain stale
+/// matches behind an in-window head, so this figure used to read high).
+#[test]
+fn partial_matches_drain_to_zero_after_full_window() {
+    use streamworks::workloads::cyber::{CyberConfig, CyberTrafficGenerator};
+    use streamworks::workloads::queries::{labelled_news_query, port_scan_query};
+    use streamworks::workloads::{AttackKind, NewsConfig, NewsStreamGenerator};
+
+    let cyber = CyberTrafficGenerator::new(CyberConfig {
+        hosts: 40,
+        background_edges: 400,
+        attacks: vec![(AttackKind::PortScan, 3)],
+        seed: 9,
+        ..Default::default()
+    })
+    .generate()
+    .events;
+    let news = NewsStreamGenerator::new(NewsConfig {
+        articles: 80,
+        planted_events: vec![("politics".into(), 3)],
+        seed: 4,
+        ..Default::default()
+    })
+    .generate()
+    .events;
+
+    let cases: Vec<(&str, QueryGraph, &[EdgeEvent])> = vec![
+        (
+            "cyber",
+            port_scan_query(3, Duration::from_mins(5)),
+            &cyber[..],
+        ),
+        (
+            "news",
+            labelled_news_query("politics", Duration::from_mins(30)),
+            &news[..],
+        ),
+    ];
+    for (workload, query, events) in cases {
+        for shards in [1usize, 4] {
+            let mut engine = ContinuousQueryEngine::builder()
+                .shards(shards)
+                .build()
+                .unwrap();
+            let handle = engine.register_query(query.clone()).unwrap();
+            engine.ingest(events);
+            let live_before = engine.metrics(handle).unwrap().partial_matches_live;
+            assert!(
+                live_before > 0,
+                "{workload}/shards={shards}: the stream must leave partial state behind"
+            );
+            // Advance stream time a full window past the last event with an
+            // edge no query matches, then prune: everything must drain.
+            let last = events.iter().map(|e| e.timestamp).max().unwrap();
+            let far = Timestamp(last.0 + 100 * query.window().as_micros());
+            engine.ingest(&EdgeEvent::new("x", "Noise", "y", "Noise", "noise", far));
+            engine.prune_now();
+            let metrics = engine.metrics(handle).unwrap();
+            assert_eq!(
+                metrics.partial_matches_live, 0,
+                "{workload}/shards={shards}: exact expiry must drain every partial match"
+            );
+            assert!(metrics.partial_matches_expired >= live_before);
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //!
 //! These tests exercise the service-object contract of the engine: a query
 //! can be registered, matched against, paused, resumed and deregistered at
-//! runtime; after deregistration its `MatchStore` memory is gone (observed
+//! runtime; after deregistration its join-store memory is gone (observed
 //! through the engine's live partial-match accounting) and its handle is
 //! permanently stale.
 
@@ -130,10 +130,10 @@ fn deregistration_releases_partial_match_memory_and_stops_matches() {
     assert_eq!(
         engine.live_partial_matches(),
         keyword_live + location_live,
-        "engine-wide accounting sums the per-query MatchStores"
+        "engine-wide accounting sums the per-query join stores"
     );
 
-    // Deregistering the keyword query frees its MatchStore slots immediately:
+    // Deregistering the keyword query frees its join-store slots immediately:
     // the engine-wide figure drops to exactly the location query's share.
     engine.deregister(keywords).unwrap();
     assert_eq!(engine.live_partial_matches(), location_live);

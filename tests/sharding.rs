@@ -247,3 +247,64 @@ fn sharded_subscription_sees_one_ordered_stream() {
     engine.unsubscribe(sub).unwrap();
     assert_eq!(engine.subscription_count(handle).unwrap(), 0);
 }
+
+/// Store-unification pin: the in-process `SjTreeMatcher` (now running on the
+/// same `SharedJoinStore` + `probe_then_insert` inner loop as the shard
+/// workers) must emit the exact match multiset of a directly-driven
+/// `ShardedMatcher` at 1/2/4/8 shards, on both bundled workloads.
+#[test]
+fn unified_single_thread_matches_sharded_matcher_on_both_workloads() {
+    use streamworks::engine::{ShardedMatcher, SjTreeMatcher};
+    use streamworks::query::Planner;
+    use streamworks::DynamicGraph;
+
+    let cases: Vec<(&str, QueryGraph, Vec<EdgeEvent>)> = vec![
+        (
+            "cyber",
+            port_scan_query(4, Duration::from_mins(5)),
+            cyber_events(),
+        ),
+        (
+            "news",
+            labelled_news_query("politics", Duration::from_mins(30)),
+            news_events(),
+        ),
+    ];
+    for (workload, query, events) in cases {
+        let plan = Planner::new().plan(query).unwrap();
+
+        // Reference: the unified single-threaded matcher.
+        let mut graph = DynamicGraph::unbounded();
+        let mut single = SjTreeMatcher::new(plan.clone(), &graph);
+        let mut expected: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut out = Vec::new();
+        for ev in &events {
+            let r = graph.ingest(ev);
+            let edge = graph.edge(r.edge).unwrap().clone();
+            out.clear();
+            single.process_edge(&graph, &edge, &mut out);
+            for m in &out {
+                *expected.entry(m.signature()).or_insert(0) += 1;
+            }
+        }
+        assert!(
+            !expected.is_empty(),
+            "{workload}: the stream must produce matches"
+        );
+
+        for shards in SHARD_COUNTS {
+            let mut graph = DynamicGraph::unbounded();
+            let mut sharded = ShardedMatcher::new(plan.clone(), &graph, shards, None);
+            for ev in &events {
+                let r = graph.ingest(ev);
+                let edge = graph.edge(r.edge).unwrap().clone();
+                sharded.process_edge(&graph, &edge);
+            }
+            let mut got: BTreeMap<u64, usize> = BTreeMap::new();
+            for (_, m) in sharded.take_completed() {
+                *got.entry(m.signature()).or_insert(0) += 1;
+            }
+            assert_eq!(got, expected, "{workload} shards={shards}");
+        }
+    }
+}
