@@ -1,0 +1,98 @@
+//! Multi-query sharing: throughput of a template-derived query registry with
+//! the canonical primitive index on vs. off.
+//!
+//! StreamWorks is a registry system; this bench measures the scaling lever
+//! the shared primitive index provides. N tenants register instances of the
+//! *labelled pair* template (`MultiTenantGenerator` with
+//! `include_colocation: false`) with labels drawn from a 4-label pool: the
+//! classic detection regime where every query searches on every event but
+//! only the planted bursts ever match, so per-event cost is local search —
+//! exactly what the index deduplicates. The distinct-primitive count stays a
+//! small constant (one entry per label) while the registry grows. With
+//! sharing **on** (`EngineBuilder::shared_matching(true)`, the default),
+//! per-event local search runs once per distinct primitive and fans out;
+//! with sharing **off**, every query runs its own searches — the
+//! `O(#queries)` per-event wall the index removes.
+//!
+//! Expected shape: at 1 query the arms are equal (with one tenant the engine
+//! bypasses the shared path unless a primitive fans out); from 16 queries up
+//! the `shared` arm's throughput flattens while `per_query` decays roughly
+//! linearly in the registry size — the PR 5 acceptance bar is ≥ 3x at 128
+//! queries. Event counts shrink as the registry grows to keep the
+//! sharing-off arm finite; throughput is per event, so arms at one registry
+//! size stay comparable. (A registry that *matches* on most events — the
+//! co-location template — is bounded by match fan-out, not search; the
+//! `exp_throughput --tenants` experiment covers that mixed regime.)
+//!
+//! Set `STREAMWORKS_BENCH_SMOKE=1` to run on CI-sized inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use streamworks_core::ContinuousQueryEngine;
+use streamworks_graph::EdgeEvent;
+use streamworks_query::QueryGraph;
+use streamworks_workloads::{MultiTenantGenerator, NewsConfig, TenantConfig};
+
+fn registry_and_events(queries: usize, events_wanted: usize) -> (Vec<QueryGraph>, Vec<EdgeEvent>) {
+    let workload = MultiTenantGenerator::new(TenantConfig {
+        tenants: queries,
+        include_colocation: false,
+        news: NewsConfig {
+            // Articles are ~4 events each; size the stream to the request.
+            articles: (events_wanted / 4).max(20),
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .generate();
+    let mut queries_vec = workload.queries;
+    queries_vec.truncate(queries);
+    (queries_vec, workload.events)
+}
+
+fn run(queries: &[QueryGraph], events: &[EdgeEvent], shared: bool) -> u64 {
+    let mut engine = ContinuousQueryEngine::builder()
+        .shared_matching(shared)
+        .build()
+        .unwrap();
+    for q in queries {
+        engine.register_query(q.clone()).unwrap();
+    }
+    engine.ingest(events).len() as u64
+}
+
+fn bench_multi_query(c: &mut Criterion) {
+    let smoke = std::env::var_os("STREAMWORKS_BENCH_SMOKE").is_some();
+    let mut group = c.benchmark_group("multi_query");
+    group.sample_size(10);
+
+    for &queries in &[1usize, 16, 128, 1024] {
+        // Keep the sharing-off arm finite at large registry sizes; both arms
+        // of one size see the same stream, and throughput is per event.
+        let events_wanted = if smoke {
+            200
+        } else {
+            match queries {
+                0..=16 => 3_000,
+                17..=128 => 1_200,
+                _ => 400,
+            }
+        };
+        let (registry, events) = registry_and_events(queries, events_wanted);
+        group.throughput(Throughput::Elements(events.len() as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("shared", queries),
+            &(&registry, &events),
+            |b, (registry, events)| b.iter(|| run(registry, events, true)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("per_query", queries),
+            &(&registry, &events),
+            |b, (registry, events)| b.iter(|| run(registry, events, false)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_query);
+criterion_main!(benches);

@@ -4,25 +4,29 @@
 //!
 //! ```text
 //! cargo run --release -p streamworks-bench --bin exp_throughput \
-//!     [-- smoke|small|medium|large] [--shards N]
+//!     [-- smoke|small|medium|large] [--shards N] [--tenants N]
 //! ```
 //!
 //! `--shards N` (default 1) additionally measures the engine with each
-//! query's match state sharded over N worker threads; `smoke` runs one tiny
-//! size without the slow repeated-search baseline (used by CI to exercise
-//! the sharded path on every push).
+//! query's match state sharded over N worker threads; `--tenants N`
+//! additionally measures a multi-tenant template registry (2 queries per
+//! tenant) with the shared primitive index on vs. off, printing the dedup
+//! ratio; `smoke` runs one tiny size without the slow repeated-search
+//! baseline (used by CI to exercise the sharded and shared paths on every
+//! push).
 
 use streamworks_baseline::{NaiveEdgeExpansion, RepeatedSearchMatcher};
 use streamworks_bench::{measure, Table};
 use streamworks_core::{ContinuousQueryEngine, EngineConfig};
 use streamworks_graph::{Duration, DynamicGraph};
 use streamworks_workloads::queries::labelled_news_query;
-use streamworks_workloads::{NewsConfig, NewsStreamGenerator};
+use streamworks_workloads::{MultiTenantGenerator, NewsConfig, NewsStreamGenerator, TenantConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut size = "small".to_owned();
     let mut shards = 1usize;
+    let mut tenants = 0usize;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--shards" {
@@ -31,6 +35,13 @@ fn main() {
                 .and_then(|v| v.parse().ok())
                 .filter(|&n| n >= 1)
                 .expect("--shards takes a positive integer");
+            i += 2;
+        } else if args[i] == "--tenants" {
+            tenants = args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .expect("--tenants takes a positive integer");
             i += 2;
         } else {
             size = args[i].clone();
@@ -163,4 +174,62 @@ fn main() {
         }
     }
     println!("{}", table.render());
+
+    // Multi-tenant template registry: the multi-query sharing regime. One
+    // stream, 2 queries per tenant (labelled pair + co-location pair), the
+    // canonical primitive index on vs. off.
+    if tenants > 0 {
+        let scale = match size.as_str() {
+            "large" => 4_000,
+            "medium" => 1_500,
+            "smoke" => 120,
+            _ => 600,
+        };
+        let workload = MultiTenantGenerator::new(TenantConfig {
+            tenants,
+            news: NewsConfig {
+                articles: scale,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .generate();
+        println!(
+            "\n# E13: multi-tenant registry ({} tenants, {} queries, {} events), shared index on vs. off",
+            tenants,
+            workload.queries.len(),
+            workload.events.len()
+        );
+        let mut table = Table::new(&[
+            "engine", "queries", "edges/s", "us/edge", "matches", "dedup", "saved",
+        ]);
+        for shared in [true, false] {
+            let mut dedup = String::new();
+            let mut saved = String::new();
+            let run = measure(workload.events.len(), || {
+                let mut engine = ContinuousQueryEngine::builder()
+                    .shared_matching(shared)
+                    .build()
+                    .unwrap();
+                for q in &workload.queries {
+                    engine.register_query(q.clone()).unwrap();
+                }
+                let matches = engine.ingest(&workload.events).len() as u64;
+                let m = engine.engine_metrics();
+                dedup = format!("{:.1}x", m.dedup_ratio());
+                saved = m.searches_saved.to_string();
+                matches
+            });
+            table.row(&[
+                if shared { "shared-index" } else { "per-query" }.into(),
+                workload.queries.len().to_string(),
+                format!("{:.0}", run.throughput()),
+                format!("{:.1}", run.mean_latency_us()),
+                run.matches.to_string(),
+                dedup,
+                saved,
+            ]);
+        }
+        println!("{}", table.render());
+    }
 }

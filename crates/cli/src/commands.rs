@@ -97,11 +97,15 @@ COMMANDS:
              and print the SJ-Tree plan with its cost estimate.
   run        --query <q.swq> [--query <q2.swq> ...] --trace <trace.jsonl>
              [--strategy <name>] [--batch N] [--limit N] [--shards N]
-             [--csv <out.csv>] [--jsonl <out>]
+             [--no-share] [--csv <out.csv>] [--jsonl <out>]
              Register the queries and replay the trace in batches of N events
              (default 1024), printing the event table and per-query metrics.
              --shards N > 1 spreads each query's match state over N worker
              threads (join-key sharding); results are identical to --shards 1.
+             Structurally identical leaf primitives across the registered
+             queries share one local search per event (the summary reports
+             the dedup ratio and searches saved); --no-share disables the
+             shared index. Results are identical either way.
   summarize  --trace <trace.jsonl> [--triads N]
              Ingest the trace and print the graph statistics report.
 
@@ -277,7 +281,10 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
         }));
     }
 
-    let mut engine = ContinuousQueryEngine::builder().shards(shards).build()?;
+    let mut engine = ContinuousQueryEngine::builder()
+        .shards(shards)
+        .shared_matching(!opts.has("no-share"))
+        .build()?;
     let mut spec = EventTableSpec::standard();
     for path in query_paths {
         let query = load_query(path)?;
@@ -343,6 +350,18 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
         ]);
     }
     out.push_str(&metrics_table.render());
+    let em = engine.engine_metrics();
+    if em.subscribed_primitives > 0 {
+        out.push_str(&format!(
+            "shared primitive index: {} distinct / {} subscribed ({:.1}x dedup), \
+             {} searches run, {} saved\n",
+            em.distinct_primitives,
+            em.subscribed_primitives,
+            em.dedup_ratio(),
+            em.shared_searches_run,
+            em.searches_saved,
+        ));
+    }
     if !spilled.is_empty() {
         out.push_str(&format!(
             "note: {} exceeded the inline hot-path capacities (>8 vertices or >6 edges); \
@@ -535,6 +554,41 @@ mod tests {
         .unwrap();
         assert!(sharded.contains("2 matches"), "output: {sharded}");
         assert!(sharded.contains("on 2 shards per query"));
+
+        // Registering the same query twice shares its primitives: the
+        // summary surfaces the dedup ratio and searches saved; --no-share
+        // reports the same matches with the index disabled.
+        let query2 = write_query(
+            "pair3.swq",
+            "QUERY pair_b WINDOW 1h\n\
+             MATCH (x1:Article)-[:mentions]->(w:Keyword), (x2:Article)-[:mentions]->(w)\n",
+        );
+        let shared = dispatch(&args(&[
+            "run", "--query", &query, "--query", &query2, "--trace", &trace,
+        ]))
+        .unwrap();
+        assert!(shared.contains("4 matches"), "output: {shared}");
+        assert!(
+            shared.contains("shared primitive index: 1 distinct / 2 subscribed (2.0x dedup)"),
+            "output: {shared}"
+        );
+        assert!(shared.contains("saved"), "output: {shared}");
+        let unshared = dispatch(&args(&[
+            "run",
+            "--query",
+            &query,
+            "--query",
+            &query2,
+            "--trace",
+            &trace,
+            "--no-share",
+        ]))
+        .unwrap();
+        assert!(unshared.contains("4 matches"), "output: {unshared}");
+        assert!(
+            !unshared.contains("shared primitive index"),
+            "output: {unshared}"
+        );
         // A shard count of zero is rejected up front.
         assert!(dispatch(&args(&[
             "run", "--query", &query, "--trace", &trace, "--shards", "0",

@@ -48,7 +48,7 @@ impl fmt::Display for OptionError {
 impl std::error::Error for OptionError {}
 
 /// Flags that take no value (everything else consumes the next argument).
-const SWITCHES: &[&str] = &["json", "quiet", "neighbours"];
+const SWITCHES: &[&str] = &["json", "quiet", "neighbours", "no-share"];
 
 impl Options {
     /// Parses raw arguments (excluding the binary name and subcommand).

@@ -20,21 +20,23 @@
 //! the checkpoint are not re-emitted. This mirrors how a production system
 //! would recover from a write-ahead edge log bounded by the retention horizon.
 //!
-//! **Paused queries come back paused**, and they are paused *before* the
-//! replay: a paused query never observes events that stream past it, and at
-//! restore time the retained edges cannot be split into "arrived before the
-//! pause" and "arrived after", so the conservative choice is to skip the
-//! whole replay for it. Its pre-pause partial matches are therefore not
-//! reconstructed, which makes restore **strictly lossier than an in-process
-//! pause**: a never-restarted engine keeps a paused query's accumulated
-//! partials and can complete them after a resume, while a restored one
-//! starts the query empty and only matches patterns whose every edge
-//! arrives after the restore. The trade is deliberate — replaying *all*
-//! retained edges instead would fabricate partial state from edges the
-//! paused query was never shown, risking matches the original engine could
-//! never have emitted; losing some is safer than inventing any. (Capturing
-//! the pause timestamp and replaying only the prefix would close the gap —
-//! noted on the ROADMAP.)
+//! **Every query comes back with exactly the state it observed.** The
+//! checkpoint records, per query, the *arrival-order intervals* of the
+//! retained edges the query was dispatched — opened at registration and
+//! every resume, closed at every pause — plus each paused query's pause
+//! *timestamp* (for operators). The retained edges are captured in arrival
+//! order, and restore choreographs the replay through those intervals:
+//! every query is dispatched precisely the edges it saw live (a query
+//! registered mid-stream does not absorb earlier edges, a paused query is
+//! paused at the exact boundary, pause/resume cycles skip exactly the gap
+//! they skipped live), so accumulated partial matches are reconstructed
+//! just as the original engine held them and a query **never** observes an
+//! edge the original engine never showed it. Arrival-order cuts are exact
+//! even for events sharing a boundary timestamp and for bounded skew,
+//! where timestamp cuts would straddle the boundary. Checkpoints written
+//! before the field existed fall back to the old conservative behaviour:
+//! running queries get the whole replay, paused queries skip it entirely
+//! and start empty.
 
 use crate::config::EngineConfig;
 use crate::engine::ContinuousQueryEngine;
@@ -55,7 +57,26 @@ pub struct EngineCheckpoint {
     /// existed keep restoring.
     #[serde(default)]
     pub paused: Vec<bool>,
-    /// Live edges of the data graph, in timestamp order.
+    /// Stream time at which each paused query was paused (same order as
+    /// `plans`; `None` for running queries). Informational and round-tripped
+    /// verbatim; the replay cuts themselves use [`Self::observed`], which is
+    /// exact where a timestamp is ambiguous (events at a boundary timestamp,
+    /// bounded skew). Defaults to empty for older checkpoints.
+    #[serde(default)]
+    pub paused_at: Vec<Option<Timestamp>>,
+    /// Arrival-order observation intervals per entry of `plans`: indices
+    /// into [`Self::live_edges`], alternating open/close boundaries
+    /// (registration and every resume open, every pause closes; an odd
+    /// length means the query was observing at capture time). Restore
+    /// dispatches each query exactly the edges inside its intervals.
+    /// Defaults to empty for checkpoints written before the field existed;
+    /// such queries fall back to the old behaviour (running queries get the
+    /// whole replay, paused queries skip it entirely).
+    #[serde(default)]
+    pub observed: Vec<Vec<u64>>,
+    /// Live edges of the data graph, in arrival order (the order the
+    /// original engine ingested them — also the replay order, so a restored
+    /// engine sees the exact arrival sequence the original saw).
     pub live_edges: Vec<EdgeEvent>,
     /// Stream time of the engine when the checkpoint was taken.
     pub taken_at: Timestamp,
@@ -84,7 +105,10 @@ impl EngineCheckpoint {
     /// semantics).
     pub fn capture(engine: &ContinuousQueryEngine) -> Self {
         let graph = engine.graph();
-        let mut live_edges: Vec<EdgeEvent> = graph
+        // Arrival (edge-id) order: the replay then reproduces the exact
+        // ingest sequence, and a paused query's replay prefix is a simple
+        // count of edges ingested before its pause.
+        let mut with_ids: Vec<(u64, EdgeEvent)> = graph
             .edges()
             .map(|edge| {
                 let src = graph
@@ -93,7 +117,7 @@ impl EngineCheckpoint {
                 let dst = graph
                     .vertex(edge.dst)
                     .expect("live edge has live endpoints");
-                EdgeEvent {
+                let event = EdgeEvent {
                     src_key: graph.vertex_key(edge.src).unwrap_or_default().to_owned(),
                     src_type: graph
                         .vertex_type_name(src.vtype)
@@ -110,22 +134,51 @@ impl EngineCheckpoint {
                         .to_owned(),
                     timestamp: edge.timestamp,
                     attrs: edge.attrs.clone(),
-                }
+                };
+                (edge.id.0, event)
             })
             .collect();
-        live_edges.sort_by_key(|e| e.timestamp);
+        with_ids.sort_by_key(|(id, _)| *id);
         let mut plans = Vec::new();
         let mut paused = Vec::new();
+        let mut paused_at = Vec::new();
+        let mut observed = Vec::new();
         for h in engine.handles() {
             let Ok(plan) = engine.plan(h) else { continue };
             plans.push(plan.clone());
             paused.push(engine.is_paused(h).unwrap_or(false));
+            paused_at.push(engine.pause_time(h).unwrap_or(None));
+            // Map the query's arrival-order observation boundaries (edge-id
+            // bounds) onto the retained edge list: edges with id below a
+            // bound sit before its partition point. Intervals left empty by
+            // expiry are dropped so the boundary list stays bounded across
+            // repeated checkpoint/restore generations.
+            let mapped: Vec<u64> = engine
+                .observed_bounds(h)
+                .iter()
+                .map(|&bound| with_ids.partition_point(|(id, _)| *id < bound) as u64)
+                .collect();
+            let mut compact = Vec::with_capacity(mapped.len());
+            let mut k = 0;
+            while k + 1 < mapped.len() {
+                if mapped[k] != mapped[k + 1] {
+                    compact.push(mapped[k]);
+                    compact.push(mapped[k + 1]);
+                }
+                k += 2;
+            }
+            if k < mapped.len() {
+                compact.push(mapped[k]); // the open tail of an observing query
+            }
+            observed.push(compact);
         }
         EngineCheckpoint {
             config: *engine.config(),
             plans,
             paused,
-            live_edges,
+            paused_at,
+            observed,
+            live_edges: with_ids.into_iter().map(|(_, e)| e).collect(),
             taken_at: engine.graph().now(),
             events_emitted: engine.events_emitted(),
         }
@@ -147,15 +200,63 @@ impl EngineCheckpoint {
             .iter()
             .map(|plan| engine.register_plan(plan.clone()))
             .collect();
-        // Re-apply paused flags *before* the replay: a paused query does not
-        // observe replayed events (see the module docs).
-        for (handle, &paused) in handles.iter().zip(&self.paused) {
-            if paused {
-                engine.pause(*handle).expect("freshly registered handle");
+        // Queries with recorded observation intervals start dormant and are
+        // resumed/paused at exactly their boundaries as the (arrival-order)
+        // replay walks forward, so each observes precisely the retained
+        // edges it saw live. Queries without intervals (legacy checkpoints)
+        // keep the old behaviour: running ones observe the whole replay,
+        // paused ones none of it (see the module docs).
+        //
+        // Actions are (boundary, query, per-query sequence): sorting keeps
+        // each query's resume/pause alternation in order even when several
+        // boundaries share one index (an interval emptied by expiry nets to
+        // a no-op instead of flipping the final state).
+        const ACT_RESUME: u8 = 0;
+        const ACT_PAUSE: u8 = 1;
+        let mut actions: Vec<(u64, usize, usize, u8)> = Vec::new();
+        for (i, handle) in handles.iter().enumerate() {
+            let bounds = self.observed.get(i).map(Vec::as_slice).unwrap_or(&[]);
+            if bounds.is_empty() {
+                if self.paused.get(i).copied().unwrap_or(false) {
+                    engine.pause(*handle).expect("freshly registered handle");
+                }
+                continue;
+            }
+            engine.pause(*handle).expect("freshly registered handle");
+            for (k, &bound) in bounds.iter().enumerate() {
+                let kind = if k % 2 == 0 { ACT_RESUME } else { ACT_PAUSE };
+                actions.push((bound, i, k, kind));
             }
         }
+        actions.sort_unstable();
         let mut sink = NullSink;
-        engine.ingest_with(&self.live_edges, &mut sink);
+        let mut start = 0usize;
+        for (bound, qi, _, kind) in actions {
+            let cut = (bound as usize).min(self.live_edges.len());
+            if cut > start {
+                engine.ingest_with(&self.live_edges[start..cut], &mut sink);
+                start = cut;
+            }
+            if kind == ACT_RESUME {
+                engine
+                    .resume(handles[qi])
+                    .expect("freshly registered handle");
+            } else {
+                engine
+                    .pause(handles[qi])
+                    .expect("freshly registered handle");
+            }
+        }
+        if start < self.live_edges.len() {
+            engine.ingest_with(&self.live_edges[start..], &mut sink);
+        }
+        // Keep the original pause times (not the replay's clock), so a
+        // second capture round-trips them verbatim.
+        for (i, handle) in handles.iter().enumerate() {
+            if self.paused.get(i).copied().unwrap_or(false) {
+                engine.set_pause_time(*handle, self.paused_at.get(i).copied().flatten());
+            }
+        }
         // The replayed matches were suppressed; continue the emitted-event
         // counter from where the checkpointed engine left off.
         engine.set_events_emitted(self.events_emitted);
@@ -391,21 +492,273 @@ mod tests {
         );
     }
 
-    #[test]
-    fn paused_query_does_not_observe_the_replay() {
-        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
-        let handle = engine
-            .register_query(pair_query(Duration::from_secs(1_000)))
+    /// Registers the pair query with single-edge primitives, so the SJ-Tree
+    /// genuinely stores partial matches (the default 2-edge decomposition
+    /// collapses the pair into one stateless leaf).
+    fn register_stateful(engine: &mut ContinuousQueryEngine, name: &str) -> crate::QueryHandle {
+        let q = QueryGraphBuilder::new(name)
+            .window(Duration::from_secs(1_000))
+            .vertex("a1", "Article")
+            .vertex("a2", "Article")
+            .vertex("k", "Keyword")
+            .edge("a1", "mentions", "k")
+            .edge("a2", "mentions", "k")
+            .build()
             .unwrap();
+        engine
+            .register_query_with(
+                q,
+                &streamworks_query::SelectivityOrdered {
+                    max_primitive_size: 1,
+                },
+                streamworks_query::TreeShapeKind::LeftDeep,
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn paused_query_observes_exactly_the_pre_pause_prefix() {
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+        let handle = register_stateful(&mut engine, "pair");
+        // One edge before the pause; two after — one of them at the *same*
+        // timestamp as the pause (ties are normal in a stream and a
+        // timestamp cut could not tell it apart; the arrival-order prefix
+        // can).
+        engine.ingest(&ev("a1", "rust", "mentions", 10));
+        engine.pause(handle).unwrap();
+        assert_eq!(
+            engine.pause_time(handle).unwrap(),
+            Some(Timestamp::from_secs(10))
+        );
+        engine.ingest(&ev("b1", "go", "mentions", 10));
+        engine.ingest(&ev("c1", "zig", "mentions", 20));
+
+        // Through JSON, like a real restart.
+        let json = engine.checkpoint().to_json().unwrap();
+        let checkpoint = EngineCheckpoint::from_json(&json).unwrap();
+        assert_eq!(checkpoint.paused, vec![true]);
+        assert_eq!(checkpoint.paused_at, vec![Some(Timestamp::from_secs(10))]);
+        assert_eq!(
+            checkpoint.observed,
+            vec![vec![0, 1]],
+            "only the edge ingested before the pause is in the observed window"
+        );
+
+        let mut restored = checkpoint.restore();
+        let h = restored.handles()[0];
+        assert!(restored.is_paused(h).unwrap());
+        // The pause time survives the restore (and a re-capture) verbatim.
+        assert_eq!(
+            restored.pause_time(h).unwrap(),
+            Some(Timestamp::from_secs(10))
+        );
+        let recapture = restored.checkpoint();
+        assert_eq!(recapture.paused_at, vec![Some(Timestamp::from_secs(10))]);
+        assert_eq!(recapture.observed, vec![vec![0, 1]]);
+        // Exactly the pre-pause prefix was replayed: the paused query holds
+        // its pre-pause partial state (one embedding per leaf of the a1
+        // edge) but never saw the later edges — not even the one sharing
+        // its pause timestamp.
+        let m = restored.metrics(h).unwrap();
+        assert_eq!(m.edges_processed, 1, "only the pre-pause edge was replayed");
+        assert_eq!(m.partial_matches_live, 2);
+
+        // After a resume the rebuilt partial completes, exactly as an
+        // in-process pause would have allowed.
+        restored.resume(h).unwrap();
+        let matches = restored.ingest(&ev("a2", "rust", "mentions", 30));
+        assert_eq!(matches.len(), 2, "pre-pause partial state completes");
+    }
+
+    #[test]
+    fn legacy_checkpoints_without_pause_timestamps_skip_the_replay() {
+        // A checkpoint written before `paused_at` existed restores with the
+        // old conservative behaviour: the paused query observes nothing.
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+        let handle = register_stateful(&mut engine, "pair");
         engine.ingest(&ev("a1", "rust", "mentions", 10));
         engine.pause(handle).unwrap();
 
-        let restored = engine.checkpoint().restore();
+        let mut legacy = engine.checkpoint().to_json().unwrap();
+        for field in ["paused_at", "observed"] {
+            assert!(legacy.contains(&format!("\"{field}\"")));
+            let start = legacy.find(&format!(",\"{field}\":[")).unwrap();
+            // Skip to the matching close bracket (`observed` nests arrays).
+            let mut depth = 0usize;
+            let mut end = start;
+            for (off, c) in legacy[start..].char_indices() {
+                match c {
+                    '[' => depth += 1,
+                    ']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = start + off + 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            legacy = format!("{}{}", &legacy[..start], &legacy[end..]);
+            assert!(!legacy.contains(&format!("\"{field}\"")));
+        }
+
+        let checkpoint = EngineCheckpoint::from_json(&legacy).unwrap();
+        assert!(checkpoint.paused_at.is_empty());
+        assert!(checkpoint.observed.is_empty());
+        let restored = checkpoint.restore();
         let h = restored.handles()[0];
-        // No partial state was rebuilt for the paused query: the replayed
-        // edge streamed past it, exactly as live edges would have.
-        assert_eq!(restored.metrics(h).unwrap().partial_matches_live, 0);
-        assert_eq!(restored.metrics(h).unwrap().edges_processed, 0);
+        assert!(restored.is_paused(h).unwrap());
+        let m = restored.metrics(h).unwrap();
+        assert_eq!(m.edges_processed, 0, "legacy restore replays nothing");
+        assert_eq!(m.partial_matches_live, 0);
+    }
+
+    #[test]
+    fn multiple_pause_timestamps_split_the_replay_per_query() {
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+        let early = register_stateful(&mut engine, "early");
+        let late = register_stateful(&mut engine, "late");
+        engine.ingest(&ev("a1", "rust", "mentions", 10));
+        engine.pause(early).unwrap();
+        engine.ingest(&ev("b1", "go", "mentions", 20));
+        engine.pause(late).unwrap();
+        engine.ingest(&ev("c1", "zig", "mentions", 30));
+
+        let restored = engine.checkpoint().restore();
+        let handles = restored.handles();
+        let m_early = restored.metrics(handles[0]).unwrap();
+        let m_late = restored.metrics(handles[1]).unwrap();
+        assert_eq!(m_early.edges_processed, 1, "paused after ts=10");
+        assert_eq!(m_late.edges_processed, 2, "paused after ts=20");
+        // Both hold exactly their pre-pause partials (one per leaf per edge
+        // they observed).
+        assert_eq!(m_early.partial_matches_live, 2);
+        assert_eq!(m_late.partial_matches_live, 4);
+        // The restored engine matches what the never-restarted one reports.
+        assert_eq!(
+            engine.metrics(early).unwrap().partial_matches_live,
+            m_early.partial_matches_live
+        );
+        assert_eq!(
+            engine.metrics(late).unwrap().partial_matches_live,
+            m_late.partial_matches_live
+        );
+    }
+
+    #[test]
+    fn late_registered_query_does_not_absorb_earlier_edges_on_restore() {
+        // A query registered mid-stream never observed the edges that came
+        // before it; the restore replay must not fabricate partial state
+        // from them, even though they are retained for the graph.
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+        engine.ingest(&ev("a0", "rust", "mentions", 5));
+        let handle = register_stateful(&mut engine, "pair");
+        engine.ingest(&ev("a1", "rust", "mentions", 10));
+        engine.pause(handle).unwrap();
+        engine.ingest(&ev("b1", "go", "mentions", 20));
+
+        let checkpoint = engine.checkpoint();
+        assert_eq!(
+            checkpoint.observed,
+            vec![vec![1, 2]],
+            "the query observed only the second retained edge"
+        );
+        let mut restored = checkpoint.restore();
+        let h = restored.handles()[0];
+        let m = restored.metrics(h).unwrap();
+        assert_eq!(m.edges_processed, 1);
+        assert_eq!(
+            m.partial_matches_live, 2,
+            "partials from a1 only; a0 predates the registration"
+        );
+
+        // A completing article pairs only with a1 — matching the live
+        // engine, which never filed a partial for a0 either.
+        restored.resume(h).unwrap();
+        let from_restored = restored.ingest(&ev("a2", "rust", "mentions", 30));
+        engine.resume(handle).unwrap();
+        let from_live = engine.ingest(&ev("a2", "rust", "mentions", 30));
+        assert_eq!(from_live.len(), 2);
+        assert_eq!(from_restored.len(), from_live.len());
+    }
+
+    #[test]
+    fn pause_resume_cycles_skip_exactly_the_gap_on_restore() {
+        // A query that paused and resumed mid-stream missed the gap; the
+        // restore replay must skip exactly those edges, not flatten the
+        // history into one prefix.
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+        let handle = register_stateful(&mut engine, "pair");
+        engine.ingest(&ev("a1", "rust", "mentions", 10));
+        engine.pause(handle).unwrap();
+        engine.ingest(&ev("g1", "rust", "mentions", 20)); // missed live
+        engine.resume(handle).unwrap();
+        engine.ingest(&ev("a2", "zig", "mentions", 30));
+
+        let checkpoint = engine.checkpoint();
+        assert_eq!(checkpoint.paused, vec![false]);
+        assert_eq!(
+            checkpoint.observed,
+            vec![vec![0, 1, 2]],
+            "observed [0,1) and [2, open): the gap edge is excluded"
+        );
+        let mut restored = checkpoint.restore();
+        let h = restored.handles()[0];
+        assert!(!restored.is_paused(h).unwrap());
+        let m = restored.metrics(h).unwrap();
+        assert_eq!(m.edges_processed, 2, "the gap edge was not dispatched");
+        assert_eq!(
+            m.partial_matches_live,
+            engine.metrics(handle).unwrap().partial_matches_live
+        );
+
+        // The never-restarted and restored engines agree on what completes:
+        // a3 on rust pairs with a1 only (g1 was never observed by the query).
+        let from_live = engine.ingest(&ev("a3", "rust", "mentions", 40));
+        let from_restored = restored.ingest(&ev("a3", "rust", "mentions", 40));
+        assert_eq!(from_live.len(), 2);
+        assert_eq!(from_restored.len(), from_live.len());
+    }
+
+    #[test]
+    fn replan_cuts_the_observed_window_so_restore_reproduces_the_gap() {
+        // Replan discards the old plan's partial matches; a later restore
+        // must not resurrect them from the replay.
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+        let handle = register_stateful(&mut engine, "pair");
+        engine.ingest(&ev("a1", "rust", "mentions", 10));
+        assert_eq!(engine.metrics(handle).unwrap().partial_matches_live, 2);
+        engine
+            .replan(
+                handle,
+                &streamworks_query::SelectivityOrdered {
+                    max_primitive_size: 1,
+                },
+                streamworks_query::TreeShapeKind::LeftDeep,
+            )
+            .unwrap();
+        assert_eq!(engine.metrics(handle).unwrap().partial_matches_live, 0);
+
+        let checkpoint = engine.checkpoint();
+        assert_eq!(
+            checkpoint.observed,
+            vec![vec![1]],
+            "the observed window restarts at the replan"
+        );
+        let mut restored = checkpoint.restore();
+        let h = restored.handles()[0];
+        assert_eq!(
+            restored.metrics(h).unwrap().partial_matches_live,
+            0,
+            "the discarded partials stay discarded"
+        );
+        // Live and restored agree: the completing edge matches nothing,
+        // because the a1 partial died at the replan in both worlds.
+        let live = engine.ingest(&ev("a2", "rust", "mentions", 20));
+        let replayed = restored.ingest(&ev("a2", "rust", "mentions", 20));
+        assert_eq!(live.len(), 0);
+        assert_eq!(replayed.len(), live.len());
     }
 
     #[test]

@@ -49,6 +49,24 @@ pub struct EngineConfig {
     /// existed keep restoring.
     #[serde(default = "default_shards")]
     pub shards: usize,
+    /// Whether registered queries share anchored local searches through the
+    /// engine's canonical primitive index (`true`, the default): isomorphic
+    /// SJ-Tree leaf primitives across — and within — queries are searched
+    /// once per event and fanned out to every subscriber, making the
+    /// per-event cost of a registry of template-derived queries
+    /// `O(#distinct primitives)` instead of `O(#queries)`. Matching results
+    /// are identical either way; disable to measure the sharing win
+    /// (`multi_query` bench) or to force strictly per-query execution.
+    /// Defaults to `true` when absent from serialized form.
+    #[serde(default = "default_shared_matching")]
+    pub shared_matching: bool,
+}
+
+/// Serde fallback for [`EngineConfig::shared_matching`]: checkpoints written
+/// before the shared index existed restore with sharing enabled (results are
+/// identical; only the dispatch strategy differs).
+fn default_shared_matching() -> bool {
+    true
 }
 
 /// Serde fallback for [`EngineConfig::shards`]: pre-sharding checkpoints
@@ -67,6 +85,7 @@ impl Default for EngineConfig {
             maintain_summary: true,
             summary: SummaryConfig::full(),
             shards: 1,
+            shared_matching: true,
         }
     }
 }
@@ -212,6 +231,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables or disables multi-query sharing through the canonical
+    /// primitive index (see [`EngineConfig::shared_matching`]; `true` by
+    /// default). The emitted match multiset is identical either way.
+    pub fn shared_matching(mut self, enabled: bool) -> Self {
+        self.config.shared_matching = enabled;
+        self
+    }
+
     /// Sets the summary configuration used when summaries are maintained.
     pub fn summary_config(mut self, config: SummaryConfig) -> Self {
         self.config.summary = config;
@@ -299,6 +326,24 @@ mod tests {
         let config: EngineConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(config.shards, 1);
         assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn configs_serialized_before_the_shared_matching_field_still_deserialize() {
+        let mut json = serde_json::to_string(&EngineConfig::default()).unwrap();
+        assert!(json.contains("\"shared_matching\""));
+        json = json.replace(",\"shared_matching\":true", "");
+        assert!(!json.contains("\"shared_matching\""));
+        let config: EngineConfig = serde_json::from_str(&json).unwrap();
+        assert!(config.shared_matching, "legacy configs share by default");
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn shared_matching_builder_toggle() {
+        let engine = EngineBuilder::new().shared_matching(false).build().unwrap();
+        assert!(!engine.config().shared_matching);
+        assert!(EngineConfig::default().shared_matching);
     }
 
     #[test]

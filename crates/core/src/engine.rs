@@ -21,8 +21,9 @@ use crate::error::EngineError;
 use crate::event::{CollectingSink, EventSink, MatchEvent, QueryId};
 use crate::handle::{QueryHandle, SubscriptionId};
 use crate::ingest::Ingest;
-use crate::metrics::{QueryMetrics, ShardMetrics};
+use crate::metrics::{EngineMetrics, QueryMetrics, ShardMetrics};
 use crate::parallel::ShardedMatcher;
+use crate::shared_index::{Delivery, SharedPrimitiveIndex};
 use crate::sj_matcher::SjTreeMatcher;
 use streamworks_graph::{
     Duration, DynamicGraph, EdgeEvent, EdgeId, GraphConfig, GraphStats, Timestamp, TypeId,
@@ -164,6 +165,31 @@ impl QueryExec {
 struct QueryState {
     exec: QueryExec,
     paused: bool,
+    /// Stream time when the query was paused (`None` while running). Carried
+    /// into checkpoints so restore can replay exactly the pre-pause prefix.
+    paused_at: Option<Timestamp>,
+    /// Arrival-order boundaries of the intervals this query has observed:
+    /// registration and every resume push an opening bound (the graph's
+    /// ingested-edge count), every pause pushes a closing bound — so an odd
+    /// length means the query is currently observing. An edge was shown to
+    /// the query iff its id falls in one of the `[open, close)` intervals.
+    /// Checkpoint restore replays exactly these intervals to the query;
+    /// timestamps alone could not cut a replay exactly (ties and bounded
+    /// skew straddle the boundaries), and a single pause bound could not
+    /// represent mid-stream registration or pause/resume cycles.
+    observed: Vec<u64>,
+    /// True when every SJ-Tree leaf of the query is interned in the shared
+    /// primitive index: with sharing active, the query's local searches run
+    /// through the index and its matcher only receives remapped embeddings.
+    /// False (pathologically symmetric primitive, or sharing disabled) keeps
+    /// the query on the classic per-query dispatch path.
+    shared: bool,
+    /// Shared-dispatch events accounted over closed active intervals (the
+    /// per-query `edges_processed` contribution of the shared path).
+    shared_edges_accum: u64,
+    /// `SharedPrimitiveIndex::shared_events` at the start of the current
+    /// active interval.
+    shared_edges_base: u64,
     /// Per-query subscriptions, in subscription order.
     subscribers: Vec<(u64, Box<dyn EventSink>)>,
 }
@@ -184,6 +210,40 @@ impl QuerySlot {
     }
 }
 
+/// Drops leading *closed* observation intervals lying wholly behind the
+/// live-edge horizon: none of their edges can appear in a checkpoint's
+/// retained set any more, so they can never affect a replay. Keeps the
+/// boundary list bounded under indefinite pause/resume churn.
+fn trim_observed(observed: &mut Vec<u64>, live_horizon: u64) {
+    let mut drop = 0;
+    while drop + 1 < observed.len() && observed[drop + 1] <= live_horizon {
+        drop += 2;
+    }
+    if drop > 0 {
+        observed.drain(..drop);
+    }
+}
+
+/// Delivers one complete match to the query's subscriptions and the
+/// call-level sink — the single emission point every dispatch path (the
+/// classic per-query loop, the shared-index fan-out, and the sharded
+/// fan-in flush) goes through, so emission semantics cannot diverge
+/// between paths.
+fn deliver_match(
+    handle: QueryHandle,
+    query: &QueryGraph,
+    graph: &DynamicGraph,
+    m: &PartialMatch,
+    subscribers: &mut [(u64, Box<dyn EventSink>)],
+    sink: &mut dyn EventSink,
+) {
+    let event = MatchEvent::from_match(handle, query, graph, m);
+    for (_, subscriber) in subscribers.iter_mut() {
+        subscriber.on_match(event.clone());
+    }
+    sink.on_match(event);
+}
+
 /// The StreamWorks continuous-query engine.
 pub struct ContinuousQueryEngine {
     config: EngineConfig,
@@ -199,6 +259,21 @@ pub struct ContinuousQueryEngine {
     /// change (register / deregister / pause / resume), so paused or
     /// deregistered queries cost nothing per event.
     dispatch: Vec<u32>,
+    /// The multi-query sharing layer: every index-covered query's SJ-Tree
+    /// leaves, interned by canonical primitive so one anchored local search
+    /// per distinct primitive serves every subscriber.
+    shared: SharedPrimitiveIndex,
+    /// True while the shared dispatch path is in use: sharing is enabled and
+    /// at least one interned primitive fans out to two or more active
+    /// subscriptions. Recomputed on every lifecycle change; with no overlap
+    /// the engine stays on the classic per-query path (identical results,
+    /// zero sharing overhead).
+    sharing_active: bool,
+    /// Live, unpaused queries *not* covered by the shared index — dispatched
+    /// classically even while `sharing_active`.
+    classic_dispatch: Vec<u32>,
+    /// Reusable buffer of the current event's fan-out work.
+    delivery_scratch: Vec<Delivery>,
     /// Monotonic token generator for subscription ids.
     next_subscription: u64,
     /// Type info of live edges, used to update the summary on expiry.
@@ -241,6 +316,10 @@ impl ContinuousQueryEngine {
             queries: Vec::new(),
             free_slots: Vec::new(),
             dispatch: Vec::new(),
+            shared: SharedPrimitiveIndex::default(),
+            sharing_active: false,
+            classic_dispatch: Vec::new(),
+            delivery_scratch: Vec::new(),
             next_subscription: 0,
             live_edge_types: EdgeTypeSlab::default(),
             edges_since_prune: 0,
@@ -311,26 +390,38 @@ impl ContinuousQueryEngine {
     /// by an earlier [`Self::deregister`] is re-occupied (under a fresh
     /// generation, so the old occupant's handles stay stale) before the slot
     /// table grows.
+    ///
+    /// With [`EngineConfig::shared_matching`] enabled (the default), every
+    /// leaf primitive of the plan's SJ-Tree is interned into the engine's
+    /// canonical primitive index at this point: leaves isomorphic to a
+    /// primitive some registered query (or this one) already watches share
+    /// one anchored local search per event instead of each running their
+    /// own.
     pub fn register_plan(&mut self, plan: QueryPlan) -> QueryHandle {
         self.extend_retention(plan.query.window());
-        let state = QueryState {
-            exec: self.build_exec(plan),
-            paused: false,
-            subscribers: Vec::new(),
-        };
         let index = match self.free_slots.pop() {
-            Some(i) => {
-                self.queries[i as usize].state = Some(state);
-                i as usize
-            }
+            Some(i) => i as usize,
             None => {
                 self.queries.push(QuerySlot {
                     generation: 0,
-                    state: Some(state),
+                    state: None,
                 });
                 self.queries.len() - 1
             }
         };
+        let shared = self.config.shared_matching
+            && self.shared.subscribe_plan(index as u32, &plan, &self.graph);
+        let state = QueryState {
+            exec: self.build_exec(plan),
+            paused: false,
+            paused_at: None,
+            observed: vec![self.graph.ingested_edge_count()],
+            shared,
+            shared_edges_accum: 0,
+            shared_edges_base: self.shared.shared_events(),
+            subscribers: Vec::new(),
+        };
+        self.queries[index].state = Some(state);
         self.rebuild_dispatch();
         QueryHandle::new(QueryId(index), self.queries[index].generation)
     }
@@ -379,6 +470,9 @@ impl ContinuousQueryEngine {
         slot.state = None;
         slot.generation = slot.generation.wrapping_add(1);
         self.free_slots.push(handle.id().0 as u32);
+        // Release the query's shared-index subscriptions; entries it was the
+        // last subscriber of are freed.
+        self.shared.unsubscribe_slot(handle.id().0 as u32);
         self.rebuild_dispatch();
         Ok(())
     }
@@ -388,9 +482,23 @@ impl ContinuousQueryEngine {
     /// paused query is zero because the dispatch table is rebuilt without it.
     /// Pausing an already-paused query is a no-op.
     pub fn pause(&mut self, handle: QueryHandle) -> Result<(), EngineError> {
+        let now = self.graph.now();
+        let bound = self.graph.ingested_edge_count();
+        let live_horizon = self.observed_live_horizon();
+        let shared_events = self.shared.shared_events();
         let state = self.state_mut(handle)?;
         if !state.paused {
             state.paused = true;
+            state.paused_at = Some(now);
+            state.observed.push(bound);
+            trim_observed(&mut state.observed, live_horizon);
+            state.shared_edges_accum += shared_events - state.shared_edges_base;
+            let drop_from_fanout = state.shared;
+            if drop_from_fanout {
+                // The query leaves the shared fan-out; an entry whose
+                // subscribers are all paused stops being searched entirely.
+                self.shared.set_active(handle.id().0 as u32, false);
+            }
             self.rebuild_dispatch();
         }
         Ok(())
@@ -401,9 +509,20 @@ impl ContinuousQueryEngine {
     /// missed, exactly as for a query registered late. Resuming an unpaused
     /// query is a no-op.
     pub fn resume(&mut self, handle: QueryHandle) -> Result<(), EngineError> {
+        let bound = self.graph.ingested_edge_count();
+        let live_horizon = self.observed_live_horizon();
+        let shared_events = self.shared.shared_events();
         let state = self.state_mut(handle)?;
         if state.paused {
             state.paused = false;
+            state.paused_at = None;
+            state.observed.push(bound);
+            trim_observed(&mut state.observed, live_horizon);
+            state.shared_edges_base = shared_events;
+            let rejoin_fanout = state.shared;
+            if rejoin_fanout {
+                self.shared.set_active(handle.id().0 as u32, true);
+            }
             self.rebuild_dispatch();
         }
         Ok(())
@@ -412,6 +531,48 @@ impl ContinuousQueryEngine {
     /// Whether the query is currently paused.
     pub fn is_paused(&self, handle: QueryHandle) -> Result<bool, EngineError> {
         Ok(self.state(handle)?.paused)
+    }
+
+    /// Stream time at which the query was paused, `None` while it is
+    /// running. Captured into [`crate::EngineCheckpoint`] so a restore can
+    /// replay exactly the pre-pause prefix of the retained edges to a paused
+    /// query.
+    pub fn pause_time(&self, handle: QueryHandle) -> Result<Option<Timestamp>, EngineError> {
+        Ok(self.state(handle)?.paused_at)
+    }
+
+    /// Arrival-order observation boundaries of a query: registration and
+    /// every resume open an interval (the graph's ingested-edge count at
+    /// that moment), every pause closes one, so an odd length means the
+    /// query is currently observing. An edge was shown to the query iff its
+    /// id falls in one of the `[open, close)` intervals. These are the
+    /// exact cuts [`crate::EngineCheckpoint::capture`] records so restore
+    /// can replay to each query precisely what it observed — timestamps
+    /// alone cannot (ties and skew straddle the boundaries), and neither
+    /// can a single prefix (mid-stream registration, pause/resume cycles).
+    pub(crate) fn observed_bounds(&self, handle: QueryHandle) -> &[u64] {
+        self.state(handle)
+            .map(|s| s.observed.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Edge-id bound below which no edge is live any more (every retained
+    /// edge has an id at or above it) — the horizon behind which observation
+    /// intervals are dead weight.
+    fn observed_live_horizon(&self) -> u64 {
+        self.graph
+            .oldest_live_edge_id()
+            .map(|id| id.0)
+            .unwrap_or_else(|| self.graph.ingested_edge_count())
+    }
+
+    /// Overrides a paused query's recorded pause time (checkpoint restore
+    /// re-applies the original timestamp after the prefix replay, so a
+    /// second capture round-trips it verbatim).
+    pub(crate) fn set_pause_time(&mut self, handle: QueryHandle, at: Option<Timestamp>) {
+        if let Ok(state) = self.state_mut(handle) {
+            state.paused_at = at;
+        }
     }
 
     /// Re-plans an already-registered query using the engine's *current*
@@ -424,7 +585,10 @@ impl ContinuousQueryEngine {
     /// under the old plan are discarded (they are keyed to the old SJ-Tree
     /// shape), so matches whose first edges arrived before the re-plan and
     /// whose last edges arrive after it may be missed — call it during quiet
-    /// periods or accept the gap, exactly as a production system would.
+    /// periods or accept the gap, exactly as a production system would. A
+    /// checkpoint taken later reproduces the same gap: restore replays only
+    /// post-replan edges to the query, never reconstructing the discarded
+    /// partials.
     pub fn replan(
         &mut self,
         handle: QueryHandle,
@@ -436,8 +600,35 @@ impl ContinuousQueryEngine {
             .with_statistics(&self.summary, &self.graph)
             .tree_kind(tree_kind)
             .plan_with(query, strategy)?;
+        // Re-intern under the new plan's leaves: the old subscriptions are
+        // released (freeing entries this query was the last subscriber of)
+        // and the new decomposition subscribes afresh.
+        let id = handle.id().0 as u32;
+        self.shared.unsubscribe_slot(id);
+        let shared =
+            self.config.shared_matching && self.shared.subscribe_plan(id, &plan, &self.graph);
+        let shared_events = self.shared.shared_events();
+        let bound = self.graph.ingested_edge_count();
         let exec = self.build_exec(plan);
-        self.state_mut(handle)?.exec = exec;
+        let state = self.state_mut(handle)?;
+        state.exec = exec;
+        state.shared = shared;
+        state.shared_edges_accum = 0;
+        state.shared_edges_base = shared_events;
+        // The old plan's partial matches are discarded (see the method
+        // docs), so the observed-replay window restarts here too: a
+        // checkpoint restore must not reconstruct partials from edges whose
+        // state this replan just dropped.
+        state.observed.clear();
+        if !state.paused {
+            state.observed.push(bound);
+        }
+        let paused = state.paused;
+        if paused && shared {
+            // subscribe_plan activates; a paused query stays out of fan-out.
+            self.shared.set_active(id, false);
+        }
+        self.rebuild_dispatch();
         Ok(())
     }
 
@@ -464,9 +655,40 @@ impl ContinuousQueryEngine {
 
     /// Metrics of a registered query. For a sharded query the snapshot
     /// aggregates the driver's local-search counters with every shard's
-    /// join/store counters.
+    /// join/store counters. For an index-covered query the shared dispatch
+    /// path's contribution is folded in — `edges_processed` counts every
+    /// event dispatched while the query was active, and
+    /// `local_search_candidates` attributes each shared search's work to
+    /// every query it served — so the counters read the same whether the
+    /// query's searches ran privately or through the shared index.
     pub fn metrics(&self, handle: QueryHandle) -> Result<QueryMetrics, EngineError> {
-        Ok(self.state(handle)?.exec.metrics())
+        let state = self.state(handle)?;
+        let mut m = state.exec.metrics();
+        if state.shared {
+            let mut shared_edges = state.shared_edges_accum;
+            if !state.paused {
+                shared_edges += self.shared.shared_events() - state.shared_edges_base;
+            }
+            m.edges_processed += shared_edges;
+            m.local_search_candidates += self.shared.slot_candidates(handle.id().0 as u32);
+        }
+        Ok(m)
+    }
+
+    /// Engine-level counters of the multi-query sharing subsystem: distinct
+    /// vs. subscribed primitives (the dedup ratio), searches run and saved,
+    /// embeddings found and fanned out. All zero while no query is
+    /// registered or [`EngineConfig::shared_matching`] is disabled.
+    pub fn engine_metrics(&self) -> EngineMetrics {
+        self.shared.metrics()
+    }
+
+    /// True while events are dispatched through the shared primitive index:
+    /// sharing is enabled and at least one distinct primitive currently fans
+    /// out to two or more active query leaves. With no structural overlap
+    /// the engine stays on the per-query path.
+    pub fn sharing_active(&self) -> bool {
+        self.sharing_active
     }
 
     /// Per-shard counters of a registered query: `Some` with one
@@ -567,11 +789,21 @@ impl ContinuousQueryEngine {
 
     fn rebuild_dispatch(&mut self) {
         self.dispatch.clear();
+        self.classic_dispatch.clear();
         for (i, slot) in self.queries.iter().enumerate() {
-            if matches!(&slot.state, Some(state) if !state.paused) {
-                self.dispatch.push(i as u32);
+            if let Some(state) = &slot.state {
+                if !state.paused {
+                    self.dispatch.push(i as u32);
+                    if !state.shared {
+                        self.classic_dispatch.push(i as u32);
+                    }
+                }
             }
         }
+        // The shared path only pays off (and only changes the work profile)
+        // when some primitive actually fans out; otherwise every query stays
+        // on the classic loop and the index lies dormant.
+        self.sharing_active = self.config.shared_matching && self.shared.sharing_possible();
     }
 
     fn slot_mut(&mut self, handle: QueryHandle) -> Result<&mut QuerySlot, EngineError> {
@@ -680,11 +912,14 @@ impl ContinuousQueryEngine {
                 .state
                 .as_mut()
                 .expect("matches were collected from a live slot");
-            let event = MatchEvent::from_match(handle, &state.exec.plan().query, graph, m);
-            for (_, subscriber) in &mut state.subscribers {
-                subscriber.on_match(event.clone());
-            }
-            sink.on_match(event);
+            deliver_match(
+                handle,
+                &state.exec.plan().query,
+                graph,
+                m,
+                &mut state.subscribers,
+                sink,
+            );
             emitted += 1;
         }
         self.events_emitted += emitted as u64;
@@ -756,13 +991,70 @@ impl ContinuousQueryEngine {
             }
         }
 
-        // 3. Run every live, unpaused matcher (the dispatch table). Sharded
-        // matchers only route here — their completed matches surface at the
-        // next quiescent point (see `flush_sharded`).
+        // 3. Matching. With sharing active, the anchored local search runs
+        // once per distinct primitive in the shared index and every
+        // embedding is fanned out — remapped through the subscriber's vertex
+        // permutation — to each subscribing query's leaf, where the
+        // per-query join climb proceeds exactly as on the classic path;
+        // queries not covered by the index keep the classic loop. Without
+        // sharing, every live, unpaused matcher (the dispatch table) runs
+        // its own search. Sharded matchers only route here — their completed
+        // matches surface at the next quiescent point (see `flush_sharded`).
         let mut emitted = 0usize;
         let mut complete = std::mem::take(&mut self.match_scratch);
         let graph = &self.graph;
-        for &idx in &self.dispatch {
+        if self.sharing_active {
+            self.shared.search_edge(graph, edge);
+            let mut deliveries = std::mem::take(&mut self.delivery_scratch);
+            deliveries.clear();
+            self.shared.collect_deliveries(&mut deliveries);
+            // (slot, leaf) order mirrors the classic loop's per-event query
+            // order, so subscribers observe the same stream either way.
+            deliveries.sort_unstable();
+            let mut delivered = 0u64;
+            for d in &deliveries {
+                let (results, sub) = self.shared.delivery(d);
+                delivered += results.len() as u64;
+                let slot = &mut self.queries[sub.slot as usize];
+                let handle = QueryHandle::new(QueryId(sub.slot as usize), slot.generation);
+                let state = slot
+                    .state
+                    .as_mut()
+                    .expect("the fan-out only lists live queries");
+                match &mut state.exec {
+                    QueryExec::Single(matcher) => {
+                        complete.clear();
+                        for m in results {
+                            matcher.absorb_embedding(sub.leaf, sub.remap(m), &mut complete);
+                        }
+                        for m in complete.drain(..) {
+                            deliver_match(
+                                handle,
+                                &matcher.plan().query,
+                                graph,
+                                &m,
+                                &mut state.subscribers,
+                                sink,
+                            );
+                            emitted += 1;
+                        }
+                    }
+                    QueryExec::Sharded(sharded) => {
+                        for m in results {
+                            sharded.absorb_embedding_at(sub.leaf, sub.remap(m), seq);
+                        }
+                    }
+                }
+            }
+            self.shared.add_deliveries(delivered);
+            self.delivery_scratch = deliveries;
+        }
+        let classic = if self.sharing_active {
+            &self.classic_dispatch
+        } else {
+            &self.dispatch
+        };
+        for &idx in classic {
             let slot = &mut self.queries[idx as usize];
             let handle = QueryHandle::new(QueryId(idx as usize), slot.generation);
             let state = slot
@@ -779,11 +1071,14 @@ impl ContinuousQueryEngine {
             complete.clear();
             matcher.process_edge(graph, edge, &mut complete);
             for m in complete.drain(..) {
-                let event = MatchEvent::from_match(handle, &matcher.plan().query, graph, &m);
-                for (_, subscriber) in &mut state.subscribers {
-                    subscriber.on_match(event.clone());
-                }
-                sink.on_match(event);
+                deliver_match(
+                    handle,
+                    &matcher.plan().query,
+                    graph,
+                    &m,
+                    &mut state.subscribers,
+                    sink,
+                );
                 emitted += 1;
             }
         }
@@ -1126,6 +1421,35 @@ mod tests {
         ]);
         assert!(location_buffer.is_empty());
         assert_eq!(engine.subscription_count(location_q).unwrap(), 0);
+    }
+
+    #[test]
+    fn observed_boundaries_stay_bounded_under_pause_resume_churn() {
+        // A service throttling a query with periodic pause/resume must not
+        // accumulate observation boundaries forever: intervals wholly behind
+        // the retention horizon are trimmed as new boundaries are pushed.
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+        let handle = engine
+            .register_query(common_keyword_query(Duration::from_secs(5)))
+            .unwrap();
+        for i in 0..50i64 {
+            // Events 1000s apart with a 5s window: everything expires.
+            engine.ingest(&ev(
+                &format!("a{i}"),
+                "Article",
+                "k",
+                "Keyword",
+                "mentions",
+                i * 1_000,
+            ));
+            engine.pause(handle).unwrap();
+            engine.resume(handle).unwrap();
+        }
+        assert!(
+            engine.observed_bounds(handle).len() <= 4,
+            "boundaries behind the live horizon are trimmed, got {:?}",
+            engine.observed_bounds(handle)
+        );
     }
 
     #[test]

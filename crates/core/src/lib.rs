@@ -62,6 +62,7 @@ mod local_search;
 mod match_store;
 mod metrics;
 mod parallel;
+mod shared_index;
 mod sj_matcher;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveReplanner, ReplanDecision, ReplanStrategy};
@@ -79,6 +80,6 @@ pub use handle::{QueryHandle, SubscriptionId};
 pub use ingest::{EventBatch, Ingest};
 pub use local_search::{find_primitive_matches, LocalSearchStats};
 pub use match_store::{JoinKey, JoinSide, SharedJoinStore};
-pub use metrics::{QueryMetrics, ShardMetrics};
+pub use metrics::{EngineMetrics, QueryMetrics, ShardMetrics};
 pub use parallel::{ParallelRunOutcome, ParallelRunner, ShardedMatcher};
 pub use sj_matcher::SjTreeMatcher;

@@ -79,6 +79,60 @@ impl QueryMetrics {
     }
 }
 
+/// Engine-level counters of the multi-query sharing subsystem (the canonical
+/// primitive index — see `ARCHITECTURE.md`'s "query registration & sharing"
+/// layer).
+///
+/// The headline figure is the **dedup ratio**: how many subscribed leaf
+/// primitives are served per distinct interned primitive. With sharing
+/// active, the engine runs one anchored local search per distinct primitive
+/// per event instead of one per subscription, so `searches_saved` counts the
+/// per-query searches that never had to run. Obtained from
+/// [`crate::ContinuousQueryEngine::engine_metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineMetrics {
+    /// Live distinct primitives in the shared index (interned canonical
+    /// forms with at least one subscription).
+    pub distinct_primitives: u64,
+    /// Live subscriptions (one per SJ-Tree leaf of every registered,
+    /// index-covered query).
+    pub subscribed_primitives: u64,
+    /// Anchored local searches actually run by the shared dispatch path.
+    pub shared_searches_run: u64,
+    /// Anchored searches the per-query path would have run in addition
+    /// (one per extra active subscriber of every search run).
+    pub searches_saved: u64,
+    /// Embeddings produced by shared searches (pre-fan-out, canonical space).
+    pub shared_embeddings: u64,
+    /// Embeddings delivered to subscriber leaves (post-fan-out; one shared
+    /// embedding counts once per receiving subscription).
+    pub fanout_deliveries: u64,
+}
+
+impl EngineMetrics {
+    /// Subscribed-to-distinct primitive ratio: `1.0` means no structural
+    /// overlap between registered queries, `N` means each distinct primitive
+    /// serves `N` query leaves on average. (`1.0` when the index is empty.)
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.distinct_primitives == 0 {
+            1.0
+        } else {
+            self.subscribed_primitives as f64 / self.distinct_primitives as f64
+        }
+    }
+
+    /// Fraction of all would-be anchored searches that the shared index
+    /// eliminated (`0.0` when nothing has been searched yet).
+    pub fn search_savings_rate(&self) -> f64 {
+        let total = self.shared_searches_run + self.searches_saved;
+        if total == 0 {
+            0.0
+        } else {
+            self.searches_saved as f64 / total as f64
+        }
+    }
+}
+
 /// Counters for one shard of a sharded single-query matcher
 /// (see `crate::ShardedMatcher`).
 ///

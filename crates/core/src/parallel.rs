@@ -702,26 +702,54 @@ impl ShardedMatcher {
         primitives.clear();
         self.front
             .primitive_matches_into(graph, edge, &mut primitives);
-        let root = self.front.plan().shape.root();
         for (leaf, m) in primitives.drain(..) {
-            if leaf == root {
-                // Single-primitive plan: a leaf embedding is already complete.
-                if m.spilled() {
-                    self.driver_spills += 1;
-                }
-                self.completed.push((seq, m));
-            } else {
-                let owner = owner_of(&m, self.front.plan().shape.join_key(leaf), self.shards);
-                self.route_buffers[owner].push(RoutedMatch { node: leaf, seq, m });
-                if self.route_buffers[owner].len() >= ROUTE_BATCH {
-                    self.flush_route_to(owner);
-                }
-            }
+            self.route_embedding(leaf, m, seq);
         }
         self.primitive_scratch = primitives;
         // Opportunistic drain keeps the fan-in channel shallow mid-batch.
         while let Ok(results) = self.results_rx.try_recv() {
             self.completed.extend(results);
+        }
+    }
+
+    /// Feeds one embedding produced by the engine's shared primitive index
+    /// (already remapped into this query's vertex/edge space) into the
+    /// sharded execution at `leaf`, stamped with stream position `seq` —
+    /// the same routing tail as [`Self::process_edge_at`], minus the local
+    /// search (the shared index ran it). `seq` only advances the matcher's
+    /// position when it moves forward, since many embeddings of one event
+    /// share a position.
+    pub(crate) fn absorb_embedding_at(&mut self, leaf: SjNodeId, m: PartialMatch, seq: u64) {
+        if seq >= self.seq {
+            self.seq = seq + 1;
+        }
+        self.front.note_shared_embedding();
+        self.route_embedding(leaf, m, seq);
+        // Opportunistic drain keeps the fan-in channel shallow mid-batch.
+        while let Ok(results) = self.results_rx.try_recv() {
+            self.completed.extend(results);
+        }
+    }
+
+    /// Routes one embedding into the sharded execution: a root-leaf
+    /// embedding (single-primitive plan) is already a complete match and
+    /// stays on the driver; anything else goes to the shard owning its join
+    /// key, batched per [`ROUTE_BATCH`]. The single routing step both entry
+    /// points — per-query local search and shared-index fan-out — go
+    /// through.
+    fn route_embedding(&mut self, leaf: SjNodeId, m: PartialMatch, seq: u64) {
+        let root = self.front.plan().shape.root();
+        if leaf == root {
+            if m.spilled() {
+                self.driver_spills += 1;
+            }
+            self.completed.push((seq, m));
+        } else {
+            let owner = owner_of(&m, self.front.plan().shape.join_key(leaf), self.shards);
+            self.route_buffers[owner].push(RoutedMatch { node: leaf, seq, m });
+            if self.route_buffers[owner].len() >= ROUTE_BATCH {
+                self.flush_route_to(owner);
+            }
         }
     }
 

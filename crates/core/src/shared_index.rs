@@ -1,0 +1,809 @@
+//! Multi-query sharing: the canonical primitive index.
+//!
+//! StreamWorks is a registry system — many standing queries watch one stream
+//! — and registries built from shared templates contain many *structurally
+//! identical* SJ-Tree leaf primitives. Without sharing, the engine's
+//! per-event cost is `O(#queries)`: every registered query runs its own
+//! anchored local search for every incoming edge, even when a thousand
+//! queries would search for exactly the same shape.
+//!
+//! [`SharedPrimitiveIndex`] is the layer between registration and matching
+//! that removes that multiplier:
+//!
+//! * At [`register_plan`](crate::ContinuousQueryEngine::register_plan) time,
+//!   every leaf primitive of the query's SJ-Tree is canonicalized
+//!   ([`streamworks_query::CanonicalPrimitive`]) and **interned** by its
+//!   structural fingerprint. Isomorphic primitives (same typed edges,
+//!   directions, predicates and window, under any query-vertex renaming)
+//!   share one entry; an explicit canonical-form equality check behind the
+//!   hash guarantees a fingerprint collision can never merge non-isomorphic
+//!   primitives. Entries are refcounted by their subscriptions: the last
+//!   deregistration frees the entry.
+//! * Per event, the engine runs the anchored local search **once per
+//!   distinct primitive** — against the entry's canonical pattern, through
+//!   the same `find_primitive_matches_anchored` front end the per-query
+//!   matchers use — and fans each embedding out to every *active* subscribing
+//!   query's leaf, remapping bindings through the subscriber's precomputed
+//!   vertex/edge permutation. Paused queries drop out of the fan-out (an
+//!   entry whose subscribers are all paused is not searched at all).
+//!
+//! The index also keeps the engine-level dedup counters surfaced as
+//! [`crate::EngineMetrics`], and per-subscription accounting that lets
+//! [`crate::QueryMetrics::local_search_candidates`] stay exact per query even
+//! though the search ran once for many queries.
+
+use crate::binding::{Binding, PartialMatch};
+use crate::constraints::CompiledConstraints;
+use crate::local_search::{find_primitive_matches_anchored, LocalSearchStats};
+use crate::metrics::EngineMetrics;
+use smallvec::SmallVec;
+use streamworks_graph::hash::FxHashMap;
+use streamworks_graph::{DynamicGraph, Edge, TypeId};
+use streamworks_query::{
+    CanonicalPrimitive, QueryEdgeId, QueryGraph, QueryPlan, QueryVertexId, SjNodeId,
+};
+
+/// One query's subscription to a shared primitive entry: which SJ-Tree leaf
+/// the embeddings feed, and how canonical-space bindings translate into the
+/// subscriber's query-vertex space.
+#[derive(Debug)]
+pub(crate) struct Subscriber {
+    /// The subscribing query's slot index.
+    pub slot: u32,
+    /// The SJ-Tree leaf of the subscriber that this primitive realises.
+    pub leaf: SjNodeId,
+    /// Canonical vertex id → subscriber query vertex.
+    vertex_map: Vec<QueryVertexId>,
+    /// Canonical edge position → subscriber query edge.
+    edge_map: Vec<QueryEdgeId>,
+    /// The subscriber query's total vertex count (binding slot table size).
+    vertex_count: usize,
+    /// False while the subscriber is paused: it drops out of the fan-out.
+    active: bool,
+    /// Entry candidate counter at the start of the current active interval.
+    cand_base: u64,
+    /// Candidates attributed over closed active intervals.
+    cand_accum: u64,
+}
+
+impl Subscriber {
+    /// Translates a canonical-space embedding into the subscriber's query
+    /// space: bindings move through the vertex permutation, covered edges
+    /// through the edge permutation, timestamps are preserved.
+    pub fn remap(&self, m: &PartialMatch) -> PartialMatch {
+        let mut binding = Binding::new(self.vertex_count);
+        for (canon_v, dv) in m.binding.iter() {
+            let bound = binding.bind(self.vertex_map[canon_v.0], dv);
+            debug_assert!(bound, "a bijective renaming preserves injectivity");
+        }
+        let mut edges: SmallVec<(QueryEdgeId, streamworks_graph::EdgeId), 6> = SmallVec::new();
+        for &(qe, de) in &m.edges {
+            edges.push((self.edge_map[qe.0], de));
+        }
+        edges.as_mut_slice().sort_unstable_by_key(|(q, _)| *q);
+        PartialMatch {
+            binding,
+            edges,
+            earliest: m.earliest,
+            latest: m.latest,
+        }
+    }
+}
+
+/// One interned distinct primitive.
+#[derive(Debug)]
+struct Entry {
+    /// The canonical form (fingerprint + the equality check behind it).
+    canon: CanonicalPrimitive,
+    /// The canonical pattern the shared local search runs against
+    /// (standalone query graph in canonical vertex/edge space, carrying the
+    /// subscribers' common window).
+    pattern: QueryGraph,
+    /// All of `pattern`'s edge ids (the primitive-edge slice for the search).
+    pattern_edges: Vec<QueryEdgeId>,
+    /// Type constraints of `pattern`, resolved against the data graph.
+    constraints: CompiledConstraints,
+    /// Subscribing (query, leaf) pairs, refcounting the entry.
+    subscribers: Vec<Subscriber>,
+    /// Subscribers currently active (not paused).
+    active_subs: usize,
+    /// Cumulative local-search candidates examined by this entry's searches.
+    candidates: u64,
+    /// Embeddings found for the current event (canonical space).
+    results: Vec<PartialMatch>,
+    /// `shared_events` stamp of the last event that touched this entry.
+    last_touched: u64,
+}
+
+/// A pending fan-out unit of one event: entry `entry`'s results go to
+/// subscriber `sub` of that entry. Sort key fields first, so the engine can
+/// deliver in deterministic (slot, leaf) order.
+pub(crate) type Delivery = (u32, u32, u32, u32); // (slot, leaf, entry, sub)
+
+/// The canonical primitive index (see the module docs).
+#[derive(Debug, Default)]
+pub(crate) struct SharedPrimitiveIndex {
+    /// Entry slots; freed entries are `None` and re-occupied via `free`.
+    entries: Vec<Option<Entry>>,
+    free: Vec<u32>,
+    /// Fingerprint → entry indices. More than one index under a hash is a
+    /// fingerprint collision: `CanonicalPrimitive::matches` decides.
+    by_hash: FxHashMap<u64, Vec<u32>>,
+    /// Query slot → entries it subscribes to (one per leaf; duplicates when
+    /// several leaves of one query intern to the same entry).
+    per_slot: FxHashMap<u32, Vec<u32>>,
+    /// Per resolved edge type, the (entry, canonical anchor edge) pairs a new
+    /// edge of that type could realise — the cross-query twin of the
+    /// matcher's per-type anchor dispatch.
+    anchors_by_type: FxHashMap<TypeId, Vec<(u32, QueryEdgeId)>>,
+    /// Anchors whose canonical edge has no type constraint.
+    anchors_any: Vec<(u32, QueryEdgeId)>,
+    /// Graph schema version the anchor tables were resolved against.
+    seen_schema: u64,
+    /// Entries changed since the anchor tables were last rebuilt.
+    anchors_dirty: bool,
+    /// Entries touched (searched) by the current event.
+    touched: Vec<u32>,
+    /// Scratch for the per-event anchor list.
+    anchor_scratch: Vec<(u32, QueryEdgeId)>,
+    /// Events processed through the shared dispatch path.
+    shared_events: u64,
+    /// Anchored searches actually run.
+    searches_run: u64,
+    /// Anchored searches saved vs. the per-query path (`active_subs - 1` per
+    /// search run).
+    searches_saved: u64,
+    /// Embeddings produced by shared searches (pre-fan-out).
+    embeddings_found: u64,
+    /// Embeddings delivered to subscriber leaves (post-fan-out).
+    deliveries: u64,
+}
+
+impl SharedPrimitiveIndex {
+    /// Subscribes every SJ-Tree leaf of `plan` under query slot `slot`,
+    /// interning each leaf's canonical primitive. Returns `false` — with no
+    /// subscriptions left behind — if any leaf cannot be canonicalized
+    /// (pathologically symmetric primitive); such a query is matched
+    /// classically instead.
+    pub fn subscribe_plan(&mut self, slot: u32, plan: &QueryPlan, graph: &DynamicGraph) -> bool {
+        debug_assert!(
+            !self.per_slot.contains_key(&slot),
+            "slot must be unsubscribed before re-subscribing"
+        );
+        let mut entries_of_slot = Vec::with_capacity(plan.shape.leaves().len());
+        for &leaf in plan.shape.leaves() {
+            let edges = plan.shape.primitive_edges(leaf);
+            let Some(canon) = CanonicalPrimitive::build(&plan.query, edges) else {
+                // Roll back the leaves already subscribed for this slot.
+                self.per_slot.insert(slot, entries_of_slot);
+                self.unsubscribe_slot(slot);
+                return false;
+            };
+            let entry_idx = self.intern(&canon, &plan.query, graph);
+            let entry = self.entries[entry_idx as usize]
+                .as_mut()
+                .expect("interned entry is live");
+            entry.subscribers.push(Subscriber {
+                slot,
+                leaf,
+                vertex_map: canon.vertex_order().to_vec(),
+                edge_map: canon.edge_order().to_vec(),
+                vertex_count: plan.query.vertex_count(),
+                active: true,
+                cand_base: entry.candidates,
+                cand_accum: 0,
+            });
+            entry.active_subs += 1;
+            entries_of_slot.push(entry_idx);
+        }
+        self.per_slot.insert(slot, entries_of_slot);
+        self.anchors_dirty = true;
+        true
+    }
+
+    /// Removes every subscription of `slot`. Entries left without
+    /// subscribers are freed (the refcount discipline: the last
+    /// deregistration releases the shared state).
+    pub fn unsubscribe_slot(&mut self, slot: u32) {
+        let Some(mut entry_indices) = self.per_slot.remove(&slot) else {
+            return;
+        };
+        entry_indices.sort_unstable();
+        entry_indices.dedup();
+        for idx in entry_indices {
+            let entry = self.entries[idx as usize]
+                .as_mut()
+                .expect("subscribed entry is live");
+            entry.subscribers.retain(|s| {
+                if s.slot == slot {
+                    if s.active {
+                        entry.active_subs -= 1;
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+            if entry.subscribers.is_empty() {
+                let fingerprint = entry.canon.fingerprint();
+                self.entries[idx as usize] = None;
+                self.free.push(idx);
+                if let Some(chain) = self.by_hash.get_mut(&fingerprint) {
+                    chain.retain(|&i| i != idx);
+                    if chain.is_empty() {
+                        self.by_hash.remove(&fingerprint);
+                    }
+                }
+            }
+        }
+        self.anchors_dirty = true;
+    }
+
+    /// Activates or deactivates every subscription of `slot` (pause/resume).
+    /// Inactive subscriptions drop out of the fan-out, and an entry with no
+    /// active subscriber is not searched at all.
+    pub fn set_active(&mut self, slot: u32, active: bool) {
+        let Some(entry_indices) = self.per_slot.get(&slot) else {
+            return;
+        };
+        for &idx in entry_indices {
+            let entry = self.entries[idx as usize]
+                .as_mut()
+                .expect("subscribed entry is live");
+            let candidates = entry.candidates;
+            for sub in entry.subscribers.iter_mut().filter(|s| s.slot == slot) {
+                if sub.active == active {
+                    continue;
+                }
+                sub.active = active;
+                if active {
+                    entry.active_subs += 1;
+                    sub.cand_base = candidates;
+                } else {
+                    entry.active_subs -= 1;
+                    sub.cand_accum += candidates - sub.cand_base;
+                }
+            }
+        }
+    }
+
+    /// True if at least one entry fans out to two or more active
+    /// subscriptions — the condition under which the shared dispatch path
+    /// can save work over the per-query path.
+    pub fn sharing_possible(&self) -> bool {
+        self.entries.iter().flatten().any(|e| e.active_subs >= 2)
+    }
+
+    /// Events processed through the shared dispatch path so far (the basis
+    /// of per-query `edges_processed` accounting in shared mode).
+    pub fn shared_events(&self) -> u64 {
+        self.shared_events
+    }
+
+    /// Local-search candidates attributable to `slot`: what its own searches
+    /// would have examined, summed over its subscriptions' active intervals.
+    pub fn slot_candidates(&self, slot: u32) -> u64 {
+        let Some(entry_indices) = self.per_slot.get(&slot) else {
+            return 0;
+        };
+        // `per_slot` lists one entry per leaf, so an entry shared by several
+        // leaves of this query appears several times; the inner loop already
+        // sums every subscription of the slot, so visit each entry once.
+        let mut entry_indices = entry_indices.clone();
+        entry_indices.sort_unstable();
+        entry_indices.dedup();
+        let mut total = 0u64;
+        for idx in entry_indices {
+            let entry = self.entries[idx as usize]
+                .as_ref()
+                .expect("subscribed entry is live");
+            for sub in entry.subscribers.iter().filter(|s| s.slot == slot) {
+                total += sub.cand_accum;
+                if sub.active {
+                    total += entry.candidates - sub.cand_base;
+                }
+            }
+        }
+        total
+    }
+
+    /// Runs the shared local search for one incoming edge: every entry whose
+    /// canonical pattern has an anchor compatible with the edge's type — and
+    /// at least one active subscriber — is searched exactly once per anchor.
+    /// Embeddings accumulate in the entries' result buffers until the engine
+    /// fans them out; [`Self::collect_deliveries`] lists the pending work.
+    pub fn search_edge(&mut self, graph: &DynamicGraph, edge: &Edge) {
+        self.shared_events += 1;
+        self.touched.clear();
+
+        let schema = graph.schema_version();
+        if self.seen_schema != schema {
+            for entry in self.entries.iter_mut().flatten() {
+                entry.constraints.refresh(&entry.pattern, graph);
+            }
+            self.seen_schema = schema;
+            self.anchors_dirty = true;
+        }
+        if self.anchors_dirty {
+            self.rebuild_anchors();
+        }
+
+        let mut anchors = std::mem::take(&mut self.anchor_scratch);
+        anchors.clear();
+        if let Some(typed) = self.anchors_by_type.get(&edge.etype) {
+            anchors.extend_from_slice(typed);
+        }
+        anchors.extend_from_slice(&self.anchors_any);
+
+        for &(idx, anchor) in &anchors {
+            let entry = self.entries[idx as usize]
+                .as_mut()
+                .expect("anchor tables only reference live entries");
+            if entry.active_subs == 0 {
+                continue;
+            }
+            if entry.last_touched != self.shared_events {
+                entry.last_touched = self.shared_events;
+                entry.results.clear();
+                self.touched.push(idx);
+            }
+            let mut stats = LocalSearchStats::default();
+            find_primitive_matches_anchored(
+                graph,
+                &entry.pattern,
+                &entry.constraints,
+                &entry.pattern_edges,
+                anchor,
+                edge,
+                entry.pattern.window(),
+                &mut entry.results,
+                &mut stats,
+            );
+            entry.candidates += stats.candidates_examined;
+            self.searches_run += 1;
+            self.searches_saved += (entry.active_subs - 1) as u64;
+            self.embeddings_found += stats.matches_found;
+        }
+        self.anchor_scratch = anchors;
+    }
+
+    /// Appends one [`Delivery`] per (touched entry with embeddings, active
+    /// subscriber) pair of the current event. The tuples sort by
+    /// (slot, leaf), giving the engine the same per-event query order as the
+    /// classic dispatch loop.
+    pub fn collect_deliveries(&self, out: &mut Vec<Delivery>) {
+        for &idx in &self.touched {
+            let entry = self.entries[idx as usize]
+                .as_ref()
+                .expect("touched entries are live");
+            if entry.results.is_empty() {
+                continue;
+            }
+            for (si, sub) in entry.subscribers.iter().enumerate() {
+                if sub.active {
+                    out.push((sub.slot, sub.leaf.0 as u32, idx, si as u32));
+                }
+            }
+        }
+    }
+
+    /// Resolves one [`Delivery`] to the entry's canonical embeddings and the
+    /// receiving subscription.
+    pub fn delivery(&self, d: &Delivery) -> (&[PartialMatch], &Subscriber) {
+        let entry = self.entries[d.2 as usize]
+            .as_ref()
+            .expect("deliveries reference live entries");
+        (&entry.results, &entry.subscribers[d.3 as usize])
+    }
+
+    /// Accounts embeddings fanned out to subscriber leaves.
+    pub fn add_deliveries(&mut self, n: u64) {
+        self.deliveries += n;
+    }
+
+    /// Engine-level dedup counters (see [`EngineMetrics`]).
+    pub fn metrics(&self) -> EngineMetrics {
+        let mut distinct = 0u64;
+        let mut subscribed = 0u64;
+        for entry in self.entries.iter().flatten() {
+            distinct += 1;
+            subscribed += entry.subscribers.len() as u64;
+        }
+        EngineMetrics {
+            distinct_primitives: distinct,
+            subscribed_primitives: subscribed,
+            shared_searches_run: self.searches_run,
+            searches_saved: self.searches_saved,
+            shared_embeddings: self.embeddings_found,
+            fanout_deliveries: self.deliveries,
+        }
+    }
+
+    /// Interns a canonical primitive: returns the existing entry when an
+    /// isomorphic one (same canonical form **and** window) is live, checking
+    /// full canonical equality behind the fingerprint so hash collisions
+    /// never merge distinct primitives.
+    fn intern(
+        &mut self,
+        canon: &CanonicalPrimitive,
+        query: &QueryGraph,
+        graph: &DynamicGraph,
+    ) -> u32 {
+        if let Some(chain) = self.by_hash.get(&canon.fingerprint()) {
+            for &idx in chain {
+                let entry = self.entries[idx as usize]
+                    .as_ref()
+                    .expect("hash chains only reference live entries");
+                if entry.pattern.window() == query.window() && entry.canon.matches(canon) {
+                    return idx;
+                }
+            }
+        }
+        let pattern = canon.pattern(query);
+        let pattern_edges: Vec<QueryEdgeId> = pattern.edge_ids().collect();
+        let constraints = CompiledConstraints::compile(&pattern, graph);
+        let entry = Entry {
+            canon: canon.clone(),
+            pattern,
+            pattern_edges,
+            constraints,
+            subscribers: Vec::new(),
+            active_subs: 0,
+            candidates: 0,
+            results: Vec::new(),
+            last_touched: 0,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.entries[i as usize] = Some(entry);
+                i
+            }
+            None => {
+                self.entries.push(Some(entry));
+                (self.entries.len() - 1) as u32
+            }
+        };
+        self.by_hash
+            .entry(canon.fingerprint())
+            .or_default()
+            .push(idx);
+        idx
+    }
+
+    /// Rebuilds the per-type anchor dispatch tables from the live entries'
+    /// resolved constraints.
+    fn rebuild_anchors(&mut self) {
+        self.anchors_by_type.clear();
+        self.anchors_any.clear();
+        for (idx, entry) in self.entries.iter().enumerate() {
+            let Some(entry) = entry else { continue };
+            for &qe in &entry.pattern_edges {
+                match entry.constraints.edge_type_filter(qe) {
+                    Err(()) => {} // type unseen by the graph: nothing matches yet
+                    Ok(Some(t)) => self
+                        .anchors_by_type
+                        .entry(t)
+                        .or_default()
+                        .push((idx as u32, qe)),
+                    Ok(None) => self.anchors_any.push((idx as u32, qe)),
+                }
+            }
+        }
+        self.anchors_dirty = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamworks_graph::{Duration, EdgeEvent, Timestamp};
+    use streamworks_query::{Planner, QueryGraphBuilder, SelectivityOrdered};
+
+    fn pair_plan(name: &str, a1: &str, a2: &str) -> QueryPlan {
+        let q = QueryGraphBuilder::new(name)
+            .window(Duration::from_hours(1))
+            .vertex(a1, "Article")
+            .vertex(a2, "Article")
+            .vertex("k", "Keyword")
+            .edge(a1, "mentions", "k")
+            .edge(a2, "mentions", "k")
+            .build()
+            .unwrap();
+        Planner::new()
+            .plan_with(
+                q,
+                &SelectivityOrdered {
+                    max_primitive_size: 1,
+                },
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn isomorphic_leaves_intern_to_one_entry() {
+        let graph = DynamicGraph::unbounded();
+        let mut index = SharedPrimitiveIndex::default();
+        // Two queries × two isomorphic single-edge leaves each: one entry,
+        // four subscriptions.
+        assert!(index.subscribe_plan(0, &pair_plan("q0", "a1", "a2"), &graph));
+        assert!(index.subscribe_plan(1, &pair_plan("q1", "x", "y"), &graph));
+        let m = index.metrics();
+        assert_eq!(m.distinct_primitives, 1);
+        assert_eq!(m.subscribed_primitives, 4);
+        assert!(index.sharing_possible());
+
+        // Last unsubscription frees the entry.
+        index.unsubscribe_slot(0);
+        assert_eq!(index.metrics().distinct_primitives, 1);
+        index.unsubscribe_slot(1);
+        let m = index.metrics();
+        assert_eq!(m.distinct_primitives, 0);
+        assert_eq!(m.subscribed_primitives, 0);
+        assert!(!index.sharing_possible());
+    }
+
+    #[test]
+    fn different_windows_do_not_share() {
+        let graph = DynamicGraph::unbounded();
+        let mut index = SharedPrimitiveIndex::default();
+        index.subscribe_plan(0, &pair_plan("q0", "a1", "a2"), &graph);
+        let q = QueryGraphBuilder::new("q1")
+            .window(Duration::from_secs(30))
+            .vertex("a1", "Article")
+            .vertex("a2", "Article")
+            .vertex("k", "Keyword")
+            .edge("a1", "mentions", "k")
+            .edge("a2", "mentions", "k")
+            .build()
+            .unwrap();
+        let plan = Planner::new()
+            .plan_with(
+                q,
+                &SelectivityOrdered {
+                    max_primitive_size: 1,
+                },
+            )
+            .unwrap();
+        index.subscribe_plan(1, &plan, &graph);
+        // Same structure, different window: two distinct entries.
+        assert_eq!(index.metrics().distinct_primitives, 2);
+    }
+
+    #[test]
+    fn forced_fingerprint_collisions_stay_separate_entries() {
+        // Adversarial case: two non-isomorphic primitives forced onto one
+        // fingerprint must chain under the hash, never merge.
+        let path = QueryGraphBuilder::new("p")
+            .window(Duration::from_secs(60))
+            .vertex("a", "IP")
+            .vertex("b", "IP")
+            .vertex("c", "IP")
+            .edge("a", "flow", "b")
+            .edge("b", "flow", "c")
+            .build()
+            .unwrap();
+        let fan = QueryGraphBuilder::new("f")
+            .window(Duration::from_secs(60))
+            .vertex("a", "IP")
+            .vertex("b", "IP")
+            .vertex("c", "IP")
+            .edge("a", "flow", "b")
+            .edge("a", "flow", "c")
+            .build()
+            .unwrap();
+        let edges: Vec<QueryEdgeId> = path.edge_ids().collect();
+        let cp = CanonicalPrimitive::build(&path, &edges).unwrap();
+        let mut cf = CanonicalPrimitive::build(&fan, &edges).unwrap();
+        cf.force_fingerprint_for_tests(cp.fingerprint());
+
+        let graph = DynamicGraph::unbounded();
+        let mut index = SharedPrimitiveIndex::default();
+        let e1 = index.intern(&cp, &path, &graph);
+        let e2 = index.intern(&cf, &fan, &graph);
+        assert_ne!(e1, e2, "collision must not merge non-isomorphic entries");
+        assert_eq!(index.by_hash[&cp.fingerprint()].len(), 2);
+        // Re-interning either finds its own entry.
+        assert_eq!(index.intern(&cp, &path, &graph), e1);
+        assert_eq!(index.intern(&cf, &fan, &graph), e2);
+    }
+
+    #[test]
+    fn search_runs_once_and_fans_out_remapped_embeddings() {
+        let mut graph = DynamicGraph::unbounded();
+        let mut index = SharedPrimitiveIndex::default();
+        let plan0 = pair_plan("q0", "a1", "a2");
+        let plan1 = pair_plan("q1", "x", "y");
+        index.subscribe_plan(0, &plan0, &graph);
+        index.subscribe_plan(1, &plan1, &graph);
+
+        let r = graph.ingest(&EdgeEvent::new(
+            "art",
+            "Article",
+            "rust",
+            "Keyword",
+            "mentions",
+            Timestamp::from_secs(1),
+        ));
+        let edge = graph.edge(r.edge).unwrap().clone();
+        index.search_edge(&graph, &edge);
+
+        let m = index.metrics();
+        // One entry, two anchors (the two canonical... single-edge leaves
+        // collapse to one canonical edge), searched once per anchor with 4
+        // subscriptions active: 3 searches saved per search run.
+        assert_eq!(m.shared_searches_run, 1);
+        assert_eq!(m.searches_saved, 3);
+        assert_eq!(m.shared_embeddings, 1);
+
+        let mut deliveries = Vec::new();
+        index.collect_deliveries(&mut deliveries);
+        assert_eq!(deliveries.len(), 4, "one delivery per subscription");
+        deliveries.sort_unstable();
+        // Remap lands the embedding in each subscriber's own vertex space.
+        let (results, sub) = index.delivery(&deliveries[0]);
+        assert_eq!(results.len(), 1);
+        let remapped = sub.remap(&results[0]);
+        assert_eq!(remapped.edge_count(), 1);
+        assert_eq!(remapped.binding.bound_count(), 2);
+        assert_eq!(remapped.earliest, Timestamp::from_secs(1));
+        // The two leaves of q0 bind different query edges after remap.
+        let (_, sub_a) = index.delivery(&deliveries[0]);
+        let (_, sub_b) = index.delivery(&deliveries[1]);
+        assert_eq!(sub_a.slot, 0);
+        assert_eq!(sub_b.slot, 0);
+        let ra = sub_a.remap(&results[0]);
+        let rb = sub_b.remap(&results[0]);
+        assert_ne!(ra.edges[0].0, rb.edges[0].0);
+    }
+
+    /// Default (2-edge-primitive) decomposition: the pair query collapses to
+    /// one leaf whose search genuinely walks the neighbourhood, so candidate
+    /// attribution is observable.
+    fn pair_plan_wide(name: &str, a1: &str, a2: &str) -> QueryPlan {
+        let q = QueryGraphBuilder::new(name)
+            .window(Duration::from_hours(1))
+            .vertex(a1, "Article")
+            .vertex(a2, "Article")
+            .vertex("k", "Keyword")
+            .edge(a1, "mentions", "k")
+            .edge(a2, "mentions", "k")
+            .build()
+            .unwrap();
+        Planner::new().plan(q).unwrap()
+    }
+
+    #[test]
+    fn candidate_attribution_counts_each_subscription_once() {
+        // One query whose two leaves intern to the SAME entry (two isomorphic
+        // article wedges): per_slot lists the entry twice, and attribution
+        // must still charge each subscription exactly once per search.
+        use streamworks_query::ManualDecomposition;
+        let wedge_pair = QueryGraphBuilder::new("wedges")
+            .window(Duration::from_hours(1))
+            .vertex("a1", "Article")
+            .vertex("a2", "Article")
+            .vertex("k", "Keyword")
+            .vertex("l", "Location")
+            .edge("a1", "mentions", "k") // 0
+            .edge("a2", "mentions", "k") // 1
+            .edge("a1", "located", "l") // 2
+            .edge("a2", "located", "l") // 3
+            .build()
+            .unwrap();
+        let plan = Planner::new()
+            .plan_with(
+                wedge_pair,
+                &ManualDecomposition::new(vec![
+                    vec![QueryEdgeId(0), QueryEdgeId(2)],
+                    vec![QueryEdgeId(1), QueryEdgeId(3)],
+                ]),
+            )
+            .unwrap();
+        // Reference: a single-wedge query — the same canonical primitive,
+        // subscribed once.
+        let single = QueryGraphBuilder::new("wedge")
+            .window(Duration::from_hours(1))
+            .vertex("a", "Article")
+            .vertex("k", "Keyword")
+            .vertex("l", "Location")
+            .edge("a", "mentions", "k")
+            .edge("a", "located", "l")
+            .build()
+            .unwrap();
+        let single_plan = Planner::new().plan(single).unwrap();
+
+        let mut graph = DynamicGraph::unbounded();
+        let mut index = SharedPrimitiveIndex::default();
+        assert!(index.subscribe_plan(0, &plan, &graph));
+        assert!(index.subscribe_plan(1, &single_plan, &graph));
+        assert_eq!(index.metrics().distinct_primitives, 1);
+        assert_eq!(index.metrics().subscribed_primitives, 3);
+
+        for (i, (dst, dtype, etype)) in [
+            ("rust", "Keyword", "mentions"),
+            ("paris", "Location", "located"),
+            ("go", "Keyword", "mentions"),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let r = graph.ingest(&EdgeEvent::new(
+                "art",
+                "Article",
+                *dst,
+                *dtype,
+                *etype,
+                Timestamp::from_secs(i as i64),
+            ));
+            let edge = graph.edge(r.edge).unwrap().clone();
+            index.search_edge(&graph, &edge);
+        }
+        let pair_share = index.slot_candidates(0);
+        let single_share = index.slot_candidates(1);
+        assert!(single_share > 0, "the wedge search walks the neighbourhood");
+        assert_eq!(
+            pair_share,
+            2 * single_share,
+            "two subscriptions of one entry are charged exactly twice the \
+             single subscription's share, not four times"
+        );
+    }
+
+    #[test]
+    fn paused_subscribers_drop_out_of_search_and_fanout() {
+        let mut graph = DynamicGraph::unbounded();
+        let mut index = SharedPrimitiveIndex::default();
+        index.subscribe_plan(0, &pair_plan_wide("q0", "a1", "a2"), &graph);
+        index.subscribe_plan(1, &pair_plan_wide("q1", "x", "y"), &graph);
+        index.set_active(0, false);
+
+        let feed = |graph: &mut DynamicGraph,
+                    index: &mut SharedPrimitiveIndex,
+                    src: &str,
+                    dst: &str,
+                    t: i64| {
+            let r = graph.ingest(&EdgeEvent::new(
+                src,
+                "Article",
+                dst,
+                "Keyword",
+                "mentions",
+                Timestamp::from_secs(t),
+            ));
+            let edge = graph.edge(r.edge).unwrap().clone();
+            index.search_edge(graph, &edge);
+        };
+        feed(&mut graph, &mut index, "art1", "rust", 1);
+        let mut deliveries = Vec::new();
+        index.collect_deliveries(&mut deliveries);
+        feed(&mut graph, &mut index, "art2", "rust", 2);
+        index.collect_deliveries(&mut deliveries);
+        assert!(
+            !deliveries.is_empty(),
+            "the second mention completes a pair"
+        );
+        assert!(
+            deliveries.iter().all(|d| d.0 == 1),
+            "only the active subscriber receives: {deliveries:?}"
+        );
+        // Candidate attribution: the paused slot accrues nothing, the active
+        // one is charged the search's neighbourhood walk.
+        assert_eq!(index.slot_candidates(0), 0);
+        assert!(index.slot_candidates(1) > 0);
+
+        // With every subscriber paused the entry is not searched at all.
+        index.set_active(1, false);
+        let before = index.metrics().shared_searches_run;
+        feed(&mut graph, &mut index, "art3", "go", 3);
+        assert_eq!(index.metrics().shared_searches_run, before);
+        assert!(!index.sharing_possible());
+
+        // Resuming re-opens the attribution interval without re-charging
+        // searches run while paused.
+        index.set_active(0, true);
+        let paused_share = index.slot_candidates(0);
+        assert_eq!(paused_share, 0);
+        feed(&mut graph, &mut index, "art4", "rust", 4);
+        assert!(index.slot_candidates(0) > 0);
+    }
+}

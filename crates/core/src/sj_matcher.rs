@@ -246,6 +246,28 @@ impl SjTreeMatcher {
         self.anchor_scratch = anchors;
     }
 
+    /// Feeds one embedding produced by the engine's shared primitive index
+    /// (already remapped into this query's vertex/edge space) into the join
+    /// propagation at `leaf` — the shared-dispatch twin of the local-search
+    /// half of [`Self::process_edge`]. Complete matches are appended to
+    /// `out`.
+    pub(crate) fn absorb_embedding(
+        &mut self,
+        leaf: SjNodeId,
+        m: PartialMatch,
+        out: &mut Vec<PartialMatch>,
+    ) {
+        self.metrics.primitive_matches += 1;
+        self.insert_and_join(leaf, m, out);
+    }
+
+    /// Accounts one shared-index embedding delivered to this matcher without
+    /// passing through [`Self::absorb_embedding`] (the sharded execution
+    /// routes embeddings to worker threads instead).
+    pub(crate) fn note_shared_embedding(&mut self) {
+        self.metrics.primitive_matches += 1;
+    }
+
     /// Inserts a match at a node and propagates joins towards the root —
     /// the flattened twin of `ShardWorker::process`, walking the precomputed
     /// route table and calling the shared `crate::join::probe_insert` step.

@@ -165,6 +165,22 @@ impl EdgeSlab {
         self.live
     }
 
+    /// Smallest live edge id: the dense band's front (kept live by
+    /// `trim_front`) or an older straggler in the overflow map.
+    fn oldest_live(&self) -> Option<EdgeId> {
+        let band = if self.slots.is_empty() {
+            None
+        } else {
+            Some(EdgeId(self.base))
+        };
+        let straggler = self.overflow.keys().min().copied();
+        match (band, straggler) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        }
+    }
+
     fn iter(&self) -> impl Iterator<Item = &Edge> {
         self.overflow
             .values()
@@ -511,6 +527,14 @@ impl DynamicGraph {
         self.ingested_edges
     }
 
+    /// The smallest edge id still live, `None` when no edge is. Edge ids are
+    /// assigned in arrival order, so every id below this bound has expired —
+    /// the horizon behind which arrival-order bookkeeping (e.g. the engine's
+    /// checkpoint-replay intervals) can be discarded.
+    pub fn oldest_live_edge_id(&self) -> Option<EdgeId> {
+        self.edges.oldest_live()
+    }
+
     /// Largest observed stream timestamp.
     pub fn now(&self) -> Timestamp {
         self.window.now()
@@ -824,6 +848,22 @@ mod tests {
         let visible: Vec<_> = g.neighbors(skewed, Direction::Out, flow).collect();
         assert_eq!(visible.len(), 1);
         assert_eq!(g.edges().count(), 1);
+        // The oldest live id is the overflow straggler (id 0), not the band.
+        assert_eq!(g.oldest_live_edge_id(), Some(EdgeId(0)));
+    }
+
+    #[test]
+    fn oldest_live_edge_id_tracks_expiry() {
+        let mut g = DynamicGraph::new(GraphConfig::with_retention(Duration::from_secs(10)));
+        assert_eq!(g.oldest_live_edge_id(), None);
+        g.ingest(&event("a", "b", "flow", 0));
+        g.ingest(&event("c", "d", "flow", 5));
+        assert_eq!(g.oldest_live_edge_id(), Some(EdgeId(0)));
+        // Advancing time expires the first edge; the bound moves forward.
+        g.ingest(&event("e", "f", "flow", 12));
+        assert_eq!(g.oldest_live_edge_id(), Some(EdgeId(1)));
+        g.ingest(&event("g", "h", "flow", 100));
+        assert_eq!(g.oldest_live_edge_id(), Some(EdgeId(3)));
     }
 
     #[test]

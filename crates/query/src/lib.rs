@@ -22,6 +22,7 @@
 #![warn(rust_2018_idioms)]
 
 mod builder;
+mod canonical;
 mod cost;
 mod decompose;
 mod dsl;
@@ -33,6 +34,7 @@ mod selectivity;
 mod sjtree;
 
 pub use builder::QueryGraphBuilder;
+pub use canonical::{CanonicalPrimitive, MAX_CANONICAL_ASSIGNMENTS};
 pub use cost::{
     estimate_shape_cost, left_deep_order_cost, CostBasedOrdered, NodeCostEstimate,
     ShapeCostEstimate, TriadWedges,

@@ -11,6 +11,9 @@
 //!   Smurf DDoS / worm / port-scan motifs.
 //! * [`NewsStreamGenerator`] — article/keyword/location/person streams with
 //!   planted co-occurrence bursts.
+//! * [`MultiTenantGenerator`] — N tenants instantiating overlapping query
+//!   templates with distinct label constants, the registry shape the
+//!   engine's multi-query sharing layer deduplicates.
 //! * [`uniform_stream`] / [`preferential_attachment_stream`] /
 //!   [`plant_pattern`] — random graph streams for micro-benchmarks.
 //! * [`queries`] — the canonical query graphs of paper Figs. 2 and 3.
@@ -23,11 +26,13 @@ pub mod news;
 pub mod queries;
 pub mod random;
 pub mod schema;
+pub mod tenants;
 pub mod trace;
 
 pub use cyber::{AttackKind, CyberConfig, CyberTrafficGenerator, CyberWorkload, InjectedAttack};
 pub use news::{NewsConfig, NewsStreamGenerator, NewsWorkload, PlantedEvent};
 pub use random::{plant_pattern, preferential_attachment_stream, uniform_stream, RandomConfig};
+pub use tenants::{MultiTenantGenerator, MultiTenantWorkload, TenantConfig};
 pub use trace::{
     read_trace, read_trace_file, write_trace, write_trace_file, TraceError, TraceRecord,
     TraceReplay,

@@ -135,9 +135,9 @@ pub mod report {
 
 pub use streamworks_core::{
     AdaptiveConfig, AdaptiveReplanner, BufferingSink, CallbackSink, ChannelSink, CollectingSink,
-    ContinuousQueryEngine, CountingSink, EngineBuilder, EngineConfig, EngineError, EventBatch,
-    EventSink, Ingest, MatchBuffer, MatchCounter, MatchEvent, ParallelRunner, QueryHandle, QueryId,
-    QueryMetrics, ShardMetrics, ShardedMatcher, SubscriptionId,
+    ContinuousQueryEngine, CountingSink, EngineBuilder, EngineConfig, EngineError, EngineMetrics,
+    EventBatch, EventSink, Ingest, MatchBuffer, MatchCounter, MatchEvent, ParallelRunner,
+    QueryHandle, QueryId, QueryMetrics, ShardMetrics, ShardedMatcher, SubscriptionId,
 };
 pub use streamworks_graph::{
     AttrValue, Attrs, Direction, Duration, DynamicGraph, EdgeEvent, EdgeId, Timestamp, VertexId,
