@@ -24,7 +24,7 @@ fn prepared_engine(edges: usize) -> ContinuousQueryEngine {
         .register_query(smurf_ddos_query(4, Duration::from_mins(10)))
         .unwrap();
     for ev in &workload.events {
-        engine.ingest(ev);
+        engine.ingest(ev).unwrap();
     }
     engine
 }

@@ -36,7 +36,7 @@ fn bench_cyber_detection(c: &mut Criterion) {
                     }
                     let mut matches = 0u64;
                     for ev in &workload.events {
-                        matches += engine.ingest(ev).len() as u64;
+                        matches += engine.ingest(ev).unwrap().len() as u64;
                     }
                     matches
                 })

@@ -41,7 +41,7 @@ fn bench_matchers(c: &mut Criterion) {
                     engine.register_query(query.clone()).unwrap();
                     let mut matches = 0u64;
                     for ev in events {
-                        matches += engine.ingest(ev).len() as u64;
+                        matches += engine.ingest(ev).unwrap().len() as u64;
                     }
                     matches
                 })
@@ -55,7 +55,7 @@ fn bench_matchers(c: &mut Criterion) {
                 b.iter(|| {
                     let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
                     engine.register_query(query.clone()).unwrap();
-                    engine.ingest(events).len() as u64
+                    engine.ingest(events).unwrap().len() as u64
                 })
             },
         );

@@ -57,7 +57,7 @@ fn run(queries: &[QueryGraph], events: &[EdgeEvent], shared: bool) -> u64 {
     for q in queries {
         engine.register_query(q.clone()).unwrap();
     }
-    engine.ingest(events).len() as u64
+    engine.ingest(events).unwrap().len() as u64
 }
 
 fn bench_multi_query(c: &mut Criterion) {

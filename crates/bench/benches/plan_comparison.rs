@@ -24,7 +24,7 @@ fn bench_plans(c: &mut Criterion) {
     // Statistics learned from a warm-up pass drive the informed plan.
     let mut warm = ContinuousQueryEngine::builder().build().unwrap();
     for ev in &workload.events {
-        warm.ingest(ev);
+        warm.ingest(ev).unwrap();
     }
 
     let strategies: Vec<(&str, Box<dyn DecompositionStrategy>)> = vec![
@@ -58,7 +58,7 @@ fn bench_plans(c: &mut Criterion) {
                 });
                 let id = engine.register_plan(plan.clone());
                 for ev in &workload.events {
-                    engine.ingest(ev);
+                    engine.ingest(ev).unwrap();
                 }
                 engine.metrics(id).unwrap().complete_matches
             })

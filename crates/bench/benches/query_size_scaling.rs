@@ -64,7 +64,7 @@ fn bench_query_size(c: &mut Criterion) {
                     engine.register_query(query.clone()).unwrap();
                     let mut matches = 0u64;
                     for ev in events {
-                        matches += engine.ingest(ev).len() as u64;
+                        matches += engine.ingest(ev).unwrap().len() as u64;
                     }
                     matches
                 })

@@ -51,7 +51,7 @@ fn bench_window_sweep(c: &mut Criterion) {
                     engine.register_query(query.clone()).unwrap();
                     let mut matches = 0u64;
                     for ev in &events {
-                        matches += engine.ingest(ev).len() as u64;
+                        matches += engine.ingest(ev).unwrap().len() as u64;
                     }
                     matches
                 })
@@ -86,7 +86,7 @@ fn bench_skewed_expiry(c: &mut Criterion) {
             let handle = engine.register_query(query.clone()).unwrap();
             let mut matches = 0u64;
             for ev in &events {
-                matches += engine.ingest(ev).len() as u64;
+                matches += engine.ingest(ev).unwrap().len() as u64;
             }
             // Live state after the run is part of what this case measures:
             // inexact expiry retains skewed stragglers, exact expiry holds

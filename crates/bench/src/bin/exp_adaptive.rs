@@ -42,7 +42,7 @@ fn run_phase(
     let run = measure(events.len(), || {
         let mut matches = 0u64;
         for ev in events {
-            matches += engine.ingest(ev).len() as u64;
+            matches += engine.ingest(ev).unwrap().len() as u64;
         }
         matches
     });
@@ -142,7 +142,7 @@ fn main() {
     let mut informed = ContinuousQueryEngine::new(config);
     // Warm statistics so the informed plan actually has something to use.
     for ev in &phase1 {
-        informed.ingest(ev);
+        informed.ingest(ev).unwrap();
     }
     let informed_id = informed
         .register_query_with(query, &CostBasedOrdered::default(), TreeShapeKind::LeftDeep)

@@ -44,7 +44,7 @@ fn main() {
         let run = measure(workload.events.len(), || {
             let mut matches = 0u64;
             for ev in &workload.events {
-                matches += engine.ingest(ev).len() as u64;
+                matches += engine.ingest(ev).unwrap().len() as u64;
             }
             matches
         });

@@ -21,7 +21,7 @@ fn ablate(name: &str, query: QueryGraph, events: &[EdgeEvent], table: &mut Table
     // Learn statistics with a warm-up pass.
     let mut warm = ContinuousQueryEngine::builder().build().unwrap();
     for ev in events {
-        warm.ingest(ev);
+        warm.ingest(ev).unwrap();
     }
     let strategies: Vec<(&str, Box<dyn DecompositionStrategy>)> = vec![
         ("selectivity-pairs", Box::new(SelectivityOrdered::default())),
@@ -57,7 +57,7 @@ fn ablate(name: &str, query: QueryGraph, events: &[EdgeEvent], table: &mut Table
         let run = measure(events.len(), || {
             let mut matches = 0u64;
             for ev in events {
-                matches += engine.ingest(ev).len() as u64;
+                matches += engine.ingest(ev).unwrap().len() as u64;
             }
             matches
         });

@@ -82,7 +82,7 @@ fn main() {
             engine.register_query(query.clone()).unwrap();
             let mut matches = 0u64;
             for ev in events {
-                matches += engine.ingest(ev).len() as u64;
+                matches += engine.ingest(ev).unwrap().len() as u64;
             }
             matches
         });
@@ -99,7 +99,7 @@ fn main() {
         let run = measure(events.len(), || {
             let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
             engine.register_query(query.clone()).unwrap();
-            engine.ingest(events).len() as u64
+            engine.ingest(events).unwrap().len() as u64
         });
         table.row(&[
             articles.to_string(),
@@ -118,7 +118,7 @@ fn main() {
                     .build()
                     .unwrap();
                 engine.register_query(query.clone()).unwrap();
-                engine.ingest(events).len() as u64
+                engine.ingest(events).unwrap().len() as u64
             });
             table.row(&[
                 articles.to_string(),
@@ -214,7 +214,7 @@ fn main() {
                 for q in &workload.queries {
                     engine.register_query(q.clone()).unwrap();
                 }
-                let matches = engine.ingest(&workload.events).len() as u64;
+                let matches = engine.ingest(&workload.events).unwrap().len() as u64;
                 let m = engine.engine_metrics();
                 dedup = format!("{:.1}x", m.dedup_ratio());
                 saved = m.searches_saved.to_string();

@@ -42,7 +42,7 @@ fn main() {
         let run = measure(workload.events.len(), || {
             let mut matches = 0u64;
             for ev in &workload.events {
-                matches += engine.ingest(ev).len() as u64;
+                matches += engine.ingest(ev).unwrap().len() as u64;
                 peak_live = peak_live.max(engine.graph().live_edge_count());
             }
             matches

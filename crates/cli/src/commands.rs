@@ -8,7 +8,7 @@ use std::fmt;
 use std::path::Path;
 
 use crate::options::{OptionError, Options};
-use streamworks_core::{ContinuousQueryEngine, EngineError, MatchEvent};
+use streamworks_core::{ContinuousQueryEngine, EngineError, MatchEvent, ShardFailurePolicy};
 use streamworks_query::{
     estimate_shape_cost, BalancedPairs, CostBasedOrdered, DecompositionStrategy, LeftDeepEdgeChain,
     Planner, QueryError, QueryGraph, SelectivityEstimator, SelectivityOrdered, TreeShapeKind,
@@ -97,11 +97,17 @@ COMMANDS:
              and print the SJ-Tree plan with its cost estimate.
   run        --query <q.swq> [--query <q2.swq> ...] --trace <trace.jsonl>
              [--strategy <name>] [--batch N] [--limit N] [--shards N]
+             [--failure-policy fail-fast|degrade] [--channel-capacity N]
              [--no-share] [--csv <out.csv>] [--jsonl <out>]
              Register the queries and replay the trace in batches of N events
              (default 1024), printing the event table and per-query metrics.
              --shards N > 1 spreads each query's match state over N worker
              threads (join-key sharding); results are identical to --shards 1.
+             --failure-policy picks what a crashed shard worker does to the
+             run: fail-fast (default) aborts with a structured error, degrade
+             transplants the dead shard's state onto survivors and keeps
+             replaying. --channel-capacity bounds the routing channels
+             (backpressure instead of unbounded queues).
              Structurally identical leaf primitives across the registered
              queries share one local search per event (the summary reports
              the dedup ratio and searches saved); --no-share disables the
@@ -147,7 +153,7 @@ fn load_query(path: &str) -> Result<QueryGraph, CliError> {
 fn engine_from_trace(path: &str) -> Result<ContinuousQueryEngine, CliError> {
     let events = read_trace_file(path)?;
     let mut engine = ContinuousQueryEngine::builder().build()?;
-    engine.ingest(&events);
+    engine.ingest(&events)?;
     Ok(engine)
 }
 
@@ -280,9 +286,22 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
             message: "shard count must be positive (1 = single-threaded matching)".into(),
         }));
     }
+    let policy = match opts.value("failure-policy").unwrap_or("fail-fast") {
+        "fail-fast" | "failfast" => ShardFailurePolicy::FailFast,
+        "degrade" => ShardFailurePolicy::Degrade,
+        other => {
+            return Err(CliError::Options(OptionError::Invalid {
+                flag: "failure-policy".into(),
+                message: format!("unknown policy `{other}` (expected fail-fast or degrade)"),
+            }))
+        }
+    };
+    let channel_capacity: usize = opts.parse_or("channel-capacity", 1024)?;
 
     let mut engine = ContinuousQueryEngine::builder()
         .shards(shards)
+        .shard_failure_policy(policy)
+        .channel_capacity(channel_capacity)
         .shared_matching(!opts.has("no-share"))
         .build()?;
     let mut spec = EventTableSpec::standard();
@@ -295,8 +314,22 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
 
     let events = read_trace_file(trace)?;
     let mut matches: Vec<MatchEvent> = Vec::new();
+    let mut degraded_shards: Vec<String> = Vec::new();
     for chunk in events.chunks(batch) {
-        matches.extend(engine.ingest(chunk));
+        match engine.ingest(chunk) {
+            Ok(batch_matches) => matches.extend(batch_matches),
+            Err(EngineError::ShardFailed {
+                shard,
+                message,
+                degraded: true,
+            }) => {
+                // Under --failure-policy degrade the run keeps going; the
+                // faulted batch's matches were still delivered to any
+                // subscribed sinks, only this return value is forfeited.
+                degraded_shards.push(format!("shard {shard}: {message}"));
+            }
+            Err(e) => return Err(e.into()),
+        }
     }
 
     let table = EventTable::build(&spec, &matches);
@@ -361,6 +394,16 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
             em.shared_searches_run,
             em.searches_saved,
         ));
+    }
+    if !degraded_shards.is_empty() {
+        out.push_str(&format!(
+            "warning: {} shard worker(s) failed and were quarantined (state \
+             transplanted onto survivors):\n",
+            degraded_shards.len()
+        ));
+        for line in &degraded_shards {
+            out.push_str(&format!("  {line}\n"));
+        }
     }
     if !spilled.is_empty() {
         out.push_str(&format!(
@@ -592,6 +635,75 @@ mod tests {
         // A shard count of zero is rejected up front.
         assert!(dispatch(&args(&[
             "run", "--query", &query, "--trace", &trace, "--shards", "0",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn run_accepts_fault_containment_flags() {
+        let trace_path = scratch("fault_flags.jsonl");
+        let events = [
+            streamworks_graph::EdgeEvent::new(
+                "a1",
+                "Article",
+                "rust",
+                "Keyword",
+                "mentions",
+                streamworks_graph::Timestamp::from_secs(1),
+            ),
+            streamworks_graph::EdgeEvent::new(
+                "a2",
+                "Article",
+                "rust",
+                "Keyword",
+                "mentions",
+                streamworks_graph::Timestamp::from_secs(2),
+            ),
+        ];
+        streamworks_workloads::write_trace_file(&trace_path, events.iter()).unwrap();
+        let trace = trace_path.to_string_lossy().into_owned();
+        let query = write_query("pair_faults.swq", PAIR_QUERY);
+
+        // Both policies and a bounded channel replay cleanly (no fault is
+        // injected here; the chaos suite covers actual shard death).
+        for policy in ["fail-fast", "degrade"] {
+            let out = dispatch(&args(&[
+                "run",
+                "--query",
+                &query,
+                "--trace",
+                &trace,
+                "--shards",
+                "2",
+                "--failure-policy",
+                policy,
+                "--channel-capacity",
+                "8",
+            ]))
+            .unwrap();
+            assert!(out.contains("2 matches"), "{policy}: {out}");
+            assert!(!out.contains("warning"), "{policy}: {out}");
+        }
+
+        // Unknown policy and a zero channel capacity are rejected up front.
+        assert!(dispatch(&args(&[
+            "run",
+            "--query",
+            &query,
+            "--trace",
+            &trace,
+            "--failure-policy",
+            "mystery",
+        ]))
+        .is_err());
+        assert!(dispatch(&args(&[
+            "run",
+            "--query",
+            &query,
+            "--trace",
+            &trace,
+            "--channel-capacity",
+            "0",
         ]))
         .is_err());
     }

@@ -370,24 +370,28 @@ mod tests {
     fn feed_skewed(engine: &mut ContinuousQueryEngine, n: usize, start: i64) {
         let mut t = start;
         for i in 0..n {
-            engine.ingest(&ev(
-                &format!("a{}", i % 50),
-                "Article",
-                &format!("k{}", i % 10),
-                "Keyword",
-                "mentions",
-                t,
-            ));
-            t += 1;
-            if i % 40 == 0 {
-                engine.ingest(&ev(
+            engine
+                .ingest(&ev(
                     &format!("a{}", i % 50),
                     "Article",
-                    "paris",
-                    "Location",
-                    "located",
+                    &format!("k{}", i % 10),
+                    "Keyword",
+                    "mentions",
                     t,
-                ));
+                ))
+                .unwrap();
+            t += 1;
+            if i % 40 == 0 {
+                engine
+                    .ingest(&ev(
+                        &format!("a{}", i % 50),
+                        "Article",
+                        "paris",
+                        "Location",
+                        "located",
+                        t,
+                    ))
+                    .unwrap();
                 t += 1;
             }
         }
@@ -424,10 +428,12 @@ mod tests {
         assert_eq!(engine.plan(handle).unwrap().strategy, "cost-based");
         assert_eq!(replanner.replans_applied(), 1);
         // The new plan still finds matches arriving after the re-plan.
-        let out = engine.ingest(&[
-            ev("fresh", "Article", "k0", "Keyword", "mentions", 10_000),
-            ev("fresh", "Article", "paris", "Location", "located", 10_001),
-        ]);
+        let out = engine
+            .ingest(&[
+                ev("fresh", "Article", "k0", "Keyword", "mentions", 10_000),
+                ev("fresh", "Article", "paris", "Location", "located", 10_001),
+            ])
+            .unwrap();
         assert_eq!(out.len(), 1);
     }
 

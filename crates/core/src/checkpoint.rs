@@ -234,21 +234,23 @@ impl EngineCheckpoint {
         for (bound, qi, _, kind) in actions {
             let cut = (bound as usize).min(self.live_edges.len());
             if cut > start {
-                engine.ingest_with(&self.live_edges[start..cut], &mut sink);
+                // A shard failure during replay is recorded on the restored
+                // engine itself (degraded or poisoned) and surfaces on its
+                // next call; restore never panics over it.
+                let _ = engine.ingest_with(&self.live_edges[start..cut], &mut sink);
                 start = cut;
             }
-            if kind == ACT_RESUME {
-                engine
-                    .resume(handles[qi])
-                    .expect("freshly registered handle");
+            // The handles are freshly registered, so the only possible error
+            // is `Poisoned` after an uncontained replay failure — in which
+            // case the replay's outcome no longer matters.
+            let _ = if kind == ACT_RESUME {
+                engine.resume(handles[qi])
             } else {
-                engine
-                    .pause(handles[qi])
-                    .expect("freshly registered handle");
-            }
+                engine.pause(handles[qi])
+            };
         }
         if start < self.live_edges.len() {
-            engine.ingest_with(&self.live_edges[start..], &mut sink);
+            let _ = engine.ingest_with(&self.live_edges[start..], &mut sink);
         }
         // Keep the original pause times (not the replay's clock), so a
         // second capture round-trips them verbatim.
@@ -271,6 +273,19 @@ impl EngineCheckpoint {
     /// Parses a checkpoint from JSON produced by [`EngineCheckpoint::to_json`].
     pub fn from_json(json: &str) -> serde_json::Result<EngineCheckpoint> {
         serde_json::from_str(json)
+    }
+
+    /// Like [`EngineCheckpoint::from_json`], but maps parse failures —
+    /// truncated files from an interrupted write, corrupted bytes — to
+    /// [`crate::EngineError::CorruptCheckpoint`] carrying the byte offset
+    /// where parsing stopped. This is the recommended load path for
+    /// checkpoints read back from storage: it never panics, and the offset
+    /// pinpoints how much of the file survived.
+    pub fn load(json: &str) -> Result<EngineCheckpoint, crate::EngineError> {
+        Self::from_json(json).map_err(|e| crate::EngineError::CorruptCheckpoint {
+            offset: e.byte_offset(),
+            detail: e.to_string(),
+        })
     }
 }
 
@@ -315,7 +330,10 @@ mod tests {
             .register_query(pair_query(Duration::from_secs(100)))
             .unwrap();
         // One article already mentioned the keyword before the checkpoint.
-        assert!(engine.ingest(&ev("a1", "rust", "mentions", 10)).is_empty());
+        assert!(engine
+            .ingest(&ev("a1", "rust", "mentions", 10))
+            .unwrap()
+            .is_empty());
 
         let checkpoint = engine.checkpoint();
         assert_eq!(checkpoint.plans.len(), 1);
@@ -325,11 +343,11 @@ mod tests {
         assert_eq!(restored.query_count(), 1);
         // The pre-checkpoint partial state was rebuilt: a second article now
         // completes the pair exactly as it would have without the restart.
-        let matches = restored.ingest(&ev("a2", "rust", "mentions", 20));
+        let matches = restored.ingest(&ev("a2", "rust", "mentions", 20)).unwrap();
         assert_eq!(matches.len(), 2);
 
         // The original engine (no restart) behaves identically.
-        let direct = engine.ingest(&ev("a2", "rust", "mentions", 20));
+        let direct = engine.ingest(&ev("a2", "rust", "mentions", 20)).unwrap();
         assert_eq!(direct.len(), matches.len());
     }
 
@@ -339,8 +357,8 @@ mod tests {
         engine
             .register_query(pair_query(Duration::from_secs(100)))
             .unwrap();
-        engine.ingest(&ev("a1", "rust", "mentions", 1));
-        let matched = engine.ingest(&ev("a2", "rust", "mentions", 2));
+        engine.ingest(&ev("a1", "rust", "mentions", 1)).unwrap();
+        let matched = engine.ingest(&ev("a2", "rust", "mentions", 2)).unwrap();
         assert_eq!(matched.len(), 2);
 
         let checkpoint = engine.checkpoint();
@@ -357,8 +375,8 @@ mod tests {
         engine
             .register_query(pair_query(Duration::from_secs(30)))
             .unwrap();
-        engine.ingest(&ev("a1", "rust", "mentions", 0));
-        engine.ingest(&ev("a2", "go", "mentions", 1_000));
+        engine.ingest(&ev("a1", "rust", "mentions", 0)).unwrap();
+        engine.ingest(&ev("a2", "go", "mentions", 1_000)).unwrap();
         let checkpoint = engine.checkpoint();
         // Only the recent edge is still live (retention follows the window).
         assert_eq!(checkpoint.live_edges.len(), 1);
@@ -371,7 +389,7 @@ mod tests {
         engine
             .register_query(pair_query(Duration::from_secs(60)))
             .unwrap();
-        engine.ingest(&ev("a1", "rust", "mentions", 5));
+        engine.ingest(&ev("a1", "rust", "mentions", 5)).unwrap();
         let checkpoint = engine.checkpoint();
         let json = checkpoint.to_json().unwrap();
         let parsed = EngineCheckpoint::from_json(&json).unwrap();
@@ -385,13 +403,51 @@ mod tests {
     }
 
     #[test]
+    fn truncated_json_loads_to_a_clear_error_never_a_panic() {
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+        engine
+            .register_query(pair_query(Duration::from_secs(60)))
+            .unwrap();
+        engine.ingest(&ev("a1", "rust", "mentions", 5)).unwrap();
+        let json = engine.checkpoint().to_json().unwrap();
+        // Every truncation point — an interrupted write can stop anywhere —
+        // must produce a structured CorruptCheckpoint, never a panic.
+        for cut in 0..json.len() {
+            let truncated = &json[..cut];
+            match EngineCheckpoint::load(truncated) {
+                Err(crate::EngineError::CorruptCheckpoint { offset, detail }) => {
+                    assert!(!detail.is_empty());
+                    if let Some(at) = offset {
+                        assert!(
+                            at <= truncated.len(),
+                            "offset {at} past the {cut}-byte input"
+                        );
+                    }
+                }
+                other => panic!("truncation at {cut} bytes produced {other:?}"),
+            }
+        }
+        // The untruncated document still loads.
+        assert!(EngineCheckpoint::load(&json).is_ok());
+    }
+
+    #[test]
+    fn corrupt_bytes_load_to_an_error_with_an_offset() {
+        let err = EngineCheckpoint::load("{\"config\": garbage").unwrap_err();
+        let crate::EngineError::CorruptCheckpoint { offset, .. } = err else {
+            panic!("expected CorruptCheckpoint, got {err:?}");
+        };
+        assert!(offset.is_some(), "a scanner error carries its byte offset");
+    }
+
+    #[test]
     fn checkpoint_preserves_edge_attributes() {
         let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         engine
             .register_query(pair_query(Duration::from_secs(3600)))
             .unwrap();
         let event = ev("a1", "rust", "mentions", 1).with_attr("label", "politics");
-        engine.ingest(&event);
+        engine.ingest(&event).unwrap();
 
         let checkpoint = engine.checkpoint();
         assert_eq!(
@@ -446,7 +502,7 @@ mod tests {
                 "QUERY dormant WINDOW 100s MATCH (a1:Article)-[:cites]->(k:Keyword), (a2:Article)-[:cites]->(k)",
             )
             .unwrap();
-        engine.ingest(&ev("a1", "rust", "mentions", 10));
+        engine.ingest(&ev("a1", "rust", "mentions", 10)).unwrap();
         engine.pause(paused).unwrap();
 
         // Through JSON, like a real restart.
@@ -464,27 +520,29 @@ mod tests {
         // The running query kept its replayed partial state; the paused one
         // stays silent until resumed, then matches patterns completed
         // entirely after the resume.
-        let matches = restored.ingest(&ev("a2", "rust", "mentions", 20));
+        let matches = restored.ingest(&ev("a2", "rust", "mentions", 20)).unwrap();
         assert_eq!(matches.len(), 2, "running query rebuilt its window state");
         restored.resume(handles[1]).unwrap();
-        let matches = restored.ingest(&[
-            EdgeEvent::new(
-                "b1",
-                "Article",
-                "go",
-                "Keyword",
-                "cites",
-                Timestamp::from_secs(30),
-            ),
-            EdgeEvent::new(
-                "b2",
-                "Article",
-                "go",
-                "Keyword",
-                "cites",
-                Timestamp::from_secs(31),
-            ),
-        ]);
+        let matches = restored
+            .ingest(&[
+                EdgeEvent::new(
+                    "b1",
+                    "Article",
+                    "go",
+                    "Keyword",
+                    "cites",
+                    Timestamp::from_secs(30),
+                ),
+                EdgeEvent::new(
+                    "b2",
+                    "Article",
+                    "go",
+                    "Keyword",
+                    "cites",
+                    Timestamp::from_secs(31),
+                ),
+            ])
+            .unwrap();
         assert_eq!(
             matches.len(),
             2,
@@ -524,14 +582,14 @@ mod tests {
         // timestamp as the pause (ties are normal in a stream and a
         // timestamp cut could not tell it apart; the arrival-order prefix
         // can).
-        engine.ingest(&ev("a1", "rust", "mentions", 10));
+        engine.ingest(&ev("a1", "rust", "mentions", 10)).unwrap();
         engine.pause(handle).unwrap();
         assert_eq!(
             engine.pause_time(handle).unwrap(),
             Some(Timestamp::from_secs(10))
         );
-        engine.ingest(&ev("b1", "go", "mentions", 10));
-        engine.ingest(&ev("c1", "zig", "mentions", 20));
+        engine.ingest(&ev("b1", "go", "mentions", 10)).unwrap();
+        engine.ingest(&ev("c1", "zig", "mentions", 20)).unwrap();
 
         // Through JSON, like a real restart.
         let json = engine.checkpoint().to_json().unwrap();
@@ -566,7 +624,7 @@ mod tests {
         // After a resume the rebuilt partial completes, exactly as an
         // in-process pause would have allowed.
         restored.resume(h).unwrap();
-        let matches = restored.ingest(&ev("a2", "rust", "mentions", 30));
+        let matches = restored.ingest(&ev("a2", "rust", "mentions", 30)).unwrap();
         assert_eq!(matches.len(), 2, "pre-pause partial state completes");
     }
 
@@ -576,7 +634,7 @@ mod tests {
         // old conservative behaviour: the paused query observes nothing.
         let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         let handle = register_stateful(&mut engine, "pair");
-        engine.ingest(&ev("a1", "rust", "mentions", 10));
+        engine.ingest(&ev("a1", "rust", "mentions", 10)).unwrap();
         engine.pause(handle).unwrap();
 
         let mut legacy = engine.checkpoint().to_json().unwrap();
@@ -619,11 +677,11 @@ mod tests {
         let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         let early = register_stateful(&mut engine, "early");
         let late = register_stateful(&mut engine, "late");
-        engine.ingest(&ev("a1", "rust", "mentions", 10));
+        engine.ingest(&ev("a1", "rust", "mentions", 10)).unwrap();
         engine.pause(early).unwrap();
-        engine.ingest(&ev("b1", "go", "mentions", 20));
+        engine.ingest(&ev("b1", "go", "mentions", 20)).unwrap();
         engine.pause(late).unwrap();
-        engine.ingest(&ev("c1", "zig", "mentions", 30));
+        engine.ingest(&ev("c1", "zig", "mentions", 30)).unwrap();
 
         let restored = engine.checkpoint().restore();
         let handles = restored.handles();
@@ -652,11 +710,11 @@ mod tests {
         // before it; the restore replay must not fabricate partial state
         // from them, even though they are retained for the graph.
         let mut engine = ContinuousQueryEngine::builder().build().unwrap();
-        engine.ingest(&ev("a0", "rust", "mentions", 5));
+        engine.ingest(&ev("a0", "rust", "mentions", 5)).unwrap();
         let handle = register_stateful(&mut engine, "pair");
-        engine.ingest(&ev("a1", "rust", "mentions", 10));
+        engine.ingest(&ev("a1", "rust", "mentions", 10)).unwrap();
         engine.pause(handle).unwrap();
-        engine.ingest(&ev("b1", "go", "mentions", 20));
+        engine.ingest(&ev("b1", "go", "mentions", 20)).unwrap();
 
         let checkpoint = engine.checkpoint();
         assert_eq!(
@@ -676,9 +734,9 @@ mod tests {
         // A completing article pairs only with a1 — matching the live
         // engine, which never filed a partial for a0 either.
         restored.resume(h).unwrap();
-        let from_restored = restored.ingest(&ev("a2", "rust", "mentions", 30));
+        let from_restored = restored.ingest(&ev("a2", "rust", "mentions", 30)).unwrap();
         engine.resume(handle).unwrap();
-        let from_live = engine.ingest(&ev("a2", "rust", "mentions", 30));
+        let from_live = engine.ingest(&ev("a2", "rust", "mentions", 30)).unwrap();
         assert_eq!(from_live.len(), 2);
         assert_eq!(from_restored.len(), from_live.len());
     }
@@ -690,11 +748,11 @@ mod tests {
         // history into one prefix.
         let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         let handle = register_stateful(&mut engine, "pair");
-        engine.ingest(&ev("a1", "rust", "mentions", 10));
+        engine.ingest(&ev("a1", "rust", "mentions", 10)).unwrap();
         engine.pause(handle).unwrap();
-        engine.ingest(&ev("g1", "rust", "mentions", 20)); // missed live
+        engine.ingest(&ev("g1", "rust", "mentions", 20)).unwrap(); // missed live
         engine.resume(handle).unwrap();
-        engine.ingest(&ev("a2", "zig", "mentions", 30));
+        engine.ingest(&ev("a2", "zig", "mentions", 30)).unwrap();
 
         let checkpoint = engine.checkpoint();
         assert_eq!(checkpoint.paused, vec![false]);
@@ -715,8 +773,8 @@ mod tests {
 
         // The never-restarted and restored engines agree on what completes:
         // a3 on rust pairs with a1 only (g1 was never observed by the query).
-        let from_live = engine.ingest(&ev("a3", "rust", "mentions", 40));
-        let from_restored = restored.ingest(&ev("a3", "rust", "mentions", 40));
+        let from_live = engine.ingest(&ev("a3", "rust", "mentions", 40)).unwrap();
+        let from_restored = restored.ingest(&ev("a3", "rust", "mentions", 40)).unwrap();
         assert_eq!(from_live.len(), 2);
         assert_eq!(from_restored.len(), from_live.len());
     }
@@ -727,7 +785,7 @@ mod tests {
         // must not resurrect them from the replay.
         let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         let handle = register_stateful(&mut engine, "pair");
-        engine.ingest(&ev("a1", "rust", "mentions", 10));
+        engine.ingest(&ev("a1", "rust", "mentions", 10)).unwrap();
         assert_eq!(engine.metrics(handle).unwrap().partial_matches_live, 2);
         engine
             .replan(
@@ -755,8 +813,8 @@ mod tests {
         );
         // Live and restored agree: the completing edge matches nothing,
         // because the a1 partial died at the replan in both worlds.
-        let live = engine.ingest(&ev("a2", "rust", "mentions", 20));
-        let replayed = restored.ingest(&ev("a2", "rust", "mentions", 20));
+        let live = engine.ingest(&ev("a2", "rust", "mentions", 20)).unwrap();
+        let replayed = restored.ingest(&ev("a2", "rust", "mentions", 20)).unwrap();
         assert_eq!(live.len(), 0);
         assert_eq!(replayed.len(), live.len());
     }

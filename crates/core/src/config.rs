@@ -60,6 +60,43 @@ pub struct EngineConfig {
     /// Defaults to `true` when absent from serialized form.
     #[serde(default = "default_shared_matching")]
     pub shared_matching: bool,
+    /// Capacity (in queued items) of every channel in the sharded execution
+    /// path: the ingest-to-shard routing channels, the shard-to-shard
+    /// handoff channels and the results fan-in. Bounded channels give the
+    /// pipeline a hard memory ceiling; when a shard falls behind, the ingest
+    /// thread *blocks* (backpressure) rather than queueing unboundedly, which
+    /// preserves the exact match multiset. Defaults to 1024 when absent from
+    /// serialized form; validated to be at least 1.
+    #[serde(default = "default_channel_capacity")]
+    pub channel_capacity: usize,
+    /// What the engine does when a shard worker dies mid-stream (see
+    /// [`ShardFailurePolicy`]). Defaults to [`ShardFailurePolicy::FailFast`]
+    /// when absent from serialized form.
+    #[serde(default = "default_shard_failure_policy")]
+    pub shard_failure_policy: ShardFailurePolicy,
+}
+
+/// Policy applied when a shard worker thread panics mid-stream.
+///
+/// Shard workers run under a supervisor (`catch_unwind`); a panic is caught
+/// and reported as a structured failure, never an abort or a hang. This
+/// policy decides what the engine does next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardFailurePolicy {
+    /// Surface [`crate::EngineError::ShardFailed`] from the ingest call and
+    /// poison the engine: every subsequent operation returns
+    /// [`crate::EngineError::Poisoned`]. The default — correct state cannot
+    /// be silently assumed after a worker died mid-batch.
+    FailFast,
+    /// Quarantine the failed shard, transplant its join state onto the
+    /// surviving workers (re-routing its hash slots), report the failure
+    /// once via [`crate::EngineError::ShardFailed`] with `degraded = true`,
+    /// and keep serving. Exactness: the transplant preserves the exact match
+    /// multiset when the worker died at a batch boundary (as injected faults
+    /// do); a panic in the middle of a half-applied batch loses at most the
+    /// in-flight batch's matches for that shard — see ARCHITECTURE.md's
+    /// "Failure model".
+    Degrade,
 }
 
 /// Serde fallback for [`EngineConfig::shared_matching`]: checkpoints written
@@ -76,6 +113,19 @@ fn default_shards() -> usize {
     1
 }
 
+/// Serde fallback for [`EngineConfig::channel_capacity`]: checkpoints written
+/// while the sharded path used unbounded channels restore with the default
+/// bound.
+fn default_channel_capacity() -> usize {
+    1024
+}
+
+/// Serde fallback for [`EngineConfig::shard_failure_policy`]: pre-supervision
+/// checkpoints restore with the conservative fail-fast behaviour.
+fn default_shard_failure_policy() -> ShardFailurePolicy {
+    ShardFailurePolicy::FailFast
+}
+
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
@@ -86,6 +136,8 @@ impl Default for EngineConfig {
             summary: SummaryConfig::full(),
             shards: 1,
             shared_matching: true,
+            channel_capacity: 1024,
+            shard_failure_policy: ShardFailurePolicy::FailFast,
         }
     }
 }
@@ -139,6 +191,13 @@ impl EngineConfig {
                 "shards is capped at 256 worker threads per query, got {}",
                 self.shards
             ));
+        }
+        if self.channel_capacity == 0 {
+            return Err(
+                "channel_capacity must be at least 1 (a zero-capacity channel would make \
+                 every routed batch a rendezvous and deadlock the handoff protocol)"
+                    .into(),
+            );
         }
         Ok(())
     }
@@ -242,6 +301,21 @@ impl EngineBuilder {
     /// Sets the summary configuration used when summaries are maintained.
     pub fn summary_config(mut self, config: SummaryConfig) -> Self {
         self.config.summary = config;
+        self
+    }
+
+    /// Bounds every channel in the sharded execution path to `capacity`
+    /// queued items (see [`EngineConfig::channel_capacity`]; 1024 by
+    /// default). Validated at build time: must be at least 1.
+    pub fn channel_capacity(mut self, capacity: usize) -> Self {
+        self.config.channel_capacity = capacity;
+        self
+    }
+
+    /// Chooses what happens when a shard worker dies (see
+    /// [`ShardFailurePolicy`]; fail-fast by default).
+    pub fn shard_failure_policy(mut self, policy: ShardFailurePolicy) -> Self {
+        self.config.shard_failure_policy = policy;
         self
     }
 
@@ -370,5 +444,57 @@ mod tests {
     fn fast_ingest_builder_matches_preset() {
         let engine = EngineBuilder::fast_ingest().build().unwrap();
         assert!(!engine.config().maintain_summary);
+    }
+
+    #[test]
+    fn channel_capacity_is_validated() {
+        assert!(EngineBuilder::new().channel_capacity(0).build().is_err());
+        let engine = EngineBuilder::new().channel_capacity(8).build().unwrap();
+        assert_eq!(engine.config().channel_capacity, 8);
+        assert_eq!(EngineConfig::default().channel_capacity, 1024);
+    }
+
+    #[test]
+    fn shard_failure_policy_defaults_to_fail_fast() {
+        assert_eq!(
+            EngineConfig::default().shard_failure_policy,
+            ShardFailurePolicy::FailFast
+        );
+        let engine = EngineBuilder::new()
+            .shard_failure_policy(ShardFailurePolicy::Degrade)
+            .build()
+            .unwrap();
+        assert_eq!(
+            engine.config().shard_failure_policy,
+            ShardFailurePolicy::Degrade
+        );
+    }
+
+    #[test]
+    fn configs_serialized_before_the_failure_fields_still_deserialize() {
+        // A checkpoint written before supervision/bounded channels has
+        // neither key; it must come back with the conservative defaults.
+        let mut json = serde_json::to_string(&EngineConfig::default()).unwrap();
+        assert!(json.contains("\"channel_capacity\""));
+        assert!(json.contains("\"shard_failure_policy\""));
+        json = json.replace(",\"channel_capacity\":1024", "");
+        json = json.replace(",\"shard_failure_policy\":\"FailFast\"", "");
+        assert!(!json.contains("channel_capacity"));
+        let config: EngineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(config.channel_capacity, 1024);
+        assert_eq!(config.shard_failure_policy, ShardFailurePolicy::FailFast);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn shard_failure_policy_round_trips_through_json() {
+        let config = EngineConfig {
+            shard_failure_policy: ShardFailurePolicy::Degrade,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&config).unwrap();
+        assert!(json.contains("\"Degrade\""));
+        let back: EngineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.shard_failure_policy, ShardFailurePolicy::Degrade);
     }
 }

@@ -22,7 +22,7 @@ use crate::event::{CollectingSink, EventSink, MatchEvent, QueryId};
 use crate::handle::{QueryHandle, SubscriptionId};
 use crate::ingest::Ingest;
 use crate::metrics::{EngineMetrics, QueryMetrics, ShardMetrics};
-use crate::parallel::ShardedMatcher;
+use crate::parallel::{panic_message, ShardFailure, ShardedMatcher};
 use crate::shared_index::{Delivery, SharedPrimitiveIndex};
 use crate::sj_matcher::SjTreeMatcher;
 use streamworks_graph::{
@@ -191,7 +191,35 @@ struct QueryState {
     /// active interval.
     shared_edges_base: u64,
     /// Per-query subscriptions, in subscription order.
-    subscribers: Vec<(u64, Box<dyn EventSink>)>,
+    subscribers: Vec<Subscription>,
+}
+
+/// One per-query subscription. Delivery to its sink is supervised: a sink
+/// that panics (or reports an injected delivery error) is *quarantined* —
+/// detached and its failure recorded — so one bad subscriber can never
+/// poison the engine or starve the query's other subscribers.
+struct Subscription {
+    token: u64,
+    /// `None` once quarantined.
+    sink: Option<Box<dyn EventSink>>,
+    /// The failure that quarantined the sink, queryable through
+    /// [`ContinuousQueryEngine::subscription_health`].
+    error: Option<String>,
+    /// Drop counter frozen from the sink at quarantine time (live sinks are
+    /// read directly via [`EventSink::events_dropped`]).
+    dropped: u64,
+}
+
+/// Health of one subscription (see
+/// [`ContinuousQueryEngine::subscription_health`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubscriptionHealth {
+    /// The sink is attached and receiving matches.
+    Active,
+    /// The sink panicked (or failed) during a delivery and was detached;
+    /// the payload is the recorded failure message. The subscription stays
+    /// registered — and this health stays queryable — until unsubscribed.
+    Quarantined(String),
 }
 
 /// One query slot. Deregistration bumps the generation and puts the slot on
@@ -229,17 +257,41 @@ fn trim_observed(observed: &mut Vec<u64>, live_horizon: u64) {
 /// classic per-query loop, the shared-index fan-out, and the sharded
 /// fan-in flush) goes through, so emission semantics cannot diverge
 /// between paths.
+///
+/// Subscriber deliveries are supervised (`catch_unwind` plus the
+/// `sink-delivery` failpoint): a failing sink is quarantined in place and
+/// the remaining subscribers — and the call-level sink — still receive the
+/// event. The call-level sink is *not* supervised: it lives on the caller's
+/// own stack, so a panic there is the caller's to handle.
 fn deliver_match(
     handle: QueryHandle,
     query: &QueryGraph,
     graph: &DynamicGraph,
     m: &PartialMatch,
-    subscribers: &mut [(u64, Box<dyn EventSink>)],
+    subscribers: &mut [Subscription],
     sink: &mut dyn EventSink,
 ) {
     let event = MatchEvent::from_match(handle, query, graph, m);
-    for (_, subscriber) in subscribers.iter_mut() {
-        subscriber.on_match(event.clone());
+    for sub in subscribers.iter_mut() {
+        let Some(subscriber) = sub.sink.as_mut() else {
+            continue; // already quarantined
+        };
+        let failure = if crate::failpoint::fire_at("sink-delivery", sub.token as usize) {
+            Some("injected sink-delivery error".to_owned())
+        } else {
+            let ev = event.clone();
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| subscriber.on_match(ev)))
+                .err()
+                .map(|payload| panic_message(payload.as_ref()))
+        };
+        if let Some(message) = failure {
+            sub.dropped = sub
+                .sink
+                .as_ref()
+                .map_or(sub.dropped, |s| s.events_dropped());
+            sub.sink = None;
+            sub.error = Some(message);
+        }
     }
     sink.on_match(event);
 }
@@ -286,6 +338,12 @@ pub struct ContinuousQueryEngine {
     events_emitted: u64,
     /// Reusable buffer for complete matches produced per event.
     match_scratch: Vec<PartialMatch>,
+    /// `Some(reason)` once a shard failure could not be contained (the
+    /// [`crate::ShardFailurePolicy::FailFast`] policy, or a `Degrade` with
+    /// no surviving shard): join state is gone, so serving further calls
+    /// would silently under-report matches. Every fallible engine method
+    /// returns [`EngineError::Poisoned`] from then on.
+    poisoned: Option<String>,
 }
 
 impl ContinuousQueryEngine {
@@ -326,6 +384,7 @@ impl ContinuousQueryEngine {
             events_ingested: 0,
             events_emitted: 0,
             match_scratch: Vec::new(),
+            poisoned: None,
             config,
         }
     }
@@ -335,11 +394,13 @@ impl ContinuousQueryEngine {
     /// join-key-sharded matcher spread over worker threads.
     fn build_exec(&self, plan: QueryPlan) -> QueryExec {
         if self.config.shards > 1 {
-            QueryExec::Sharded(Box::new(ShardedMatcher::new(
+            QueryExec::Sharded(Box::new(ShardedMatcher::with_options(
                 plan,
                 &self.graph,
                 self.config.shards,
                 self.config.max_matches_per_node,
+                self.config.channel_capacity,
+                self.config.shard_failure_policy,
             )))
         } else {
             QueryExec::Single(
@@ -672,6 +733,11 @@ impl ContinuousQueryEngine {
             m.edges_processed += shared_edges;
             m.local_search_candidates += self.shared.slot_candidates(handle.id().0 as u32);
         }
+        m.sink_events_dropped += state
+            .subscribers
+            .iter()
+            .map(|s| s.dropped + s.sink.as_ref().map_or(0, |sink| sink.events_dropped()))
+            .sum::<u64>();
         Ok(m)
     }
 
@@ -706,15 +772,12 @@ impl ContinuousQueryEngine {
     }
 
     /// Metrics of every live query, in the order of [`Self::handles`].
+    /// Empty once the engine is poisoned (per-query metrics are no longer
+    /// meaningful without their join state).
     pub fn all_metrics(&self) -> Vec<(QueryHandle, QueryMetrics)> {
         self.handles()
             .into_iter()
-            .map(|h| {
-                let m = self
-                    .metrics(h)
-                    .expect("handles() only returns live handles");
-                (h, m)
-            })
+            .filter_map(|h| self.metrics(h).ok().map(|m| (h, m)))
             .collect()
     }
 
@@ -754,7 +817,12 @@ impl ContinuousQueryEngine {
     ) -> Result<SubscriptionId, EngineError> {
         let token = self.next_subscription;
         let state = self.state_mut(handle)?;
-        state.subscribers.push((token, Box::new(sink)));
+        state.subscribers.push(Subscription {
+            token,
+            sink: Some(Box::new(sink)),
+            error: None,
+            dropped: 0,
+        });
         self.next_subscription += 1;
         Ok(SubscriptionId {
             query: handle.id(),
@@ -765,22 +833,50 @@ impl ContinuousQueryEngine {
     /// Detaches a subscription. The sink is dropped; a stale or unknown id is
     /// rejected. (Deregistering a query drops all its subscriptions at once.)
     pub fn unsubscribe(&mut self, sub: SubscriptionId) -> Result<(), EngineError> {
+        self.check_poisoned()?;
         let state = self
             .queries
             .get_mut(sub.query.0)
             .and_then(|slot| slot.state.as_mut())
             .ok_or(EngineError::UnknownSubscription(sub))?;
         let before = state.subscribers.len();
-        state.subscribers.retain(|(token, _)| *token != sub.token);
+        state.subscribers.retain(|s| s.token != sub.token);
         if state.subscribers.len() == before {
             return Err(EngineError::UnknownSubscription(sub));
         }
         Ok(())
     }
 
-    /// Number of active subscriptions on a query.
+    /// Number of subscriptions on a query, quarantined ones included (they
+    /// stay registered so their health remains queryable).
     pub fn subscription_count(&self, handle: QueryHandle) -> Result<usize, EngineError> {
         Ok(self.state(handle)?.subscribers.len())
+    }
+
+    /// Health of one subscription: [`SubscriptionHealth::Active`] while its
+    /// sink is attached, [`SubscriptionHealth::Quarantined`] once a panic
+    /// (or injected delivery error) during match delivery detached it. A
+    /// quarantined subscription receives no further events; unsubscribe it
+    /// and re-subscribe a fresh sink to resume delivery.
+    pub fn subscription_health(
+        &self,
+        sub: SubscriptionId,
+    ) -> Result<SubscriptionHealth, EngineError> {
+        self.check_poisoned()?;
+        let state = self
+            .queries
+            .get(sub.query.0)
+            .and_then(|slot| slot.state.as_ref())
+            .ok_or(EngineError::UnknownSubscription(sub))?;
+        let subscription = state
+            .subscribers
+            .iter()
+            .find(|s| s.token == sub.token)
+            .ok_or(EngineError::UnknownSubscription(sub))?;
+        Ok(match &subscription.error {
+            Some(message) => SubscriptionHealth::Quarantined(message.clone()),
+            None => SubscriptionHealth::Active,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -806,7 +902,25 @@ impl ContinuousQueryEngine {
         self.sharing_active = self.config.shared_matching && self.shared.sharing_possible();
     }
 
+    /// Errors with [`EngineError::Poisoned`] once an uncontained shard
+    /// failure has invalidated the engine's join state — the gate every
+    /// fallible public method passes through.
+    fn check_poisoned(&self) -> Result<(), EngineError> {
+        match &self.poisoned {
+            Some(reason) => Err(EngineError::Poisoned(reason.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// The uncontained-failure reason poisoning this engine, if any. While
+    /// `Some`, every fallible method returns [`EngineError::Poisoned`];
+    /// rebuild the engine (e.g. from a checkpoint) to recover.
+    pub fn poison_reason(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
     fn slot_mut(&mut self, handle: QueryHandle) -> Result<&mut QuerySlot, EngineError> {
+        self.check_poisoned()?;
         match self.queries.get_mut(handle.id().0) {
             Some(slot) if slot.generation == handle.generation() && slot.state.is_some() => {
                 Ok(slot)
@@ -816,6 +930,7 @@ impl ContinuousQueryEngine {
     }
 
     fn state(&self, handle: QueryHandle) -> Result<&QueryState, EngineError> {
+        self.check_poisoned()?;
         match self.queries.get(handle.id().0) {
             Some(slot) if slot.generation == handle.generation() => {
                 slot.state.as_ref().ok_or(EngineError::StaleHandle(handle))
@@ -854,16 +969,40 @@ impl ContinuousQueryEngine {
     /// sink and one scratch set for the whole batch) and finish with a single
     /// partial-match prune covering the trailing sub-interval of the prune
     /// cadence.
-    pub fn ingest<B: Ingest>(&mut self, batch: B) -> Vec<MatchEvent> {
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShardFailed`] when a sharded worker died during the
+    /// call: with `degraded: true` the failure was contained (state
+    /// transplanted onto surviving shards — the engine keeps serving, and
+    /// this batch's matches were still delivered to subscriptions, though
+    /// not returned here); with `degraded: false` the engine is poisoned
+    /// and every subsequent call returns [`EngineError::Poisoned`]. Attach
+    /// a subscription ([`Self::subscribe`]) to observe matches across
+    /// degraded batches, or use [`Self::ingest_with`].
+    pub fn ingest<B: Ingest>(&mut self, batch: B) -> Result<Vec<MatchEvent>, EngineError> {
         let mut sink = CollectingSink::new();
-        self.ingest_with(batch, &mut sink);
-        sink.into_events()
+        self.ingest_with(batch, &mut sink)?;
+        Ok(sink.into_events())
     }
 
     /// Like [`Self::ingest`], but delivers matches to `sink` instead of
     /// collecting them. Returns the number of matches emitted (fan-out to
-    /// subscriptions does not multiply the count).
-    pub fn ingest_with<B: Ingest>(&mut self, batch: B, sink: &mut dyn EventSink) -> usize {
+    /// subscriptions does not multiply the count). On
+    /// [`EngineError::ShardFailed`] with `degraded: true`, matches of the
+    /// faulted batch have already reached `sink` — only the count is
+    /// forfeited.
+    pub fn ingest_with<B: Ingest>(
+        &mut self,
+        batch: B,
+        sink: &mut dyn EventSink,
+    ) -> Result<usize, EngineError> {
+        self.check_poisoned()?;
+        // Entry failpoint: fires before any state is touched, so a `Panic`
+        // action unwinds with the engine still consistent. An `Error` action
+        // is meaningless here (nothing has been mutated yet) and is ignored;
+        // `Delay` exercises ingest-side latency.
+        let _ = crate::failpoint::fire_at("ingest-front", 0);
         let trailing_prune = batch.is_batch();
         let mut emitted = 0usize;
         batch.drive(&mut |ev| emitted += self.process_event_inner(ev, sink));
@@ -875,7 +1014,36 @@ impl ContinuousQueryEngine {
         if trailing_prune && self.edges_since_prune > 0 {
             self.prune_now();
         }
-        emitted
+        self.surface_shard_failures()?;
+        Ok(emitted)
+    }
+
+    /// Surfaces structured failures reported by sharded workers during this
+    /// call. Under [`crate::ShardFailurePolicy::Degrade`] the failed shard's
+    /// join state was transplanted onto a survivor and the engine keeps
+    /// serving; under `FailFast` — or when no survivor was left to adopt
+    /// the state — the engine poisons itself so later calls cannot silently
+    /// under-report matches.
+    fn surface_shard_failures(&mut self) -> Result<(), EngineError> {
+        let mut failures: Vec<ShardFailure> = Vec::new();
+        for slot in &mut self.queries {
+            if let Some(state) = &mut slot.state {
+                if let QueryExec::Sharded(sharded) = &mut state.exec {
+                    failures.append(&mut sharded.take_failures());
+                }
+            }
+        }
+        let Some(first) = failures.into_iter().next() else {
+            return Ok(());
+        };
+        if !first.degraded {
+            self.poisoned = Some(first.message.clone());
+        }
+        Err(EngineError::ShardFailed {
+            shard: first.shard,
+            message: first.message,
+            degraded: first.degraded,
+        })
     }
 
     /// Drains every sharded query's completed-match fan-in: waits for the
@@ -1175,9 +1343,13 @@ mod tests {
             )
             .unwrap();
         assert_eq!(engine.query_count(), 1);
-        let e1 = engine.ingest(&ev("a1", "Article", "k1", "Keyword", "mentions", 10));
+        let e1 = engine
+            .ingest(&ev("a1", "Article", "k1", "Keyword", "mentions", 10))
+            .unwrap();
         assert!(e1.is_empty());
-        let e2 = engine.ingest(&ev("a2", "Article", "k1", "Keyword", "mentions", 20));
+        let e2 = engine
+            .ingest(&ev("a2", "Article", "k1", "Keyword", "mentions", 20))
+            .unwrap();
         assert_eq!(e2.len(), 2);
         assert_eq!(e2[0].query, handle.id());
         assert_eq!(engine.events_emitted(), 2);
@@ -1190,11 +1362,17 @@ mod tests {
         engine
             .register_query(common_keyword_query(Duration::from_secs(30)))
             .unwrap();
-        engine.ingest(&ev("a1", "Article", "k1", "Keyword", "mentions", 0));
-        let matches = engine.ingest(&ev("a2", "Article", "k1", "Keyword", "mentions", 100));
+        engine
+            .ingest(&ev("a1", "Article", "k1", "Keyword", "mentions", 0))
+            .unwrap();
+        let matches = engine
+            .ingest(&ev("a2", "Article", "k1", "Keyword", "mentions", 100))
+            .unwrap();
         assert!(matches.is_empty());
         // A third article arriving close to the second *does* match with it.
-        let matches = engine.ingest(&ev("a3", "Article", "k1", "Keyword", "mentions", 110));
+        let matches = engine
+            .ingest(&ev("a3", "Article", "k1", "Keyword", "mentions", 110))
+            .unwrap();
         assert_eq!(matches.len(), 2);
     }
 
@@ -1230,7 +1408,7 @@ mod tests {
             ev("a1", "Article", "paris", "Location", "located", 3),
             ev("a2", "Article", "paris", "Location", "located", 4),
         ];
-        let all = engine.ingest(&events);
+        let all = engine.ingest(&events).unwrap();
         let keyword_hits = all.iter().filter(|e| e.query == keyword_q.id()).count();
         let location_hits = all.iter().filter(|e| e.query == location_q.id()).count();
         assert_eq!(keyword_hits, 2);
@@ -1246,8 +1424,12 @@ mod tests {
         engine
             .register_query(common_keyword_query(Duration::from_secs(10)))
             .unwrap();
-        engine.ingest(&ev("a1", "Article", "k1", "Keyword", "mentions", 0));
-        engine.ingest(&ev("a2", "Article", "k2", "Keyword", "mentions", 100));
+        engine
+            .ingest(&ev("a1", "Article", "k1", "Keyword", "mentions", 0))
+            .unwrap();
+        engine
+            .ingest(&ev("a2", "Article", "k2", "Keyword", "mentions", 100))
+            .unwrap();
         // The first edge expired; the summary's live edge count reflects that.
         let mentions = engine.graph().edge_type_id("mentions").unwrap();
         assert_eq!(engine.summary().types().edge_count(mentions), 1);
@@ -1272,14 +1454,16 @@ mod tests {
         // A long stream of articles each mentioning their own keyword: no
         // matches, and partial matches should be pruned as time advances.
         for i in 0..500 {
-            engine.ingest(&ev(
-                &format!("a{i}"),
-                "Article",
-                &format!("k{}", i % 7),
-                "Keyword",
-                "mentions",
-                i,
-            ));
+            engine
+                .ingest(&ev(
+                    &format!("a{i}"),
+                    "Article",
+                    &format!("k{}", i % 7),
+                    "Keyword",
+                    "mentions",
+                    i,
+                ))
+                .unwrap();
         }
         let metrics = engine.metrics(handle).unwrap();
         assert!(metrics.partial_matches_expired > 0);
@@ -1307,8 +1491,12 @@ mod tests {
             "left-deep-edge-chain"
         );
 
-        engine.ingest(&ev("a1", "Article", "k1", "Keyword", "mentions", 1));
-        engine.ingest(&ev("a2", "Article", "k2", "Keyword", "mentions", 2));
+        engine
+            .ingest(&ev("a1", "Article", "k1", "Keyword", "mentions", 1))
+            .unwrap();
+        engine
+            .ingest(&ev("a2", "Article", "k2", "Keyword", "mentions", 2))
+            .unwrap();
 
         // Re-plan with statistics; the strategy name changes and matching
         // continues to work for patterns completed entirely after the re-plan.
@@ -1320,8 +1508,12 @@ mod tests {
             )
             .unwrap();
         assert_eq!(engine.plan(handle).unwrap().strategy, "selectivity-ordered");
-        engine.ingest(&ev("a3", "Article", "k3", "Keyword", "mentions", 10));
-        let matches = engine.ingest(&ev("a4", "Article", "k3", "Keyword", "mentions", 11));
+        engine
+            .ingest(&ev("a3", "Article", "k3", "Keyword", "mentions", 10))
+            .unwrap();
+        let matches = engine
+            .ingest(&ev("a4", "Article", "k3", "Keyword", "mentions", 11))
+            .unwrap();
         assert_eq!(matches.len(), 2);
 
         // Stale handles are rejected.
@@ -1341,8 +1533,12 @@ mod tests {
         engine
             .register_query(common_keyword_query(Duration::from_hours(1)))
             .unwrap();
-        engine.ingest(&ev("a1", "Article", "k1", "Keyword", "mentions", 1));
-        let matches = engine.ingest(&ev("a2", "Article", "k1", "Keyword", "mentions", 2));
+        engine
+            .ingest(&ev("a1", "Article", "k1", "Keyword", "mentions", 1))
+            .unwrap();
+        let matches = engine
+            .ingest(&ev("a2", "Article", "k1", "Keyword", "mentions", 2))
+            .unwrap();
         let keys: Vec<_> = matches[0].bindings.iter().map(|b| b.key.as_str()).collect();
         assert!(keys.contains(&"a1"));
         assert!(keys.contains(&"a2"));
@@ -1366,8 +1562,8 @@ mod tests {
             ev("a3", "Article", "k2", "Keyword", "mentions", 3),
             ev("a4", "Article", "k1", "Keyword", "mentions", 4),
         ];
-        let expected = single.ingest(&events);
-        let got = sharded.ingest(&events);
+        let expected = single.ingest(&events).unwrap();
+        let got = sharded.ingest(&events).unwrap();
         // Same events in stream order (MatchEvent derives PartialEq).
         let mut expected_sorted = expected.clone();
         let mut got_sorted = got.clone();
@@ -1400,12 +1596,14 @@ mod tests {
         let location_sub = engine.subscribe(location_q, buffer_sink).unwrap();
         assert_eq!(engine.subscription_count(keyword_q).unwrap(), 1);
 
-        engine.ingest(&[
-            ev("a1", "Article", "k1", "Keyword", "mentions", 1),
-            ev("a2", "Article", "k1", "Keyword", "mentions", 2),
-            ev("a1", "Article", "paris", "Location", "located", 3),
-            ev("a2", "Article", "paris", "Location", "located", 4),
-        ]);
+        engine
+            .ingest(&[
+                ev("a1", "Article", "k1", "Keyword", "mentions", 1),
+                ev("a2", "Article", "k1", "Keyword", "mentions", 2),
+                ev("a1", "Article", "paris", "Location", "located", 3),
+                ev("a2", "Article", "paris", "Location", "located", 4),
+            ])
+            .unwrap();
         // Each tenant saw only its own query's matches.
         assert_eq!(keyword_count.get(), 2);
         let location_events = location_buffer.drain();
@@ -1415,10 +1613,12 @@ mod tests {
         // Unsubscribing stops delivery; a second cancel of the same id fails.
         engine.unsubscribe(location_sub).unwrap();
         assert!(engine.unsubscribe(location_sub).is_err());
-        engine.ingest(&[
-            ev("a3", "Article", "paris", "Location", "located", 5),
-            ev("a4", "Article", "paris", "Location", "located", 6),
-        ]);
+        engine
+            .ingest(&[
+                ev("a3", "Article", "paris", "Location", "located", 5),
+                ev("a4", "Article", "paris", "Location", "located", 6),
+            ])
+            .unwrap();
         assert!(location_buffer.is_empty());
         assert_eq!(engine.subscription_count(location_q).unwrap(), 0);
     }
@@ -1434,14 +1634,16 @@ mod tests {
             .unwrap();
         for i in 0..50i64 {
             // Events 1000s apart with a 5s window: everything expires.
-            engine.ingest(&ev(
-                &format!("a{i}"),
-                "Article",
-                "k",
-                "Keyword",
-                "mentions",
-                i * 1_000,
-            ));
+            engine
+                .ingest(&ev(
+                    &format!("a{i}"),
+                    "Article",
+                    "k",
+                    "Keyword",
+                    "mentions",
+                    i * 1_000,
+                ))
+                .unwrap();
             engine.pause(handle).unwrap();
             engine.resume(handle).unwrap();
         }

@@ -17,6 +17,40 @@ pub enum EngineError {
     InvalidConfig(String),
     /// Query parsing or planning failed.
     Planning(QueryError),
+    /// A worker thread of a [`crate::ParallelRunner`] panicked; carries the
+    /// worker index and the stringified panic payload.
+    WorkerPanicked {
+        /// Index of the worker thread that died (0-based).
+        worker: usize,
+        /// The panic payload, rendered to a string when possible.
+        message: String,
+    },
+    /// A shard worker of a sharded query died mid-stream. Under the
+    /// [`crate::ShardFailurePolicy::FailFast`] policy the engine is poisoned
+    /// after surfacing this; under `Degrade` the shard's join state has been
+    /// transplanted onto the surviving workers and the engine keeps serving.
+    ShardFailed {
+        /// Index of the shard whose worker died (0-based).
+        shard: usize,
+        /// The panic payload or failure description.
+        message: String,
+        /// True when the engine quarantined the shard and kept serving
+        /// (`Degrade`); false when the engine is now poisoned (`FailFast`).
+        degraded: bool,
+    },
+    /// The engine was poisoned by an earlier shard failure under the
+    /// `FailFast` policy; every subsequent operation returns this until the
+    /// engine is rebuilt (e.g. from a checkpoint).
+    Poisoned(String),
+    /// A checkpoint file could not be parsed — typically a partially-written
+    /// or truncated snapshot.
+    CorruptCheckpoint {
+        /// Byte offset where parsing stopped, when the JSON scanner got that
+        /// far; `None` for shape errors detected after parsing.
+        offset: Option<usize>,
+        /// Human-readable description of the parse failure.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -30,6 +64,31 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::InvalidConfig(msg) => write!(f, "invalid engine configuration: {msg}"),
             EngineError::Planning(e) => write!(f, "query planning failed: {e}"),
+            EngineError::WorkerPanicked { worker, message } => {
+                write!(f, "worker thread {worker} panicked: {message}")
+            }
+            EngineError::ShardFailed {
+                shard,
+                message,
+                degraded,
+            } => {
+                if *degraded {
+                    write!(
+                        f,
+                        "shard {shard} failed and was quarantined (state transplanted onto \
+                         surviving shards): {message}"
+                    )
+                } else {
+                    write!(f, "shard {shard} failed, engine poisoned: {message}")
+                }
+            }
+            EngineError::Poisoned(msg) => {
+                write!(f, "engine poisoned by an earlier shard failure: {msg}")
+            }
+            EngineError::CorruptCheckpoint { offset, detail } => match offset {
+                Some(at) => write!(f, "corrupt checkpoint at byte {at}: {detail}"),
+                None => write!(f, "corrupt checkpoint: {detail}"),
+            },
         }
     }
 }
@@ -65,6 +124,41 @@ mod tests {
             token: 4,
         });
         assert!(sub.to_string().contains("sub4.q0"));
+    }
+
+    #[test]
+    fn failure_errors_render_their_context() {
+        let p = EngineError::WorkerPanicked {
+            worker: 3,
+            message: "boom".into(),
+        };
+        assert!(p.to_string().contains("worker thread 3"));
+        assert!(p.to_string().contains("boom"));
+        let fail = EngineError::ShardFailed {
+            shard: 1,
+            message: "climb panicked".into(),
+            degraded: false,
+        };
+        assert!(fail.to_string().contains("shard 1"));
+        assert!(fail.to_string().contains("poisoned"));
+        let degraded = EngineError::ShardFailed {
+            shard: 2,
+            message: "probe panicked".into(),
+            degraded: true,
+        };
+        assert!(degraded.to_string().contains("quarantined"));
+        let poisoned = EngineError::Poisoned("shard 0 died".into());
+        assert!(poisoned.to_string().contains("poisoned"));
+        let corrupt = EngineError::CorruptCheckpoint {
+            offset: Some(17),
+            detail: "unexpected end of input".into(),
+        };
+        assert!(corrupt.to_string().contains("byte 17"));
+        let shapeless = EngineError::CorruptCheckpoint {
+            offset: None,
+            detail: "missing field".into(),
+        };
+        assert!(shapeless.to_string().contains("missing field"));
     }
 
     #[test]

@@ -116,9 +116,40 @@ impl MatchEvent {
 }
 
 /// Where the engine delivers match events.
+///
+/// Delivery is supervised: a sink that panics inside [`EventSink::on_match`]
+/// is detached from its subscription and the panic recorded — it never
+/// poisons the engine or other subscribers (see
+/// [`crate::ContinuousQueryEngine::subscription_health`]).
 pub trait EventSink {
     /// Called once per complete match, in discovery order.
     fn on_match(&mut self, event: MatchEvent);
+
+    /// Events this sink has discarded under a bounded-queue overflow policy
+    /// (see [`SinkOverflow`]). The engine folds the per-subscriber totals
+    /// into [`crate::QueryMetrics::sink_events_dropped`]. Unbounded sinks
+    /// keep the default of zero.
+    fn events_dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// What a bounded sink queue does when it is full (see
+/// [`BufferingSink::bounded`] and [`ChannelSink::bounded`]).
+///
+/// `Block` preserves every event at the cost of stalling the engine's
+/// ingest thread until the consumer drains; the drop policies keep ingest
+/// non-blocking and count what they discard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkOverflow {
+    /// Wait for space: correctness-preserving backpressure onto the ingest
+    /// thread.
+    Block,
+    /// Evict the oldest queued event to admit the new one (the consumer
+    /// sees the freshest window of matches).
+    DropOldest,
+    /// Discard the new event (the consumer sees the oldest matches).
+    DropNewest,
 }
 
 /// A sink that stores every event in memory.
@@ -182,19 +213,71 @@ impl<F: FnMut(MatchEvent)> EventSink for CallbackSink<F> {
 /// logging thread), dropping events if the receiver has disconnected.
 pub struct ChannelSink {
     sender: crossbeam::channel::Sender<MatchEvent>,
+    lossy: bool,
+    dropped: u64,
 }
 
 impl ChannelSink {
     /// Creates an unbounded channel sink, returning the sink and the receiver.
     pub fn unbounded() -> (Self, crossbeam::channel::Receiver<MatchEvent>) {
         let (tx, rx) = crossbeam::channel::unbounded();
-        (ChannelSink { sender: tx }, rx)
+        (
+            ChannelSink {
+                sender: tx,
+                lossy: false,
+                dropped: 0,
+            },
+            rx,
+        )
+    }
+
+    /// Creates a bounded channel sink with [`SinkOverflow::Block`]
+    /// semantics: when `capacity` events are queued, delivery (and with it
+    /// the engine's ingest thread) blocks until the receiver drains — a slow
+    /// consumer backpressures the stream instead of growing memory.
+    pub fn bounded(capacity: usize) -> (Self, crossbeam::channel::Receiver<MatchEvent>) {
+        let (tx, rx) = crossbeam::channel::bounded(capacity.max(1));
+        (
+            ChannelSink {
+                sender: tx,
+                lossy: false,
+                dropped: 0,
+            },
+            rx,
+        )
+    }
+
+    /// Creates a bounded channel sink with [`SinkOverflow::DropNewest`]
+    /// semantics: when the queue is full the new event is discarded and
+    /// counted ([`EventSink::events_dropped`]) — ingest never blocks.
+    /// `DropOldest` is not offered here because a channel's sender half
+    /// cannot evict queued elements; use [`BufferingSink::bounded`] for it.
+    pub fn bounded_lossy(capacity: usize) -> (Self, crossbeam::channel::Receiver<MatchEvent>) {
+        let (tx, rx) = crossbeam::channel::bounded(capacity.max(1));
+        (
+            ChannelSink {
+                sender: tx,
+                lossy: true,
+                dropped: 0,
+            },
+            rx,
+        )
     }
 }
 
 impl EventSink for ChannelSink {
     fn on_match(&mut self, event: MatchEvent) {
-        let _ = self.sender.send(event);
+        if self.lossy {
+            if let Err(crossbeam::channel::TrySendError::Full(_)) = self.sender.try_send(event) {
+                self.dropped += 1;
+            }
+        } else {
+            let _ = self.sender.send(event);
+        }
+    }
+
+    fn events_dropped(&self) -> u64 {
+        self.dropped
     }
 }
 
@@ -238,54 +321,133 @@ impl MatchCounter {
     }
 }
 
+/// Shared state behind a [`BufferingSink`] / [`MatchBuffer`] pair.
+///
+/// The mutex is locked with poison *recovery* ([`PoisonError::into_inner`]):
+/// a panic on some other thread that held the lock must not cascade into the
+/// engine's delivery path — a `VecDeque` of events is valid after any
+/// interrupted push, so the data is safe to keep using.
+#[derive(Debug, Default)]
+struct BufferShared {
+    queue: std::sync::Mutex<std::collections::VecDeque<MatchEvent>>,
+    dropped: std::sync::atomic::AtomicU64,
+}
+
+impl BufferShared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, std::collections::VecDeque<MatchEvent>> {
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
 /// A sink that buffers every event behind a shared handle, so a subscriber
 /// can drain its matches between ingest calls while the engine owns the sink
 /// itself. The buffering twin of [`CollectingSink`] for the subscription API.
+///
+/// [`BufferingSink::new`] buffers without bound; [`BufferingSink::bounded`]
+/// caps the queue with a declared [`SinkOverflow`] policy.
 #[derive(Debug)]
 pub struct BufferingSink {
-    buffer: std::sync::Arc<std::sync::Mutex<Vec<MatchEvent>>>,
+    shared: std::sync::Arc<BufferShared>,
+    capacity: Option<usize>,
+    policy: SinkOverflow,
 }
 
 impl BufferingSink {
-    /// Creates the sink and the shared buffer observing it.
+    /// Creates the sink and the shared buffer observing it (unbounded).
     pub fn new() -> (BufferingSink, MatchBuffer) {
-        let buffer = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let shared = std::sync::Arc::new(BufferShared::default());
         (
             BufferingSink {
-                buffer: buffer.clone(),
+                shared: shared.clone(),
+                capacity: None,
+                policy: SinkOverflow::Block,
             },
-            MatchBuffer(buffer),
+            MatchBuffer(shared),
+        )
+    }
+
+    /// Creates a sink whose buffer holds at most `capacity` events, applying
+    /// `policy` when full. With [`SinkOverflow::Block`] the delivering
+    /// thread waits for the observer to [`MatchBuffer::drain`]; the drop
+    /// policies discard and count instead ([`MatchBuffer::dropped`]).
+    pub fn bounded(capacity: usize, policy: SinkOverflow) -> (BufferingSink, MatchBuffer) {
+        let shared = std::sync::Arc::new(BufferShared::default());
+        (
+            BufferingSink {
+                shared: shared.clone(),
+                capacity: Some(capacity.max(1)),
+                policy,
+            },
+            MatchBuffer(shared),
         )
     }
 }
 
 impl EventSink for BufferingSink {
     fn on_match(&mut self, event: MatchEvent) {
-        self.buffer
-            .lock()
-            .expect("match buffer poisoned")
-            .push(event);
+        let cap = self.capacity.unwrap_or(usize::MAX);
+        loop {
+            let mut queue = self.shared.lock();
+            if queue.len() < cap {
+                queue.push_back(event);
+                return;
+            }
+            match self.policy {
+                SinkOverflow::Block => {
+                    // Release the lock so the observer can drain, then retry.
+                    drop(queue);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                SinkOverflow::DropOldest => {
+                    queue.pop_front();
+                    queue.push_back(event);
+                    self.shared
+                        .dropped
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    return;
+                }
+                SinkOverflow::DropNewest => {
+                    self.shared
+                        .dropped
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn events_dropped(&self) -> u64 {
+        self.shared
+            .dropped
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
 /// Shared observer of a [`BufferingSink`].
 #[derive(Debug, Clone)]
-pub struct MatchBuffer(std::sync::Arc<std::sync::Mutex<Vec<MatchEvent>>>);
+pub struct MatchBuffer(std::sync::Arc<BufferShared>);
 
 impl MatchBuffer {
     /// Removes and returns every buffered event, in delivery order.
     pub fn drain(&self) -> Vec<MatchEvent> {
-        std::mem::take(&mut *self.0.lock().expect("match buffer poisoned"))
+        self.0.lock().drain(..).collect()
     }
 
     /// Number of events currently buffered.
     pub fn len(&self) -> usize {
-        self.0.lock().expect("match buffer poisoned").len()
+        self.0.lock().len()
     }
 
     /// True if nothing is buffered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Events the paired sink has discarded under its overflow policy.
+    pub fn dropped(&self) -> u64 {
+        self.0.dropped.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -403,5 +565,80 @@ mod tests {
             &m,
         ));
         assert_eq!(buffer.drain().len(), 1);
+    }
+
+    fn event_for(query: usize) -> MatchEvent {
+        let (g, q, m) = sample_event();
+        MatchEvent::from_match(QueryHandle::new(QueryId(query), 0), &q, &g, &m)
+    }
+
+    #[test]
+    fn bounded_buffer_drop_oldest_keeps_freshest_and_counts() {
+        let (mut sink, buffer) = BufferingSink::bounded(2, SinkOverflow::DropOldest);
+        for i in 0..5 {
+            sink.on_match(event_for(i));
+        }
+        let kept: Vec<usize> = buffer.drain().iter().map(|e| e.query.0).collect();
+        assert_eq!(kept, vec![3, 4]);
+        assert_eq!(buffer.dropped(), 3);
+        assert_eq!(sink.events_dropped(), 3);
+    }
+
+    #[test]
+    fn bounded_buffer_drop_newest_keeps_oldest_and_counts() {
+        let (mut sink, buffer) = BufferingSink::bounded(2, SinkOverflow::DropNewest);
+        for i in 0..5 {
+            sink.on_match(event_for(i));
+        }
+        let kept: Vec<usize> = buffer.drain().iter().map(|e| e.query.0).collect();
+        assert_eq!(kept, vec![0, 1]);
+        assert_eq!(buffer.dropped(), 3);
+    }
+
+    #[test]
+    fn bounded_buffer_block_waits_for_the_observer() {
+        let (mut sink, buffer) = BufferingSink::bounded(1, SinkOverflow::Block);
+        sink.on_match(event_for(0));
+        let drainer = {
+            let buffer = buffer.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                buffer.drain().len()
+            })
+        };
+        // Blocks until the observer thread drains, then succeeds; no drops.
+        sink.on_match(event_for(1));
+        assert_eq!(drainer.join().unwrap(), 1);
+        assert_eq!(buffer.dropped(), 0);
+        assert_eq!(buffer.drain().len(), 1);
+    }
+
+    #[test]
+    fn lossy_channel_sink_counts_overflow_instead_of_blocking() {
+        let (mut sink, rx) = ChannelSink::bounded_lossy(2);
+        for i in 0..5 {
+            sink.on_match(event_for(i));
+        }
+        assert_eq!(sink.events_dropped(), 3);
+        let received: Vec<usize> = rx.try_iter().map(|e| e.query.0).collect();
+        assert_eq!(received, vec![0, 1]);
+    }
+
+    #[test]
+    fn match_buffer_recovers_from_a_poisoning_panic() {
+        let (mut sink, buffer) = BufferingSink::new();
+        sink.on_match(event_for(0));
+        let poisoner = {
+            let buffer = buffer.clone();
+            std::thread::spawn(move || {
+                let _guard = buffer.0.lock();
+                panic!("poison the buffer mutex");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        // The buffer stays usable for both halves despite the poisoned lock.
+        sink.on_match(event_for(1));
+        assert_eq!(buffer.len(), 2);
+        assert_eq!(buffer.drain().len(), 2);
     }
 }

@@ -68,6 +68,20 @@ pub struct SubscriptionId {
     pub(crate) token: u64,
 }
 
+impl SubscriptionId {
+    /// The query this subscription is attached to.
+    pub fn query(&self) -> QueryId {
+        self.query
+    }
+
+    /// The engine-unique subscription token — also the index of this
+    /// subscription's `sink-delivery` failpoint site (see
+    /// [`crate::failpoint`]).
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+}
+
 impl std::fmt::Display for SubscriptionId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "sub{}.q{}", self.token, self.query.0)

@@ -65,7 +65,7 @@ impl Ingest for &Vec<EdgeEvent> {
 }
 
 /// Adapter treating any iterator of `&EdgeEvent` as a batch, e.g.
-/// `engine.ingest(EventBatch(events.iter().filter(..)))`.
+/// `engine.ingest(EventBatch(events.iter().filter(..))).unwrap()`.
 #[derive(Debug, Clone)]
 pub struct EventBatch<I>(pub I);
 

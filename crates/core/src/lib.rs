@@ -33,7 +33,7 @@
 //! let matches = engine.ingest(&[
 //!     EdgeEvent::new("a1", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(10)),
 //!     EdgeEvent::new("a2", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(20)),
-//! ]);
+//! ]).unwrap();
 //! assert_eq!(matches.len(), 2); // (a1, a2) and (a2, a1)
 //! assert_eq!(seen.get(), 2);
 //!
@@ -55,6 +55,7 @@ mod constraints;
 mod engine;
 mod error;
 mod event;
+pub mod failpoint;
 mod handle;
 mod ingest;
 mod join;
@@ -68,18 +69,18 @@ mod sj_matcher;
 pub use adaptive::{AdaptiveConfig, AdaptiveReplanner, ReplanDecision, ReplanStrategy};
 pub use binding::{Binding, PartialMatch, INLINE_EDGES, INLINE_VERTICES};
 pub use checkpoint::EngineCheckpoint;
-pub use config::{EngineBuilder, EngineConfig};
+pub use config::{EngineBuilder, EngineConfig, ShardFailurePolicy};
 pub use constraints::CompiledConstraints;
-pub use engine::ContinuousQueryEngine;
+pub use engine::{ContinuousQueryEngine, SubscriptionHealth};
 pub use error::EngineError;
 pub use event::{
     BoundVertex, BufferingSink, CallbackSink, ChannelSink, CollectingSink, CountingSink, EventSink,
-    MatchBuffer, MatchCounter, MatchEvent, QueryId,
+    MatchBuffer, MatchCounter, MatchEvent, QueryId, SinkOverflow,
 };
 pub use handle::{QueryHandle, SubscriptionId};
 pub use ingest::{EventBatch, Ingest};
 pub use local_search::{find_primitive_matches, LocalSearchStats};
 pub use match_store::{JoinKey, JoinSide, SharedJoinStore};
 pub use metrics::{EngineMetrics, QueryMetrics, ShardMetrics};
-pub use parallel::{ParallelRunOutcome, ParallelRunner, ShardedMatcher};
+pub use parallel::{ParallelRunOutcome, ParallelRunner, ShardFailure, ShardedMatcher};
 pub use sj_matcher::SjTreeMatcher;

@@ -439,6 +439,75 @@ impl SharedJoinStore {
         removed
     }
 
+    /// Moves every match of `other` — a store for the *same* SJ-Tree node,
+    /// previously owned by another shard — into this store, without
+    /// re-running any join probes.
+    ///
+    /// Used by the `Degrade` shard-failure policy to transplant a
+    /// quarantined shard's state onto a survivor. Correctness rests on the
+    /// sharding invariant that all state for one join key lives in exactly
+    /// one shard: the incoming keys are disjoint from the resident ones, and
+    /// every (left, right) pair under them has already been offered to the
+    /// donor's probe. Re-probing here would re-emit those joins; the
+    /// wholesale move preserves the exact match multiset. Expiry stays
+    /// exact: every transplanted bucket side is re-scheduled on its recorded
+    /// minimum, and the pending minima merge.
+    pub fn absorb(&mut self, other: SharedJoinStore) {
+        debug_assert_eq!(
+            self.key_vertices, other.key_vertices,
+            "absorb requires stores of the same SJ-Tree node"
+        );
+        let SharedJoinStore {
+            key_vertices: _,
+            buckets,
+            pending,
+            pending_min,
+            expiry: _,
+            live,
+            inserted_total,
+            expired_total,
+            edge_histogram,
+            max_edges,
+        } = other;
+        for (key, mut bucket) in buckets {
+            let dst = self.buckets.entry(key.clone()).or_default();
+            for side in [JoinSide::Left, JoinSide::Right] {
+                let i = side.index();
+                if bucket.sides[i].is_empty() {
+                    continue;
+                }
+                dst.sides[i].append(&mut bucket.sides[i]);
+                if bucket.min_earliest[i] < dst.min_earliest[i] {
+                    dst.min_earliest[i] = bucket.min_earliest[i];
+                    self.expiry.push(ExpiryEntry {
+                        earliest: bucket.min_earliest[i],
+                        key: key.clone(),
+                        side,
+                    });
+                }
+            }
+        }
+        let [p_left, p_right] = pending;
+        for (side, backlog) in [(JoinSide::Left, p_left), (JoinSide::Right, p_right)] {
+            let i = side.index();
+            if pending_min[i] < self.pending_min[i] {
+                self.pending_min[i] = pending_min[i];
+            }
+            self.pending[i].extend(backlog);
+        }
+        self.live[0] += live[0];
+        self.live[1] += live[1];
+        self.inserted_total += inserted_total;
+        self.expired_total += expired_total;
+        if edge_histogram.len() > self.edge_histogram.len() {
+            self.edge_histogram.resize(edge_histogram.len(), 0);
+        }
+        for (i, count) in edge_histogram.into_iter().enumerate() {
+            self.edge_histogram[i] += count;
+        }
+        self.max_edges = self.max_edges.max(max_edges);
+    }
+
     /// Drops every stored match.
     pub fn clear(&mut self) {
         self.buckets.clear();
@@ -555,6 +624,34 @@ mod tests {
         assert!(seen > 0, "surviving right-side matches remain indexed");
         store.clear();
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn absorb_transplants_without_reprobing_and_keeps_expiry_exact() {
+        // Donor and survivor hold disjoint key sets (the sharding invariant).
+        let mut survivor = SharedJoinStore::new(vec![QueryVertexId(0)]);
+        file(&mut survivor, JoinSide::Left, m(&[(0, 1)], 1, 100));
+        file(&mut survivor, JoinSide::Right, m(&[(0, 1)], 2, 200));
+
+        let mut donor = SharedJoinStore::new(vec![QueryVertexId(0)]);
+        file(&mut donor, JoinSide::Left, m(&[(0, 7)], 3, 50));
+        file(&mut donor, JoinSide::Left, m(&[(0, 8)], 4, 300)); // stays pending
+        let donor_inserted = donor.inserted_total();
+
+        survivor.absorb(donor);
+        assert_eq!(survivor.len(), 4);
+        assert_eq!(survivor.inserted_total(), 2 + donor_inserted);
+
+        // Transplanted matches join with *new* arrivals exactly once…
+        assert_eq!(file(&mut survivor, JoinSide::Right, m(&[(0, 7)], 5, 60)), 1);
+        // …and the transplanted side minima stay on the expiry schedule:
+        // cutoff 150 removes the ts=50/60 pair plus the survivor's ts=100.
+        assert_eq!(
+            survivor.expire_older_than(Timestamp::from_secs(150)),
+            3,
+            "transplanted state must not hide from expiry"
+        );
+        assert_eq!(survivor.len(), 2);
     }
 
     #[test]

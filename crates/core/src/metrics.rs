@@ -41,6 +41,14 @@ pub struct QueryMetrics {
     /// silently paying a per-match allocation the paper-sized fast path
     /// avoids.
     pub binding_spills: u64,
+    /// Match events dropped by this query's subscriber sinks under a
+    /// `DropOldest`/`DropNewest` overflow policy (see
+    /// `streamworks_core::SinkOverflowPolicy`). Sinks with the `Block`
+    /// policy — and unbounded sinks — never contribute here. Defaults to 0
+    /// when absent from serialized form (snapshots written before overflow
+    /// policies existed).
+    #[serde(default)]
+    pub sink_events_dropped: u64,
 }
 
 impl QueryMetrics {
@@ -76,6 +84,7 @@ impl QueryMetrics {
         self.complete_matches += other.complete_matches;
         self.matches_dropped_by_cap += other.matches_dropped_by_cap;
         self.binding_spills += other.binding_spills;
+        self.sink_events_dropped += other.sink_events_dropped;
     }
 }
 

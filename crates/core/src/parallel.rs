@@ -72,7 +72,7 @@
 //! let matches = engine.ingest(&[
 //!     EdgeEvent::new("a1", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(10)),
 //!     EdgeEvent::new("a2", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(20)),
-//! ]);
+//! ]).unwrap();
 //! assert_eq!(matches.len(), 2); // same multiset as the 1-thread engine
 //! assert_eq!(seen.drain().len(), 2);
 //!
@@ -82,7 +82,7 @@
 //! ```
 
 use crate::binding::PartialMatch;
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, ShardFailurePolicy};
 use crate::engine::ContinuousQueryEngine;
 use crate::error::EngineError;
 use crate::event::MatchEvent;
@@ -90,11 +90,25 @@ use crate::join::{self, NodeRoute, NO_PARENT};
 use crate::match_store::{JoinKey, SharedJoinStore};
 use crate::metrics::{QueryMetrics, ShardMetrics};
 use crate::sj_matcher::SjTreeMatcher;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use streamworks_graph::hash::FxHasher;
 use streamworks_graph::{Duration, DynamicGraph, Edge, EdgeEvent, Timestamp, VertexId};
 use streamworks_query::{QueryGraph, QueryPlan, QueryVertexId, SjNodeId};
+
+/// Renders a panic payload for error reporting: panics raised with a string
+/// (the overwhelmingly common case — `panic!`, `expect`, assertion macros)
+/// keep their message; anything else gets a placeholder.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 /// Outcome of a parallel run.
 #[derive(Debug)]
@@ -182,7 +196,7 @@ impl ParallelRunner {
                             let handle = engine.register_query(q.clone())?;
                             registered.push((q.name().to_owned(), handle));
                         }
-                        let matches = engine.ingest(events);
+                        let matches = engine.ingest(events)?;
                         let metrics = registered
                             .into_iter()
                             .map(|(name, handle)| {
@@ -195,7 +209,17 @@ impl ParallelRunner {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
+                .enumerate()
+                .map(|(worker, h)| match h.join() {
+                    Ok(result) => result,
+                    // A panicking worker becomes a structured error, not a
+                    // propagated panic: the caller learns which worker died
+                    // and why, and the surviving workers' joins still ran.
+                    Err(payload) => Err(EngineError::WorkerPanicked {
+                        worker,
+                        message: panic_message(payload.as_ref()),
+                    }),
+                })
                 .collect()
         });
 
@@ -275,10 +299,55 @@ const ROUTE_BATCH: usize = 128;
 enum ShardItem {
     /// A batch of routed matches (driver → shard, or shard → shard).
     Matches(Vec<RoutedMatch>),
+    /// The join stores of a quarantined shard, to be merged into this
+    /// worker's stores (the `Degrade` transplant; driver → survivor). Sent
+    /// on the same channel as subsequent re-routed matches, so channel FIFO
+    /// guarantees the state arrives before anything that probes it.
+    Absorb(Vec<Option<SharedJoinStore>>),
     /// Expire stored matches whose earliest edge predates `cutoff`.
     Prune { cutoff: Timestamp },
     /// Drop the worker's channels and exit.
     Shutdown,
+}
+
+/// Control-plane messages from workers to the driver, carried on a channel
+/// of their own (unbounded: fault traffic must never be able to jam behind
+/// the data plane it is reporting about).
+enum ShardSignal {
+    /// The worker died (caught panic or injected error). Carries everything
+    /// the driver needs to quarantine the shard: its join stores and the
+    /// routed items it had accepted but not processed.
+    Failed {
+        shard: usize,
+        message: String,
+        stores: Vec<Option<SharedJoinStore>>,
+        unprocessed: Vec<RoutedMatch>,
+    },
+    /// A batch that reached a quarantined shard, bounced back for
+    /// re-routing. The batch's pending count travels with it — the relay
+    /// does not decrement; the driver does, after re-routing — so
+    /// quiescence can never be observed while an orphan is in flight.
+    Orphan(Vec<RoutedMatch>),
+    /// A `Degrade` transplant that reached a shard which *also* died before
+    /// absorbing it, bounced back (count travelling, like [`Self::Orphan`])
+    /// so the driver can re-home the state on a shard that is still live.
+    OrphanStores(Vec<Option<SharedJoinStore>>),
+}
+
+/// One reported shard-worker failure (see [`ShardFailurePolicy`] and the
+/// module docs). Obtained from [`ShardedMatcher::take_failures`] /
+/// [`ShardedMatcher::terminal_failure`]; the engine folds these into
+/// [`EngineError::ShardFailed`].
+#[derive(Debug, Clone)]
+pub struct ShardFailure {
+    /// Index of the shard whose worker died.
+    pub shard: usize,
+    /// The caught panic payload or injected failure description.
+    pub message: String,
+    /// True when the matcher quarantined the shard, transplanted its state
+    /// and kept serving (`Degrade`); false when the matcher is now failed
+    /// terminally (`FailFast`, or no survivor was left to degrade onto).
+    pub degraded: bool,
 }
 
 /// Per-shard counters, shared between a worker and the driver. Workers batch
@@ -345,8 +414,19 @@ struct ShardWorker {
     /// Senders to every shard (self unused) for cross-shard handoffs.
     peers: Vec<crossbeam::channel::Sender<ShardItem>>,
     /// Per-peer buffers of outgoing handoffs, flushed as one batch each.
+    /// Doubles as the local overflow escape valve when a peer's bounded
+    /// channel is full: the batch stays here (its pending count already
+    /// taken — see `handoff_counted`) and is retried from the run loop, so
+    /// two workers whose channels fill simultaneously can never deadlock on
+    /// each other's sends.
     handoff_buffers: Vec<Vec<RoutedMatch>>,
+    /// Whether the owner's buffered batch already carries a pending count
+    /// (set when a flush hit a full channel and the batch stayed local).
+    handoff_counted: Vec<bool>,
     results: crossbeam::channel::Sender<Vec<(u64, PartialMatch)>>,
+    /// Control-plane channel to the driver (failure reports and bounced
+    /// orphan batches).
+    faults: crossbeam::channel::Sender<ShardSignal>,
     /// Completed matches buffered during one work batch, sent as one message.
     completed_buffer: Vec<(u64, PartialMatch)>,
     pending: Arc<AtomicUsize>,
@@ -362,14 +442,82 @@ struct ShardWorker {
 
 impl ShardWorker {
     fn run(mut self) {
-        while let Ok(item) = self.rx.recv() {
+        loop {
+            // While a handoff batch is parked on a full peer channel, poll
+            // with a short timeout so the retry loop keeps making progress
+            // even if nothing new arrives for this shard.
+            let item = if self.has_blocked_handoffs() {
+                match self.rx.recv_timeout(std::time::Duration::from_millis(1)) {
+                    Ok(item) => Some(item),
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                }
+            } else {
+                match self.rx.recv() {
+                    Ok(item) => Some(item),
+                    Err(_) => return,
+                }
+            };
+            if self.has_blocked_handoffs() {
+                self.flush_handoffs();
+            }
+            let Some(item) = item else { continue };
             match item {
                 ShardItem::Matches(batch) => {
                     self.counters
                         .items_routed
                         .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                    for routed in batch {
-                        self.process(routed);
+                    // Supervision entry: an injected batch-entry fault (or
+                    // a panic from it) fails the shard with the *whole*
+                    // batch intact, which is what makes `Degrade` exact
+                    // under the chaos suite's injected faults.
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        crate::failpoint::fire_at("shard-worker", self.id)
+                    })) {
+                        Ok(false) => {}
+                        Ok(true) => {
+                            self.fail("injected shard-worker error".to_owned(), batch);
+                            return;
+                        }
+                        Err(payload) => {
+                            self.fail(panic_message(payload.as_ref()), batch);
+                            return;
+                        }
+                    }
+                    let mut items = batch.into_iter();
+                    while let Some(routed) = items.next() {
+                        // The per-item site fires *before* the climb, while
+                        // the item is still whole: an injected fault loses
+                        // nothing, so `Degrade` stays exact under it.
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            crate::failpoint::fire_at("join-climb", self.id)
+                        })) {
+                            Ok(false) => {}
+                            Ok(true) => {
+                                let mut unprocessed = vec![routed];
+                                unprocessed.extend(items);
+                                self.fail("injected join-climb error".to_owned(), unprocessed);
+                                return;
+                            }
+                            Err(payload) => {
+                                let mut unprocessed = vec![routed];
+                                unprocessed.extend(items);
+                                self.fail(panic_message(payload.as_ref()), unprocessed);
+                                return;
+                            }
+                        }
+                        // A genuine mid-climb panic may have applied part of
+                        // this one item's effects (documented best-effort),
+                        // but `self` stays structurally valid: the stores
+                        // are safe to transplant and the remaining items to
+                        // re-route.
+                        if let Err(payload) =
+                            catch_unwind(AssertUnwindSafe(|| self.process(routed)))
+                        {
+                            let unprocessed: Vec<RoutedMatch> = items.collect();
+                            self.fail(panic_message(payload.as_ref()), unprocessed);
+                            return;
+                        }
                     }
                     if !self.completed_buffer.is_empty() {
                         // The driver may already have dropped the receiver
@@ -385,15 +533,119 @@ impl ShardWorker {
                     // worker that brings the counter to zero wakes the driver
                     // (possibly blocked in `wait_quiescent`) with an empty
                     // result batch, so the barrier never has to spin.
+                    // (A handoff batch parked on a full peer channel keeps
+                    // its own pending count until actually delivered, so
+                    // this decrement can never fake quiescence.)
+                    if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let _ = self.results.send(Vec::new());
+                    }
+                }
+                ShardItem::Absorb(stores) => {
+                    for (mine, theirs) in self.stores.iter_mut().zip(stores) {
+                        if let (Some(mine), Some(theirs)) = (mine, theirs) {
+                            mine.absorb(theirs);
+                        }
+                    }
+                    self.publish_live();
                     if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                         let _ = self.results.send(Vec::new());
                     }
                 }
                 ShardItem::Prune { cutoff } => {
-                    self.prune(cutoff);
-                    // Prune markers are counted in `pending` like match
-                    // batches, so a barrier right after a prune also waits
-                    // for the sweeps (metrics read exactly afterwards).
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        if crate::failpoint::fire_at("expiry-sweep", self.id) {
+                            panic!("injected expiry-sweep error");
+                        }
+                        self.prune(cutoff)
+                    })) {
+                        Ok(()) => {
+                            // Prune markers are counted in `pending` like
+                            // match batches, so a barrier right after a prune
+                            // also waits for the sweeps (metrics read exactly
+                            // afterwards).
+                            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                let _ = self.results.send(Vec::new());
+                            }
+                        }
+                        Err(payload) => {
+                            self.fail(panic_message(payload.as_ref()), Vec::new());
+                            return;
+                        }
+                    }
+                }
+                ShardItem::Shutdown => return,
+            }
+        }
+        // Dropping `self` here releases the peer senders, letting sibling
+        // workers (already shut down themselves) disconnect cleanly.
+    }
+
+    fn has_blocked_handoffs(&self) -> bool {
+        self.handoff_counted.iter().any(|&c| c)
+    }
+
+    /// Terminal failure path: report everything the driver needs to contain
+    /// the failure, then turn into a relay (`Self::relay`) so traffic routed
+    /// here by the pure hash keeps flowing back for re-routing.
+    fn fail(mut self, message: String, mut unprocessed: Vec<RoutedMatch>) {
+        // Buffered outgoing handoffs that never took a pending count ride
+        // along for re-routing; batches that already took one (parked on a
+        // full peer) do too — their counts are released below.
+        let mut parked_counts = 0usize;
+        for (owner, buf) in self.handoff_buffers.iter_mut().enumerate() {
+            if self.handoff_counted[owner] {
+                parked_counts += 1;
+            }
+            unprocessed.append(buf);
+        }
+        // Flush matches completed before the failure: they are valid
+        // outputs (the join discipline emitted them exactly once).
+        if !self.completed_buffer.is_empty() {
+            let batch = std::mem::take(&mut self.completed_buffer);
+            let _ = self.results.send(batch);
+        }
+        self.flush_counters();
+        let stores = std::mem::take(&mut self.stores);
+        self.counters.live.store(0, Ordering::Relaxed);
+        let _ = self.faults.send(ShardSignal::Failed {
+            shard: self.id,
+            message,
+            stores,
+            unprocessed,
+        });
+        // Release this batch's pending count — plus any parked handoff
+        // counts — only *after* the fault (which carries their items) is in
+        // the channel: the driver can then never observe quiescence with
+        // the failure unseen, because `pending == 0` happens-after the
+        // fault became receivable.
+        let release = 1 + parked_counts;
+        if self.pending.fetch_sub(release, Ordering::AcqRel) == release {
+            let _ = self.results.send(Vec::new());
+        }
+        self.relay();
+    }
+
+    /// Post-failure mode: bounce every incoming batch back to the driver
+    /// for re-routing (no pending decrement — the count travels with the
+    /// orphan), acknowledge control markers, exit on shutdown. Routing
+    /// stays a pure function of the join-key hash this way: peers keep
+    /// sending here, and channel FIFO through the driver guarantees
+    /// re-routed work reaches the adopting shard after its `Absorb`.
+    fn relay(self) {
+        while let Ok(item) = self.rx.recv() {
+            match item {
+                ShardItem::Matches(batch) => {
+                    let _ = self.faults.send(ShardSignal::Orphan(batch));
+                }
+                ShardItem::Absorb(stores) => {
+                    // A transplant aimed here just before this shard also
+                    // died: bounce the state back (count travelling) so the
+                    // driver can re-home it on a live shard.
+                    let _ = self.faults.send(ShardSignal::OrphanStores(stores));
+                }
+                ShardItem::Prune { .. } => {
+                    // Nothing to sweep here; just release the marker's
+                    // count so barriers still complete.
                     if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                         let _ = self.results.send(Vec::new());
                     }
@@ -401,8 +653,6 @@ impl ShardWorker {
                 ShardItem::Shutdown => break,
             }
         }
-        // Dropping `self` here releases the peer senders, letting sibling
-        // workers (already shut down themselves) disconnect cleanly.
     }
 
     /// The sharded twin of `SjTreeMatcher::insert_and_join`: the same
@@ -471,16 +721,39 @@ impl ShardWorker {
         self.merged = merged;
     }
 
-    /// Sends one buffered handoff batch. The pending increment happens
-    /// *before* the send, so the counter can never under-report in-flight
-    /// work.
+    /// Sends one buffered handoff batch with `try_send`. The pending
+    /// increment happens *before* the send attempt, so the counter can
+    /// never under-report in-flight work; on a full peer channel the batch
+    /// stays parked locally (keeping its count — `handoff_counted`) and is
+    /// retried from the run loop. A worker never blocks on a peer send,
+    /// which is what makes two workers with mutually full channels unable
+    /// to deadlock on each other.
     fn flush_handoff_to(&mut self, owner: usize) {
         if self.handoff_buffers[owner].is_empty() {
             return;
         }
+        if !self.handoff_counted[owner] {
+            self.pending.fetch_add(1, Ordering::Relaxed);
+            self.handoff_counted[owner] = true;
+        }
         let batch = std::mem::take(&mut self.handoff_buffers[owner]);
-        self.pending.fetch_add(1, Ordering::Relaxed);
-        let _ = self.peers[owner].send(ShardItem::Matches(batch));
+        match self.peers[owner].try_send(ShardItem::Matches(batch)) {
+            Ok(()) => self.handoff_counted[owner] = false,
+            Err(crossbeam::channel::TrySendError::Full(item)) => {
+                let ShardItem::Matches(batch) = item else {
+                    unreachable!("try_send returns the item it was given")
+                };
+                self.handoff_buffers[owner] = batch;
+            }
+            Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                // Peer gone (shutdown teardown): the work is moot, but its
+                // count must be released so barriers still complete.
+                self.handoff_counted[owner] = false;
+                if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let _ = self.results.send(Vec::new());
+                }
+            }
+        }
     }
 
     fn flush_handoffs(&mut self) {
@@ -545,6 +818,25 @@ pub struct ShardedMatcher {
     /// Work items routed but not yet fully processed (including cross-shard
     /// handoffs); zero ⇔ the shards are quiescent.
     pending: Arc<AtomicUsize>,
+    /// Control-plane fan-in: failure reports and orphan bounces (unbounded —
+    /// fault traffic must never jam behind the data plane).
+    faults_rx: crossbeam::channel::Receiver<ShardSignal>,
+    /// Current owner of each *original* shard index's key slice. Identity
+    /// until a `Degrade` quarantine re-homes a dead shard's slice onto a
+    /// survivor. Only the driver consults it — workers always hash to
+    /// original indices and a quarantined shard's relay bounces, which is
+    /// what keeps re-routed work ordered after the survivor's `Absorb`.
+    assignment: Vec<usize>,
+    dead: Vec<bool>,
+    policy: ShardFailurePolicy,
+    /// Failures recorded but not yet drained by [`Self::take_failures`].
+    failures: Vec<ShardFailure>,
+    /// Terminal failure message: set under `FailFast`, or under `Degrade`
+    /// once no live shard remains. New work is dropped from then on.
+    failed: Option<String>,
+    /// Reentrancy guard: fault handling re-routes through the draining
+    /// send, which itself drains faults when blocked on a full channel.
+    fault_guard: bool,
     counters: Vec<Arc<ShardCounters>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     /// Stream position of the next edge (stamps completed matches so the
@@ -561,14 +853,41 @@ pub struct ShardedMatcher {
 impl ShardedMatcher {
     /// Creates a sharded matcher for `plan` with `shards` worker threads
     /// (clamped to at least 1) and an optional per-shard, per-node cap on
-    /// live partial matches.
+    /// live partial matches. Channels default to a capacity of 1024 items
+    /// and shard failures to [`ShardFailurePolicy::FailFast`]; use
+    /// [`Self::with_options`] to choose either.
     pub fn new(
         plan: QueryPlan,
         graph: &DynamicGraph,
         shards: usize,
         max_matches_per_node: Option<usize>,
     ) -> Self {
+        Self::with_options(
+            plan,
+            graph,
+            shards,
+            max_matches_per_node,
+            1024,
+            ShardFailurePolicy::FailFast,
+        )
+    }
+
+    /// Like [`Self::new`], choosing the per-channel capacity (routing,
+    /// handoff and fan-in channels are all bounded — a slow consumer
+    /// backpressures the producer instead of growing an unbounded queue)
+    /// and the [`ShardFailurePolicy`] applied when a shard worker dies.
+    pub fn with_options(
+        plan: QueryPlan,
+        graph: &DynamicGraph,
+        shards: usize,
+        max_matches_per_node: Option<usize>,
+        channel_capacity: usize,
+        policy: ShardFailurePolicy,
+    ) -> Self {
         let shards = shards.max(1);
+        // Zero capacity would make every channel a rendezvous; clamp rather
+        // than deadlock (the builder validates user-facing configs anyway).
+        let channel_capacity = channel_capacity.max(1);
         // Everything the workers need from the plan is extracted up front
         // (stores, climb routes, next-level keys); the plan itself moves
         // into the driver-side front end.
@@ -586,12 +905,13 @@ impl ShardedMatcher {
         let front = SjTreeMatcher::new(plan, graph);
         let window = front.window();
         let pending = Arc::new(AtomicUsize::new(0));
-        let (results_tx, results_rx) = crossbeam::channel::unbounded();
+        let (results_tx, results_rx) = crossbeam::channel::bounded(channel_capacity);
+        let (faults_tx, faults_rx) = crossbeam::channel::unbounded();
 
         let mut senders = Vec::with_capacity(shards);
         let mut receivers = Vec::with_capacity(shards);
         for _ in 0..shards {
-            let (tx, rx) = crossbeam::channel::unbounded();
+            let (tx, rx) = crossbeam::channel::bounded(channel_capacity);
             senders.push(tx);
             receivers.push(rx);
         }
@@ -616,7 +936,9 @@ impl ShardedMatcher {
                     rx,
                     peers: senders.clone(),
                     handoff_buffers: (0..shards).map(|_| Vec::new()).collect(),
+                    handoff_counted: vec![false; shards],
                     results: results_tx.clone(),
+                    faults: faults_tx.clone(),
                     completed_buffer: Vec::new(),
                     pending: Arc::clone(&pending),
                     counters: Arc::clone(&counters[id]),
@@ -640,6 +962,13 @@ impl ShardedMatcher {
             route_buffers: (0..shards).map(|_| Vec::new()).collect(),
             results_rx,
             pending,
+            faults_rx,
+            assignment: (0..shards).collect(),
+            dead: vec![false; shards],
+            policy,
+            failures: Vec::new(),
+            failed: None,
+            fault_guard: false,
             counters,
             workers,
             seq: 0,
@@ -653,6 +982,27 @@ impl ShardedMatcher {
     /// Number of shard worker threads.
     pub fn shard_count(&self) -> usize {
         self.shards
+    }
+
+    /// Number of shards still live (not quarantined).
+    pub fn live_shards(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+
+    /// Shard failures recorded since the last call (drained). Call after a
+    /// barrier ([`Self::sync`] / [`Self::take_completed`]) for an exact
+    /// picture; the engine folds these into
+    /// [`crate::EngineError::ShardFailed`].
+    pub fn take_failures(&mut self) -> Vec<ShardFailure> {
+        std::mem::take(&mut self.failures)
+    }
+
+    /// Terminal failure message, if the matcher has stopped accepting work:
+    /// a shard died under [`ShardFailurePolicy::FailFast`], or under
+    /// [`ShardFailurePolicy::Degrade`] with no survivor left to adopt its
+    /// state.
+    pub fn terminal_failure(&self) -> Option<&str> {
+        self.failed.as_deref()
     }
 
     /// The plan this matcher executes.
@@ -760,8 +1110,163 @@ impl ShardedMatcher {
             return;
         }
         let batch = std::mem::take(&mut self.route_buffers[owner]);
+        self.send_counted(owner, ShardItem::Matches(batch));
+    }
+
+    /// Takes a pending count and delivers `item` to the shard currently
+    /// owning original shard `owner`'s key slice. While the bounded channel
+    /// is full the driver drains the fan-in and fault channels instead of
+    /// blocking blind — every consumer keeps consuming, so no
+    /// driver↔worker send cycle can deadlock. After a terminal failure the
+    /// item is dropped and its count released.
+    fn send_counted(&mut self, owner: usize, item: ShardItem) {
         self.pending.fetch_add(1, Ordering::Relaxed);
-        let _ = self.senders[owner].send(ShardItem::Matches(batch));
+        let mut item = item;
+        loop {
+            if self.failed.is_some() {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                return;
+            }
+            let target = self.assignment[owner];
+            item = match self.senders[target].try_send(item) {
+                Ok(()) => return,
+                Err(crossbeam::channel::TrySendError::Full(back)) => {
+                    while let Ok(results) = self.results_rx.try_recv() {
+                        self.completed.extend(results);
+                    }
+                    self.handle_faults();
+                    // Park briefly on the fan-in: a worker finishing a batch
+                    // wakes us, and the timeout bounds the wait if the
+                    // target is merely slow.
+                    if let Ok(results) = self
+                        .results_rx
+                        .recv_timeout(std::time::Duration::from_millis(1))
+                    {
+                        self.completed.extend(results);
+                    }
+                    back
+                }
+                Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                    // Worker gone (teardown): drop the work, release the
+                    // count so barriers still complete.
+                    self.pending.fetch_sub(1, Ordering::AcqRel);
+                    return;
+                }
+            };
+        }
+    }
+
+    /// Drains the control-plane channel: quarantines failed shards and
+    /// re-routes bounced work. Guarded against reentry — re-routing goes
+    /// through [`Self::send_counted`], which calls back here when blocked.
+    fn handle_faults(&mut self) {
+        if self.fault_guard {
+            return;
+        }
+        self.fault_guard = true;
+        while let Ok(signal) = self.faults_rx.try_recv() {
+            match signal {
+                ShardSignal::Failed {
+                    shard,
+                    message,
+                    stores,
+                    unprocessed,
+                } => self.on_shard_failed(shard, message, stores, unprocessed),
+                ShardSignal::Orphan(batch) => self.on_orphan(batch),
+                ShardSignal::OrphanStores(stores) => self.on_orphan_stores(stores),
+            }
+        }
+        self.fault_guard = false;
+    }
+
+    /// Applies one shard failure under the configured policy. `FailFast`
+    /// (or `Degrade` with no survivor left) fails the matcher terminally;
+    /// `Degrade` re-homes the dead shard's key slice onto the first live
+    /// shard, transplants its join stores wholesale (exact: the slices are
+    /// disjoint, so nothing is re-probed) and re-routes the items the dead
+    /// worker had accepted but not processed. The `Absorb` is sent before
+    /// any re-routed item on the same channel, so FIFO guarantees the
+    /// survivor's state is in place before anything probes it.
+    fn on_shard_failed(
+        &mut self,
+        shard: usize,
+        message: String,
+        stores: Vec<Option<SharedJoinStore>>,
+        unprocessed: Vec<RoutedMatch>,
+    ) {
+        debug_assert!(!self.dead[shard], "a worker reports failure once");
+        self.dead[shard] = true;
+        let survivor = (0..self.shards).find(|&s| !self.dead[s]);
+        let survivor = match (self.policy, survivor) {
+            (ShardFailurePolicy::Degrade, Some(s)) => s,
+            _ => {
+                self.failures.push(ShardFailure {
+                    shard,
+                    message: message.clone(),
+                    degraded: false,
+                });
+                if self.failed.is_none() {
+                    self.failed = Some(message);
+                }
+                return; // the stores and unprocessed items die with the matcher
+            }
+        };
+        for owner in &mut self.assignment {
+            if *owner == shard {
+                *owner = survivor;
+            }
+        }
+        self.failures.push(ShardFailure {
+            shard,
+            message,
+            degraded: true,
+        });
+        self.send_counted(survivor, ShardItem::Absorb(stores));
+        self.reroute(unprocessed);
+    }
+
+    /// Re-routes recovered items. Their owner hash is unchanged — routing
+    /// is a pure function of the join key — only the owner→shard mapping
+    /// has moved, and [`Self::send_counted`] applies it.
+    fn reroute(&mut self, items: Vec<RoutedMatch>) {
+        if items.is_empty() {
+            return;
+        }
+        let mut per_owner: Vec<Vec<RoutedMatch>> = (0..self.shards).map(|_| Vec::new()).collect();
+        for routed in items {
+            let owner = owner_of(
+                &routed.m,
+                self.front.plan().shape.join_key(routed.node),
+                self.shards,
+            );
+            per_owner[owner].push(routed);
+        }
+        for (owner, batch) in per_owner.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.send_counted(owner, ShardItem::Matches(batch));
+            }
+        }
+    }
+
+    /// A batch bounced off a quarantined shard: re-route it, then release
+    /// the count that travelled with it (new counts were taken first, so
+    /// pending can never dip to zero with the work still in flight).
+    fn on_orphan(&mut self, batch: Vec<RoutedMatch>) {
+        if self.failed.is_none() {
+            self.reroute(batch);
+        }
+        self.pending.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// A transplant bounced off a shard that died before absorbing it:
+    /// re-home the state on a shard that is still live.
+    fn on_orphan_stores(&mut self, stores: Vec<Option<SharedJoinStore>>) {
+        if self.failed.is_none() {
+            if let Some(survivor) = (0..self.shards).find(|&s| !self.dead[s]) {
+                self.send_counted(survivor, ShardItem::Absorb(stores));
+            }
+        }
+        self.pending.fetch_sub(1, Ordering::AcqRel);
     }
 
     fn flush_routes(&mut self) {
@@ -799,9 +1304,13 @@ impl ShardedMatcher {
         // work produced before it.
         self.flush_routes();
         let cutoff = now.minus(self.front.window());
-        for tx in &self.senders {
-            self.pending.fetch_add(1, Ordering::Relaxed);
-            let _ = tx.send(ShardItem::Prune { cutoff });
+        for shard in 0..self.shards {
+            // Quarantined shards have nothing to sweep (their state moved
+            // to a survivor, which gets its own marker).
+            if self.dead[shard] {
+                continue;
+            }
+            self.send_counted(shard, ShardItem::Prune { cutoff });
         }
     }
 
@@ -838,15 +1347,26 @@ impl ShardedMatcher {
             while let Ok(results) = self.results_rx.try_recv() {
                 self.completed.extend(results);
             }
+            self.handle_faults();
             if self.pending.load(Ordering::Acquire) == 0 {
-                break;
+                // A failing worker publishes its fault *before* releasing
+                // its pending count, so at pending == 0 any failure — and
+                // any orphan still carrying a count was already nonzero —
+                // is receivable: drain once more and re-check, since
+                // handling may have re-routed work (new counts).
+                self.handle_faults();
+                if self.pending.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                continue;
             }
             if self
                 .workers
                 .iter()
                 .all(std::thread::JoinHandle::is_finished)
             {
-                break; // a worker died; don't hang the driver
+                self.handle_faults();
+                break; // every worker exited; don't hang the driver
             }
             // The timeout only matters if a worker dies without decrementing
             // the pending counter (a bug); it turns a hang into a stall.
@@ -882,7 +1402,9 @@ impl std::fmt::Debug for ShardedMatcher {
         f.debug_struct("ShardedMatcher")
             .field("query", &self.front.plan().query.name())
             .field("shards", &self.shards)
+            .field("live_shards", &self.live_shards())
             .field("pending", &self.pending.load(Ordering::Relaxed))
+            .field("failed", &self.failed)
             .finish()
     }
 }
@@ -935,7 +1457,7 @@ mod tests {
         }
         let mut seq_events = Vec::new();
         for ev in &events {
-            seq_events.extend(sequential.ingest(ev));
+            seq_events.extend(sequential.ingest(ev).unwrap());
         }
 
         // Parallel runs with 1, 2 and 4 workers all agree with it.
@@ -1202,6 +1724,70 @@ mod tests {
             // With several shards and mixed join keys, at least some merged
             // matches must migrate between shards.
             assert!(handoffs > 0, "expected cross-shard handoffs at {shards}");
+        }
+    }
+
+    #[test]
+    fn tiny_channel_capacity_backpressures_without_deadlock_or_loss() {
+        // Capacity 1 forces every send through the full/park/retry paths —
+        // driver routing, worker handoffs and the fan-in all backpressure —
+        // and the match multiset must still be exact.
+        let q = QueryGraphBuilder::new("triple")
+            .window(Duration::from_hours(6))
+            .vertex("a1", "Article")
+            .vertex("a2", "Article")
+            .vertex("k", "Keyword")
+            .vertex("l", "Location")
+            .edge("a1", "mentions", "k")
+            .edge("a2", "mentions", "k")
+            .edge("a1", "located", "l")
+            .build()
+            .unwrap();
+        let plan = planned(q);
+        let mut events = Vec::new();
+        for i in 0..40i64 {
+            events.push(EdgeEvent::new(
+                format!("a{}", i % 8),
+                "Article",
+                format!("k{}", i % 3),
+                "Keyword",
+                "mentions",
+                Timestamp::from_secs(2 * i),
+            ));
+            events.push(EdgeEvent::new(
+                format!("a{}", i % 8),
+                "Article",
+                format!("city{}", i % 2),
+                "Location",
+                "located",
+                Timestamp::from_secs(2 * i + 1),
+            ));
+        }
+        let (expected, expected_count, _) = drive_sharded(&plan, &events, 1);
+        assert!(expected_count > 0);
+
+        for shards in [2usize, 4] {
+            let mut graph = streamworks_graph::DynamicGraph::unbounded();
+            let mut matcher = ShardedMatcher::with_options(
+                plan.clone(),
+                &graph,
+                shards,
+                None,
+                1,
+                ShardFailurePolicy::Degrade,
+            );
+            for ev in &events {
+                let r = graph.ingest(ev);
+                let edge = graph.edge(r.edge).unwrap().clone();
+                matcher.process_edge(&graph, &edge);
+            }
+            let completed = matcher.take_completed();
+            assert_eq!(completed.len(), expected_count, "shards={shards}");
+            let signatures: BTreeSet<u64> = completed.iter().map(|(_, m)| m.signature()).collect();
+            assert_eq!(signatures, expected, "shards={shards}");
+            assert_eq!(matcher.live_shards(), shards, "no failures happened");
+            assert!(matcher.take_failures().is_empty());
+            assert!(matcher.terminal_failure().is_none());
         }
     }
 

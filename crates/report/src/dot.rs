@@ -215,31 +215,37 @@ mod tests {
                  MATCH (a1:Article)-[:mentions]->(k:Keyword), (a2:Article)-[:mentions]->(k)",
             )
             .unwrap();
-        engine.ingest(&EdgeEvent::new(
-            "a1",
-            "Article",
-            "rust",
-            "Keyword",
-            "mentions",
-            Timestamp::from_secs(1),
-        ));
+        engine
+            .ingest(&EdgeEvent::new(
+                "a1",
+                "Article",
+                "rust",
+                "Keyword",
+                "mentions",
+                Timestamp::from_secs(1),
+            ))
+            .unwrap();
         // An unrelated edge that should only appear as a grey neighbour.
-        engine.ingest(&EdgeEvent::new(
-            "a1",
-            "Article",
-            "paris",
-            "Location",
-            "located",
-            Timestamp::from_secs(2),
-        ));
-        let matches = engine.ingest(&EdgeEvent::new(
-            "a2",
-            "Article",
-            "rust",
-            "Keyword",
-            "mentions",
-            Timestamp::from_secs(3),
-        ));
+        engine
+            .ingest(&EdgeEvent::new(
+                "a1",
+                "Article",
+                "paris",
+                "Location",
+                "located",
+                Timestamp::from_secs(2),
+            ))
+            .unwrap();
+        let matches = engine
+            .ingest(&EdgeEvent::new(
+                "a2",
+                "Article",
+                "rust",
+                "Keyword",
+                "mentions",
+                Timestamp::from_secs(3),
+            ))
+            .unwrap();
         let event = &matches[0];
 
         let bare = match_to_dot(engine.graph(), event, false);

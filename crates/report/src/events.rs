@@ -184,22 +184,30 @@ mod tests {
             )
             .unwrap();
         let mut out = Vec::new();
-        out.extend(engine.ingest(&EdgeEvent::new(
-            "article-1",
-            "Article",
-            "rust",
-            "Keyword",
-            "mentions",
-            Timestamp::from_secs(10),
-        )));
-        out.extend(engine.ingest(&EdgeEvent::new(
-            "article-2",
-            "Article",
-            "rust",
-            "Keyword",
-            "mentions",
-            Timestamp::from_secs(25),
-        )));
+        out.extend(
+            engine
+                .ingest(&EdgeEvent::new(
+                    "article-1",
+                    "Article",
+                    "rust",
+                    "Keyword",
+                    "mentions",
+                    Timestamp::from_secs(10),
+                ))
+                .unwrap(),
+        );
+        out.extend(
+            engine
+                .ingest(&EdgeEvent::new(
+                    "article-2",
+                    "Article",
+                    "rust",
+                    "Keyword",
+                    "mentions",
+                    Timestamp::from_secs(25),
+                ))
+                .unwrap(),
+        );
         assert_eq!(out.len(), 2);
         out
     }

@@ -30,7 +30,7 @@
 //! let matches = engine.ingest(&[
 //!     EdgeEvent::new("a1", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(10)),
 //!     EdgeEvent::new("a2", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(20)),
-//! ]);
+//! ]).unwrap();
 //! let table = EventTable::build(&EventTableSpec::standard(), &matches);
 //! assert_eq!(table.len(), 2);
 //! println!("{}", table.render());

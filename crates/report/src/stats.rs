@@ -155,24 +155,28 @@ mod tests {
         let mut t = 0;
         for a in 0..10 {
             for k in 0..3 {
-                engine.ingest(&EdgeEvent::new(
-                    format!("a{a}"),
-                    "Article",
-                    format!("k{k}"),
-                    "Keyword",
-                    "mentions",
-                    Timestamp::from_secs(t),
-                ));
+                engine
+                    .ingest(&EdgeEvent::new(
+                        format!("a{a}"),
+                        "Article",
+                        format!("k{k}"),
+                        "Keyword",
+                        "mentions",
+                        Timestamp::from_secs(t),
+                    ))
+                    .unwrap();
                 t += 1;
             }
-            engine.ingest(&EdgeEvent::new(
-                format!("a{a}"),
-                "Article",
-                "paris",
-                "Location",
-                "located",
-                Timestamp::from_secs(t),
-            ));
+            engine
+                .ingest(&EdgeEvent::new(
+                    format!("a{a}"),
+                    "Article",
+                    "paris",
+                    "Location",
+                    "located",
+                    Timestamp::from_secs(t),
+                ))
+                .unwrap();
             t += 1;
         }
         engine

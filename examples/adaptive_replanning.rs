@@ -56,7 +56,7 @@ fn main() {
     .generate();
     let mut matches_phase1 = 0usize;
     for ev in &phase1.events {
-        matches_phase1 += engine.ingest(ev).len();
+        matches_phase1 += engine.ingest(ev).unwrap().len();
     }
     let before = engine.metrics(id).unwrap();
     println!(
@@ -99,7 +99,7 @@ fn main() {
     let inserted_before_phase2 = engine.metrics(id).unwrap().partial_matches_inserted;
     let mut matches_phase2 = 0usize;
     for ev in &phase2.events {
-        matches_phase2 += engine.ingest(ev).len();
+        matches_phase2 += engine.ingest(ev).unwrap().len();
     }
     let after = engine.metrics(id).unwrap();
     println!(

@@ -59,7 +59,7 @@ fn main() {
     let start = Instant::now();
     let mut events = Vec::new();
     for ev in &workload.events {
-        events.extend(engine.ingest(ev));
+        events.extend(engine.ingest(ev).unwrap());
     }
     let elapsed = start.elapsed().as_secs_f64();
 

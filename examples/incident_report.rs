@@ -58,7 +58,7 @@ fn main() {
     let mut seen = std::collections::BTreeSet::new();
     let mut incidents: Vec<MatchEvent> = Vec::new();
     for ev in &workload.events {
-        for m in engine.ingest(ev) {
+        for m in engine.ingest(ev).unwrap() {
             let mut key: Vec<String> = m.bindings.iter().map(|b| b.key.clone()).collect();
             key.sort();
             key.push(m.query.0.to_string());

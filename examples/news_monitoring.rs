@@ -48,7 +48,7 @@ fn main() {
 
     let mut events: Vec<MatchEvent> = Vec::new();
     for ev in &workload.events {
-        events.extend(engine.ingest(ev));
+        events.extend(engine.ingest(ev).unwrap());
     }
 
     // Tabular event view (Fig. 6 analogue): one row per detected event.

@@ -99,7 +99,7 @@ fn show_progression() {
     let mut processed = 0usize;
     for (i, ev) in workload.events.iter().enumerate() {
         for (_, engine, _) in engines.iter_mut() {
-            engine.ingest(ev);
+            engine.ingest(ev).unwrap();
         }
         processed = i + 1;
         if processed.is_multiple_of(step) || processed == workload.events.len() {

@@ -93,20 +93,22 @@ fn main() {
             Timestamp::from_secs(120),
         ),
     ];
-    let matches = engine.ingest(&stream);
+    let matches = engine.ingest(&stream).unwrap();
     println!("\n{} matches emitted", matches.len());
 
     // 5. Lifecycle: a paused query costs nothing per event and reports no
     //    matches; resuming re-enters it into the dispatch table.
     engine.pause(pairs).unwrap();
-    let while_paused = engine.ingest(&EdgeEvent::new(
-        "article-5",
-        "Article",
-        "rust",
-        "Keyword",
-        "mentions",
-        Timestamp::from_secs(150),
-    ));
+    let while_paused = engine
+        .ingest(&EdgeEvent::new(
+            "article-5",
+            "Article",
+            "rust",
+            "Keyword",
+            "mentions",
+            Timestamp::from_secs(150),
+        ))
+        .unwrap();
     assert!(while_paused.is_empty());
     engine.resume(pairs).unwrap();
 

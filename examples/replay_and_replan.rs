@@ -57,7 +57,7 @@ fn main() {
     let half = replayed.len() / 2;
     let mut matches = 0usize;
     for ev in &replayed[..half] {
-        matches += engine.ingest(ev).len();
+        matches += engine.ingest(ev).unwrap().len();
     }
     println!(
         "first half: {matches} matches, summaries over {} edges",
@@ -77,7 +77,7 @@ fn main() {
     println!("{}", engine.plan(triple).unwrap().explain());
 
     for ev in &replayed[half..] {
-        matches += engine.ingest(ev).len();
+        matches += engine.ingest(ev).unwrap().len();
     }
     let metrics = engine.metrics(triple).unwrap();
     println!(

@@ -53,7 +53,7 @@
 //! let matches = engine.ingest(&[
 //!     EdgeEvent::new("a1", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(10)),
 //!     EdgeEvent::new("a2", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(20)),
-//! ]);
+//! ]).unwrap();
 //! assert_eq!(matches.len(), 2); // (a1, a2) and (a2, a1)
 //! assert_eq!(seen.get(), 2);
 //!
@@ -84,7 +84,7 @@
 //! let matches = engine.ingest(&[
 //!     EdgeEvent::new("a1", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(10)),
 //!     EdgeEvent::new("a2", "Article", "rust", "Keyword", "mentions", Timestamp::from_secs(20)),
-//! ]);
+//! ]).unwrap();
 //! assert_eq!(matches.len(), 2); // exactly what the 1-thread engine reports
 //! assert_eq!(engine.shard_metrics(pairs).unwrap().unwrap().len(), 4);
 //! ```
@@ -134,10 +134,11 @@ pub mod report {
 }
 
 pub use streamworks_core::{
-    AdaptiveConfig, AdaptiveReplanner, BufferingSink, CallbackSink, ChannelSink, CollectingSink,
-    ContinuousQueryEngine, CountingSink, EngineBuilder, EngineConfig, EngineError, EngineMetrics,
-    EventBatch, EventSink, Ingest, MatchBuffer, MatchCounter, MatchEvent, ParallelRunner,
-    QueryHandle, QueryId, QueryMetrics, ShardMetrics, ShardedMatcher, SubscriptionId,
+    failpoint, AdaptiveConfig, AdaptiveReplanner, BufferingSink, CallbackSink, ChannelSink,
+    CollectingSink, ContinuousQueryEngine, CountingSink, EngineBuilder, EngineConfig, EngineError,
+    EngineMetrics, EventBatch, EventSink, Ingest, MatchBuffer, MatchCounter, MatchEvent,
+    ParallelRunner, QueryHandle, QueryId, QueryMetrics, ShardFailure, ShardFailurePolicy,
+    ShardMetrics, ShardedMatcher, SinkOverflow, SubscriptionHealth, SubscriptionId,
 };
 pub use streamworks_graph::{
     AttrValue, Attrs, Direction, Duration, DynamicGraph, EdgeEvent, EdgeId, Timestamp, VertexId,

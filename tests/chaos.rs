@@ -1,0 +1,482 @@
+//! Deterministic fault-injection (chaos) suite.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo test --features failpoints --test chaos
+//! ```
+//!
+//! Every scenario arms one of the named failpoint sites (see
+//! `streamworks::failpoint`), drives the engine, and pins down the exact
+//! containment contract of ARCHITECTURE.md's "Failure model":
+//!
+//! * `FailFast`: a dead shard surfaces as a structured
+//!   [`EngineError::ShardFailed`] within bounded time (no hang), and the
+//!   poisoned engine rejects every later call instead of silently
+//!   under-reporting matches.
+//! * `Degrade`: the dead shard's join state is transplanted onto survivors
+//!   and the match multiset stays *exactly* equal to an unfaulted engine's —
+//!   across shard counts, fault sites, and query-lifecycle churn.
+//! * Sink quarantine: a panicking subscriber is detached and recorded, and
+//!   neither the engine nor the other subscribers miss a single event.
+//! * Drop counters are exact under declared overflow policies.
+
+#![cfg(feature = "failpoints")]
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration as StdDuration;
+
+use streamworks::failpoint::{self, FailAction};
+use streamworks::{
+    BufferingSink, CallbackSink, ContinuousQueryEngine, EdgeEvent, EngineError, MatchEvent,
+    ShardFailurePolicy, SinkOverflow, SubscriptionHealth, Timestamp,
+};
+
+/// The failpoint registry is process-global; chaos scenarios must not run
+/// interleaved. Lock recovery keeps one panicking test from wedging the rest.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    let guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    failpoint::clear();
+    guard
+}
+
+const PAIR_DSL: &str = "QUERY pair WINDOW 1h \
+     MATCH (a1:Article)-[:mentions]->(k:Keyword), (a2:Article)-[:mentions]->(k)";
+
+/// Registers the pair query decomposed into *single-edge* primitives, so
+/// completing a match requires a join climb — the work that actually lives
+/// on the shard workers. (The default planner would fold both edges into
+/// one primitive, completing every match driver-side and leaving the
+/// workers — and their failpoint sites — idle.)
+fn register_pair(engine: &mut ContinuousQueryEngine) -> streamworks::QueryHandle {
+    let query = streamworks::parse_query(PAIR_DSL).unwrap();
+    engine
+        .register_query_with(
+            query,
+            &streamworks::SelectivityOrdered {
+                max_primitive_size: 1,
+            },
+            streamworks::TreeShapeKind::LeftDeep,
+        )
+        .unwrap()
+}
+
+/// A stream where article `a{i}` mentions keyword `k{i % collisions}`:
+/// every repeated keyword completes pair matches, spreading join state over
+/// all shards (the join key hashes the keyword vertex).
+fn stream(n: usize, collisions: usize) -> Vec<EdgeEvent> {
+    (0..n)
+        .map(|i| {
+            EdgeEvent::new(
+                format!("a{i}"),
+                "Article",
+                format!("k{}", i % collisions),
+                "Keyword",
+                "mentions",
+                Timestamp::from_secs(i as i64),
+            )
+        })
+        .collect()
+}
+
+fn engine_with(shards: usize, policy: ShardFailurePolicy) -> ContinuousQueryEngine {
+    ContinuousQueryEngine::builder()
+        .shards(shards)
+        .shard_failure_policy(policy)
+        .channel_capacity(8)
+        .build()
+        .unwrap()
+}
+
+/// Order-insensitive signature of a match multiset.
+fn multiset(events: &[MatchEvent]) -> Vec<String> {
+    let mut keys: Vec<String> = events.iter().map(|e| e.render()).collect();
+    keys.sort();
+    keys
+}
+
+/// The match multiset an unfaulted single-shard engine reports for `events`,
+/// fed in the same batch shape.
+fn reference_multiset(events: &[EdgeEvent], batch: usize) -> Vec<String> {
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+    register_pair(&mut engine);
+    let mut all = Vec::new();
+    for chunk in events.chunks(batch) {
+        all.extend(engine.ingest(chunk).unwrap());
+    }
+    multiset(&all)
+}
+
+#[test]
+fn failfast_shard_panic_is_a_bounded_time_structured_error() {
+    let _guard = serial();
+    // Shard counts above 1 only: a 1-shard engine runs the in-process
+    // matcher with no worker threads, so shard faults cannot exist there.
+    for shards in [2usize, 4] {
+        failpoint::clear();
+        failpoint::configure("shard-worker", 0, FailAction::Panic, 0);
+        let events = stream(64, 4);
+        // The faulted ingest runs on a helper thread so a protocol hang
+        // shows up as a test failure, not a CI timeout.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let handle = std::thread::spawn(move || {
+            let mut engine = engine_with(shards, ShardFailurePolicy::FailFast);
+            register_pair(&mut engine);
+            let first = engine.ingest(&events[..]);
+            let second = engine.ingest(&events[..4]);
+            let _ = tx.send((first, second));
+        });
+        let (first, second) = rx
+            .recv_timeout(StdDuration::from_secs(30))
+            .expect("FailFast must surface within bounded time, not hang");
+        handle.join().unwrap();
+        match first {
+            Err(EngineError::ShardFailed {
+                shard,
+                degraded,
+                ref message,
+            }) => {
+                assert_eq!(shard, 0);
+                assert!(!degraded, "FailFast never degrades");
+                assert!(message.contains("injected"), "got: {message}");
+            }
+            other => panic!("{shards} shards: expected ShardFailed, got {other:?}"),
+        }
+        assert!(
+            matches!(second, Err(EngineError::Poisoned(_))),
+            "a poisoned engine rejects every later call, got {second:?}"
+        );
+    }
+    failpoint::clear();
+}
+
+#[test]
+fn degrade_preserves_the_exact_match_multiset_across_fault_sites() {
+    let _guard = serial();
+    let events = stream(96, 5);
+    let batch = 16;
+    let expected = reference_multiset(&events, batch);
+    for shards in [2usize, 4] {
+        for site in ["shard-worker", "join-climb"] {
+            failpoint::clear();
+            // Let a few batches through first so the dying shard holds real
+            // join state when it goes down.
+            failpoint::configure(site, 0, FailAction::Panic, 2);
+            let mut engine = engine_with(shards, ShardFailurePolicy::Degrade);
+            let handle = register_pair(&mut engine);
+            let (sink, seen) = BufferingSink::new();
+            engine.subscribe(handle, sink).unwrap();
+            let mut failures = 0;
+            for chunk in events.chunks(batch) {
+                match engine.ingest(chunk) {
+                    Ok(_) => {}
+                    Err(EngineError::ShardFailed { degraded, .. }) => {
+                        assert!(degraded, "Degrade policy must contain the failure");
+                        failures += 1;
+                    }
+                    Err(other) => panic!("unexpected error: {other:?}"),
+                }
+            }
+            assert_eq!(failures, 1, "{site} on {shards} shards fired once");
+            assert_eq!(
+                multiset(&seen.drain()),
+                expected,
+                "{site} fault on {shards} shards changed the match multiset"
+            );
+        }
+    }
+    failpoint::clear();
+}
+
+#[test]
+fn degrade_survives_expiry_sweep_faults() {
+    let _guard = serial();
+    let events = stream(96, 5);
+    let batch = 16;
+    let expected = reference_multiset(&events, batch);
+    failpoint::clear();
+    failpoint::configure("expiry-sweep", 0, FailAction::Panic, 0);
+    let mut engine = ContinuousQueryEngine::builder()
+        .shards(2)
+        .shard_failure_policy(ShardFailurePolicy::Degrade)
+        .prune_every(8) // make sweeps frequent enough to hit the site
+        .build()
+        .unwrap();
+    let handle = register_pair(&mut engine);
+    let (sink, seen) = BufferingSink::new();
+    engine.subscribe(handle, sink).unwrap();
+    let mut failures = 0;
+    for chunk in events.chunks(batch) {
+        match engine.ingest(chunk) {
+            Ok(_) => {}
+            Err(EngineError::ShardFailed { degraded, .. }) => {
+                assert!(degraded);
+                failures += 1;
+            }
+            Err(other) => panic!("unexpected error: {other:?}"),
+        }
+    }
+    assert_eq!(failures, 1);
+    assert_eq!(multiset(&seen.drain()), expected);
+    failpoint::clear();
+}
+
+#[test]
+fn degrade_stays_exact_under_lifecycle_churn() {
+    let _guard = serial();
+    let events = stream(96, 5);
+    let batch = 16;
+    // Reference: unfaulted single-shard engine with the *same* pause/resume
+    // choreography (pause during the third batch, resume for the fifth).
+    // Matches are observed through a subscription: a degraded batch returns
+    // an error in place of its matches, but its subscribers still receive
+    // every one of them.
+    let choreography = |engine: &mut ContinuousQueryEngine| -> Vec<MatchEvent> {
+        let pair = register_pair(engine);
+        let extra = engine
+            .register_dsl(
+                "QUERY colocated WINDOW 1h \
+                 MATCH (a1:Article)-[:located]->(l:Location), (a2:Article)-[:located]->(l)",
+            )
+            .unwrap();
+        let (sink, seen) = BufferingSink::new();
+        engine.subscribe(pair, sink).unwrap();
+        for (i, chunk) in events.chunks(batch).enumerate() {
+            if i == 2 {
+                engine.pause(pair).unwrap();
+            }
+            if i == 4 {
+                engine.resume(pair).unwrap();
+                engine.deregister(extra).unwrap();
+            }
+            match engine.ingest(chunk) {
+                Ok(_) => {}
+                Err(EngineError::ShardFailed { degraded, .. }) => assert!(degraded),
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        }
+        seen.drain()
+    };
+    let mut reference = ContinuousQueryEngine::builder().build().unwrap();
+    let expected = multiset(&choreography(&mut reference));
+
+    failpoint::clear();
+    failpoint::configure("shard-worker", 1, FailAction::Panic, 1);
+    let mut faulted = engine_with(4, ShardFailurePolicy::Degrade);
+    let got = multiset(&choreography(&mut faulted));
+    assert_eq!(
+        got, expected,
+        "lifecycle churn + shard death changed matches"
+    );
+    failpoint::clear();
+}
+
+#[test]
+fn seeded_faults_are_contained_for_any_seed() {
+    let _guard = serial();
+    let events = stream(64, 4);
+    let batch = 16;
+    let expected = reference_multiset(&events, batch);
+    let sites: &[(&'static str, usize)] = &[
+        ("shard-worker", 0),
+        ("shard-worker", 1),
+        ("join-climb", 0),
+        ("join-climb", 1),
+    ];
+    for seed in 0..12u64 {
+        failpoint::clear();
+        let armed = failpoint::arm_seeded(seed, sites);
+        let mut engine = engine_with(2, ShardFailurePolicy::Degrade);
+        let handle = register_pair(&mut engine);
+        let (sink, seen) = BufferingSink::new();
+        engine.subscribe(handle, sink).unwrap();
+        for chunk in events.chunks(batch) {
+            match engine.ingest(chunk) {
+                Ok(_) => {}
+                Err(EngineError::ShardFailed { degraded, .. }) => {
+                    assert!(degraded, "seed {seed} armed {armed:?}: must degrade")
+                }
+                Err(other) => panic!("seed {seed} armed {armed:?}: {other:?}"),
+            }
+        }
+        assert_eq!(
+            multiset(&seen.drain()),
+            expected,
+            "seed {seed} armed {armed:?} changed the match multiset"
+        );
+    }
+    failpoint::clear();
+}
+
+#[test]
+fn panicking_sink_is_quarantined_without_poisoning_anything() {
+    let _guard = serial();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+    let handle = register_pair(&mut engine);
+    let bad = engine
+        .subscribe(
+            handle,
+            CallbackSink::new(|_e| panic!("subscriber exploded")),
+        )
+        .unwrap();
+    let (sink, seen) = BufferingSink::new();
+    let good = engine.subscribe(handle, sink).unwrap();
+
+    let events = stream(8, 2);
+    let matches = engine.ingest(&events[..]).unwrap();
+    assert!(!matches.is_empty());
+    // The healthy subscriber and the call-level collection saw everything.
+    assert_eq!(seen.drain().len(), matches.len());
+    // The panicking sink is quarantined with its panic message recorded...
+    match engine.subscription_health(bad).unwrap() {
+        SubscriptionHealth::Quarantined(message) => {
+            assert!(message.contains("subscriber exploded"), "got: {message}")
+        }
+        SubscriptionHealth::Active => panic!("panicking sink must be quarantined"),
+    }
+    assert_eq!(
+        engine.subscription_health(good).unwrap(),
+        SubscriptionHealth::Active
+    );
+    // ...and stays registered (health queryable) but silent from then on.
+    assert_eq!(engine.subscription_count(handle).unwrap(), 2);
+    let more = engine.ingest(&stream(8, 2)[..]).unwrap();
+    assert_eq!(seen.drain().len(), more.len());
+    // Unsubscribing the quarantined sink works like any other.
+    engine.unsubscribe(bad).unwrap();
+    assert_eq!(engine.subscription_count(handle).unwrap(), 1);
+}
+
+#[test]
+fn injected_sink_delivery_error_quarantines_exactly_the_target_token() {
+    let _guard = serial();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+    let handle = register_pair(&mut engine);
+    let (sink_a, seen_a) = BufferingSink::new();
+    let sub_a = engine.subscribe(handle, sink_a).unwrap();
+    let (sink_b, seen_b) = BufferingSink::new();
+    let sub_b = engine.subscribe(handle, sink_b).unwrap();
+
+    // Token indexes select the victim: quarantine b, leave a alone.
+    failpoint::clear();
+    failpoint::configure(
+        "sink-delivery",
+        sub_b.token() as usize,
+        FailAction::Error,
+        0,
+    );
+    let matches = engine.ingest(&stream(8, 2)[..]).unwrap();
+    assert!(!matches.is_empty());
+    assert_eq!(seen_a.drain().len(), matches.len());
+    assert!(
+        seen_b.drain().len() < matches.len(),
+        "the quarantined sink stopped receiving at the injected failure"
+    );
+    assert_eq!(
+        engine.subscription_health(sub_a).unwrap(),
+        SubscriptionHealth::Active
+    );
+    assert!(matches!(
+        engine.subscription_health(sub_b).unwrap(),
+        SubscriptionHealth::Quarantined(_)
+    ));
+    failpoint::clear();
+}
+
+#[test]
+fn sink_drop_counters_are_exact() {
+    let _guard = serial();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+    let handle = register_pair(&mut engine);
+    let cap = 3usize;
+    let (sink, buffer) = BufferingSink::bounded(cap, SinkOverflow::DropNewest);
+    engine.subscribe(handle, sink).unwrap();
+
+    let matches = engine.ingest(&stream(16, 2)[..]).unwrap();
+    assert!(matches.len() > cap);
+    let expected_drops = (matches.len() - cap) as u64;
+    assert_eq!(buffer.len(), cap);
+    assert_eq!(buffer.dropped(), expected_drops);
+    assert_eq!(
+        engine.metrics(handle).unwrap().sink_events_dropped,
+        expected_drops,
+        "QueryMetrics folds per-subscriber drop counters exactly"
+    );
+}
+
+#[test]
+fn ingest_front_faults_leave_the_engine_consistent() {
+    let _guard = serial();
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+    register_pair(&mut engine);
+    let events = stream(4, 2);
+
+    // Delay: pure latency, no behavioural change.
+    failpoint::clear();
+    failpoint::configure("ingest-front", 0, FailAction::Delay(5), 0);
+    let first = engine.ingest(&events[..2]).unwrap();
+
+    // Panic: unwinds before any state is touched; the engine keeps working.
+    failpoint::configure("ingest-front", 0, FailAction::Panic, 0);
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = engine.ingest(&events[2..]);
+    }));
+    assert!(panicked.is_err());
+    failpoint::clear();
+    let second = engine.ingest(&events[2..]).unwrap();
+    assert_eq!(
+        multiset(&first).len() + multiset(&second).len(),
+        reference_multiset(&events, 2).len(),
+        "the aborted call absorbed nothing: replaying it reports every match"
+    );
+}
+
+#[test]
+fn degraded_engine_checkpoints_and_restores_cleanly() {
+    let _guard = serial();
+    let events = stream(96, 5);
+    let batch = 16;
+    // Reference: unfaulted engine over the same split, collecting only the
+    // second half's matches (the restored engine replays silently).
+    let mut reference = ContinuousQueryEngine::builder().build().unwrap();
+    register_pair(&mut reference);
+    for chunk in events[..48].chunks(batch) {
+        reference.ingest(chunk).unwrap();
+    }
+    let mut expected = Vec::new();
+    for chunk in events[48..].chunks(batch) {
+        expected.extend(reference.ingest(chunk).unwrap());
+    }
+
+    // Faulted run: shard dies in the first half, engine degrades, then the
+    // degraded engine is checkpointed through the JSON load path.
+    failpoint::clear();
+    failpoint::configure("shard-worker", 0, FailAction::Panic, 1);
+    let mut engine = engine_with(2, ShardFailurePolicy::Degrade);
+    register_pair(&mut engine);
+    let mut failures = 0;
+    for chunk in events[..48].chunks(batch) {
+        match engine.ingest(chunk) {
+            Ok(_) => {}
+            Err(EngineError::ShardFailed { degraded, .. }) => {
+                assert!(degraded);
+                failures += 1;
+            }
+            Err(other) => panic!("unexpected error: {other:?}"),
+        }
+    }
+    assert_eq!(failures, 1);
+    failpoint::clear(); // the restored engine must replay unfaulted
+    let json = engine.checkpoint().to_json().unwrap();
+    let checkpoint = streamworks::engine::EngineCheckpoint::load(&json).unwrap();
+    let mut restored = checkpoint.restore();
+    // The restore rebuilt fresh shard workers; the second half matches the
+    // unfaulted reference exactly.
+    let mut got = Vec::new();
+    for chunk in events[48..].chunks(batch) {
+        got.extend(restored.ingest(chunk).unwrap());
+    }
+    assert_eq!(multiset(&got), multiset(&expected));
+}

@@ -38,7 +38,7 @@ fn cyber_attacks_are_detected_with_ground_truth_recall() {
         .register_query(worm_spread_query(2, Duration::from_mins(10)))
         .unwrap();
 
-    let events = engine.ingest(&workload.events);
+    let events = engine.ingest(&workload.events).unwrap();
 
     for attack in &workload.attacks {
         let qid = match attack.kind {
@@ -80,7 +80,7 @@ fn news_bursts_are_detected_and_matches_verify() {
     let mut all_events = Vec::new();
     for ev in &workload.events {
         reference.ingest(ev);
-        all_events.extend(engine.ingest(ev));
+        all_events.extend(engine.ingest(ev).unwrap());
     }
 
     // Every planted burst is found by its labelled query.
@@ -132,7 +132,7 @@ fn selectivity_plan_stores_fewer_partial_matches_than_blind_plan() {
     // Warm-up pass to build statistics, then register with/without them.
     let mut warm = ContinuousQueryEngine::builder().build().unwrap();
     for ev in &workload.events {
-        warm.ingest(ev);
+        warm.ingest(ev).unwrap();
     }
 
     // Statistics-driven plan on a fresh engine seeded with the learned stats:
@@ -154,7 +154,7 @@ fn selectivity_plan_stores_fewer_partial_matches_than_blind_plan() {
         let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
         let id = engine.register_plan(plan);
         for ev in &workload.events {
-            engine.ingest(ev);
+            engine.ingest(ev).unwrap();
         }
         engine.metrics(id).unwrap()
     };
@@ -207,7 +207,7 @@ fn multiple_strategies_and_tree_kinds_agree_on_results() {
         let id = engine
             .register_query_with(query.clone(), &strategy, kind)
             .unwrap();
-        let events = engine.ingest(&workload.events);
+        let events = engine.ingest(&workload.events).unwrap();
         counts.push((events.len(), engine.metrics(id).unwrap().complete_matches));
     }
     assert!(
@@ -250,7 +250,7 @@ fn engine_sustains_multi_query_load_with_bounded_state() {
             .unwrap(),
     ];
     for ev in &workload.events {
-        engine.ingest(ev);
+        engine.ingest(ev).unwrap();
     }
     // The stream spans hours while the windows are minutes: partial-match
     // populations must stay far below the number of processed edges.

@@ -40,7 +40,7 @@ fn run_incremental(
     let mut signatures = BTreeSet::new();
     let mut reports = 0usize;
     for ev in events {
-        for m in engine.ingest(ev) {
+        for m in engine.ingest(ev).unwrap() {
             assert_eq!(m.query, id.id());
             let sig: Signature = m.edges.iter().enumerate().map(|(q, e)| (q, e.0)).collect();
             signatures.insert(sig);
@@ -402,7 +402,10 @@ fn batch_ingest_equals_streaming_ingest() {
     let per_event: Vec<_> = {
         let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         engine.register_query(query.clone()).unwrap();
-        events.iter().flat_map(|ev| engine.ingest(ev)).collect()
+        events
+            .iter()
+            .flat_map(|ev| engine.ingest(ev).unwrap())
+            .collect()
     };
 
     for chunk_size in [1usize, 7, 64, usize::MAX] {
@@ -410,7 +413,7 @@ fn batch_ingest_equals_streaming_ingest() {
         engine.register_query(query.clone()).unwrap();
         let mut batched = Vec::new();
         for chunk in events.chunks(chunk_size.min(events.len())) {
-            batched.extend(engine.ingest(chunk));
+            batched.extend(engine.ingest(chunk).unwrap());
         }
         assert_eq!(batched.len(), per_event.len(), "chunk={chunk_size}");
         let sig = |m: &streamworks::MatchEvent| {
@@ -457,7 +460,7 @@ fn every_reported_match_is_within_its_window() {
     for ev in &events {
         // Track edge-id -> timestamp as the graph assigns ids in arrival order.
         timestamps.insert(timestamps.len() as u64, ev.timestamp.as_micros());
-        for m in engine.ingest(ev) {
+        for m in engine.ingest(ev).unwrap() {
             let times: Vec<i64> = m.edges.iter().map(|e| timestamps[&e.0]).collect();
             let span = times.iter().max().unwrap() - times.iter().min().unwrap();
             assert!(span < window.as_micros(), "span {span} exceeds window");
@@ -520,7 +523,7 @@ fn partial_matches_drain_to_zero_after_full_window() {
                 .build()
                 .unwrap();
             let handle = engine.register_query(query.clone()).unwrap();
-            engine.ingest(events);
+            engine.ingest(events).unwrap();
             let live_before = engine.metrics(handle).unwrap().partial_matches_live;
             assert!(
                 live_before > 0,
@@ -530,7 +533,9 @@ fn partial_matches_drain_to_zero_after_full_window() {
             // edge no query matches, then prune: everything must drain.
             let last = events.iter().map(|e| e.timestamp).max().unwrap();
             let far = Timestamp(last.0 + 100 * query.window().as_micros());
-            engine.ingest(&EdgeEvent::new("x", "Noise", "y", "Noise", "noise", far));
+            engine
+                .ingest(&EdgeEvent::new("x", "Noise", "y", "Noise", "noise", far))
+                .unwrap();
             engine.prune_now();
             let metrics = engine.metrics(handle).unwrap();
             assert_eq!(

@@ -64,8 +64,12 @@ fn full_lifecycle_register_match_pause_resume_deregister() {
     let keywords = register_storing(&mut engine, keyword_pair(3_600));
 
     // Matched against while running.
-    engine.ingest(&ev("a1", "k1", "Keyword", "mentions", 10));
-    let matched = engine.ingest(&ev("a2", "k1", "Keyword", "mentions", 20));
+    engine
+        .ingest(&ev("a1", "k1", "Keyword", "mentions", 10))
+        .unwrap();
+    let matched = engine
+        .ingest(&ev("a2", "k1", "Keyword", "mentions", 20))
+        .unwrap();
     assert_eq!(matched.len(), 2);
 
     // Paused: the event is not routed, so nothing matches and the matcher
@@ -73,7 +77,9 @@ fn full_lifecycle_register_match_pause_resume_deregister() {
     engine.pause(keywords).unwrap();
     assert!(engine.is_paused(keywords).unwrap());
     let edges_before = engine.metrics(keywords).unwrap().edges_processed;
-    let while_paused = engine.ingest(&ev("a3", "k1", "Keyword", "mentions", 30));
+    let while_paused = engine
+        .ingest(&ev("a3", "k1", "Keyword", "mentions", 30))
+        .unwrap();
     assert!(while_paused.is_empty());
     assert_eq!(
         engine.metrics(keywords).unwrap().edges_processed,
@@ -85,7 +91,9 @@ fn full_lifecycle_register_match_pause_resume_deregister() {
     // is gone, as for a late-registered query).
     engine.resume(keywords).unwrap();
     assert!(!engine.is_paused(keywords).unwrap());
-    let resumed = engine.ingest(&ev("a4", "k1", "Keyword", "mentions", 40));
+    let resumed = engine
+        .ingest(&ev("a4", "k1", "Keyword", "mentions", 40))
+        .unwrap();
     assert_eq!(
         resumed.len(),
         4,
@@ -97,6 +105,7 @@ fn full_lifecycle_register_match_pause_resume_deregister() {
     assert_eq!(engine.query_count(), 0);
     assert!(engine
         .ingest(&ev("a5", "k1", "Keyword", "mentions", 50))
+        .unwrap()
         .is_empty());
 }
 
@@ -109,20 +118,24 @@ fn deregistration_releases_partial_match_memory_and_stops_matches() {
     // Distinct keywords / locations: plenty of partial matches, no complete
     // ones.
     for i in 0..100 {
-        engine.ingest(&ev(
-            &format!("a{i}"),
-            &format!("k{i}"),
-            "Keyword",
-            "mentions",
-            i,
-        ));
-        engine.ingest(&ev(
-            &format!("a{i}"),
-            &format!("p{i}"),
-            "Location",
-            "located",
-            i,
-        ));
+        engine
+            .ingest(&ev(
+                &format!("a{i}"),
+                &format!("k{i}"),
+                "Keyword",
+                "mentions",
+                i,
+            ))
+            .unwrap();
+        engine
+            .ingest(&ev(
+                &format!("a{i}"),
+                &format!("p{i}"),
+                "Location",
+                "located",
+                i,
+            ))
+            .unwrap();
     }
     let keyword_live = engine.metrics(keywords).unwrap().partial_matches_live;
     let location_live = engine.metrics(locations).unwrap().partial_matches_live;
@@ -141,12 +154,14 @@ fn deregistration_releases_partial_match_memory_and_stops_matches() {
 
     // The deregistered query reports no further matches; the survivor still
     // works.
-    let out = engine.ingest(&[
-        ev("b1", "shared", "Keyword", "mentions", 200),
-        ev("b2", "shared", "Keyword", "mentions", 201),
-        ev("b1", "paris", "Location", "located", 202),
-        ev("b2", "paris", "Location", "located", 203),
-    ]);
+    let out = engine
+        .ingest(&[
+            ev("b1", "shared", "Keyword", "mentions", 200),
+            ev("b2", "shared", "Keyword", "mentions", 201),
+            ev("b1", "paris", "Location", "located", 202),
+            ev("b2", "paris", "Location", "located", 203),
+        ])
+        .unwrap();
     assert!(out.iter().all(|m| m.query == locations.id()));
     assert_eq!(out.len(), 2);
 }
@@ -173,14 +188,14 @@ fn pause_resume_round_trip_is_equivalent_to_never_pausing() {
     let mut plain_matches = Vec::new();
     let mut toggled_matches = Vec::new();
     for (i, event) in events.iter().enumerate() {
-        plain_matches.extend(plain.ingest(event));
+        plain_matches.extend(plain.ingest(event).unwrap());
         // Pause and immediately resume between every few events: no event is
         // ever routed while paused, so the round trip must be invisible.
         if i % 7 == 0 {
             toggled.pause(handle).unwrap();
             toggled.resume(handle).unwrap();
         }
-        toggled_matches.extend(toggled.ingest(event));
+        toggled_matches.extend(toggled.ingest(event).unwrap());
     }
     assert!(!plain_matches.is_empty());
     assert_eq!(plain_matches.len(), toggled_matches.len());
@@ -235,8 +250,12 @@ fn stale_handles_error_cleanly_everywhere() {
     // The recycled query matches like any other, and its match events carry
     // the *new* occupant's handle — a consumer routing by handle can never
     // misattribute them to the retired tenant that shared the id.
-    engine.ingest(&ev("r1", "k1", "Keyword", "mentions", 1_000));
-    let matched = engine.ingest(&ev("r2", "k1", "Keyword", "mentions", 1_001));
+    engine
+        .ingest(&ev("r1", "k1", "Keyword", "mentions", 1_000))
+        .unwrap();
+    let matched = engine
+        .ingest(&ev("r2", "k1", "Keyword", "mentions", 1_001))
+        .unwrap();
     assert_eq!(matched.len(), 2);
     assert!(matched.iter().all(|m| m.query == fresh.id()));
     assert!(matched.iter().all(|m| m.handle() == fresh));

@@ -65,7 +65,7 @@ fn run(
         .collect();
     let mut matches = Vec::new();
     for chunk in events.chunks(batch) {
-        matches.extend(engine.ingest(chunk));
+        matches.extend(engine.ingest(chunk).unwrap());
     }
     let counts = handles
         .iter()
@@ -134,20 +134,20 @@ fn sharing_survives_lifecycle_churn() {
             .collect();
         let mut matches = Vec::new();
         for chunk in events[..third].chunks(32) {
-            matches.extend(engine.ingest(chunk));
+            matches.extend(engine.ingest(chunk).unwrap());
         }
         engine.pause(handles[0]).unwrap();
         engine.pause(handles[5]).unwrap();
         engine.deregister(handles[3]).unwrap();
         for chunk in events[third..two_thirds].chunks(32) {
-            matches.extend(engine.ingest(chunk));
+            matches.extend(engine.ingest(chunk).unwrap());
         }
         engine.resume(handles[0]).unwrap();
         for q in &queries[8..10] {
             handles.push(engine.register_query(q.clone()).unwrap());
         }
         for chunk in events[two_thirds..].chunks(32) {
-            matches.extend(engine.ingest(chunk));
+            matches.extend(engine.ingest(chunk).unwrap());
         }
         let counts = handles
             .iter()
@@ -181,7 +181,7 @@ fn dedup_counters_tell_the_truth() {
     assert!(m.dedup_ratio() >= 2.0);
     assert!(engine.sharing_active());
 
-    engine.ingest(&events[..events.len().min(2_000)]);
+    engine.ingest(&events[..events.len().min(2_000)]).unwrap();
     let m = engine.engine_metrics();
     assert!(m.shared_searches_run > 0);
     assert!(
@@ -208,7 +208,7 @@ fn checkpoint_restore_re_interns_the_index() {
         engine.register_query(q.clone()).unwrap();
     }
     let split = events.len() / 2;
-    let mut direct = engine.ingest(&events[..split]);
+    let mut direct = engine.ingest(&events[..split]).unwrap();
 
     let checkpoint = engine.checkpoint();
     let mut restored = ContinuousQueryEngine::from_checkpoint(&checkpoint);
@@ -237,8 +237,8 @@ fn checkpoint_restore_re_interns_the_index() {
         out
     };
     direct.clear();
-    direct.extend(engine.ingest(&events[split..]));
-    let resumed = restored.ingest(&events[split..]);
+    direct.extend(engine.ingest(&events[split..]).unwrap());
+    let resumed = restored.ingest(&events[split..]).unwrap();
     assert_eq!(by_keys(&direct), by_keys(&resumed));
 }
 

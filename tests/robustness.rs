@@ -49,7 +49,7 @@ fn wedge_query(window_secs: i64) -> QueryGraph {
 fn signatures(engine: &mut ContinuousQueryEngine, events: &[EdgeEvent]) -> BTreeSet<Signature> {
     let mut out = BTreeSet::new();
     for e in events {
-        for m in engine.ingest(e) {
+        for m in engine.ingest(e).unwrap() {
             out.insert(
                 m.edges
                     .iter()
@@ -74,7 +74,7 @@ fn key_signatures(
 ) -> BTreeSet<KeySignature> {
     let mut out = BTreeSet::new();
     for e in events {
-        for m in engine.ingest(e) {
+        for m in engine.ingest(e).unwrap() {
             let mut bindings: Vec<(String, String)> = m
                 .bindings
                 .iter()
@@ -109,14 +109,14 @@ fn self_loops_do_not_produce_non_injective_matches() {
     let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     engine.register_query(pair_query(1_000)).unwrap();
     // A self-loop on the keyword vertex and an article that mentions itself.
-    engine.ingest(&ev("k1", "K", "k1", "K", "rel", 1));
-    engine.ingest(&ev("a1", "A", "a1", "A", "rel", 2));
+    engine.ingest(&ev("k1", "K", "k1", "K", "rel", 1)).unwrap();
+    engine.ingest(&ev("a1", "A", "a1", "A", "rel", 2)).unwrap();
     // One legitimate mention; still no complete pair (a1 = a2 is forbidden).
-    let matches = engine.ingest(&ev("a1", "A", "k1", "K", "rel", 3));
+    let matches = engine.ingest(&ev("a1", "A", "k1", "K", "rel", 3)).unwrap();
     assert!(matches.is_empty());
     // A second, distinct article completes the pattern exactly once per
     // automorphism.
-    let matches = engine.ingest(&ev("a2", "A", "k1", "K", "rel", 4));
+    let matches = engine.ingest(&ev("a2", "A", "k1", "K", "rel", 4)).unwrap();
     assert_eq!(matches.len(), 2);
 }
 
@@ -143,8 +143,10 @@ fn out_of_order_timestamps_do_not_panic_and_respect_the_window() {
     engine.register_query(pair_query(30)).unwrap();
     // The second mention arrives with an *older* timestamp, still inside the
     // window relative to the first edge.
-    engine.ingest(&ev("a1", "A", "k1", "K", "rel", 100));
-    let in_window = engine.ingest(&ev("a2", "A", "k1", "K", "rel", 80));
+    engine
+        .ingest(&ev("a1", "A", "k1", "K", "rel", 100))
+        .unwrap();
+    let in_window = engine.ingest(&ev("a2", "A", "k1", "K", "rel", 80)).unwrap();
     assert_eq!(
         in_window.len(),
         2,
@@ -152,7 +154,7 @@ fn out_of_order_timestamps_do_not_panic_and_respect_the_window() {
     );
 
     // A mention that is far in the past relative to the window must not match.
-    let stale = engine.ingest(&ev("a3", "A", "k1", "K", "rel", 10));
+    let stale = engine.ingest(&ev("a3", "A", "k1", "K", "rel", 10)).unwrap();
     assert!(
         stale.iter().all(|m| m.span.as_secs() < 30),
         "any reported match must still satisfy τ(g) < tW"
@@ -176,14 +178,18 @@ fn clock_jumps_forward_expire_state_without_panicking() {
             TreeShapeKind::LeftDeep,
         )
         .unwrap();
-    engine.ingest(&ev("a1", "A", "k1", "K", "rel", 0));
+    engine.ingest(&ev("a1", "A", "k1", "K", "rel", 0)).unwrap();
     // Jump three hours ahead: the old partial match must be expired.
-    engine.ingest(&ev("a2", "A", "k2", "K", "rel", 10_800));
+    engine
+        .ingest(&ev("a2", "A", "k2", "K", "rel", 10_800))
+        .unwrap();
     engine.prune_now();
     let metrics = engine.metrics(id).unwrap();
     assert!(metrics.partial_matches_expired > 0);
     // Matching continues normally at the new time frontier.
-    let matches = engine.ingest(&ev("a3", "A", "k2", "K", "rel", 10_805));
+    let matches = engine
+        .ingest(&ev("a3", "A", "k2", "K", "rel", 10_805))
+        .unwrap();
     assert_eq!(matches.len(), 2);
 }
 
@@ -191,8 +197,8 @@ fn clock_jumps_forward_expire_state_without_panicking() {
 fn zero_width_window_reports_nothing() {
     let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     engine.register_query(pair_query(0)).unwrap();
-    engine.ingest(&ev("a1", "A", "k1", "K", "rel", 5));
-    let matches = engine.ingest(&ev("a2", "A", "k1", "K", "rel", 5));
+    engine.ingest(&ev("a1", "A", "k1", "K", "rel", 5)).unwrap();
+    let matches = engine.ingest(&ev("a2", "A", "k1", "K", "rel", 5)).unwrap();
     assert!(
         matches.is_empty(),
         "τ(g) < 0s can never hold, even for simultaneous edges"
@@ -207,17 +213,23 @@ fn types_unseen_at_registration_time_still_match_later() {
     engine.register_query(wedge_query(600)).unwrap();
     // Unrelated traffic with completely different types arrives first.
     for i in 0..50 {
-        engine.ingest(&ev(
-            &format!("h{i}"),
-            "Host",
-            &format!("h{}", i + 1),
-            "Host",
-            "flow",
-            i,
-        ));
+        engine
+            .ingest(&ev(
+                &format!("h{i}"),
+                "Host",
+                &format!("h{}", i + 1),
+                "Host",
+                "flow",
+                i,
+            ))
+            .unwrap();
     }
-    engine.ingest(&ev("a1", "A", "k1", "K", "rel", 100));
-    let matches = engine.ingest(&ev("a1", "A", "l1", "L", "loc", 101));
+    engine
+        .ingest(&ev("a1", "A", "k1", "K", "rel", 100))
+        .unwrap();
+    let matches = engine
+        .ingest(&ev("a1", "A", "l1", "L", "loc", 101))
+        .unwrap();
     assert_eq!(matches.len(), 1);
 }
 
@@ -226,14 +238,16 @@ fn unrelated_edge_types_never_reach_the_matcher_as_matches() {
     let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     let id = engine.register_query(pair_query(1_000)).unwrap();
     for i in 0..200 {
-        let out = engine.ingest(&ev(
-            &format!("x{}", i % 17),
-            "A",
-            &format!("y{}", i % 13),
-            "K",
-            "other_rel",
-            i,
-        ));
+        let out = engine
+            .ingest(&ev(
+                &format!("x{}", i % 17),
+                "A",
+                &format!("y{}", i % 13),
+                "K",
+                "other_rel",
+                i,
+            ))
+            .unwrap();
         assert!(out.is_empty());
     }
     assert_eq!(engine.metrics(id).unwrap().complete_matches, 0);
@@ -334,14 +348,16 @@ fn adaptive_replanning_keeps_finding_matches_after_the_switch() {
     // Skewed warm-up traffic that motivates a re-plan.
     let mut t = 0;
     for i in 0..600 {
-        engine.ingest(&ev(
-            &format!("a{}", i % 40),
-            "A",
-            &format!("k{}", i % 12),
-            "K",
-            "rel",
-            t,
-        ));
+        engine
+            .ingest(&ev(
+                &format!("a{}", i % 40),
+                "A",
+                &format!("k{}", i % 12),
+                "K",
+                "rel",
+                t,
+            ))
+            .unwrap();
         t += 1;
     }
     let decisions = replanner.check(&mut engine);
@@ -352,8 +368,12 @@ fn adaptive_replanning_keeps_finding_matches_after_the_switch() {
 
     // Patterns completed entirely after the re-plan are still found.
     let before = engine.metrics(id).unwrap().complete_matches;
-    engine.ingest(&ev("fresh", "A", "k-new", "K", "rel", t + 10));
-    let matches = engine.ingest(&ev("fresh", "A", "l-new", "L", "loc", t + 11));
+    engine
+        .ingest(&ev("fresh", "A", "k-new", "K", "rel", t + 10))
+        .unwrap();
+    let matches = engine
+        .ingest(&ev("fresh", "A", "l-new", "L", "loc", t + 11))
+        .unwrap();
     assert_eq!(matches.len(), 1);
     assert_eq!(engine.metrics(id).unwrap().complete_matches, before + 1);
 }
@@ -460,7 +480,7 @@ fn shuffled_streams_respect_window_semantics() {
         let mut engine = ContinuousQueryEngine::builder().build().unwrap();
         engine.register_query(query).unwrap();
         for e in &events {
-            for m in engine.ingest(e) {
+            for m in engine.ingest(e).unwrap() {
                 assert!(m.span < Duration::from_secs(window));
             }
         }

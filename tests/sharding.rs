@@ -53,7 +53,7 @@ fn run(
         .collect();
     let mut matches = Vec::new();
     for chunk in events.chunks(batch) {
-        matches.extend(engine.ingest(chunk));
+        matches.extend(engine.ingest(chunk).unwrap());
     }
     let counts = handles
         .iter()
@@ -145,8 +145,8 @@ fn sharded_lifecycle_churn_matches_single_threaded() {
     let h_single = single.register_query(query.clone()).unwrap();
     let h_sharded = sharded.register_query(query.clone()).unwrap();
 
-    let a = single.ingest(first);
-    let b = sharded.ingest(first);
+    let a = single.ingest(first).unwrap();
+    let b = sharded.ingest(first).unwrap();
     assert_eq!(multiset(&a), multiset(&b), "pre-pause matches");
 
     // Paused queries see nothing, on either engine.
@@ -154,15 +154,15 @@ fn sharded_lifecycle_churn_matches_single_threaded() {
     sharded.pause(h_sharded).unwrap();
     assert!(sharded.is_paused(h_sharded).unwrap());
     let quarter = &second[..second.len() / 2];
-    assert!(single.ingest(quarter).is_empty());
-    assert!(sharded.ingest(quarter).is_empty());
+    assert!(single.ingest(quarter).unwrap().is_empty());
+    assert!(sharded.ingest(quarter).unwrap().is_empty());
 
     // Resumed queries match again, and still agree.
     single.resume(h_single).unwrap();
     sharded.resume(h_sharded).unwrap();
     let rest = &second[second.len() / 2..];
-    let a = single.ingest(rest);
-    let b = sharded.ingest(rest);
+    let a = single.ingest(rest).unwrap();
+    let b = sharded.ingest(rest).unwrap();
     assert_eq!(multiset(&a), multiset(&b), "post-resume matches");
     assert_eq!(
         single.metrics(h_single).unwrap().complete_matches,
@@ -193,17 +193,19 @@ fn prune_now_waits_for_the_shard_sweeps() {
     let handle = engine.register_query(query).unwrap();
     let events = news_events();
     let last = events.last().unwrap().timestamp;
-    engine.ingest(&events);
+    engine.ingest(&events).unwrap();
 
     // Advance stream time far past every window, then prune explicitly.
-    engine.ingest(&EdgeEvent::new(
-        "straggler",
-        "Article",
-        "k-late",
-        "Keyword",
-        "mentions",
-        Timestamp::from_micros(last.as_micros() + 4 * 3_600_000_000),
-    ));
+    engine
+        .ingest(&EdgeEvent::new(
+            "straggler",
+            "Article",
+            "k-late",
+            "Keyword",
+            "mentions",
+            Timestamp::from_micros(last.as_micros() + 4 * 3_600_000_000),
+        ))
+        .unwrap();
     engine.prune_now();
     assert_eq!(engine.metrics(handle).unwrap().partial_matches_live, 0);
     assert_eq!(engine.live_partial_matches(), 0);
@@ -220,7 +222,7 @@ fn sharded_subscription_sees_one_ordered_stream() {
     let events = news_events();
     let mut returned = Vec::new();
     for chunk in events.chunks(512) {
-        returned.extend(engine.ingest(chunk));
+        returned.extend(engine.ingest(chunk).unwrap());
     }
     assert!(!returned.is_empty(), "stream must produce matches");
 

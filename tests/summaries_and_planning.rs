@@ -13,7 +13,7 @@ use streamworks::{ContinuousQueryEngine, Duration, Planner};
 fn summarize_stream(events: &[streamworks::EdgeEvent]) -> ContinuousQueryEngine {
     let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     for ev in events {
-        engine.ingest(ev);
+        engine.ingest(ev).unwrap();
     }
     engine
 }
@@ -73,7 +73,7 @@ fn cyber_summary_reflects_live_window_population() {
         .register_query(smurf_ddos_query(3, Duration::from_mins(1)))
         .unwrap();
     for ev in &workload.events {
-        engine.ingest(ev);
+        engine.ingest(ev).unwrap();
     }
     let flow = engine.graph().edge_type_id("flow").unwrap();
     let live_flow_edges = engine.graph().edges().filter(|e| e.etype == flow).count() as u64;
@@ -94,7 +94,7 @@ fn degree_skew_is_visible_in_summary_histograms() {
     .generate();
     let mut engine = ContinuousQueryEngine::builder().build().unwrap();
     for ev in &workload.events {
-        engine.ingest(ev);
+        engine.ingest(ev).unwrap();
     }
     let mut summary = engine.summary().clone();
     summary.resample_degrees(engine.graph());
@@ -135,7 +135,7 @@ fn traces_round_trip_through_the_engine() {
             .unwrap();
         let mut out: Vec<String> = Vec::new();
         for ev in events {
-            for m in engine.ingest(ev) {
+            for m in engine.ingest(ev).unwrap() {
                 out.push(m.render());
             }
         }

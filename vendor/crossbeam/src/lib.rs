@@ -1,14 +1,21 @@
-//! Offline-vendored, minimal `crossbeam` facade: just the unbounded channel
-//! surface the engine's `ChannelSink` uses, backed by `std::sync::mpsc`.
+//! Offline-vendored, minimal `crossbeam` facade: the unbounded and bounded
+//! channel surface the engine uses, backed by `std::sync::mpsc`.
 
 /// Multi-producer channels.
 pub mod channel {
     use std::sync::mpsc;
 
-    /// Sending half of an unbounded channel.
+    #[derive(Debug)]
+    enum SenderInner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    /// Sending half of a channel (unbounded or bounded; both halves share one
+    /// type, mirroring real crossbeam).
     #[derive(Debug)]
     pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+        inner: SenderInner<T>,
     }
 
     // Manual impl: senders clone for any payload type (a derive would
@@ -16,12 +23,15 @@ pub mod channel {
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             Sender {
-                inner: self.inner.clone(),
+                inner: match &self.inner {
+                    SenderInner::Unbounded(tx) => SenderInner::Unbounded(tx.clone()),
+                    SenderInner::Bounded(tx) => SenderInner::Bounded(tx.clone()),
+                },
             }
         }
     }
 
-    /// Receiving half of an unbounded channel.
+    /// Receiving half of a channel.
     #[derive(Debug)]
     pub struct Receiver<T> {
         inner: mpsc::Receiver<T>,
@@ -30,6 +40,29 @@ pub mod channel {
     /// Error returned when the receiving half has disconnected.
     #[derive(Debug, Clone, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The (bounded) channel is at capacity.
+        Full(T),
+        /// The receiving half has disconnected.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the message that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// True when the send failed because the channel was at capacity.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
 
     /// Error returned by [`Receiver::try_recv`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,13 +89,49 @@ pub mod channel {
     /// Creates an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender { inner: tx }, Receiver { inner: rx })
+        (
+            Sender {
+                inner: SenderInner::Unbounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    /// Creates a bounded FIFO channel holding at most `cap` queued messages.
+    /// Sends on a full channel block ([`Sender::send`]) or fail
+    /// ([`Sender::try_send`]).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                inner: SenderInner::Bounded(tx),
+            },
+            Receiver { inner: rx },
+        )
     }
 
     impl<T> Sender<T> {
-        /// Sends a message, failing only if the receiver is gone.
+        /// Sends a message, blocking while a bounded channel is full; fails
+        /// only if the receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|e| SendError(e.0))
+            match &self.inner {
+                SenderInner::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+                SenderInner::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+
+        /// Sends a message without blocking: fails with
+        /// [`TrySendError::Full`] when a bounded channel is at capacity.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.inner {
+                SenderInner::Unbounded(tx) => {
+                    tx.send(value).map_err(|e| TrySendError::Disconnected(e.0))
+                }
+                SenderInner::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+            }
         }
     }
 
@@ -121,6 +190,26 @@ pub mod channel {
             let (tx, rx) = unbounded();
             drop(rx);
             assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full_then_drains() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert!(tx.try_send(3).unwrap_err().is_full());
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![2, 3]);
+        }
+
+        #[test]
+        fn bounded_try_send_reports_disconnect() {
+            let (tx, rx) = bounded(1);
+            drop(rx);
+            assert_eq!(tx.try_send(7), Err(TrySendError::Disconnected(7)));
+            assert_eq!(TrySendError::Disconnected(7).into_inner(), 7);
         }
     }
 }

@@ -14,11 +14,29 @@ pub use serde::Value;
 #[derive(Debug, Clone)]
 pub struct Error {
     msg: String,
+    offset: Option<usize>,
 }
 
 impl Error {
     fn new(msg: impl Into<String>) -> Self {
-        Error { msg: msg.into() }
+        Error {
+            msg: msg.into(),
+            offset: None,
+        }
+    }
+
+    fn with_offset(mut self, pos: usize) -> Self {
+        if self.offset.is_none() {
+            self.offset = Some(pos);
+        }
+        self
+    }
+
+    /// Byte offset in the input where parsing stopped, for parse-stage
+    /// errors. `None` for errors raised after parsing (shape mismatches,
+    /// serialisation failures).
+    pub fn byte_offset(&self) -> Option<usize> {
+        self.offset
     }
 }
 
@@ -172,10 +190,17 @@ pub fn parse(s: &str) -> Result<Value> {
         bytes: s.as_bytes(),
         pos: 0,
     };
-    let v = p.value()?;
+    let v = match p.value() {
+        Ok(v) => v,
+        Err(e) => {
+            let pos = p.pos;
+            return Err(e.with_offset(pos));
+        }
+    };
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+        let pos = p.pos;
+        return Err(Error::new(format!("trailing characters at byte {pos}")).with_offset(pos));
     }
     Ok(v)
 }
