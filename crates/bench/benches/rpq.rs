@@ -1,0 +1,91 @@
+//! Regular-path-query throughput: the windowed RPQ class on its target
+//! workloads.
+//!
+//! Two scenarios, both with planted multi-hop chains in Zipfian background
+//! noise (see `streamworks_workloads::rpq`):
+//!
+//! * `lateral` — cyber lateral movement, `login flow* exploit`. Almost all
+//!   background traffic carries alphabet labels (flows), so this measures
+//!   the product-graph expansion cost under heavy noise.
+//! * `citations` — news citation chains, `cites cites*`. Every edge is in
+//!   the alphabet and every edge extends some tree: the worst-case regime
+//!   where spanning-tree state grows with the live window.
+//!
+//! Engine construction and RPQ registration run in the untimed
+//! `iter_batched` setup; the timed region is ingest alone. Throughput is
+//! events/s over the whole stream (background + planted chains).
+//!
+//! Set `STREAMWORKS_BENCH_SMOKE=1` to run on CI-sized inputs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use streamworks_core::ContinuousQueryEngine;
+use streamworks_graph::{Duration, EdgeEvent};
+use streamworks_query::RpqQuery;
+use streamworks_workloads::{
+    citation_chain_rpq, lateral_movement_rpq, CitationChainGenerator, CitationConfig,
+    LateralMovementConfig, LateralMovementGenerator,
+};
+
+fn lateral_workload(edges: usize) -> (RpqQuery, Vec<EdgeEvent>) {
+    let workload = LateralMovementGenerator::new(LateralMovementConfig {
+        hosts: (edges / 40).max(16),
+        background_edges: edges,
+        intrusions: vec![0, 2, 4, 8],
+        ..Default::default()
+    })
+    .generate();
+    (
+        lateral_movement_rpq(Duration::from_secs(600)),
+        workload.events,
+    )
+}
+
+fn citation_workload(edges: usize) -> (RpqQuery, Vec<EdgeEvent>) {
+    let workload = CitationChainGenerator::new(CitationConfig {
+        articles: (edges / 10).max(10),
+        background_edges: edges,
+        chains: vec![3, 5, 8],
+        ..Default::default()
+    })
+    .generate();
+    // A short window keeps tree state bounded by expiry rather than by the
+    // stream length — the regime the min-heap drain is built for.
+    (citation_chain_rpq(Duration::from_secs(60)), workload.events)
+}
+
+fn engine_with(rpq: &RpqQuery) -> ContinuousQueryEngine {
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+    engine.register_rpq(rpq.clone());
+    engine
+}
+
+fn bench_rpq(c: &mut Criterion) {
+    let smoke = std::env::var_os("STREAMWORKS_BENCH_SMOKE").is_some();
+    let mut group = c.benchmark_group("rpq");
+    group.sample_size(10);
+
+    let sizes: &[usize] = if smoke { &[500] } else { &[5_000, 20_000] };
+    for &edges in sizes {
+        for (scenario, (rpq, events)) in [
+            ("lateral", lateral_workload(edges)),
+            ("citations", citation_workload(edges)),
+        ] {
+            group.throughput(Throughput::Elements(events.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(scenario, edges),
+                &(&rpq, &events),
+                |b, (rpq, events)| {
+                    b.iter_batched(
+                        || engine_with(rpq),
+                        |mut engine| engine.ingest(*events).unwrap().len() as u64,
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rpq);
+criterion_main!(benches);

@@ -11,22 +11,28 @@
 //! query's match state sharded over N worker threads; `--tenants N`
 //! additionally measures a multi-tenant template registry (2 queries per
 //! tenant) with the shared primitive index on vs. off, printing the dedup
-//! ratio; `smoke` runs one tiny size without the slow repeated-search
-//! baseline (used by CI to exercise the sharded and shared paths on every
-//! push).
+//! ratio; `--rpq` additionally measures the windowed regular-path-query
+//! class on the multi-hop lateral-movement workload (`login flow* exploit`)
+//! and reports recall against the planted intrusion chains; `smoke` runs one
+//! tiny size without the slow repeated-search baseline (used by CI to
+//! exercise the sharded, shared and RPQ paths on every push).
 
 use streamworks_baseline::{NaiveEdgeExpansion, RepeatedSearchMatcher};
 use streamworks_bench::{measure, Table};
 use streamworks_core::{ContinuousQueryEngine, EngineConfig};
 use streamworks_graph::{Duration, DynamicGraph};
 use streamworks_workloads::queries::labelled_news_query;
-use streamworks_workloads::{MultiTenantGenerator, NewsConfig, NewsStreamGenerator, TenantConfig};
+use streamworks_workloads::{
+    lateral_movement_rpq, LateralMovementConfig, LateralMovementGenerator, MultiTenantGenerator,
+    NewsConfig, NewsStreamGenerator, TenantConfig,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut size = "small".to_owned();
     let mut shards = 1usize;
     let mut tenants = 0usize;
+    let mut rpq = false;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--shards" {
@@ -43,6 +49,9 @@ fn main() {
                 .filter(|&n| n >= 1)
                 .expect("--tenants takes a positive integer");
             i += 2;
+        } else if args[i] == "--rpq" {
+            rpq = true;
+            i += 1;
         } else {
             size = args[i].clone();
             i += 1;
@@ -232,4 +241,89 @@ fn main() {
         }
         println!("{}", table.render());
     }
+
+    // Windowed RPQ: multi-hop lateral movement (`login flow* exploit`) over
+    // Zipfian flow/DNS background, per-event and batched ingest, with recall
+    // against the planted intrusion chains.
+    if rpq {
+        let background = match size.as_str() {
+            "large" => 50_000,
+            "medium" => 20_000,
+            "smoke" => 500,
+            _ => 5_000,
+        };
+        let workload = LateralMovementGenerator::new(LateralMovementConfig {
+            hosts: (background / 40).max(16),
+            background_edges: background,
+            intrusions: vec![0, 2, 4, 8],
+            ..Default::default()
+        })
+        .generate();
+        let query = lateral_movement_rpq(Duration::from_secs(600));
+        println!(
+            "\n# E14: windowed RPQ (lateral movement, login flow* exploit), {} events, {} planted chains",
+            workload.events.len(),
+            workload.chains.len()
+        );
+        let mut table = Table::new(&[
+            "engine", "edges/s", "us/edge", "matches", "detected", "recall",
+        ]);
+        for (label, batched) in [("rpq-engine", false), ("rpq-batch", true)] {
+            let mut detected = 0usize;
+            let run = measure(workload.events.len(), || {
+                let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
+                engine.register_rpq(query.clone());
+                let matches = if batched {
+                    engine.ingest(&workload.events).unwrap()
+                } else {
+                    let mut all = Vec::new();
+                    for ev in &workload.events {
+                        all.extend(engine.ingest(ev).unwrap());
+                    }
+                    all
+                };
+                detected = workload
+                    .chains
+                    .iter()
+                    .filter(|chain| {
+                        matches.iter().any(|m| {
+                            m.bindings.first().is_some_and(|b| b.key == chain.source)
+                                && m.bindings.last().is_some_and(|b| b.key == chain.target)
+                        })
+                    })
+                    .count();
+                matches.len() as u64
+            });
+            table.row(&[
+                label.into(),
+                format!("{:.0}", run.throughput()),
+                format!("{:.1}", run.mean_latency_us()),
+                run.matches.to_string(),
+                format!("{detected}/{}", workload.chains.len()),
+                format!("{:.2}", detected as f64 / workload.chains.len() as f64),
+            ]);
+        }
+        println!("{}", table.render());
+        assert!(
+            detected_ok(&workload, &query),
+            "lateral-movement RPQ must detect every planted chain"
+        );
+    }
+}
+
+/// Re-runs the RPQ once more outside the timed loop and checks full recall —
+/// the experiment doubles as a correctness smoke for CI.
+fn detected_ok(
+    workload: &streamworks_workloads::RpqWorkload,
+    query: &streamworks_query::RpqQuery,
+) -> bool {
+    let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
+    engine.register_rpq(query.clone());
+    let matches = engine.ingest(&workload.events).unwrap();
+    workload.chains.iter().all(|chain| {
+        matches.iter().any(|m| {
+            m.bindings.first().is_some_and(|b| b.key == chain.source)
+                && m.bindings.last().is_some_and(|b| b.key == chain.target)
+        })
+    })
 }

@@ -18,7 +18,8 @@ use streamworks_report::{
     query_graph_to_dot, sjtree_to_dot, summary_report, EventTable, EventTableSpec, Table,
 };
 use streamworks_workloads::{
-    read_trace_file, write_trace_file, CyberConfig, CyberTrafficGenerator, NewsConfig,
+    read_trace_file, write_trace_file, CitationChainGenerator, CitationConfig, CyberConfig,
+    CyberTrafficGenerator, LateralMovementConfig, LateralMovementGenerator, NewsConfig,
     NewsStreamGenerator, RandomConfig, TraceError,
 };
 
@@ -89,8 +90,11 @@ USAGE:
   streamworks-cli <command> [options]
 
 COMMANDS:
-  generate   --kind cyber|news|random --out <trace.jsonl> [--edges N] [--seed N]
-             Generate a synthetic edge trace (JSON lines).
+  generate   --kind cyber|news|random|lateral|citations --out <trace.jsonl>
+             [--edges N] [--seed N]
+             Generate a synthetic edge trace (JSON lines). `lateral` plants
+             multi-hop intrusion chains (login flow* exploit), `citations`
+             plants article citation chains — both targets for RPQ queries.
   plan       --query <q.swq> [--trace <trace.jsonl>] [--strategy <name>]
              [--tree left-deep|balanced] [--dot-query <f>] [--dot-tree <f>]
              Parse a DSL query, plan it (optionally against trace statistics)
@@ -112,6 +116,10 @@ COMMANDS:
              queries share one local search per event (the summary reports
              the dedup ratio and searches saved); --no-share disables the
              shared index. Results are identical either way.
+             Query files starting with `RPQ` are registered as windowed
+             regular path queries (`RPQ <name> WINDOW <dur> PATH <regex>`)
+             instead of fixed-shape SJ-Tree patterns; both kinds can be
+             mixed in one run.
   summarize  --trace <trace.jsonl> [--triads N]
              Ingest the trace and print the graph statistics report.
 
@@ -146,6 +154,15 @@ fn tree_kind_by_name(name: &str) -> Result<TreeShapeKind, CliError> {
 fn load_query(path: &str) -> Result<QueryGraph, CliError> {
     let text = std::fs::read_to_string(Path::new(path))?;
     Ok(streamworks_query::parse_query(&text)?)
+}
+
+/// `true` if the query text is in the RPQ dialect (`RPQ <name> ... PATH ...`)
+/// rather than the fixed-shape `QUERY ... MATCH ...` DSL.
+fn is_rpq_text(text: &str) -> bool {
+    text.lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .is_some_and(|l| l.starts_with("RPQ"))
 }
 
 /// Ingests a trace into a fresh engine (no queries registered) so its summary
@@ -191,10 +208,28 @@ pub fn cmd_generate(opts: &Options) -> Result<String, CliError> {
             seed,
             ..Default::default()
         }),
+        "lateral" => {
+            let config = LateralMovementConfig {
+                hosts: (edges / 40).max(16),
+                background_edges: edges,
+                seed,
+                ..Default::default()
+            };
+            LateralMovementGenerator::new(config).generate().events
+        }
+        "citations" => {
+            let config = CitationConfig {
+                articles: (edges / 10).max(10),
+                background_edges: edges,
+                seed,
+                ..Default::default()
+            };
+            CitationChainGenerator::new(config).generate().events
+        }
         other => {
             return Err(CliError::Usage(format!(
-                "unknown workload kind `{other}` (expected cyber, news or random)"
-            )))
+            "unknown workload kind `{other}` (expected cyber, news, random, lateral or citations)"
+        )))
         }
     };
     let written = write_trace_file(out, events.iter())?;
@@ -306,9 +341,17 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
         .build()?;
     let mut spec = EventTableSpec::standard();
     for path in query_paths {
-        let query = load_query(path)?;
-        let name = query.name().to_owned();
-        let handle = engine.register_query_with(query, strategy.as_ref(), tree_kind)?;
+        let text = std::fs::read_to_string(Path::new(path))?;
+        let (handle, name) = if is_rpq_text(&text) {
+            let rpq = streamworks_query::parse_rpq(&text)?;
+            let name = rpq.name().to_owned();
+            (engine.register_rpq(rpq), name)
+        } else {
+            let query = streamworks_query::parse_query(&text)?;
+            let name = query.name().to_owned();
+            let handle = engine.register_query_with(query, strategy.as_ref(), tree_kind)?;
+            (handle, name)
+        };
         spec = spec.label(handle.id(), name);
     }
 
@@ -368,6 +411,7 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
         let name = engine
             .plan(*handle)
             .map(|p| p.query.name().to_owned())
+            .or_else(|_| engine.rpq_query(*handle).map(|q| q.name().to_owned()))
             .unwrap_or_else(|_| format!("q{}", handle.id().0));
         if m.binding_spills > 0 {
             spilled.push(name.clone());
@@ -706,6 +750,63 @@ mod tests {
             "0",
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn run_registers_rpq_queries_from_the_rpq_dialect() {
+        // A generated lateral-movement trace plants three intrusion chains
+        // (0, 2 and 4 pivot flows); the RPQ detects each exactly once.
+        let trace = scratch("lateral.jsonl").to_string_lossy().into_owned();
+        let gen = dispatch(&args(&[
+            "generate", "--kind", "lateral", "--out", &trace, "--edges", "400",
+        ]))
+        .unwrap();
+        assert!(gen.contains("wrote"), "output: {gen}");
+
+        let rpq = write_query(
+            "lateral.rpq",
+            "# multi-hop intrusion\nRPQ lateral WINDOW 1h PATH login flow* exploit\n",
+        );
+        let out = dispatch(&args(&["run", "--query", &rpq, "--trace", &trace])).unwrap();
+        assert!(out.contains("3 matches"), "output: {out}");
+        assert!(out.contains("lateral"), "output: {out}");
+
+        // SJ-Tree and RPQ queries mix in one run.
+        let trace2 = scratch("tiny_mix.jsonl");
+        let events = [
+            streamworks_graph::EdgeEvent::new(
+                "a1",
+                "Article",
+                "rust",
+                "Keyword",
+                "mentions",
+                streamworks_graph::Timestamp::from_secs(1),
+            ),
+            streamworks_graph::EdgeEvent::new(
+                "a2",
+                "Article",
+                "rust",
+                "Keyword",
+                "mentions",
+                streamworks_graph::Timestamp::from_secs(2),
+            ),
+        ];
+        streamworks_workloads::write_trace_file(&trace2, events.iter()).unwrap();
+        let trace2 = trace2.to_string_lossy().into_owned();
+        let sj = write_query("pair_mix.swq", PAIR_QUERY);
+        let chain = write_query("chain_mix.rpq", "RPQ chain WINDOW 1h PATH mentions\n");
+        let mixed = dispatch(&args(&[
+            "run", "--query", &sj, "--query", &chain, "--trace", &trace2,
+        ]))
+        .unwrap();
+        // 2 SJ matches (the symmetric pair) + 2 RPQ matches (one per edge).
+        assert!(mixed.contains("4 matches"), "output: {mixed}");
+        assert!(mixed.contains("pair"), "output: {mixed}");
+        assert!(mixed.contains("chain"), "output: {mixed}");
+
+        // A malformed RPQ file surfaces as a query error.
+        let bad = write_query("bad.rpq", "RPQ broken WINDOW 1h PATH (((\n");
+        assert!(dispatch(&args(&["run", "--query", &bad, "--trace", &trace2])).is_err());
     }
 
     #[test]

@@ -43,15 +43,26 @@ use crate::engine::ContinuousQueryEngine;
 use crate::event::{EventSink, MatchEvent};
 use serde::{Deserialize, Serialize};
 use streamworks_graph::{EdgeEvent, Timestamp};
-use streamworks_query::QueryPlan;
+use streamworks_query::{QueryPlan, RpqQuery};
 
 /// A serialisable snapshot of a [`ContinuousQueryEngine`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineCheckpoint {
     /// Engine configuration at checkpoint time.
     pub config: EngineConfig,
-    /// Plans of every registered query, in registration (query-id) order.
+    /// Plans of every registered subgraph query, in registration (query-id)
+    /// order. Regular path queries are captured in [`Self::rpqs`]; the
+    /// `paused` / `paused_at` / `observed` lists run over the *combined*
+    /// query sequence in query-id order.
     pub plans: Vec<QueryPlan>,
+    /// Registered regular path queries, as `(position, query)` where
+    /// `position` is the query's index in the combined query-id order (the
+    /// indexing of `paused` / `paused_at` / `observed`). Restore re-registers
+    /// plans and RPQs interleaved at these positions, so query ids — and the
+    /// replay choreography — come back exactly as captured. Defaults to
+    /// empty, so checkpoints written before RPQs existed keep restoring.
+    #[serde(default)]
+    pub rpqs: Vec<(u64, RpqQuery)>,
     /// Paused flag per entry of `plans` (same order). Defaults to
     /// all-running when absent, so checkpoints written before the field
     /// existed keep restoring.
@@ -140,12 +151,20 @@ impl EngineCheckpoint {
             .collect();
         with_ids.sort_by_key(|(id, _)| *id);
         let mut plans = Vec::new();
+        let mut rpqs = Vec::new();
         let mut paused = Vec::new();
         let mut paused_at = Vec::new();
         let mut observed = Vec::new();
         for h in engine.handles() {
-            let Ok(plan) = engine.plan(h) else { continue };
-            plans.push(plan.clone());
+            // Both query classes are captured, at their position in the
+            // combined query-id order (the indexing of the lifecycle lists).
+            if let Ok(plan) = engine.plan(h) {
+                plans.push(plan.clone());
+            } else if let Ok(rpq) = engine.rpq_query(h) {
+                rpqs.push((paused.len() as u64, rpq.clone()));
+            } else {
+                continue;
+            }
             paused.push(engine.is_paused(h).unwrap_or(false));
             paused_at.push(engine.pause_time(h).unwrap_or(None));
             // Map the query's arrival-order observation boundaries (edge-id
@@ -175,6 +194,7 @@ impl EngineCheckpoint {
         EngineCheckpoint {
             config: *engine.config(),
             plans,
+            rpqs,
             paused,
             paused_at,
             observed,
@@ -195,10 +215,25 @@ impl EngineCheckpoint {
     /// validate the config first to recover gracefully.
     pub fn restore(&self) -> ContinuousQueryEngine {
         let mut engine = ContinuousQueryEngine::new(self.config);
-        let handles: Vec<_> = self
-            .plans
-            .iter()
-            .map(|plan| engine.register_plan(plan.clone()))
+        // Re-register both query classes interleaved at their captured
+        // positions, so slot ids — and the index-aligned lifecycle lists —
+        // come back exactly as captured.
+        let total = self.plans.len() + self.rpqs.len();
+        let mut next_plan = self.plans.iter();
+        let mut next_rpq = self.rpqs.iter().peekable();
+        let handles: Vec<_> = (0..total as u64)
+            .map(|pos| {
+                // `<=` and the exhaustion fallback tolerate hand-edited
+                // position lists without panicking; well-formed checkpoints
+                // only ever hit the `==` case.
+                if next_rpq.peek().is_some_and(|(p, _)| *p <= pos) || next_plan.len() == 0 {
+                    let (_, rpq) = next_rpq.next().expect("an entry remains");
+                    engine.register_rpq(rpq.clone())
+                } else {
+                    let plan = next_plan.next().expect("an entry remains");
+                    engine.register_plan(plan.clone())
+                }
+            })
             .collect();
         // Queries with recorded observation intervals start dormant and are
         // resumed/paused at exactly their boundaries as the (arrival-order)

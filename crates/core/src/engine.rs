@@ -23,13 +23,15 @@ use crate::handle::{QueryHandle, SubscriptionId};
 use crate::ingest::Ingest;
 use crate::metrics::{EngineMetrics, QueryMetrics, ShardMetrics};
 use crate::parallel::{panic_message, ShardFailure, ShardedMatcher};
+use crate::rpq::{RpqMatcher, RpqPathMatch};
 use crate::shared_index::{Delivery, SharedPrimitiveIndex};
 use crate::sj_matcher::SjTreeMatcher;
 use streamworks_graph::{
     Duration, DynamicGraph, EdgeEvent, EdgeId, GraphConfig, GraphStats, Timestamp, TypeId,
 };
 use streamworks_query::{
-    DecompositionStrategy, Planner, QueryGraph, QueryPlan, SelectivityOrdered, TreeShapeKind,
+    DecompositionStrategy, Planner, QueryGraph, QueryPlan, RpqQuery, SelectivityOrdered,
+    TreeShapeKind,
 };
 use streamworks_summarize::GraphSummary;
 
@@ -126,13 +128,21 @@ enum QueryExec {
     // Boxed: the sharded matcher carries channel endpoints and worker
     // handles; it is only touched via routing/flush calls.
     Sharded(Box<ShardedMatcher>),
+    /// A windowed regular path query, evaluated on the product graph (see
+    /// `crate::rpq`). The engine's second query class: it shares the whole
+    /// lifecycle — slots, handles, pause/resume, subscriptions, checkpoints —
+    /// but has no SJ-Tree plan, never runs sharded, and is never covered by
+    /// the shared primitive index.
+    Rpq(Box<RpqMatcher>),
 }
 
 impl QueryExec {
-    fn plan(&self) -> &QueryPlan {
+    /// The SJ-Tree plan; `None` for an RPQ, which has no decomposition.
+    fn plan(&self) -> Option<&QueryPlan> {
         match self {
-            QueryExec::Single(m) => m.plan(),
-            QueryExec::Sharded(s) => s.plan(),
+            QueryExec::Single(m) => Some(m.plan()),
+            QueryExec::Sharded(s) => Some(s.plan()),
+            QueryExec::Rpq(_) => None,
         }
     }
 
@@ -140,6 +150,7 @@ impl QueryExec {
         match self {
             QueryExec::Single(m) => m.metrics(),
             QueryExec::Sharded(s) => s.metrics(),
+            QueryExec::Rpq(m) => m.metrics(),
         }
     }
 
@@ -147,16 +158,18 @@ impl QueryExec {
         match self {
             QueryExec::Single(m) => m.prune(now),
             QueryExec::Sharded(s) => s.prune(now),
+            QueryExec::Rpq(m) => m.prune(now),
         }
     }
 
     /// The matcher carrying the compiled plan and local-search state — for a
     /// sharded query this is the driver-side front end, whose per-node match
-    /// stores are empty (join state lives in the shards).
-    fn matcher(&self) -> &SjTreeMatcher {
+    /// stores are empty (join state lives in the shards). `None` for an RPQ.
+    fn matcher(&self) -> Option<&SjTreeMatcher> {
         match self {
-            QueryExec::Single(m) => m,
-            QueryExec::Sharded(s) => s.front(),
+            QueryExec::Single(m) => Some(m),
+            QueryExec::Sharded(s) => Some(s.front()),
+            QueryExec::Rpq(_) => None,
         }
     }
 }
@@ -271,7 +284,18 @@ fn deliver_match(
     subscribers: &mut [Subscription],
     sink: &mut dyn EventSink,
 ) {
-    let event = MatchEvent::from_match(handle, query, graph, m);
+    deliver_event(
+        MatchEvent::from_match(handle, query, graph, m),
+        subscribers,
+        sink,
+    );
+}
+
+/// The kind-agnostic half of [`deliver_match`]: supervised delivery of an
+/// already-built event to the query's subscriptions and the call-level sink.
+/// RPQ path matches enter here directly (they have no `PartialMatch`), so
+/// both query classes share one emission point.
+fn deliver_event(event: MatchEvent, subscribers: &mut [Subscription], sink: &mut dyn EventSink) {
     for sub in subscribers.iter_mut() {
         let Some(subscriber) = sub.sink.as_mut() else {
             continue; // already quarantined
@@ -338,6 +362,8 @@ pub struct ContinuousQueryEngine {
     events_emitted: u64,
     /// Reusable buffer for complete matches produced per event.
     match_scratch: Vec<PartialMatch>,
+    /// Reusable buffer for RPQ path matches produced per event.
+    rpq_scratch: Vec<RpqPathMatch>,
     /// `Some(reason)` once a shard failure could not be contained (the
     /// [`crate::ShardFailurePolicy::FailFast`] policy, or a `Degrade` with
     /// no surviving shard): join state is gone, so serving further calls
@@ -384,6 +410,7 @@ impl ContinuousQueryEngine {
             events_ingested: 0,
             events_emitted: 0,
             match_scratch: Vec::new(),
+            rpq_scratch: Vec::new(),
             poisoned: None,
             config,
         }
@@ -460,16 +487,7 @@ impl ContinuousQueryEngine {
     /// own.
     pub fn register_plan(&mut self, plan: QueryPlan) -> QueryHandle {
         self.extend_retention(plan.query.window());
-        let index = match self.free_slots.pop() {
-            Some(i) => i as usize,
-            None => {
-                self.queries.push(QuerySlot {
-                    generation: 0,
-                    state: None,
-                });
-                self.queries.len() - 1
-            }
-        };
+        let index = self.alloc_slot();
         let shared = self.config.shared_matching
             && self.shared.subscribe_plan(index as u32, &plan, &self.graph);
         let state = QueryState {
@@ -516,6 +534,76 @@ impl ContinuousQueryEngine {
     pub fn register_dsl(&mut self, text: &str) -> Result<QueryHandle, EngineError> {
         let query = streamworks_query::parse_query(text)?;
         self.register_query(query)
+    }
+
+    /// Registers a windowed regular path query — the engine's second query
+    /// class. The query's pattern is compiled to its minimized DFA and
+    /// evaluated incrementally on the product graph (see `crate::rpq`);
+    /// every path match is emitted as a [`MatchEvent`] binding `src` and
+    /// `dst` and carrying the witness edges.
+    ///
+    /// The returned handle shares the full lifecycle of subgraph queries:
+    /// pause/resume, deregistration, subscriptions, checkpoint/restore. An
+    /// RPQ always runs single-threaded on the ingest thread ([`Self::plan`],
+    /// [`Self::matcher`] and [`Self::shard_metrics`] do not apply — the
+    /// first two return [`EngineError::WrongQueryKind`]), and
+    /// [`Self::replan`] is a documented no-op: an RPQ's DFA is canonical, so
+    /// there is no decomposition to revisit.
+    pub fn register_rpq(&mut self, rpq: RpqQuery) -> QueryHandle {
+        self.extend_retention(rpq.window());
+        let index = self.alloc_slot();
+        let state = QueryState {
+            exec: QueryExec::Rpq(Box::new(RpqMatcher::new(rpq, &self.graph))),
+            paused: false,
+            paused_at: None,
+            observed: vec![self.graph.ingested_edge_count()],
+            shared: false,
+            shared_edges_accum: 0,
+            shared_edges_base: self.shared.shared_events(),
+            subscribers: Vec::new(),
+        };
+        self.queries[index].state = Some(state);
+        self.rebuild_dispatch();
+        QueryHandle::new(QueryId(index), self.queries[index].generation)
+    }
+
+    /// Parses an RPQ (see `streamworks_query::parse_rpq`, e.g.
+    /// `RPQ lateral WINDOW 30m PATH login (flow | dns)* exploit`) and
+    /// registers it.
+    pub fn register_rpq_dsl(&mut self, text: &str) -> Result<QueryHandle, EngineError> {
+        let rpq = streamworks_query::parse_rpq(text)?;
+        Ok(self.register_rpq(rpq))
+    }
+
+    /// The pattern of a registered regular path query.
+    /// [`EngineError::WrongQueryKind`] for a subgraph query.
+    pub fn rpq_query(&self, handle: QueryHandle) -> Result<&RpqQuery, EngineError> {
+        match &self.state(handle)?.exec {
+            QueryExec::Rpq(m) => Ok(m.query()),
+            _ => Err(EngineError::WrongQueryKind {
+                handle,
+                expected: "regular path",
+            }),
+        }
+    }
+
+    /// Whether the registered query is a regular path query.
+    pub fn is_rpq(&self, handle: QueryHandle) -> Result<bool, EngineError> {
+        Ok(matches!(self.state(handle)?.exec, QueryExec::Rpq(_)))
+    }
+
+    /// Pops a free slot or grows the slot table, returning the index.
+    fn alloc_slot(&mut self) -> usize {
+        match self.free_slots.pop() {
+            Some(i) => i as usize,
+            None => {
+                self.queries.push(QuerySlot {
+                    generation: 0,
+                    state: None,
+                });
+                self.queries.len() - 1
+            }
+        }
     }
 
     /// Removes a query from the engine. Its matcher — and with it every
@@ -656,7 +744,13 @@ impl ContinuousQueryEngine {
         strategy: &dyn DecompositionStrategy,
         tree_kind: TreeShapeKind,
     ) -> Result<(), EngineError> {
-        let query = self.state(handle)?.exec.plan().query.clone();
+        // An RPQ has no decomposition to revisit (its minimized DFA is
+        // canonical): replanning one is a successful no-op, so lifecycle
+        // drivers can replan their whole query set without special-casing.
+        let Some(plan) = self.state(handle)?.exec.plan() else {
+            return Ok(());
+        };
+        let query = plan.query.clone();
         let plan = Planner::new()
             .with_statistics(&self.summary, &self.graph)
             .tree_kind(tree_kind)
@@ -709,9 +803,17 @@ impl ContinuousQueryEngine {
             .collect()
     }
 
-    /// The plan of a registered query.
+    /// The plan of a registered subgraph query.
+    /// [`EngineError::WrongQueryKind`] for a regular path query, which has
+    /// no SJ-Tree decomposition (see [`Self::rpq_query`]).
     pub fn plan(&self, handle: QueryHandle) -> Result<&QueryPlan, EngineError> {
-        Ok(self.state(handle)?.exec.plan())
+        self.state(handle)?
+            .exec
+            .plan()
+            .ok_or(EngineError::WrongQueryKind {
+                handle,
+                expected: "subgraph",
+            })
     }
 
     /// Metrics of a registered query. For a sharded query the snapshot
@@ -766,7 +868,7 @@ impl ContinuousQueryEngine {
         handle: QueryHandle,
     ) -> Result<Option<Vec<ShardMetrics>>, EngineError> {
         Ok(match &self.state(handle)?.exec {
-            QueryExec::Single(_) => None,
+            QueryExec::Single(_) | QueryExec::Rpq(_) => None,
             QueryExec::Sharded(s) => Some(s.shard_metrics()),
         })
     }
@@ -797,8 +899,16 @@ impl ContinuousQueryEngine {
     /// driver-side front end, whose per-node stores are empty — the join
     /// state lives in the shards and is observable through
     /// [`Self::shard_metrics`].
+    /// [`EngineError::WrongQueryKind`] for a regular path query, whose state
+    /// lives in product-graph trees rather than an SJ-Tree.
     pub fn matcher(&self, handle: QueryHandle) -> Result<&SjTreeMatcher, EngineError> {
-        Ok(self.state(handle)?.exec.matcher())
+        self.state(handle)?
+            .exec
+            .matcher()
+            .ok_or(EngineError::WrongQueryKind {
+                handle,
+                expected: "subgraph",
+            })
     }
 
     // ------------------------------------------------------------------
@@ -1082,7 +1192,11 @@ impl ContinuousQueryEngine {
                 .expect("matches were collected from a live slot");
             deliver_match(
                 handle,
-                &state.exec.plan().query,
+                &state
+                    .exec
+                    .plan()
+                    .expect("sharded queries carry a plan")
+                    .query,
                 graph,
                 m,
                 &mut state.subscribers,
@@ -1212,6 +1326,10 @@ impl ContinuousQueryEngine {
                             sharded.absorb_embedding_at(sub.leaf, sub.remap(m), seq);
                         }
                     }
+                    // RPQs never subscribe to the shared index (they have no
+                    // leaf primitives to intern), so the fan-out cannot list
+                    // one.
+                    QueryExec::Rpq(_) => unreachable!("RPQ in shared fan-out"),
                 }
             }
             self.shared.add_deliveries(delivered);
@@ -1233,6 +1351,23 @@ impl ContinuousQueryEngine {
                 QueryExec::Single(matcher) => matcher,
                 QueryExec::Sharded(sharded) => {
                     sharded.process_edge_at(graph, edge, seq);
+                    continue;
+                }
+                QueryExec::Rpq(rpq) => {
+                    // The second query class rides the same dispatch pass:
+                    // path matches are materialised as events binding
+                    // src/dst and delivered through the shared supervised
+                    // emission point.
+                    let mut paths = std::mem::take(&mut self.rpq_scratch);
+                    paths.clear();
+                    rpq.process_edge(graph, edge, &mut paths);
+                    let name = rpq.query().name();
+                    for p in paths.drain(..) {
+                        let event = MatchEvent::from_path(handle, name, graph, &p);
+                        deliver_event(event, &mut state.subscribers, sink);
+                        emitted += 1;
+                    }
+                    self.rpq_scratch = paths;
                     continue;
                 }
             };

@@ -38,6 +38,16 @@ pub enum EngineError {
         /// (`Degrade`); false when the engine is now poisoned (`FailFast`).
         degraded: bool,
     },
+    /// The operation applies only to the other query class — e.g. asking for
+    /// the SJ-Tree plan or matcher of a registered regular path query, or
+    /// the RPQ pattern of a subgraph query.
+    WrongQueryKind {
+        /// The handle the operation was attempted on.
+        handle: QueryHandle,
+        /// The query kind the operation requires (`"subgraph"` or
+        /// `"regular path"`).
+        expected: &'static str,
+    },
     /// The engine was poisoned by an earlier shard failure under the
     /// `FailFast` policy; every subsequent operation returns this until the
     /// engine is rebuilt (e.g. from a checkpoint).
@@ -81,6 +91,9 @@ impl std::fmt::Display for EngineError {
                 } else {
                     write!(f, "shard {shard} failed, engine poisoned: {message}")
                 }
+            }
+            EngineError::WrongQueryKind { handle, expected } => {
+                write!(f, "query {handle} is not a {expected} query")
             }
             EngineError::Poisoned(msg) => {
                 write!(f, "engine poisoned by an earlier shard failure: {msg}")

@@ -86,6 +86,46 @@ impl MatchEvent {
         }
     }
 
+    /// Builds an event from an RPQ path match: `src`/`dst` bindings for the
+    /// path endpoints, the witness edges in path order, `at` the freshest
+    /// witness timestamp and `span` the witness's temporal extent. Witness
+    /// edges are live at emission time (the matcher emits only inside the
+    /// window), so their timestamps resolve against the graph.
+    pub(crate) fn from_path(
+        handle: QueryHandle,
+        query_name: &str,
+        graph: &DynamicGraph,
+        path: &crate::rpq::RpqPathMatch,
+    ) -> Self {
+        let mut earliest = Timestamp(i64::MAX);
+        let mut latest = Timestamp(i64::MIN);
+        for &e in &path.edges {
+            if let Some(edge) = graph.edge(e) {
+                earliest = earliest.min(edge.timestamp);
+                latest = latest.max(edge.timestamp);
+            }
+        }
+        if earliest > latest {
+            // Defensive: an empty or fully-expired witness collapses to now.
+            earliest = graph.now();
+            latest = earliest;
+        }
+        let bind = |variable: &str, v: VertexId| BoundVertex {
+            variable: variable.to_owned(),
+            vertex: v,
+            key: graph.vertex_key(v).unwrap_or("<unknown>").to_owned(),
+        };
+        MatchEvent {
+            query: handle.id(),
+            query_generation: handle.generation(),
+            query_name: query_name.to_owned(),
+            at: latest,
+            span: latest.since(earliest),
+            bindings: vec![bind("src", path.source), bind("dst", path.target)],
+            edges: path.edges.clone(),
+        }
+    }
+
     /// The handle of the query that emitted this event — equal to the handle
     /// `register_*` returned for it, and never equal to the handle of a
     /// different query that later recycled the same id.

@@ -48,6 +48,7 @@
 #![warn(rust_2018_idioms)]
 
 mod adaptive;
+mod anchors;
 mod binding;
 mod checkpoint;
 mod config;
@@ -63,6 +64,7 @@ mod local_search;
 mod match_store;
 mod metrics;
 mod parallel;
+mod rpq;
 mod shared_index;
 mod sj_matcher;
 

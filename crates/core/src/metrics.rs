@@ -49,6 +49,20 @@ pub struct QueryMetrics {
     /// policies existed).
     #[serde(default)]
     pub sink_events_dropped: u64,
+    /// RPQ only: product-graph spanning-tree nodes currently live across the
+    /// query's trees (0 for SJ-Tree queries). Exact after a prune: reads 0
+    /// once a full window has drained.
+    #[serde(default)]
+    pub rpq_tree_nodes_live: u64,
+    /// RPQ only: tree-node creations and timestamp refinements performed by
+    /// the product-graph relaxation (the RPQ analogue of `joins_attempted`).
+    #[serde(default)]
+    pub rpq_expansions: u64,
+    /// RPQ only: accepting-state arrivals, i.e. path matches emitted. Equal
+    /// to `complete_matches` for a pure RPQ query; kept separate so absorbed
+    /// mixed-kind aggregates can still attribute accepts.
+    #[serde(default)]
+    pub rpq_accepts: u64,
 }
 
 impl QueryMetrics {
@@ -85,6 +99,9 @@ impl QueryMetrics {
         self.matches_dropped_by_cap += other.matches_dropped_by_cap;
         self.binding_spills += other.binding_spills;
         self.sink_events_dropped += other.sink_events_dropped;
+        self.rpq_tree_nodes_live += other.rpq_tree_nodes_live;
+        self.rpq_expansions += other.rpq_expansions;
+        self.rpq_accepts += other.rpq_accepts;
     }
 }
 

@@ -1,0 +1,573 @@
+//! Incremental windowed-RPQ evaluation on the product graph.
+//!
+//! The second query class behind the engine (see `streamworks_query::rpq`
+//! for the compilation pipeline): a [`RpqMatcher`] evaluates one regular
+//! path query incrementally in the style of S-Graffito, on the *product
+//! graph* whose nodes are `(graph vertex, DFA state)` pairs.
+//!
+//! For every source vertex that can start a path, the matcher maintains a
+//! **spanning tree** rooted at `(source, start state)`. A tree node `(v, s)`
+//! stores the best *window timestamp* of any path from the root that reaches
+//! `v` reading a label string driving the DFA into `s`: the maximum over
+//! such paths of the path's oldest edge. A node is live while that timestamp
+//! is inside the query window — and because the stored value is the max over
+//! path bottlenecks, a node expires exactly when its *last* supporting path
+//! leaves the window, so removal is sound without recounting alternatives.
+//!
+//! Per inserted edge `(u, l, v)` the matcher relaxes: every live `(u, s)`
+//! with a DFA transition `s --l--> s'` proposes `min(ts(u,s), ts(edge))` for
+//! `(v, s')`; strict improvements update the node (recording the parent
+//! product node and the realising edge as the witness pointer) and propagate
+//! breadth-first through the *live graph adjacency*, which transparently
+//! handles out-of-order arrival: an old edge splicing two existing subtrees
+//! re-relaxes everything downstream. Strict improvement bounds the work and
+//! — because a node's timestamp can only rise, and a child's stored
+//! timestamp never exceeds its witness parent's — keeps witness chains
+//! acyclic and parents alive at least as long as their children.
+//!
+//! A match `(source, target)` is **emitted when the pair enters the live
+//! result set**: the first accepting product node at `target` is created
+//! (or re-created after expiry). Refinements of an already-live pair do not
+//! re-emit. Expiry is scheduled through a min-heap keyed by node timestamp
+//! with lazy stale-entry deletion — the discipline of
+//! `crate::match_store::SharedJoinStore` — and drained to the current
+//! horizon before every event and on every prune, so windowed semantics are
+//! exact and tree state reads 0 after a full-window drain.
+
+use crate::metrics::QueryMetrics;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use streamworks_graph::hash::FxHashMap;
+use streamworks_graph::{
+    Direction, Duration, DynamicGraph, Edge, EdgeId, Timestamp, TypeId, VertexId,
+};
+use streamworks_query::{RpqDfa, RpqQuery};
+
+/// One emitted path match: the pair that just entered the live result set,
+/// plus the witness path (tree branch) that realised it.
+#[derive(Debug, Clone)]
+pub(crate) struct RpqPathMatch {
+    /// Path start vertex (the tree root).
+    pub source: VertexId,
+    /// Path end vertex (where an accepting state was reached).
+    pub target: VertexId,
+    /// Witness edges in path order, `source` to `target`.
+    pub edges: Vec<EdgeId>,
+}
+
+/// A product-graph tree node: best window timestamp and witness pointer.
+#[derive(Debug, Clone, Copy)]
+struct NodeInfo {
+    /// Max over supporting paths of the path's oldest edge timestamp; the
+    /// root holds `Timestamp(i64::MAX)` (a zero-hop path never ages out).
+    ts: Timestamp,
+    /// `(parent vertex, parent state, realising edge)`; `None` at the root.
+    parent: Option<(VertexId, u32, EdgeId)>,
+}
+
+/// One spanning tree, rooted at `(root, start state)`.
+#[derive(Debug, Default)]
+struct Tree {
+    /// Product nodes keyed by `(vertex, DFA state)`.
+    nodes: FxHashMap<(VertexId, u32), NodeInfo>,
+    /// Number of states stored per vertex (drives the containment index).
+    states_at: FxHashMap<VertexId, u32>,
+    /// Number of *accepting* states stored per vertex; the `0 -> 1`
+    /// transition is the emission edge of the live result set.
+    accepting_at: FxHashMap<VertexId, u32>,
+}
+
+/// Incremental matcher for one windowed regular path query.
+#[derive(Debug)]
+pub(crate) struct RpqMatcher {
+    rpq: RpqQuery,
+    dfa: RpqDfa,
+    /// Spanning trees by root vertex, created lazily when an edge matching a
+    /// start transition leaves the root, dropped when their last non-root
+    /// node expires.
+    trees: FxHashMap<VertexId, Tree>,
+    /// Vertex -> roots of the trees holding at least one product node there
+    /// (the index that finds the trees an incoming edge can extend).
+    containing: FxHashMap<VertexId, Vec<VertexId>>,
+    /// Min-heap expiry schedule over `(ts, root, vertex, state)`; entries
+    /// whose `ts` no longer matches the node are stale and skipped (lazy
+    /// deletion — refinements push a new entry instead of rescheduling).
+    expiry: BinaryHeap<Reverse<(Timestamp, VertexId, VertexId, u32)>>,
+    /// DFA symbol per graph edge type, refreshed on schema-version bumps.
+    symbol_of_type: FxHashMap<TypeId, u32>,
+    /// Graph edge type per DFA symbol (`None` until the graph interns the
+    /// label), same refresh discipline.
+    type_of_symbol: Vec<Option<TypeId>>,
+    seen_schema: Option<u64>,
+    metrics: QueryMetrics,
+    /// Live non-root product nodes across all trees.
+    nodes_live: u64,
+    /// BFS scratch queue, recycled across events.
+    queue: VecDeque<(VertexId, u32)>,
+}
+
+impl RpqMatcher {
+    /// Creates a matcher, compiling the query's pattern to its minimized DFA.
+    pub fn new(rpq: RpqQuery, graph: &DynamicGraph) -> Self {
+        let dfa = rpq.compile();
+        let mut matcher = RpqMatcher {
+            dfa,
+            trees: FxHashMap::default(),
+            containing: FxHashMap::default(),
+            expiry: BinaryHeap::new(),
+            symbol_of_type: FxHashMap::default(),
+            type_of_symbol: Vec::new(),
+            seen_schema: None,
+            metrics: QueryMetrics::default(),
+            nodes_live: 0,
+            queue: VecDeque::new(),
+            rpq,
+        };
+        matcher.refresh_symbols(graph);
+        matcher
+    }
+
+    /// The query this matcher executes.
+    pub fn query(&self) -> &RpqQuery {
+        &self.rpq
+    }
+
+    /// The query window `tW`.
+    pub fn window(&self) -> Duration {
+        self.rpq.window()
+    }
+
+    /// Current metrics snapshot.
+    pub fn metrics(&self) -> QueryMetrics {
+        let mut m = self.metrics;
+        m.rpq_tree_nodes_live = self.nodes_live;
+        // Spanning-tree nodes are this query class's partial matches; mirror
+        // them into the shared gauge so dashboards read both kinds alike.
+        m.partial_matches_live = self.nodes_live;
+        m
+    }
+
+    /// Resolves the DFA alphabet against the graph's interned edge types.
+    /// Gated on the schema version: one integer compare per event steady
+    /// state, same discipline as `crate::anchors::AnchorIndex`.
+    fn refresh_symbols(&mut self, graph: &DynamicGraph) {
+        let schema = graph.schema_version();
+        if self.seen_schema == Some(schema) {
+            return;
+        }
+        self.seen_schema = Some(schema);
+        self.symbol_of_type.clear();
+        self.type_of_symbol.clear();
+        for (sym, label) in self.dfa.labels().iter().enumerate() {
+            let t = graph.edge_type_id(label);
+            if let Some(t) = t {
+                self.symbol_of_type.insert(t, sym as u32);
+            }
+            self.type_of_symbol.push(t);
+        }
+    }
+
+    /// Drains the expiry schedule up to `now - tW`: every product node whose
+    /// last supporting path has left the window is removed, trees reduced to
+    /// their root are dropped. Called before each event and on every prune,
+    /// so the live counters are exact at observation points.
+    fn expire_until(&mut self, now: Timestamp) {
+        let cutoff = now.minus(self.window());
+        while let Some(Reverse((ts, root, v, s))) = self.expiry.peek().copied() {
+            if ts > cutoff {
+                break;
+            }
+            self.expiry.pop();
+            let Some(tree) = self.trees.get_mut(&root) else {
+                continue; // whole tree already dropped
+            };
+            let stale = tree.nodes.get(&(v, s)).map(|n| n.ts != ts).unwrap_or(true);
+            if stale {
+                continue; // refined after this entry was scheduled
+            }
+            tree.nodes.remove(&(v, s));
+            self.nodes_live -= 1;
+            self.metrics.partial_matches_expired += 1;
+            if self.dfa.is_accepting(s) {
+                let count = tree
+                    .accepting_at
+                    .get_mut(&v)
+                    .expect("accepting node was counted");
+                *count -= 1;
+                if *count == 0 {
+                    tree.accepting_at.remove(&v);
+                }
+            }
+            let states = tree.states_at.get_mut(&v).expect("stored node was counted");
+            *states -= 1;
+            if *states == 0 {
+                tree.states_at.remove(&v);
+                detach(&mut self.containing, v, root);
+            }
+            if tree.nodes.len() == 1 {
+                // Only the eternal root is left: drop the tree. A later edge
+                // matching a start transition recreates it lazily.
+                self.trees.remove(&root);
+                detach(&mut self.containing, root, root);
+            }
+        }
+    }
+
+    /// Processes one newly inserted data edge; emitted path matches are
+    /// appended to `out` in discovery order.
+    pub fn process_edge(&mut self, graph: &DynamicGraph, edge: &Edge, out: &mut Vec<RpqPathMatch>) {
+        self.metrics.edges_processed += 1;
+        self.refresh_symbols(graph);
+        let now = graph.now();
+        self.expire_until(now);
+        let Some(&sym) = self.symbol_of_type.get(&edge.etype) else {
+            return; // label not in the query alphabet
+        };
+        let cutoff = now.minus(self.window());
+        if edge.timestamp <= cutoff {
+            return; // arrived so late it is already outside the window
+        }
+
+        // Extend every tree that holds a product node at the edge's source.
+        // The root list is snapshotted: relaxation below mutates the
+        // containment index for other vertices.
+        let roots: Vec<VertexId> = self.containing.get(&edge.src).cloned().unwrap_or_default();
+        for root in roots {
+            self.extend_tree(root, graph, edge, sym, cutoff, out);
+        }
+
+        // Lazily root a new tree when the edge can begin a path and no tree
+        // is rooted at its source yet.
+        if self.dfa.step(self.dfa.start(), sym).is_some() && !self.trees.contains_key(&edge.src) {
+            let mut tree = Tree::default();
+            tree.nodes.insert(
+                (edge.src, self.dfa.start()),
+                NodeInfo {
+                    ts: Timestamp(i64::MAX),
+                    parent: None,
+                },
+            );
+            tree.states_at.insert(edge.src, 1);
+            self.trees.insert(edge.src, tree);
+            self.containing.entry(edge.src).or_default().push(edge.src);
+            self.extend_tree(edge.src, graph, edge, sym, cutoff, out);
+        }
+    }
+
+    /// Relaxes one tree against the new edge, then propagates improvements
+    /// breadth-first through the live graph adjacency.
+    fn extend_tree(
+        &mut self,
+        root: VertexId,
+        graph: &DynamicGraph,
+        edge: &Edge,
+        sym: u32,
+        cutoff: Timestamp,
+        out: &mut Vec<RpqPathMatch>,
+    ) {
+        // The tree is detached from the map for the duration of the walk so
+        // field-level borrows of the scheduler/index/metrics stay disjoint.
+        let Some(mut tree) = self.trees.remove(&root) else {
+            return;
+        };
+        let mut queue = std::mem::take(&mut self.queue);
+        queue.clear();
+
+        // Seed: every live (src, s) with a transition on the edge's label.
+        for s in 0..self.dfa.state_count() as u32 {
+            let Some(node) = tree.nodes.get(&(edge.src, s)) else {
+                continue;
+            };
+            let Some(next) = self.dfa.step(s, sym) else {
+                continue;
+            };
+            let cand = node.ts.min(edge.timestamp);
+            if cand > cutoff {
+                self.update_node(
+                    &mut tree,
+                    root,
+                    edge.dst,
+                    next,
+                    cand,
+                    (edge.src, s, edge.id),
+                    cutoff,
+                    &mut queue,
+                    out,
+                );
+            }
+        }
+
+        // Propagate through edges already in the graph: an out-of-order edge
+        // that spliced into existing structure re-relaxes its downstream.
+        while let Some((v, s)) = queue.pop_front() {
+            let Some(&NodeInfo { ts, .. }) = tree.nodes.get(&(v, s)) else {
+                continue;
+            };
+            for sym2 in 0..self.type_of_symbol.len() as u32 {
+                let Some(next) = self.dfa.step(s, sym2) else {
+                    continue;
+                };
+                let Some(etype) = self.type_of_symbol[sym2 as usize] else {
+                    continue;
+                };
+                // Collected first: update_node needs the tree mutably.
+                let hops: Vec<(VertexId, Timestamp, EdgeId)> = graph
+                    .incident_edges(v, Direction::Out, etype)
+                    .map(|e| (e.dst, e.timestamp, e.id))
+                    .collect();
+                for (dst, ets, eid) in hops {
+                    let cand = ts.min(ets);
+                    if cand > cutoff {
+                        self.update_node(
+                            &mut tree,
+                            root,
+                            dst,
+                            next,
+                            cand,
+                            (v, s, eid),
+                            cutoff,
+                            &mut queue,
+                            out,
+                        );
+                    }
+                }
+            }
+        }
+
+        self.queue = queue;
+        self.trees.insert(root, tree);
+    }
+
+    /// Offers `cand` as the window timestamp of product node `(v, s)`.
+    /// Creations (including re-creations after expiry) of accepting nodes
+    /// emit when the `(root, v)` pair enters the live result set; strict
+    /// refinements update the witness pointer silently; everything else is a
+    /// no-op.
+    #[allow(clippy::too_many_arguments)]
+    fn update_node(
+        &mut self,
+        tree: &mut Tree,
+        root: VertexId,
+        v: VertexId,
+        s: u32,
+        cand: Timestamp,
+        parent: (VertexId, u32, EdgeId),
+        _cutoff: Timestamp,
+        queue: &mut VecDeque<(VertexId, u32)>,
+        out: &mut Vec<RpqPathMatch>,
+    ) {
+        match tree.nodes.get_mut(&(v, s)) {
+            Some(node) if node.ts >= cand => return, // no improvement
+            Some(node) => {
+                node.ts = cand;
+                node.parent = Some(parent);
+            }
+            None => {
+                tree.nodes.insert(
+                    (v, s),
+                    NodeInfo {
+                        ts: cand,
+                        parent: Some(parent),
+                    },
+                );
+                self.nodes_live += 1;
+                self.metrics.partial_matches_inserted += 1;
+                let states = tree.states_at.entry(v).or_insert(0);
+                *states += 1;
+                if *states == 1 {
+                    self.containing.entry(v).or_default().push(root);
+                }
+                if self.dfa.is_accepting(s) {
+                    let acc = tree.accepting_at.entry(v).or_insert(0);
+                    *acc += 1;
+                    if *acc == 1 {
+                        // The (root, v) pair just entered the live result
+                        // set: emit with this branch as the witness.
+                        out.push(witness(tree, root, v, s));
+                        self.metrics.rpq_accepts += 1;
+                        self.metrics.complete_matches += 1;
+                    }
+                }
+            }
+        }
+        self.metrics.rpq_expansions += 1;
+        self.expiry.push(Reverse((cand, root, v, s)));
+        queue.push_back((v, s));
+    }
+
+    /// Removes every product node whose window timestamp has left the
+    /// window as of `now` (the engine's prune entry point).
+    pub fn prune(&mut self, now: Timestamp) {
+        self.expire_until(now);
+    }
+}
+
+/// Removes `root` from the containment list of `v`.
+fn detach(containing: &mut FxHashMap<VertexId, Vec<VertexId>>, v: VertexId, root: VertexId) {
+    if let Some(roots) = containing.get_mut(&v) {
+        if let Some(pos) = roots.iter().position(|&r| r == root) {
+            roots.swap_remove(pos);
+        }
+        if roots.is_empty() {
+            containing.remove(&v);
+        }
+    }
+}
+
+/// Builds the witness path for the accepting node `(target, state)` by
+/// walking parent pointers to the root. Chains are acyclic and every parent
+/// outlives its children (see the module docs), so the walk terminates.
+fn witness(tree: &Tree, root: VertexId, target: VertexId, state: u32) -> RpqPathMatch {
+    let mut edges = Vec::new();
+    let mut cursor = (target, state);
+    while let Some(&NodeInfo { parent, .. }) = tree.nodes.get(&cursor) {
+        let Some((pv, ps, eid)) = parent else {
+            break; // reached the root
+        };
+        edges.push(eid);
+        cursor = (pv, ps);
+    }
+    edges.reverse();
+    RpqPathMatch {
+        source: root,
+        target,
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamworks_graph::EdgeEvent;
+    use streamworks_query::parse_rpq;
+
+    fn graph() -> DynamicGraph {
+        let mut g = DynamicGraph::unbounded();
+        g.set_retention(Some(Duration::from_secs(1_000_000)));
+        g
+    }
+
+    fn feed(
+        g: &mut DynamicGraph,
+        m: &mut RpqMatcher,
+        src: &str,
+        dst: &str,
+        label: &str,
+        at: i64,
+    ) -> Vec<RpqPathMatch> {
+        let ev = EdgeEvent::new(src, "V", dst, "V", label, Timestamp::from_secs(at));
+        let result = g.ingest(&ev);
+        let edge = g.edge(result.edge).expect("edge is live").clone();
+        let mut out = Vec::new();
+        m.process_edge(g, &edge, &mut out);
+        out
+    }
+
+    fn matcher(g: &DynamicGraph, text: &str) -> RpqMatcher {
+        RpqMatcher::new(parse_rpq(text).unwrap(), g)
+    }
+
+    fn key(g: &DynamicGraph, v: VertexId) -> String {
+        g.vertex_key(v).unwrap().to_owned()
+    }
+
+    #[test]
+    fn two_hop_path_emits_once() {
+        let mut g = graph();
+        let mut m = matcher(&g, "RPQ p WINDOW 1h PATH a b");
+        assert!(feed(&mut g, &mut m, "u", "x", "a", 10).is_empty());
+        let matches = feed(&mut g, &mut m, "x", "v", "b", 20);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(key(&g, matches[0].source), "u");
+        assert_eq!(key(&g, matches[0].target), "v");
+        assert_eq!(matches[0].edges.len(), 2);
+        // A second b-edge to a different vertex emits a second pair.
+        let more = feed(&mut g, &mut m, "x", "w", "b", 21);
+        assert_eq!(more.len(), 1);
+        assert_eq!(key(&g, more[0].target), "w");
+    }
+
+    #[test]
+    fn out_of_order_arrival_still_matches() {
+        let mut g = graph();
+        let mut m = matcher(&g, "RPQ p WINDOW 1h PATH a b");
+        // The second hop arrives first.
+        assert!(feed(&mut g, &mut m, "x", "v", "b", 20).is_empty());
+        let matches = feed(&mut g, &mut m, "u", "x", "a", 10);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(key(&g, matches[0].source), "u");
+        assert_eq!(key(&g, matches[0].target), "v");
+    }
+
+    #[test]
+    fn kleene_star_closes_over_cycles_without_diverging() {
+        let mut g = graph();
+        let mut m = matcher(&g, "RPQ p WINDOW 1h PATH a+");
+        feed(&mut g, &mut m, "u", "v", "a", 1);
+        feed(&mut g, &mut m, "v", "u", "a", 2); // cycle u -> v -> u
+        let before = m.metrics().rpq_expansions;
+        feed(&mut g, &mut m, "v", "w", "a", 3);
+        assert!(
+            m.metrics().rpq_expansions - before < 100,
+            "relaxation diverged"
+        );
+        // Live pairs: (u,v) (u,u) (u,w) (v,u) (v,v) (v,w).
+        let live: u64 = m.trees.values().map(|t| t.accepting_at.len() as u64).sum();
+        assert_eq!(live, 6);
+    }
+
+    #[test]
+    fn expiry_drains_all_tree_state() {
+        let mut g = graph();
+        let mut m = matcher(&g, "RPQ p WINDOW 30s PATH a b");
+        feed(&mut g, &mut m, "u", "x", "a", 10);
+        feed(&mut g, &mut m, "x", "v", "b", 20);
+        assert!(m.metrics().rpq_tree_nodes_live > 0);
+        // Advance far past the window.
+        g.advance_time(Timestamp::from_secs(1000));
+        m.prune(g.now());
+        assert_eq!(m.metrics().rpq_tree_nodes_live, 0);
+        assert!(m.trees.is_empty());
+        assert!(m.containing.is_empty());
+    }
+
+    #[test]
+    fn pair_reentry_after_expiry_reemits() {
+        let mut g = graph();
+        let mut m = matcher(&g, "RPQ p WINDOW 30s PATH a");
+        assert_eq!(feed(&mut g, &mut m, "u", "v", "a", 0).len(), 1);
+        // Refinement while still live: no re-emission.
+        assert_eq!(feed(&mut g, &mut m, "u", "v", "a", 10).len(), 0);
+        // Expire (now=100 -> cutoff=70), then a fresh edge re-enters the pair.
+        assert_eq!(feed(&mut g, &mut m, "u", "v", "a", 100).len(), 1);
+    }
+
+    #[test]
+    fn late_edge_outside_window_is_ignored() {
+        let mut g = graph();
+        let mut m = matcher(&g, "RPQ p WINDOW 30s PATH a");
+        feed(&mut g, &mut m, "x", "y", "a", 100);
+        // ts=50 against now=100, window 30: dead on arrival.
+        assert_eq!(feed(&mut g, &mut m, "u", "v", "a", 50).len(), 0);
+        assert_eq!(m.metrics().edges_processed, 2);
+    }
+
+    #[test]
+    fn witness_bottleneck_is_exact_under_refinement() {
+        let mut g = graph();
+        let mut m = matcher(&g, "RPQ p WINDOW 100s PATH a b");
+        feed(&mut g, &mut m, "u", "x", "a", 10);
+        feed(&mut g, &mut m, "x", "v", "b", 20); // pair (u,v) live, bottleneck 10
+                                                 // A fresher a-edge refines (x, s1) from 10 to 90.
+        feed(&mut g, &mut m, "u", "x", "a", 90);
+        // Expire the old bottleneck: now=130, cutoff=30. Path via ts 90/20...
+        // the b-edge (20) is the bottleneck now, so the pair dies with it.
+        g.advance_time(Timestamp::from_secs(130));
+        m.prune(g.now());
+        let live: u64 = m.trees.values().map(|t| t.accepting_at.len() as u64).sum();
+        assert_eq!(live, 0);
+        // But a fresh b-edge revives it through the refined (x, s1)=90.
+        let matches = feed(&mut g, &mut m, "x", "v", "b", 131);
+        assert_eq!(matches.len(), 1);
+    }
+}

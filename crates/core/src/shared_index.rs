@@ -32,13 +32,14 @@
 //! [`crate::QueryMetrics::local_search_candidates`] stay exact per query even
 //! though the search ran once for many queries.
 
+use crate::anchors::AnchorIndex;
 use crate::binding::{Binding, PartialMatch};
 use crate::constraints::CompiledConstraints;
 use crate::local_search::{find_primitive_matches_anchored, LocalSearchStats};
 use crate::metrics::EngineMetrics;
 use smallvec::SmallVec;
 use streamworks_graph::hash::FxHashMap;
-use streamworks_graph::{DynamicGraph, Edge, TypeId};
+use streamworks_graph::{DynamicGraph, Edge};
 use streamworks_query::{
     CanonicalPrimitive, QueryEdgeId, QueryGraph, QueryPlan, QueryVertexId, SjNodeId,
 };
@@ -132,20 +133,12 @@ pub(crate) struct SharedPrimitiveIndex {
     /// Query slot → entries it subscribes to (one per leaf; duplicates when
     /// several leaves of one query intern to the same entry).
     per_slot: FxHashMap<u32, Vec<u32>>,
-    /// Per resolved edge type, the (entry, canonical anchor edge) pairs a new
-    /// edge of that type could realise — the cross-query twin of the
-    /// matcher's per-type anchor dispatch.
-    anchors_by_type: FxHashMap<TypeId, Vec<(u32, QueryEdgeId)>>,
-    /// Anchors whose canonical edge has no type constraint.
-    anchors_any: Vec<(u32, QueryEdgeId)>,
-    /// Graph schema version the anchor tables were resolved against.
-    seen_schema: u64,
-    /// Entries changed since the anchor tables were last rebuilt.
-    anchors_dirty: bool,
+    /// Per-type anchor dispatch (entry, canonical anchor edge) with the
+    /// schema gate and dirty tracking — the same [`AnchorIndex`] the
+    /// per-query matcher dispatches through, keyed by entry index.
+    anchors: AnchorIndex<u32>,
     /// Entries touched (searched) by the current event.
     touched: Vec<u32>,
-    /// Scratch for the per-event anchor list.
-    anchor_scratch: Vec<(u32, QueryEdgeId)>,
     /// Events processed through the shared dispatch path.
     shared_events: u64,
     /// Anchored searches actually run.
@@ -197,7 +190,7 @@ impl SharedPrimitiveIndex {
             entries_of_slot.push(entry_idx);
         }
         self.per_slot.insert(slot, entries_of_slot);
-        self.anchors_dirty = true;
+        self.anchors.mark_dirty();
         true
     }
 
@@ -236,7 +229,7 @@ impl SharedPrimitiveIndex {
                 }
             }
         }
-        self.anchors_dirty = true;
+        self.anchors.mark_dirty();
     }
 
     /// Activates or deactivates every subscription of `slot` (pause/resume).
@@ -316,24 +309,16 @@ impl SharedPrimitiveIndex {
         self.shared_events += 1;
         self.touched.clear();
 
-        let schema = graph.schema_version();
-        if self.seen_schema != schema {
+        if self.anchors.schema_changed(graph.schema_version()) {
             for entry in self.entries.iter_mut().flatten() {
                 entry.constraints.refresh(&entry.pattern, graph);
             }
-            self.seen_schema = schema;
-            self.anchors_dirty = true;
         }
-        if self.anchors_dirty {
+        if self.anchors.is_dirty() {
             self.rebuild_anchors();
         }
 
-        let mut anchors = std::mem::take(&mut self.anchor_scratch);
-        anchors.clear();
-        if let Some(typed) = self.anchors_by_type.get(&edge.etype) {
-            anchors.extend_from_slice(typed);
-        }
-        anchors.extend_from_slice(&self.anchors_any);
+        let anchors = self.anchors.take_for_type(edge.etype);
 
         for &(idx, anchor) in &anchors {
             let entry = self.entries[idx as usize]
@@ -364,7 +349,7 @@ impl SharedPrimitiveIndex {
             self.searches_saved += (entry.active_subs - 1) as u64;
             self.embeddings_found += stats.matches_found;
         }
-        self.anchor_scratch = anchors;
+        self.anchors.give_back(anchors);
     }
 
     /// Appends one [`Delivery`] per (touched entry with embeddings, active
@@ -473,23 +458,14 @@ impl SharedPrimitiveIndex {
     /// Rebuilds the per-type anchor dispatch tables from the live entries'
     /// resolved constraints.
     fn rebuild_anchors(&mut self) {
-        self.anchors_by_type.clear();
-        self.anchors_any.clear();
+        self.anchors.begin_rebuild();
         for (idx, entry) in self.entries.iter().enumerate() {
             let Some(entry) = entry else { continue };
             for &qe in &entry.pattern_edges {
-                match entry.constraints.edge_type_filter(qe) {
-                    Err(()) => {} // type unseen by the graph: nothing matches yet
-                    Ok(Some(t)) => self
-                        .anchors_by_type
-                        .entry(t)
-                        .or_default()
-                        .push((idx as u32, qe)),
-                    Ok(None) => self.anchors_any.push((idx as u32, qe)),
-                }
+                self.anchors
+                    .add(entry.constraints.edge_type_filter(qe), idx as u32, qe);
             }
         }
-        self.anchors_dirty = false;
     }
 }
 

@@ -19,15 +19,15 @@
 //! (`crate::join::NodeRoute`) replaces tree-shape lookups on the hot path,
 //! exactly as in the shard workers.
 
+use crate::anchors::AnchorIndex;
 use crate::binding::PartialMatch;
 use crate::constraints::CompiledConstraints;
 use crate::join::{self, NodeRoute, NO_PARENT};
 use crate::local_search::{find_primitive_matches_anchored, LocalSearchStats};
 use crate::match_store::SharedJoinStore;
 use crate::metrics::QueryMetrics;
-use streamworks_graph::hash::FxHashMap;
-use streamworks_graph::{Duration, DynamicGraph, Edge, Timestamp, TypeId};
-use streamworks_query::{QueryEdgeId, QueryPlan, SjNodeId};
+use streamworks_graph::{Duration, DynamicGraph, Edge, Timestamp};
+use streamworks_query::{QueryPlan, SjNodeId};
 
 /// Incremental matcher for one query plan.
 #[derive(Debug)]
@@ -44,19 +44,12 @@ pub struct SjTreeMatcher {
     /// Optional cap on live matches per node (guards against partial-match
     /// explosion under hostile plans; `None` = unbounded).
     max_matches_per_node: Option<usize>,
-    /// Graph schema version the compiled constraints were resolved against;
-    /// refresh only runs when the graph learns a new type.
-    seen_schema: u64,
-    /// For each resolved data edge type, the `(leaf, anchor query edge)`
-    /// pairs a new edge of that type could realise. An incoming edge whose
-    /// type matches no query edge costs one hash probe instead of a walk
-    /// over every leaf primitive.
-    anchors_by_type: FxHashMap<TypeId, Vec<(SjNodeId, QueryEdgeId)>>,
-    /// Anchors whose query edge has no type constraint (probed for every edge).
-    anchors_any_type: Vec<(SjNodeId, QueryEdgeId)>,
+    /// Per-type anchor dispatch (leaf, anchor query edge) with the
+    /// schema-version gate: an incoming edge whose type matches no query edge
+    /// costs one hash probe instead of a walk over every leaf primitive.
+    anchors: AnchorIndex<SjNodeId>,
     /// Scratch buffers reused across edges so the per-event path performs no
     /// transient allocations once warm.
-    anchor_scratch: Vec<(SjNodeId, QueryEdgeId)>,
     found: Vec<PartialMatch>,
     primitive_scratch: Vec<(SjNodeId, PartialMatch)>,
     stack: Vec<(SjNodeId, PartialMatch)>,
@@ -84,10 +77,7 @@ impl SjTreeMatcher {
             routes,
             metrics: QueryMetrics::default(),
             max_matches_per_node: None,
-            seen_schema: graph.schema_version(),
-            anchors_by_type: FxHashMap::default(),
-            anchors_any_type: Vec::new(),
-            anchor_scratch: Vec::new(),
+            anchors: AnchorIndex::new(graph.schema_version()),
             found: Vec::new(),
             primitive_scratch: Vec::new(),
             stack: Vec::new(),
@@ -102,15 +92,11 @@ impl SjTreeMatcher {
     /// resolved constraints. Called at construction and whenever the graph's
     /// type schema grows.
     fn rebuild_anchor_index(&mut self) {
-        self.anchors_by_type.clear();
-        self.anchors_any_type.clear();
+        self.anchors.begin_rebuild();
         for &leaf in self.plan.shape.leaves() {
             for &qe in self.plan.shape.primitive_edges(leaf) {
-                match self.constraints.edge_type_filter(qe) {
-                    Err(()) => {} // type unseen by the graph: nothing matches yet
-                    Ok(Some(t)) => self.anchors_by_type.entry(t).or_default().push((leaf, qe)),
-                    Ok(None) => self.anchors_any_type.push((leaf, qe)),
-                }
+                self.anchors
+                    .add(self.constraints.edge_type_filter(qe), leaf, qe);
             }
         }
     }
@@ -204,22 +190,15 @@ impl SjTreeMatcher {
         // Type constraints only change when the graph interns a new type
         // name; gate the refresh on the schema version so the steady-state
         // path is a single integer compare.
-        let schema = graph.schema_version();
-        if self.seen_schema != schema {
+        if self.anchors.schema_changed(graph.schema_version()) {
             self.constraints.refresh(&self.plan.query, graph);
             self.rebuild_anchor_index();
-            self.seen_schema = schema;
         }
         let window = self.window();
 
         // Dispatch through the per-type anchor index: only the (leaf, anchor)
         // pairs whose query-edge type can accept this data edge are searched.
-        let mut anchors = std::mem::take(&mut self.anchor_scratch);
-        anchors.clear();
-        if let Some(typed) = self.anchors_by_type.get(&edge.etype) {
-            anchors.extend_from_slice(typed);
-        }
-        anchors.extend_from_slice(&self.anchors_any_type);
+        let anchors = self.anchors.take_for_type(edge.etype);
 
         let mut found = std::mem::take(&mut self.found);
         let mut stats = LocalSearchStats::default();
@@ -243,7 +222,7 @@ impl SjTreeMatcher {
         self.metrics.local_search_candidates += stats.candidates_examined;
         self.metrics.primitive_matches += stats.matches_found;
         self.found = found;
-        self.anchor_scratch = anchors;
+        self.anchors.give_back(anchors);
     }
 
     /// Feeds one embedding produced by the engine's shared primitive index

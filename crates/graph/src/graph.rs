@@ -481,6 +481,20 @@ impl DynamicGraph {
         let dst = &mut self.vertices[edge.dst.index()];
         dst.in_degree = dst.in_degree.saturating_sub(1);
 
+        // Both `note_dead` calls must land before any compaction: a
+        // self-loop touches the same adjacency list twice, and compacting
+        // between the two calls (compaction rebuilds both sides and resets
+        // the live counters) would make the second call double-decrement.
+        if edge.src == edge.dst {
+            let adj = &mut self.adjacency[edge.src.index()];
+            adj.note_dead(Direction::Out, edge.etype);
+            adj.note_dead(Direction::In, edge.etype);
+            if adj.should_compact() {
+                let edges = &self.edges;
+                adj.compact(|e| edges.contains(e));
+            }
+            return;
+        }
         for (v, dir) in [(edge.src, Direction::Out), (edge.dst, Direction::In)] {
             let adj = &mut self.adjacency[v.index()];
             adj.note_dead(dir, edge.etype);
@@ -689,6 +703,32 @@ mod tests {
 
     fn event(src: &str, dst: &str, et: &str, t: i64) -> EdgeEvent {
         EdgeEvent::new(src, "IP", dst, "IP", et, Timestamp::from_secs(t))
+    }
+
+    #[test]
+    fn self_loop_expiry_keeps_live_counters_exact_across_compaction() {
+        // Enough expired self-loops to cross the compaction threshold while
+        // they are being removed: compaction between the Out- and In-side
+        // dead notes of one loop used to double-decrement the live counter.
+        let mut g = DynamicGraph::unbounded();
+        g.set_retention(Some(Duration::from_secs(1)));
+        for _ in 0..40 {
+            g.ingest(&event("a", "a", "flow", 1));
+        }
+        let a = g.vertex_by_key("a").unwrap();
+        let flow = g.edge_type_id("flow").unwrap();
+        assert_eq!(g.degree_by_type(a, Direction::Out, flow), 40);
+
+        let expired = g.advance_time(Timestamp::from_secs(100));
+        assert_eq!(expired.len(), 40);
+        assert_eq!(g.live_edge_count(), 0);
+        assert_eq!(g.degree_by_type(a, Direction::Out, flow), 0);
+        assert_eq!(g.degree_by_type(a, Direction::In, flow), 0);
+
+        // The list stays usable: a fresh loop counts 1 on both sides.
+        g.ingest(&event("a", "a", "flow", 100));
+        assert_eq!(g.degree_by_type(a, Direction::Out, flow), 1);
+        assert_eq!(g.degree_by_type(a, Direction::In, flow), 1);
     }
 
     #[test]

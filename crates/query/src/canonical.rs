@@ -61,11 +61,13 @@ pub struct CanonicalPrimitive {
     edge_order: Vec<QueryEdgeId>,
 }
 
-/// Deterministic token for a predicate (derived `Debug` output). Predicates
-/// are compared as *sets* — conjunction order is irrelevant — so callers sort
-/// the tokens.
+/// Deterministic token for a predicate ([`Predicate::canonical_token`], a
+/// hand-written stable rendering — *not* derived `Debug`, which a future
+/// custom impl could silently change and thereby weaken fingerprints).
+/// Predicates are compared as *sets* — conjunction order is irrelevant — so
+/// callers sort the tokens.
 fn predicate_tokens(preds: &[crate::predicate::Predicate]) -> Vec<String> {
-    let mut tokens: Vec<String> = preds.iter().map(|p| format!("{p:?}")).collect();
+    let mut tokens: Vec<String> = preds.iter().map(|p| p.canonical_token()).collect();
     tokens.sort_unstable();
     tokens
 }

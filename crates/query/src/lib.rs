@@ -30,6 +30,7 @@ mod error;
 mod plan;
 mod predicate;
 mod query_graph;
+mod rpq;
 mod selectivity;
 mod sjtree;
 
@@ -48,5 +49,6 @@ pub use error::QueryError;
 pub use plan::{Planner, QueryPlan, TreeShapeKind};
 pub use predicate::{CompareOp, Predicate};
 pub use query_graph::{QueryEdge, QueryEdgeId, QueryGraph, QueryVertex, QueryVertexId};
+pub use rpq::{parse_rpq, PathExpr, RpqDfa, RpqQuery};
 pub use selectivity::{NullResolver, SelectivityEstimator, TypeResolver};
 pub use sjtree::{SjNode, SjNodeId, SjTreeShape};

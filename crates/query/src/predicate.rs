@@ -131,6 +131,45 @@ impl Predicate {
         }
     }
 
+    /// A stable, unambiguous rendering used by canonical-form fingerprints
+    /// (`CanonicalPrimitive`). Unlike the derived `Debug` output — which
+    /// would silently change if a custom `Debug` impl were ever added — this
+    /// string is part of the sharing contract: equal tokens mean the
+    /// predicates accept exactly the same attribute maps.
+    ///
+    /// Embedded strings are length-prefixed so no key/value choice can make
+    /// two different predicates collide, floats render via their bit pattern
+    /// (total, `NaN`-safe), and `InSet` values are sorted so set order does
+    /// not split otherwise-identical queries.
+    pub fn canonical_token(&self) -> String {
+        fn esc(s: &str) -> String {
+            format!("{}#{s}", s.len())
+        }
+        fn val(v: &AttrValue) -> String {
+            match v {
+                AttrValue::Str(s) => format!("s{}", esc(s)),
+                AttrValue::Int(i) => format!("i{i}"),
+                AttrValue::Float(f) => format!("f{:016x}", f.to_bits()),
+                AttrValue::Bool(b) => format!("b{}", *b as u8),
+            }
+        }
+        match self {
+            Predicate::Compare { key, op, value } => {
+                format!("cmp({},{},{})", esc(key), op.symbol(), val(value))
+            }
+            Predicate::HasPrefix { key, prefix } => {
+                format!("prefix({},{})", esc(key), esc(prefix))
+            }
+            Predicate::InSet { key, values } => {
+                let mut rendered: Vec<String> = values.iter().map(val).collect();
+                rendered.sort_unstable();
+                rendered.dedup();
+                format!("in({},[{}])", esc(key), rendered.join(","))
+            }
+            Predicate::Exists { key } => format!("exists({})", esc(key)),
+        }
+    }
+
     /// Rough selectivity weight used by the planner: predicates make an
     /// element rarer, so each predicate multiplies the cardinality estimate by
     /// this factor.
@@ -226,6 +265,62 @@ mod tests {
             let f = p.selectivity_factor();
             assert!(f > 0.0 && f <= 1.0, "{p:?} -> {f}");
         }
+    }
+
+    #[test]
+    fn canonical_tokens_distinguish_types_and_ignore_set_order() {
+        // Int 1 vs Float 1.0 vs Str "1" must not collide.
+        let toks: Vec<String> = [
+            Predicate::eq("k", 1i64),
+            Predicate::eq("k", 1.0),
+            Predicate::eq("k", "1"),
+        ]
+        .iter()
+        .map(|p| p.canonical_token())
+        .collect();
+        assert_ne!(toks[0], toks[1]);
+        assert_ne!(toks[0], toks[2]);
+        assert_ne!(toks[1], toks[2]);
+
+        // InSet order must not matter.
+        let a = Predicate::InSet {
+            key: "k".into(),
+            values: vec!["x".into(), "y".into()],
+        };
+        let b = Predicate::InSet {
+            key: "k".into(),
+            values: vec!["y".into(), "x".into()],
+        };
+        assert_eq!(a.canonical_token(), b.canonical_token());
+
+        // Tricky embedded delimiters stay unambiguous.
+        let c = Predicate::HasPrefix {
+            key: "a,b".into(),
+            prefix: "c".into(),
+        };
+        let d = Predicate::HasPrefix {
+            key: "a".into(),
+            prefix: "b,c".into(),
+        };
+        assert_ne!(c.canonical_token(), d.canonical_token());
+    }
+
+    #[test]
+    fn canonical_tokens_are_stable_across_releases() {
+        // These exact strings are persisted inside sharing fingerprints;
+        // changing them silently splits or merges shared-query groups.
+        assert_eq!(
+            Predicate::eq("label", "politics").canonical_token(),
+            "cmp(5#label,=,s8#politics)"
+        );
+        assert_eq!(
+            Predicate::cmp("port", CompareOp::Ge, 443i64).canonical_token(),
+            "cmp(4#port,>=,i443)"
+        );
+        assert_eq!(
+            Predicate::Exists { key: "x".into() }.canonical_token(),
+            "exists(1#x)"
+        );
     }
 
     #[test]

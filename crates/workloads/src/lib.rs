@@ -14,6 +14,10 @@
 //! * [`MultiTenantGenerator`] — N tenants instantiating overlapping query
 //!   templates with distinct label constants, the registry shape the
 //!   engine's multi-query sharing layer deduplicates.
+//! * [`LateralMovementGenerator`] / [`CitationChainGenerator`] — multi-hop
+//!   motifs (intrusion pivot chains, article citation chains) with planted
+//!   ground truth, targets for the engine's windowed regular-path-query
+//!   class rather than fixed-shape SJ-Tree patterns.
 //! * [`uniform_stream`] / [`preferential_attachment_stream`] /
 //!   [`plant_pattern`] — random graph streams for micro-benchmarks.
 //! * [`queries`] — the canonical query graphs of paper Figs. 2 and 3.
@@ -25,6 +29,7 @@ pub mod cyber;
 pub mod news;
 pub mod queries;
 pub mod random;
+pub mod rpq;
 pub mod schema;
 pub mod tenants;
 pub mod trace;
@@ -32,6 +37,10 @@ pub mod trace;
 pub use cyber::{AttackKind, CyberConfig, CyberTrafficGenerator, CyberWorkload, InjectedAttack};
 pub use news::{NewsConfig, NewsStreamGenerator, NewsWorkload, PlantedEvent};
 pub use random::{plant_pattern, preferential_attachment_stream, uniform_stream, RandomConfig};
+pub use rpq::{
+    citation_chain_rpq, lateral_movement_rpq, CitationChainGenerator, CitationConfig,
+    LateralMovementConfig, LateralMovementGenerator, PlantedChain, RpqWorkload,
+};
 pub use tenants::{MultiTenantGenerator, MultiTenantWorkload, TenantConfig};
 pub use trace::{
     read_trace, read_trace_file, write_trace, write_trace_file, TraceError, TraceRecord,

@@ -1,0 +1,423 @@
+//! Regular-path-query workloads: multi-hop lateral movement and citation
+//! chains.
+//!
+//! The SJ-Tree query class matches *fixed-shape* patterns; the motifs here
+//! have **unbounded hop count** — an intruder logs into a host and pivots
+//! through an arbitrary number of internal flows before exploiting a target,
+//! an article chain cites its way back to a source story — which is exactly
+//! what the engine's second query class (windowed RPQs, see
+//! `streamworks_core`'s `register_rpq`) expresses as `login flow* exploit`
+//! or `cites cites*`.
+//!
+//! Both generators plant ground-truth instances into Zipf-skewed background
+//! noise, mirroring [`crate::CyberTrafficGenerator`] and
+//! [`crate::NewsStreamGenerator`], so detection experiments can compute
+//! recall for the RPQ class too.
+
+use crate::schema::{cyber, news};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Zipf};
+use serde::{Deserialize, Serialize};
+use streamworks_graph::{Duration, EdgeEvent, Timestamp};
+use streamworks_query::{parse_rpq, RpqQuery};
+
+/// The `login flow* exploit` lateral-movement RPQ over the cyber schema: a
+/// user logs into an entry host, pivots through any number of internal
+/// flows, and exploits a target — all inside `window`.
+pub fn lateral_movement_rpq(window: Duration) -> RpqQuery {
+    parse_rpq(&format!(
+        "RPQ lateral_movement WINDOW {}s PATH {} {}* {}",
+        window.as_secs().max(1),
+        cyber::LOGIN,
+        cyber::FLOW,
+        cyber::EXPLOIT,
+    ))
+    .expect("static pattern is valid")
+}
+
+/// The `cites cites*` citation-chain RPQ over the news schema: an article
+/// reachable from another through one or more citation hops inside `window`.
+pub fn citation_chain_rpq(window: Duration) -> RpqQuery {
+    parse_rpq(&format!(
+        "RPQ citation_chain WINDOW {}s PATH {} {}*",
+        window.as_secs().max(1),
+        news::CITES,
+        news::CITES,
+    ))
+    .expect("static pattern is valid")
+}
+
+/// Ground truth of one planted multi-hop chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlantedChain {
+    /// Key of the chain's start vertex (the logging-in user, or the newest
+    /// citing article).
+    pub source: String,
+    /// Key of the chain's end vertex (the exploited target, or the cited
+    /// source story).
+    pub target: String,
+    /// Stream time of the chain's first edge.
+    pub start: Timestamp,
+    /// Stream time of the chain's last edge.
+    pub end: Timestamp,
+    /// Total edges in the chain (login + pivots + exploit, or citations).
+    pub hops: usize,
+}
+
+/// Configuration of the lateral-movement generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LateralMovementConfig {
+    /// Distinct hosts in the background traffic.
+    pub hosts: usize,
+    /// Background edges (flows, DNS lookups, benign logins).
+    pub background_edges: usize,
+    /// Mean stream-time gap between consecutive background edges.
+    pub edge_interval: Duration,
+    /// Zipf exponent of host popularity.
+    pub skew: f64,
+    /// Planted intrusions, as the number of *pivot flows* between the login
+    /// and the exploit (0 = login directly followed by exploit).
+    pub intrusions: Vec<usize>,
+    /// RNG seed (generation is fully deterministic given the config).
+    pub seed: u64,
+}
+
+impl Default for LateralMovementConfig {
+    fn default() -> Self {
+        LateralMovementConfig {
+            hosts: 400,
+            background_edges: 8_000,
+            edge_interval: Duration::from_millis(10),
+            skew: 1.1,
+            intrusions: vec![0, 2, 4],
+            seed: 7,
+        }
+    }
+}
+
+/// The generated workload: an edge stream plus planted-chain ground truth.
+#[derive(Debug, Clone)]
+pub struct RpqWorkload {
+    /// All events in timestamp order.
+    pub events: Vec<EdgeEvent>,
+    /// Ground truth of the planted chains.
+    pub chains: Vec<PlantedChain>,
+}
+
+/// Generates intrusion chains (`login flow* exploit`) planted into Zipfian
+/// flow/DNS background traffic.
+#[derive(Debug, Clone)]
+pub struct LateralMovementGenerator {
+    config: LateralMovementConfig,
+}
+
+impl LateralMovementGenerator {
+    /// Creates a generator from a configuration.
+    pub fn new(config: LateralMovementConfig) -> Self {
+        LateralMovementGenerator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LateralMovementConfig {
+        &self.config
+    }
+
+    fn host_name(idx: usize) -> String {
+        format!(
+            "10.{}.{}.{}",
+            (idx >> 16) & 0xff,
+            (idx >> 8) & 0xff,
+            idx & 0xff
+        )
+    }
+
+    /// Generates the full workload, all events sorted by timestamp.
+    pub fn generate(&self) -> RpqWorkload {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let zipf = Zipf::new(cfg.hosts as u64, cfg.skew).expect("valid zipf parameters");
+        let mut events: Vec<EdgeEvent> =
+            Vec::with_capacity(cfg.background_edges + cfg.intrusions.iter().sum::<usize>() + 8);
+
+        // Background: flows and DNS lookups between Zipf-popular hosts, plus
+        // benign logins that never lead anywhere.
+        let interval = cfg.edge_interval.as_micros().max(1);
+        let mut now = 0i64;
+        for _ in 0..cfg.background_edges {
+            now += rng.gen_range(1..=2 * interval);
+            let src = Self::host_name(zipf.sample(&mut rng) as usize - 1);
+            let mut dst = Self::host_name(zipf.sample(&mut rng) as usize - 1);
+            if dst == src {
+                dst = Self::host_name(rng.gen_range(0..cfg.hosts));
+            }
+            let ts = Timestamp::from_micros(now);
+            let roll: f64 = rng.gen();
+            let ev = if roll < 0.12 {
+                EdgeEvent::new(src, cyber::IP, dst, cyber::IP, cyber::DNS, ts)
+            } else if roll < 0.15 {
+                let user = format!("user{}", rng.gen_range(0..cfg.hosts / 10 + 1));
+                EdgeEvent::new(user, cyber::USER, dst, cyber::IP, cyber::LOGIN, ts)
+            } else {
+                EdgeEvent::new(src, cyber::IP, dst, cyber::IP, cyber::FLOW, ts)
+            };
+            events.push(ev);
+        }
+        let background_end = now;
+
+        // Planted intrusions, spread over the background time range. Chain
+        // hosts are fresh keys so the ground truth is unambiguous.
+        let mut chains = Vec::new();
+        let n = cfg.intrusions.len().max(1) as i64;
+        for (i, &pivots) in cfg.intrusions.iter().enumerate() {
+            let start = background_end * (i as i64 + 1) / (n + 1);
+            let user = format!("intruder-{i}");
+            let mut t = start + 1_000;
+            let first = Timestamp::from_micros(t);
+            let mut at = format!("entry-{i}");
+            events.push(EdgeEvent::new(
+                user.clone(),
+                cyber::USER,
+                at.clone(),
+                cyber::IP,
+                cyber::LOGIN,
+                first,
+            ));
+            for p in 0..pivots {
+                let next = format!("pivot-{i}-{p}");
+                t += 1_500;
+                events.push(EdgeEvent::new(
+                    at,
+                    cyber::IP,
+                    next.clone(),
+                    cyber::IP,
+                    cyber::FLOW,
+                    Timestamp::from_micros(t),
+                ));
+                at = next;
+            }
+            let target = format!("target-{i}");
+            t += 1_500;
+            events.push(EdgeEvent::new(
+                at,
+                cyber::IP,
+                target.clone(),
+                cyber::IP,
+                cyber::EXPLOIT,
+                Timestamp::from_micros(t),
+            ));
+            chains.push(PlantedChain {
+                source: user,
+                target,
+                start: first,
+                end: Timestamp::from_micros(t),
+                hops: pivots + 2,
+            });
+        }
+
+        events.sort_by_key(|e| e.timestamp);
+        RpqWorkload { events, chains }
+    }
+}
+
+/// Configuration of the citation-chain generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CitationConfig {
+    /// Distinct background articles.
+    pub articles: usize,
+    /// Background citation edges (Zipf-popular targets, so hub stories
+    /// accumulate citations).
+    pub background_edges: usize,
+    /// Mean stream-time gap between consecutive citations.
+    pub edge_interval: Duration,
+    /// Zipf exponent of article popularity.
+    pub skew: f64,
+    /// Planted chains, as the number of citation hops each (>= 1).
+    pub chains: Vec<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CitationConfig {
+    fn default() -> Self {
+        CitationConfig {
+            articles: 600,
+            background_edges: 6_000,
+            edge_interval: Duration::from_millis(20),
+            skew: 1.05,
+            chains: vec![3, 5],
+            seed: 11,
+        }
+    }
+}
+
+/// Generates article citation streams with planted multi-hop chains
+/// (newest article → … → source story).
+#[derive(Debug, Clone)]
+pub struct CitationChainGenerator {
+    config: CitationConfig,
+}
+
+impl CitationChainGenerator {
+    /// Creates a generator from a configuration.
+    pub fn new(config: CitationConfig) -> Self {
+        CitationChainGenerator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CitationConfig {
+        &self.config
+    }
+
+    /// Generates the full workload, all events sorted by timestamp.
+    pub fn generate(&self) -> RpqWorkload {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let zipf = Zipf::new(cfg.articles as u64, cfg.skew).expect("valid zipf parameters");
+        let mut events: Vec<EdgeEvent> =
+            Vec::with_capacity(cfg.background_edges + cfg.chains.iter().sum::<usize>());
+
+        let interval = cfg.edge_interval.as_micros().max(1);
+        let mut now = 0i64;
+        for _ in 0..cfg.background_edges {
+            now += rng.gen_range(1..=2 * interval);
+            let src = format!("article-{}", rng.gen_range(0..cfg.articles));
+            let mut dst = format!("article-{}", zipf.sample(&mut rng) as usize - 1);
+            if dst == src {
+                dst = format!(
+                    "article-{}",
+                    (zipf.sample(&mut rng) as usize) % cfg.articles
+                );
+            }
+            events.push(EdgeEvent::new(
+                src,
+                news::ARTICLE,
+                dst,
+                news::ARTICLE,
+                news::CITES,
+                Timestamp::from_micros(now),
+            ));
+        }
+        let background_end = now;
+
+        // Planted chains: chain-{i}-0 cites chain-{i}-1 cites ... with fresh
+        // article keys, so ground truth is unambiguous.
+        let mut chains = Vec::new();
+        let n = cfg.chains.len().max(1) as i64;
+        for (i, &hops) in cfg.chains.iter().enumerate() {
+            let hops = hops.max(1);
+            let start = background_end * (i as i64 + 1) / (n + 1);
+            let mut t = start + 1_000;
+            let first = Timestamp::from_micros(t);
+            for h in 0..hops {
+                events.push(EdgeEvent::new(
+                    format!("chain-{i}-{h}"),
+                    news::ARTICLE,
+                    format!("chain-{i}-{}", h + 1),
+                    news::ARTICLE,
+                    news::CITES,
+                    Timestamp::from_micros(t),
+                ));
+                t += 1_000;
+            }
+            chains.push(PlantedChain {
+                source: format!("chain-{i}-0"),
+                target: format!("chain-{i}-{hops}"),
+                start: first,
+                end: Timestamp::from_micros(t - 1_000),
+                hops,
+            });
+        }
+
+        events.sort_by_key(|e| e.timestamp);
+        RpqWorkload { events, chains }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lateral_movement_generation_is_deterministic() {
+        let cfg = LateralMovementConfig {
+            background_edges: 500,
+            ..Default::default()
+        };
+        let a = LateralMovementGenerator::new(cfg.clone()).generate();
+        let b = LateralMovementGenerator::new(cfg).generate();
+        assert_eq!(a.events.len(), b.events.len());
+        assert_eq!(a.events[42], b.events[42]);
+        assert_eq!(a.chains, b.chains);
+    }
+
+    #[test]
+    fn planted_chains_are_complete_and_ordered() {
+        let w = LateralMovementGenerator::new(LateralMovementConfig {
+            background_edges: 300,
+            intrusions: vec![0, 3],
+            ..Default::default()
+        })
+        .generate();
+        assert!(w
+            .events
+            .windows(2)
+            .all(|p| p[0].timestamp <= p[1].timestamp));
+        assert_eq!(w.chains.len(), 2);
+        assert_eq!(w.chains[0].hops, 2); // login + exploit
+        assert_eq!(w.chains[1].hops, 5); // login + 3 pivots + exploit
+                                         // Every planted chain's edges are present in the stream.
+        for (i, chain) in w.chains.iter().enumerate() {
+            let login = w
+                .events
+                .iter()
+                .filter(|e| e.src_key == chain.source && e.edge_type == cyber::LOGIN)
+                .count();
+            assert_eq!(login, 1, "intrusion {i} has one login");
+            let exploit = w
+                .events
+                .iter()
+                .filter(|e| e.dst_key == chain.target && e.edge_type == cyber::EXPLOIT)
+                .count();
+            assert_eq!(exploit, 1, "intrusion {i} has one exploit");
+        }
+    }
+
+    #[test]
+    fn citation_chains_link_source_to_target() {
+        let w = CitationChainGenerator::new(CitationConfig {
+            background_edges: 200,
+            chains: vec![4],
+            ..Default::default()
+        })
+        .generate();
+        let chain = &w.chains[0];
+        assert_eq!(chain.hops, 4);
+        // Follow the planted chain edge by edge.
+        let mut at = chain.source.clone();
+        for _ in 0..chain.hops {
+            let next = w
+                .events
+                .iter()
+                .find(|e| e.src_key == at && e.src_key.starts_with("chain-"))
+                .expect("chain edge present");
+            at = next.dst_key.clone();
+        }
+        assert_eq!(at, chain.target);
+    }
+
+    #[test]
+    fn rpq_constructors_compile_to_usable_dfas() {
+        let lateral = lateral_movement_rpq(Duration::from_secs(600));
+        let dfa = lateral.compile();
+        assert!(dfa.accepts([cyber::LOGIN, cyber::EXPLOIT]));
+        assert!(dfa.accepts([cyber::LOGIN, cyber::FLOW, cyber::FLOW, cyber::EXPLOIT]));
+        assert!(!dfa.accepts([cyber::LOGIN, cyber::FLOW]));
+
+        let chain = citation_chain_rpq(Duration::from_secs(600));
+        let dfa = chain.compile();
+        assert!(dfa.accepts([news::CITES]));
+        assert!(dfa.accepts([news::CITES, news::CITES, news::CITES]));
+        assert!(!dfa.accepts(Vec::<&str>::new()));
+    }
+}

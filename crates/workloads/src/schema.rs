@@ -50,6 +50,9 @@ pub mod news {
     pub const ABOUT_ORG: &str = "about_org";
     /// Person -> Organization affiliation edge.
     pub const AFFILIATED: &str = "affiliated";
+    /// Article -> Article citation edge (used by the citation-chain RPQ
+    /// workload).
+    pub const CITES: &str = "cites";
 }
 
 #[cfg(test)]

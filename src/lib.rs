@@ -144,7 +144,7 @@ pub use streamworks_graph::{
     AttrValue, Attrs, Direction, Duration, DynamicGraph, EdgeEvent, EdgeId, Timestamp, VertexId,
 };
 pub use streamworks_query::{
-    parse_query, Planner, Predicate, QueryGraph, QueryGraphBuilder, QueryPlan, SelectivityOrdered,
-    TreeShapeKind,
+    parse_query, parse_rpq, Planner, Predicate, QueryGraph, QueryGraphBuilder, QueryPlan, RpqQuery,
+    SelectivityOrdered, TreeShapeKind,
 };
 pub use streamworks_summarize::{GraphSummary, SummaryConfig};

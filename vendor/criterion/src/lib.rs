@@ -17,6 +17,19 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// Batch sizing hint for [`Bencher::iter_batched`]. This facade regenerates
+/// the input before every routine call regardless of the hint, so the
+/// variants only exist for criterion API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap; criterion proper would batch many per allocation.
+    SmallInput,
+    /// Inputs are expensive; criterion proper would batch few.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
 /// Throughput annotation for a benchmark group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Throughput {
@@ -119,6 +132,58 @@ impl<'a> Bencher<'a> {
                         black_box(routine());
                     }
                     times.push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+                }
+                times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                self.result_ns = times[times.len() / 2] * 1e9;
+            }
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding the setup
+    /// cost from the measurement. Use this to keep expensive per-iteration
+    /// state construction (engines, registries) out of the timed region.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine(setup()));
+                self.result_ns = 0.0;
+            }
+            Mode::Measure { measurement_time } => {
+                // Warmup: estimate the routine-only cost, setup excluded.
+                let warmup_budget = measurement_time.mul_f64(0.2).max(Duration::from_millis(50));
+                let warm_start = Instant::now();
+                let mut iters_done = 0u64;
+                let mut timed = Duration::ZERO;
+                while warm_start.elapsed() < warmup_budget {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    timed += start.elapsed();
+                    iters_done += 1;
+                }
+                let per_iter = (timed.as_secs_f64() / iters_done as f64).max(1e-9);
+
+                // Measurement: the iteration budget is sized from the timed
+                // (routine-only) cost, so setup-heavy benches still collect
+                // a full set of samples.
+                let budget = measurement_time.mul_f64(0.8);
+                let total_iters = (budget.as_secs_f64() / per_iter).ceil() as u64;
+                let samples = 11u64;
+                let iters_per_sample = (total_iters / samples).max(1);
+                let mut times: Vec<f64> = Vec::with_capacity(samples as usize);
+                for _ in 0..samples {
+                    let mut sample = Duration::ZERO;
+                    for _ in 0..iters_per_sample {
+                        let input = setup();
+                        let start = Instant::now();
+                        black_box(routine(input));
+                        sample += start.elapsed();
+                    }
+                    times.push(sample.as_secs_f64() / iters_per_sample as f64);
                 }
                 times.sort_by(|a, b| a.partial_cmp(b).unwrap());
                 self.result_ns = times[times.len() / 2] * 1e9;
