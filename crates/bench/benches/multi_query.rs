@@ -36,10 +36,15 @@ use streamworks_graph::EdgeEvent;
 use streamworks_query::QueryGraph;
 use streamworks_workloads::{MultiTenantGenerator, NewsConfig, TenantConfig};
 
-fn registry_and_events(queries: usize, events_wanted: usize) -> (Vec<QueryGraph>, Vec<EdgeEvent>) {
+fn registry_and_events(
+    queries: usize,
+    events_wanted: usize,
+    distinct_labels: bool,
+) -> (Vec<QueryGraph>, Vec<EdgeEvent>) {
     let workload = MultiTenantGenerator::new(TenantConfig {
         tenants: queries,
         include_colocation: false,
+        distinct_labels,
         news: NewsConfig {
             // Articles are ~4 events each; size the stream to the request.
             articles: (events_wanted / 4).max(20),
@@ -83,7 +88,7 @@ fn bench_multi_query(c: &mut Criterion) {
                 _ => 400,
             }
         };
-        let (registry, events) = registry_and_events(queries, events_wanted);
+        let (registry, events) = registry_and_events(queries, events_wanted, false);
         group.throughput(Throughput::Elements(events.len() as u64));
 
         group.bench_with_input(
@@ -112,5 +117,57 @@ fn bench_multi_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_multi_query);
+/// The predicate-constant-lifting regime: every tenant watches its **own**
+/// label (`TenantConfig::distinct_labels`), so no two templates are exact
+/// copies and leaf-level sharing finds nothing to intern — the PR 5 layer's
+/// worst case. Constant lifting abstracts the labels to slots, collapses the
+/// whole registry to one shared subtree entry, and dispatches embeddings by
+/// bound constant in O(1); the `lifted` arm should flatten with the registry
+/// size while `per_query` decays linearly, mirroring the `shared` arm of the
+/// pooled-label group above.
+fn bench_multi_query_lifted(c: &mut Criterion) {
+    let smoke = std::env::var_os("STREAMWORKS_BENCH_SMOKE").is_some();
+    let mut group = c.benchmark_group("multi_query_lifted");
+    group.sample_size(10);
+
+    for &queries in &[16usize, 128, 1024] {
+        let events_wanted = if smoke {
+            200
+        } else {
+            match queries {
+                0..=16 => 3_000,
+                17..=128 => 1_200,
+                _ => 400,
+            }
+        };
+        let (registry, events) = registry_and_events(queries, events_wanted, true);
+        group.throughput(Throughput::Elements(events.len() as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("lifted", queries),
+            &(&registry, &events),
+            |b, (registry, events)| {
+                b.iter_batched(
+                    || engine_with(registry, true),
+                    |mut engine| engine.ingest(*events).unwrap().len() as u64,
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("per_query", queries),
+            &(&registry, &events),
+            |b, (registry, events)| {
+                b.iter_batched(
+                    || engine_with(registry, false),
+                    |mut engine| engine.ingest(*events).unwrap().len() as u64,
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_query, bench_multi_query_lifted);
 criterion_main!(benches);

@@ -709,7 +709,13 @@ mod tests {
 
     #[test]
     fn multiple_pause_timestamps_split_the_replay_per_query() {
-        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+        // Leaf-only sharing: with subtree sharing on, "late"'s identical join
+        // tree is served by "early"'s shared entry and its partials live in
+        // the shared layer, not the private matcher this test inspects.
+        let mut engine = ContinuousQueryEngine::builder()
+            .subtree_sharing(false)
+            .build()
+            .unwrap();
         let early = register_stateful(&mut engine, "early");
         let late = register_stateful(&mut engine, "late");
         engine.ingest(&ev("a1", "rust", "mentions", 10)).unwrap();
@@ -881,5 +887,185 @@ mod tests {
         let restored = checkpoint.restore();
         assert_eq!(restored.query_count(), 0);
         assert_eq!(restored.graph().live_edge_count(), 0);
+    }
+
+    /// A labelled tenant pair (both mention edges carry `eq("label", ..)`)
+    /// with single-edge primitives: the lifted-coverable template shape.
+    fn register_tenant(
+        engine: &mut ContinuousQueryEngine,
+        name: &str,
+        label: &str,
+    ) -> crate::QueryHandle {
+        use streamworks_query::Predicate;
+        let q = QueryGraphBuilder::new(name)
+            .window(Duration::from_secs(1_000))
+            .vertex("a1", "Article")
+            .vertex("a2", "Article")
+            .vertex("k", "Keyword")
+            .edge_with("a1", "mentions", "k", vec![Predicate::eq("label", label)])
+            .edge_with("a2", "mentions", "k", vec![Predicate::eq("label", label)])
+            .build()
+            .unwrap();
+        engine
+            .register_query_with(
+                q,
+                &streamworks_query::SelectivityOrdered {
+                    max_primitive_size: 1,
+                },
+                streamworks_query::TreeShapeKind::LeftDeep,
+            )
+            .unwrap()
+    }
+
+    fn labelled_ev(src: &str, dst: &str, label: &str, t: i64) -> EdgeEvent {
+        ev(src, dst, "mentions", t).with_attr("label", label)
+    }
+
+    #[test]
+    fn restore_re_interns_shared_subtrees_and_lifted_entries() {
+        // Two lifted constant-variants plus two exact structural copies:
+        // after advertise-then-promote, one lifted entry (subscriber
+        // t_sports) and one plain subtree entry (subscriber pair2).
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+        register_tenant(&mut engine, "t_politics", "politics");
+        register_tenant(&mut engine, "t_sports", "sports");
+        register_stateful(&mut engine, "pair1");
+        register_stateful(&mut engine, "pair2");
+        engine
+            .ingest(&labelled_ev("a1", "rust", "politics", 10))
+            .unwrap();
+        engine
+            .ingest(&labelled_ev("s1", "football", "sports", 11))
+            .unwrap();
+        let before = engine.engine_metrics();
+        assert_eq!(before.distinct_subtrees, 2);
+        assert_eq!(before.subscribed_subtrees, 2);
+
+        // Through JSON, like a real restart. Registration order is the
+        // query-id order, so the advertise-then-promote choreography — and
+        // with it every sharing role — reproduces exactly.
+        let json = engine.checkpoint().to_json().unwrap();
+        let mut restored = EngineCheckpoint::load(&json).unwrap().restore();
+        let after = restored.engine_metrics();
+        assert_eq!(
+            after.distinct_subtrees, 2,
+            "restore re-interns the shared subtree and lifted entries"
+        );
+        assert_eq!(after.subscribed_subtrees, 2);
+
+        // The replayed partials live inside the restored entries' matchers:
+        // the completing mentions produce identical matches on both engines,
+        // and the covered tenant is served through lifted constant dispatch.
+        let key = |ms: &[MatchEvent]| {
+            let mut v: Vec<(String, Vec<u64>)> = ms
+                .iter()
+                .map(|m| (m.query_name.clone(), m.edges.iter().map(|e| e.0).collect()))
+                .collect();
+            v.sort();
+            v
+        };
+        for complete in [
+            labelled_ev("a2", "rust", "politics", 20),
+            labelled_ev("s2", "football", "sports", 21),
+        ] {
+            let direct = key(&engine.ingest(&complete).unwrap());
+            let replayed = key(&restored.ingest(&complete).unwrap());
+            assert!(!direct.is_empty());
+            assert_eq!(replayed, direct);
+        }
+        assert!(
+            restored.engine_metrics().lifted_dispatch_hits > 0,
+            "constant dispatch served the covered tenant"
+        );
+    }
+
+    #[test]
+    fn restore_re_interns_entries_with_paused_observation_intervals() {
+        // The covered subscriber is paused across the checkpoint: restore
+        // must rebuild the shared entry, keep the subscriber's observation
+        // gap, and let post-resume matches join pre-checkpoint state.
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+        register_stateful(&mut engine, "pair1");
+        let covered = register_stateful(&mut engine, "pair2");
+        engine.ingest(&ev("a1", "rust", "mentions", 10)).unwrap();
+        engine.pause(covered).unwrap();
+        engine.ingest(&ev("g1", "go", "mentions", 20)).unwrap();
+
+        let json = engine.checkpoint().to_json().unwrap();
+        let mut restored = EngineCheckpoint::load(&json).unwrap().restore();
+        assert_eq!(restored.engine_metrics().distinct_subtrees, 1);
+        let h = restored
+            .handles()
+            .into_iter()
+            .find(|&h| restored.plan(h).unwrap().query.name() == "pair2")
+            .unwrap();
+        assert!(restored.is_paused(h).unwrap());
+        restored.resume(h).unwrap();
+
+        // a2 completes the rust pair for both queries; the go mention from
+        // pair2's gap completes only for pair1 — the restored entry serves
+        // both, gated per subscriber.
+        let matches = restored.ingest(&ev("a2", "rust", "mentions", 30)).unwrap();
+        assert_eq!(
+            matches.iter().filter(|m| m.query_name == "pair1").count(),
+            2
+        );
+        assert_eq!(
+            matches.iter().filter(|m| m.query_name == "pair2").count(),
+            2,
+            "the pre-pause rust partial completes for the resumed subscriber"
+        );
+        let gap = restored.ingest(&ev("g2", "go", "mentions", 31)).unwrap();
+        assert_eq!(gap.iter().filter(|m| m.query_name == "pair1").count(), 2);
+        assert_eq!(
+            gap.iter().filter(|m| m.query_name == "pair2").count(),
+            0,
+            "the gap-anchored go partial stays invisible to the paused-then-resumed query"
+        );
+    }
+
+    #[test]
+    fn legacy_checkpoints_without_sharing_fields_stay_leaf_only() {
+        // A checkpoint written by the leaf-only sharing release has no
+        // `subtree_sharing` / `lifted_sharing` config fields: it must load
+        // with both layers off and restore with leaf-level sharing only.
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+        register_tenant(&mut engine, "t_politics", "politics");
+        register_tenant(&mut engine, "t_sports", "sports");
+        engine
+            .ingest(&labelled_ev("a1", "rust", "politics", 10))
+            .unwrap();
+        let mut legacy = engine.checkpoint().to_json().unwrap();
+        for field in ["subtree_sharing", "lifted_sharing"] {
+            let needle = format!("\"{field}\":true,");
+            assert!(legacy.contains(&needle), "field {field} missing from JSON");
+            legacy = legacy.replacen(&needle, "", 1);
+        }
+
+        let parsed = EngineCheckpoint::load(&legacy).unwrap();
+        assert!(!parsed.config.subtree_sharing);
+        assert!(!parsed.config.lifted_sharing);
+        let mut restored = parsed.restore();
+        let m = restored.engine_metrics();
+        assert_eq!(
+            m.distinct_subtrees, 0,
+            "legacy snapshots keep leaf-only sharing"
+        );
+        assert!(
+            m.distinct_primitives > 0,
+            "the leaf-level index still interns"
+        );
+        // Exact-constant matching still works end to end.
+        let matches = restored
+            .ingest(&labelled_ev("a2", "rust", "politics", 20))
+            .unwrap();
+        assert_eq!(
+            matches
+                .iter()
+                .filter(|m| m.query_name == "t_politics")
+                .count(),
+            2
+        );
+        assert!(matches.iter().all(|m| m.query_name == "t_politics"));
     }
 }

@@ -24,14 +24,14 @@ use crate::ingest::Ingest;
 use crate::metrics::{EngineMetrics, QueryMetrics, ShardMetrics};
 use crate::parallel::{panic_message, ShardFailure, ShardedMatcher};
 use crate::rpq::{RpqMatcher, RpqPathMatch};
-use crate::shared_index::{Delivery, SharedPrimitiveIndex};
+use crate::shared_index::{Delivery, SharedPrimitiveIndex, SharedSubtreeIndex};
 use crate::sj_matcher::SjTreeMatcher;
 use streamworks_graph::{
     Duration, DynamicGraph, EdgeEvent, EdgeId, GraphConfig, GraphStats, Timestamp, TypeId,
 };
 use streamworks_query::{
-    DecompositionStrategy, Planner, QueryGraph, QueryPlan, RpqQuery, SelectivityOrdered,
-    TreeShapeKind,
+    DecompositionStrategy, Planner, QueryGraph, QueryPlan, RpqQuery, SelectivityOrdered, SjNodeId,
+    SjTreeShape, TreeShapeKind,
 };
 use streamworks_summarize::GraphSummary;
 
@@ -251,6 +251,27 @@ impl QuerySlot {
     }
 }
 
+/// The SJ-Tree leaves of `shape` not lying under any covered node: the
+/// leaves the query still subscribes to the leaf-level index (its private
+/// join climb absorbs them below the covered nodes' parents).
+fn uncovered_leaves(shape: &SjTreeShape, covered: &[SjNodeId]) -> Vec<SjNodeId> {
+    shape
+        .leaves()
+        .iter()
+        .copied()
+        .filter(|&leaf| {
+            let mut n = Some(leaf);
+            while let Some(id) = n {
+                if covered.contains(&id) {
+                    return false;
+                }
+                n = shape.node(id).parent;
+            }
+            true
+        })
+        .collect()
+}
+
 /// Drops leading *closed* observation intervals lying wholly behind the
 /// live-edge horizon: none of their edges can appear in a checkpoint's
 /// retained set any more, so they can never affect a replay. Keeps the
@@ -339,6 +360,11 @@ pub struct ContinuousQueryEngine {
     /// leaves, interned by canonical primitive so one anchored local search
     /// per distinct primitive serves every subscriber.
     shared: SharedPrimitiveIndex,
+    /// The second sharing layer: maximal common SJ-Tree *subtrees* (and,
+    /// with lifting, constant-abstracted subtrees), each owning one matcher
+    /// whose join climb runs once per event; joined matches fan out to every
+    /// subscriber's parent node, observation-gated per subscriber.
+    subtree: SharedSubtreeIndex,
     /// True while the shared dispatch path is in use: sharing is enabled and
     /// at least one interned primitive fans out to two or more active
     /// subscriptions. Recomputed on every lifecycle change; with no overlap
@@ -348,8 +374,10 @@ pub struct ContinuousQueryEngine {
     /// Live, unpaused queries *not* covered by the shared index — dispatched
     /// classically even while `sharing_active`.
     classic_dispatch: Vec<u32>,
-    /// Reusable buffer of the current event's fan-out work.
+    /// Reusable buffer of the current event's leaf-level fan-out work.
     delivery_scratch: Vec<Delivery>,
+    /// Reusable buffer of the current event's subtree-level fan-out work.
+    subtree_scratch: Vec<Delivery>,
     /// Monotonic token generator for subscription ids.
     next_subscription: u64,
     /// Type info of live edges, used to update the summary on expiry.
@@ -401,9 +429,11 @@ impl ContinuousQueryEngine {
             free_slots: Vec::new(),
             dispatch: Vec::new(),
             shared: SharedPrimitiveIndex::default(),
+            subtree: SharedSubtreeIndex::new(config.lifted_sharing, config.max_matches_per_node),
             sharing_active: false,
             classic_dispatch: Vec::new(),
             delivery_scratch: Vec::new(),
+            subtree_scratch: Vec::new(),
             next_subscription: 0,
             live_edge_types: EdgeTypeSlab::default(),
             edges_since_prune: 0,
@@ -434,6 +464,33 @@ impl ContinuousQueryEngine {
                 SjTreeMatcher::new(plan, &self.graph)
                     .with_match_cap(self.config.max_matches_per_node),
             )
+        }
+    }
+
+    /// Interns a plan into both sharing layers for `slot`: subtree coverage
+    /// first (when enabled), then every leaf not under a covered node into
+    /// the leaf-level index. All-or-nothing: if any uncovered leaf fails
+    /// canonicalization, the subtree subscriptions are rolled back too and
+    /// the query runs classic — a query is either fully shared-dispatched
+    /// or fully private, never half.
+    fn subscribe_sharing(&mut self, slot: u32, plan: &QueryPlan) -> bool {
+        if !self.config.shared_matching {
+            return false;
+        }
+        let covered = if self.config.subtree_sharing {
+            self.subtree.cover_plan(slot, plan, &self.graph)
+        } else {
+            Vec::new()
+        };
+        let uncovered = uncovered_leaves(&plan.shape, &covered);
+        if self
+            .shared
+            .subscribe_plan(slot, plan, &uncovered, &self.graph)
+        {
+            true
+        } else {
+            self.subtree.unsubscribe_slot(slot);
+            false
         }
     }
 
@@ -479,17 +536,19 @@ impl ContinuousQueryEngine {
     /// generation, so the old occupant's handles stay stale) before the slot
     /// table grows.
     ///
-    /// With [`EngineConfig::shared_matching`] enabled (the default), every
-    /// leaf primitive of the plan's SJ-Tree is interned into the engine's
-    /// canonical primitive index at this point: leaves isomorphic to a
-    /// primitive some registered query (or this one) already watches share
-    /// one anchored local search per event instead of each running their
-    /// own.
+    /// With [`EngineConfig::shared_matching`] enabled (the default), the
+    /// plan's SJ-Tree is interned into the engine's sharing layers at this
+    /// point. With [`EngineConfig::subtree_sharing`] the tree is first
+    /// walked top-down for maximal subtrees matching an already-interned
+    /// (or advertised) subtree — those nodes' whole join climbs are shared;
+    /// every leaf not under a covered node is then interned into the
+    /// canonical primitive index, so leaves isomorphic to a primitive some
+    /// registered query already watches share one anchored local search per
+    /// event instead of each running their own.
     pub fn register_plan(&mut self, plan: QueryPlan) -> QueryHandle {
         self.extend_retention(plan.query.window());
         let index = self.alloc_slot();
-        let shared = self.config.shared_matching
-            && self.shared.subscribe_plan(index as u32, &plan, &self.graph);
+        let shared = self.subscribe_sharing(index as u32, &plan);
         let state = QueryState {
             exec: self.build_exec(plan),
             paused: false,
@@ -619,9 +678,11 @@ impl ContinuousQueryEngine {
         slot.state = None;
         slot.generation = slot.generation.wrapping_add(1);
         self.free_slots.push(handle.id().0 as u32);
-        // Release the query's shared-index subscriptions; entries it was the
-        // last subscriber of are freed.
+        // Release the query's shared-index subscriptions (both layers);
+        // entries it was the last subscriber of are freed, and its subtree
+        // adverts are purged.
         self.shared.unsubscribe_slot(handle.id().0 as u32);
+        self.subtree.unsubscribe_slot(handle.id().0 as u32);
         self.rebuild_dispatch();
         Ok(())
     }
@@ -647,6 +708,7 @@ impl ContinuousQueryEngine {
                 // The query leaves the shared fan-out; an entry whose
                 // subscribers are all paused stops being searched entirely.
                 self.shared.set_active(handle.id().0 as u32, false);
+                self.subtree.set_active(handle.id().0 as u32, false);
             }
             self.rebuild_dispatch();
         }
@@ -671,6 +733,7 @@ impl ContinuousQueryEngine {
             let rejoin_fanout = state.shared;
             if rejoin_fanout {
                 self.shared.set_active(handle.id().0 as u32, true);
+                self.subtree.set_active(handle.id().0 as u32, true);
             }
             self.rebuild_dispatch();
         }
@@ -755,13 +818,14 @@ impl ContinuousQueryEngine {
             .with_statistics(&self.summary, &self.graph)
             .tree_kind(tree_kind)
             .plan_with(query, strategy)?;
-        // Re-intern under the new plan's leaves: the old subscriptions are
-        // released (freeing entries this query was the last subscriber of)
-        // and the new decomposition subscribes afresh.
+        // Re-intern under the new plan: the old subscriptions are released
+        // in both layers (freeing entries this query was the last
+        // subscriber of) and the new decomposition subscribes afresh —
+        // subtree coverage first, then the uncovered leaves.
         let id = handle.id().0 as u32;
         self.shared.unsubscribe_slot(id);
-        let shared =
-            self.config.shared_matching && self.shared.subscribe_plan(id, &plan, &self.graph);
+        self.subtree.unsubscribe_slot(id);
+        let shared = self.subscribe_sharing(id, &plan);
         let shared_events = self.shared.shared_events();
         let bound = self.graph.ingested_edge_count();
         let exec = self.build_exec(plan);
@@ -780,8 +844,9 @@ impl ContinuousQueryEngine {
         }
         let paused = state.paused;
         if paused && shared {
-            // subscribe_plan activates; a paused query stays out of fan-out.
+            // Subscribing activates; a paused query stays out of fan-out.
             self.shared.set_active(id, false);
+            self.subtree.set_active(id, false);
         }
         self.rebuild_dispatch();
         Ok(())
@@ -834,6 +899,7 @@ impl ContinuousQueryEngine {
             }
             m.edges_processed += shared_edges;
             m.local_search_candidates += self.shared.slot_candidates(handle.id().0 as u32);
+            m.local_search_candidates += self.subtree.slot_candidates(handle.id().0 as u32);
         }
         m.sink_events_dropped += state
             .subscribers
@@ -844,11 +910,19 @@ impl ContinuousQueryEngine {
     }
 
     /// Engine-level counters of the multi-query sharing subsystem: distinct
-    /// vs. subscribed primitives (the dedup ratio), searches run and saved,
-    /// embeddings found and fanned out. All zero while no query is
-    /// registered or [`EngineConfig::shared_matching`] is disabled.
+    /// vs. subscribed primitives and subtrees (the dedup ratios), searches
+    /// and join climbs run and saved, embeddings found and fanned out, and
+    /// lifted-dispatch hits. All zero while no query is registered or
+    /// [`EngineConfig::shared_matching`] is disabled.
     pub fn engine_metrics(&self) -> EngineMetrics {
-        self.shared.metrics()
+        let mut m = self.shared.metrics();
+        let s = self.subtree.metrics();
+        m.distinct_subtrees = s.distinct_subtrees;
+        m.subscribed_subtrees = s.subscribed_subtrees;
+        m.subtree_joins_run = s.subtree_joins_run;
+        m.subtree_joins_saved = s.subtree_joins_saved;
+        m.lifted_dispatch_hits = s.lifted_dispatch_hits;
+        m
     }
 
     /// True while events are dispatched through the shared primitive index:
@@ -1008,8 +1082,12 @@ impl ContinuousQueryEngine {
         }
         // The shared path only pays off (and only changes the work profile)
         // when some primitive actually fans out; otherwise every query stays
-        // on the classic loop and the index lies dormant.
-        self.sharing_active = self.config.shared_matching && self.shared.sharing_possible();
+        // on the classic loop and the index lies dormant. A live subtree
+        // entry keeps the path active even with a single subscriber: a
+        // covered query's private matcher never sees the covered leaves, so
+        // the entry must be fed for as long as the subscription exists.
+        self.sharing_active = self.config.shared_matching
+            && (self.shared.sharing_possible() || self.subtree.has_entries());
     }
 
     /// Errors with [`EngineError::Poisoned`] once an uncontained shard
@@ -1334,6 +1412,82 @@ impl ContinuousQueryEngine {
             }
             self.shared.add_deliveries(delivered);
             self.delivery_scratch = deliveries;
+
+            // Subtree fan-out: each shared subtree's anchored searches AND
+            // join climb already ran once inside its entry (search_edge);
+            // the joined matches are filtered by bound constants (lifted
+            // entries), observation-gated per subscriber, remapped, and
+            // absorbed at the subscriber's own node — for a whole-tree
+            // subscription that is the root, where absorbed matches are
+            // complete.
+            if self.config.subtree_sharing {
+                self.subtree.search_edge(graph, edge);
+                let mut deliveries = std::mem::take(&mut self.subtree_scratch);
+                deliveries.clear();
+                self.subtree.collect_deliveries(&mut deliveries);
+                deliveries.sort_unstable();
+                let mut lifted_hits = 0u64;
+                for d in &deliveries {
+                    let (results, consts, sub, lifted) = self.subtree.delivery(d);
+                    let slot = &mut self.queries[sub.slot as usize];
+                    let handle = QueryHandle::new(QueryId(sub.slot as usize), slot.generation);
+                    let state = slot
+                        .state
+                        .as_mut()
+                        .expect("the fan-out only lists live queries");
+                    let observed = &state.observed;
+                    match &mut state.exec {
+                        QueryExec::Single(matcher) => {
+                            complete.clear();
+                            for (i, m) in results.iter().enumerate() {
+                                if lifted {
+                                    match &consts[i] {
+                                        Some(c) if c.as_slice() == sub.constants() => {
+                                            lifted_hits += 1;
+                                        }
+                                        _ => continue,
+                                    }
+                                }
+                                if !sub.admits(m, observed) {
+                                    continue;
+                                }
+                                matcher.absorb_joined(sub.node, sub.remap(m), &mut complete);
+                            }
+                            for m in complete.drain(..) {
+                                deliver_match(
+                                    handle,
+                                    &matcher.plan().query,
+                                    graph,
+                                    &m,
+                                    &mut state.subscribers,
+                                    sink,
+                                );
+                                emitted += 1;
+                            }
+                        }
+                        QueryExec::Sharded(sharded) => {
+                            for (i, m) in results.iter().enumerate() {
+                                if lifted {
+                                    match &consts[i] {
+                                        Some(c) if c.as_slice() == sub.constants() => {
+                                            lifted_hits += 1;
+                                        }
+                                        _ => continue,
+                                    }
+                                }
+                                if !sub.admits(m, observed) {
+                                    continue;
+                                }
+                                sharded.absorb_joined_at(sub.node, sub.remap(m), seq);
+                            }
+                        }
+                        // RPQs never subscribe to the subtree index.
+                        QueryExec::Rpq(_) => unreachable!("RPQ in subtree fan-out"),
+                    }
+                }
+                self.subtree.add_lifted_hits(lifted_hits);
+                self.subtree_scratch = deliveries;
+            }
         }
         let classic = if self.sharing_active {
             &self.classic_dispatch
@@ -1428,6 +1582,7 @@ impl ContinuousQueryEngine {
                 state.exec.prune(now);
             }
         }
+        self.subtree.prune(now);
         self.edges_since_prune = 0;
     }
 }

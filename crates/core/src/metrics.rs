@@ -133,6 +133,28 @@ pub struct EngineMetrics {
     /// Embeddings delivered to subscriber leaves (post-fan-out; one shared
     /// embedding counts once per receiving subscription).
     pub fanout_deliveries: u64,
+    /// Live distinct shared subtrees (interned canonical join subtrees with
+    /// at least one subscription). Zero when subtree sharing is off or
+    /// absent from serialized form (pre-subtree snapshots).
+    #[serde(default)]
+    pub distinct_subtrees: u64,
+    /// Live subtree subscriptions (one per (query, subscription node) pair).
+    #[serde(default)]
+    pub subscribed_subtrees: u64,
+    /// Join-climb steps (join attempts) actually run inside shared subtree
+    /// entries.
+    #[serde(default)]
+    pub subtree_joins_run: u64,
+    /// Join-climb steps the per-query path would have run in addition (one
+    /// per extra active subscriber of every entry's climb).
+    #[serde(default)]
+    pub subtree_joins_saved: u64,
+    /// Joined matches delivered through constant dispatch of a *lifted*
+    /// entry: the embedding was found by a constant-free search and routed to
+    /// its tenants by hashing the bound constants instead of running one
+    /// search per distinct constant.
+    #[serde(default)]
+    pub lifted_dispatch_hits: u64,
 }
 
 impl EngineMetrics {
@@ -144,6 +166,17 @@ impl EngineMetrics {
             1.0
         } else {
             self.subscribed_primitives as f64 / self.distinct_primitives as f64
+        }
+    }
+
+    /// Subscribed-to-distinct *subtree* ratio: `N` means each interned join
+    /// subtree serves `N` subscriptions on average (`1.0` when the subtree
+    /// layer is empty or off).
+    pub fn subtree_dedup_ratio(&self) -> f64 {
+        if self.distinct_subtrees == 0 {
+            1.0
+        } else {
+            self.subscribed_subtrees as f64 / self.distinct_subtrees as f64
         }
     }
 

@@ -1081,6 +1081,22 @@ impl ShardedMatcher {
         }
     }
 
+    /// Feeds one *joined* match produced by a shared subtree entry (already
+    /// remapped into this query's space) into the sharded execution at
+    /// `node` — the subscription point, an internal node or the root. Same
+    /// routing tail as [`Self::absorb_embedding_at`], but no primitive match
+    /// is counted: the searches and the joins below `node` ran inside the
+    /// shared entry.
+    pub(crate) fn absorb_joined_at(&mut self, node: SjNodeId, m: PartialMatch, seq: u64) {
+        if seq >= self.seq {
+            self.seq = seq + 1;
+        }
+        self.route_embedding(node, m, seq);
+        while let Ok(results) = self.results_rx.try_recv() {
+            self.completed.extend(results);
+        }
+    }
+
     /// Routes one embedding into the sharded execution: a root-leaf
     /// embedding (single-primitive plan) is already a complete match and
     /// stays on the driver; anything else goes to the shard owning its join

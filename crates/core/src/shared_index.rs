@@ -37,12 +37,78 @@ use crate::binding::{Binding, PartialMatch};
 use crate::constraints::CompiledConstraints;
 use crate::local_search::{find_primitive_matches_anchored, LocalSearchStats};
 use crate::metrics::EngineMetrics;
+use crate::sj_matcher::SjTreeMatcher;
 use smallvec::SmallVec;
-use streamworks_graph::hash::FxHashMap;
-use streamworks_graph::{DynamicGraph, Edge};
+use streamworks_graph::hash::{FxHashMap, FxHashSet};
+use streamworks_graph::{AttrValue, Duration, DynamicGraph, Edge, Timestamp};
 use streamworks_query::{
-    CanonicalPrimitive, QueryEdgeId, QueryGraph, QueryPlan, QueryVertexId, SjNodeId,
+    eq_constant_token, CanonicalPrimitive, LiftedPrimitive, Planner, QueryEdgeId, QueryGraph,
+    QueryPlan, QueryVertexId, SjNodeId,
 };
+
+/// Translates a canonical-space match into a subscriber's query space:
+/// bindings move through the vertex permutation, covered edges through the
+/// edge permutation, timestamps are preserved. Shared by the leaf-level
+/// [`Subscriber`] and the subtree-level [`SubtreeSubscriber`].
+fn remap_match(
+    vertex_map: &[QueryVertexId],
+    edge_map: &[QueryEdgeId],
+    vertex_count: usize,
+    m: &PartialMatch,
+) -> PartialMatch {
+    let mut binding = Binding::new(vertex_count);
+    for (canon_v, dv) in m.binding.iter() {
+        let bound = binding.bind(vertex_map[canon_v.0], dv);
+        debug_assert!(bound, "a bijective renaming preserves injectivity");
+    }
+    let mut edges: SmallVec<(QueryEdgeId, streamworks_graph::EdgeId), 6> = SmallVec::new();
+    for &(qe, de) in &m.edges {
+        edges.push((edge_map[qe.0], de));
+    }
+    edges.as_mut_slice().sort_unstable_by_key(|(q, _)| *q);
+    PartialMatch {
+        binding,
+        edges,
+        earliest: m.earliest,
+        latest: m.latest,
+    }
+}
+
+/// True when `anchor` (an arrival-order edge id) falls inside one of the
+/// `[open, close)` observation intervals of a query's `observed` boundary
+/// list (odd length = the final interval is still open). This is the gate
+/// that makes shared subtree delivery exact under pause/resume and late
+/// registration: a joined match is delivered only if every leaf embedding of
+/// the *subscriber's own* partition was anchored at an edge the subscriber
+/// observed — exactly the embeddings its private matcher would have formed.
+pub(crate) fn anchor_in_observed(anchor: u64, observed: &[u64]) -> bool {
+    let mut i = 0;
+    while i < observed.len() {
+        let open = observed[i];
+        let close = observed.get(i + 1).copied();
+        if anchor >= open && close.is_none_or(|c| anchor < c) {
+            return true;
+        }
+        i += 2;
+    }
+    false
+}
+
+/// Deterministic FNV-1a over constant tokens: the O(1) prefilter key of
+/// lifted constant dispatch (exact token equality decides behind it, so a
+/// hash collision can never misroute an embedding).
+fn tokens_hash(tokens: &[String]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for t in tokens {
+        for b in t.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0xff; // token separator
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// One query's subscription to a shared primitive entry: which SJ-Tree leaf
 /// the embeddings feed, and how canonical-space bindings translate into the
@@ -72,22 +138,7 @@ impl Subscriber {
     /// space: bindings move through the vertex permutation, covered edges
     /// through the edge permutation, timestamps are preserved.
     pub fn remap(&self, m: &PartialMatch) -> PartialMatch {
-        let mut binding = Binding::new(self.vertex_count);
-        for (canon_v, dv) in m.binding.iter() {
-            let bound = binding.bind(self.vertex_map[canon_v.0], dv);
-            debug_assert!(bound, "a bijective renaming preserves injectivity");
-        }
-        let mut edges: SmallVec<(QueryEdgeId, streamworks_graph::EdgeId), 6> = SmallVec::new();
-        for &(qe, de) in &m.edges {
-            edges.push((self.edge_map[qe.0], de));
-        }
-        edges.as_mut_slice().sort_unstable_by_key(|(q, _)| *q);
-        PartialMatch {
-            binding,
-            edges,
-            earliest: m.earliest,
-            latest: m.latest,
-        }
+        remap_match(&self.vertex_map, &self.edge_map, self.vertex_count, m)
     }
 }
 
@@ -153,18 +204,26 @@ pub(crate) struct SharedPrimitiveIndex {
 }
 
 impl SharedPrimitiveIndex {
-    /// Subscribes every SJ-Tree leaf of `plan` under query slot `slot`,
-    /// interning each leaf's canonical primitive. Returns `false` — with no
-    /// subscriptions left behind — if any leaf cannot be canonicalized
+    /// Subscribes the given SJ-Tree leaves of `plan` under query slot `slot`,
+    /// interning each leaf's canonical primitive. The engine passes every
+    /// leaf *not* covered by a shared subtree subscription (with subtree
+    /// sharing off that is all of them). Returns `false` — with no
+    /// subscriptions left behind — if any listed leaf cannot be canonicalized
     /// (pathologically symmetric primitive); such a query is matched
     /// classically instead.
-    pub fn subscribe_plan(&mut self, slot: u32, plan: &QueryPlan, graph: &DynamicGraph) -> bool {
+    pub fn subscribe_plan(
+        &mut self,
+        slot: u32,
+        plan: &QueryPlan,
+        leaves: &[SjNodeId],
+        graph: &DynamicGraph,
+    ) -> bool {
         debug_assert!(
             !self.per_slot.contains_key(&slot),
             "slot must be unsubscribed before re-subscribing"
         );
-        let mut entries_of_slot = Vec::with_capacity(plan.shape.leaves().len());
-        for &leaf in plan.shape.leaves() {
+        let mut entries_of_slot = Vec::with_capacity(leaves.len());
+        for &leaf in leaves {
             let edges = plan.shape.primitive_edges(leaf);
             let Some(canon) = CanonicalPrimitive::build(&plan.query, edges) else {
                 // Roll back the leaves already subscribed for this slot.
@@ -401,6 +460,7 @@ impl SharedPrimitiveIndex {
             searches_saved: self.searches_saved,
             shared_embeddings: self.embeddings_found,
             fanout_deliveries: self.deliveries,
+            ..Default::default()
         }
     }
 
@@ -469,6 +529,698 @@ impl SharedPrimitiveIndex {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Shared subtrees: interned join climbs
+// ---------------------------------------------------------------------------
+
+/// One query's subscription to a shared subtree entry: which SJ-Tree node of
+/// the subscriber the entry's *joined* matches feed, how canonical-space
+/// bindings translate into the subscriber's space, and the per-subscriber
+/// state of constant dispatch and observation gating.
+#[derive(Debug)]
+pub(crate) struct SubtreeSubscriber {
+    /// The subscribing query's slot index.
+    pub slot: u32,
+    /// The subscriber's SJ-Tree node this subtree realises: joined matches
+    /// are absorbed here and the climb continues toward the root (for a
+    /// whole-tree subscription this *is* the root and absorbed matches are
+    /// complete).
+    pub node: SjNodeId,
+    /// Canonical vertex id → subscriber query vertex.
+    vertex_map: Vec<QueryVertexId>,
+    /// Canonical edge position → subscriber query edge.
+    edge_map: Vec<QueryEdgeId>,
+    /// The subscriber query's total vertex count (binding slot table size).
+    vertex_count: usize,
+    /// This query's registered constant tokens, in the entry's slot order
+    /// (empty unless the entry is lifted).
+    constants: Vec<String>,
+    /// FNV prefilter key of `constants` (see [`tokens_hash`]).
+    const_hash: u64,
+    /// The *subscriber's own* leaf partition of the subtree, as groups of
+    /// canonical edge positions: observation gating anchors each group at
+    /// its max data-edge id. The partition must be the subscriber's — two
+    /// decompositions of the same subtree partition the edges differently,
+    /// and window acceptance is partition-independent but observation gating
+    /// is not.
+    gate_partition: Vec<Vec<u32>>,
+    /// False while the subscriber is paused: it drops out of the fan-out.
+    active: bool,
+    /// Entry candidate counter at the start of the current active interval.
+    cand_base: u64,
+    /// Candidates attributed over closed active intervals.
+    cand_accum: u64,
+}
+
+impl SubtreeSubscriber {
+    /// Translates a canonical-space joined match into the subscriber's query
+    /// space (see [`Subscriber::remap`]).
+    pub fn remap(&self, m: &PartialMatch) -> PartialMatch {
+        remap_match(&self.vertex_map, &self.edge_map, self.vertex_count, m)
+    }
+
+    /// The subscriber's registered constant tokens (entry slot order).
+    pub fn constants(&self) -> &[String] {
+        &self.constants
+    }
+
+    /// Observation gate: deliver a joined match to this subscriber only if
+    /// every leaf of the subscriber's own partition is anchored (max
+    /// data-edge id over the leaf's covered edges) inside the subscriber's
+    /// observed intervals — exactly the leaf embeddings its private anchored
+    /// search would have formed, so pause gaps and late registration behave
+    /// identically to classic matching.
+    pub fn admits(&self, m: &PartialMatch, observed: &[u64]) -> bool {
+        self.gate_partition.iter().all(|leaf| {
+            let mut anchor = 0u64;
+            let mut found = false;
+            for &pos in leaf {
+                if let Some(&(_, de)) = m.edges.iter().find(|(qe, _)| qe.0 == pos as usize) {
+                    found = true;
+                    anchor = anchor.max(de.0);
+                }
+            }
+            found && anchor_in_observed(anchor, observed)
+        })
+    }
+}
+
+/// One interned distinct subtree: a full internal SJ-Tree node's subtree of
+/// typed, predicated edges, owning its own matcher over the (possibly
+/// lifted) canonical pattern. The matcher runs the anchored searches *and*
+/// the join climb once; complete matches of the entry are joined
+/// subtree-root matches fanned out to every subscriber.
+#[derive(Debug)]
+struct SubtreeEntry {
+    /// The lifted canonical form (fingerprint + exact isomorphism check +
+    /// constant slot table).
+    lifted: LiftedPrimitive,
+    /// The entry's own matcher over the canonical search pattern (constants
+    /// removed when lifted), fed every event the engine dispatches.
+    matcher: SjTreeMatcher,
+    /// Subscribing (query, node) pairs, refcounting the entry.
+    subscribers: Vec<SubtreeSubscriber>,
+    /// Subscribers currently active (not paused).
+    active_subs: usize,
+    /// `local_search_candidates` snapshot of the matcher (the attribution
+    /// counter `cand_base`/`cand_accum` intervals are cut against).
+    candidates: u64,
+    /// `joins_attempted` snapshot of the matcher at the last event (for the
+    /// per-event joins-run delta).
+    joins_seen: u64,
+    /// Joined (subtree-complete) matches of the current event.
+    results: Vec<PartialMatch>,
+    /// Per-result bound constant tokens (`None`: a slot attribute was
+    /// missing, so no tenant's `eq` predicate can hold). Empty unless lifted.
+    result_consts: Vec<Option<Vec<String>>>,
+    /// Per-result constant hashes aligned with `result_consts` (prefilter).
+    result_hashes: Vec<u64>,
+    /// Per-slot union of subscribed constant tokens. The entry's search
+    /// pattern carries an `InSet` filter per lifted slot, widened — never
+    /// narrowed, see [`SharedSubtreeIndex::subscribe`] — as subscribers
+    /// bring new constants, so the shared search stays as selective as the
+    /// tenants' own `eq` predicates. Empty unless lifted.
+    accepted: Vec<FxHashSet<String>>,
+}
+
+/// A pending advert: `slot` walked past this subtree form without finding a
+/// live entry. When a *different* slot later walks past an isomorphic form,
+/// the entry is created ("promoted") and the newcomer subscribes; the
+/// advertiser keeps its classic/leaf-shared execution — retro-subscribing it
+/// to a cold entry would lose the join state it has already accumulated.
+#[derive(Debug)]
+struct Advert {
+    slot: u32,
+    window: Duration,
+    form: LiftedPrimitive,
+}
+
+/// The shared subtree index: interns maximal common SJ-Tree subtrees (and,
+/// with lifting, constant-abstracted subtrees) so each shared subtree's
+/// anchored searches *and* join climb run once per event, with joined
+/// matches fanned out to every subscriber's parent node. The second layer of
+/// multi-query sharing, above the leaf-level [`SharedPrimitiveIndex`].
+///
+/// A lifted entry's search pattern has the tenants' `eq` constants
+/// abstracted away; searching it unconstrained would enumerate every
+/// embedding of the bare shape. Each lifted slot therefore carries an
+/// `InSet` predicate holding the **union of the subscribed constants**
+/// (widened in [`Self::subscribe`]), so the shared search rejects exactly
+/// the attribute values no tenant watches — as selective as the tenants' own
+/// predicates, while still running once for all of them.
+#[derive(Debug, Default)]
+pub(crate) struct SharedSubtreeIndex {
+    /// Lift `eq` constants to slots when canonicalizing (see
+    /// [`LiftedPrimitive`]); set from `EngineConfig::lifted_sharing`.
+    lift: bool,
+    /// Per-node match cap handed to entry matchers (the engine's
+    /// `max_matches_per_node`).
+    match_cap: Option<usize>,
+    /// Entry slots; freed entries are `None` and re-occupied via `free`.
+    entries: Vec<Option<SubtreeEntry>>,
+    free: Vec<u32>,
+    /// Fingerprint → entry indices (collisions chain; `LiftedPrimitive::
+    /// matches` decides).
+    by_hash: FxHashMap<u64, Vec<u32>>,
+    /// Query slot → entries it subscribes to.
+    per_slot: FxHashMap<u32, Vec<u32>>,
+    /// Fingerprint → adverts (purged when the advertising slot leaves).
+    adverts: FxHashMap<u64, Vec<Advert>>,
+    /// Entries with results in the current event.
+    touched: Vec<u32>,
+    /// Reusable buffer for entry matcher output.
+    complete_scratch: Vec<PartialMatch>,
+    /// Join-climb steps actually run inside entries.
+    joins_run: u64,
+    /// Join-climb steps saved vs. the per-query path.
+    joins_saved: u64,
+    /// Joined matches delivered through lifted constant dispatch.
+    lifted_hits: u64,
+}
+
+impl SharedSubtreeIndex {
+    /// Creates the index. `lift` enables constant lifting
+    /// (`EngineConfig::lifted_sharing`); `match_cap` is forwarded to entry
+    /// matchers.
+    pub fn new(lift: bool, match_cap: Option<usize>) -> Self {
+        SharedSubtreeIndex {
+            lift,
+            match_cap,
+            ..Default::default()
+        }
+    }
+
+    /// Walks `plan`'s SJ-Tree top-down from the root and subscribes `slot`
+    /// at every *maximal* node whose subtree form matches a live entry or a
+    /// pending advert from another slot (promotion). Nodes with no match are
+    /// advertised and the walk descends. Returns the covered nodes; leaves
+    /// below them must not be subscribed to the leaf-level index.
+    ///
+    /// Leaf nodes (including a single-primitive query's root) are coverable
+    /// only when lifting actually abstracts a constant — an unlifted leaf is
+    /// exactly what the leaf-level index already shares, cheaper.
+    pub fn cover_plan(
+        &mut self,
+        slot: u32,
+        plan: &QueryPlan,
+        graph: &DynamicGraph,
+    ) -> Vec<SjNodeId> {
+        debug_assert!(
+            !self.per_slot.contains_key(&slot),
+            "slot must be unsubscribed before re-subscribing"
+        );
+        let window = plan.query.window();
+        let mut covered = Vec::new();
+        let mut stack = vec![plan.shape.root()];
+        while let Some(node_id) = stack.pop() {
+            let node = plan.shape.node(node_id);
+            let descend = |stack: &mut Vec<SjNodeId>| {
+                if let Some((l, r)) = node.children {
+                    stack.push(l);
+                    stack.push(r);
+                }
+            };
+            let form = if node.children.is_some() || self.lift {
+                LiftedPrimitive::build(&plan.query, &node.edges, self.lift)
+            } else {
+                None
+            };
+            let Some(form) = form else {
+                descend(&mut stack);
+                continue;
+            };
+            if node.children.is_none() && !form.is_lifted() {
+                continue; // plain leaf: the leaf-level index's job
+            }
+            if let Some(idx) = self.find_entry(&form, window) {
+                self.subscribe(idx, slot, node_id, plan, form);
+                covered.push(node_id);
+                continue;
+            }
+            if self.has_matching_advert(&form, window, slot) {
+                if let Some(idx) = self.create_entry(&form, &plan.query, graph) {
+                    self.subscribe(idx, slot, node_id, plan, form);
+                    covered.push(node_id);
+                    continue;
+                }
+            }
+            self.adverts
+                .entry(form.canon().fingerprint())
+                .or_default()
+                .push(Advert { slot, window, form });
+            descend(&mut stack);
+        }
+        covered
+    }
+
+    /// Removes every subscription of `slot` and purges its adverts. Entries
+    /// left without subscribers are freed; adverts of *other* slots persist,
+    /// so a freed form can be promoted again later. A surviving entry keeps
+    /// the departing slot's constants in its `InSet` search filter — the
+    /// filter only ever widens while an entry is live (narrowing would
+    /// invalidate stored partials); a freed entry starts over, dropping the
+    /// stale constants.
+    pub fn unsubscribe_slot(&mut self, slot: u32) {
+        self.adverts.retain(|_, list| {
+            list.retain(|a| a.slot != slot);
+            !list.is_empty()
+        });
+        let Some(mut entry_indices) = self.per_slot.remove(&slot) else {
+            return;
+        };
+        entry_indices.sort_unstable();
+        entry_indices.dedup();
+        for idx in entry_indices {
+            let entry = self.entries[idx as usize]
+                .as_mut()
+                .expect("subscribed entry is live");
+            entry.subscribers.retain(|s| {
+                if s.slot == slot {
+                    if s.active {
+                        entry.active_subs -= 1;
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+            if entry.subscribers.is_empty() {
+                let fingerprint = entry.lifted.canon().fingerprint();
+                self.entries[idx as usize] = None;
+                self.free.push(idx);
+                if let Some(chain) = self.by_hash.get_mut(&fingerprint) {
+                    chain.retain(|&i| i != idx);
+                    if chain.is_empty() {
+                        self.by_hash.remove(&fingerprint);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Activates or deactivates every subscription of `slot` (pause/resume),
+    /// cutting the candidate-attribution intervals exactly like the leaf
+    /// index. Unlike the leaf index, an entry whose subscribers are all
+    /// paused **keeps being fed** (see [`Self::search_edge`]): a pause-gap
+    /// edge can anchor an *entry*-leaf partial that a post-resume match
+    /// joins against, and whether the subscriber observed that match is
+    /// decided per-leaf by its own gate partition — which can differ from
+    /// the entry's decomposition.
+    pub fn set_active(&mut self, slot: u32, active: bool) {
+        let Some(entry_indices) = self.per_slot.get(&slot) else {
+            return;
+        };
+        for &idx in entry_indices {
+            let entry = self.entries[idx as usize]
+                .as_mut()
+                .expect("subscribed entry is live");
+            let candidates = entry.candidates;
+            for sub in entry.subscribers.iter_mut().filter(|s| s.slot == slot) {
+                if sub.active == active {
+                    continue;
+                }
+                sub.active = active;
+                if active {
+                    entry.active_subs += 1;
+                    sub.cand_base = candidates;
+                } else {
+                    entry.active_subs -= 1;
+                    sub.cand_accum += candidates - sub.cand_base;
+                }
+            }
+        }
+    }
+
+    /// True while any entry is live. Unlike the leaf index's
+    /// `sharing_possible`, a single subscriber keeps the shared path active:
+    /// a covered query's private matcher never sees the covered leaves, so
+    /// its entry must keep being fed for as long as the subscription exists.
+    pub fn has_entries(&self) -> bool {
+        self.entries.iter().any(Option::is_some)
+    }
+
+    /// Local-search candidates attributable to `slot` across its subtree
+    /// subscriptions' active intervals (see
+    /// [`SharedPrimitiveIndex::slot_candidates`]).
+    pub fn slot_candidates(&self, slot: u32) -> u64 {
+        let Some(entry_indices) = self.per_slot.get(&slot) else {
+            return 0;
+        };
+        let mut entry_indices = entry_indices.clone();
+        entry_indices.sort_unstable();
+        entry_indices.dedup();
+        let mut total = 0u64;
+        for idx in entry_indices {
+            let entry = self.entries[idx as usize]
+                .as_ref()
+                .expect("subscribed entry is live");
+            for sub in entry.subscribers.iter().filter(|s| s.slot == slot) {
+                total += sub.cand_accum;
+                if sub.active {
+                    total += entry.candidates - sub.cand_base;
+                }
+            }
+        }
+        total
+    }
+
+    /// Feeds one incoming edge to every live entry: the entry's matcher runs
+    /// its anchored searches and join climb once, and complete
+    /// (subtree-root) matches accumulate — with their bound constant tokens
+    /// when lifted — until the engine fans them out.
+    ///
+    /// Entries are fed even while every subscriber is paused. Skipping such
+    /// edges would be unsound: a leaf embedding is always anchored at its
+    /// own max data edge, so a gap edge can anchor an *entry*-leaf partial
+    /// that a post-resume joined match needs — while anchoring no leaf of
+    /// the *subscriber's* partition, so [`SubtreeSubscriber::admits`] (which
+    /// gates on the subscriber's partition, not the entry's) rightly admits
+    /// the match.
+    pub fn search_edge(&mut self, graph: &DynamicGraph, edge: &Edge) {
+        self.touched.clear();
+        let mut complete = std::mem::take(&mut self.complete_scratch);
+        for idx in 0..self.entries.len() {
+            let Some(entry) = self.entries[idx].as_mut() else {
+                continue;
+            };
+            complete.clear();
+            entry.results.clear();
+            entry.result_consts.clear();
+            entry.result_hashes.clear();
+            entry.matcher.process_edge(graph, edge, &mut complete);
+            let m = entry.matcher.metrics();
+            let joins_delta = m.joins_attempted - entry.joins_seen;
+            entry.joins_seen = m.joins_attempted;
+            entry.candidates = m.local_search_candidates;
+            self.joins_run += joins_delta;
+            self.joins_saved += joins_delta * (entry.active_subs as u64).saturating_sub(1);
+            if complete.is_empty() {
+                continue;
+            }
+            let lifted = entry.lifted.is_lifted();
+            for joined in complete.drain(..) {
+                if lifted {
+                    match bound_constants(graph, &entry.lifted, &joined) {
+                        Some(consts) => {
+                            entry.result_hashes.push(tokens_hash(&consts));
+                            entry.result_consts.push(Some(consts));
+                        }
+                        None => {
+                            entry.result_hashes.push(0);
+                            entry.result_consts.push(None);
+                        }
+                    }
+                }
+                entry.results.push(joined);
+            }
+            self.touched.push(idx as u32);
+        }
+        self.complete_scratch = complete;
+    }
+
+    /// Appends one [`Delivery`] per (touched entry with results, active
+    /// subscriber) pair — for lifted entries only subscribers whose constant
+    /// hash appears among the results (the exact token comparison happens at
+    /// delivery). Tuples sort by (slot, node) for deterministic order.
+    pub fn collect_deliveries(&self, out: &mut Vec<Delivery>) {
+        for &idx in &self.touched {
+            let entry = self.entries[idx as usize]
+                .as_ref()
+                .expect("touched entries are live");
+            if entry.results.is_empty() {
+                continue;
+            }
+            let lifted = entry.lifted.is_lifted();
+            for (si, sub) in entry.subscribers.iter().enumerate() {
+                if !sub.active {
+                    continue;
+                }
+                if lifted && !entry.result_hashes.contains(&sub.const_hash) {
+                    continue;
+                }
+                out.push((sub.slot, sub.node.0 as u32, idx, si as u32));
+            }
+        }
+    }
+
+    /// Resolves one [`Delivery`]: the entry's joined matches, the per-match
+    /// bound constants (empty slice when the entry is not lifted), the
+    /// receiving subscription, and whether constant dispatch applies.
+    pub fn delivery(
+        &self,
+        d: &Delivery,
+    ) -> (
+        &[PartialMatch],
+        &[Option<Vec<String>>],
+        &SubtreeSubscriber,
+        bool,
+    ) {
+        let entry = self.entries[d.2 as usize]
+            .as_ref()
+            .expect("deliveries reference live entries");
+        (
+            &entry.results,
+            &entry.result_consts,
+            &entry.subscribers[d.3 as usize],
+            entry.lifted.is_lifted(),
+        )
+    }
+
+    /// Accounts joined matches delivered through lifted constant dispatch.
+    pub fn add_lifted_hits(&mut self, n: u64) {
+        self.lifted_hits += n;
+    }
+
+    /// Expires partial matches inside every entry's matcher.
+    pub fn prune(&mut self, now: Timestamp) {
+        for entry in self.entries.iter_mut().flatten() {
+            entry.matcher.prune(now);
+        }
+    }
+
+    /// Engine-level subtree counters (the subtree-specific fields of
+    /// [`EngineMetrics`]; the engine merges them with the leaf index's).
+    pub fn metrics(&self) -> EngineMetrics {
+        let mut distinct = 0u64;
+        let mut subscribed = 0u64;
+        for entry in self.entries.iter().flatten() {
+            distinct += 1;
+            subscribed += entry.subscribers.len() as u64;
+        }
+        EngineMetrics {
+            distinct_subtrees: distinct,
+            subscribed_subtrees: subscribed,
+            subtree_joins_run: self.joins_run,
+            subtree_joins_saved: self.joins_saved,
+            lifted_dispatch_hits: self.lifted_hits,
+            ..Default::default()
+        }
+    }
+
+    /// Finds a live entry isomorphic to `form` (same lifted canonical form
+    /// **and** window), full equality checked behind the fingerprint.
+    fn find_entry(&self, form: &LiftedPrimitive, window: Duration) -> Option<u32> {
+        let chain = self.by_hash.get(&form.canon().fingerprint())?;
+        for &idx in chain {
+            let entry = self.entries[idx as usize]
+                .as_ref()
+                .expect("hash chains only reference live entries");
+            if entry.matcher.window() == window && entry.lifted.matches(form) {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// True when another slot has advertised an isomorphic form with the
+    /// same window — the promotion trigger. The advert stays in place: if
+    /// the promoted entry is later freed, the advertiser's interest still
+    /// stands.
+    fn has_matching_advert(&self, form: &LiftedPrimitive, window: Duration, slot: u32) -> bool {
+        self.adverts
+            .get(&form.canon().fingerprint())
+            .is_some_and(|list| {
+                list.iter()
+                    .any(|a| a.slot != slot && a.window == window && a.form.matches(form))
+            })
+    }
+
+    /// Creates a cold entry for `form`: plans the canonical search pattern
+    /// and builds the entry's own matcher. `None` when the pattern cannot be
+    /// planned (the form is then advertised and the walk descends).
+    fn create_entry(
+        &mut self,
+        form: &LiftedPrimitive,
+        query: &QueryGraph,
+        graph: &DynamicGraph,
+    ) -> Option<u32> {
+        let pattern = form.search_pattern(query);
+        let plan = Planner::new().plan(pattern).ok()?;
+        let matcher = SjTreeMatcher::new(plan, graph).with_match_cap(self.match_cap);
+        let entry = SubtreeEntry {
+            lifted: form.clone(),
+            matcher,
+            subscribers: Vec::new(),
+            active_subs: 0,
+            candidates: 0,
+            joins_seen: 0,
+            results: Vec::new(),
+            result_consts: Vec::new(),
+            result_hashes: Vec::new(),
+            accepted: vec![FxHashSet::default(); form.slots().len()],
+        };
+        let fingerprint = form.canon().fingerprint();
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.entries[i as usize] = Some(entry);
+                i
+            }
+            None => {
+                self.entries.push(Some(entry));
+                (self.entries.len() - 1) as u32
+            }
+        };
+        self.by_hash.entry(fingerprint).or_default().push(idx);
+        Some(idx)
+    }
+
+    /// Subscribes `slot` at `node_id` to entry `idx`, precomputing the remap
+    /// permutations, the constant tokens, and the subscriber's own leaf
+    /// partition (canonical edge positions) for observation gating.
+    fn subscribe(
+        &mut self,
+        idx: u32,
+        slot: u32,
+        node_id: SjNodeId,
+        plan: &QueryPlan,
+        form: LiftedPrimitive,
+    ) {
+        let canon_pos: FxHashMap<QueryEdgeId, u32> = form
+            .canon()
+            .edge_order()
+            .iter()
+            .enumerate()
+            .map(|(i, &qe)| (qe, i as u32))
+            .collect();
+        let mut gate_partition = Vec::new();
+        let mut stack = vec![node_id];
+        while let Some(n) = stack.pop() {
+            let nd = plan.shape.node(n);
+            match nd.children {
+                Some((a, b)) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                None => gate_partition.push(
+                    nd.edges
+                        .iter()
+                        .map(|qe| canon_pos[qe])
+                        .collect::<Vec<u32>>(),
+                ),
+            }
+        }
+        let entry = self.entries[idx as usize]
+            .as_mut()
+            .expect("subscribe targets a live entry");
+        // Widen the entry's per-slot constant filter with this subscriber's
+        // tokens. The filter only ever grows while the entry is live (a
+        // leaving subscriber does not retract its constants), so partials
+        // stored under the old filter remain a valid subset of the new one.
+        // An embedding dropped while its constant was unwatched can only be
+        // needed by a later subscriber of that constant, whose observation
+        // gate rejects matches anchored before it subscribed — the same
+        // contract that makes cold-entry promotion exact.
+        for (j, (pos, key)) in form.slots().iter().enumerate() {
+            let tok = &form.constants()[j];
+            if entry.accepted[j].insert(tok.clone()) {
+                entry.matcher.query_mut().extend_in_set(
+                    QueryEdgeId(*pos as usize),
+                    key,
+                    &token_values(tok),
+                );
+            }
+        }
+        entry.subscribers.push(SubtreeSubscriber {
+            slot,
+            node: node_id,
+            vertex_map: form.canon().vertex_order().to_vec(),
+            edge_map: form.canon().edge_order().to_vec(),
+            vertex_count: plan.query.vertex_count(),
+            const_hash: tokens_hash(form.constants()),
+            constants: form.constants().to_vec(),
+            gate_partition,
+            active: true,
+            cand_base: entry.candidates,
+            cand_accum: 0,
+        });
+        entry.active_subs += 1;
+        self.per_slot.entry(slot).or_default().push(idx);
+    }
+}
+
+/// Reads the constant tokens a joined match actually bound at the entry's
+/// slot positions: for each (canonical edge position, key) slot, the data
+/// edge's attribute rendered through
+/// [`streamworks_query::eq_constant_token`] (so integral floats dispatch to
+/// integer-registered tenants exactly as `Predicate::matches` would accept
+/// them). `None` when a slot attribute is missing — no tenant's `eq`
+/// predicate can hold, so the match is dispatched nowhere.
+fn bound_constants(
+    graph: &DynamicGraph,
+    lifted: &LiftedPrimitive,
+    m: &PartialMatch,
+) -> Option<Vec<String>> {
+    let mut out = Vec::with_capacity(lifted.slots().len());
+    for (pos, key) in lifted.slots() {
+        let de = m
+            .edges
+            .iter()
+            .find(|(qe, _)| qe.0 == *pos as usize)
+            .map(|&(_, d)| d)?;
+        let edge = graph.edge(de)?;
+        out.push(eq_constant_token(edge.attrs.get(key)?));
+    }
+    Some(out)
+}
+
+/// Decodes an `eq` constant token (see
+/// [`streamworks_query::eq_constant_token`]) back into the attribute values
+/// a tenant's `eq` predicate accepts, for the entry's `InSet` search filter.
+/// An `i` token covers both the integer and (when exactly representable) the
+/// float spelling, mirroring `Eq`'s numeric coercion. Over-approximation is
+/// safe — the filter is a prefilter, exact constant comparison happens at
+/// dispatch — but under-approximation would drop embeddings a tenant is
+/// owed.
+fn token_values(tok: &str) -> Vec<AttrValue> {
+    if let Some(rest) = tok.strip_prefix('i') {
+        let Ok(n) = rest.parse::<i64>() else {
+            return Vec::new();
+        };
+        let mut vals = vec![AttrValue::Int(n)];
+        let f = n as f64;
+        if f as i64 == n {
+            vals.push(AttrValue::Float(f));
+        }
+        return vals;
+    }
+    if let Some(rest) = tok.strip_prefix('f') {
+        let Ok(bits) = u64::from_str_radix(rest, 16) else {
+            return Vec::new();
+        };
+        return vec![AttrValue::Float(f64::from_bits(bits))];
+    }
+    if let Some(rest) = tok.strip_prefix('s') {
+        return match rest.split_once('#') {
+            Some((_, text)) => vec![AttrValue::Str(text.to_owned())],
+            None => Vec::new(),
+        };
+    }
+    if let Some(rest) = tok.strip_prefix('b') {
+        return vec![AttrValue::Bool(rest == "1")];
+    }
+    Vec::new()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -501,8 +1253,10 @@ mod tests {
         let mut index = SharedPrimitiveIndex::default();
         // Two queries × two isomorphic single-edge leaves each: one entry,
         // four subscriptions.
-        assert!(index.subscribe_plan(0, &pair_plan("q0", "a1", "a2"), &graph));
-        assert!(index.subscribe_plan(1, &pair_plan("q1", "x", "y"), &graph));
+        let p0 = pair_plan("q0", "a1", "a2");
+        let p1 = pair_plan("q1", "x", "y");
+        assert!(index.subscribe_plan(0, &p0, p0.shape.leaves(), &graph));
+        assert!(index.subscribe_plan(1, &p1, p1.shape.leaves(), &graph));
         let m = index.metrics();
         assert_eq!(m.distinct_primitives, 1);
         assert_eq!(m.subscribed_primitives, 4);
@@ -522,7 +1276,8 @@ mod tests {
     fn different_windows_do_not_share() {
         let graph = DynamicGraph::unbounded();
         let mut index = SharedPrimitiveIndex::default();
-        index.subscribe_plan(0, &pair_plan("q0", "a1", "a2"), &graph);
+        let p0 = pair_plan("q0", "a1", "a2");
+        index.subscribe_plan(0, &p0, p0.shape.leaves(), &graph);
         let q = QueryGraphBuilder::new("q1")
             .window(Duration::from_secs(30))
             .vertex("a1", "Article")
@@ -540,7 +1295,7 @@ mod tests {
                 },
             )
             .unwrap();
-        index.subscribe_plan(1, &plan, &graph);
+        index.subscribe_plan(1, &plan, plan.shape.leaves(), &graph);
         // Same structure, different window: two distinct entries.
         assert_eq!(index.metrics().distinct_primitives, 2);
     }
@@ -589,8 +1344,8 @@ mod tests {
         let mut index = SharedPrimitiveIndex::default();
         let plan0 = pair_plan("q0", "a1", "a2");
         let plan1 = pair_plan("q1", "x", "y");
-        index.subscribe_plan(0, &plan0, &graph);
-        index.subscribe_plan(1, &plan1, &graph);
+        index.subscribe_plan(0, &plan0, plan0.shape.leaves(), &graph);
+        index.subscribe_plan(1, &plan1, plan1.shape.leaves(), &graph);
 
         let r = graph.ingest(&EdgeEvent::new(
             "art",
@@ -690,8 +1445,8 @@ mod tests {
 
         let mut graph = DynamicGraph::unbounded();
         let mut index = SharedPrimitiveIndex::default();
-        assert!(index.subscribe_plan(0, &plan, &graph));
-        assert!(index.subscribe_plan(1, &single_plan, &graph));
+        assert!(index.subscribe_plan(0, &plan, plan.shape.leaves(), &graph));
+        assert!(index.subscribe_plan(1, &single_plan, single_plan.shape.leaves(), &graph));
         assert_eq!(index.metrics().distinct_primitives, 1);
         assert_eq!(index.metrics().subscribed_primitives, 3);
 
@@ -725,12 +1480,368 @@ mod tests {
         );
     }
 
+    /// Like [`pair_plan`] but with a lifted-coverable `eq` constant on both
+    /// mention edges.
+    fn labelled_pair_plan(name: &str, label: &str) -> QueryPlan {
+        use streamworks_query::Predicate;
+        let q = QueryGraphBuilder::new(name)
+            .window(Duration::from_hours(1))
+            .vertex("a1", "Article")
+            .vertex("a2", "Article")
+            .vertex("k", "Keyword")
+            .edge_with("a1", "mentions", "k", vec![Predicate::eq("label", label)])
+            .edge_with("a2", "mentions", "k", vec![Predicate::eq("label", label)])
+            .build()
+            .unwrap();
+        Planner::new()
+            .plan_with(
+                q,
+                &SelectivityOrdered {
+                    max_primitive_size: 1,
+                },
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn subtree_advert_promotion_and_refcount_lifecycle() {
+        let graph = DynamicGraph::unbounded();
+        let mut index = SharedSubtreeIndex::new(false, None);
+        let plans: Vec<QueryPlan> = (0..4)
+            .map(|i| pair_plan(&format!("q{i}"), "a1", "a2"))
+            .collect();
+
+        // First query of a form only advertises: no entry, nothing covered.
+        assert!(index.cover_plan(0, &plans[0], &graph).is_empty());
+        assert_eq!(index.metrics().distinct_subtrees, 0);
+        assert!(!index.has_entries());
+
+        // The second query promotes the advert into a cold entry and
+        // subscribes at its root; the advertiser stays on its classic path.
+        let covered = index.cover_plan(1, &plans[1], &graph);
+        assert_eq!(covered, vec![plans[1].shape.root()]);
+        let m = index.metrics();
+        assert_eq!(m.distinct_subtrees, 1);
+        assert_eq!(m.subscribed_subtrees, 1);
+
+        // A third query joins the live entry directly.
+        assert_eq!(index.cover_plan(2, &plans[2], &graph).len(), 1);
+        assert_eq!(index.metrics().subscribed_subtrees, 2);
+
+        // The last unsubscription frees the entry, but the advertiser's
+        // interest persists: a newcomer re-promotes the same form.
+        index.unsubscribe_slot(1);
+        index.unsubscribe_slot(2);
+        assert!(!index.has_entries());
+        assert_eq!(index.cover_plan(3, &plans[3], &graph).len(), 1);
+        assert_eq!(index.metrics().distinct_subtrees, 1);
+
+        // Once the advertiser leaves too, its advert is purged: a fresh
+        // slot starts the advertise-then-promote cycle over.
+        index.unsubscribe_slot(3);
+        index.unsubscribe_slot(0);
+        assert!(index.cover_plan(0, &plans[0], &graph).is_empty());
+    }
+
+    #[test]
+    fn subtree_entries_with_different_windows_stay_separate() {
+        let graph = DynamicGraph::unbounded();
+        let mut index = SharedSubtreeIndex::new(false, None);
+        let p0 = pair_plan("q0", "a1", "a2");
+        let p1 = pair_plan("q1", "x", "y");
+        assert!(index.cover_plan(0, &p0, &graph).is_empty());
+        assert_eq!(index.cover_plan(1, &p1, &graph).len(), 1);
+        let q = QueryGraphBuilder::new("q2")
+            .window(Duration::from_secs(30))
+            .vertex("a1", "Article")
+            .vertex("a2", "Article")
+            .vertex("k", "Keyword")
+            .edge("a1", "mentions", "k")
+            .edge("a2", "mentions", "k")
+            .build()
+            .unwrap();
+        let p2 = Planner::new()
+            .plan_with(
+                q,
+                &SelectivityOrdered {
+                    max_primitive_size: 1,
+                },
+            )
+            .unwrap();
+        // Same structure, different window: the live entry does not match,
+        // and the pending adverts (both 1h) do not promote it either.
+        assert!(index.cover_plan(2, &p2, &graph).is_empty());
+        assert_eq!(index.metrics().distinct_subtrees, 1);
+    }
+
+    #[test]
+    fn plain_leaves_are_left_to_the_leaf_index_but_lifted_ones_are_not() {
+        let graph = DynamicGraph::unbounded();
+        // Single-primitive queries (root == leaf). Unlifted: never covered,
+        // even after two walk-bys — that is the leaf index's job.
+        let mut plain = SharedSubtreeIndex::new(true, None);
+        let q = |name: &str| {
+            Planner::new()
+                .plan(
+                    QueryGraphBuilder::new(name)
+                        .window(Duration::from_hours(1))
+                        .vertex("a", "Article")
+                        .vertex("k", "Keyword")
+                        .edge("a", "mentions", "k")
+                        .build()
+                        .unwrap(),
+                )
+                .unwrap()
+        };
+        assert!(plain.cover_plan(0, &q("q0"), &graph).is_empty());
+        assert!(plain.cover_plan(1, &q("q1"), &graph).is_empty());
+        assert!(!plain.has_entries());
+
+        // With a lifted constant the same single-leaf shape is coverable:
+        // constant dispatch is something the leaf index cannot do.
+        let lifted = |name: &str, label: &str| {
+            use streamworks_query::Predicate;
+            Planner::new()
+                .plan(
+                    QueryGraphBuilder::new(name)
+                        .window(Duration::from_hours(1))
+                        .vertex("a", "Article")
+                        .vertex("k", "Keyword")
+                        .edge_with("a", "mentions", "k", vec![Predicate::eq("label", label)])
+                        .build()
+                        .unwrap(),
+                )
+                .unwrap()
+        };
+        let mut index = SharedSubtreeIndex::new(true, None);
+        assert!(index
+            .cover_plan(0, &lifted("t0", "politics"), &graph)
+            .is_empty());
+        assert_eq!(
+            index.cover_plan(1, &lifted("t1", "sports"), &graph).len(),
+            1
+        );
+        assert_eq!(index.metrics().distinct_subtrees, 1);
+    }
+
+    #[test]
+    fn lifted_subtree_dispatches_by_bound_constant() {
+        let mut graph = DynamicGraph::unbounded();
+        let mut index = SharedSubtreeIndex::new(true, None);
+        // Three constant-variant tenants: t0 advertises, t1 promotes, t2
+        // joins — one entry, two subscribers (politics and sports).
+        assert!(index
+            .cover_plan(0, &labelled_pair_plan("t0", "culture"), &graph)
+            .is_empty());
+        let politics = labelled_pair_plan("t1", "politics");
+        let sports = labelled_pair_plan("t2", "sports");
+        assert_eq!(index.cover_plan(1, &politics, &graph).len(), 1);
+        assert_eq!(index.cover_plan(2, &sports, &graph).len(), 1);
+        assert_eq!(index.metrics().distinct_subtrees, 1);
+        assert_eq!(index.metrics().subscribed_subtrees, 2);
+
+        // Two politics-labelled mentions of one keyword complete the pair
+        // inside the entry's own matcher.
+        for (i, src) in ["art1", "art2"].iter().enumerate() {
+            let r = graph.ingest(
+                &EdgeEvent::new(
+                    *src,
+                    "Article",
+                    "election",
+                    "Keyword",
+                    "mentions",
+                    Timestamp::from_secs(i as i64),
+                )
+                .with_attr("label", "politics"),
+            );
+            let edge = graph.edge(r.edge).unwrap().clone();
+            index.search_edge(&graph, &edge);
+        }
+        let mut deliveries = Vec::new();
+        index.collect_deliveries(&mut deliveries);
+        // The constant-hash prefilter already routes the joined match to the
+        // politics tenant only.
+        assert_eq!(deliveries.len(), 1, "{deliveries:?}");
+        let (results, consts, sub, lifted) = index.delivery(&deliveries[0]);
+        assert!(lifted);
+        assert_eq!(sub.slot, 1);
+        // The symmetric pair admits both article assignments, exactly like a
+        // private matcher would.
+        assert_eq!(results.len(), 2);
+        for c in consts {
+            assert_eq!(
+                c.as_deref().unwrap(),
+                sub.constants(),
+                "the bound constants equal the tenant's registered tokens"
+            );
+        }
+        // Remap lands the joined pair in the subscriber's own space: two
+        // covered edges, three bound vertices.
+        let remapped = sub.remap(&results[0]);
+        assert_eq!(remapped.edge_count(), 2);
+        assert_eq!(remapped.binding.bound_count(), 3);
+    }
+
+    #[test]
+    fn token_values_cover_every_eq_accepted_spelling() {
+        // Ints cover both numeric spellings `Eq` coerces across.
+        assert_eq!(
+            token_values("i3"),
+            vec![AttrValue::Int(3), AttrValue::Float(3.0)]
+        );
+        // Non-integral floats round-trip through their bit pattern.
+        let bits = 0.5f64.to_bits();
+        assert_eq!(
+            token_values(&format!("f{bits:016x}")),
+            vec![AttrValue::Float(0.5)]
+        );
+        assert_eq!(
+            token_values("s8#politics"),
+            vec![AttrValue::Str("politics".into())]
+        );
+        assert_eq!(token_values("b1"), vec![AttrValue::Bool(true)]);
+        // Malformed tokens decode to nothing (the filter then rejects, like
+        // the unsatisfiable `eq` it mirrors).
+        assert!(token_values("x?").is_empty());
+    }
+
+    #[test]
+    fn lifted_entry_search_filters_unsubscribed_constants() {
+        let mut graph = DynamicGraph::unbounded();
+        let mut index = SharedSubtreeIndex::new(true, None);
+        assert!(index
+            .cover_plan(0, &labelled_pair_plan("t0", "politics"), &graph)
+            .is_empty());
+        assert_eq!(
+            index
+                .cover_plan(1, &labelled_pair_plan("t1", "sports"), &graph)
+                .len(),
+            1
+        );
+        assert_eq!(
+            index
+                .cover_plan(2, &labelled_pair_plan("t2", "culture"), &graph)
+                .len(),
+            1
+        );
+
+        let mention = |src: &str, label: &str, t: i64| {
+            EdgeEvent::new(src, "Article", "fair", "Keyword", "mentions", {
+                Timestamp::from_secs(t)
+            })
+            .with_attr("label", label)
+        };
+        let feed = |graph: &mut DynamicGraph, index: &mut SharedSubtreeIndex, ev| {
+            let r = graph.ingest(&ev);
+            let edge = graph.edge(r.edge).unwrap().clone();
+            index.search_edge(graph, &edge);
+        };
+
+        // "weather" is watched by no subscriber: the InSet filter rejects
+        // the mentions at the anchor check, so the entry enumerates no
+        // embeddings at all for them.
+        feed(&mut graph, &mut index, mention("w1", "weather", 0));
+        feed(&mut graph, &mut index, mention("w2", "weather", 1));
+        let mut deliveries = Vec::new();
+        index.collect_deliveries(&mut deliveries);
+        assert!(deliveries.is_empty());
+        let entry = index.entries[0].as_ref().unwrap();
+        assert_eq!(entry.matcher.metrics().primitive_matches, 0);
+
+        // A watched constant still flows end to end.
+        feed(&mut graph, &mut index, mention("c1", "culture", 2));
+        feed(&mut graph, &mut index, mention("c2", "culture", 3));
+        index.collect_deliveries(&mut deliveries);
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(index.delivery(&deliveries[0]).2.slot, 2);
+
+        // A late subscriber widens the filter from its subscription on. The
+        // next weather mention completes pairs against the earlier w1/w2
+        // edges re-read from the graph — exactly what the tenant's own
+        // just-registered matcher would find; the engine's observation gate
+        // (not the index) is what filters pre-subscription anchors.
+        assert_eq!(
+            index
+                .cover_plan(3, &labelled_pair_plan("t3", "weather"), &graph)
+                .len(),
+            1
+        );
+        feed(&mut graph, &mut index, mention("w3", "weather", 4));
+        deliveries.clear();
+        index.collect_deliveries(&mut deliveries);
+        assert_eq!(deliveries.len(), 1, "{deliveries:?}");
+        let (results, consts, sub, _) = index.delivery(&deliveries[0]);
+        assert_eq!(sub.slot, 3);
+        // Partners w1, w2 (weather) and c1, c2 (culture) each pair with w3
+        // in both edge assignments; only the all-weather tuples carry t3's
+        // constants and survive its dispatch.
+        assert_eq!(results.len(), 8);
+        let weather: Vec<_> = consts
+            .iter()
+            .filter(|c| c.as_deref() == Some(sub.constants()))
+            .collect();
+        assert_eq!(weather.len(), 4);
+    }
+
+    #[test]
+    fn admits_gates_each_subscriber_leaf_on_its_own_anchor() {
+        use smallvec::SmallVec;
+        use streamworks_graph::EdgeId;
+        // A synthetic subscriber whose partition splits three canonical
+        // edges into leaves {0,1} and {2}; leaf anchors are the max data
+        // edge ids: 50 and 20.
+        let sub = SubtreeSubscriber {
+            slot: 0,
+            node: SjNodeId(0),
+            vertex_map: Vec::new(),
+            edge_map: Vec::new(),
+            vertex_count: 0,
+            constants: Vec::new(),
+            const_hash: 0,
+            gate_partition: vec![vec![0, 1], vec![2]],
+            active: true,
+            cand_base: 0,
+            cand_accum: 0,
+        };
+        let mut edges: SmallVec<(QueryEdgeId, EdgeId), 6> = SmallVec::new();
+        edges.push((QueryEdgeId(0), EdgeId(10)));
+        edges.push((QueryEdgeId(1), EdgeId(50)));
+        edges.push((QueryEdgeId(2), EdgeId(20)));
+        let m = PartialMatch {
+            binding: Binding::new(0),
+            edges,
+            earliest: Timestamp::from_secs(0),
+            latest: Timestamp::from_secs(0),
+        };
+        // Observed from edge 0 onward: both anchors inside.
+        assert!(sub.admits(&m, &[0]));
+        // Interval closed at 30: anchor 50 falls outside.
+        assert!(!sub.admits(&m, &[0, 30]));
+        // Pause gap [30, 40): anchor 50 lands in the reopened interval,
+        // anchor 20 in the first — admitted. Note edge 10 sits in the gap:
+        // non-anchor edges need not be observed.
+        assert!(sub.admits(&m, &[0, 30, 40]));
+        // Late registration at 25: anchor 20 was never observed.
+        assert!(!sub.admits(&m, &[25]));
+        // A partition leaf with no covered edge never admits.
+        let missing = SubtreeSubscriber {
+            gate_partition: vec![vec![0], vec![7]],
+            constants: Vec::new(),
+            vertex_map: Vec::new(),
+            edge_map: Vec::new(),
+            ..sub
+        };
+        assert!(!missing.admits(&m, &[0]));
+    }
+
     #[test]
     fn paused_subscribers_drop_out_of_search_and_fanout() {
         let mut graph = DynamicGraph::unbounded();
         let mut index = SharedPrimitiveIndex::default();
-        index.subscribe_plan(0, &pair_plan_wide("q0", "a1", "a2"), &graph);
-        index.subscribe_plan(1, &pair_plan_wide("q1", "x", "y"), &graph);
+        let p0 = pair_plan_wide("q0", "a1", "a2");
+        let p1 = pair_plan_wide("q1", "x", "y");
+        index.subscribe_plan(0, &p0, p0.shape.leaves(), &graph);
+        index.subscribe_plan(1, &p1, p1.shape.leaves(), &graph);
         index.set_active(0, false);
 
         let feed = |graph: &mut DynamicGraph,

@@ -27,7 +27,7 @@ use crate::local_search::{find_primitive_matches_anchored, LocalSearchStats};
 use crate::match_store::SharedJoinStore;
 use crate::metrics::QueryMetrics;
 use streamworks_graph::{Duration, DynamicGraph, Edge, Timestamp};
-use streamworks_query::{QueryPlan, SjNodeId};
+use streamworks_query::{QueryGraph, QueryPlan, SjNodeId};
 
 /// Incremental matcher for one query plan.
 #[derive(Debug)]
@@ -110,6 +110,16 @@ impl SjTreeMatcher {
     /// The plan this matcher executes.
     pub fn plan(&self) -> &QueryPlan {
         &self.plan
+    }
+
+    /// Mutable access to the executed pattern, for predicate refinement
+    /// only: predicate-lifted shared entries widen their per-slot `InSet`
+    /// constant filters as subscribers join. The graph structure, the
+    /// decomposition, and the edge/vertex *types* must not change after
+    /// planning — the join stores, climb routes, and anchor index are built
+    /// from them and are not rebuilt.
+    pub fn query_mut(&mut self) -> &mut QueryGraph {
+        &mut self.plan.query
     }
 
     /// The query window `tW`.
@@ -245,6 +255,22 @@ impl SjTreeMatcher {
     /// routes embeddings to worker threads instead).
     pub(crate) fn note_shared_embedding(&mut self) {
         self.metrics.primitive_matches += 1;
+    }
+
+    /// Feeds one *joined* match produced by a shared subtree entry (already
+    /// remapped into this query's vertex/edge space) into the join
+    /// propagation at `node` — an internal node or the root, the point where
+    /// this query subscribed to the entry. Unlike [`Self::absorb_embedding`]
+    /// this does **not** count a primitive match: the constituent local
+    /// searches and the joins below `node` ran once inside the shared entry,
+    /// not here. Complete matches are appended to `out`.
+    pub(crate) fn absorb_joined(
+        &mut self,
+        node: SjNodeId,
+        m: PartialMatch,
+        out: &mut Vec<PartialMatch>,
+    ) {
+        self.insert_and_join(node, m, out);
     }
 
     /// Inserts a match at a node and propagates joins towards the root —

@@ -72,6 +72,29 @@ fn predicate_tokens(preds: &[crate::predicate::Predicate]) -> Vec<String> {
     tokens
 }
 
+/// Edge-predicate tokens, optionally *lifted*: with `lift` set, an equality
+/// comparison renders as `lifted_eq(key)` — the constant is abstracted to a
+/// slot, so two edges that differ only in the compared literal produce equal
+/// token lists. The number of lifted tokens still encodes the constant
+/// *arity*: an edge with two `eq` predicates can never merge with an edge
+/// carrying one.
+fn edge_predicate_tokens(preds: &[crate::predicate::Predicate], lift: bool) -> Vec<String> {
+    use crate::predicate::{CompareOp, Predicate};
+    let mut tokens: Vec<String> = preds
+        .iter()
+        .map(|p| match p {
+            Predicate::Compare {
+                key,
+                op: CompareOp::Eq,
+                ..
+            } if lift => format!("lifted_eq({}#{key})", key.len()),
+            _ => p.canonical_token(),
+        })
+        .collect();
+    tokens.sort_unstable();
+    tokens
+}
+
 impl CanonicalPrimitive {
     /// Canonicalizes the primitive formed by `edges` within `query`.
     ///
@@ -80,6 +103,18 @@ impl CanonicalPrimitive {
     /// primitive is excluded from sharing rather than risking an unsound
     /// canonical form.
     pub fn build(query: &QueryGraph, edges: &[QueryEdgeId]) -> Option<CanonicalPrimitive> {
+        CanonicalPrimitive::build_with(query, edges, false)
+    }
+
+    /// [`Self::build`] with edge `eq` constants optionally abstracted to
+    /// slots (`lift`, see [`LiftedPrimitive`]): the canonical form is then
+    /// invariant under changing the compared literals, not just under vertex
+    /// renaming.
+    fn build_with(
+        query: &QueryGraph,
+        edges: &[QueryEdgeId],
+        lift: bool,
+    ) -> Option<CanonicalPrimitive> {
         if edges.is_empty() {
             return None;
         }
@@ -116,7 +151,7 @@ impl CanonicalPrimitive {
                             "{}:{}:{:?}",
                             if qe.src == v { "out" } else { "in" },
                             qe.etype.as_deref().unwrap_or("*"),
-                            predicate_tokens(&qe.predicates)
+                            edge_predicate_tokens(&qe.predicates, lift)
                         )
                     })
                     .collect();
@@ -177,7 +212,7 @@ impl CanonicalPrimitive {
                             canon_of[local_of(qe.src) as usize],
                             canon_of[local_of(qe.dst) as usize],
                             qe.etype.clone(),
-                            predicate_tokens(&qe.predicates),
+                            edge_predicate_tokens(&qe.predicates, lift),
                         ),
                         ei,
                     )
@@ -304,6 +339,135 @@ impl CanonicalPrimitive {
     }
 }
 
+/// A canonical form with edge `eq` constants abstracted to *slots*:
+/// predicate-lifted sharing.
+///
+/// Registries built from one labelled template (`label = "politics"`,
+/// `label = "sports"`, ...) contain primitives and subtrees that are
+/// isomorphic *except for the compared literal*. Lifting canonicalizes them
+/// with every edge `Predicate::Compare { op: Eq }` rendered as a
+/// constant-free `lifted_eq(key)` token, so all constant-variants intern to
+/// **one** shared entry; the search then runs once against the lifted
+/// pattern ([`Self::search_pattern`], the `eq` predicates removed), and each
+/// embedding is dispatched to exactly the tenants whose registered constants
+/// ([`Self::constants`]) equal the values the data edges actually bound at
+/// the slot positions ([`Self::slots`]) — an O(1) hash per embedding instead
+/// of one local search per distinct constant.
+///
+/// Constant *arity* stays part of the form (each lifted predicate
+/// contributes one token), and the exact isomorphism check behind the
+/// fingerprint is inherited from [`CanonicalPrimitive`]: same shape with a
+/// different number of `eq` predicates can never merge. Vertex predicates
+/// and non-`eq` edge predicates are never lifted.
+#[derive(Debug, Clone)]
+pub struct LiftedPrimitive {
+    /// Canonical form over lifted edge-predicate tokens.
+    canon: CanonicalPrimitive,
+    /// Constant slots in canonical order: (canonical edge position, key).
+    slots: Vec<(u32, String)>,
+    /// This query's constant tokens ([`crate::predicate::eq_constant_token`])
+    /// in slot order.
+    constants: Vec<String>,
+}
+
+impl LiftedPrimitive {
+    /// Canonicalizes the primitive formed by `edges` within `query`, lifting
+    /// edge `eq` constants when `lift` is set (with `lift` off this is a
+    /// plain [`CanonicalPrimitive::build`] wrapped with an empty slot table —
+    /// the exact-constant fallback the engine uses when lifted sharing is
+    /// disabled). Returns `None` exactly when [`CanonicalPrimitive::build`]
+    /// would.
+    pub fn build(query: &QueryGraph, edges: &[QueryEdgeId], lift: bool) -> Option<LiftedPrimitive> {
+        use crate::predicate::{eq_constant_token, CompareOp, Predicate};
+        let canon = CanonicalPrimitive::build_with(query, edges, lift)?;
+        let mut slots = Vec::new();
+        let mut constants = Vec::new();
+        if lift {
+            for (i, &qe) in canon.edge_order().iter().enumerate() {
+                let mut lifted: Vec<(&str, String)> = query
+                    .edge(qe)
+                    .predicates
+                    .iter()
+                    .filter_map(|p| match p {
+                        Predicate::Compare {
+                            key,
+                            op: CompareOp::Eq,
+                            value,
+                        } => Some((key.as_str(), eq_constant_token(value))),
+                        _ => None,
+                    })
+                    .collect();
+                // Deterministic within one edge: by key, ties by constant.
+                lifted.sort_unstable();
+                for (key, token) in lifted {
+                    slots.push((i as u32, key.to_string()));
+                    constants.push(token);
+                }
+            }
+        }
+        Some(LiftedPrimitive {
+            canon,
+            slots,
+            constants,
+        })
+    }
+
+    /// The underlying canonical form (fingerprint, isomorphism check, vertex
+    /// and edge permutations).
+    pub fn canon(&self) -> &CanonicalPrimitive {
+        &self.canon
+    }
+
+    /// True when at least one constant was lifted (the entry needs constant
+    /// dispatch).
+    pub fn is_lifted(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    /// The constant slots: (canonical edge position, attribute key), in
+    /// deterministic canonical order.
+    pub fn slots(&self) -> &[(u32, String)] {
+        &self.slots
+    }
+
+    /// This query's registered constants, aligned with [`Self::slots`].
+    pub fn constants(&self) -> &[String] {
+        &self.constants
+    }
+
+    /// Lifted-form equality: inherited from the canonical form. Equal lifted
+    /// forms always agree on the slot table (it is derived from the lifted
+    /// tokens), so two equal forms differ at most in [`Self::constants`].
+    pub fn matches(&self, other: &LiftedPrimitive) -> bool {
+        debug_assert!(
+            !self.canon.matches(&other.canon) || self.slots == other.slots,
+            "equal lifted forms must agree on slots"
+        );
+        self.canon.matches(&other.canon)
+    }
+
+    /// The pattern the shared search runs against: the canonical pattern with
+    /// the lifted `eq` predicates removed (an embedding may bind any
+    /// constant; dispatch decides who receives it). With nothing lifted this
+    /// is exactly [`CanonicalPrimitive::pattern`].
+    pub fn search_pattern(&self, query: &QueryGraph) -> QueryGraph {
+        use crate::predicate::{CompareOp, Predicate};
+        let mut pattern = self.canon.pattern(query);
+        if self.is_lifted() {
+            pattern.retain_edge_predicates(|p| {
+                !matches!(
+                    p,
+                    Predicate::Compare {
+                        op: CompareOp::Eq,
+                        ..
+                    }
+                )
+            });
+        }
+        pattern
+    }
+}
+
 /// Recursively enumerates every within-class permutation, invoking `visit`
 /// with the concatenated assignment (canonical position → local vertex
 /// index). `classes[k]` is permuted in place for positions `k..`.
@@ -344,7 +508,7 @@ fn permute(
 mod tests {
     use super::*;
     use crate::builder::QueryGraphBuilder;
-    use crate::predicate::Predicate;
+    use crate::predicate::{CompareOp, Predicate};
     use streamworks_graph::Duration;
 
     fn ids(edges: &[usize]) -> Vec<QueryEdgeId> {
@@ -518,6 +682,169 @@ mod tests {
     fn empty_primitive_is_rejected() {
         let q = pair_query("a1", "a2", "k");
         assert!(CanonicalPrimitive::build(&q, &[]).is_none());
+    }
+
+    /// A symmetric two-wedge subtree (two articles sharing a keyword *and* a
+    /// location) has a nontrivial automorphism: swapping the articles maps
+    /// the edge set onto itself. Canonicalization must still be stable under
+    /// any renaming / edge reordering of the same shape.
+    fn double_wedge(a1: &str, a2: &str, swap_edges: bool) -> QueryGraph {
+        let mut b = QueryGraphBuilder::new("dw")
+            .window(Duration::from_hours(1))
+            .vertex(a1, "Article")
+            .vertex(a2, "Article")
+            .vertex("k", "Keyword")
+            .vertex("l", "Location");
+        b = if swap_edges {
+            b.edge(a2, "located", "l")
+                .edge(a1, "located", "l")
+                .edge(a2, "mentions", "k")
+                .edge(a1, "mentions", "k")
+        } else {
+            b.edge(a1, "mentions", "k")
+                .edge(a2, "mentions", "k")
+                .edge(a1, "located", "l")
+                .edge(a2, "located", "l")
+        };
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn symmetric_subtree_canonicalizes_stably_under_renaming() {
+        let q1 = double_wedge("a1", "a2", false);
+        let q2 = double_wedge("yy", "xx", true);
+        let c1 = CanonicalPrimitive::build(&q1, &ids(&[0, 1, 2, 3])).unwrap();
+        let c2 = CanonicalPrimitive::build(&q2, &ids(&[0, 1, 2, 3])).unwrap();
+        assert_eq!(c1.fingerprint(), c2.fingerprint());
+        assert!(c1.matches(&c2));
+        // The permutations are valid bijections even with the automorphism:
+        // pattern edge i's endpoints map through vertex_order consistently.
+        for (c, q) in [(&c1, &q1), (&c2, &q2)] {
+            let pattern = c.pattern(q);
+            for (i, &qe) in c.edge_order().iter().enumerate() {
+                let pe = pattern.edge(QueryEdgeId(i));
+                let oe = q.edge(qe);
+                assert_eq!(c.vertex_order()[pe.src.0], oe.src);
+                assert_eq!(c.vertex_order()[pe.dst.0], oe.dst);
+            }
+        }
+    }
+
+    #[test]
+    fn forced_subtree_fingerprint_collision_is_caught_by_matches() {
+        // Subtree-level analogue of the primitive collision case: a 3-edge
+        // path and a 3-edge out-star (both one internal node's subtree in a
+        // left-deep plan) forced onto one fingerprint must still be told
+        // apart by the exact isomorphism check.
+        let path = QueryGraphBuilder::new("p3")
+            .window(Duration::from_secs(60))
+            .edge("a", "flow", "b")
+            .edge("b", "flow", "c")
+            .edge("c", "flow", "d")
+            .build()
+            .unwrap();
+        let star = QueryGraphBuilder::new("s3")
+            .window(Duration::from_secs(60))
+            .edge("h", "flow", "x")
+            .edge("h", "flow", "y")
+            .edge("h", "flow", "z")
+            .build()
+            .unwrap();
+        let cp = CanonicalPrimitive::build(&path, &ids(&[0, 1, 2])).unwrap();
+        let mut cs = CanonicalPrimitive::build(&star, &ids(&[0, 1, 2])).unwrap();
+        cs.force_fingerprint_for_tests(cp.fingerprint());
+        assert_eq!(cp.fingerprint(), cs.fingerprint());
+        assert!(!cp.matches(&cs), "collision must not imply isomorphism");
+    }
+
+    /// One labelled mention edge, the lifting unit.
+    fn labelled(preds: Vec<Predicate>) -> QueryGraph {
+        let mut q = QueryGraph::new("t", Duration::from_secs(60));
+        let a = q.add_vertex("a", Some("Article".into()), vec![]).unwrap();
+        let k = q.add_vertex("k", Some("Keyword".into()), vec![]).unwrap();
+        q.add_edge(a, k, Some("mentions".into()), preds);
+        q
+    }
+
+    #[test]
+    fn lifted_constant_variants_merge_and_keep_their_constants() {
+        let politics = labelled(vec![Predicate::eq("label", "politics")]);
+        let sports = labelled(vec![Predicate::eq("label", "sports")]);
+        let lp = LiftedPrimitive::build(&politics, &ids(&[0]), true).unwrap();
+        let ls = LiftedPrimitive::build(&sports, &ids(&[0]), true).unwrap();
+        assert!(lp.is_lifted() && ls.is_lifted());
+        assert!(lp.matches(&ls), "constant-variants share one lifted form");
+        assert_eq!(lp.slots(), ls.slots());
+        assert_ne!(lp.constants(), ls.constants());
+        // Without lifting the same pair stays distinct.
+        let up = LiftedPrimitive::build(&politics, &ids(&[0]), false).unwrap();
+        let us = LiftedPrimitive::build(&sports, &ids(&[0]), false).unwrap();
+        assert!(!up.is_lifted());
+        assert!(!up.matches(&us));
+    }
+
+    #[test]
+    fn lifted_arity_and_key_stay_part_of_the_form() {
+        // Same shape, different eq arity: one lifted slot vs two.
+        let one = labelled(vec![Predicate::eq("label", "politics")]);
+        let two = labelled(vec![
+            Predicate::eq("label", "politics"),
+            Predicate::eq("weight", 3i64),
+        ]);
+        let l1 = LiftedPrimitive::build(&one, &ids(&[0]), true).unwrap();
+        let l2 = LiftedPrimitive::build(&two, &ids(&[0]), true).unwrap();
+        assert!(!l1.matches(&l2), "eq arity must not merge");
+        // Same arity, different attribute key: also distinct.
+        let other_key = labelled(vec![Predicate::eq("topic", "politics")]);
+        let lk = LiftedPrimitive::build(&other_key, &ids(&[0]), true).unwrap();
+        assert!(!l1.matches(&lk), "slot key must not merge");
+        // Non-eq comparisons are never lifted: a Gt stays a concrete
+        // predicate, so differing Gt constants keep the forms distinct.
+        let gt2 = labelled(vec![Predicate::cmp("weight", CompareOp::Gt, 2i64)]);
+        let gt5 = labelled(vec![Predicate::cmp("weight", CompareOp::Gt, 5i64)]);
+        let g2 = LiftedPrimitive::build(&gt2, &ids(&[0]), true).unwrap();
+        let g5 = LiftedPrimitive::build(&gt5, &ids(&[0]), true).unwrap();
+        assert!(!g2.is_lifted());
+        assert!(!g2.matches(&g5));
+    }
+
+    #[test]
+    fn integral_float_constants_collide_into_the_integer_token() {
+        // `Predicate::matches` accepts 3.0 where 3 was registered; the
+        // lifted constant token must agree, or dispatch would misroute.
+        let as_int = labelled(vec![Predicate::eq("weight", 3i64)]);
+        let as_float = labelled(vec![Predicate::eq("weight", 3.0f64)]);
+        let li = LiftedPrimitive::build(&as_int, &ids(&[0]), true).unwrap();
+        let lf = LiftedPrimitive::build(&as_float, &ids(&[0]), true).unwrap();
+        assert!(li.matches(&lf));
+        assert_eq!(li.constants(), lf.constants());
+    }
+
+    #[test]
+    fn symmetric_lifted_subtree_orders_slots_deterministically() {
+        // Both wedge edges carry a lifted constant; the automorphism must
+        // not make slot order (and thus dispatch keys) depend on variable
+        // names or insertion order.
+        let make = |a1: &str, a2: &str| {
+            QueryGraphBuilder::new("lw")
+                .window(Duration::from_hours(1))
+                .vertex(a1, "Article")
+                .vertex(a2, "Article")
+                .vertex("k", "Keyword")
+                .edge_with(a1, "mentions", "k", vec![Predicate::eq("label", "x")])
+                .edge_with(a2, "mentions", "k", vec![Predicate::eq("label", "x")])
+                .build()
+                .unwrap()
+        };
+        let l1 = LiftedPrimitive::build(&make("a1", "a2"), &ids(&[0, 1]), true).unwrap();
+        let l2 = LiftedPrimitive::build(&make("zz", "aa"), &ids(&[0, 1]), true).unwrap();
+        assert!(l1.matches(&l2));
+        assert_eq!(l1.slots(), l2.slots());
+        assert_eq!(l1.constants(), l2.constants());
+        assert_eq!(l1.slots().len(), 2);
+        // The search pattern drops the lifted predicates entirely.
+        let pat = l1.search_pattern(&make("a1", "a2"));
+        assert!(pat.edges().all(|e| e.predicates.is_empty()));
     }
 
     #[test]

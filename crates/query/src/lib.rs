@@ -35,7 +35,7 @@ mod selectivity;
 mod sjtree;
 
 pub use builder::QueryGraphBuilder;
-pub use canonical::{CanonicalPrimitive, MAX_CANONICAL_ASSIGNMENTS};
+pub use canonical::{CanonicalPrimitive, LiftedPrimitive, MAX_CANONICAL_ASSIGNMENTS};
 pub use cost::{
     estimate_shape_cost, left_deep_order_cost, CostBasedOrdered, NodeCostEstimate,
     ShapeCostEstimate, TriadWedges,
@@ -47,7 +47,7 @@ pub use decompose::{
 pub use dsl::{format_query, parse_query};
 pub use error::QueryError;
 pub use plan::{Planner, QueryPlan, TreeShapeKind};
-pub use predicate::{CompareOp, Predicate};
+pub use predicate::{canonical_value_token, eq_constant_token, CompareOp, Predicate};
 pub use query_graph::{QueryEdge, QueryEdgeId, QueryGraph, QueryVertex, QueryVertexId};
 pub use rpq::{parse_rpq, PathExpr, RpqDfa, RpqQuery};
 pub use selectivity::{NullResolver, SelectivityEstimator, TypeResolver};

@@ -145,14 +145,7 @@ impl Predicate {
         fn esc(s: &str) -> String {
             format!("{}#{s}", s.len())
         }
-        fn val(v: &AttrValue) -> String {
-            match v {
-                AttrValue::Str(s) => format!("s{}", esc(s)),
-                AttrValue::Int(i) => format!("i{i}"),
-                AttrValue::Float(f) => format!("f{:016x}", f.to_bits()),
-                AttrValue::Bool(b) => format!("b{}", *b as u8),
-            }
-        }
+        let val = canonical_value_token;
         match self {
             Predicate::Compare { key, op, value } => {
                 format!("cmp({},{},{})", esc(key), op.symbol(), val(value))
@@ -167,6 +160,16 @@ impl Predicate {
                 format!("in({},[{}])", esc(key), rendered.join(","))
             }
             Predicate::Exists { key } => format!("exists({})", esc(key)),
+        }
+    }
+
+    /// The predicate's attribute key.
+    pub fn key(&self) -> &str {
+        match self {
+            Predicate::Compare { key, .. }
+            | Predicate::HasPrefix { key, .. }
+            | Predicate::InSet { key, .. }
+            | Predicate::Exists { key } => key,
         }
     }
 
@@ -187,6 +190,37 @@ impl Predicate {
             Predicate::Exists { .. } => 0.8,
         }
     }
+}
+
+/// Stable rendering of one attribute value: the `val(...)` component of
+/// [`Predicate::canonical_token`] (strings length-prefixed, floats via their
+/// bit pattern). This is the *pinned* fingerprint encoding; for
+/// constant-dispatch keys use [`eq_constant_token`], which additionally
+/// normalises across the numeric types `Eq` treats as equal.
+pub fn canonical_value_token(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Str(s) => format!("s{}#{s}", s.len()),
+        AttrValue::Int(i) => format!("i{i}"),
+        AttrValue::Float(f) => format!("f{:016x}", f.to_bits()),
+        AttrValue::Bool(b) => format!("b{}", *b as u8),
+    }
+}
+
+/// Dispatch key of one attribute value under `Eq` semantics: equal tokens
+/// **iff** `Predicate::matches` with `CompareOp::Eq` would accept the pair.
+/// `Eq` treats `Int(1)` and `Float(1.0)` as equal, so integral floats
+/// collapse onto the integer encoding; everything else renders like
+/// [`canonical_value_token`]. Predicate-lifted sharing keys both the
+/// registered constants and the runtime attribute values through this
+/// function.
+pub fn eq_constant_token(v: &AttrValue) -> String {
+    if let AttrValue::Float(f) = v {
+        // Integral float representable as i64: same bucket as the int.
+        if f.trunc() == *f && *f >= -(2f64.powi(63)) && *f < 2f64.powi(63) {
+            return format!("i{}", *f as i64);
+        }
+    }
+    canonical_value_token(v)
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@ use crate::error::QueryError;
 use crate::predicate::Predicate;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, VecDeque};
-use streamworks_graph::Duration;
+use streamworks_graph::{AttrValue, Duration};
 
 /// Index of a vertex within a [`QueryGraph`].
 #[derive(
@@ -111,6 +111,38 @@ impl QueryGraph {
     /// Overrides the window (used by experiment sweeps).
     pub fn set_window(&mut self, window: Duration) {
         self.window = window;
+    }
+
+    /// Drops every edge predicate `keep` rejects, on every edge. Used by
+    /// predicate-lifted sharing to materialise the constant-free search
+    /// pattern of a canonical form.
+    pub fn retain_edge_predicates(&mut self, keep: impl Fn(&Predicate) -> bool) {
+        for e in &mut self.edges {
+            e.predicates.retain(&keep);
+        }
+    }
+
+    /// Extends (creating on first use) the [`Predicate::InSet`] on `key` of
+    /// edge `e` with `values`. Used by predicate-lifted sharing: a shared
+    /// entry's constant-free search pattern regains the *union* of its
+    /// subscribers' `eq` constants as an `InSet` filter, so the shared
+    /// search stays as selective as the tenants' own predicates instead of
+    /// enumerating every embedding of the unconstrained shape. Callers are
+    /// expected to deduplicate values across calls.
+    pub fn extend_in_set(&mut self, e: QueryEdgeId, key: &str, values: &[AttrValue]) {
+        let edge = &mut self.edges[e.0];
+        for p in &mut edge.predicates {
+            if let Predicate::InSet { key: k, values: vs } = p {
+                if k == key {
+                    vs.extend(values.iter().cloned());
+                    return;
+                }
+            }
+        }
+        edge.predicates.push(Predicate::InSet {
+            key: key.to_owned(),
+            values: values.to_vec(),
+        });
     }
 
     /// Adds a vertex; returns an error if a vertex with the same name but a
@@ -371,5 +403,32 @@ mod tests {
         assert!(e0.is_adjacent_to(e1));
         assert_eq!(e0.other_endpoint(QueryVertexId(0)), Some(QueryVertexId(1)));
         assert_eq!(e0.other_endpoint(QueryVertexId(2)), None);
+    }
+
+    #[test]
+    fn extend_in_set_creates_then_accumulates_per_key() {
+        use streamworks_graph::Attrs;
+        let mut q = triangle();
+        let e = QueryEdgeId(0);
+        q.extend_in_set(e, "label", &["politics".into()]);
+        // First call creates the predicate; it rejects other values.
+        let accepts = |q: &QueryGraph, label: &str| {
+            q.edge(e)
+                .predicates
+                .iter()
+                .all(|p| p.matches(&Attrs::from_pairs([("label", AttrValue::from(label))])))
+        };
+        assert!(accepts(&q, "politics"));
+        assert!(!accepts(&q, "sports"));
+        // Later calls widen the same predicate instead of stacking a second
+        // (conjunctive, hence unsatisfiable) InSet on the key.
+        q.extend_in_set(e, "label", &["sports".into()]);
+        assert!(accepts(&q, "politics"));
+        assert!(accepts(&q, "sports"));
+        assert!(!accepts(&q, "culture"));
+        assert_eq!(q.edge(e).predicates.len(), 1);
+        // A different key gets its own predicate.
+        q.extend_in_set(e, "region", &["eu".into()]);
+        assert_eq!(q.edge(e).predicates.len(), 2);
     }
 }

@@ -14,6 +14,9 @@
 //! * [`MultiTenantGenerator`] — N tenants instantiating overlapping query
 //!   templates with distinct label constants, the registry shape the
 //!   engine's multi-query sharing layer deduplicates.
+//! * [`differential_workload`] — seeded random registries with planted
+//!   common subtrees and constant-varied predicates, driving the
+//!   sharing-on/off differential oracle tests.
 //! * [`LateralMovementGenerator`] / [`CitationChainGenerator`] — multi-hop
 //!   motifs (intrusion pivot chains, article citation chains) with planted
 //!   ground truth, targets for the engine's windowed regular-path-query
@@ -27,6 +30,7 @@
 
 pub mod cyber;
 pub mod news;
+pub mod proptest;
 pub mod queries;
 pub mod random;
 pub mod rpq;
@@ -36,6 +40,7 @@ pub mod trace;
 
 pub use cyber::{AttackKind, CyberConfig, CyberTrafficGenerator, CyberWorkload, InjectedAttack};
 pub use news::{NewsConfig, NewsStreamGenerator, NewsWorkload, PlantedEvent};
+pub use proptest::{differential_workload, DifferentialConfig, DifferentialWorkload};
 pub use random::{plant_pattern, preferential_attachment_stream, uniform_stream, RandomConfig};
 pub use rpq::{
     citation_chain_rpq, lateral_movement_rpq, CitationChainGenerator, CitationConfig,

@@ -1,0 +1,325 @@
+//! Seeded random workloads for differential testing of the sharing layers.
+//!
+//! The subtree-sharing differential harness (`tests/shared_subtrees.rs`)
+//! needs query registries that *provoke* every sharing regime at once —
+//! template families whose members are exact structural copies (classic
+//! subtree interning), families whose members differ only in an equality
+//! constant (predicate-constant lifting), and families with no predicates or
+//! no siblings at all (leaf-level sharing, or none) — over an event stream
+//! guaranteed to produce matches for each of them. This module generates
+//! such registries deterministically from a seed, so a failing comparison is
+//! reproducible from its seed alone.
+//!
+//! Everything here is plain `StdRng` sampling: the "prop" in the name is the
+//! property being tested (sharing is invisible except in throughput), not a
+//! shrinking framework.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use streamworks_graph::{Duration, EdgeEvent, Timestamp};
+use streamworks_query::{Predicate, QueryGraph, QueryGraphBuilder};
+
+/// Configuration of [`differential_workload`].
+#[derive(Debug, Clone)]
+pub struct DifferentialConfig {
+    /// RNG seed; two calls with equal configurations produce identical
+    /// workloads.
+    pub seed: u64,
+    /// Number of template families. Families cycle through the three
+    /// predicate regimes (constant-varied, none, constant-identical), so at
+    /// least 3 exercises every sharing path.
+    pub families: usize,
+    /// Queries instantiated per family (structural copies of the family
+    /// template, possibly with different predicate constants).
+    pub members_per_family: usize,
+    /// Size of the global equality-constant pool the predicated families
+    /// draw from.
+    pub constants: usize,
+    /// Background (non-planted) edges in the stream.
+    pub background_edges: usize,
+    /// Vertices the background edges draw endpoints from.
+    pub vertices: usize,
+    /// Time window of every generated query.
+    pub window: Duration,
+}
+
+impl Default for DifferentialConfig {
+    fn default() -> Self {
+        DifferentialConfig {
+            seed: 1,
+            families: 3,
+            members_per_family: 3,
+            constants: 3,
+            background_edges: 500,
+            vertices: 120,
+            window: Duration::from_secs(60),
+        }
+    }
+}
+
+/// A generated differential workload: the query registry and the event
+/// stream (background noise plus planted embeddings of every query, sorted
+/// by timestamp).
+#[derive(Debug, Clone)]
+pub struct DifferentialWorkload {
+    /// All families' queries, family-major
+    /// (`f0m0_…`, `f0m1_…`, …, `f1m0_…`, …).
+    pub queries: Vec<QueryGraph>,
+    /// The shared event stream, in timestamp order.
+    pub events: Vec<EdgeEvent>,
+}
+
+/// How a family's members relate through their predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PredMode {
+    /// Members carry `eq("label", c)` with a *different* constant each —
+    /// the predicate-constant-lifting regime.
+    Varied,
+    /// No predicates at all — members are exact copies, the classic
+    /// subtree-interning regime.
+    None,
+    /// Members carry the *same* constant — exact copies again, but with a
+    /// liftable predicate present.
+    Same,
+}
+
+impl PredMode {
+    fn of(family: usize) -> PredMode {
+        match family % 3 {
+            0 => PredMode::Varied,
+            1 => PredMode::None,
+            _ => PredMode::Same,
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            PredMode::Varied => "varied",
+            PredMode::None => "plain",
+            PredMode::Same => "same",
+        }
+    }
+}
+
+/// A family's template shape: variable names and `(src, etype, dst)` edges,
+/// in insertion order. All vertices share one type so families interact
+/// through the background stream.
+#[derive(Debug, Clone)]
+struct Shape {
+    vars: &'static [&'static str],
+    edges: Vec<(&'static str, String, &'static str)>,
+    /// Edge positions (into `edges`) that carry the family's predicate.
+    pred_edges: Vec<usize>,
+}
+
+const VTYPE: &str = "N";
+const EDGE_TYPES: [&str; 3] = ["r0", "r1", "r2"];
+
+fn shape(family: usize, rng: &mut StdRng) -> Shape {
+    let t = |rng: &mut StdRng| EDGE_TYPES[rng.gen_range(0..EDGE_TYPES.len())].to_owned();
+    let (vars, edges): (&'static [&'static str], Vec<_>) = match family % 3 {
+        // Wedge: two sources into one shared target.
+        0 => (
+            &["a", "b", "c"],
+            vec![("a", t(rng), "b"), ("c", t(rng), "b")],
+        ),
+        // Three-edge path.
+        1 => (
+            &["a", "b", "c", "d"],
+            vec![("a", t(rng), "b"), ("b", t(rng), "c"), ("c", t(rng), "d")],
+        ),
+        // Out-star from a hub.
+        _ => (
+            &["h", "x", "y", "z"],
+            vec![("h", t(rng), "x"), ("h", t(rng), "y"), ("h", t(rng), "z")],
+        ),
+    };
+    // At least one predicated edge; each further edge joins with p=1/2.
+    let mut pred_edges = vec![rng.gen_range(0..edges.len())];
+    for i in 0..edges.len() {
+        if !pred_edges.contains(&i) && rng.gen_bool(0.5) {
+            pred_edges.push(i);
+        }
+    }
+    pred_edges.sort_unstable();
+    Shape {
+        vars,
+        edges,
+        pred_edges,
+    }
+}
+
+fn instantiate(
+    family: usize,
+    member: usize,
+    shape: &Shape,
+    mode: PredMode,
+    constant: &str,
+    window: Duration,
+) -> QueryGraph {
+    let mut b = QueryGraphBuilder::new(format!("f{family}m{member}_{}", mode.tag())).window(window);
+    for v in shape.vars {
+        b = b.vertex(v, VTYPE);
+    }
+    for (i, (src, etype, dst)) in shape.edges.iter().enumerate() {
+        b = if mode != PredMode::None && shape.pred_edges.contains(&i) {
+            b.edge_with(src, etype, dst, vec![Predicate::eq("label", constant)])
+        } else {
+            b.edge(src, etype, dst)
+        };
+    }
+    b.build().expect("generated template is valid")
+}
+
+/// Generates a differential workload from the configuration. Deterministic:
+/// equal configurations yield identical registries and streams.
+pub fn differential_workload(cfg: &DifferentialConfig) -> DifferentialWorkload {
+    assert!(cfg.constants > 0, "constant pool must not be empty");
+    assert!(cfg.vertices > 1, "need at least two vertices");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let pool: Vec<String> = (0..cfg.constants).map(|c| format!("C{c}")).collect();
+
+    // Registry: per family a shape, per member an instance.
+    let mut queries = Vec::new();
+    let mut shapes = Vec::new();
+    for family in 0..cfg.families {
+        let mode = PredMode::of(family);
+        let sh = shape(family, &mut rng);
+        for member in 0..cfg.members_per_family {
+            let constant = match mode {
+                PredMode::Varied => &pool[member % pool.len()],
+                _ => &pool[family % pool.len()],
+            };
+            queries.push(instantiate(family, member, &sh, mode, constant, cfg.window));
+        }
+        shapes.push((mode, sh));
+    }
+
+    // Background stream: uniform edges over a shared vertex set, every edge
+    // carrying a label drawn from the constant pool plus noise values.
+    let mut events = Vec::new();
+    let mut now = 0i64;
+    for _ in 0..cfg.background_edges {
+        now += rng.gen_range(1..=200_000i64);
+        let src = rng.gen_range(0..cfg.vertices);
+        let mut dst = rng.gen_range(0..cfg.vertices);
+        if dst == src {
+            dst = (dst + 1) % cfg.vertices;
+        }
+        let etype = EDGE_TYPES[rng.gen_range(0..EDGE_TYPES.len())];
+        let label = if rng.gen_bool(0.7) {
+            pool[rng.gen_range(0..pool.len())].clone()
+        } else {
+            format!("noise{}", rng.gen_range(0..3))
+        };
+        events.push(
+            EdgeEvent::new(
+                format!("n{src}"),
+                VTYPE,
+                format!("n{dst}"),
+                VTYPE,
+                etype,
+                Timestamp::from_micros(now),
+            )
+            .with_attr("label", label),
+        );
+    }
+    let span = now.max(1);
+
+    // Planted embeddings: two copies per member, on fresh vertex keys, with
+    // the member's constant on every edge — ground truth that every query
+    // (and every lifted constant) matches somewhere in the stream.
+    for family in 0..cfg.families {
+        let (mode, sh) = &shapes[family];
+        for member in 0..cfg.members_per_family {
+            let constant = match mode {
+                PredMode::Varied => &pool[member % pool.len()],
+                _ => &pool[family % pool.len()],
+            };
+            for copy in 0..2 {
+                let mut t = rng.gen_range(0..span);
+                for (src, etype, dst) in &sh.edges {
+                    t += 1_000;
+                    events.push(
+                        EdgeEvent::new(
+                            format!("p{family}m{member}c{copy}-{src}"),
+                            VTYPE,
+                            format!("p{family}m{member}c{copy}-{dst}"),
+                            VTYPE,
+                            etype,
+                            Timestamp::from_micros(t),
+                        )
+                        .with_attr("label", constant.as_str()),
+                    );
+                }
+            }
+        }
+    }
+    events.sort_by_key(|e| e.timestamp);
+    DifferentialWorkload { queries, events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = DifferentialConfig::default();
+        let a = differential_workload(&cfg);
+        let b = differential_workload(&cfg);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.queries.len(), b.queries.len());
+        for (qa, qb) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(qa.name(), qb.name());
+            assert_eq!(qa.edge_count(), qb.edge_count());
+        }
+    }
+
+    #[test]
+    fn registry_covers_all_three_predicate_regimes() {
+        let w = differential_workload(&DifferentialConfig::default());
+        assert_eq!(w.queries.len(), 9);
+        for tag in ["varied", "plain", "same"] {
+            assert!(
+                w.queries
+                    .iter()
+                    .any(|q| q.name().ends_with(&format!("_{tag}"))),
+                "missing {tag} family"
+            );
+        }
+        // Varied members differ only in their predicate constants.
+        let varied: Vec<_> = w
+            .queries
+            .iter()
+            .filter(|q| q.name().ends_with("_varied"))
+            .collect();
+        assert!(varied.len() >= 2);
+        assert_eq!(varied[0].edge_count(), varied[1].edge_count());
+        assert_ne!(
+            varied[0].edges().flat_map(|e| &e.predicates).next(),
+            varied[1].edges().flat_map(|e| &e.predicates).next(),
+        );
+    }
+
+    #[test]
+    fn stream_is_sorted_and_contains_planted_copies() {
+        let w = differential_workload(&DifferentialConfig::default());
+        assert!(w
+            .events
+            .windows(2)
+            .all(|p| p[0].timestamp <= p[1].timestamp));
+        assert!(w.events.iter().any(|e| e.src_key.starts_with("p0m0c0-")));
+        assert!(w.events.iter().all(|e| e.attrs.get("label").is_some()));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = differential_workload(&DifferentialConfig::default());
+        let b = differential_workload(&DifferentialConfig {
+            seed: 2,
+            ..Default::default()
+        });
+        assert_ne!(a.events, b.events);
+    }
+}

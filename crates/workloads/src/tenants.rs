@@ -51,6 +51,15 @@ pub struct TenantConfig {
     /// regime too; benchmarks isolating the search-sharing lever set it to
     /// `false` and measure the rarely-firing labelled registry alone.
     pub include_colocation: bool,
+    /// When set, tenant `i` watches the unique label
+    /// `"{labels[i % len]}-{i}"` instead of cycling the pool: no two
+    /// labelled templates are exact copies, so leaf-level (exact-constant)
+    /// sharing finds nothing and only the engine's predicate-constant
+    /// lifting can collapse the registry — the regime the
+    /// `multi_query/lifted` bench group measures. Planted bursts then cover
+    /// the first `labels.len()` tenants' labels, keeping the stream
+    /// size-bounded however many tenants register. `false` by default.
+    pub distinct_labels: bool,
     /// Event-stream configuration. `planted_events` is overridden with one
     /// burst per label so every labelled template has ground-truth matches.
     pub news: NewsConfig,
@@ -68,6 +77,7 @@ impl Default for TenantConfig {
             ],
             window: Duration::from_mins(30),
             include_colocation: true,
+            distinct_labels: false,
             news: NewsConfig::default(),
         }
     }
@@ -104,23 +114,38 @@ impl MultiTenantGenerator {
         &self.config
     }
 
+    /// Tenant `t`'s watched label under the configuration: a pool label, or
+    /// a tenant-unique one in [`TenantConfig::distinct_labels`] mode.
+    fn label_of(&self, t: usize) -> String {
+        let base = &self.config.labels[t % self.config.labels.len()];
+        if self.config.distinct_labels {
+            format!("{base}-{t}")
+        } else {
+            base.clone()
+        }
+    }
+
     /// Generates the tenants' queries and the shared event stream.
     pub fn generate(&self) -> MultiTenantWorkload {
         let cfg = &self.config;
         let mut queries = Vec::with_capacity(cfg.tenants * 2);
         for t in 0..cfg.tenants {
-            let label = &cfg.labels[t % cfg.labels.len()];
-            queries.push(labelled_pair(t, label, cfg.window));
+            queries.push(labelled_pair(t, &self.label_of(t), cfg.window));
             if cfg.include_colocation {
                 queries.push(colocation_pair(t, cfg.window));
             }
         }
         let mut news = cfg.news.clone();
-        news.planted_events = cfg
-            .labels
-            .iter()
-            .map(|label| (label.clone(), 3usize))
-            .collect();
+        news.planted_events = if cfg.distinct_labels {
+            (0..cfg.tenants.min(cfg.labels.len()))
+                .map(|t| (self.label_of(t), 3usize))
+                .collect()
+        } else {
+            cfg.labels
+                .iter()
+                .map(|label| (label.clone(), 3usize))
+                .collect()
+        };
         let workload = NewsStreamGenerator::new(news).generate();
         MultiTenantWorkload {
             queries,
@@ -221,6 +246,42 @@ mod tests {
             assert_eq!(e0.etype, e2.etype);
             assert_eq!(e0.predicates, e2.predicates);
         }
+    }
+
+    #[test]
+    fn distinct_labels_give_every_tenant_a_unique_constant() {
+        let workload = MultiTenantGenerator::new(TenantConfig {
+            tenants: 6,
+            labels: vec!["a".into(), "b".into()],
+            include_colocation: false,
+            distinct_labels: true,
+            news: NewsConfig {
+                articles: 50,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .generate();
+        assert_eq!(workload.queries.len(), 6);
+        // Every labelled template carries a different constant.
+        let mut constants: Vec<_> = workload
+            .queries
+            .iter()
+            .map(|q| {
+                q.edges()
+                    .flat_map(|e| &e.predicates)
+                    .map(|p| p.canonical_token())
+                    .next()
+                    .unwrap()
+            })
+            .collect();
+        constants.sort_unstable();
+        constants.dedup();
+        assert_eq!(constants.len(), 6, "no two tenants share a constant");
+        // Planted bursts are bounded by the pool size, not the tenant count,
+        // and target real tenant labels so the registry stays matchable.
+        assert_eq!(workload.planted.len(), 2);
+        assert_eq!(workload.queries[0].name(), "t0_a-0_pair");
     }
 
     #[test]

@@ -165,8 +165,16 @@ fn sharing_survives_lifecycle_churn() {
 
 #[test]
 fn dedup_counters_tell_the_truth() {
+    // Leaf layer only (the PR 5 configuration, pinned): with the subtree
+    // layer disabled every leaf of every query subscribes to the canonical
+    // primitive index.
     let (queries, events) = tenant_workload(8);
-    let mut engine = build_engine(true, 1);
+    let mut engine = ContinuousQueryEngine::builder()
+        .subtree_sharing(false)
+        .lifted_sharing(false)
+        .shards(1)
+        .build()
+        .unwrap();
     for q in &queries {
         engine.register_query(q.clone()).unwrap();
     }
@@ -180,6 +188,9 @@ fn dedup_counters_tell_the_truth() {
     );
     assert!(m.dedup_ratio() >= 2.0);
     assert!(engine.sharing_active());
+    // The subtree layer is off: nothing interned there.
+    assert_eq!(m.distinct_subtrees, 0);
+    assert_eq!(m.subscribed_subtrees, 0);
 
     engine.ingest(&events[..events.len().min(2_000)]).unwrap();
     let m = engine.engine_metrics();
@@ -195,6 +206,59 @@ fn dedup_counters_tell_the_truth() {
         engine.deregister(h).unwrap();
     }
     let m = engine.engine_metrics();
+    assert_eq!(m.distinct_primitives, 0);
+    assert_eq!(m.subscribed_primitives, 0);
+    assert!(!engine.sharing_active());
+}
+
+#[test]
+fn subtree_counters_tell_the_truth() {
+    // Default configuration: subtree sharing plus predicate-constant lifting.
+    // The labelled pair templates (eq("label", …) predicates, identical shape
+    // across all four labels) collapse into lifted subtree entries served by
+    // constant dispatch; the unlabelled co-location template has no constants
+    // to lift and stays on the leaf-level primitive index.
+    let (queries, events) = tenant_workload(8);
+    let mut engine = build_engine(true, 1);
+    for q in &queries {
+        engine.register_query(q.clone()).unwrap();
+    }
+    let m = engine.engine_metrics();
+    // Labelled pairs land on the subtree layer; lifting folds the four label
+    // variants together, so distinct entries ≪ subscriptions. (The very
+    // first pair query only *advertises* its form — entries are created cold
+    // when a second query proves the shape recurs — so of the 8 pairs, 7
+    // subscribe and the advertiser stays on the leaf path.)
+    assert!(m.subscribed_subtrees >= 7, "{m:?}");
+    assert!(
+        m.distinct_subtrees * 2 <= m.subscribed_subtrees,
+        "subtree dedup ratio at least 2x: {m:?}"
+    );
+    assert!(m.subtree_dedup_ratio() >= 2.0);
+    // The co-location leaves still share through the primitive index.
+    assert!(m.subscribed_primitives >= 8, "{m:?}");
+    assert!(
+        m.distinct_primitives * 2 <= m.subscribed_primitives,
+        "{m:?}"
+    );
+    assert!(engine.sharing_active());
+
+    engine.ingest(&events[..events.len().min(4_000)]).unwrap();
+    let m = engine.engine_metrics();
+    // The planted per-label bursts produce pair matches, and every one of
+    // them reaches its tenant through a lifted entry's constant dispatch.
+    assert!(m.lifted_dispatch_hits > 0, "{m:?}");
+    // The co-location leaf still proves leaf-level savings.
+    assert!(m.shared_searches_run > 0, "{m:?}");
+    assert!(m.searches_saved > 0, "{m:?}");
+
+    // Deregistering everything empties both layers.
+    for h in engine.handles() {
+        engine.deregister(h).unwrap();
+    }
+    let m = engine.engine_metrics();
+    assert_eq!(m.distinct_subtrees, 0);
+    assert_eq!(m.subscribed_subtrees, 0);
     assert_eq!(m.distinct_primitives, 0);
     assert_eq!(m.subscribed_primitives, 0);
     assert!(!engine.sharing_active());
