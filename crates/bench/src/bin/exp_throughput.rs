@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo run --release -p streamworks-bench --bin exp_throughput \
-//!     [-- smoke|small|medium|large] [--shards N] [--tenants N]
+//!     [-- smoke|small|medium|large] [--shards N] [--tenants N] [--rpq] \
+//!     [--durable-sink <path>]
 //! ```
 //!
 //! `--shards N` (default 1) additionally measures the engine with each
@@ -13,13 +14,16 @@
 //! tenant) with the shared primitive index on vs. off, printing the dedup
 //! ratio; `--rpq` additionally measures the windowed regular-path-query
 //! class on the multi-hop lateral-movement workload (`login flow* exploit`)
-//! and reports recall against the planted intrusion chains; `smoke` runs one
-//! tiny size without the slow repeated-search baseline (used by CI to
-//! exercise the sharded, shared and RPQ paths on every push).
+//! and reports recall against the planted intrusion chains;
+//! `--durable-sink <path>` additionally measures batched ingest with a
+//! durable log-file subscription acknowledging every match (asserting the
+//! delivery log holds exactly one line per match); `smoke` runs one tiny
+//! size without the slow repeated-search baseline (used by CI to exercise
+//! the sharded, shared, RPQ and durable-delivery paths on every push).
 
 use streamworks_baseline::{NaiveEdgeExpansion, RepeatedSearchMatcher};
 use streamworks_bench::{measure, Table};
-use streamworks_core::{ContinuousQueryEngine, EngineConfig};
+use streamworks_core::{ContinuousQueryEngine, EngineConfig, SinkSpec};
 use streamworks_graph::{Duration, DynamicGraph};
 use streamworks_workloads::queries::labelled_news_query;
 use streamworks_workloads::{
@@ -33,6 +37,7 @@ fn main() {
     let mut shards = 1usize;
     let mut tenants = 0usize;
     let mut rpq = false;
+    let mut durable_sink: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--shards" {
@@ -52,6 +57,13 @@ fn main() {
         } else if args[i] == "--rpq" {
             rpq = true;
             i += 1;
+        } else if args[i] == "--durable-sink" {
+            durable_sink = Some(
+                args.get(i + 1)
+                    .cloned()
+                    .expect("--durable-sink takes a log-file path"),
+            );
+            i += 2;
         } else {
             size = args[i].clone();
             i += 1;
@@ -118,6 +130,42 @@ fn main() {
             format!("{:.1}", run.mean_latency_us()),
             run.matches.to_string(),
         ]);
+
+        // Batched ingest with a durable log-file subscription: every match
+        // is rendered, appended and acknowledged into the delivery cursor.
+        if let Some(base) = &durable_sink {
+            let path = format!("{base}.{articles}.log");
+            let _ = std::fs::remove_file(&path);
+            let run = measure(events.len(), || {
+                let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
+                let handle = engine.register_query(query.clone()).unwrap();
+                engine
+                    .subscribe_durable(handle, SinkSpec::LogFile { path: path.clone() })
+                    .unwrap();
+                let matches = engine.ingest(events).unwrap().len() as u64;
+                assert_eq!(
+                    engine.flush_deliveries(),
+                    0,
+                    "durable log-file sink left deliveries pending"
+                );
+                matches
+            });
+            let lines = std::fs::read_to_string(&path)
+                .map(|s| s.lines().count() as u64)
+                .unwrap_or(0);
+            assert_eq!(
+                lines, run.matches,
+                "delivery log must hold exactly one acknowledged line per match"
+            );
+            table.row(&[
+                articles.to_string(),
+                events.len().to_string(),
+                "durable-logfile".into(),
+                format!("{:.0}", run.throughput()),
+                format!("{:.1}", run.mean_latency_us()),
+                run.matches.to_string(),
+            ]);
+        }
 
         // Sharded single-query matching (join-key hash over worker threads).
         if shards > 1 {

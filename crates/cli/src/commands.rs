@@ -8,7 +8,9 @@ use std::fmt;
 use std::path::Path;
 
 use crate::options::{OptionError, Options};
-use streamworks_core::{ContinuousQueryEngine, EngineError, MatchEvent, ShardFailurePolicy};
+use streamworks_core::{
+    ContinuousQueryEngine, EngineError, MatchEvent, RetryPolicy, ShardFailurePolicy, SinkSpec,
+};
 use streamworks_query::{
     estimate_shape_cost, BalancedPairs, CostBasedOrdered, DecompositionStrategy, LeftDeepEdgeChain,
     Planner, QueryError, QueryGraph, SelectivityEstimator, SelectivityOrdered, TreeShapeKind,
@@ -103,6 +105,7 @@ COMMANDS:
              [--strategy <name>] [--batch N] [--limit N] [--shards N]
              [--failure-policy fail-fast|degrade] [--channel-capacity N]
              [--no-share] [--csv <out.csv>] [--jsonl <out>]
+             [--durable-sink <path.log>] [--retry-policy <spec>]
              Register the queries and replay the trace in batches of N events
              (default 1024), printing the event table and per-query metrics.
              --shards N > 1 spreads each query's match state over N worker
@@ -120,6 +123,12 @@ COMMANDS:
              regular path queries (`RPQ <name> WINDOW <dur> PATH <regex>`)
              instead of fixed-shape SJ-Tree patterns; both kinds can be
              mixed in one run.
+             --durable-sink appends every match to a durable log file with
+             an acknowledged delivery cursor (one file per query: the path
+             as given for a single query, `<path>.q<id>` each when several
+             are registered). --retry-policy governs delivery retries:
+             `default` (4 attempts, capped exponential backoff), `none`
+             (one strike quarantines), or `max,base-ms,cap-ms,timeout-ms`.
   summarize  --trace <trace.jsonl> [--triads N]
              Ingest the trace and print the graph statistics report.
 
@@ -148,6 +157,42 @@ fn tree_kind_by_name(name: &str) -> Result<TreeShapeKind, CliError> {
         other => Err(CliError::Usage(format!(
             "unknown tree shape `{other}` (expected left-deep or balanced)"
         ))),
+    }
+}
+
+/// Parses a `--retry-policy` value: a named preset (`default`, `none`) or
+/// four comma-separated numbers `max,base-ms,cap-ms,timeout-ms`.
+fn retry_policy_by_spec(spec: &str) -> Result<RetryPolicy, CliError> {
+    let invalid = |message: String| {
+        CliError::Options(OptionError::Invalid {
+            flag: "retry-policy".into(),
+            message,
+        })
+    };
+    match spec {
+        "default" => Ok(RetryPolicy::default()),
+        "none" => Ok(RetryPolicy::none()),
+        numbers => {
+            let parts: Vec<&str> = numbers.split(',').collect();
+            if parts.len() != 4 {
+                return Err(invalid(format!(
+                    "expected `default`, `none` or `max,base-ms,cap-ms,timeout-ms`, got `{spec}`"
+                )));
+            }
+            let mut n = parts.iter().map(|p| {
+                p.trim()
+                    .parse::<u64>()
+                    .map_err(|_| invalid(format!("`{p}` is not a number in `{spec}`")))
+            });
+            let max_attempts = u32::try_from(n.next().unwrap()?)
+                .map_err(|_| invalid(format!("attempt count out of range in `{spec}`")))?;
+            Ok(RetryPolicy {
+                max_attempts,
+                backoff_base_ms: n.next().unwrap()?,
+                backoff_cap_ms: n.next().unwrap()?,
+                attempt_timeout_ms: n.next().unwrap()?,
+            })
+        }
     }
 }
 
@@ -332,14 +377,20 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
         }
     };
     let channel_capacity: usize = opts.parse_or("channel-capacity", 1024)?;
+    let retry_policy = match opts.value("retry-policy") {
+        Some(spec) => retry_policy_by_spec(spec)?,
+        None => RetryPolicy::default(),
+    };
 
     let mut engine = ContinuousQueryEngine::builder()
         .shards(shards)
         .shard_failure_policy(policy)
         .channel_capacity(channel_capacity)
         .shared_matching(!opts.has("no-share"))
+        .retry_policy(retry_policy)
         .build()?;
     let mut spec = EventTableSpec::standard();
+    let mut handles = Vec::new();
     for path in query_paths {
         let text = std::fs::read_to_string(Path::new(path))?;
         let (handle, name) = if is_rpq_text(&text) {
@@ -352,7 +403,23 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
             let handle = engine.register_query_with(query, strategy.as_ref(), tree_kind)?;
             (handle, name)
         };
+        handles.push(handle);
         spec = spec.label(handle.id(), name);
+    }
+
+    // One delivery log per query: a shared file would race the per-cursor
+    // truncation each subscription performs on (re)connect.
+    let mut durable_logs = Vec::new();
+    if let Some(base) = opts.value("durable-sink") {
+        for handle in &handles {
+            let path = if handles.len() == 1 {
+                base.to_owned()
+            } else {
+                format!("{base}.q{}", handle.id().0)
+            };
+            engine.subscribe_durable(*handle, SinkSpec::LogFile { path: path.clone() })?;
+            durable_logs.push(path);
+        }
     }
 
     let events = read_trace_file(trace)?;
@@ -374,6 +441,9 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
             Err(e) => return Err(e.into()),
         }
     }
+    // Final delivery pass: give every durable subscriber a fresh attempt so
+    // the run does not exit with acknowledgeable matches still in an outbox.
+    let undelivered = engine.flush_deliveries();
 
     let table = EventTable::build(&spec, &matches);
     let mut out = String::new();
@@ -438,6 +508,22 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
             em.shared_searches_run,
             em.searches_saved,
         ));
+    }
+    if !durable_logs.is_empty() {
+        out.push_str(&format!(
+            "durable delivery: {} attempts, {} retries, {} recoveries, \
+             {} unacknowledged (cursor lag)\n",
+            em.delivery_attempts, em.delivery_retries, em.delivery_recoveries, em.cursor_lag,
+        ));
+        for path in &durable_logs {
+            out.push_str(&format!("  delivery log: {path}\n"));
+        }
+        if undelivered > 0 {
+            out.push_str(&format!(
+                "warning: {undelivered} match(es) remain undelivered (sink degraded \
+                 or quarantined); rerun resumes from each cursor\n"
+            ));
+        }
     }
     if !degraded_shards.is_empty() {
         out.push_str(&format!(
@@ -750,6 +836,128 @@ mod tests {
             "0",
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn run_accepts_durable_delivery_flags() {
+        let trace_path = scratch("durable_flags.jsonl");
+        let events = [
+            streamworks_graph::EdgeEvent::new(
+                "a1",
+                "Article",
+                "rust",
+                "Keyword",
+                "mentions",
+                streamworks_graph::Timestamp::from_secs(1),
+            ),
+            streamworks_graph::EdgeEvent::new(
+                "a2",
+                "Article",
+                "rust",
+                "Keyword",
+                "mentions",
+                streamworks_graph::Timestamp::from_secs(2),
+            ),
+        ];
+        streamworks_workloads::write_trace_file(&trace_path, events.iter()).unwrap();
+        let trace = trace_path.to_string_lossy().into_owned();
+        let query = write_query("pair_durable.swq", PAIR_QUERY);
+        let log = scratch("durable.log").to_string_lossy().into_owned();
+        let _ = std::fs::remove_file(&log);
+
+        let out = dispatch(&args(&[
+            "run",
+            "--query",
+            &query,
+            "--trace",
+            &trace,
+            "--durable-sink",
+            &log,
+            "--retry-policy",
+            "5,10,100,500",
+        ]))
+        .unwrap();
+        assert!(out.contains("2 matches"), "output: {out}");
+        assert!(
+            out.contains("durable delivery: 2 attempts, 0 retries, 0 recoveries, 0 unacknowledged"),
+            "output: {out}"
+        );
+        assert!(out.contains(&log), "output: {out}");
+        assert!(!out.contains("undelivered"), "output: {out}");
+        let written = std::fs::read_to_string(&log).unwrap();
+        assert_eq!(written.lines().count(), 2, "one log line per match");
+
+        // Replaying into the same log resumes past the cursor of a *fresh*
+        // subscription (0), i.e. truncates and rewrites: still 2 lines.
+        dispatch(&args(&[
+            "run",
+            "--query",
+            &query,
+            "--trace",
+            &trace,
+            "--durable-sink",
+            &log,
+        ]))
+        .unwrap();
+        assert_eq!(std::fs::read_to_string(&log).unwrap().lines().count(), 2);
+
+        // The named presets parse; malformed or invalid specs are rejected.
+        for preset in ["default", "none"] {
+            dispatch(&args(&[
+                "run",
+                "--query",
+                &query,
+                "--trace",
+                &trace,
+                "--retry-policy",
+                preset,
+            ]))
+            .unwrap();
+        }
+        for bad in ["mystery", "1,2", "a,b,c,d", "0,0,0,1000", "4,50,10,1000"] {
+            assert!(
+                dispatch(&args(&[
+                    "run",
+                    "--query",
+                    &query,
+                    "--trace",
+                    &trace,
+                    "--retry-policy",
+                    bad,
+                ]))
+                .is_err(),
+                "`{bad}` must be rejected"
+            );
+        }
+
+        // Several queries fan out into per-query logs.
+        let query2 = write_query(
+            "pair_durable_b.swq",
+            "QUERY pair_b WINDOW 1h\n\
+             MATCH (x1:Article)-[:mentions]->(w:Keyword), (x2:Article)-[:mentions]->(w)\n",
+        );
+        let multi = dispatch(&args(&[
+            "run",
+            "--query",
+            &query,
+            "--query",
+            &query2,
+            "--trace",
+            &trace,
+            "--durable-sink",
+            &log,
+        ]))
+        .unwrap();
+        assert!(multi.contains("4 matches"), "output: {multi}");
+        for id in [0, 1] {
+            let per_query = format!("{log}.q{id}");
+            assert!(multi.contains(&per_query), "output: {multi}");
+            assert_eq!(
+                std::fs::read_to_string(&per_query).unwrap().lines().count(),
+                2,
+                "each query delivers its own 2 matches"
+            );
+        }
     }
 
     #[test]

@@ -10,7 +10,12 @@
 //!   product of statistics that have since drifted — are preserved verbatim)
 //!   together with its **paused flag**,
 //! * the live (non-expired) edges of the data graph, re-expressed as
-//!   [`EdgeEvent`]s.
+//!   [`EdgeEvent`]s,
+//! * every **durable subscription** — its serialisable [`crate::SinkSpec`],
+//!   the delivery cursor of its last acknowledged match and its undelivered
+//!   outbox — re-attached after the suppressed replay so delivery resumes
+//!   exactly where it stopped (in-process sinks remain process-local and
+//!   are still excluded).
 //!
 //! Restore rebuilds the engine by re-registering the plans and replaying the
 //! retained edges with event emission suppressed: partial matches, summaries
@@ -39,8 +44,11 @@
 //! and start empty.
 
 use crate::config::EngineConfig;
+use crate::delivery::DeliveryCursor;
 use crate::engine::ContinuousQueryEngine;
+use crate::error::EngineError;
 use crate::event::{EventSink, MatchEvent};
+use crate::handle::QueryHandle;
 use serde::{Deserialize, Serialize};
 use streamworks_graph::{EdgeEvent, Timestamp};
 use streamworks_query::{QueryPlan, RpqQuery};
@@ -94,6 +102,16 @@ pub struct EngineCheckpoint {
     /// Total matches the engine had emitted when the checkpoint was taken
     /// (informational; restore starts a fresh counter).
     pub events_emitted: u64,
+    /// Durable subscriptions ([`crate::ContinuousQueryEngine::subscribe_durable`]):
+    /// per subscription, the [`crate::SinkSpec`] to reconnect, the delivery
+    /// cursor of the last acknowledged match and the undelivered outbox.
+    /// Durable subscribers are re-attached *after* the suppressed replay, so
+    /// a restored engine resumes each exactly after its cursor — no
+    /// duplicates, no losses. Defaults to empty, so checkpoints written
+    /// before durable delivery existed keep restoring (in-process sinks were
+    /// never captured, and still are not).
+    #[serde(default)]
+    pub durable: Vec<DeliveryCursor>,
 }
 
 /// Sink that drops every event (used while replaying a checkpoint).
@@ -155,6 +173,7 @@ impl EngineCheckpoint {
         let mut paused = Vec::new();
         let mut paused_at = Vec::new();
         let mut observed = Vec::new();
+        let mut durable = Vec::new();
         for h in engine.handles() {
             // Both query classes are captured, at their position in the
             // combined query-id order (the indexing of the lifecycle lists).
@@ -165,6 +184,7 @@ impl EngineCheckpoint {
             } else {
                 continue;
             }
+            durable.extend(engine.capture_durables(h, paused.len()));
             paused.push(engine.is_paused(h).unwrap_or(false));
             paused_at.push(engine.pause_time(h).unwrap_or(None));
             // Map the query's arrival-order observation boundaries (edge-id
@@ -201,12 +221,19 @@ impl EngineCheckpoint {
             live_edges: with_ids.into_iter().map(|(_, e)| e).collect(),
             taken_at: engine.graph().now(),
             events_emitted: engine.events_emitted(),
+            durable,
         }
     }
 
     /// Rebuilds an engine from this checkpoint (see the module docs for the
     /// exact semantics of the replay). The retained edges are replayed as one
     /// batch through the unified ingest path, with event emission suppressed.
+    /// Durable subscriptions are re-attached *after* the suppressed replay
+    /// and resume from their cursors; a destination that cannot be connected
+    /// (transient outage, or a delivery log truncated below its cursor) is
+    /// left for the first delivery attempt to retry through the engine's
+    /// [`crate::RetryPolicy`] — use [`Self::try_restore`] to surface a
+    /// corrupt delivery log as an error instead.
     ///
     /// # Panics
     ///
@@ -214,6 +241,46 @@ impl EngineCheckpoint {
     /// [`EngineConfig::validate`] (possible only for hand-edited JSON);
     /// validate the config first to recover gracefully.
     pub fn restore(&self) -> ContinuousQueryEngine {
+        let (mut engine, handles) = self.rebuild();
+        for cursor in &self.durable {
+            if let Some(&handle) = handles.get(cursor.query) {
+                let _ = engine.attach_durable(handle, cursor, false);
+            }
+        }
+        engine
+    }
+
+    /// Like [`Self::restore`], but strict about durable delivery state: a
+    /// durable subscription whose destination has lost part of the
+    /// acknowledged prefix (a delivery log truncated below the cursor) — or
+    /// whose cursor references a query position the checkpoint does not
+    /// contain — surfaces as [`EngineError::CorruptCheckpoint`] with the
+    /// byte offset where the acknowledged prefix ends. Transient connection
+    /// failures are still tolerated and retried on the first delivery
+    /// attempt.
+    pub fn try_restore(&self) -> Result<ContinuousQueryEngine, EngineError> {
+        let (mut engine, handles) = self.rebuild();
+        for cursor in &self.durable {
+            let Some(&handle) = handles.get(cursor.query) else {
+                return Err(EngineError::CorruptCheckpoint {
+                    offset: None,
+                    detail: format!(
+                        "durable cursor for subscription {} references query position {} but \
+                         the checkpoint holds {} queries",
+                        cursor.token,
+                        cursor.query,
+                        handles.len()
+                    ),
+                });
+            };
+            engine.attach_durable(handle, cursor, true)?;
+        }
+        Ok(engine)
+    }
+
+    /// The restore body shared by [`Self::restore`] and
+    /// [`Self::try_restore`]: everything except durable re-attachment.
+    fn rebuild(&self) -> (ContinuousQueryEngine, Vec<QueryHandle>) {
         let mut engine = ContinuousQueryEngine::new(self.config);
         // Re-register both query classes interleaved at their captured
         // positions, so slot ids — and the index-aligned lifecycle lists —
@@ -297,7 +364,7 @@ impl EngineCheckpoint {
         // The replayed matches were suppressed; continue the emitted-event
         // counter from where the checkpointed engine left off.
         engine.set_events_emitted(self.events_emitted);
-        engine
+        (engine, handles)
     }
 
     /// Serialises the checkpoint as JSON.
@@ -876,6 +943,150 @@ mod tests {
         assert!(checkpoint.paused.is_empty());
         let restored = checkpoint.restore();
         assert!(!restored.is_paused(restored.handles()[0]).unwrap());
+    }
+
+    #[test]
+    fn durable_cursors_round_trip_and_resume_after_the_acknowledged_match() {
+        use crate::delivery::{memory_sink_contents, reset_memory_sink, SinkSpec};
+        let key = "checkpoint_durable_resume";
+        reset_memory_sink(key);
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+        let handle = engine
+            .register_query(pair_query(Duration::from_secs(1_000)))
+            .unwrap();
+        engine
+            .subscribe_durable(handle, SinkSpec::Memory { key: key.into() })
+            .unwrap();
+        engine.ingest(&ev("a1", "rust", "mentions", 1)).unwrap();
+        engine.ingest(&ev("a2", "rust", "mentions", 2)).unwrap();
+        assert_eq!(memory_sink_contents(key).len(), 2);
+
+        // Through JSON, like a real restart.
+        let json = engine.checkpoint().to_json().unwrap();
+        let checkpoint = EngineCheckpoint::load(&json).unwrap();
+        assert_eq!(checkpoint.durable.len(), 1);
+        assert_eq!(checkpoint.durable[0].cursor, 2);
+        assert!(checkpoint.durable[0].outbox.is_empty());
+
+        let mut restored = checkpoint.try_restore().unwrap();
+        // The replayed matches were suppressed: nothing was re-delivered.
+        assert_eq!(memory_sink_contents(key).len(), 2);
+        // A fresh match after the restore is delivered exactly once.
+        restored.ingest(&ev("a3", "rust", "mentions", 3)).unwrap();
+        let lines = memory_sink_contents(key);
+        assert_eq!(lines.len(), 6, "2 checkpointed + 4 from the a3 pairings");
+        let h = restored.handles()[0];
+        assert_eq!(restored.metrics(h).unwrap().cursor_lag, 0);
+        reset_memory_sink(key);
+    }
+
+    #[test]
+    fn durable_cursors_survive_pause_resume_churn_across_the_restore() {
+        use crate::delivery::{memory_sink_contents, reset_memory_sink, SinkSpec};
+        let key = "checkpoint_durable_paused";
+        reset_memory_sink(key);
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+        let handle = engine
+            .register_query(pair_query(Duration::from_secs(1_000)))
+            .unwrap();
+        engine
+            .subscribe_durable(handle, SinkSpec::Memory { key: key.into() })
+            .unwrap();
+        engine.ingest(&ev("a1", "rust", "mentions", 1)).unwrap();
+        // Checkpoint while the query is paused: the durable cursor is
+        // captured alongside the paused flag.
+        engine.pause(handle).unwrap();
+        let checkpoint = engine.checkpoint();
+        assert_eq!(checkpoint.durable.len(), 1);
+        assert_eq!(checkpoint.durable[0].cursor, 0, "no match delivered yet");
+
+        let mut restored = checkpoint.try_restore().unwrap();
+        let h = restored.handles()[0];
+        assert!(restored.is_paused(h).unwrap());
+        assert_eq!(restored.subscription_count(h).unwrap(), 1);
+        // While paused nothing is delivered; after the resume the pre-pause
+        // partial completes and reaches the durable sink exactly once.
+        restored.ingest(&ev("g1", "go", "mentions", 2)).unwrap();
+        assert!(memory_sink_contents(key).is_empty());
+        restored.resume(h).unwrap();
+        restored.ingest(&ev("a2", "rust", "mentions", 3)).unwrap();
+        assert_eq!(memory_sink_contents(key).len(), 2);
+        reset_memory_sink(key);
+    }
+
+    #[test]
+    fn legacy_checkpoints_without_the_durable_field_still_restore() {
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+        engine
+            .register_query(pair_query(Duration::from_secs(60)))
+            .unwrap();
+        engine.ingest(&ev("a1", "rust", "mentions", 5)).unwrap();
+        let json = engine.checkpoint().to_json().unwrap();
+        assert!(json.contains("\"durable\""));
+        let legacy = json.replace(",\"durable\":[]", "");
+        assert!(!legacy.contains("\"durable\""));
+        let checkpoint = EngineCheckpoint::load(&legacy).unwrap();
+        assert!(checkpoint.durable.is_empty());
+        // Both restore paths behave exactly as before the field existed.
+        let restored = checkpoint.try_restore().unwrap();
+        assert_eq!(restored.query_count(), 1);
+        let restored = checkpoint.restore();
+        assert_eq!(
+            restored.subscription_count(restored.handles()[0]).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn a_truncated_delivery_log_is_a_corrupt_checkpoint_with_a_byte_offset() {
+        use crate::delivery::SinkSpec;
+        let dir = std::env::temp_dir().join("sw_checkpoint_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir
+            .join(format!("truncated_{}.log", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let _ = std::fs::remove_file(&path);
+
+        let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+        let handle = engine
+            .register_query(pair_query(Duration::from_secs(1_000)))
+            .unwrap();
+        engine
+            .subscribe_durable(handle, SinkSpec::LogFile { path: path.clone() })
+            .unwrap();
+        engine.ingest(&ev("a1", "rust", "mentions", 1)).unwrap();
+        engine.ingest(&ev("a2", "rust", "mentions", 2)).unwrap();
+        let checkpoint = engine.checkpoint();
+        assert_eq!(checkpoint.durable[0].cursor, 2);
+        drop(engine);
+
+        // An external actor truncates the delivery log to one line: the
+        // acknowledged prefix is gone and cannot be reconstructed.
+        let logged = std::fs::read_to_string(&path).unwrap();
+        let first_line_end = logged.find('\n').unwrap() + 1;
+        std::fs::write(&path, &logged[..first_line_end]).unwrap();
+
+        let err = match checkpoint.try_restore() {
+            Err(err) => err,
+            Ok(_) => panic!("strict restore rejects the truncated delivery log"),
+        };
+        match err {
+            EngineError::CorruptCheckpoint { offset, detail } => {
+                assert_eq!(offset, Some(first_line_end));
+                assert!(detail.contains("1 acknowledged lines"));
+                assert!(detail.contains("expects 2"));
+            }
+            other => panic!("expected CorruptCheckpoint, got {other:?}"),
+        }
+        // The non-strict path still restores; the subscription reports its
+        // failure through the delivery state machine instead.
+        let restored = checkpoint.restore();
+        assert_eq!(
+            restored.subscription_count(restored.handles()[0]).unwrap(),
+            1
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! exact O(#types) triad statistics — see that type's rustdoc for the values
 //! and the sampled-estimator history.
 
+use crate::delivery::RetryPolicy;
 use crate::engine::ContinuousQueryEngine;
 use crate::error::EngineError;
 use serde::{Deserialize, Serialize};
@@ -95,6 +96,14 @@ pub struct EngineConfig {
     /// when absent from serialized form.
     #[serde(default = "default_shard_failure_policy")]
     pub shard_failure_policy: ShardFailurePolicy,
+    /// Retry schedule applied to failing durable subscriptions (see
+    /// [`RetryPolicy`] and
+    /// [`crate::ContinuousQueryEngine::subscribe_durable`]): max consecutive
+    /// attempts before quarantine, exponential backoff with a cap, and the
+    /// per-attempt delivery timeout. Defaults to [`RetryPolicy::default`]
+    /// when absent from serialized form.
+    #[serde(default = "default_retry_policy")]
+    pub retry_policy: RetryPolicy,
 }
 
 /// Policy applied when a shard worker thread panics mid-stream.
@@ -161,6 +170,13 @@ fn default_shard_failure_policy() -> ShardFailurePolicy {
     ShardFailurePolicy::FailFast
 }
 
+/// Serde fallback for [`EngineConfig::retry_policy`]: checkpoints written
+/// before durable delivery existed restore with the default retry schedule
+/// (they contain no durable subscriptions, so the policy is dormant anyway).
+fn default_retry_policy() -> RetryPolicy {
+    RetryPolicy::default()
+}
+
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
@@ -175,6 +191,7 @@ impl Default for EngineConfig {
             lifted_sharing: true,
             channel_capacity: 1024,
             shard_failure_policy: ShardFailurePolicy::FailFast,
+            retry_policy: RetryPolicy::default(),
         }
     }
 }
@@ -233,6 +250,26 @@ impl EngineConfig {
             return Err(
                 "channel_capacity must be at least 1 (a zero-capacity channel would make \
                  every routed batch a rendezvous and deadlock the handoff protocol)"
+                    .into(),
+            );
+        }
+        if self.retry_policy.max_attempts == 0 {
+            return Err(
+                "retry_policy.max_attempts must be at least 1 (1 restores one-strike \
+                 quarantine; 0 would quarantine before the first attempt)"
+                    .into(),
+            );
+        }
+        if self.retry_policy.backoff_cap_ms < self.retry_policy.backoff_base_ms {
+            return Err(format!(
+                "retry_policy.backoff_cap_ms ({}) must not be below backoff_base_ms ({})",
+                self.retry_policy.backoff_cap_ms, self.retry_policy.backoff_base_ms
+            ));
+        }
+        if self.retry_policy.attempt_timeout_ms == 0 {
+            return Err(
+                "retry_policy.attempt_timeout_ms must be at least 1 (a zero timeout would \
+                 fail every transport delivery immediately)"
                     .into(),
             );
         }
@@ -371,6 +408,14 @@ impl EngineBuilder {
     /// [`ShardFailurePolicy`]; fail-fast by default).
     pub fn shard_failure_policy(mut self, policy: ShardFailurePolicy) -> Self {
         self.config.shard_failure_policy = policy;
+        self
+    }
+
+    /// Sets the retry schedule for failing durable subscriptions (see
+    /// [`RetryPolicy`]; four attempts with capped exponential backoff by
+    /// default). Validated at build time.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.config.retry_policy = policy;
         self
     }
 
@@ -574,6 +619,49 @@ mod tests {
         let config: EngineConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(config.channel_capacity, 1024);
         assert_eq!(config.shard_failure_policy, ShardFailurePolicy::FailFast);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn retry_policies_are_validated() {
+        let mut config = EngineConfig::default();
+        config.retry_policy.max_attempts = 0;
+        assert!(config.validate().unwrap_err().contains("max_attempts"));
+        let mut config = EngineConfig::default();
+        config.retry_policy.backoff_base_ms = 100;
+        config.retry_policy.backoff_cap_ms = 10;
+        assert!(config.validate().unwrap_err().contains("backoff_cap_ms"));
+        let mut config = EngineConfig::default();
+        config.retry_policy.attempt_timeout_ms = 0;
+        assert!(config
+            .validate()
+            .unwrap_err()
+            .contains("attempt_timeout_ms"));
+        assert!(EngineBuilder::new()
+            .retry_policy(RetryPolicy {
+                max_attempts: 0,
+                ..Default::default()
+            })
+            .build()
+            .is_err());
+        let engine = EngineBuilder::new()
+            .retry_policy(RetryPolicy::none())
+            .build()
+            .unwrap();
+        assert_eq!(engine.config().retry_policy, RetryPolicy::none());
+    }
+
+    #[test]
+    fn configs_serialized_before_the_retry_policy_field_still_deserialize() {
+        // A checkpoint written before durable delivery has no `retry_policy`
+        // key; it must come back with the default schedule.
+        let mut json = serde_json::to_string(&EngineConfig::default()).unwrap();
+        assert!(json.contains("\"retry_policy\""));
+        let serialized = serde_json::to_string(&RetryPolicy::default()).unwrap();
+        json = json.replace(&format!(",\"retry_policy\":{serialized}"), "");
+        assert!(!json.contains("retry_policy"));
+        let config: EngineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(config.retry_policy, RetryPolicy::default());
         assert!(config.validate().is_ok());
     }
 

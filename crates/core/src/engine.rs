@@ -17,8 +17,11 @@
 
 use crate::binding::PartialMatch;
 use crate::config::{EngineBuilder, EngineConfig};
+use crate::delivery::{
+    ConnectError, DeliveryCursor, DeliveryStatus, DurableSub, RetryPolicy, SinkSpec,
+};
 use crate::error::EngineError;
-use crate::event::{CollectingSink, EventSink, MatchEvent, QueryId};
+use crate::event::{CollectingSink, EventSink, MatchEvent, QueryId, SinkOverflow};
 use crate::handle::{QueryHandle, SubscriptionId};
 use crate::ingest::Ingest;
 use crate::metrics::{EngineMetrics, QueryMetrics, ShardMetrics};
@@ -205,6 +208,11 @@ struct QueryState {
     shared_edges_base: u64,
     /// Per-query subscriptions, in subscription order.
     subscribers: Vec<Subscription>,
+    /// Durable subscriptions ([`ContinuousQueryEngine::subscribe_durable`]):
+    /// serialisable sink specs with per-subscription delivery cursors and
+    /// bounded outboxes, drained at the end of each `ingest` call and
+    /// persisted in checkpoints.
+    durables: Vec<DurableSub>,
 }
 
 /// One per-query subscription. Delivery to its sink is supervised: a sink
@@ -229,9 +237,22 @@ struct Subscription {
 pub enum SubscriptionHealth {
     /// The sink is attached and receiving matches.
     Active,
+    /// Durable subscriptions only: recent deliveries failed and are being
+    /// retried under the engine's [`crate::RetryPolicy`] (exponential
+    /// backoff); matches keep accumulating in the subscription's outbox.
+    /// In-process sinks never pass through this state — they quarantine on
+    /// the first failure.
+    Degraded {
+        /// Consecutive failed delivery attempts so far.
+        failures: u32,
+    },
     /// The sink panicked (or failed) during a delivery and was detached;
-    /// the payload is the recorded failure message. The subscription stays
-    /// registered — and this health stays queryable — until unsubscribed.
+    /// the payload is the recorded failure message. For a durable
+    /// subscription this means the retry budget is exhausted — probation
+    /// (an automatic probe after the backoff cap, or
+    /// [`ContinuousQueryEngine::resubscribe`]) can still promote it back.
+    /// The subscription stays registered — and this health stays
+    /// queryable — until unsubscribed.
     Quarantined(String),
 }
 
@@ -297,17 +318,22 @@ fn trim_observed(observed: &mut Vec<u64>, live_horizon: u64) {
 /// the remaining subscribers — and the call-level sink — still receive the
 /// event. The call-level sink is *not* supervised: it lives on the caller's
 /// own stack, so a panic there is the caller's to handle.
+#[allow(clippy::too_many_arguments)] // internal plumbing shared by every emission path
 fn deliver_match(
     handle: QueryHandle,
     query: &QueryGraph,
     graph: &DynamicGraph,
     m: &PartialMatch,
     subscribers: &mut [Subscription],
+    durables: &mut [DurableSub],
+    policy: &RetryPolicy,
     sink: &mut dyn EventSink,
 ) {
     deliver_event(
         MatchEvent::from_match(handle, query, graph, m),
         subscribers,
+        durables,
+        policy,
         sink,
     );
 }
@@ -316,7 +342,18 @@ fn deliver_match(
 /// already-built event to the query's subscriptions and the call-level sink.
 /// RPQ path matches enter here directly (they have no `PartialMatch`), so
 /// both query classes share one emission point.
-fn deliver_event(event: MatchEvent, subscribers: &mut [Subscription], sink: &mut dyn EventSink) {
+///
+/// Durable subscriptions only *route* here: the rendered match joins each
+/// outbox and is delivered (with retry/backoff) when the outboxes drain at
+/// the end of the `ingest` call. With no durable subscribers registered the
+/// durable branch is a single emptiness check.
+fn deliver_event(
+    event: MatchEvent,
+    subscribers: &mut [Subscription],
+    durables: &mut [DurableSub],
+    policy: &RetryPolicy,
+    sink: &mut dyn EventSink,
+) {
     for sub in subscribers.iter_mut() {
         let Some(subscriber) = sub.sink.as_mut() else {
             continue; // already quarantined
@@ -333,9 +370,15 @@ fn deliver_event(event: MatchEvent, subscribers: &mut [Subscription], sink: &mut
             sub.dropped = sub
                 .sink
                 .as_ref()
-                .map_or(sub.dropped, |s| s.events_dropped());
+                .map_or(sub.dropped, |s| s.events_dropped_for(event.query));
             sub.sink = None;
             sub.error = Some(message);
+        }
+    }
+    if !durables.is_empty() {
+        let line = event.render();
+        for durable in durables.iter_mut() {
+            durable.enqueue(line.clone(), policy);
         }
     }
     sink.on_match(event);
@@ -527,6 +570,49 @@ impl ContinuousQueryEngine {
         self.events_emitted = value;
     }
 
+    /// Snapshots the durable subscriptions of one query for a checkpoint,
+    /// tagged with the query's position in the checkpoint's slot order.
+    pub(crate) fn capture_durables(
+        &self,
+        handle: QueryHandle,
+        query: usize,
+    ) -> Vec<DeliveryCursor> {
+        self.state(handle).map_or_else(
+            |_| Vec::new(),
+            |state| state.durables.iter().map(|d| d.to_cursor(query)).collect(),
+        )
+    }
+
+    /// Re-attaches one captured durable subscription during checkpoint
+    /// restore. The destination is reconnected and truncated to exactly
+    /// `cursor` acknowledged matches, discarding any unacknowledged writes
+    /// a crashed run raced in after the snapshot. In strict mode a
+    /// destination shorter than the cursor (evidence of external
+    /// tampering or loss) surfaces as [`EngineError::CorruptCheckpoint`];
+    /// otherwise connection problems are left for the first delivery
+    /// attempt to retry.
+    pub(crate) fn attach_durable(
+        &mut self,
+        handle: QueryHandle,
+        cursor: &DeliveryCursor,
+        strict: bool,
+    ) -> Result<(), EngineError> {
+        self.next_subscription = self.next_subscription.max(cursor.token + 1);
+        let mut sub = DurableSub::from_cursor(cursor);
+        match cursor.spec.connect(cursor.cursor) {
+            Ok(target) => sub.target = Some(target),
+            Err(ConnectError::Corrupt { offset, detail }) if strict => {
+                return Err(EngineError::CorruptCheckpoint {
+                    offset: Some(offset),
+                    detail,
+                });
+            }
+            Err(_) => {}
+        }
+        self.state_mut(handle)?.durables.push(sub);
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Query registration and lifecycle
     // ------------------------------------------------------------------
@@ -558,6 +644,7 @@ impl ContinuousQueryEngine {
             shared_edges_accum: 0,
             shared_edges_base: self.shared.shared_events(),
             subscribers: Vec::new(),
+            durables: Vec::new(),
         };
         self.queries[index].state = Some(state);
         self.rebuild_dispatch();
@@ -620,6 +707,7 @@ impl ContinuousQueryEngine {
             shared_edges_accum: 0,
             shared_edges_base: self.shared.shared_events(),
             subscribers: Vec::new(),
+            durables: Vec::new(),
         };
         self.queries[index].state = Some(state);
         self.rebuild_dispatch();
@@ -904,8 +992,20 @@ impl ContinuousQueryEngine {
         m.sink_events_dropped += state
             .subscribers
             .iter()
-            .map(|s| s.dropped + s.sink.as_ref().map_or(0, |sink| sink.events_dropped()))
+            .map(|s| {
+                s.dropped
+                    + s.sink
+                        .as_ref()
+                        .map_or(0, |sink| sink.events_dropped_for(handle.id()))
+            })
             .sum::<u64>();
+        for d in &state.durables {
+            m.sink_events_dropped += d.dropped;
+            m.delivery_attempts += d.attempts;
+            m.delivery_retries += d.retries;
+            m.delivery_recoveries += d.recoveries;
+            m.cursor_lag += d.lag();
+        }
         Ok(m)
     }
 
@@ -922,6 +1022,16 @@ impl ContinuousQueryEngine {
         m.subtree_joins_run = s.subtree_joins_run;
         m.subtree_joins_saved = s.subtree_joins_saved;
         m.lifted_dispatch_hits = s.lifted_dispatch_hits;
+        for slot in &self.queries {
+            if let Some(state) = &slot.state {
+                for d in &state.durables {
+                    m.delivery_attempts += d.attempts;
+                    m.delivery_retries += d.retries;
+                    m.delivery_recoveries += d.recoveries;
+                    m.cursor_lag += d.lag();
+                }
+            }
+        }
         m
     }
 
@@ -1014,8 +1124,110 @@ impl ContinuousQueryEngine {
         })
     }
 
-    /// Detaches a subscription. The sink is dropped; a stale or unknown id is
-    /// rejected. (Deregistering a query drops all its subscriptions at once.)
+    /// Attaches a durable subscription to one query: matches are rendered,
+    /// buffered in a bounded outbox and delivered to the serialisable
+    /// [`SinkSpec`] destination at the end of each `ingest` call, with
+    /// retry/backoff per [`crate::EngineConfig::retry_policy`]. The
+    /// subscription's delivery cursor (count of acknowledged matches) is
+    /// persisted by [`crate::EngineCheckpoint`], so a restored engine
+    /// resumes delivery exactly after the last acknowledged match. Uses a
+    /// 1024-entry outbox with [`SinkOverflow::Block`] (drain inline when
+    /// full); see [`Self::subscribe_durable_with`] to choose both.
+    pub fn subscribe_durable(
+        &mut self,
+        handle: QueryHandle,
+        spec: SinkSpec,
+    ) -> Result<SubscriptionId, EngineError> {
+        self.subscribe_durable_with(handle, spec, 1024, SinkOverflow::Block)
+    }
+
+    /// [`Self::subscribe_durable`] with an explicit outbox capacity and
+    /// overflow policy. `DropOldest`/`DropNewest` count every dropped match
+    /// on the subscription's drop counter; `Block` drains the outbox inline
+    /// before accepting the overflowing match, falling back to
+    /// `DropOldest` when the destination is down (delivery happens on the
+    /// ingest thread, so truly blocking would deadlock the stream).
+    /// [`EngineError::InvalidConfig`] for a zero capacity.
+    pub fn subscribe_durable_with(
+        &mut self,
+        handle: QueryHandle,
+        spec: SinkSpec,
+        capacity: usize,
+        overflow: SinkOverflow,
+    ) -> Result<SubscriptionId, EngineError> {
+        if capacity == 0 {
+            return Err(EngineError::InvalidConfig(
+                "durable outbox capacity must be at least 1".into(),
+            ));
+        }
+        let token = self.next_subscription;
+        let state = self.state_mut(handle)?;
+        state
+            .durables
+            .push(DurableSub::new(token, spec, capacity, overflow));
+        self.next_subscription += 1;
+        Ok(SubscriptionId {
+            query: handle.id(),
+            token,
+        })
+    }
+
+    /// Puts a quarantined or degraded durable subscription back on
+    /// probation: its failure count and backoff gates are cleared and the
+    /// next drain reconnects and re-attempts delivery from the cursor.
+    /// [`EngineError::UnknownSubscription`] for a non-durable or unknown id.
+    pub fn resubscribe(&mut self, sub: SubscriptionId) -> Result<(), EngineError> {
+        self.check_poisoned()?;
+        let state = self
+            .queries
+            .get_mut(sub.query.0)
+            .and_then(|slot| slot.state.as_mut())
+            .ok_or(EngineError::UnknownSubscription(sub))?;
+        let durable = state
+            .durables
+            .iter_mut()
+            .find(|d| d.token == sub.token)
+            .ok_or(EngineError::UnknownSubscription(sub))?;
+        durable.probation();
+        Ok(())
+    }
+
+    /// Drains every durable subscription's outbox now, ignoring backoff and
+    /// quarantine gates (each gets at least one fresh attempt). Returns the
+    /// total number of matches still undelivered afterwards — zero means
+    /// every durable subscriber is fully caught up. Intended for shutdown
+    /// and for tests; regular draining happens at the end of each `ingest`.
+    pub fn flush_deliveries(&mut self) -> u64 {
+        let policy = self.config.retry_policy;
+        let mut lag = 0;
+        for slot in &mut self.queries {
+            if let Some(state) = slot.state.as_mut() {
+                for durable in &mut state.durables {
+                    durable.drain(&policy, true);
+                    lag += durable.lag();
+                }
+            }
+        }
+        lag
+    }
+
+    /// End-of-ingest delivery pass: every durable subscription whose gates
+    /// allow an attempt drains as much of its outbox as the destination
+    /// accepts.
+    fn drain_deliveries(&mut self) {
+        let policy = self.config.retry_policy;
+        for slot in &mut self.queries {
+            if let Some(state) = slot.state.as_mut() {
+                for durable in &mut state.durables {
+                    durable.drain(&policy, false);
+                }
+            }
+        }
+    }
+
+    /// Detaches a subscription (in-process or durable). The sink is dropped;
+    /// a stale or unknown id is rejected. (Deregistering a query drops all
+    /// its subscriptions at once.)
     pub fn unsubscribe(&mut self, sub: SubscriptionId) -> Result<(), EngineError> {
         self.check_poisoned()?;
         let state = self
@@ -1023,18 +1235,42 @@ impl ContinuousQueryEngine {
             .get_mut(sub.query.0)
             .and_then(|slot| slot.state.as_mut())
             .ok_or(EngineError::UnknownSubscription(sub))?;
-        let before = state.subscribers.len();
+        let before = state.subscribers.len() + state.durables.len();
         state.subscribers.retain(|s| s.token != sub.token);
-        if state.subscribers.len() == before {
+        state.durables.retain(|d| d.token != sub.token);
+        if state.subscribers.len() + state.durables.len() == before {
             return Err(EngineError::UnknownSubscription(sub));
         }
         Ok(())
     }
 
-    /// Number of subscriptions on a query, quarantined ones included (they
-    /// stay registered so their health remains queryable).
+    /// Number of subscriptions on a query — durable ones and quarantined
+    /// ones included (they stay registered so their health remains
+    /// queryable).
     pub fn subscription_count(&self, handle: QueryHandle) -> Result<usize, EngineError> {
-        Ok(self.state(handle)?.subscribers.len())
+        let state = self.state(handle)?;
+        Ok(state.subscribers.len() + state.durables.len())
+    }
+
+    /// Ids of the query's durable subscriptions, in registration order. An
+    /// engine restored from an [`crate::EngineCheckpoint`] re-attaches
+    /// durable subscriptions without handing back their original
+    /// [`SubscriptionId`]s; this accessor recovers them so the caller can
+    /// still [`Self::resubscribe`], [`Self::unsubscribe`] or query
+    /// [`Self::subscription_health`] after a restore.
+    pub fn durable_subscriptions(
+        &self,
+        handle: QueryHandle,
+    ) -> Result<Vec<SubscriptionId>, EngineError> {
+        let state = self.state(handle)?;
+        Ok(state
+            .durables
+            .iter()
+            .map(|d| SubscriptionId {
+                query: handle.id(),
+                token: d.token,
+            })
+            .collect())
     }
 
     /// Health of one subscription: [`SubscriptionHealth::Active`] while its
@@ -1052,14 +1288,25 @@ impl ContinuousQueryEngine {
             .get(sub.query.0)
             .and_then(|slot| slot.state.as_ref())
             .ok_or(EngineError::UnknownSubscription(sub))?;
-        let subscription = state
-            .subscribers
+        if let Some(subscription) = state.subscribers.iter().find(|s| s.token == sub.token) {
+            return Ok(match &subscription.error {
+                Some(message) => SubscriptionHealth::Quarantined(message.clone()),
+                None => SubscriptionHealth::Active,
+            });
+        }
+        let durable = state
+            .durables
             .iter()
-            .find(|s| s.token == sub.token)
+            .find(|d| d.token == sub.token)
             .ok_or(EngineError::UnknownSubscription(sub))?;
-        Ok(match &subscription.error {
-            Some(message) => SubscriptionHealth::Quarantined(message.clone()),
-            None => SubscriptionHealth::Active,
+        Ok(match &durable.status {
+            DeliveryStatus::Active => SubscriptionHealth::Active,
+            DeliveryStatus::Degraded { failures } => SubscriptionHealth::Degraded {
+                failures: *failures,
+            },
+            DeliveryStatus::Quarantined { reason } => {
+                SubscriptionHealth::Quarantined(reason.clone())
+            }
         })
     }
 
@@ -1202,6 +1449,10 @@ impl ContinuousQueryEngine {
         if trailing_prune && self.edges_since_prune > 0 {
             self.prune_now();
         }
+        // Durable subscribers buffer their matches in per-subscription
+        // outboxes during dispatch; the end of the ingest call is the one
+        // point where delivery (with retry/backoff) is attempted.
+        self.drain_deliveries();
         self.surface_shard_failures()?;
         Ok(emitted)
     }
@@ -1260,6 +1511,7 @@ impl ContinuousQueryEngine {
         // Stable: preserves each query's own (already seq-sorted) order.
         completed.sort_by_key(|(seq, _, _)| *seq);
         let graph = &self.graph;
+        let policy = self.config.retry_policy;
         let mut emitted = 0usize;
         for (_, idx, m) in &completed {
             let slot = &mut self.queries[*idx];
@@ -1278,6 +1530,8 @@ impl ContinuousQueryEngine {
                 graph,
                 m,
                 &mut state.subscribers,
+                &mut state.durables,
+                &policy,
                 sink,
             );
             emitted += 1;
@@ -1363,6 +1617,7 @@ impl ContinuousQueryEngine {
         let mut emitted = 0usize;
         let mut complete = std::mem::take(&mut self.match_scratch);
         let graph = &self.graph;
+        let policy = self.config.retry_policy;
         if self.sharing_active {
             self.shared.search_edge(graph, edge);
             let mut deliveries = std::mem::take(&mut self.delivery_scratch);
@@ -1394,6 +1649,8 @@ impl ContinuousQueryEngine {
                                 graph,
                                 &m,
                                 &mut state.subscribers,
+                                &mut state.durables,
+                                &policy,
                                 sink,
                             );
                             emitted += 1;
@@ -1460,6 +1717,8 @@ impl ContinuousQueryEngine {
                                     graph,
                                     &m,
                                     &mut state.subscribers,
+                                    &mut state.durables,
+                                    &policy,
                                     sink,
                                 );
                                 emitted += 1;
@@ -1518,7 +1777,13 @@ impl ContinuousQueryEngine {
                     let name = rpq.query().name();
                     for p in paths.drain(..) {
                         let event = MatchEvent::from_path(handle, name, graph, &p);
-                        deliver_event(event, &mut state.subscribers, sink);
+                        deliver_event(
+                            event,
+                            &mut state.subscribers,
+                            &mut state.durables,
+                            &policy,
+                            sink,
+                        );
                         emitted += 1;
                     }
                     self.rpq_scratch = paths;
@@ -1534,6 +1799,8 @@ impl ContinuousQueryEngine {
                     graph,
                     &m,
                     &mut state.subscribers,
+                    &mut state.durables,
+                    &policy,
                     sink,
                 );
                 emitted += 1;
@@ -1953,5 +2220,70 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn durable_subscriptions_deliver_and_report_metrics() {
+        use crate::delivery::{memory_sink_contents, reset_memory_sink, SinkSpec};
+        let key = "engine_durable_memory";
+        reset_memory_sink(key);
+        let mut engine = engine();
+        let handle = engine
+            .register_query(common_keyword_query(Duration::from_hours(1)))
+            .unwrap();
+        let sub = engine
+            .subscribe_durable(handle, SinkSpec::Memory { key: key.into() })
+            .unwrap();
+        assert_eq!(engine.subscription_count(handle).unwrap(), 1);
+        let events = [
+            ev("a1", "Article", "k1", "Keyword", "mentions", 1),
+            ev("a2", "Article", "k1", "Keyword", "mentions", 2),
+        ];
+        engine.ingest(&events).unwrap();
+        // Delivery happens at the end of the ingest call, no flush needed.
+        let lines = memory_sink_contents(key);
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.contains("common_keyword")));
+        let m = engine.metrics(handle).unwrap();
+        assert_eq!(m.delivery_attempts, 2);
+        assert_eq!(m.delivery_retries, 0);
+        assert_eq!(m.cursor_lag, 0);
+        assert_eq!(engine.engine_metrics().delivery_attempts, 2);
+        assert_eq!(
+            engine.subscription_health(sub).unwrap(),
+            SubscriptionHealth::Active
+        );
+        engine.unsubscribe(sub).unwrap();
+        assert_eq!(engine.subscription_count(handle).unwrap(), 0);
+        reset_memory_sink(key);
+    }
+
+    #[test]
+    fn shared_buffer_drops_attribute_to_the_evicted_query_via_metrics() {
+        let mut engine = engine();
+        let q_kw = engine
+            .register_query(common_keyword_query(Duration::from_hours(1)))
+            .unwrap();
+        let q_loc = engine
+            .register_dsl(
+                "QUERY colocated WINDOW 1h MATCH (a1:Article)-[:located]->(l:Location), (a2:Article)-[:located]->(l)",
+            )
+            .unwrap();
+        // Both queries share one 2-slot DropOldest buffer.
+        let (sink, _buffer) = BufferingSink::bounded(2, SinkOverflow::DropOldest);
+        let shared = sink.share();
+        engine.subscribe(q_kw, sink).unwrap();
+        engine.subscribe(q_loc, shared).unwrap();
+        // Two keyword matches fill the buffer, then two location matches
+        // evict them: the drops belong to the *evicted* keyword query.
+        let events = [
+            ev("a1", "Article", "k1", "Keyword", "mentions", 1),
+            ev("a2", "Article", "k1", "Keyword", "mentions", 2),
+            ev("a1", "Article", "paris", "Location", "located", 3),
+            ev("a2", "Article", "paris", "Location", "located", 4),
+        ];
+        engine.ingest(&events).unwrap();
+        assert_eq!(engine.metrics(q_kw).unwrap().sink_events_dropped, 2);
+        assert_eq!(engine.metrics(q_loc).unwrap().sink_events_dropped, 0);
     }
 }

@@ -172,6 +172,18 @@ pub trait EventSink {
     fn events_dropped(&self) -> u64 {
         0
     }
+
+    /// Discarded events attributed to `query`'s subscription. Attribution
+    /// follows the *discarded* match: under [`SinkOverflow::DropOldest`]
+    /// the evicted match's query pays, not the incoming one's — they
+    /// differ when subscriptions of several queries share one bounded
+    /// buffer (see [`BufferingSink::share`]). The default charges the
+    /// whole [`EventSink::events_dropped`] total, which is exact for the
+    /// common case of a sink serving a single subscription.
+    fn events_dropped_for(&self, query: QueryId) -> u64 {
+        let _ = query;
+        self.events_dropped()
+    }
 }
 
 /// What a bounded sink queue does when it is full (see
@@ -180,7 +192,7 @@ pub trait EventSink {
 /// `Block` preserves every event at the cost of stalling the engine's
 /// ingest thread until the consumer drains; the drop policies keep ingest
 /// non-blocking and count what they discard.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SinkOverflow {
     /// Wait for space: correctness-preserving backpressure onto the ingest
     /// thread.
@@ -371,6 +383,10 @@ impl MatchCounter {
 struct BufferShared {
     queue: std::sync::Mutex<std::collections::VecDeque<MatchEvent>>,
     dropped: std::sync::atomic::AtomicU64,
+    /// Per-query drop attribution, keyed by the *discarded* match's query
+    /// id — exact even when subscriptions of several queries share one
+    /// bounded buffer.
+    dropped_by_query: std::sync::Mutex<std::collections::BTreeMap<usize, u64>>,
 }
 
 impl BufferShared {
@@ -378,6 +394,26 @@ impl BufferShared {
         self.queue
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn charge_drop(&self, query: usize) {
+        self.dropped
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        *self
+            .dropped_by_query
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(query)
+            .or_insert(0) += 1;
+    }
+
+    fn dropped_for(&self, query: usize) -> u64 {
+        self.dropped_by_query
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&query)
+            .copied()
+            .unwrap_or(0)
     }
 }
 
@@ -423,6 +459,19 @@ impl BufferingSink {
             MatchBuffer(shared),
         )
     }
+
+    /// A second sink over the *same* buffer (same capacity and overflow
+    /// policy), so subscriptions of several queries can share one bounded
+    /// queue. Drop counters stay exact per subscription: an overflow is
+    /// attributed to the discarded match's query
+    /// ([`EventSink::events_dropped_for`]).
+    pub fn share(&self) -> BufferingSink {
+        BufferingSink {
+            shared: self.shared.clone(),
+            capacity: self.capacity,
+            policy: self.policy,
+        }
+    }
 }
 
 impl EventSink for BufferingSink {
@@ -441,17 +490,18 @@ impl EventSink for BufferingSink {
                     std::thread::sleep(std::time::Duration::from_millis(1));
                 }
                 SinkOverflow::DropOldest => {
-                    queue.pop_front();
+                    // The *evicted* match's subscription pays for the drop,
+                    // not the incoming one's.
+                    let victim = queue.pop_front().map_or(event.query.0, |e| e.query.0);
                     queue.push_back(event);
-                    self.shared
-                        .dropped
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    drop(queue);
+                    self.shared.charge_drop(victim);
                     return;
                 }
                 SinkOverflow::DropNewest => {
-                    self.shared
-                        .dropped
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let victim = event.query.0;
+                    drop(queue);
+                    self.shared.charge_drop(victim);
                     return;
                 }
             }
@@ -462,6 +512,10 @@ impl EventSink for BufferingSink {
         self.shared
             .dropped
             .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn events_dropped_for(&self, query: QueryId) -> u64 {
+        self.shared.dropped_for(query.0)
     }
 }
 
@@ -488,6 +542,13 @@ impl MatchBuffer {
     /// Events the paired sink has discarded under its overflow policy.
     pub fn dropped(&self) -> u64 {
         self.0.dropped.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Discards attributed to `query` — the discarded match's query, exact
+    /// when several queries' subscriptions share this buffer (see
+    /// [`BufferingSink::share`]).
+    pub fn dropped_for(&self, query: QueryId) -> u64 {
+        self.0.dropped_for(query.0)
     }
 }
 
@@ -622,6 +683,34 @@ mod tests {
         assert_eq!(kept, vec![3, 4]);
         assert_eq!(buffer.dropped(), 3);
         assert_eq!(sink.events_dropped(), 3);
+    }
+
+    #[test]
+    fn shared_buffer_drop_oldest_charges_the_evicted_subscription() {
+        // Two subscriptions (queries 0 and 1) share one bounded buffer.
+        // Query 1's flood evicts query 0's queued matches: the drops belong
+        // to query 0 (the evicted side), not to the incoming query 1.
+        let (mut sink_a, buffer) = BufferingSink::bounded(2, SinkOverflow::DropOldest);
+        let mut sink_b = sink_a.share();
+        sink_a.on_match(event_for(0));
+        sink_a.on_match(event_for(0));
+        for _ in 0..2 {
+            sink_b.on_match(event_for(1));
+        }
+        let kept: Vec<usize> = buffer.drain().iter().map(|e| e.query.0).collect();
+        assert_eq!(kept, vec![1, 1]);
+        assert_eq!(buffer.dropped(), 2);
+        assert_eq!(buffer.dropped_for(QueryId(0)), 2);
+        assert_eq!(buffer.dropped_for(QueryId(1)), 0);
+        assert_eq!(sink_a.events_dropped_for(QueryId(0)), 2);
+        assert_eq!(sink_b.events_dropped_for(QueryId(1)), 0);
+        // DropNewest attribution stays on the refused (incoming) match.
+        let (mut sink_c, buffer) = BufferingSink::bounded(1, SinkOverflow::DropNewest);
+        let mut sink_d = sink_c.share();
+        sink_c.on_match(event_for(0));
+        sink_d.on_match(event_for(1));
+        assert_eq!(buffer.dropped_for(QueryId(1)), 1);
+        assert_eq!(buffer.dropped_for(QueryId(0)), 0);
     }
 
     #[test]

@@ -53,6 +53,7 @@ mod binding;
 mod checkpoint;
 mod config;
 mod constraints;
+mod delivery;
 mod engine;
 mod error;
 mod event;
@@ -73,6 +74,10 @@ pub use binding::{Binding, PartialMatch, INLINE_EDGES, INLINE_VERTICES};
 pub use checkpoint::EngineCheckpoint;
 pub use config::{EngineBuilder, EngineConfig, ShardFailurePolicy};
 pub use constraints::CompiledConstraints;
+pub use delivery::{
+    clear_endpoint, memory_sink_contents, register_endpoint, reset_memory_sink, DeliveryCursor,
+    RetryPolicy, SinkSpec, Transport, TransportFactory,
+};
 pub use engine::{ContinuousQueryEngine, SubscriptionHealth};
 pub use error::EngineError;
 pub use event::{

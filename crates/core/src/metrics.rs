@@ -63,6 +63,24 @@ pub struct QueryMetrics {
     /// mixed-kind aggregates can still attribute accepts.
     #[serde(default)]
     pub rpq_accepts: u64,
+    /// Durable delivery attempts performed for this query's durable
+    /// subscriptions (every try counts: first attempts, retries and
+    /// probation probes). Zero when no durable subscribers are registered.
+    #[serde(default)]
+    pub delivery_attempts: u64,
+    /// Delivery attempts that were retries or probation probes — performed
+    /// while the subscription was `Degraded` or `Quarantined`.
+    #[serde(default)]
+    pub delivery_retries: u64,
+    /// Promotions of a durable subscription back to `Active` after a
+    /// degraded or quarantined spell.
+    #[serde(default)]
+    pub delivery_recoveries: u64,
+    /// Gauge: matches routed to this query's durable subscriptions but not
+    /// yet acknowledged (the summed outbox depth). Zero when every durable
+    /// subscriber is caught up.
+    #[serde(default)]
+    pub cursor_lag: u64,
 }
 
 impl QueryMetrics {
@@ -102,6 +120,10 @@ impl QueryMetrics {
         self.rpq_tree_nodes_live += other.rpq_tree_nodes_live;
         self.rpq_expansions += other.rpq_expansions;
         self.rpq_accepts += other.rpq_accepts;
+        self.delivery_attempts += other.delivery_attempts;
+        self.delivery_retries += other.delivery_retries;
+        self.delivery_recoveries += other.delivery_recoveries;
+        self.cursor_lag += other.cursor_lag;
     }
 }
 
@@ -155,6 +177,22 @@ pub struct EngineMetrics {
     /// search per distinct constant.
     #[serde(default)]
     pub lifted_dispatch_hits: u64,
+    /// Durable delivery attempts across every registered query (see
+    /// [`QueryMetrics::delivery_attempts`]).
+    #[serde(default)]
+    pub delivery_attempts: u64,
+    /// Retry/probe attempts across every registered query (see
+    /// [`QueryMetrics::delivery_retries`]).
+    #[serde(default)]
+    pub delivery_retries: u64,
+    /// Promotions back to `Active` across every registered query (see
+    /// [`QueryMetrics::delivery_recoveries`]).
+    #[serde(default)]
+    pub delivery_recoveries: u64,
+    /// Gauge: undelivered durable outbox entries across every registered
+    /// query (see [`QueryMetrics::cursor_lag`]).
+    #[serde(default)]
+    pub cursor_lag: u64,
 }
 
 impl EngineMetrics {

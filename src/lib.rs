@@ -134,11 +134,13 @@ pub mod report {
 }
 
 pub use streamworks_core::{
-    failpoint, AdaptiveConfig, AdaptiveReplanner, BufferingSink, CallbackSink, ChannelSink,
-    CollectingSink, ContinuousQueryEngine, CountingSink, EngineBuilder, EngineConfig, EngineError,
+    clear_endpoint, failpoint, memory_sink_contents, register_endpoint, reset_memory_sink,
+    AdaptiveConfig, AdaptiveReplanner, BufferingSink, CallbackSink, ChannelSink, CollectingSink,
+    ContinuousQueryEngine, CountingSink, DeliveryCursor, EngineBuilder, EngineConfig, EngineError,
     EngineMetrics, EventBatch, EventSink, Ingest, MatchBuffer, MatchCounter, MatchEvent,
-    ParallelRunner, QueryHandle, QueryId, QueryMetrics, ShardFailure, ShardFailurePolicy,
-    ShardMetrics, ShardedMatcher, SinkOverflow, SubscriptionHealth, SubscriptionId,
+    ParallelRunner, QueryHandle, QueryId, QueryMetrics, RetryPolicy, ShardFailure,
+    ShardFailurePolicy, ShardMetrics, ShardedMatcher, SinkOverflow, SinkSpec, SubscriptionHealth,
+    SubscriptionId, Transport,
 };
 pub use streamworks_graph::{
     AttrValue, Attrs, Direction, Duration, DynamicGraph, EdgeEvent, EdgeId, Timestamp, VertexId,

@@ -20,16 +20,25 @@
 //! * Sink quarantine: a panicking subscriber is detached and recorded, and
 //!   neither the engine nor the other subscribers miss a single event.
 //! * Drop counters are exact under declared overflow policies.
+//! * Durable delivery: a flaky transport storm converges back to `Active`
+//!   within the retry budget, quarantine recovers through probation, and a
+//!   crash at *any* failpoint site followed by checkpoint-restore leaves
+//!   every durable delivery log bit-identical to an uninterrupted run.
 
 #![cfg(feature = "failpoints")]
 
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration as StdDuration;
 
+use streamworks::engine::EngineCheckpoint;
 use streamworks::failpoint::{self, FailAction};
 use streamworks::{
-    BufferingSink, CallbackSink, ContinuousQueryEngine, EdgeEvent, EngineError, MatchEvent,
-    ShardFailurePolicy, SinkOverflow, SubscriptionHealth, Timestamp,
+    clear_endpoint, memory_sink_contents, register_endpoint, reset_memory_sink, BufferingSink,
+    CallbackSink, ContinuousQueryEngine, EdgeEvent, EngineError, MatchEvent, QueryHandle,
+    RetryPolicy, ShardFailurePolicy, SinkOverflow, SinkSpec, SubscriptionHealth, Timestamp,
+    Transport,
 };
 
 /// The failpoint registry is process-global; chaos scenarios must not run
@@ -334,7 +343,10 @@ fn panicking_sink_is_quarantined_without_poisoning_anything() {
         SubscriptionHealth::Quarantined(message) => {
             assert!(message.contains("subscriber exploded"), "got: {message}")
         }
-        SubscriptionHealth::Active => panic!("panicking sink must be quarantined"),
+        // In-process sinks never retry: Degraded is a durable-only state.
+        SubscriptionHealth::Active | SubscriptionHealth::Degraded { .. } => {
+            panic!("panicking sink must be quarantined")
+        }
     }
     assert_eq!(
         engine.subscription_health(good).unwrap(),
@@ -479,4 +491,518 @@ fn degraded_engine_checkpoints_and_restores_cleanly() {
         got.extend(restored.ingest(chunk).unwrap());
     }
     assert_eq!(multiset(&got), multiset(&expected));
+}
+
+// ---------------------------------------------------------------------------
+// Durable delivery: retry storms, quarantine recovery, crash-exact resume.
+// ---------------------------------------------------------------------------
+
+/// A [`Transport`] that refuses the first `failures_left` sends, then
+/// records every line it accepts. Failed sends record nothing, so the
+/// recorded lines are exactly the acknowledged deliveries.
+struct FlakyRecorder {
+    lines: Arc<Mutex<Vec<String>>>,
+    failures_left: Arc<AtomicU64>,
+}
+
+impl Transport for FlakyRecorder {
+    fn send(&mut self, line: &str, _timeout: StdDuration) -> Result<(), String> {
+        if self.failures_left.load(Ordering::SeqCst) > 0 {
+            self.failures_left.fetch_sub(1, Ordering::SeqCst);
+            return Err("storm: endpoint refused the line".to_owned());
+        }
+        self.lines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(line.to_owned());
+        Ok(())
+    }
+}
+
+/// A [`Transport`] behind a breaker: every send fails while `broken`, and
+/// records the line once the breaker is closed.
+struct BreakerRecorder {
+    lines: Arc<Mutex<Vec<String>>>,
+    broken: Arc<AtomicBool>,
+}
+
+impl Transport for BreakerRecorder {
+    fn send(&mut self, line: &str, _timeout: StdDuration) -> Result<(), String> {
+        if self.broken.load(Ordering::SeqCst) {
+            return Err("endpoint down".to_owned());
+        }
+        self.lines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(line.to_owned());
+        Ok(())
+    }
+}
+
+/// The sorted delivery lines an unfaulted run produces: durable sinks write
+/// `MatchEvent::render()` lines, so the match multiset doubles as the
+/// expected delivery log content.
+fn sorted_lines(mut lines: Vec<String>) -> Vec<String> {
+    lines.sort();
+    lines
+}
+
+#[test]
+fn a_retry_storm_converges_back_to_active_within_the_policy_budget() {
+    let _guard = serial();
+    let events = stream(32, 4);
+    let batch = 8;
+    let expected = reference_multiset(&events, batch);
+    for shards in [1usize, 2, 4] {
+        let address = format!("chaos-retry-storm-{shards}");
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let failures_left = Arc::new(AtomicU64::new(3));
+        {
+            let lines = Arc::clone(&lines);
+            let failures_left = Arc::clone(&failures_left);
+            register_endpoint(address.clone(), move |_| {
+                Ok(Box::new(FlakyRecorder {
+                    lines: Arc::clone(&lines),
+                    failures_left: Arc::clone(&failures_left),
+                }) as Box<dyn Transport>)
+            });
+        }
+        let mut engine = ContinuousQueryEngine::builder()
+            .shards(shards)
+            .channel_capacity(8)
+            .retry_policy(RetryPolicy {
+                max_attempts: 8,
+                backoff_base_ms: 0,
+                backoff_cap_ms: 0,
+                attempt_timeout_ms: 1_000,
+            })
+            .build()
+            .unwrap();
+        let handle = register_pair(&mut engine);
+        let sub = engine
+            .subscribe_durable(
+                handle,
+                SinkSpec::Endpoint {
+                    address: address.clone(),
+                },
+            )
+            .unwrap();
+        for chunk in events.chunks(batch) {
+            engine.ingest(chunk).unwrap();
+        }
+        // Convergence is bounded by the retry budget: each flush is at most
+        // one more retry, and the transport injects exactly 3 failures.
+        for _ in 0..8 {
+            if engine.flush_deliveries() == 0 {
+                break;
+            }
+        }
+        assert_eq!(
+            engine.subscription_health(sub).unwrap(),
+            SubscriptionHealth::Active,
+            "{shards} shards: the storm must converge back to Active"
+        );
+        let metrics = engine.metrics(handle).unwrap();
+        assert!(
+            metrics.delivery_retries >= 3,
+            "{shards} shards: 3 injected failures force >= 3 retries, got {}",
+            metrics.delivery_retries
+        );
+        assert!(
+            metrics.delivery_recoveries >= 1,
+            "{shards} shards: converging back to Active is a recovery"
+        );
+        assert_eq!(metrics.cursor_lag, 0, "{shards} shards: nothing pending");
+        let got = sorted_lines(lines.lock().unwrap_or_else(PoisonError::into_inner).clone());
+        assert_eq!(
+            got, expected,
+            "{shards} shards: the storm lost or duplicated matches"
+        );
+        clear_endpoint(&address);
+    }
+}
+
+#[test]
+fn a_quarantined_endpoint_recovers_through_probation() {
+    let _guard = serial();
+    let events = stream(32, 4);
+    let batch = 8;
+    let expected = reference_multiset(&events, batch);
+    for shards in [1usize, 2, 4] {
+        let address = format!("chaos-quarantine-{shards}");
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let broken = Arc::new(AtomicBool::new(true));
+        {
+            let lines = Arc::clone(&lines);
+            let broken = Arc::clone(&broken);
+            register_endpoint(address.clone(), move |_| {
+                Ok(Box::new(BreakerRecorder {
+                    lines: Arc::clone(&lines),
+                    broken: Arc::clone(&broken),
+                }) as Box<dyn Transport>)
+            });
+        }
+        // Tiny budget, huge backoff cap: the subscription quarantines fast
+        // and the automatic probe stays out of the picture, so recovery is
+        // observed through the explicit `resubscribe` probation path.
+        let mut engine = ContinuousQueryEngine::builder()
+            .shards(shards)
+            .channel_capacity(8)
+            .retry_policy(RetryPolicy {
+                max_attempts: 2,
+                backoff_base_ms: 0,
+                backoff_cap_ms: 600_000,
+                attempt_timeout_ms: 1_000,
+            })
+            .build()
+            .unwrap();
+        let handle = register_pair(&mut engine);
+        let sub = engine
+            .subscribe_durable(
+                handle,
+                SinkSpec::Endpoint {
+                    address: address.clone(),
+                },
+            )
+            .unwrap();
+        for chunk in events.chunks(batch) {
+            engine.ingest(chunk).unwrap();
+        }
+        assert!(
+            matches!(
+                engine.subscription_health(sub).unwrap(),
+                SubscriptionHealth::Quarantined(_)
+            ),
+            "{shards} shards: exhausted budget must quarantine"
+        );
+        assert!(
+            lines
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .is_empty(),
+            "{shards} shards: nothing delivered while the endpoint is down"
+        );
+        // Fix the endpoint, then put the subscription on probation.
+        broken.store(false, Ordering::SeqCst);
+        engine.resubscribe(sub).unwrap();
+        assert_eq!(engine.flush_deliveries(), 0, "{shards} shards: drained");
+        assert_eq!(
+            engine.subscription_health(sub).unwrap(),
+            SubscriptionHealth::Active,
+            "{shards} shards: probation must promote back to Active"
+        );
+        let got = sorted_lines(lines.lock().unwrap_or_else(PoisonError::into_inner).clone());
+        assert_eq!(
+            got, expected,
+            "{shards} shards: quarantine must not lose a single match"
+        );
+        assert_eq!(engine.metrics(handle).unwrap().cursor_lag, 0);
+        clear_endpoint(&address);
+    }
+}
+
+#[test]
+fn failfast_with_a_durable_subscriber_still_fails_within_bounded_time() {
+    let _guard = serial();
+    for shards in [2usize, 4] {
+        failpoint::clear();
+        failpoint::configure("shard-worker", 0, FailAction::Panic, 0);
+        let key = format!("chaos_failfast_durable_{shards}");
+        reset_memory_sink(&key);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let sink_key = key.clone();
+        let handle = std::thread::spawn(move || {
+            let mut engine = engine_with(shards, ShardFailurePolicy::FailFast);
+            let h = register_pair(&mut engine);
+            engine
+                .subscribe_durable(h, SinkSpec::Memory { key: sink_key })
+                .unwrap();
+            let first = engine.ingest(&stream(64, 4)[..]);
+            let pending = engine.flush_deliveries();
+            let _ = tx.send((first, pending));
+        });
+        let (first, pending) = rx
+            .recv_timeout(StdDuration::from_secs(30))
+            .expect("FailFast with a durable subscriber must not hang");
+        handle.join().unwrap();
+        assert!(
+            matches!(
+                first,
+                Err(EngineError::ShardFailed {
+                    degraded: false,
+                    ..
+                })
+            ),
+            "{shards} shards: expected a FailFast ShardFailed, got {first:?}"
+        );
+        assert_eq!(pending, 0, "{shards} shards: no delivery left hanging");
+    }
+    failpoint::clear();
+}
+
+#[test]
+fn degrade_with_a_durable_subscriber_stays_exact() {
+    let _guard = serial();
+    let events = stream(96, 5);
+    let batch = 16;
+    let expected = reference_multiset(&events, batch);
+    for shards in [2usize, 4] {
+        failpoint::clear();
+        failpoint::configure("shard-worker", 0, FailAction::Panic, 2);
+        let key = format!("chaos_degrade_durable_{shards}");
+        reset_memory_sink(&key);
+        let mut engine = engine_with(shards, ShardFailurePolicy::Degrade);
+        let handle = register_pair(&mut engine);
+        engine
+            .subscribe_durable(handle, SinkSpec::Memory { key: key.clone() })
+            .unwrap();
+        let mut failures = 0;
+        for chunk in events.chunks(batch) {
+            match engine.ingest(chunk) {
+                Ok(_) => {}
+                Err(EngineError::ShardFailed { degraded, .. }) => {
+                    assert!(degraded);
+                    failures += 1;
+                }
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        }
+        assert_eq!(failures, 1);
+        assert_eq!(engine.flush_deliveries(), 0);
+        assert_eq!(
+            sorted_lines(memory_sink_contents(&key)),
+            expected,
+            "{shards} shards: shard death changed what the durable sink saw"
+        );
+    }
+    failpoint::clear();
+}
+
+#[test]
+fn ack_failures_are_exactly_once_for_owned_sinks_at_least_once_for_endpoints() {
+    let _guard = serial();
+    let events = stream(16, 2);
+    let expected = reference_multiset(&events, 4);
+
+    // Owned sink (Memory): the reconnect-per-retry truncates the
+    // delivered-but-unacknowledged line away, so the redelivery is
+    // *exactly*-once despite the injected ack failure.
+    failpoint::clear();
+    failpoint::configure("delivery-ack", 0, FailAction::Error, 1);
+    let key = "chaos_ack_memory";
+    reset_memory_sink(key);
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+    let handle = register_pair(&mut engine);
+    engine
+        .subscribe_durable(
+            handle,
+            SinkSpec::Memory {
+                key: key.to_owned(),
+            },
+        )
+        .unwrap();
+    for chunk in events.chunks(4) {
+        engine.ingest(chunk).unwrap();
+    }
+    for _ in 0..4 {
+        if engine.flush_deliveries() == 0 {
+            break;
+        }
+    }
+    assert_eq!(
+        sorted_lines(memory_sink_contents(key)),
+        expected,
+        "owned sinks are exactly-once even when the ack fails"
+    );
+    assert!(engine.metrics(handle).unwrap().delivery_retries >= 1);
+
+    // External endpoint: the engine cannot reach inside it to truncate, so
+    // the same injected ack failure yields exactly one duplicated line —
+    // at-least-once, never lossy.
+    failpoint::clear();
+    failpoint::configure("delivery-ack", 0, FailAction::Error, 1);
+    let address = "chaos-ack-endpoint";
+    let lines = Arc::new(Mutex::new(Vec::new()));
+    {
+        let lines = Arc::clone(&lines);
+        register_endpoint(address, move |_| {
+            Ok(Box::new(FlakyRecorder {
+                lines: Arc::clone(&lines),
+                failures_left: Arc::new(AtomicU64::new(0)),
+            }) as Box<dyn Transport>)
+        });
+    }
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+    let handle = register_pair(&mut engine);
+    engine
+        .subscribe_durable(
+            handle,
+            SinkSpec::Endpoint {
+                address: address.to_owned(),
+            },
+        )
+        .unwrap();
+    for chunk in events.chunks(4) {
+        engine.ingest(chunk).unwrap();
+    }
+    for _ in 0..4 {
+        if engine.flush_deliveries() == 0 {
+            break;
+        }
+    }
+    let got = lines.lock().unwrap_or_else(PoisonError::into_inner).clone();
+    assert_eq!(
+        got.len(),
+        expected.len() + 1,
+        "the unacknowledged endpoint line is redelivered once"
+    );
+    let mut deduped = got.clone();
+    deduped.sort();
+    deduped.dedup();
+    assert_eq!(deduped, expected, "no line is lost, only duplicated");
+    clear_endpoint(address);
+    failpoint::clear();
+}
+
+// --- Crash-point harness -------------------------------------------------
+
+/// Scratch path for a durable delivery log, unique per test and process.
+fn scratch_log(name: &str) -> String {
+    let dir = std::env::temp_dir().join("sw_chaos_delivery");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{name}_{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path.to_string_lossy().into_owned()
+}
+
+/// Drives batches `range` of `events` (global batch indices) with a fixed
+/// pause/resume choreography keyed to those indices, so an interrupted run,
+/// its restored continuation, and the uninterrupted reference all perform
+/// the *same* lifecycle churn. Degraded shard failures are tolerated.
+fn drive_with_churn(
+    engine: &mut ContinuousQueryEngine,
+    handle: QueryHandle,
+    events: &[EdgeEvent],
+    batch: usize,
+    range: std::ops::Range<usize>,
+) {
+    for i in range {
+        let lo = i * batch;
+        let hi = usize::min(lo + batch, events.len());
+        if i == 1 || i == 5 {
+            engine.pause(handle).unwrap();
+        }
+        if i == 2 || i == 6 {
+            engine.resume(handle).unwrap();
+        }
+        match engine.ingest(&events[lo..hi]) {
+            Ok(_) => {}
+            Err(EngineError::ShardFailed { degraded, .. }) => assert!(degraded),
+            Err(other) => panic!("unexpected error: {other:?}"),
+        }
+    }
+}
+
+/// Kill → restore → continue, at every failpoint site, across shard counts,
+/// under pause/resume churn: the durable delivery log must end up
+/// *bit-identical* to an uninterrupted run's. (Within one shard count the
+/// emission order is deterministic: completed matches are sorted by stream
+/// position, and every completion for one position climbs on the single
+/// shard owning its join key, whose FIFO order ties preserve.)
+///
+/// The crash is simulated by abandoning the engine wherever the armed panic
+/// leaves it — including delivered-but-unacknowledged lines on disk, which
+/// the restore's truncate-to-cursor reconnect must discard. Sites that a
+/// given topology never reaches (e.g. `shard-worker` on 1 shard) make the
+/// run complete uninterrupted; the restore then rewinds its *entire* second
+/// half, which is exactly the duplicate-suppression contract again.
+#[test]
+fn crash_at_every_site_restores_bit_identical_delivery_logs() {
+    let _guard = serial();
+    let events = stream(64, 4);
+    let batch = 8; // 8 batches; checkpoint at the batch-4 boundary
+    let sites = [
+        "ingest-front",
+        "shard-worker",
+        "join-climb",
+        "expiry-sweep",
+        "delivery-retry",
+        "delivery-ack",
+    ];
+    for shards in [1usize, 2, 4] {
+        // Uninterrupted reference run with the same choreography.
+        failpoint::clear();
+        let reference_path = scratch_log(&format!("reference_{shards}"));
+        let mut reference = engine_with(shards, ShardFailurePolicy::Degrade);
+        let rh = register_pair(&mut reference);
+        reference
+            .subscribe_durable(
+                rh,
+                SinkSpec::LogFile {
+                    path: reference_path.clone(),
+                },
+            )
+            .unwrap();
+        drive_with_churn(&mut reference, rh, &events, batch, 0..8);
+        assert_eq!(reference.flush_deliveries(), 0);
+        drop(reference);
+        let want = std::fs::read(&reference_path).unwrap();
+        assert!(!want.is_empty(), "the reference run must deliver matches");
+
+        for site in sites {
+            failpoint::clear();
+            let path = scratch_log(&format!("crash_{shards}_{site}"));
+            // First life: run to the midpoint, checkpoint, then arm the
+            // crash and continue until it strikes (or the run ends).
+            let mut first = engine_with(shards, ShardFailurePolicy::Degrade);
+            let h = register_pair(&mut first);
+            first
+                .subscribe_durable(h, SinkSpec::LogFile { path: path.clone() })
+                .unwrap();
+            drive_with_churn(&mut first, h, &events, batch, 0..4);
+            let json = first.checkpoint().to_json().unwrap();
+            failpoint::configure(site, 0, FailAction::Panic, 1);
+            let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                drive_with_churn(&mut first, h, &events, batch, 4..8);
+            }));
+            failpoint::clear();
+            drop(first); // the "kill": whatever it wrote past the cursor stays on disk
+
+            // Second life: restore, which truncates the log back to the
+            // acknowledged cursor, then replay the post-checkpoint half.
+            let checkpoint = EngineCheckpoint::load(&json).unwrap();
+            let mut second = checkpoint
+                .try_restore()
+                .unwrap_or_else(|e| panic!("{site}/{shards}: restore failed: {e:?}"));
+            let h2 = second.handles()[0];
+            drive_with_churn(&mut second, h2, &events, batch, 4..8);
+            assert_eq!(
+                second.flush_deliveries(),
+                0,
+                "{site}/{shards}: restored run left deliveries pending"
+            );
+            assert_eq!(
+                engine_health(&second),
+                SubscriptionHealth::Active,
+                "{site}/{shards}: durable subscriber must end Active"
+            );
+            drop(second);
+            let got = std::fs::read(&path).unwrap();
+            assert_eq!(
+                got, want,
+                "{site}/{shards}: crash+restore delivery log diverges from the \
+                 uninterrupted run"
+            );
+        }
+    }
+    failpoint::clear();
+}
+
+/// Health of the single durable subscription of the engine's only query —
+/// restored engines hand back no [`streamworks::SubscriptionId`], so it is
+/// recovered through `durable_subscriptions`.
+fn engine_health(engine: &ContinuousQueryEngine) -> SubscriptionHealth {
+    let handle = engine.handles()[0];
+    let sub = engine.durable_subscriptions(handle).unwrap()[0];
+    engine.subscription_health(sub).unwrap()
 }

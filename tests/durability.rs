@@ -1,0 +1,242 @@
+//! End-to-end durable delivery through the public facade.
+//!
+//! No fault injection here — `tests/chaos.rs` (behind `--features
+//! failpoints`) covers crashes and retry storms. These scenarios run in the
+//! default feature set and pin the happy-path contract: serialisable sinks,
+//! acknowledged cursors across checkpoint/restore, exact overflow
+//! accounting, and subscription recovery on a restored engine.
+
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use streamworks::engine::EngineCheckpoint;
+use streamworks::{
+    clear_endpoint, memory_sink_contents, register_endpoint, reset_memory_sink,
+    ContinuousQueryEngine, EdgeEvent, MatchEvent, QueryHandle, SinkOverflow, SinkSpec,
+    SubscriptionHealth, Timestamp, Transport,
+};
+
+const PAIR_DSL: &str = "QUERY pair WINDOW 1h \
+     MATCH (a1:Article)-[:mentions]->(k:Keyword), (a2:Article)-[:mentions]->(k)";
+
+fn register_pair(engine: &mut ContinuousQueryEngine) -> QueryHandle {
+    engine.register_dsl(PAIR_DSL).unwrap()
+}
+
+fn stream(n: usize, collisions: usize) -> Vec<EdgeEvent> {
+    (0..n)
+        .map(|i| {
+            EdgeEvent::new(
+                format!("a{i}"),
+                "Article",
+                format!("k{}", i % collisions),
+                "Keyword",
+                "mentions",
+                Timestamp::from_secs(i as i64),
+            )
+        })
+        .collect()
+}
+
+fn renders(matches: &[MatchEvent]) -> Vec<String> {
+    matches.iter().map(MatchEvent::render).collect()
+}
+
+fn scratch_log(name: &str) -> String {
+    let dir = std::env::temp_dir().join("sw_durability_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{name}_{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn a_log_file_sink_resumes_after_restore_without_duplicates_or_losses() {
+    let path = scratch_log("resume");
+    let events = stream(24, 3);
+
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+    let handle = register_pair(&mut engine);
+    engine
+        .subscribe_durable(handle, SinkSpec::LogFile { path: path.clone() })
+        .unwrap();
+    let mut expected = Vec::new();
+    for chunk in events[..12].chunks(4) {
+        expected.extend(engine.ingest(chunk).unwrap());
+    }
+    assert_eq!(engine.flush_deliveries(), 0);
+    let json = engine.checkpoint().to_json().unwrap();
+    drop(engine); // "shutdown": the log holds exactly the acknowledged lines
+
+    let mut restored = EngineCheckpoint::load(&json)
+        .unwrap()
+        .try_restore()
+        .unwrap();
+    let rh = restored.handles()[0];
+    for chunk in events[12..].chunks(4) {
+        expected.extend(restored.ingest(chunk).unwrap());
+    }
+    assert_eq!(restored.flush_deliveries(), 0);
+    assert_eq!(restored.metrics(rh).unwrap().cursor_lag, 0);
+    drop(restored);
+
+    // The delivery log is the full run's match sequence: the restored
+    // engine appended exactly after the acknowledged cursor — nothing
+    // replayed twice, nothing lost across the restart.
+    let lines: Vec<String> = std::fs::read_to_string(&path)
+        .unwrap()
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    assert_eq!(lines, renders(&expected));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn restored_durable_subscriptions_are_addressable_again() {
+    let key = "durability_addressable";
+    reset_memory_sink(key);
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+    let handle = register_pair(&mut engine);
+    let sub = engine
+        .subscribe_durable(
+            handle,
+            SinkSpec::Memory {
+                key: key.to_owned(),
+            },
+        )
+        .unwrap();
+    engine.ingest(&stream(8, 2)[..]).unwrap();
+    let json = engine.checkpoint().to_json().unwrap();
+
+    // The restore hands back no SubscriptionId; `durable_subscriptions`
+    // recovers the same token, which resubscribe/unsubscribe/health accept.
+    let restored = EngineCheckpoint::load(&json)
+        .unwrap()
+        .try_restore()
+        .unwrap();
+    let rh = restored.handles()[0];
+    let recovered = restored.durable_subscriptions(rh).unwrap();
+    assert_eq!(recovered.len(), 1);
+    assert_eq!(recovered[0].token(), sub.token());
+    assert_eq!(
+        restored.subscription_health(recovered[0]).unwrap(),
+        SubscriptionHealth::Active
+    );
+    let mut restored = restored;
+    restored.resubscribe(recovered[0]).unwrap();
+    restored.unsubscribe(recovered[0]).unwrap();
+    assert_eq!(restored.subscription_count(rh).unwrap(), 0);
+    reset_memory_sink(key);
+}
+
+#[test]
+fn overflow_drops_on_an_unreachable_endpoint_are_counted_exactly() {
+    let address = "durability-unreachable";
+    clear_endpoint(address); // never registered: every connect fails
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+    let handle = register_pair(&mut engine);
+    let capacity = 2usize;
+    let sub = engine
+        .subscribe_durable_with(
+            handle,
+            SinkSpec::Endpoint {
+                address: address.to_owned(),
+            },
+            capacity,
+            SinkOverflow::DropOldest,
+        )
+        .unwrap();
+    let mut total = 0u64;
+    for chunk in stream(16, 2).chunks(4) {
+        total += engine.ingest(chunk).unwrap().len() as u64;
+    }
+    assert!(total > capacity as u64);
+    let metrics = engine.metrics(handle).unwrap();
+    assert_eq!(
+        metrics.sink_events_dropped,
+        total - capacity as u64,
+        "DropOldest evicts exactly the overflow beyond the outbox capacity"
+    );
+    assert_eq!(
+        metrics.cursor_lag, capacity as u64,
+        "the surviving tail is still queued for delivery"
+    );
+    assert!(
+        !matches!(
+            engine.subscription_health(sub).unwrap(),
+            SubscriptionHealth::Active
+        ),
+        "an unreachable endpoint cannot stay Active"
+    );
+
+    // Late-register the endpoint and probe: the surviving tail (and only
+    // it) is delivered — losses are exactly the declared drops.
+    let lines = Arc::new(Mutex::new(Vec::new()));
+    struct Recorder {
+        lines: Arc<Mutex<Vec<String>>>,
+    }
+    impl Transport for Recorder {
+        fn send(&mut self, line: &str, _timeout: Duration) -> Result<(), String> {
+            self.lines
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(line.to_owned());
+            Ok(())
+        }
+    }
+    {
+        let lines = Arc::clone(&lines);
+        register_endpoint(address, move |_| {
+            Ok(Box::new(Recorder {
+                lines: Arc::clone(&lines),
+            }) as Box<dyn Transport>)
+        });
+    }
+    engine.resubscribe(sub).unwrap();
+    assert_eq!(engine.flush_deliveries(), 0);
+    assert_eq!(
+        engine.subscription_health(sub).unwrap(),
+        SubscriptionHealth::Active
+    );
+    assert_eq!(
+        lines.lock().unwrap_or_else(PoisonError::into_inner).len(),
+        capacity
+    );
+    clear_endpoint(address);
+}
+
+#[test]
+fn a_memory_sink_receives_every_match_in_emission_order() {
+    let key = "durability_memory_order";
+    reset_memory_sink(key);
+    let mut engine = ContinuousQueryEngine::builder().build().unwrap();
+    let handle = register_pair(&mut engine);
+    engine
+        .subscribe_durable(
+            handle,
+            SinkSpec::Memory {
+                key: key.to_owned(),
+            },
+        )
+        .unwrap();
+    let mut expected = Vec::new();
+    for chunk in stream(16, 4).chunks(4) {
+        expected.extend(engine.ingest(chunk).unwrap());
+    }
+    assert_eq!(memory_sink_contents(key), renders(&expected));
+    let metrics = engine.metrics(handle).unwrap();
+    assert_eq!(metrics.delivery_attempts, expected.len() as u64);
+    assert_eq!(metrics.delivery_retries, 0);
+    assert_eq!(metrics.cursor_lag, 0);
+    reset_memory_sink(key);
+}
+
+#[test]
+fn endpoint_registry_helpers_are_idempotent() {
+    clear_endpoint("durability-no-such-endpoint");
+    clear_endpoint("durability-no-such-endpoint");
+    reset_memory_sink("durability-no-such-buffer");
+    reset_memory_sink("durability-no-such-buffer");
+    assert!(memory_sink_contents("durability-no-such-buffer").is_empty());
+}
