@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use streamworks_baseline::{NaiveEdgeExpansion, RepeatedSearchMatcher};
-use streamworks_core::{ContinuousQueryEngine, EngineConfig};
+use streamworks_core::{ContinuousQueryEngine, EngineConfig, TelemetryLevel};
 use streamworks_graph::{Duration, DynamicGraph, EdgeEvent};
 use streamworks_workloads::queries::labelled_news_query;
 use streamworks_workloads::{NewsConfig, NewsStreamGenerator};
@@ -38,6 +38,28 @@ fn bench_matchers(c: &mut Criterion) {
             |b, events| {
                 b.iter(|| {
                     let mut engine = ContinuousQueryEngine::new(EngineConfig::default());
+                    engine.register_query(query.clone()).unwrap();
+                    let mut matches = 0u64;
+                    for ev in events {
+                        matches += engine.ingest(ev).unwrap().len() as u64;
+                    }
+                    matches
+                })
+            },
+        );
+
+        // The same per-event loop with sampled telemetry (histograms +
+        // spans, every 64th event): the overhead contract is that this stays
+        // within a few percent of the plain loop above.
+        group.bench_with_input(
+            BenchmarkId::new("incremental_sjtree_telemetry", articles),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let mut engine = ContinuousQueryEngine::builder()
+                        .telemetry_level(TelemetryLevel::Sampled)
+                        .build()
+                        .unwrap();
                     engine.register_query(query.clone()).unwrap();
                     let mut matches = 0u64;
                     for ev in events {

@@ -5,7 +5,7 @@
 //! ```text
 //! cargo run --release -p streamworks-bench --bin exp_throughput \
 //!     [-- smoke|small|medium|large] [--shards N] [--tenants N] [--rpq] \
-//!     [--durable-sink <path>]
+//!     [--durable-sink <path>] [--telemetry]
 //! ```
 //!
 //! `--shards N` (default 1) additionally measures the engine with each
@@ -17,13 +17,17 @@
 //! and reports recall against the planted intrusion chains;
 //! `--durable-sink <path>` additionally measures batched ingest with a
 //! durable log-file subscription acknowledging every match (asserting the
-//! delivery log holds exactly one line per match); `smoke` runs one tiny
-//! size without the slow repeated-search baseline (used by CI to exercise
-//! the sharded, shared, RPQ and durable-delivery paths on every push).
+//! delivery log holds exactly one line per match); `--telemetry` measures
+//! per-event ingest with sampled telemetry (histograms + spans, every 64th
+//! event) against the same loop with telemetry off and prints the overhead
+//! ratio on a parseable `telemetry off ... sampled ... ratio ...` line;
+//! `smoke` runs one tiny size without the slow repeated-search baseline
+//! (used by CI to exercise the sharded, shared, RPQ, durable-delivery and
+//! telemetry-overhead paths on every push).
 
 use streamworks_baseline::{NaiveEdgeExpansion, RepeatedSearchMatcher};
 use streamworks_bench::{measure, Table};
-use streamworks_core::{ContinuousQueryEngine, EngineConfig, SinkSpec};
+use streamworks_core::{ContinuousQueryEngine, EngineConfig, SinkSpec, TelemetryLevel};
 use streamworks_graph::{Duration, DynamicGraph};
 use streamworks_workloads::queries::labelled_news_query;
 use streamworks_workloads::{
@@ -37,6 +41,7 @@ fn main() {
     let mut shards = 1usize;
     let mut tenants = 0usize;
     let mut rpq = false;
+    let mut telemetry = false;
     let mut durable_sink: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -56,6 +61,9 @@ fn main() {
             i += 2;
         } else if args[i] == "--rpq" {
             rpq = true;
+            i += 1;
+        } else if args[i] == "--telemetry" {
+            telemetry = true;
             i += 1;
         } else if args[i] == "--durable-sink" {
             durable_sink = Some(
@@ -231,6 +239,50 @@ fn main() {
         }
     }
     println!("{}", table.render());
+
+    // Telemetry overhead: the same per-event loop with sampled histograms and
+    // trace spans vs. telemetry off, best of 3 runs each to damp timer noise.
+    // The final line is machine-parseable so CI can gate the ratio.
+    if telemetry {
+        let articles = *article_counts.last().unwrap();
+        let workload = NewsStreamGenerator::new(NewsConfig {
+            articles,
+            planted_events: vec![("politics".into(), 3)],
+            ..Default::default()
+        })
+        .generate();
+        let events = &workload.events;
+        let rate = |level: TelemetryLevel| {
+            measure(events.len(), || {
+                let mut engine = ContinuousQueryEngine::builder()
+                    .telemetry_level(level)
+                    .build()
+                    .unwrap();
+                engine.register_query(query.clone()).unwrap();
+                let mut matches = 0u64;
+                for ev in events {
+                    matches += engine.ingest(ev).unwrap().len() as u64;
+                }
+                matches
+            })
+            .throughput()
+        };
+        // Alternate the two levels so clock-frequency drift hits both sides
+        // equally, and take the best of 5 rounds each.
+        let (mut off, mut sampled) = (0.0f64, 0.0f64);
+        for _ in 0..5 {
+            off = off.max(rate(TelemetryLevel::Off));
+            sampled = sampled.max(rate(TelemetryLevel::Sampled));
+        }
+        println!(
+            "\n# E15: telemetry overhead ({} events, sample every 64th, best of 5)",
+            events.len()
+        );
+        println!(
+            "telemetry off {off:.0} sampled {sampled:.0} ratio {:.3}",
+            sampled / off
+        );
+    }
 
     // Multi-tenant template registry: the multi-query sharing regime. One
     // stream, 2 queries per tenant (labelled pair + co-location pair), the

@@ -9,7 +9,8 @@ use std::path::Path;
 
 use crate::options::{OptionError, Options};
 use streamworks_core::{
-    ContinuousQueryEngine, EngineError, MatchEvent, RetryPolicy, ShardFailurePolicy, SinkSpec,
+    ContinuousQueryEngine, EngineError, MatchEvent, MetricsRegistry, RetryPolicy,
+    ShardFailurePolicy, SinkSpec, TelemetryLevel,
 };
 use streamworks_query::{
     estimate_shape_cost, BalancedPairs, CostBasedOrdered, DecompositionStrategy, LeftDeepEdgeChain,
@@ -129,6 +130,18 @@ COMMANDS:
              are registered). --retry-policy governs delivery retries:
              `default` (4 attempts, capped exponential backoff), `none`
              (one strike quarantines), or `max,base-ms,cap-ms,timeout-ms`.
+             --telemetry samples per-stage latency histograms and trace
+             spans (every 64th event; tune with --sample-every N).
+             --metrics-json replaces the human summary with the full
+             telemetry snapshot as JSON; --metrics-every N prints a compact
+             metrics line after every N batches (both imply --telemetry).
+  stats      --query <q.swq> [--query <q2.swq> ...] --trace <trace.jsonl>
+             [--strategy <name>] [--batch N] [--shards N] [--sample-every N]
+             [--json]
+             Replay the trace with telemetry enabled and print the unified
+             metrics registry in Prometheus text format (or JSON with
+             --json): event counters, per-stage latency histograms,
+             per-query match counters, shard skew and delivery lag.
   summarize  --trace <trace.jsonl> [--triads N]
              Ingest the trace and print the graph statistics report.
 
@@ -381,6 +394,9 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
         Some(spec) => retry_policy_by_spec(spec)?,
         None => RetryPolicy::default(),
     };
+    let metrics_every: usize = opts.parse_or("metrics-every", 0)?;
+    let telemetry_on = opts.has("telemetry") || opts.has("metrics-json") || metrics_every > 0;
+    let sample_every: u64 = opts.parse_or("sample-every", 64)?;
 
     let mut engine = ContinuousQueryEngine::builder()
         .shards(shards)
@@ -388,6 +404,12 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
         .channel_capacity(channel_capacity)
         .shared_matching(!opts.has("no-share"))
         .retry_policy(retry_policy)
+        .telemetry_level(if telemetry_on {
+            TelemetryLevel::Sampled
+        } else {
+            TelemetryLevel::Off
+        })
+        .telemetry_sample_every(sample_every)
         .build()?;
     let mut spec = EventTableSpec::standard();
     let mut handles = Vec::new();
@@ -425,7 +447,8 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
     let events = read_trace_file(trace)?;
     let mut matches: Vec<MatchEvent> = Vec::new();
     let mut degraded_shards: Vec<String> = Vec::new();
-    for chunk in events.chunks(batch) {
+    let mut periodic: Vec<String> = Vec::new();
+    for (batch_no, chunk) in events.chunks(batch).enumerate() {
         match engine.ingest(chunk) {
             Ok(batch_matches) => matches.extend(batch_matches),
             Err(EngineError::ShardFailed {
@@ -439,6 +462,9 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
                 degraded_shards.push(format!("shard {shard}: {message}"));
             }
             Err(e) => return Err(e.into()),
+        }
+        if metrics_every > 0 && (batch_no + 1) % metrics_every == 0 {
+            periodic.push(metrics_line(batch_no + 1, &engine.telemetry_snapshot()));
         }
     }
     // Final delivery pass: give every durable subscriber a fresh attempt so
@@ -459,6 +485,13 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
         matches.len(),
         engine.query_count()
     ));
+    for line in &periodic {
+        out.push_str(line);
+        out.push('\n');
+    }
+    if !periodic.is_empty() {
+        out.push('\n');
+    }
     let shown = EventTable::build(&spec, &matches[..matches.len().min(limit)]);
     out.push_str(&shown.render());
     if matches.len() > limit {
@@ -497,6 +530,19 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
         ]);
     }
     out.push_str(&metrics_table.render());
+    // Routing balance per sharded query: items routed to the busiest shard
+    // over the per-shard mean. 1.0 is perfectly even; past 2.0 one worker is
+    // doing more than double its share and the join keys hash poorly.
+    if shards > 1 {
+        for set in &engine.telemetry_snapshot().shards {
+            out.push_str(&format!(
+                "shard skew: {} = {:.2} (max/mean items routed){}\n",
+                set.query,
+                set.skew,
+                if set.skew > 2.0 { "  [imbalanced]" } else { "" },
+            ));
+        }
+    }
     let em = engine.engine_metrics();
     if em.subscribed_primitives > 0 {
         out.push_str(&format!(
@@ -551,7 +597,88 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
         std::fs::write(path, table.to_json_lines())?;
         out.push_str(&format!("wrote event JSON lines to {path}\n"));
     }
+    if opts.has("metrics-json") {
+        // Machine mode: the snapshot document replaces the human summary
+        // (side effects above — csv/jsonl/durable logs — still happen).
+        return Ok(format!(
+            "{}\n",
+            MetricsRegistry::gather(&engine).to_json_pretty()
+        ));
+    }
     Ok(out)
+}
+
+/// One compact progress line for `run --metrics-every N`: cumulative event
+/// counters plus the sampled p50 of every stage that has observations.
+fn metrics_line(batch_no: usize, snap: &streamworks_core::TelemetrySnapshot) -> String {
+    let mut line = format!(
+        "[metrics @ batch {batch_no}] ingested={} emitted={}",
+        snap.events_ingested, snap.events_emitted
+    );
+    for stage in &snap.stages {
+        if stage.count > 0 {
+            line.push_str(&format!(" {}.p50={}ns", stage.name, stage.p50_ns));
+        }
+    }
+    line
+}
+
+// ---------------------------------------------------------------------------
+// stats
+// ---------------------------------------------------------------------------
+
+/// `stats`: replay a trace with telemetry forced on and print the unified
+/// metrics registry — Prometheus text by default, JSON with `--json`.
+pub fn cmd_stats(opts: &Options) -> Result<String, CliError> {
+    let query_paths = opts.values("query");
+    if query_paths.is_empty() {
+        return Err(CliError::Options(OptionError::MissingFlag("query".into())));
+    }
+    let trace = opts.require("trace")?;
+    let strategy = strategy_by_name(opts.value("strategy").unwrap_or("selectivity"))?;
+    let tree_kind = tree_kind_by_name(opts.value("tree").unwrap_or("left-deep"))?;
+    let batch: usize = opts.parse_or("batch", 1024)?;
+    if batch == 0 {
+        return Err(CliError::Options(OptionError::Invalid {
+            flag: "batch".into(),
+            message: "batch size must be positive".into(),
+        }));
+    }
+    let shards: usize = opts.parse_or("shards", 1)?;
+    if shards == 0 {
+        return Err(CliError::Options(OptionError::Invalid {
+            flag: "shards".into(),
+            message: "shard count must be positive (1 = single-threaded matching)".into(),
+        }));
+    }
+    let sample_every: u64 = opts.parse_or("sample-every", 64)?;
+
+    let mut engine = ContinuousQueryEngine::builder()
+        .shards(shards)
+        .telemetry_level(TelemetryLevel::Sampled)
+        .telemetry_sample_every(sample_every)
+        .build()?;
+    for path in query_paths {
+        let text = std::fs::read_to_string(Path::new(path))?;
+        if is_rpq_text(&text) {
+            engine.register_rpq(streamworks_query::parse_rpq(&text)?);
+        } else {
+            let query = streamworks_query::parse_query(&text)?;
+            engine.register_query_with(query, strategy.as_ref(), tree_kind)?;
+        }
+    }
+    let events = read_trace_file(trace)?;
+    for chunk in events.chunks(batch) {
+        engine.ingest(chunk)?;
+    }
+    engine.flush_deliveries();
+
+    let snapshot = MetricsRegistry::gather(&engine);
+    Ok(if opts.has("json") {
+        format!("{}\n", snapshot.to_json_pretty())
+    } else {
+        snapshot.to_prometheus()
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -583,6 +710,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "generate" => cmd_generate(&opts),
         "plan" => cmd_plan(&opts),
         "run" => cmd_run(&opts),
+        "stats" => cmd_stats(&opts),
         "summarize" => cmd_summarize(&opts),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{}",
@@ -619,7 +747,7 @@ mod tests {
     #[test]
     fn usage_lists_all_commands() {
         let text = usage();
-        for cmd in ["generate", "plan", "run", "summarize"] {
+        for cmd in ["generate", "plan", "run", "stats", "summarize"] {
             assert!(text.contains(cmd));
         }
         assert_eq!(dispatch(&args(&["help"])).unwrap(), text);
@@ -1015,6 +1143,138 @@ mod tests {
         // A malformed RPQ file surfaces as a query error.
         let bad = write_query("bad.rpq", "RPQ broken WINDOW 1h PATH (((\n");
         assert!(dispatch(&args(&["run", "--query", &bad, "--trace", &trace2])).is_err());
+    }
+
+    #[test]
+    fn run_telemetry_flags_and_skew_line() {
+        let trace = scratch("tel_news.jsonl").to_string_lossy().into_owned();
+        dispatch(&args(&[
+            "generate", "--kind", "news", "--out", &trace, "--edges", "2000",
+        ]))
+        .unwrap();
+        let query = write_query("pair_tel.swq", PAIR_QUERY);
+
+        // A sharded run reports routing balance whether or not latency
+        // sampling is on; --telemetry adds no visible output of its own.
+        let out = dispatch(&args(&[
+            "run",
+            "--query",
+            &query,
+            "--trace",
+            &trace,
+            "--shards",
+            "2",
+            "--telemetry",
+            "--sample-every",
+            "1",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("shard skew: pair = "),
+            "skew line present: {out}"
+        );
+        assert!(
+            out.contains("(max/mean items routed)"),
+            "skew unit present: {out}"
+        );
+
+        // --metrics-every N emits a compact progress line per N batches.
+        let periodic = dispatch(&args(&[
+            "run",
+            "--query",
+            &query,
+            "--trace",
+            &trace,
+            "--batch",
+            "500",
+            "--metrics-every",
+            "2",
+            "--sample-every",
+            "1",
+        ]))
+        .unwrap();
+        assert!(
+            periodic.contains("[metrics @ batch 2]"),
+            "periodic line present: {periodic}"
+        );
+        assert!(periodic.contains(".p50="), "stage p50s shown: {periodic}");
+    }
+
+    #[test]
+    fn run_metrics_json_parses_and_stats_exports_prometheus() {
+        let trace = scratch("stats_news.jsonl").to_string_lossy().into_owned();
+        dispatch(&args(&[
+            "generate", "--kind", "news", "--out", &trace, "--edges", "2000",
+        ]))
+        .unwrap();
+        let query = write_query("pair_stats.swq", PAIR_QUERY);
+
+        // --metrics-json replaces the summary with a parseable snapshot.
+        let json = dispatch(&args(&[
+            "run",
+            "--query",
+            &query,
+            "--trace",
+            &trace,
+            "--metrics-json",
+            "--sample-every",
+            "1",
+        ]))
+        .unwrap();
+        let doc = serde_json::parse(&json).unwrap();
+        assert_eq!(
+            doc.get_field("level").and_then(|v| v.as_str()),
+            Some("sampled")
+        );
+        let stages = doc.get_field("stages").and_then(|v| v.as_array()).unwrap();
+        assert!(!stages.is_empty(), "stages serialized");
+        let sampled: u64 = stages
+            .iter()
+            .map(|s| s.get_field("count").and_then(|c| c.as_u64()).unwrap())
+            .sum();
+        assert!(sampled > 0, "at least one stage recorded observations");
+        assert!(
+            doc.get_field("queries")
+                .and_then(|v| v.as_array())
+                .is_some_and(|q| !q.is_empty()),
+            "query metrics embedded"
+        );
+
+        // stats prints Prometheus text format by default, JSON with --json.
+        let prom = dispatch(&args(&[
+            "stats",
+            "--query",
+            &query,
+            "--trace",
+            &trace,
+            "--shards",
+            "2",
+            "--sample-every",
+            "1",
+        ]))
+        .unwrap();
+        for series in [
+            "# TYPE streamworks_stage_latency_ns histogram",
+            "streamworks_events_ingested_total ",
+            "streamworks_query_complete_matches_total",
+            "streamworks_shard_skew",
+        ] {
+            assert!(prom.contains(series), "`{series}` in: {prom}");
+        }
+        let stats_json = dispatch(&args(&[
+            "stats", "--query", &query, "--trace", &trace, "--json",
+        ]))
+        .unwrap();
+        let doc = serde_json::parse(&stats_json).unwrap();
+        assert!(
+            doc.get_field("events_ingested")
+                .and_then(|v| v.as_u64())
+                .is_some_and(|n| n > 0),
+            "events_ingested counted: {stats_json}"
+        );
+
+        // stats without queries is rejected like run.
+        assert!(dispatch(&args(&["stats", "--trace", &trace])).is_err());
     }
 
     #[test]

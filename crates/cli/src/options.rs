@@ -48,7 +48,14 @@ impl fmt::Display for OptionError {
 impl std::error::Error for OptionError {}
 
 /// Flags that take no value (everything else consumes the next argument).
-const SWITCHES: &[&str] = &["json", "quiet", "neighbours", "no-share"];
+const SWITCHES: &[&str] = &[
+    "json",
+    "quiet",
+    "neighbours",
+    "no-share",
+    "telemetry",
+    "metrics-json",
+];
 
 impl Options {
     /// Parses raw arguments (excluding the binary name and subcommand).

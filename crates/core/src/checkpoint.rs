@@ -112,6 +112,16 @@ pub struct EngineCheckpoint {
     /// never captured, and still are not).
     #[serde(default)]
     pub durable: Vec<DeliveryCursor>,
+    /// Stage latency histograms captured at checkpoint time (`None` while
+    /// telemetry is off, and for checkpoints written before telemetry
+    /// existed). Restore folds these counters into the fresh engine's
+    /// histograms *after* the suppressed replay — the driver-side replay is
+    /// not re-measured, so the restored engine's stage counters continue
+    /// from the captured ones. (Shard workers registered during the rebuild
+    /// still time their own replay climbs; counters stay monotone either
+    /// way.)
+    #[serde(default)]
+    pub telemetry: Option<crate::TelemetryCheckpoint>,
 }
 
 /// Sink that drops every event (used while replaying a checkpoint).
@@ -222,6 +232,7 @@ impl EngineCheckpoint {
             taken_at: engine.graph().now(),
             events_emitted: engine.events_emitted(),
             durable,
+            telemetry: engine.capture_telemetry(),
         }
     }
 
@@ -331,6 +342,10 @@ impl EngineCheckpoint {
             }
         }
         actions.sort_unstable();
+        // The replay is not re-measured on the driver thread: the events
+        // were timed by the engine that wrote the checkpoint, whose stage
+        // counters are folded back in below.
+        let hub = engine.suspend_telemetry();
         let mut sink = NullSink;
         let mut start = 0usize;
         for (bound, qi, _, kind) in actions {
@@ -361,6 +376,7 @@ impl EngineCheckpoint {
                 engine.set_pause_time(*handle, self.paused_at.get(i).copied().flatten());
             }
         }
+        engine.resume_telemetry(hub, self.telemetry.as_ref());
         // The replayed matches were suppressed; continue the emitted-event
         // counter from where the checkpointed engine left off.
         engine.set_events_emitted(self.events_emitted);

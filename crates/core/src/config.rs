@@ -14,6 +14,7 @@
 use crate::delivery::RetryPolicy;
 use crate::engine::ContinuousQueryEngine;
 use crate::error::EngineError;
+use crate::telemetry::TelemetryLevel;
 use serde::{Deserialize, Serialize};
 use streamworks_graph::Duration;
 use streamworks_summarize::SummaryConfig;
@@ -104,6 +105,22 @@ pub struct EngineConfig {
     /// when absent from serialized form.
     #[serde(default = "default_retry_policy")]
     pub retry_policy: RetryPolicy,
+    /// How much observability the engine records while streaming (see
+    /// [`TelemetryLevel`] and `crates/core/src/telemetry.rs`): per-stage
+    /// latency histograms plus one end-to-end trace span set per sampled
+    /// event. Defaults to [`TelemetryLevel::Off`], which costs a single
+    /// branch per instrumentation site; absent from legacy serialized form
+    /// it stays off.
+    #[serde(default)]
+    pub telemetry_level: TelemetryLevel,
+    /// Sampling cadence when `telemetry_level` is
+    /// [`TelemetryLevel::Sampled`]: every `telemetry_sample_every`-th
+    /// ingested event takes the full stage timing path. Defaults to 64 —
+    /// coarse enough to keep the hot path at parity, fine enough that every
+    /// active stage accumulates observations within a few thousand events.
+    /// Validated to be at least 1.
+    #[serde(default = "default_telemetry_sample_every")]
+    pub telemetry_sample_every: u64,
 }
 
 /// Policy applied when a shard worker thread panics mid-stream.
@@ -177,6 +194,13 @@ fn default_retry_policy() -> RetryPolicy {
     RetryPolicy::default()
 }
 
+/// Serde fallback for [`EngineConfig::telemetry_sample_every`]: checkpoints
+/// written before telemetry existed restore with the default cadence (the
+/// level defaults to `Off`, so the cadence is dormant until switched on).
+fn default_telemetry_sample_every() -> u64 {
+    64
+}
+
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
@@ -192,6 +216,8 @@ impl Default for EngineConfig {
             channel_capacity: 1024,
             shard_failure_policy: ShardFailurePolicy::FailFast,
             retry_policy: RetryPolicy::default(),
+            telemetry_level: TelemetryLevel::Off,
+            telemetry_sample_every: 64,
         }
     }
 }
@@ -270,6 +296,13 @@ impl EngineConfig {
             return Err(
                 "retry_policy.attempt_timeout_ms must be at least 1 (a zero timeout would \
                  fail every transport delivery immediately)"
+                    .into(),
+            );
+        }
+        if self.telemetry_sample_every == 0 {
+            return Err(
+                "telemetry_sample_every must be at least 1 (1 samples every event; use \
+                 TelemetryLevel::Off to disable telemetry entirely)"
                     .into(),
             );
         }
@@ -416,6 +449,22 @@ impl EngineBuilder {
     /// default). Validated at build time.
     pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
         self.config.retry_policy = policy;
+        self
+    }
+
+    /// Chooses how much observability the engine records (see
+    /// [`TelemetryLevel`]; off by default). Matching results are identical
+    /// either way — telemetry only measures.
+    pub fn telemetry_level(mut self, level: TelemetryLevel) -> Self {
+        self.config.telemetry_level = level;
+        self
+    }
+
+    /// Sets the telemetry sampling cadence (see
+    /// [`EngineConfig::telemetry_sample_every`]; 64 by default). Validated
+    /// at build time: must be at least 1.
+    pub fn telemetry_sample_every(mut self, every: u64) -> Self {
+        self.config.telemetry_sample_every = every;
         self
     }
 
@@ -662,6 +711,40 @@ mod tests {
         assert!(!json.contains("retry_policy"));
         let config: EngineConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(config.retry_policy, RetryPolicy::default());
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn telemetry_settings_are_validated_and_default_off() {
+        let c = EngineConfig::default();
+        assert_eq!(c.telemetry_level, TelemetryLevel::Off);
+        assert_eq!(c.telemetry_sample_every, 64);
+        assert!(EngineBuilder::new()
+            .telemetry_sample_every(0)
+            .build()
+            .is_err());
+        let engine = EngineBuilder::new()
+            .telemetry_level(TelemetryLevel::Sampled)
+            .telemetry_sample_every(8)
+            .build()
+            .unwrap();
+        assert_eq!(engine.config().telemetry_level, TelemetryLevel::Sampled);
+        assert_eq!(engine.config().telemetry_sample_every, 8);
+    }
+
+    #[test]
+    fn configs_serialized_before_the_telemetry_fields_still_deserialize() {
+        // A checkpoint written before the observability layer has neither
+        // key; it must come back with telemetry off and the default cadence.
+        let mut json = serde_json::to_string(&EngineConfig::default()).unwrap();
+        assert!(json.contains("\"telemetry_level\""));
+        assert!(json.contains("\"telemetry_sample_every\""));
+        json = json.replace(",\"telemetry_level\":\"Off\"", "");
+        json = json.replace(",\"telemetry_sample_every\":64", "");
+        assert!(!json.contains("telemetry"));
+        let config: EngineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(config.telemetry_level, TelemetryLevel::Off);
+        assert_eq!(config.telemetry_sample_every, 64);
         assert!(config.validate().is_ok());
     }
 

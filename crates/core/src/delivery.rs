@@ -362,6 +362,18 @@ fn connect_endpoint(address: &str) -> Result<Box<dyn DeliveryTarget>, ConnectErr
 }
 
 impl SinkSpec {
+    /// Human-readable destination description for observability exports
+    /// (`telemetry_snapshot()`'s delivery section): `log:<path>`,
+    /// `memory:<key>`, `endpoint:<address>` or `discard`.
+    pub fn describe(&self) -> String {
+        match self {
+            SinkSpec::LogFile { path } => format!("log:{path}"),
+            SinkSpec::Memory { key } => format!("memory:{key}"),
+            SinkSpec::Endpoint { address } => format!("endpoint:{address}"),
+            SinkSpec::Discard => "discard".to_string(),
+        }
+    }
+
     /// Materialises the destination, resuming after `cursor` acknowledged
     /// deliveries (log-file and memory destinations are truncated to that
     /// prefix; endpoints are simply re-dialled).

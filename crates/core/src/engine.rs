@@ -15,6 +15,8 @@
 //! feeding events — single, slice, iterator — goes through the unified
 //! [`ContinuousQueryEngine::ingest`] surface.
 
+use std::sync::Arc;
+
 use crate::binding::PartialMatch;
 use crate::config::{EngineBuilder, EngineConfig};
 use crate::delivery::{
@@ -29,6 +31,10 @@ use crate::parallel::{panic_message, ShardFailure, ShardedMatcher};
 use crate::rpq::{RpqMatcher, RpqPathMatch};
 use crate::shared_index::{Delivery, SharedPrimitiveIndex, SharedSubtreeIndex};
 use crate::sj_matcher::SjTreeMatcher;
+use crate::telemetry::{
+    shard_skew, DeliverySnapshot, QuerySnapshot, ShardSetSnapshot, Stage, StageSnapshot,
+    TelemetryCheckpoint, TelemetryHub, TelemetryLevel, TelemetrySnapshot,
+};
 use streamworks_graph::{
     Duration, DynamicGraph, EdgeEvent, EdgeId, GraphConfig, GraphStats, Timestamp, TypeId,
 };
@@ -173,6 +179,15 @@ impl QueryExec {
             QueryExec::Single(m) => Some(m),
             QueryExec::Sharded(s) => Some(s.front()),
             QueryExec::Rpq(_) => None,
+        }
+    }
+
+    /// The registered query's name, whichever class it is.
+    fn query_name(&self) -> &str {
+        match self {
+            QueryExec::Single(m) => m.plan().query.name(),
+            QueryExec::Sharded(s) => s.plan().query.name(),
+            QueryExec::Rpq(m) => m.query().name(),
         }
     }
 }
@@ -435,6 +450,15 @@ pub struct ContinuousQueryEngine {
     match_scratch: Vec<PartialMatch>,
     /// Reusable buffer for RPQ path matches produced per event.
     rpq_scratch: Vec<RpqPathMatch>,
+    /// Reusable buffer for a sampled event's leaf embeddings: the telemetry
+    /// path splits a Single matcher's `process_edge` into its search and
+    /// climb halves to time them separately, and this buffer carries the
+    /// embeddings between the halves.
+    primitive_scratch: Vec<(SjNodeId, PartialMatch)>,
+    /// `Some` while [`crate::TelemetryLevel::Sampled`]: the shared stage
+    /// histograms plus the driver thread's span ring. `None` means every
+    /// instrumentation site reduces to one branch.
+    telemetry: Option<TelemetryHub>,
     /// `Some(reason)` once a shard failure could not be contained (the
     /// [`crate::ShardFailurePolicy::FailFast`] policy, or a `Degrade` with
     /// no surviving shard): join state is gone, so serving further calls
@@ -484,6 +508,11 @@ impl ContinuousQueryEngine {
             events_emitted: 0,
             match_scratch: Vec::new(),
             rpq_scratch: Vec::new(),
+            primitive_scratch: Vec::new(),
+            telemetry: match config.telemetry_level {
+                TelemetryLevel::Off => None,
+                TelemetryLevel::Sampled => Some(TelemetryHub::new(config.telemetry_sample_every)),
+            },
             poisoned: None,
             config,
         }
@@ -494,13 +523,16 @@ impl ContinuousQueryEngine {
     /// join-key-sharded matcher spread over worker threads.
     fn build_exec(&self, plan: QueryPlan) -> QueryExec {
         if self.config.shards > 1 {
-            QueryExec::Sharded(Box::new(ShardedMatcher::with_options(
+            QueryExec::Sharded(Box::new(ShardedMatcher::with_telemetry(
                 plan,
                 &self.graph,
                 self.config.shards,
                 self.config.max_matches_per_node,
                 self.config.channel_capacity,
                 self.config.shard_failure_policy,
+                self.telemetry
+                    .as_ref()
+                    .map(|h| (Arc::clone(&h.core), Arc::clone(&h.driver_ring))),
             )))
         } else {
             QueryExec::Single(
@@ -1067,6 +1099,131 @@ impl ContinuousQueryEngine {
             .collect()
     }
 
+    /// The unified observability snapshot: per-stage latency histograms,
+    /// every live query's counters, engine-wide sharing counters, per-shard
+    /// counters with their routing-skew ratio, live durable-delivery state
+    /// and the recent trace spans — everything the CLI's `stats` command and
+    /// `--metrics-json` flag export. [`crate::MetricsRegistry::gather`] is a
+    /// façade over this method.
+    ///
+    /// Stage histograms and spans are empty while
+    /// [`crate::TelemetryLevel::Off`] (the counters sections are always
+    /// populated). Each subscription's `lag` is recomputed from its live
+    /// outbox depth at snapshot time, so a quarantined subscription's
+    /// backlog keeps growing here instead of freezing at the value its last
+    /// successful drain cached.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let stages: Vec<StageSnapshot> = self
+            .telemetry
+            .as_ref()
+            .map(|h| {
+                Stage::ALL
+                    .iter()
+                    .map(|&s| StageSnapshot::from_histogram(s, &h.core.stage_snapshot(s)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut queries = Vec::new();
+        let mut shards = Vec::new();
+        let mut delivery = Vec::new();
+        for (idx, slot) in self.queries.iter().enumerate() {
+            let Some(state) = slot.state.as_ref() else {
+                continue;
+            };
+            let handle = QueryHandle::new(QueryId(idx), slot.generation);
+            let name = state.exec.query_name().to_string();
+            if let Ok(metrics) = self.metrics(handle) {
+                queries.push(QuerySnapshot {
+                    name: name.clone(),
+                    paused: state.paused,
+                    metrics,
+                });
+            }
+            if let QueryExec::Sharded(sharded) = &state.exec {
+                let per_shard = sharded.shard_metrics();
+                let skew = shard_skew(&per_shard);
+                shards.push(ShardSetSnapshot {
+                    query: name.clone(),
+                    shards: per_shard,
+                    skew,
+                });
+            }
+            for d in &state.durables {
+                delivery.push(DeliverySnapshot {
+                    query: name.clone(),
+                    token: d.token,
+                    target: d.spec.describe(),
+                    status: match &d.status {
+                        DeliveryStatus::Active => "active".to_string(),
+                        DeliveryStatus::Degraded { .. } => "degraded".to_string(),
+                        DeliveryStatus::Quarantined { .. } => "quarantined".to_string(),
+                    },
+                    routed: d.routed,
+                    dropped: d.dropped,
+                    attempts: d.attempts,
+                    retries: d.retries,
+                    recoveries: d.recoveries,
+                    lag: d.lag(),
+                });
+            }
+        }
+        let mut spans = Vec::new();
+        if let Some(h) = &self.telemetry {
+            h.driver_ring.collect_into(&mut spans);
+            for slot in &self.queries {
+                if let Some(state) = &slot.state {
+                    if let QueryExec::Sharded(sharded) = &state.exec {
+                        sharded.collect_spans(&mut spans);
+                    }
+                }
+            }
+            spans.sort_by_key(|s| (s.seq, s.start_ns));
+        }
+        TelemetrySnapshot {
+            level: self.config.telemetry_level.name().to_string(),
+            sample_every: self.config.telemetry_sample_every,
+            events_ingested: self.events_ingested,
+            events_emitted: self.events_emitted,
+            stages,
+            queries,
+            engine: self.engine_metrics(),
+            shards,
+            delivery,
+            spans,
+        }
+    }
+
+    /// Captures the live stage histograms for a checkpoint; `None` while
+    /// telemetry is off.
+    pub(crate) fn capture_telemetry(&self) -> Option<TelemetryCheckpoint> {
+        self.telemetry
+            .as_ref()
+            .map(|h| TelemetryCheckpoint::capture(&h.core))
+    }
+
+    /// Detaches the telemetry hub so checkpoint replay is not re-measured on
+    /// the driver thread (the replayed events were already measured by the
+    /// engine that wrote the checkpoint). Pair with
+    /// [`Self::resume_telemetry`]. Sharded matchers registered before the
+    /// suspension keep their own clones and still record their worker-side
+    /// stages; restore tolerates that overlap (counters stay monotone).
+    pub(crate) fn suspend_telemetry(&mut self) -> Option<TelemetryHub> {
+        self.telemetry.take()
+    }
+
+    /// Reinstates the hub taken by [`Self::suspend_telemetry`] and folds the
+    /// restored checkpoint's captured stage counters into it.
+    pub(crate) fn resume_telemetry(
+        &mut self,
+        hub: Option<TelemetryHub>,
+        restored: Option<&TelemetryCheckpoint>,
+    ) {
+        self.telemetry = hub;
+        if let (Some(h), Some(cp)) = (&self.telemetry, restored) {
+            cp.absorb_into(&h.core);
+        }
+    }
+
     /// Partial matches currently stored across every live query's
     /// `SharedJoinStore`s — the figure that drops to zero for a query's share when
     /// it is deregistered.
@@ -1198,6 +1355,7 @@ impl ContinuousQueryEngine {
     /// every durable subscriber is fully caught up. Intended for shutdown
     /// and for tests; regular draining happens at the end of each `ingest`.
     pub fn flush_deliveries(&mut self) -> u64 {
+        let start = self.telemetry.as_ref().map(|h| h.core.now_ns());
         let policy = self.config.retry_policy;
         let mut lag = 0;
         for slot in &mut self.queries {
@@ -1207,6 +1365,10 @@ impl ContinuousQueryEngine {
                     lag += durable.lag();
                 }
             }
+        }
+        if let (Some(h), Some(start)) = (&self.telemetry, start) {
+            h.core
+                .record(Stage::DeliveryFlush, h.core.now_ns().saturating_sub(start));
         }
         lag
     }
@@ -1439,20 +1601,42 @@ impl ContinuousQueryEngine {
         // `Delay` exercises ingest-side latency.
         let _ = crate::failpoint::fire_at("ingest-front", 0);
         let trailing_prune = batch.is_batch();
+        let start_seq = self.events_ingested;
         let mut emitted = 0usize;
         batch.drive(&mut |ev| emitted += self.process_event_inner(ev, sink));
+        // The batch-boundary stages below cover the whole call; they are
+        // timed when the call's sequence range contains a sampled event, and
+        // that event's sequence number keys their spans.
+        let batch_sample = self.telemetry.as_ref().and_then(|h| {
+            h.core
+                .first_sampled(start_seq, self.events_ingested)
+                .map(|seq| (h.clone(), seq))
+        });
         // Sharded queries join asynchronously; the end of the ingest call is
         // the quiescent point where their fan-in is flushed, in stream order.
+        let fan_in_start = batch_sample.as_ref().map(|(h, _)| h.core.now_ns());
         emitted += self.flush_sharded(sink);
+        if let (Some((h, seq)), Some(start)) = (&batch_sample, fan_in_start) {
+            let dur = h.core.now_ns().saturating_sub(start);
+            h.core.record(Stage::FanInDrain, dur);
+            h.driver_ring.push(*seq, Stage::FanInDrain, start, dur);
+        }
         // Cover the trailing partial prune interval so a sequence of batches
         // never carries more than `prune_every` edges of stale partials.
+        // (`prune_async` inside records the expiry-sweep stage itself.)
         if trailing_prune && self.edges_since_prune > 0 {
             self.prune_now();
         }
         // Durable subscribers buffer their matches in per-subscription
         // outboxes during dispatch; the end of the ingest call is the one
         // point where delivery (with retry/backoff) is attempted.
+        let flush_start = batch_sample.as_ref().map(|(h, _)| h.core.now_ns());
         self.drain_deliveries();
+        if let (Some((h, seq)), Some(start)) = (&batch_sample, flush_start) {
+            let dur = h.core.now_ns().saturating_sub(start);
+            h.core.record(Stage::DeliveryFlush, dur);
+            h.driver_ring.push(*seq, Stage::DeliveryFlush, start, dur);
+        }
         self.surface_shard_failures()?;
         Ok(emitted)
     }
@@ -1543,6 +1727,15 @@ impl ContinuousQueryEngine {
     fn process_event_inner(&mut self, event: &EdgeEvent, sink: &mut dyn EventSink) -> usize {
         let seq = self.events_ingested;
         self.events_ingested += 1;
+        // The hub is only cloned (two `Arc` bumps) for sampled events; for
+        // every other event each instrumentation site below is one branch on
+        // a `None`.
+        let hub = self
+            .telemetry
+            .as_ref()
+            .filter(|h| h.core.should_sample(seq))
+            .cloned();
+        let ingest_start = hub.as_ref().map(|h| h.core.now_ns());
         // 1. Update the graph.
         let result = self.graph.ingest(event);
 
@@ -1562,6 +1755,11 @@ impl ContinuousQueryEngine {
                             .observe_expiry(info.src_vtype, info.etype, info.dst_vtype);
                     }
                 }
+            }
+            if let (Some(h), Some(start)) = (&hub, ingest_start) {
+                let dur = h.core.now_ns().saturating_sub(start);
+                h.core.record(Stage::IngestFront, dur);
+                h.driver_ring.push(seq, Stage::IngestFront, start, dur);
             }
             return 0;
         };
@@ -1605,6 +1803,12 @@ impl ContinuousQueryEngine {
             }
         }
 
+        if let (Some(h), Some(start)) = (&hub, ingest_start) {
+            let dur = h.core.now_ns().saturating_sub(start);
+            h.core.record(Stage::IngestFront, dur);
+            h.driver_ring.push(seq, Stage::IngestFront, start, dur);
+        }
+
         // 3. Matching. With sharing active, the anchored local search runs
         // once per distinct primitive in the shared index and every
         // embedding is fanned out — remapped through the subscriber's vertex
@@ -1614,12 +1818,26 @@ impl ContinuousQueryEngine {
         // sharing, every live, unpaused matcher (the dispatch table) runs
         // its own search. Sharded matchers only route here — their completed
         // matches surface at the next quiescent point (see `flush_sharded`).
+        //
+        // Telemetry: a sampled event's search work and climb work are
+        // accumulated separately across every dispatch path below and
+        // recorded once each, so one edge contributes one local-search and
+        // one join-climb observation no matter how many queries it touched.
+        // (A sharded matcher times its own front search and routing — see
+        // `ShardedMatcher::process_edge_at` — so it is excluded here.)
+        let match_start = hub.as_ref().map(|h| h.core.now_ns());
+        let mut search_ns: Option<u64> = None;
+        let mut climb_ns: Option<u64> = None;
         let mut emitted = 0usize;
         let mut complete = std::mem::take(&mut self.match_scratch);
         let graph = &self.graph;
         let policy = self.config.retry_policy;
         if self.sharing_active {
+            let t0 = hub.as_ref().map(|h| h.core.now_ns());
             self.shared.search_edge(graph, edge);
+            if let (Some(h), Some(t)) = (&hub, t0) {
+                *search_ns.get_or_insert(0) += h.core.now_ns().saturating_sub(t);
+            }
             let mut deliveries = std::mem::take(&mut self.delivery_scratch);
             deliveries.clear();
             self.shared.collect_deliveries(&mut deliveries);
@@ -1627,6 +1845,7 @@ impl ContinuousQueryEngine {
             // order, so subscribers observe the same stream either way.
             deliveries.sort_unstable();
             let mut delivered = 0u64;
+            let t0 = hub.as_ref().map(|h| h.core.now_ns());
             for d in &deliveries {
                 let (results, sub) = self.shared.delivery(d);
                 delivered += results.len() as u64;
@@ -1667,6 +1886,9 @@ impl ContinuousQueryEngine {
                     QueryExec::Rpq(_) => unreachable!("RPQ in shared fan-out"),
                 }
             }
+            if let (Some(h), Some(t)) = (&hub, t0) {
+                *climb_ns.get_or_insert(0) += h.core.now_ns().saturating_sub(t);
+            }
             self.shared.add_deliveries(delivered);
             self.delivery_scratch = deliveries;
 
@@ -1678,11 +1900,16 @@ impl ContinuousQueryEngine {
             // subscription that is the root, where absorbed matches are
             // complete.
             if self.config.subtree_sharing {
+                let t0 = hub.as_ref().map(|h| h.core.now_ns());
                 self.subtree.search_edge(graph, edge);
+                if let (Some(h), Some(t)) = (&hub, t0) {
+                    *search_ns.get_or_insert(0) += h.core.now_ns().saturating_sub(t);
+                }
                 let mut deliveries = std::mem::take(&mut self.subtree_scratch);
                 deliveries.clear();
                 self.subtree.collect_deliveries(&mut deliveries);
                 deliveries.sort_unstable();
+                let t0 = hub.as_ref().map(|h| h.core.now_ns());
                 let mut lifted_hits = 0u64;
                 for d in &deliveries {
                     let (results, consts, sub, lifted) = self.subtree.delivery(d);
@@ -1744,6 +1971,9 @@ impl ContinuousQueryEngine {
                         QueryExec::Rpq(_) => unreachable!("RPQ in subtree fan-out"),
                     }
                 }
+                if let (Some(h), Some(t)) = (&hub, t0) {
+                    *climb_ns.get_or_insert(0) += h.core.now_ns().saturating_sub(t);
+                }
                 self.subtree.add_lifted_hits(lifted_hits);
                 self.subtree_scratch = deliveries;
             }
@@ -1770,10 +2000,15 @@ impl ContinuousQueryEngine {
                     // The second query class rides the same dispatch pass:
                     // path matches are materialised as events binding
                     // src/dst and delivered through the shared supervised
-                    // emission point.
+                    // emission point. Its delta expansion is all anchored
+                    // search — no join climb — so its time lands there.
                     let mut paths = std::mem::take(&mut self.rpq_scratch);
                     paths.clear();
+                    let t0 = hub.as_ref().map(|h| h.core.now_ns());
                     rpq.process_edge(graph, edge, &mut paths);
+                    if let (Some(h), Some(t)) = (&hub, t0) {
+                        *search_ns.get_or_insert(0) += h.core.now_ns().saturating_sub(t);
+                    }
                     let name = rpq.query().name();
                     for p in paths.drain(..) {
                         let event = MatchEvent::from_path(handle, name, graph, &p);
@@ -1791,7 +2026,25 @@ impl ContinuousQueryEngine {
                 }
             };
             complete.clear();
-            matcher.process_edge(graph, edge, &mut complete);
+            if let Some(h) = &hub {
+                // Sampled event: run `process_edge` as its two halves —
+                // anchored search, then the join climb — so each half's time
+                // lands in its own stage. Matches and counters are identical
+                // to the fused path.
+                let mut prims = std::mem::take(&mut self.primitive_scratch);
+                prims.clear();
+                let t0 = h.core.now_ns();
+                matcher.primitive_matches_into(graph, edge, &mut prims);
+                let t1 = h.core.now_ns();
+                *search_ns.get_or_insert(0) += t1.saturating_sub(t0);
+                for (leaf, m) in prims.drain(..) {
+                    matcher.join_from(leaf, m, &mut complete);
+                }
+                *climb_ns.get_or_insert(0) += h.core.now_ns().saturating_sub(t1);
+                self.primitive_scratch = prims;
+            } else {
+                matcher.process_edge(graph, edge, &mut complete);
+            }
             for m in complete.drain(..) {
                 deliver_match(
                     handle,
@@ -1804,6 +2057,16 @@ impl ContinuousQueryEngine {
                     sink,
                 );
                 emitted += 1;
+            }
+        }
+        if let (Some(h), Some(start)) = (&hub, match_start) {
+            if let Some(ns) = search_ns {
+                h.core.record(Stage::LocalSearch, ns);
+                h.driver_ring.push(seq, Stage::LocalSearch, start, ns);
+            }
+            if let Some(ns) = climb_ns {
+                h.core.record(Stage::JoinClimb, ns);
+                h.driver_ring.push(seq, Stage::JoinClimb, start, ns);
             }
         }
         self.match_scratch = complete;
@@ -1843,6 +2106,11 @@ impl ContinuousQueryEngine {
     /// workers without waiting (their metrics catch up at the next
     /// quiescent point — a barrier or the end of the `ingest` call).
     fn prune_async(&mut self) {
+        // Prunes are rare (once per `prune_every` edges), so they are timed
+        // whenever telemetry is on rather than per-event sampled; sweeps that
+        // run on shard workers record their own time there. No span: a sweep
+        // covers a window, not one sampled edge.
+        let start = self.telemetry.as_ref().map(|h| h.core.now_ns());
         let now = self.graph.now();
         for slot in &mut self.queries {
             if let Some(state) = &mut slot.state {
@@ -1851,6 +2119,10 @@ impl ContinuousQueryEngine {
         }
         self.subtree.prune(now);
         self.edges_since_prune = 0;
+        if let (Some(h), Some(start)) = (&self.telemetry, start) {
+            h.core
+                .record(Stage::ExpirySweep, h.core.now_ns().saturating_sub(start));
+        }
     }
 }
 

@@ -68,6 +68,7 @@ mod parallel;
 mod rpq;
 mod shared_index;
 mod sj_matcher;
+mod telemetry;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveReplanner, ReplanDecision, ReplanStrategy};
 pub use binding::{Binding, PartialMatch, INLINE_EDGES, INLINE_VERTICES};
@@ -91,3 +92,8 @@ pub use match_store::{JoinKey, JoinSide, SharedJoinStore};
 pub use metrics::{EngineMetrics, QueryMetrics, ShardMetrics};
 pub use parallel::{ParallelRunOutcome, ParallelRunner, ShardFailure, ShardedMatcher};
 pub use sj_matcher::SjTreeMatcher;
+pub use telemetry::{
+    shard_skew, AtomicHistogram, DeliverySnapshot, HistogramSnapshot, MetricsRegistry,
+    QuerySnapshot, ShardSetSnapshot, SpanRing, Stage, StageSnapshot, TelemetryCheckpoint,
+    TelemetryCore, TelemetryLevel, TelemetrySnapshot, TraceSpan, SPAN_RING_CAPACITY,
+};

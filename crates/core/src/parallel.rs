@@ -90,6 +90,7 @@ use crate::join::{self, NodeRoute, NO_PARENT};
 use crate::match_store::{JoinKey, SharedJoinStore};
 use crate::metrics::{QueryMetrics, ShardMetrics};
 use crate::sj_matcher::SjTreeMatcher;
+use crate::telemetry::{SpanRing, Stage, TelemetryCore, TraceSpan};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -438,6 +439,10 @@ struct ShardWorker {
     stack: Vec<(SjNodeId, PartialMatch)>,
     merged: Vec<PartialMatch>,
     acc: BatchCounters,
+    /// Observability hooks: the engine-shared histogram core plus this
+    /// worker's own single-writer span ring. `None` when telemetry is off —
+    /// the worker pays one branch per batch.
+    telemetry: Option<(Arc<TelemetryCore>, Arc<SpanRing>)>,
 }
 
 impl ShardWorker {
@@ -467,6 +472,16 @@ impl ShardWorker {
                     self.counters
                         .items_routed
                         .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    // A batch carrying a sampled edge times its whole climb
+                    // (one histogram entry + one span, keyed by the sampled
+                    // seq so the driver-side spans of the same event line
+                    // up). Off-telemetry this is a single `None` branch.
+                    let climb_sample = self.telemetry.as_ref().and_then(|(core, _)| {
+                        batch
+                            .iter()
+                            .find(|r| core.should_sample(r.seq))
+                            .map(|r| (r.seq, core.now_ns()))
+                    });
                     // Supervision entry: an injected batch-entry fault (or
                     // a panic from it) fails the shard with the *whole*
                     // batch intact, which is what makes `Degrade` exact
@@ -519,6 +534,13 @@ impl ShardWorker {
                             return;
                         }
                     }
+                    if let (Some((seq, start)), Some((core, ring))) =
+                        (climb_sample, self.telemetry.as_ref())
+                    {
+                        let dur = core.now_ns().saturating_sub(start);
+                        core.record(Stage::JoinClimb, dur);
+                        ring.push(seq, Stage::JoinClimb, start, dur);
+                    }
                     if !self.completed_buffer.is_empty() {
                         // The driver may already have dropped the receiver
                         // during shutdown; losing the matches is fine then.
@@ -552,6 +574,10 @@ impl ShardWorker {
                     }
                 }
                 ShardItem::Prune { cutoff } => {
+                    // Sweeps are rare (one marker per prune cadence), so
+                    // every one is measured while telemetry is on. No span:
+                    // sweeps have no owning edge seq on the worker side.
+                    let sweep_start = self.telemetry.as_ref().map(|(core, _)| core.now_ns());
                     match catch_unwind(AssertUnwindSafe(|| {
                         if crate::failpoint::fire_at("expiry-sweep", self.id) {
                             panic!("injected expiry-sweep error");
@@ -559,6 +585,14 @@ impl ShardWorker {
                         self.prune(cutoff)
                     })) {
                         Ok(()) => {
+                            if let (Some(start), Some((core, _))) =
+                                (sweep_start, self.telemetry.as_ref())
+                            {
+                                core.record(
+                                    Stage::ExpirySweep,
+                                    core.now_ns().saturating_sub(start),
+                                );
+                            }
                             // Prune markers are counted in `pending` like
                             // match batches, so a barrier right after a prune
                             // also waits for the sweeps (metrics read exactly
@@ -848,6 +882,12 @@ pub struct ShardedMatcher {
     /// Spill count for matches completed on the driver (single-leaf plans).
     driver_spills: u64,
     primitive_scratch: Vec<(SjNodeId, PartialMatch)>,
+    /// Observability hooks on the driver side: the engine-shared histogram
+    /// core plus the engine thread's span ring (local search and routing of
+    /// sampled edges are timed here, where the two halves are visible).
+    telemetry: Option<(Arc<TelemetryCore>, Arc<SpanRing>)>,
+    /// Each worker's span ring, retained so snapshots can collect them.
+    span_rings: Vec<Arc<SpanRing>>,
 }
 
 impl ShardedMatcher {
@@ -884,6 +924,30 @@ impl ShardedMatcher {
         channel_capacity: usize,
         policy: ShardFailurePolicy,
     ) -> Self {
+        Self::with_telemetry(
+            plan,
+            graph,
+            shards,
+            max_matches_per_node,
+            channel_capacity,
+            policy,
+            None,
+        )
+    }
+
+    /// [`Self::with_options`] plus the engine's telemetry hooks: the shared
+    /// histogram core and the engine thread's span ring. Workers are spawned
+    /// here, so the hooks must be present at construction; `None` disables
+    /// all measurement (one branch per site).
+    pub(crate) fn with_telemetry(
+        plan: QueryPlan,
+        graph: &DynamicGraph,
+        shards: usize,
+        max_matches_per_node: Option<usize>,
+        channel_capacity: usize,
+        policy: ShardFailurePolicy,
+        telemetry: Option<(Arc<TelemetryCore>, Arc<SpanRing>)>,
+    ) -> Self {
         let shards = shards.max(1);
         // Zero capacity would make every channel a rendezvous; clamp rather
         // than deadlock (the builder validates user-facing configs anyway).
@@ -918,6 +982,9 @@ impl ShardedMatcher {
         let counters: Vec<Arc<ShardCounters>> = (0..shards)
             .map(|_| Arc::new(ShardCounters::default()))
             .collect();
+        let span_rings: Vec<Arc<SpanRing>> = (0..shards)
+            .map(|id| Arc::new(SpanRing::new(id as i64)))
+            .collect();
 
         let workers = receivers
             .into_iter()
@@ -947,6 +1014,9 @@ impl ShardedMatcher {
                     stack: Vec::new(),
                     merged: Vec::new(),
                     acc: BatchCounters::default(),
+                    telemetry: telemetry
+                        .as_ref()
+                        .map(|(core, _)| (Arc::clone(core), Arc::clone(&span_rings[id]))),
                 };
                 std::thread::Builder::new()
                     .name(format!("sw-shard-{id}"))
@@ -976,6 +1046,8 @@ impl ShardedMatcher {
             complete_emitted: 0,
             driver_spills: 0,
             primitive_scratch: Vec::new(),
+            telemetry,
+            span_rings,
         }
     }
 
@@ -1050,10 +1122,33 @@ impl ShardedMatcher {
         self.seq = seq + 1;
         let mut primitives = std::mem::take(&mut self.primitive_scratch);
         primitives.clear();
+        // A sampled edge times the two driver-side halves separately — the
+        // anchored local search and the join-key routing (including any
+        // backpressure blocking in the send).
+        let sampled = self
+            .telemetry
+            .as_ref()
+            .filter(|(core, _)| core.should_sample(seq))
+            .map(|(core, ring)| (Arc::clone(core), Arc::clone(ring)));
+        let search_start = sampled.as_ref().map(|(core, _)| core.now_ns());
         self.front
             .primitive_matches_into(graph, edge, &mut primitives);
+        let route_start = if let (Some((core, ring)), Some(start)) = (&sampled, search_start) {
+            let now = core.now_ns();
+            let dur = now.saturating_sub(start);
+            core.record(Stage::LocalSearch, dur);
+            ring.push(seq, Stage::LocalSearch, start, dur);
+            Some(now)
+        } else {
+            None
+        };
         for (leaf, m) in primitives.drain(..) {
             self.route_embedding(leaf, m, seq);
+        }
+        if let (Some((core, ring)), Some(start)) = (&sampled, route_start) {
+            let dur = core.now_ns().saturating_sub(start);
+            core.record(Stage::ShardRouting, dur);
+            ring.push(seq, Stage::ShardRouting, start, dur);
         }
         self.primitive_scratch = primitives;
         // Opportunistic drain keeps the fan-in channel shallow mid-batch.
@@ -1074,7 +1169,7 @@ impl ShardedMatcher {
             self.seq = seq + 1;
         }
         self.front.note_shared_embedding();
-        self.route_embedding(leaf, m, seq);
+        self.route_timed(leaf, m, seq);
         // Opportunistic drain keeps the fan-in channel shallow mid-batch.
         while let Ok(results) = self.results_rx.try_recv() {
             self.completed.extend(results);
@@ -1091,9 +1186,35 @@ impl ShardedMatcher {
         if seq >= self.seq {
             self.seq = seq + 1;
         }
-        self.route_embedding(node, m, seq);
+        self.route_timed(node, m, seq);
         while let Ok(results) = self.results_rx.try_recv() {
             self.completed.extend(results);
+        }
+    }
+
+    /// [`Self::route_embedding`] with routing-latency accounting for sampled
+    /// edges — the shared-index fan-out entry points come through here, one
+    /// embedding at a time, so only the histogram is fed (a span per
+    /// embedding would flood the ring; end-to-end spans come from
+    /// `process_edge_at` and the worker climbs).
+    fn route_timed(&mut self, node: SjNodeId, m: PartialMatch, seq: u64) {
+        let sampled = self
+            .telemetry
+            .as_ref()
+            .filter(|(core, _)| core.should_sample(seq))
+            .map(|(core, _)| Arc::clone(core));
+        let start = sampled.as_ref().map(|core| core.now_ns());
+        self.route_embedding(node, m, seq);
+        if let (Some(core), Some(start)) = (sampled, start) {
+            core.record(Stage::ShardRouting, core.now_ns().saturating_sub(start));
+        }
+    }
+
+    /// Copies every worker span ring's live spans into `out` (the engine's
+    /// snapshot path; call at quiescence for exact contents).
+    pub(crate) fn collect_spans(&self, out: &mut Vec<TraceSpan>) {
+        for ring in &self.span_rings {
+            ring.collect_into(out);
         }
     }
 

@@ -235,6 +235,22 @@ impl SjTreeMatcher {
         self.anchors.give_back(anchors);
     }
 
+    /// The join-climb half of [`Self::process_edge`], exposed so the
+    /// engine's sampled telemetry path can time local search and join climb
+    /// separately: feeds one front-end primitive embedding (as produced by
+    /// [`Self::primitive_matches_into`]) into the join propagation without
+    /// re-counting it — `primitive_matches` was already accounted by the
+    /// front end. Results are identical to `process_edge` feeding the same
+    /// embeddings.
+    pub(crate) fn join_from(
+        &mut self,
+        leaf: SjNodeId,
+        m: PartialMatch,
+        out: &mut Vec<PartialMatch>,
+    ) {
+        self.insert_and_join(leaf, m, out);
+    }
+
     /// Feeds one embedding produced by the engine's shared primitive index
     /// (already remapped into this query's vertex/edge space) into the join
     /// propagation at `leaf` — the shared-dispatch twin of the local-search

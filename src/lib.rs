@@ -138,9 +138,9 @@ pub use streamworks_core::{
     AdaptiveConfig, AdaptiveReplanner, BufferingSink, CallbackSink, ChannelSink, CollectingSink,
     ContinuousQueryEngine, CountingSink, DeliveryCursor, EngineBuilder, EngineConfig, EngineError,
     EngineMetrics, EventBatch, EventSink, Ingest, MatchBuffer, MatchCounter, MatchEvent,
-    ParallelRunner, QueryHandle, QueryId, QueryMetrics, RetryPolicy, ShardFailure,
-    ShardFailurePolicy, ShardMetrics, ShardedMatcher, SinkOverflow, SinkSpec, SubscriptionHealth,
-    SubscriptionId, Transport,
+    MetricsRegistry, ParallelRunner, QueryHandle, QueryId, QueryMetrics, RetryPolicy, ShardFailure,
+    ShardFailurePolicy, ShardMetrics, ShardedMatcher, SinkOverflow, SinkSpec, Stage, StageSnapshot,
+    SubscriptionHealth, SubscriptionId, TelemetryLevel, TelemetrySnapshot, TraceSpan, Transport,
 };
 pub use streamworks_graph::{
     AttrValue, Attrs, Direction, Duration, DynamicGraph, EdgeEvent, EdgeId, Timestamp, VertexId,

@@ -37,8 +37,8 @@ use streamworks::failpoint::{self, FailAction};
 use streamworks::{
     clear_endpoint, memory_sink_contents, register_endpoint, reset_memory_sink, BufferingSink,
     CallbackSink, ContinuousQueryEngine, EdgeEvent, EngineError, MatchEvent, QueryHandle,
-    RetryPolicy, ShardFailurePolicy, SinkOverflow, SinkSpec, SubscriptionHealth, Timestamp,
-    Transport,
+    RetryPolicy, ShardFailurePolicy, SinkOverflow, SinkSpec, SubscriptionHealth, TelemetryLevel,
+    Timestamp, Transport,
 };
 
 /// The failpoint registry is process-global; chaos scenarios must not run
@@ -1005,4 +1005,64 @@ fn engine_health(engine: &ContinuousQueryEngine) -> SubscriptionHealth {
     let handle = engine.handles()[0];
     let sub = engine.durable_subscriptions(handle).unwrap()[0];
     engine.subscription_health(sub).unwrap()
+}
+
+/// Telemetry under fault injection: a shard dies mid-run under `Degrade`,
+/// and the span rings and histograms must stay coherent — spans from both
+/// the driver and the surviving workers, a JSON dump that parses, and
+/// ingest counters that reflect every event. Observability being trustworthy
+/// *during* an incident is its whole purpose.
+#[test]
+fn telemetry_spans_survive_shard_faults_and_dump_as_json() {
+    let _guard = serial();
+    let events = stream(600, 6);
+    failpoint::configure("shard-worker", 0, FailAction::Panic, 2);
+    let mut engine = ContinuousQueryEngine::builder()
+        .shards(2)
+        .shard_failure_policy(ShardFailurePolicy::Degrade)
+        .channel_capacity(8)
+        .telemetry_level(TelemetryLevel::Sampled)
+        .telemetry_sample_every(1)
+        .build()
+        .unwrap();
+    register_pair(&mut engine);
+    let mut faulted = 0usize;
+    for chunk in events.chunks(64) {
+        match engine.ingest(chunk) {
+            Ok(_) => {}
+            Err(EngineError::ShardFailed { degraded, .. }) => {
+                assert!(degraded);
+                faulted += 1;
+            }
+            Err(other) => panic!("unexpected error: {other:?}"),
+        }
+    }
+    assert!(faulted > 0, "the armed shard-worker panic must fire");
+    failpoint::clear();
+
+    let snap = engine.telemetry_snapshot();
+    assert_eq!(snap.events_ingested, events.len() as u64);
+    assert!(
+        snap.spans.iter().any(|s| s.shard == -1),
+        "driver-side spans survive the fault"
+    );
+    assert!(
+        snap.spans.iter().any(|s| s.shard >= 0),
+        "worker-side spans survive the fault"
+    );
+    assert!(
+        snap.stages
+            .iter()
+            .any(|s| s.name == "join_climb" && s.count > 0),
+        "climb latency kept being recorded on the surviving shard"
+    );
+
+    // The postmortem artifact itself: the JSON dump parses and carries the
+    // spans; the Prometheus rendering exposes the stage histograms.
+    let doc = serde_json::parse(&snap.to_json()).unwrap();
+    let spans = doc.get_field("spans").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(spans.len(), snap.spans.len());
+    assert!(snap
+        .to_prometheus()
+        .contains("streamworks_stage_latency_ns_bucket"));
 }

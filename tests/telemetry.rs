@@ -1,0 +1,387 @@
+//! End-to-end pipeline observability through the public facade.
+//!
+//! Pins the contract of the telemetry layer: sampled per-stage latency
+//! histograms cover every stage a run actually exercises, trace spans land
+//! in the rings keyed by sampled sequence numbers, the exported snapshot
+//! renders in both text formats, enabling telemetry changes *no* matching
+//! observable (counters and match multisets are bit-identical to a run with
+//! it off, at every shard count), a quarantined subscription's reported lag
+//! tracks the live outbox, and stage counters survive checkpoint/restore.
+//!
+//! The sharded scenarios use the 4-edge labelled news query: SJ-Tree leaves
+//! are ~2-edge subgraph primitives, so a 1–2 edge query is a single-leaf
+//! plan whose embeddings complete on the driver — only larger queries give
+//! the shard workers join work to measure.
+
+use std::collections::BTreeMap;
+
+use streamworks::engine::EngineCheckpoint;
+use streamworks::workloads::queries::labelled_news_query;
+use streamworks::workloads::{NewsConfig, NewsStreamGenerator};
+use streamworks::{
+    clear_endpoint, reset_memory_sink, ContinuousQueryEngine, Duration, EdgeEvent, MatchEvent,
+    QueryHandle, QueryMetrics, RetryPolicy, SinkSpec, TelemetryLevel, TelemetrySnapshot, Timestamp,
+};
+
+const PAIR_DSL: &str = "QUERY pair WINDOW 1h \
+     MATCH (a1:Article)-[:mentions]->(k:Keyword), (a2:Article)-[:mentions]->(k)";
+
+const STAGES: [&str; 7] = [
+    "ingest_front",
+    "local_search",
+    "join_climb",
+    "shard_routing",
+    "fan_in_drain",
+    "expiry_sweep",
+    "delivery_flush",
+];
+
+fn news_events() -> Vec<EdgeEvent> {
+    NewsStreamGenerator::new(NewsConfig {
+        articles: 600,
+        planted_events: vec![("politics".into(), 3)],
+        seed: 5,
+        ..Default::default()
+    })
+    .generate()
+    .events
+}
+
+fn sampled_engine(shards: usize, level: TelemetryLevel) -> (ContinuousQueryEngine, QueryHandle) {
+    let mut engine = ContinuousQueryEngine::builder()
+        .shards(shards)
+        .telemetry_level(level)
+        .telemetry_sample_every(1)
+        .build()
+        .unwrap();
+    let handle = engine
+        .register_query(labelled_news_query("politics", Duration::from_mins(30)))
+        .unwrap();
+    (engine, handle)
+}
+
+fn multiset(events: &[MatchEvent]) -> BTreeMap<(String, Vec<u64>), usize> {
+    let mut out = BTreeMap::new();
+    for ev in events {
+        let edges: Vec<u64> = ev.edges.iter().map(|e| e.0).collect();
+        *out.entry((ev.query_name.clone(), edges)).or_insert(0) += 1;
+    }
+    out
+}
+
+fn stage_counts(snap: &TelemetrySnapshot) -> BTreeMap<String, u64> {
+    snap.stages
+        .iter()
+        .map(|s| (s.name.clone(), s.count))
+        .collect()
+}
+
+/// The acceptance run: sharded matching plus durable delivery plus an
+/// explicit prune exercises every pipeline stage, and each one must report
+/// observations with non-zero quantiles.
+#[test]
+fn sharded_durable_run_activates_every_stage() {
+    let key = "telemetry-all-stages";
+    reset_memory_sink(key);
+    let (mut engine, handle) = sampled_engine(2, TelemetryLevel::Sampled);
+    engine
+        .subscribe_durable(
+            handle,
+            SinkSpec::Memory {
+                key: key.to_owned(),
+            },
+        )
+        .unwrap();
+
+    let events = news_events();
+    let mut matches = Vec::new();
+    for chunk in events.chunks(256) {
+        matches.extend(engine.ingest(chunk).unwrap());
+    }
+    assert!(!matches.is_empty(), "the stream must produce matches");
+    // Advance stream time past the window and force a sweep so expiry work
+    // is actually performed.
+    let last = events.last().unwrap().timestamp;
+    engine
+        .ingest(&EdgeEvent::new(
+            "late",
+            "Article",
+            "k-late",
+            "Keyword",
+            "mentions",
+            Timestamp::from_micros(last.as_micros() + 4 * 3_600_000_000),
+        ))
+        .unwrap();
+    engine.prune_now();
+    engine.flush_deliveries();
+
+    let snap = engine.telemetry_snapshot();
+    assert_eq!(snap.level, "sampled");
+    assert_eq!(snap.sample_every, 1);
+    let names: Vec<&str> = snap.stages.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, STAGES, "every stage is always listed, in order");
+    for stage in &snap.stages {
+        assert!(stage.count > 0, "stage `{}` recorded nothing", stage.name);
+        assert!(stage.p50_ns > 0, "stage `{}` has zero p50", stage.name);
+        assert!(stage.p99_ns > 0, "stage `{}` has zero p99", stage.name);
+        assert!(
+            stage.p50_ns <= stage.p99_ns,
+            "quantiles are monotone for `{}`",
+            stage.name
+        );
+        assert!(stage.sum_ns >= stage.count, "each observation is >= 1ns");
+        assert!(stage.min_ns <= stage.max_ns);
+    }
+
+    // Work actually reached the shard workers (and its routing balance is a
+    // meaningful ratio).
+    let set = &snap.shards[0];
+    assert!(
+        set.shards.iter().map(|s| s.items_routed).sum::<u64>() > 0,
+        "embeddings were routed to workers"
+    );
+    assert!(set.skew >= 1.0, "skew is max/mean: {}", set.skew);
+
+    // Spans: the rings hold recent sampled work, keyed by event seq, with
+    // real durations and recognised stage names.
+    assert!(!snap.spans.is_empty(), "spans recorded");
+    for span in &snap.spans {
+        assert!(
+            STAGES.contains(&span.stage.as_str()),
+            "unknown span stage `{}`",
+            span.stage
+        );
+        assert!(
+            span.duration_ns > 0,
+            "span `{}` has no duration",
+            span.stage
+        );
+        assert!(
+            span.shard >= -1 && span.shard < 2,
+            "span shard {} out of range",
+            span.shard
+        );
+    }
+    assert!(
+        snap.spans.windows(2).all(|w| w[0].seq <= w[1].seq),
+        "spans are seq-sorted"
+    );
+    assert!(
+        snap.spans.iter().any(|s| s.shard == -1),
+        "driver-side spans present"
+    );
+    assert!(
+        snap.spans.iter().any(|s| s.shard >= 0),
+        "worker-side spans present"
+    );
+
+    // Both export formats include the histogram series.
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("# TYPE streamworks_stage_latency_ns histogram"));
+    for stage in STAGES {
+        assert!(
+            prom.contains(&format!("stage=\"{stage}\"")),
+            "`{stage}` exported: {prom}"
+        );
+    }
+    assert!(prom.contains("streamworks_shard_skew"));
+    let json = snap.to_json();
+    let doc = serde_json::parse(&json).unwrap();
+    assert_eq!(
+        doc.get_field("stages")
+            .and_then(|v| v.as_array())
+            .map(<[_]>::len),
+        Some(STAGES.len())
+    );
+    reset_memory_sink(key);
+}
+
+/// Matching is observably identical with telemetry off and on, at 1, 2 and
+/// 4 shards, under lifecycle churn — every `QueryMetrics` counter and the
+/// full match multiset agree with the reference run.
+#[test]
+fn counters_and_matches_are_invariant_under_telemetry_and_shards() {
+    fn churn_run(shards: usize, level: TelemetryLevel) -> (Vec<MatchEvent>, QueryMetrics) {
+        let (mut engine, handle) = sampled_engine(shards, level);
+        let events = news_events();
+        let (first, rest) = events.split_at(events.len() / 2);
+        let (mid, last) = rest.split_at(rest.len() / 2);
+
+        let mut matches = Vec::new();
+        for chunk in first.chunks(128) {
+            matches.extend(engine.ingest(chunk).unwrap());
+        }
+        engine.pause(handle).unwrap();
+        assert!(
+            engine.ingest(mid).unwrap().is_empty(),
+            "paused sees nothing"
+        );
+        engine.resume(handle).unwrap();
+        for chunk in last.chunks(128) {
+            matches.extend(engine.ingest(chunk).unwrap());
+        }
+        let metrics = engine.metrics(handle).unwrap();
+        engine.deregister(handle).unwrap();
+        assert_eq!(engine.live_partial_matches(), 0);
+        (matches, metrics)
+    }
+
+    let (ref_matches, ref_metrics) = churn_run(1, TelemetryLevel::Off);
+    assert!(ref_metrics.complete_matches > 0, "churn run must match");
+    let expected = multiset(&ref_matches);
+    for shards in [1usize, 2, 4] {
+        for level in [TelemetryLevel::Off, TelemetryLevel::Sampled] {
+            let (matches, metrics) = churn_run(shards, level);
+            assert_eq!(
+                multiset(&matches),
+                expected,
+                "match multiset at shards={shards} level={level:?}"
+            );
+            assert_eq!(
+                metrics.complete_matches, ref_metrics.complete_matches,
+                "complete_matches at shards={shards} level={level:?}"
+            );
+            assert_eq!(
+                metrics.edges_processed, ref_metrics.edges_processed,
+                "edges_processed at shards={shards} level={level:?}"
+            );
+        }
+        // At a fixed shard count the *entire* counter struct must be
+        // identical with sampling on and off: the sampled matching path is
+        // the same algorithm, only timed.
+        let (_, off) = churn_run(shards, TelemetryLevel::Off);
+        let (_, on) = churn_run(shards, TelemetryLevel::Sampled);
+        assert_eq!(off, on, "full QueryMetrics at shards={shards}");
+    }
+}
+
+/// The delivery snapshot's `lag` is computed from the live outbox, so a
+/// quarantined subscription's lag keeps growing as matches keep routing to
+/// it — it is not a stale copy from quarantine time.
+#[test]
+fn quarantined_subscription_lag_tracks_the_live_outbox() {
+    let address = "telemetry-unreachable";
+    clear_endpoint(address); // never registered: every connect fails
+    let mut engine = ContinuousQueryEngine::builder()
+        .telemetry_level(TelemetryLevel::Sampled)
+        .telemetry_sample_every(1)
+        .retry_policy(RetryPolicy::none())
+        .build()
+        .unwrap();
+    let handle = engine.register_dsl(PAIR_DSL).unwrap();
+    engine
+        .subscribe_durable(
+            handle,
+            SinkSpec::Endpoint {
+                address: address.to_owned(),
+            },
+        )
+        .unwrap();
+
+    let events: Vec<EdgeEvent> = (0..24)
+        .map(|i| {
+            EdgeEvent::new(
+                format!("a{i}"),
+                "Article",
+                format!("k{}", i % 2),
+                "Keyword",
+                "mentions",
+                Timestamp::from_secs(i as i64),
+            )
+        })
+        .collect();
+    let (first, second) = events.split_at(events.len() / 2);
+    engine.ingest(first).unwrap();
+    engine.flush_deliveries();
+    let snap = engine.telemetry_snapshot();
+    assert_eq!(snap.delivery.len(), 1);
+    let before = snap.delivery[0].clone();
+    assert_eq!(
+        before.status, "quarantined",
+        "one strike under RetryPolicy::none"
+    );
+    assert_eq!(before.target, format!("endpoint:{address}"));
+    assert!(before.lag > 0, "undelivered matches show as lag");
+
+    engine.ingest(second).unwrap();
+    let snap = engine.telemetry_snapshot();
+    let after = &snap.delivery[0];
+    assert_eq!(after.status, "quarantined");
+    assert!(
+        after.lag > before.lag,
+        "lag is live: {} then {}",
+        before.lag,
+        after.lag
+    );
+    assert_eq!(
+        after.lag,
+        engine.metrics(handle).unwrap().cursor_lag,
+        "snapshot lag agrees with the per-query metric"
+    );
+    clear_endpoint(address);
+}
+
+/// Stage counters survive checkpoint/restore: the replay itself is not
+/// re-measured on the driver, and the captured histogram is folded back in,
+/// so a single-threaded engine restores to bit-identical stage counts.
+#[test]
+fn stage_counters_survive_checkpoint_restore() {
+    let (mut single, _handle) = sampled_engine(1, TelemetryLevel::Sampled);
+    for chunk in news_events().chunks(256) {
+        single.ingest(chunk).unwrap();
+    }
+    let captured = stage_counts(&single.telemetry_snapshot());
+    assert!(captured.values().any(|&c| c > 0), "run recorded stages");
+
+    // Round-trip through JSON to also pin the checkpoint serialisation of
+    // the telemetry payload.
+    let json = EngineCheckpoint::capture(&single).to_json().unwrap();
+    let restored = EngineCheckpoint::from_json(&json).unwrap().restore();
+    assert_eq!(
+        stage_counts(&restored.telemetry_snapshot()),
+        captured,
+        "single-threaded restore is exact"
+    );
+
+    // Sharded: workers re-measure their replayed climbs, so counts may only
+    // grow — never shrink, never reset.
+    let (mut sharded, _h) = sampled_engine(2, TelemetryLevel::Sampled);
+    for chunk in news_events().chunks(256) {
+        sharded.ingest(chunk).unwrap();
+    }
+    let captured = stage_counts(&sharded.telemetry_snapshot());
+    let restored = EngineCheckpoint::capture(&sharded).restore();
+    for (stage, count) in stage_counts(&restored.telemetry_snapshot()) {
+        assert!(
+            count >= captured[&stage],
+            "stage `{stage}` shrank across restore: {} -> {count}",
+            captured[&stage]
+        );
+    }
+}
+
+/// Telemetry `Off` is genuinely off: the snapshot still carries counters,
+/// queries, shards and delivery state, but no histograms and no spans.
+#[test]
+fn off_level_reports_counters_but_no_samples() {
+    let (mut engine, handle) = sampled_engine(2, TelemetryLevel::Off);
+    for chunk in news_events().chunks(256) {
+        engine.ingest(chunk).unwrap();
+    }
+    let snap = engine.telemetry_snapshot();
+    assert_eq!(snap.level, "off");
+    assert!(snap.stages.is_empty(), "no histograms when off");
+    assert!(snap.spans.is_empty(), "no spans when off");
+    assert!(snap.events_ingested > 0);
+    assert_eq!(snap.queries.len(), 1);
+    assert_eq!(snap.shards.len(), 1, "shard skew is counter-derived");
+    assert!(snap.shards[0].skew >= 1.0, "skew: {}", snap.shards[0].skew);
+    assert!(
+        engine.metrics(handle).unwrap().complete_matches > 0,
+        "matching unaffected"
+    );
+    // The exports still render the counter series.
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("streamworks_events_ingested_total"));
+    assert!(!prom.contains("streamworks_stage_latency_ns_bucket"));
+}

@@ -444,3 +444,41 @@ fn utf8_len(first: u8) -> usize {
         _ => 4,
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The shape a telemetry snapshot export leans on: nested containers,
+    /// mixed number widths, strings needing escapes, and `Option` nulls.
+    type Specimen = (String, u64, i64, Vec<Option<f64>>, bool);
+
+    fn specimen() -> Specimen {
+        (
+            "ingest\n\"front\"".to_owned(),
+            u64::MAX,
+            -42,
+            vec![Some(1.25), None],
+            true,
+        )
+    }
+
+    #[test]
+    fn pretty_output_round_trips_to_the_same_value() {
+        let v = specimen();
+        let compact = to_string(&v).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_ne!(compact, pretty, "pretty output actually differs");
+        assert!(pretty.contains('\n'), "pretty output is indented");
+        assert!(!compact.contains('\n'), "compact output is one line");
+        // Both renderings parse to the identical value tree, and the typed
+        // round trip through the pretty text reproduces the input exactly.
+        assert_eq!(parse(&compact).unwrap(), parse(&pretty).unwrap());
+        let back: Specimen = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+        // Re-serialising the parsed pretty text compacts to the original:
+        // indentation is the only difference between the two formats.
+        let reparsed: Specimen = from_str(&pretty).unwrap();
+        assert_eq!(to_string(&reparsed).unwrap(), compact);
+    }
+}
